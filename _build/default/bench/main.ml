@@ -1,0 +1,215 @@
+(* The benchmark harness: regenerates every performance figure of the
+   paper and runs the ablations called out in DESIGN.md, then a set of
+   Bechamel micro-benchmarks (one per reproduced table/figure plus the
+   hot substrate operations).
+
+   Run with: dune exec bench/main.exe
+   Sections can be selected: dune exec bench/main.exe -- fig7 ablations *)
+
+module Engine = Xqdb_core.Engine
+module Config = Xqdb_core.Engine_config
+module Planner = Xqdb_optimizer.Planner
+module Rewrite = Xqdb_tpm.Rewrite
+module W = Xqdb_workload
+module T = Xqdb_testbed
+module Storage = Xqdb_storage
+
+let header title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+(* Run one query on one engine configuration over a shared document,
+   reporting page I/Os and time; censored runs are marked. *)
+let measure ?(seconds_cap = 20.0) ~forest config query_src =
+  let engine = Engine.load_forest ~config forest in
+  let query = Xqdb_xq.Xq_parser.parse query_src in
+  let result = Engine.run ~max_seconds:seconds_cap engine query in
+  match result.Engine.status with
+  | Engine.Ok -> (result.Engine.page_ios, result.Engine.elapsed, false)
+  | Engine.Budget_exceeded _ -> (0, seconds_cap, true)
+  | Engine.Error msg -> failwith msg
+
+let row name (ios, secs, censored) =
+  if censored then Printf.printf "  %-28s        censored (> %.0fs)\n%!" name secs
+  else Printf.printf "  %-28s %8d page I/Os  %8.3fs\n%!" name ios secs
+
+(* --- Figure 7 ------------------------------------------------------------- *)
+
+let fig7 () =
+  header "Figure 7: timing of the top five engines";
+  Printf.printf "workload: DBLP scale 2500, pool 48 frames, per-test page-I/O budgets\n";
+  let table = T.Efficiency.run () in
+  print_string (T.Efficiency.render table);
+  print_string
+    "\npaper's Figure 7 (seconds; 2400 = censored at the time budget):\n\
+     Engine   Test 1   Test 2   Test 3   Test 4   Test 5    Total\n\
+     1          0.11   142.77    28.10   164.95     8.48   344.41\n\
+     2          0.01     0.01     0.14     0.00     2400  2400.16\n\
+     3         16.44   175.30     2400    63.76    29.70  2685.20\n\
+     4         24.72     0.01     2400     0.00     2400  4824.72\n\
+     5         65.41   163.93     2400   123.66    2400   5153.00\n\
+     shape check: engine 1 wins, the same total ordering 1 < 2 < 3 < 4 < 5,\n\
+     censoring caused by the same budget rule.\n"
+
+(* --- Figure 6 / Example 6 --------------------------------------------------- *)
+
+let fig6 () =
+  header "Figure 6 / Example 6: QP0 vs QP1 vs QP2";
+  print_string (T.Plan_lab.render (T.Plan_lab.run ()))
+
+(* --- milestone ablation ------------------------------------------------------ *)
+
+let milestones () =
+  header "Milestone ablation (the intro's orders-of-magnitude claim)";
+  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled 400)] in
+  List.iter
+    (fun (name, query) ->
+      Printf.printf "%s\n" name;
+      List.iter
+        (fun config ->
+          let config = { config with Config.pool_capacity = 48 } in
+          row config.Config.name (measure ~forest config query))
+        [Config.m1; Config.m2; Config.m3; Config.m4])
+    [ ("example 6 (selective semijoin query):", T.Queries.example6);
+      ( "all article titles (scan-bound):",
+        "for $x in //article return for $t in $x/title return $t" ) ]
+
+(* --- design-choice ablations -------------------------------------------------- *)
+
+let ablations () =
+  header "Ablations of the DESIGN.md design choices (m4 engine, Example 6)";
+  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled 800)] in
+  let base = { Config.m4 with Config.pool_capacity = 48 } in
+  let q = T.Queries.example6 in
+
+  Printf.printf "1. relfor merging (milestone 3's algebraic step):\n";
+  row "merged (default)" (measure ~forest base q);
+  row "unmerged" (measure ~forest { base with Config.merge_relfors = false } q);
+
+  Printf.printf "2. vartuples carrying out-values (descendant self-joins):\n";
+  row "carry out (default)" (measure ~forest base q);
+  row "naive (self-joins)"
+    (measure ~forest
+       { base with
+         Config.rewrite = Rewrite.naive;
+         planner = { base.Config.planner with Planner.carry_out = false } }
+       q);
+
+  Printf.printf "3. index structures and cost-based reordering (milestone 4):\n";
+  row "indexes + reordering" (measure ~forest base q);
+  row "indexes only"
+    (measure ~forest
+       { base with Config.planner = { base.Config.planner with Planner.cost_based = false } }
+       q);
+  row "neither (milestone 3)"
+    (measure ~forest { base with Config.planner = Planner.m3_config } q);
+
+  Printf.printf "4. ordering strategy (the milestone-3 discussion):\n";
+  List.iter
+    (fun (name, order) ->
+      row name
+        (measure ~forest
+           { base with Config.planner = { base.Config.planner with Planner.order } }
+           q))
+    [ ("order-preserving (default)", `Preserve);
+      ("external sort", `Ext_sort);
+      ("in-memory sort", `Mem_sort);
+      ("clustered B-tree (workaround)", `Btree_sort) ];
+
+  Printf.printf "5. block-nested-loop block size (sorting strategies only):\n";
+  (* Probing is disabled so the plan actually contains NL/BNL joins. *)
+  let sort_config =
+    { base with
+      Config.planner =
+        { base.Config.planner with Planner.order = `Mem_sort; use_indexes = false } }
+  in
+  row "order-preserving NL" (measure ~forest { base with Config.planner = { base.Config.planner with Planner.use_indexes = false } } q);
+  row "sorted, BNL (block 64)" (measure ~forest sort_config q);
+
+  Printf.printf "6. pipelining vs writing intermediates to disk:\n";
+  row "pipelined"
+    (measure ~forest
+       { base with Config.planner = { base.Config.planner with Planner.materialize = `Mem } }
+       q);
+  row "spooled to disk"
+    (measure ~forest
+       { base with Config.planner = { base.Config.planner with Planner.materialize = `Disk } }
+       q)
+
+(* --- Bechamel micro-benchmarks -------------------------------------------------- *)
+
+let bechamel () =
+  header "Bechamel micro-benchmarks (time per single run)";
+  let open Bechamel in
+  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled 250)] in
+  let xml = Xqdb_xml.Xml_print.forest_to_string forest in
+  let engine1 = Engine.load_forest ~config:Config.engine1 forest in
+  let m1 = Engine.with_config Config.m1 engine1 in
+  let m2 = Engine.with_config Config.m2 engine1 in
+  let m4 = Engine.with_config Config.m4 engine1 in
+  let parsed =
+    List.map (fun (n, q) -> (n, Xqdb_xq.Xq_parser.parse q)) T.Queries.efficiency_queries
+  in
+  let run_query engine query () = ignore (Engine.run engine query) in
+  (* One Test.make per reproduced table/figure. *)
+  let figure_tests =
+    (* Figure 7: the five efficiency tests on the winning engine. *)
+    List.map
+      (fun (name, query) -> Test.make ~name:("fig7 " ^ name) (Staged.stage (run_query engine1 query)))
+      parsed
+    @ [ (* Figure 6: the best and worst plans of the Example 6 lab. *)
+        Test.make ~name:"fig6 example6 m4"
+          (Staged.stage (run_query m4 (Xqdb_xq.Xq_parser.parse T.Queries.example6)));
+        (* The milestone ablation behind the intro's claim. *)
+        Test.make ~name:"milestones m1"
+          (Staged.stage (run_query m1 (Xqdb_xq.Xq_parser.parse T.Queries.example6)));
+        Test.make ~name:"milestones m2"
+          (Staged.stage (run_query m2 (Xqdb_xq.Xq_parser.parse T.Queries.example6)));
+        (* Figure 2 / Example 1: labeling and shredding throughput. *)
+        Test.make ~name:"fig2 shred document"
+          (Staged.stage (fun () ->
+               let disk = Storage.Disk.in_memory () in
+               let pool = Storage.Buffer_pool.create disk in
+               ignore (Xqdb_xasr.Shredder.shred_string pool ~name:"d" xml)));
+        Test.make ~name:"fig2 label document"
+          (Staged.stage (fun () -> ignore (Xqdb_xml.Xml_doc.of_forest forest)));
+        (* Figures 3-5: the rewriting pipeline itself. *)
+        Test.make ~name:"fig3-5 rewrite+merge"
+          (Staged.stage
+             (let q = Xqdb_xq.Xq_parser.parse T.Queries.example6 in
+              fun () -> ignore (Xqdb_tpm.Merge.merge (Rewrite.query q)))) ]
+  in
+  let grouped = Test.make_grouped ~name:"xqdb" figure_tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [Toolkit.Instance.monotonic_clock] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ns] -> Printf.printf "  %-32s %12.3f ms/run\n" name (ns /. 1e6)
+      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    (List.sort compare rows)
+
+let sections =
+  [ ("fig7", fig7); ("fig6", fig6); ("milestones", milestones); ("ablations", ablations);
+    ("bechamel", bechamel) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | [_] -> List.map fst sections
+    | _ :: names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown section %S (known: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+    requested;
+  print_newline ()

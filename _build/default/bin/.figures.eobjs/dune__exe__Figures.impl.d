@@ -1,0 +1,1 @@
+bin/figures.ml: Array Format List Printf String Sys Xqdb_core Xqdb_storage Xqdb_testbed Xqdb_tpm Xqdb_workload Xqdb_xasr Xqdb_xml Xqdb_xq

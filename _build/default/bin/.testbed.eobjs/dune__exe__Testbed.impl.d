@@ -1,0 +1,1 @@
+bin/testbed.ml: Arg Cmd Cmdliner List Printf Term Xqdb_core Xqdb_testbed

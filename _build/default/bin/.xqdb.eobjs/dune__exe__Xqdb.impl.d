@@ -1,0 +1,1 @@
+bin/xqdb.ml: Arg Cmd Cmdliner Format List Printf String Sys Term Xqdb_core Xqdb_workload Xqdb_xasr Xqdb_xml Xqdb_xq

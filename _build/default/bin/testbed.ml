@@ -1,0 +1,53 @@
+(* The course's submission & test system, batch mode: run the public
+   correctness tests for every engine preset on every testbed document,
+   then the efficiency tests for the five Figure-7 engines. *)
+
+open Cmdliner
+module T = Xqdb_testbed
+
+let correctness_only =
+  Arg.(value & flag & info ["correctness-only"] ~doc:"Skip the efficiency tests.")
+
+let efficiency_only =
+  Arg.(value & flag & info ["efficiency-only"] ~doc:"Skip the correctness tests.")
+
+let scale =
+  Arg.(value & opt int 2500 & info ["scale"] ~docv:"N" ~doc:"DBLP scale for efficiency tests.")
+
+let grade =
+  Arg.(value & flag & info ["grade"] ~doc:"Also run the Section-3 grading demo course.")
+
+let action correctness_only efficiency_only scale grade =
+  let failed = ref false in
+  if not efficiency_only then begin
+    let outcomes = T.Correctness.run () in
+    print_string (T.Correctness.summary outcomes);
+    if T.Correctness.failures outcomes <> [] then failed := true
+  end;
+  if not correctness_only then begin
+    let table = T.Efficiency.run ~scale () in
+    print_newline ();
+    print_string (T.Efficiency.render table)
+  end;
+  if grade then begin
+    let module Config = Xqdb_core.Engine_config in
+    let submissions =
+      List.mapi
+        (fun i config ->
+          T.Grading.submission
+            ~exam_points:(92 - (10 * i))
+            (Printf.sprintf "team-%d" (i + 1))
+            config)
+        Config.figure7_engines
+    in
+    print_newline ();
+    print_string (T.Grading.render (T.Grading.grade_course ~scale:250 submissions))
+  end;
+  if !failed then exit 1
+
+let () =
+  let info =
+    Cmd.info "xqdb-testbed" ~doc:"Correctness and efficiency testbed for the XQ engines"
+  in
+  let term = Term.(const action $ correctness_only $ efficiency_only $ scale $ grade) in
+  exit (Cmd.eval (Cmd.v info term))

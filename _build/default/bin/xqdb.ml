@@ -1,0 +1,270 @@
+(* The xqdb command-line interface.
+
+   Subcommands:
+     xqdb run      -- evaluate an XQ query against a document
+     xqdb explain  -- show the TPM rewriting and the physical plans
+     xqdb label    -- print a document with its in/out labels (Figure 2)
+     xqdb shred    -- load a document into a database file and report
+     xqdb stats    -- print the milestone-4 statistics of a document *)
+
+open Cmdliner
+module Engine = Xqdb_core.Engine
+module Config = Xqdb_core.Engine_config
+module W = Xqdb_workload
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* --- common arguments --------------------------------------------------- *)
+
+let doc_term =
+  let file =
+    let doc = "Load the XML document from $(docv)." in
+    Arg.(value & opt (some string) None & info ["doc"] ~docv:"FILE" ~doc)
+  in
+  let dblp =
+    let doc = "Use a generated DBLP-like document with $(docv) publications." in
+    Arg.(value & opt (some int) None & info ["dblp"] ~docv:"N" ~doc)
+  in
+  let treebank =
+    let doc = "Use a generated Treebank-like document with $(docv) sentences." in
+    Arg.(value & opt (some int) None & info ["treebank"] ~docv:"N" ~doc)
+  in
+  let combine file dblp treebank =
+    match file, dblp, treebank with
+    | Some path, None, None -> Ok (read_file path)
+    | None, Some n, None -> Ok (W.Dblp_gen.generate_string (W.Dblp_gen.scaled n))
+    | None, None, Some n -> Ok (W.Treebank_gen.generate_string (W.Treebank_gen.scaled n))
+    | None, None, None -> Ok W.Docs.tiny_string
+    | _ -> Error (`Msg "give at most one of --doc, --dblp, --treebank")
+  in
+  Term.(term_result (const combine $ file $ dblp $ treebank))
+
+let engine_conv =
+  let parse name =
+    match
+      List.find_opt (fun c -> String.equal c.Config.name name) Config.all_presets
+    with
+    | Some config -> Ok config
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown engine %S (try %s)" name
+             (String.concat ", " (List.map (fun c -> c.Config.name) Config.all_presets))))
+  in
+  Arg.conv (parse, fun ppf c -> Format.pp_print_string ppf c.Config.name)
+
+let engine_term =
+  let doc = "Engine configuration: m1, m2, m3, m4 or engine-1 .. engine-5." in
+  Arg.(value & opt engine_conv Config.m4 & info ["engine"] ~docv:"NAME" ~doc)
+
+let query_term =
+  let doc = "The XQ query (see the README for the surface syntax)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let verbose_term =
+  Arg.(value & flag & info ["verbose"; "v"] ~doc:"Also print timing and page-I/O counts.")
+
+(* --- subcommands -------------------------------------------------------- *)
+
+let run_cmd =
+  let action xml config query verbose =
+    match Xqdb_xq.Xq_parser.parse_result query with
+    | Error msg -> Error (`Msg ("parse error: " ^ msg))
+    | Ok q ->
+      (match Xqdb_xq.Xq_check.check q with
+       | Error e -> Error (`Msg (Xqdb_xq.Xq_check.error_to_string e))
+       | Ok () ->
+         let engine = Engine.load ~config xml in
+         let result = Engine.run engine q in
+         (match result.Engine.status with
+          | Engine.Ok ->
+            print_endline result.Engine.output;
+            if verbose then
+              Printf.eprintf "engine: %s\nelapsed: %.4fs\npage I/Os: %d\n"
+                config.Config.name result.Engine.elapsed result.Engine.page_ios;
+            Ok ()
+          | Engine.Error msg -> Error (`Msg ("runtime type error: " ^ msg))
+          | Engine.Budget_exceeded msg -> Error (`Msg msg)))
+  in
+  let term =
+    Term.(term_result (const action $ doc_term $ engine_term $ query_term $ verbose_term))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQ query against a document.") term
+
+let explain_cmd =
+  let action xml config query =
+    match Xqdb_xq.Xq_parser.parse_result query with
+    | Error msg -> Error (`Msg ("parse error: " ^ msg))
+    | Ok q ->
+      let engine = Engine.load ~config xml in
+      print_endline (Engine.explain engine q);
+      Ok ()
+  in
+  let term = Term.(term_result (const action $ doc_term $ engine_term $ query_term)) in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the TPM rewriting and physical plans for a query.")
+    term
+
+let label_cmd =
+  let action xml =
+    let doc = Xqdb_xml.Xml_doc.of_forest (Xqdb_xml.Xml_parser.parse_forest xml) in
+    Format.printf "%a" Xqdb_xml.Xml_doc.pp_labeled doc;
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ doc_term)) in
+  Cmd.v (Cmd.info "label" ~doc:"Print the in/out labeling of a document (Figure 2).") term
+
+let shred_cmd =
+  let db_term =
+    Arg.(required & opt (some string) None & info ["db"] ~docv:"FILE" ~doc:"Database file.")
+  in
+  let action xml path =
+    let config = Config.m4 in
+    let engine = Engine.load ~config ~on_file:path xml in
+    let stats = Engine.doc_stats engine in
+    Format.printf "shredded into %s@.%a@." path Xqdb_xasr.Doc_stats.pp stats;
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ doc_term $ db_term)) in
+  Cmd.v (Cmd.info "shred" ~doc:"Load a document into a database file.") term
+
+let stats_cmd =
+  let action xml =
+    let engine = Engine.load xml in
+    Format.printf "%a@." Xqdb_xasr.Doc_stats.pp (Engine.doc_stats engine);
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ doc_term)) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print the milestone-4 data statistics of a document.") term
+
+(* --- multi-document database commands ------------------------------------ *)
+
+module DB = Xqdb_core.Database
+
+let db_file_term =
+  Arg.(required & opt (some string) None & info ["db"] ~docv:"FILE" ~doc:"Database file.")
+
+let name_term =
+  Arg.(required & opt (some string) None & info ["name"] ~docv:"NAME" ~doc:"Document name.")
+
+let load_cmd =
+  let action xml path name =
+    let db = if Sys.file_exists path then DB.open_file path else DB.create ~on_file:path () in
+    (match DB.load_document db ~name xml with
+     | engine ->
+       Format.printf "loaded %S into %s@.%a@." name path Xqdb_xasr.Doc_stats.pp
+         (Engine.doc_stats engine);
+       DB.close db;
+       Ok ()
+     | exception Invalid_argument msg ->
+       DB.close db;
+       Error (`Msg msg))
+  in
+  let term = Term.(term_result (const action $ doc_term $ db_file_term $ name_term)) in
+  Cmd.v (Cmd.info "load" ~doc:"Load a document into a multi-document database file.") term
+
+let query_cmd =
+  let action path name config query =
+    match Xqdb_xq.Xq_parser.parse_result query with
+    | Error msg -> Error (`Msg ("parse error: " ^ msg))
+    | Ok q ->
+      let db = DB.open_file path in
+      (match DB.engine ~config db ~name with
+       | exception Not_found ->
+         DB.close db;
+         Error (`Msg (Printf.sprintf "no document %S in %s" name path))
+       | engine ->
+         let result = Engine.run engine q in
+         DB.close db;
+         (match result.Engine.status with
+          | Engine.Ok ->
+            print_endline result.Engine.output;
+            Ok ()
+          | Engine.Error msg -> Error (`Msg ("runtime type error: " ^ msg))
+          | Engine.Budget_exceeded msg -> Error (`Msg msg)))
+  in
+  let term =
+    Term.(term_result (const action $ db_file_term $ name_term $ engine_term $ query_term))
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Run a query against a document in a database file.") term
+
+let ls_cmd =
+  let action path =
+    let db = DB.open_file path in
+    List.iter
+      (fun name ->
+        let stats = Engine.doc_stats (DB.engine db ~name) in
+        Printf.printf "%-20s %8d nodes
+" name stats.Xqdb_xasr.Doc_stats.node_count)
+      (DB.document_names db);
+    DB.close db;
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ db_file_term)) in
+  Cmd.v (Cmd.info "ls" ~doc:"List the documents in a database file.") term
+
+let drop_cmd =
+  let action path name =
+    let db = DB.open_file path in
+    (match DB.drop_document db ~name with
+     | () ->
+       DB.close db;
+       Printf.printf "dropped %S
+" name;
+       Ok ()
+     | exception Not_found ->
+       DB.close db;
+       Error (`Msg (Printf.sprintf "no document %S in %s" name path)))
+  in
+  let term = Term.(term_result (const action $ db_file_term $ name_term)) in
+  Cmd.v (Cmd.info "drop" ~doc:"Drop a document from a database file.") term
+
+let repl_cmd =
+  let action xml config =
+    let engine = Engine.load ~config xml in
+    Printf.printf
+      "xqdb repl (%s engine, %d nodes); enter XQ queries, \\q or ctrl-d to quit\n%!"
+      config.Config.name
+      (Engine.doc_stats engine).Xqdb_xasr.Doc_stats.node_count;
+    let rec loop () =
+      print_string "xq> ";
+      match input_line stdin with
+      | exception End_of_file -> Ok ()
+      | "\\q" | "\\quit" -> Ok ()
+      | "" -> loop ()
+      | line ->
+        (match Xqdb_xq.Xq_parser.parse_result line with
+         | Error msg -> Printf.printf "parse error: %s\n%!" msg
+         | Ok q ->
+           (match Xqdb_xq.Xq_check.check q with
+            | Error e -> Printf.printf "error: %s\n%!" (Xqdb_xq.Xq_check.error_to_string e)
+            | Ok () ->
+              let result = Engine.run engine q in
+              (match result.Engine.status with
+               | Engine.Ok ->
+                 Printf.printf "%s\n(%d page I/Os, %.4fs)\n%!" result.Engine.output
+                   result.Engine.page_ios result.Engine.elapsed
+               | Engine.Error msg -> Printf.printf "runtime type error: %s\n%!" msg
+               | Engine.Budget_exceeded msg -> Printf.printf "%s\n%!" msg)));
+        loop ()
+    in
+    loop ()
+  in
+  let term = Term.(term_result (const action $ doc_term $ engine_term)) in
+  Cmd.v (Cmd.info "repl" ~doc:"Interactive XQ shell over a document.") term
+
+let () =
+  let info =
+    Cmd.info "xqdb" ~version:"1.0.0"
+      ~doc:"A native XML-DBMS: XQ queries over XASR secondary storage"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; explain_cmd; label_cmd; shred_cmd; stats_cmd; load_cmd; query_cmd;
+            ls_cmd; drop_cmd; repl_cmd ]))

@@ -1,0 +1,1 @@
+examples/bibliography.ml: Format List Printf String Xqdb_core Xqdb_testbed Xqdb_workload Xqdb_xasr Xqdb_xml Xqdb_xq

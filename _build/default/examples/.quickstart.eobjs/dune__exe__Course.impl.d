@@ -1,0 +1,1 @@
+examples/course.ml: List Xqdb_core Xqdb_testbed

@@ -1,0 +1,1 @@
+examples/plan_lab.ml: Printf Xqdb_testbed

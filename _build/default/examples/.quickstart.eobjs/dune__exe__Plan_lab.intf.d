@@ -1,0 +1,1 @@
+examples/plan_lab.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Xqdb_core Xqdb_xq

@@ -1,0 +1,1 @@
+examples/treebank.ml: List Printf Xqdb_core Xqdb_workload Xqdb_xasr Xqdb_xml Xqdb_xq

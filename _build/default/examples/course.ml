@@ -1,0 +1,26 @@
+(* The course, end to end (Section 3 of the paper): five teams submit
+   their engines, the submission & test system mails back reports, and
+   the grading system computes the leaderboard — early-bird points, late
+   penalties, and the scalability bonus for the most efficient engines.
+
+   Run with: dune exec examples/course.exe *)
+
+module Config = Xqdb_core.Engine_config
+module Grading = Xqdb_testbed.Grading
+
+let teams =
+  (* The five Figure-7 engines as five teams, with different submission
+     discipline and exam performance. *)
+  [ Grading.submission ~exam_points:92 "koch-fans" Config.engine1;
+    Grading.submission ~exam_points:88 ~weeks_late:[| 0; 0; 0; 1 |] "tpm-crew" Config.engine2;
+    Grading.submission ~exam_points:71 "btree-boys" Config.engine3;
+    Grading.submission ~exam_points:64 ~weeks_late:[| 0; 1; 2; 0 |] "no-index" Config.engine4;
+    Grading.submission ~exam_points:49 "latecomers" Config.engine5 ]
+
+let () =
+  (* One team's notification e-mail, as the system sent it. *)
+  let report = Grading.test_submission ~scale:250 (List.hd teams) in
+  print_endline report.Grading.body;
+  (* The final leaderboard. *)
+  print_endline "==== final grades ====";
+  print_string (Grading.render (Grading.grade_course ~scale:250 teams))

@@ -1,0 +1,19 @@
+(* The Example 6 plan laboratory: build QP0, QP1 and QP2 by hand,
+   explain them, run them, and check the paper's ranking.
+
+   Run with: dune exec examples/plan_lab.exe *)
+
+module Plan_lab = Xqdb_testbed.Plan_lab
+
+let () =
+  Printf.printf "query: %s\n\n" Xqdb_testbed.Queries.example6;
+  let measurements = Plan_lab.run () in
+  print_string (Plan_lab.render measurements);
+  match measurements with
+  | [qp0; qp1; qp2] ->
+    assert (qp2.Plan_lab.page_ios <= qp1.Plan_lab.page_ios);
+    assert (qp1.Plan_lab.page_ios <= qp0.Plan_lab.page_ios);
+    assert (qp0.Plan_lab.rows = qp1.Plan_lab.rows && qp1.Plan_lab.rows = qp2.Plan_lab.rows);
+    Printf.printf "ranking checked: QP2 (%d) <= QP1 (%d) <= QP0 (%d) page I/Os\n"
+      qp2.Plan_lab.page_ios qp1.Plan_lab.page_ios qp0.Plan_lab.page_ios
+  | _ -> assert false

@@ -1,0 +1,1 @@
+lib/core/database.ml: Engine Engine_config Hashtbl List Printf String Xqdb_storage Xqdb_xasr Xqdb_xml

@@ -1,0 +1,1 @@
+lib/core/database.mli: Engine Engine_config Xqdb_xml Xqdb_xq

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Buffer Engine_config List Printf String Sys Xqdb_optimizer Xqdb_physical Xqdb_storage Xqdb_tpm Xqdb_xasr Xqdb_xml Xqdb_xq

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Engine_config Xqdb_storage Xqdb_xasr Xqdb_xml Xqdb_xq

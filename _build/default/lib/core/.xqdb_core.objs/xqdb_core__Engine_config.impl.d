@@ -1,0 +1,1 @@
+lib/core/engine_config.ml: Xqdb_optimizer Xqdb_tpm

@@ -1,0 +1,1 @@
+lib/core/engine_config.mli: Xqdb_optimizer Xqdb_tpm

@@ -1,0 +1,98 @@
+module Storage = Xqdb_storage
+module Store = Xqdb_xasr.Node_store
+module Shredder = Xqdb_xasr.Shredder
+
+type t = {
+  config : Engine_config.t;
+  disk : Storage.Disk.t;
+  pool : Storage.Buffer_pool.t;
+  catalog : Storage.Catalog.t;
+  engines : (string, Engine.t) Hashtbl.t;
+}
+
+let create ?(config = Engine_config.m4) ?on_file () =
+  let disk =
+    match on_file with
+    | None -> Storage.Disk.in_memory ()
+    | Some path -> Storage.Disk.on_file path
+  in
+  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
+  let catalog = Storage.Catalog.attach pool in
+  { config; disk; pool; catalog; engines = Hashtbl.create 8 }
+
+(* Document names are recovered from the catalog's ".stats" keys. *)
+let catalog_names catalog =
+  List.filter_map
+    (fun (key, _) ->
+      match String.rindex_opt key '.' with
+      | Some i when String.sub key i (String.length key - i) = ".stats" ->
+        Some (String.sub key 0 i)
+      | Some _ | None -> None)
+    (Storage.Catalog.entries catalog)
+
+let open_file ?(config = Engine_config.m4) path =
+  let disk = Storage.Disk.open_existing path in
+  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
+  let catalog = Storage.Catalog.attach pool in
+  let t = { config; disk; pool; catalog; engines = Hashtbl.create 8 } in
+  List.iter
+    (fun name ->
+      let store = Store.open_existing pool catalog ~name in
+      let doc_stats = Store.stats_of_catalog catalog ~name in
+      Hashtbl.replace t.engines name
+        (Engine.attach ~config ~disk ~pool ~catalog ~store ~doc_stats ()))
+    (catalog_names catalog);
+  t
+
+let config t = t.config
+
+let check_name t name =
+  if String.equal name "" then invalid_arg "Database: empty document name";
+  if String.contains name '.' then
+    invalid_arg "Database: document names cannot contain '.'";
+  if Hashtbl.mem t.engines name then
+    invalid_arg (Printf.sprintf "Database: document %S already loaded" name)
+
+let load_forest t ~name forest =
+  check_name t name;
+  let store, doc_stats = Shredder.shred_forest t.pool ~name forest in
+  Store.register store t.catalog ~stats:doc_stats;
+  let engine =
+    Engine.attach ~config:t.config ~disk:t.disk ~pool:t.pool ~catalog:t.catalog ~store
+      ~doc_stats ()
+  in
+  Hashtbl.replace t.engines name engine;
+  engine
+
+let load_document t ~name xml =
+  load_forest t ~name (Xqdb_xml.Xml_parser.parse_forest xml)
+
+let document_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.engines [] |> List.sort compare
+
+let engine ?config t ~name =
+  match Hashtbl.find_opt t.engines name with
+  | None -> raise Not_found
+  | Some e ->
+    (match config with
+     | None -> e
+     | Some c -> Engine.with_config c e)
+
+let drop_document t ~name =
+  if not (Hashtbl.mem t.engines name) then raise Not_found;
+  Hashtbl.remove t.engines name;
+  List.iter
+    (fun suffix -> Storage.Catalog.remove t.catalog (name ^ suffix))
+    [".primary"; ".label"; ".parent"; ".stats"];
+  Storage.Catalog.flush t.catalog
+
+let run ?max_page_ios ?max_seconds t ~name query =
+  Engine.run ?max_page_ios ?max_seconds (engine t ~name) query
+
+let flush t =
+  Storage.Catalog.flush t.catalog;
+  Storage.Buffer_pool.flush_all t.pool
+
+let close t =
+  flush t;
+  Storage.Disk.close t.disk

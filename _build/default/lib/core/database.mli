@@ -1,0 +1,57 @@
+(** Multi-document databases.
+
+    The course testbed worked against several documents (DBLP, its
+    excerpt, TREEBANK, a hand-made file).  A [Database.t] manages any
+    number of named documents inside one disk — each shredded into its
+    own XASR store with its own indexes and statistics, all registered
+    in the shared catalog — and can be closed and reopened from the
+    backing file.
+
+    Updates follow the paper's scope: documents are loaded and dropped
+    wholesale ("keep updates as simple as possible"); there is no
+    in-place node mutation, and no concurrency control or recovery. *)
+
+type t
+
+val create : ?config:Engine_config.t -> ?on_file:string -> unit -> t
+(** An empty database (in memory, or on a file). *)
+
+val open_file : ?config:Engine_config.t -> string -> t
+(** Reopen a database file created earlier with [create ~on_file] —
+    documents, indexes and statistics come back from the catalog.
+    @raise Failure if the file does not contain a catalog. *)
+
+val config : t -> Engine_config.t
+
+val load_document : t -> name:string -> string -> Engine.t
+(** Parse, shred and index a document under [name].
+    @raise Invalid_argument if the name is taken or contains ['.']. *)
+
+val load_forest : t -> name:string -> Xqdb_xml.Xml_tree.forest -> Engine.t
+
+val document_names : t -> string list
+(** Sorted. *)
+
+val engine : ?config:Engine_config.t -> t -> name:string -> Engine.t
+(** An engine over one document (optionally at a different milestone).
+    @raise Not_found for unknown names. *)
+
+val drop_document : t -> name:string -> unit
+(** Forget a document.  Its catalog entries are removed; its pages
+    become dead space (the storage manager has no free-space reuse —
+    bulk-load-and-query is the workload).
+    @raise Not_found for unknown names. *)
+
+val run :
+  ?max_page_ios:int ->
+  ?max_seconds:float ->
+  t ->
+  name:string ->
+  Xqdb_xq.Xq_ast.query ->
+  Engine.result
+
+val flush : t -> unit
+(** Write all dirty pages and the catalog back to the disk. *)
+
+val close : t -> unit
+(** [flush] and release the backing file. *)

@@ -1,0 +1,284 @@
+module Tree = Xqdb_xml.Xml_tree
+module Xml_doc = Xqdb_xml.Xml_doc
+module Xml_parser = Xqdb_xml.Xml_parser
+module Xml_print = Xqdb_xml.Xml_print
+module Xq_ast = Xqdb_xq.Xq_ast
+module Xq_parser = Xqdb_xq.Xq_parser
+module Xq_check = Xqdb_xq.Xq_check
+module Xq_eval = Xqdb_xq.Xq_eval
+module Storage = Xqdb_storage
+module Store = Xqdb_xasr.Node_store
+module Shredder = Xqdb_xasr.Shredder
+module Reconstruct = Xqdb_xasr.Reconstruct
+module Nav_eval = Xqdb_xasr.Nav_eval
+module Xasr = Xqdb_xasr.Xasr
+module A = Xqdb_tpm.Tpm_algebra
+module Rewrite = Xqdb_tpm.Rewrite
+module Merge = Xqdb_tpm.Merge
+module Tpm_print = Xqdb_tpm.Tpm_print
+module Op = Xqdb_physical.Phys_op
+module Tuple = Xqdb_physical.Tuple
+module Stats = Xqdb_optimizer.Stats
+module Planner = Xqdb_optimizer.Planner
+
+type t = {
+  config : Engine_config.t;
+  disk : Storage.Disk.t;
+  pool : Storage.Buffer_pool.t;
+  catalog : Storage.Catalog.t;
+  store : Store.t;
+  doc_stats : Xqdb_xasr.Doc_stats.t;
+  stats : Stats.t;
+  doc : Xml_doc.t;
+  root_out : int;
+}
+
+let load_forest ?(config = Engine_config.m4) forest =
+  let disk = Storage.Disk.in_memory () in
+  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
+  let catalog = Storage.Catalog.attach pool in
+  let store, doc_stats = Shredder.shred_forest pool ~name:"doc" forest in
+  Store.register store catalog ~stats:doc_stats;
+  let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
+  let doc = Xml_doc.of_forest forest in
+  let root_out = (Store.root_tuple store).Xasr.nout in
+  { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out }
+
+let load ?(config = Engine_config.m4) ?on_file xml =
+  let forest = Xml_parser.parse_forest xml in
+  match on_file with
+  | None -> load_forest ~config forest
+  | Some path ->
+    let disk = Storage.Disk.on_file path in
+    let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
+    let catalog = Storage.Catalog.attach pool in
+    let store, doc_stats = Shredder.shred_forest pool ~name:"doc" forest in
+    Store.register store catalog ~stats:doc_stats;
+    let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
+    let doc = Xml_doc.of_forest forest in
+    let root_out = (Store.root_tuple store).Xasr.nout in
+    { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out }
+
+let attach ?(config = Engine_config.m4) ~disk ~pool ~catalog ~store ~doc_stats () =
+  let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
+  let doc = Xml_doc.of_forest (Reconstruct.root_forest store) in
+  let root_out = (Store.root_tuple store).Xasr.nout in
+  { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out }
+
+let with_config config t =
+  { t with
+    config;
+    stats = Stats.make ~quality:config.Engine_config.quality t.store t.doc_stats }
+
+let config t = t.config
+let store t = t.store
+let doc_stats t = t.doc_stats
+let document t = t.doc
+
+(* --- compiled TPM ------------------------------------------------------- *)
+
+type compiled =
+  | CEmpty
+  | CText of string
+  | CConstr of string * compiled
+  | CSeq of compiled * compiled
+  | COut of Xq_ast.var
+  | CGuard of Xq_ast.cond * compiled
+  | CRelfor of {
+      bindings : A.binding list;
+      plan : Planner.t;
+      body : compiled;
+    }
+
+let rec compile_tpm t tpm =
+  match (tpm : A.t) with
+  | A.Empty -> CEmpty
+  | A.Text_out s -> CText s
+  | A.Constr (label, body) -> CConstr (label, compile_tpm t body)
+  | A.Seq (t1, t2) -> CSeq (compile_tpm t t1, compile_tpm t t2)
+  | A.Out_var x -> COut x
+  | A.Guard (c, body) -> CGuard (c, compile_tpm t body)
+  | A.Relfor r ->
+    let plan = Planner.plan t.config.Engine_config.planner t.stats r.A.source in
+    CRelfor { bindings = r.A.source.A.bindings; plan; body = compile_tpm t r.A.body }
+
+(* --- execution ---------------------------------------------------------- *)
+
+type env = (Xq_ast.var * (int * int)) list
+
+let lookup_env env x =
+  match List.assoc_opt x env with
+  | Some pair -> pair
+  | None -> invalid_arg (Printf.sprintf "Engine: unbound variable %s" (Xqdb_xq.Xq_print.var x))
+
+let as_int = function
+  | Tuple.I v -> v
+  | Tuple.S _ -> failwith "Engine: non-integer binding column"
+
+let out_of t budget nin =
+  ignore budget;
+  match Store.fetch t.store nin with
+  | Some tuple -> tuple.Xasr.nout
+  | None -> failwith "Engine: dangling binding"
+
+let output_of t env x =
+  let nin, _ = lookup_env env x in
+  if nin = 1 then Reconstruct.root_forest t.store
+  else [Reconstruct.subtree_by_in t.store nin]
+
+let guard_holds t budget env c =
+  (* Evaluate the residual condition navigationally, fetching tuples
+     only for the variables the condition actually mentions. *)
+  let needed = Xq_ast.root_var :: Xq_ast.cond_free_vars c in
+  let nav_env =
+    List.filter_map
+      (fun (v, (nin, _)) ->
+        if not (List.mem v needed) then None
+        else
+          match Store.fetch t.store nin with
+          | Some tuple -> Some (v, tuple)
+          | None -> None)
+      env
+  in
+  Nav_eval.eval_cond ?budget t.store nav_env c
+
+let rec exec t budget (env : env) compiled : Tree.forest =
+  match compiled with
+  | CEmpty -> []
+  | CText s -> [Tree.Text s]
+  | CConstr (label, body) -> [Tree.Elem (label, exec t budget env body)]
+  | CSeq (c1, c2) -> exec t budget env c1 @ exec t budget env c2
+  | COut x -> output_of t env x
+  | CGuard (c, body) -> if guard_holds t budget env c then exec t budget env body else []
+  | CRelfor { bindings; plan; body } ->
+    let ctx = Op.make_ctx ?budget t.store in
+    let op = Planner.instantiate ctx plan ~env:(lookup_env env) in
+    let carry = plan.Planner.config.Planner.carry_out in
+    let width = if carry then 2 else 1 in
+    if bindings = [] then begin
+      (* A nullary relfor is an existence test: its projection holds at
+         most the empty tuple, so the first result decides. *)
+      match op.Op.next () with
+      | Some _ -> exec t budget env body
+      | None -> []
+    end
+    else
+    let rec loop acc =
+      match op.Op.next () with
+      | None -> List.concat (List.rev acc)
+      | Some tuple ->
+        let env' =
+          List.concat
+            (List.mapi
+               (fun i (b : A.binding) ->
+                 let nin = as_int tuple.(i * width) in
+                 let nout =
+                   if carry then as_int tuple.((i * width) + 1) else out_of t budget nin
+                 in
+                 [(b.A.var, (nin, nout))])
+               bindings)
+          @ env
+        in
+        loop (exec t budget env' body :: acc)
+    in
+    loop []
+
+(* --- public entry points ------------------------------------------------ *)
+
+type status =
+  | Ok
+  | Budget_exceeded of string
+  | Error of string
+
+type result = {
+  output : string;
+  status : status;
+  elapsed : float;
+  page_ios : int;
+}
+
+let root_env t = [(Xq_ast.root_var, (1, t.root_out))]
+
+let eval_algebraic t ?budget query =
+  let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
+  let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
+  let compiled = compile_tpm t tpm in
+  exec t budget (root_env t) compiled
+
+let eval_with_budget t ?budget query =
+  match t.config.Engine_config.milestone with
+  | Engine_config.M1 -> Xq_eval.eval t.doc query
+  | Engine_config.M2 -> Nav_eval.eval ?budget t.store query
+  | Engine_config.M3 | Engine_config.M4 -> eval_algebraic t ?budget query
+
+let eval t query = eval_with_budget t query
+
+let ios t =
+  let c = Storage.Disk.counters t.disk in
+  c.Storage.Disk.reads + c.Storage.Disk.writes
+
+let measured t thunk =
+  let before = ios t in
+  let start = Sys.time () in
+  let status, output =
+    match thunk () with
+    | forest -> (Ok, Xml_print.forest_to_string forest)
+    | exception Storage.Budget.Exhausted msg -> (Budget_exceeded msg, "")
+    | exception Xq_eval.Type_error msg -> (Error msg, "")
+  in
+  { output; status; elapsed = Sys.time () -. start; page_ios = ios t - before }
+
+let run ?max_page_ios ?max_seconds t query =
+  Xq_check.check_exn query;
+  let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
+  measured t (fun () -> eval_with_budget t ~budget query)
+
+type prepared =
+  | P_direct of Xq_ast.query  (* milestones 1 and 2 have no compile step *)
+  | P_compiled of compiled
+
+let prepare t query =
+  Xq_check.check_exn query;
+  match t.config.Engine_config.milestone with
+  | Engine_config.M1 | Engine_config.M2 -> P_direct query
+  | Engine_config.M3 | Engine_config.M4 ->
+    let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
+    let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
+    P_compiled (compile_tpm t tpm)
+
+let run_prepared ?max_page_ios ?max_seconds t prepared =
+  let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
+  match prepared with
+  | P_direct query -> measured t (fun () -> eval_with_budget t ~budget query)
+  | P_compiled compiled -> measured t (fun () -> exec t (Some budget) (root_env t) compiled)
+
+let run_string ?max_page_ios ?max_seconds t input =
+  run ?max_page_ios ?max_seconds t (Xq_parser.parse input)
+
+let explain t query =
+  match t.config.Engine_config.milestone with
+  | Engine_config.M1 -> "milestone 1: in-memory denotational evaluation"
+  | Engine_config.M2 -> "milestone 2: navigational evaluation over the XASR store"
+  | Engine_config.M3 | Engine_config.M4 ->
+    let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
+    let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Tpm_print.to_string tpm);
+    Buffer.add_string buf "\n";
+    let rec walk (e : A.t) =
+      match e with
+      | A.Empty | A.Text_out _ | A.Out_var _ -> ()
+      | A.Constr (_, body) | A.Guard (_, body) -> walk body
+      | A.Seq (t1, t2) ->
+        walk t1;
+        walk t2
+      | A.Relfor r ->
+        let plan = Planner.plan t.config.Engine_config.planner t.stats r.A.source in
+        Buffer.add_string buf
+          (Printf.sprintf "\nplan for relfor (%s):\n%s\n"
+             (String.concat ", " (List.map Xqdb_xq.Xq_print.var r.A.vars))
+             (Planner.to_string plan));
+        walk r.A.body
+    in
+    walk tpm;
+    Buffer.contents buf

@@ -1,0 +1,88 @@
+module Rewrite = Xqdb_tpm.Rewrite
+module Planner = Xqdb_optimizer.Planner
+module Stats = Xqdb_optimizer.Stats
+
+type milestone =
+  | M1
+  | M2
+  | M3
+  | M4
+
+type t = {
+  name : string;
+  milestone : milestone;
+  merge_relfors : bool;
+  rewrite : Rewrite.config;
+  planner : Planner.config;
+  quality : Stats.quality;
+  pool_capacity : int;
+}
+
+let milestone_name = function
+  | M1 -> "milestone 1 (in-memory)"
+  | M2 -> "milestone 2 (navigational)"
+  | M3 -> "milestone 3 (algebraic)"
+  | M4 -> "milestone 4 (cost-based)"
+
+let default_pool = 256
+
+let m1 =
+  { name = "m1";
+    milestone = M1;
+    merge_relfors = false;
+    rewrite = Rewrite.default;
+    planner = Planner.m3_config;
+    quality = Stats.Good;
+    pool_capacity = default_pool }
+
+let m2 = { m1 with name = "m2"; milestone = M2 }
+
+let m3 =
+  { m1 with
+    name = "m3";
+    milestone = M3;
+    merge_relfors = true;
+    planner = Planner.m3_config }
+
+let m4 =
+  { m1 with
+    name = "m4";
+    milestone = M4;
+    merge_relfors = true;
+    planner = Planner.m4_config }
+
+let efficiency_pool = 48
+
+let engine1 =
+  { m4 with
+    name = "engine-1";
+    pool_capacity = efficiency_pool;
+    planner = { Planner.m4_config with materialize = `Disk } }
+
+let engine2 =
+  { m4 with
+    name = "engine-2";
+    pool_capacity = efficiency_pool;
+    quality = Stats.Unlucky;
+    planner = { Planner.m4_config with materialize = `Mem } }
+
+let engine3 =
+  { m4 with
+    name = "engine-3";
+    pool_capacity = efficiency_pool;
+    planner = { Planner.m4_config with cost_based = false; materialize = `Disk } }
+
+let engine4 =
+  { m4 with
+    name = "engine-4";
+    pool_capacity = efficiency_pool;
+    planner = { Planner.m4_config with use_indexes = false; materialize = `Disk } }
+
+let engine5 =
+  { m3 with
+    name = "engine-5";
+    pool_capacity = efficiency_pool;
+    milestone = M3 }
+
+let figure7_engines = [engine1; engine2; engine3; engine4; engine5]
+let all_presets = [m1; m2; m3; m4] @ figure7_engines

@@ -1,0 +1,1 @@
+lib/optimizer/planner.ml: Float Format List Printf Stats String Xqdb_physical Xqdb_tpm Xqdb_xasr Xqdb_xq

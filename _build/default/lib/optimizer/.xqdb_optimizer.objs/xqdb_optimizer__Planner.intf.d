@@ -1,0 +1,1 @@
+lib/optimizer/planner.mli: Format Stats Xqdb_physical Xqdb_tpm Xqdb_xasr Xqdb_xq

@@ -1,0 +1,1 @@
+lib/optimizer/stats.ml: Float List Xqdb_xasr

@@ -1,0 +1,1 @@
+lib/optimizer/stats.mli: Xqdb_xasr

@@ -1,0 +1,100 @@
+(** The query planner (milestones 3 and 4).
+
+    Compiles one PSX expression into a left-deep physical plan template;
+    the template is instantiated per outer-variable environment (outer
+    relfor bindings are runtime constants in the algebra, as in the
+    paper's semantics of [[alpha]]n).
+
+    Milestone 3 mode ([cost_based = false], [use_indexes = false]) mirrors
+    the query structure: binding relations in binding order, then the
+    existential relations, all joined with order-preserving nested-loop
+    joins, selections pushed down to the scans, every intermediate
+    optionally written to disk.
+
+    Milestone 4 mode enumerates join orders, chooses between full scans
+    and index-based selections, between nested-loop and index nested-loop
+    joins (parent, descendant-interval and primary probes), pushes
+    projections down to form semijoins where an existential relation's
+    columns are dead (Example 6's QP2), and ranks plans with the
+    statistics-based cost model.
+
+    Ordering strategies close the milestone-3 discussion:
+    - [`Preserve]: only order-valid plans (projection attributes come
+      from a prefix of the join order; existential relations in the
+      middle are semijoined away), duplicates removed in one pass;
+    - [`Mem_sort] / [`Ext_sort]: any join order, sort at the end
+      (approach (a));
+    - [`Btree_sort]: any join order, sort by inserting into a scratch
+      clustered B-tree (the students' workaround, approach (c)). *)
+
+module A := Xqdb_tpm.Tpm_algebra
+
+type order_strategy =
+  [ `Preserve
+  | `Mem_sort
+  | `Ext_sort
+  | `Btree_sort ]
+
+type config = {
+  use_indexes : bool;
+  cost_based : bool;
+  order : order_strategy;
+  materialize : [`Disk | `Mem];
+      (** [`Disk]: milestone 3's write-every-intermediate mode *)
+  carry_out : bool;  (** vartuples carry out values *)
+}
+
+val m3_config : config
+(** Structural order, NL joins only, intermediates on disk. *)
+
+val m4_config : config
+(** Cost-based, indexes, pipelined, order-preserving. *)
+
+type join_kind =
+  | First  (** access path from the unit relation *)
+  | Nl of A.pred list
+  | Inl_child of A.operand
+  | Inl_desc of A.operand * A.operand
+  | Inl_pk of A.operand
+
+type step = {
+  alias : string;
+  access : access;
+  join : join_kind;
+  local : A.pred list;  (** inner-side predicates *)
+  residual : A.pred list;  (** join predicates checked on the combined schema *)
+  semijoin_keep : A.col list option;
+  est_card : float;  (** estimated cardinality after this step *)
+  est_cost : float;  (** cumulative estimated page I/Os *)
+}
+
+and access =
+  | Full_scan
+  | Label_scan of Xqdb_xasr.Xasr.node_type * string
+
+type t = {
+  config : config;
+  steps : step list;
+  sort_cols : A.col list;
+  out_cols : A.col list;
+  est_cost : float;
+  est_card : float;
+  provably_empty : bool;
+      (** exact (Good-quality) statistics show a label count of zero, so
+          the plan is compiled to the empty operator — the shortcut
+          behind the instant non-existent-label runs of Figure 7 *)
+}
+
+val plan : config -> Stats.t -> A.psx -> t
+
+val plan_with_order : config -> Stats.t -> A.psx -> string list -> t
+(** Force a relation order (must be a permutation of the PSX aliases);
+    used by the Example 6 plan laboratory to build QP0/QP1/QP2. *)
+
+type env = Xqdb_xq.Xq_ast.var -> int * int
+(** Outer bindings: variable to (in, out). *)
+
+val instantiate : Xqdb_physical.Phys_op.ctx -> t -> env:env -> Xqdb_physical.Phys_op.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,66 @@
+module Doc_stats = Xqdb_xasr.Doc_stats
+module Store = Xqdb_xasr.Node_store
+
+type quality =
+  | Good
+  | Unlucky
+
+type t = {
+  doc : Doc_stats.t;
+  quality : quality;
+  tuples_per_page : float;
+  primary_height : float;
+  primary_leaf_pages : float;
+  label_height : float;
+  parent_height : float;
+}
+
+let make ?(quality = Good) store doc =
+  let count = float_of_int (max 1 (Store.tuple_count store)) in
+  let leaf_pages = float_of_int (max 1 (Store.primary_leaf_pages store)) in
+  { doc;
+    quality;
+    tuples_per_page = count /. leaf_pages;
+    primary_height = float_of_int (Store.primary_height store);
+    primary_leaf_pages = leaf_pages;
+    label_height = float_of_int (Store.label_index_height store);
+    parent_height = float_of_int (Store.parent_index_height store) }
+
+let quality t = t.quality
+let node_count t = float_of_int (max 1 t.doc.Doc_stats.node_count)
+let elem_count t = float_of_int (max 1 t.doc.Doc_stats.elem_count)
+let text_count t = float_of_int (max 1 t.doc.Doc_stats.text_count)
+
+let label_card t label =
+  match t.quality with
+  | Good -> float_of_int (Doc_stats.label_count t.doc label)
+  | Unlucky ->
+    (* The classic reciprocal bug: the estimator effectively inverts
+       label frequencies, so rare labels look common and common labels
+       look rare.  A uniform average anchors the scale. *)
+    let distinct = max 1 (List.length t.doc.Doc_stats.label_counts) in
+    let uniform = elem_count t /. float_of_int distinct in
+    let real = Float.max 1.0 (float_of_int (Doc_stats.label_count t.doc label)) in
+    Float.min (elem_count t) (uniform *. uniform /. real)
+
+let text_value_card t _value =
+  match t.quality with
+  | Good -> max 1.0 (0.01 *. text_count t)
+  | Unlucky -> 0.5 *. text_count t
+
+let avg_depth t =
+  match t.quality with
+  | Good -> max 1.0 (Doc_stats.avg_depth t.doc)
+  | Unlucky -> 2.0
+
+let avg_fanout t =
+  (* Children exist under elements and the root. *)
+  (node_count t -. 1.0) /. max 1.0 (elem_count t +. 1.0)
+
+let tuples_per_page t = t.tuples_per_page
+let primary_height t = t.primary_height
+let primary_leaf_pages t = t.primary_leaf_pages
+let label_height t = t.label_height
+let parent_height t = t.parent_height
+
+let pages_of_tuples t card = Float.max 1.0 (Float.ceil (card /. t.tuples_per_page))

@@ -1,0 +1,40 @@
+(** Estimation-facing statistics (milestone 4).
+
+    Wraps the per-document {!Xqdb_xasr.Doc_stats} with the physical shape
+    of the stores (index heights, leaf pages) and an {e estimate quality}
+    knob.  [Good] consults the real statistics.  [Unlucky] models the
+    paper's second engine — "due to unlucky estimates, the second engine
+    decided for an unoptimal query plan" — by assuming uniform label
+    frequencies and a canned tree depth, which inverts the ranking of
+    joins with very different selectivities. *)
+
+type quality =
+  | Good
+  | Unlucky
+
+type t
+
+val make : ?quality:quality -> Xqdb_xasr.Node_store.t -> Xqdb_xasr.Doc_stats.t -> t
+
+val quality : t -> quality
+val node_count : t -> float
+val elem_count : t -> float
+val text_count : t -> float
+
+val label_card : t -> string -> float
+(** Estimated number of elements with this label. *)
+
+val text_value_card : t -> string -> float
+(** Estimated number of text nodes with exactly this value. *)
+
+val avg_depth : t -> float
+val avg_fanout : t -> float
+
+val tuples_per_page : t -> float
+val primary_height : t -> float
+val primary_leaf_pages : t -> float
+val label_height : t -> float
+val parent_height : t -> float
+
+val pages_of_tuples : t -> float -> float
+(** Pages needed to hold this many XASR-sized tuples. *)

@@ -1,0 +1,1 @@
+lib/physical/phys_op.ml: Array Buffer Format Hashtbl List Printf String Tuple Xqdb_storage Xqdb_tpm Xqdb_xasr

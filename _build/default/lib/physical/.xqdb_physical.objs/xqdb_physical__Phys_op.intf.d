@@ -1,0 +1,1 @@
+lib/physical/phys_op.mli: Format Tuple Xqdb_storage Xqdb_tpm Xqdb_xasr

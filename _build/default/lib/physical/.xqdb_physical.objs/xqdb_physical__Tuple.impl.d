@@ -1,0 +1,1 @@
+lib/physical/tuple.ml: Array Buffer Bytes Format Fun Int List Printf String Xqdb_storage Xqdb_tpm Xqdb_xasr Xqdb_xq

@@ -1,0 +1,1 @@
+lib/physical/tuple.mli: Format Xqdb_tpm Xqdb_xasr Xqdb_xq

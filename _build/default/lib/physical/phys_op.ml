@@ -1,0 +1,656 @@
+module A = Xqdb_tpm.Tpm_algebra
+module Store = Xqdb_xasr.Node_store
+module Budget = Xqdb_storage.Budget
+
+type ctx = {
+  store : Store.t;
+  pool : Xqdb_storage.Buffer_pool.t;
+  budget : Budget.t option;
+}
+
+let make_ctx ?budget store = { store; pool = Store.pool store; budget }
+
+let tick ctx =
+  match ctx.budget with
+  | None -> ()
+  | Some b -> Budget.check b
+
+type info = {
+  name : string;
+  detail : string;
+  children : info list;
+}
+
+type t = {
+  schema : Tuple.schema;
+  next : unit -> Tuple.t option;
+  reset : unit -> unit;
+  info : info;
+}
+
+let rec pp_info ppf i =
+  if String.equal i.detail "" then Format.fprintf ppf "@[<v 2>%s" i.name
+  else Format.fprintf ppf "@[<v 2>%s [%s]" i.name i.detail;
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_info c) i.children;
+  Format.fprintf ppf "@]"
+
+let info_to_string i = Format.asprintf "%a" pp_info i
+
+let drain op =
+  op.reset ();
+  let rec go acc =
+    match op.next () with
+    | None -> List.rev acc
+    | Some tuple -> go (tuple :: acc)
+  in
+  go []
+
+let count op =
+  op.reset ();
+  let rec go n = if op.next () = None then n else go (n + 1) in
+  go 0
+
+let preds_detail preds =
+  String.concat " ∧ " (List.map Xqdb_tpm.Tpm_print.pred_to_string preds)
+
+(* --- access paths ------------------------------------------------------ *)
+
+let cursor_op ~schema ~info ~make_cursor =
+  let cursor = ref (make_cursor ()) in
+  { schema;
+    next = (fun () -> !cursor ());
+    reset = (fun () -> cursor := make_cursor ());
+    info }
+
+let full_scan ctx alias ~preds =
+  let schema = Tuple.xasr_schema alias in
+  let keep = Tuple.compile_preds schema preds in
+  let make_cursor () =
+    let scan = Store.scan_all ctx.store in
+    let rec pull () =
+      tick ctx;
+      match scan () with
+      | None -> None
+      | Some xt ->
+        let tuple = Tuple.of_xasr xt in
+        if keep tuple then Some tuple else pull ()
+    in
+    pull
+  in
+  cursor_op ~schema
+    ~info:{ name = Printf.sprintf "scan XASR[%s]" alias; detail = preds_detail preds; children = [] }
+    ~make_cursor
+
+let label_scan ctx alias ~ntype ~value ~preds =
+  let schema = Tuple.xasr_schema alias in
+  let keep = Tuple.compile_preds schema preds in
+  let make_cursor () =
+    let ins = Store.label_ins ctx.store ntype value in
+    let rec pull () =
+      tick ctx;
+      match ins () with
+      | None -> None
+      | Some nin ->
+        (match Store.fetch ctx.store nin with
+         | None -> failwith "Phys_op.label_scan: dangling label-index entry"
+         | Some xt ->
+           let tuple = Tuple.of_xasr xt in
+           if keep tuple then Some tuple else pull ())
+    in
+    pull
+  in
+  cursor_op ~schema
+    ~info:
+      { name = Printf.sprintf "idx-scan XASR[%s]" alias;
+        detail =
+          Printf.sprintf "label(%s, %s)%s" (Xqdb_xasr.Xasr.node_type_name ntype) value
+            (if preds = [] then "" else "; " ^ preds_detail preds);
+        children = [] }
+    ~make_cursor
+
+let empty schema =
+  { schema;
+    next = (fun () -> None);
+    reset = (fun () -> ());
+    info = { name = "empty"; detail = "provably empty"; children = [] } }
+
+let singleton schema tuple =
+  let produced = ref false in
+  { schema;
+    next =
+      (fun () ->
+        if !produced then None
+        else begin
+          produced := true;
+          Some tuple
+        end);
+    reset = (fun () -> produced := false);
+    info = { name = "unit"; detail = ""; children = [] } }
+
+(* --- joins ------------------------------------------------------------- *)
+
+type probe =
+  | Probe_child of A.operand
+  | Probe_desc of A.operand * A.operand
+  | Probe_pk of A.operand
+
+let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
+  let schema = left.schema @ right.schema in
+  let keep = Tuple.compile_preds schema preds in
+  (* Inner-side cache. *)
+  let inner_next, inner_rewind, cache_detail =
+    match materialize_inner with
+    | `None ->
+      ((fun () -> right.next ()), (fun () -> right.reset ()), "recompute")
+    | `Mem ->
+      let cache = ref None in
+      let pos = ref [] in
+      let fill () =
+        match !cache with
+        | Some c -> c
+        | None ->
+          let c = drain right in
+          cache := Some c;
+          c
+      in
+      let next () =
+        match !pos with
+        | [] -> None
+        | tuple :: rest ->
+          pos := rest;
+          Some tuple
+      in
+      (next, (fun () -> pos := fill ()), "inner in memory")
+    | `Disk ->
+      let spool = ref None in
+      let cursor = ref (fun () -> None) in
+      let fill () =
+        match !spool with
+        | Some hf -> hf
+        | None ->
+          let hf = Xqdb_storage.Heap_file.create ctx.pool in
+          right.reset ();
+          let rec go () =
+            match right.next () with
+            | None -> ()
+            | Some tuple ->
+              ignore (Xqdb_storage.Heap_file.append hf (Tuple.encode tuple));
+              go ()
+          in
+          go ();
+          spool := Some hf;
+          hf
+      in
+      let next () =
+        match !cursor () with
+        | None -> None
+        | Some data -> Some (Tuple.decode data)
+      in
+      (next, (fun () -> cursor := Xqdb_storage.Heap_file.scan (fill ())), "inner on disk")
+  in
+  let current_left = ref None in
+  let next () =
+    let rec step () =
+      tick ctx;
+      match !current_left with
+      | None ->
+        (match left.next () with
+         | None -> None
+         | Some l ->
+           current_left := Some l;
+           inner_rewind ();
+           step ())
+      | Some l ->
+        (match inner_next () with
+         | None ->
+           current_left := None;
+           step ()
+         | Some r ->
+           let tuple = Tuple.concat l r in
+           if keep tuple then begin
+             (* Semijoin mode: one match per outer tuple suffices. *)
+             if semi then current_left := None;
+             Some tuple
+           end
+           else step ())
+    in
+    step ()
+  in
+  let reset () =
+    left.reset ();
+    current_left := None
+  in
+  { schema;
+    next;
+    reset;
+    info =
+      { name = (if preds = [] then (if semi then "semi-product" else "product")
+                else if semi then "semi-nl-join"
+                else "nl-join");
+        detail =
+          (if preds = [] then cache_detail else preds_detail preds ^ "; " ^ cache_detail);
+        children = [left.info; right.info] } }
+
+let bnl_join ?(block_size = 64) ~preds left right ctx =
+  if block_size < 1 then invalid_arg "Phys_op.bnl_join: block_size must be positive";
+  let schema = left.schema @ right.schema in
+  let keep = Tuple.compile_preds schema preds in
+  (* The inner is spooled once; each block replays it. *)
+  let inner = ref None in
+  let fill_inner () =
+    match !inner with
+    | Some tuples -> tuples
+    | None ->
+      let tuples = drain right in
+      inner := Some tuples;
+      tuples
+  in
+  let block = ref [||] in
+  let remaining_inner = ref [] in
+  let block_pos = ref 0 in
+  let exhausted = ref false in
+  let refill_block () =
+    let buf = ref [] in
+    let rec take n =
+      if n > 0 then
+        match left.next () with
+        | None -> ()
+        | Some l ->
+          buf := l :: !buf;
+          take (n - 1)
+    in
+    take block_size;
+    block := Array.of_list (List.rev !buf);
+    if Array.length !block = 0 then exhausted := true
+    else begin
+      remaining_inner := fill_inner ();
+      block_pos := 0
+    end
+  in
+  let rec next () =
+    tick ctx;
+    if !exhausted then None
+    else if Array.length !block = 0 then begin
+      refill_block ();
+      next ()
+    end
+    else
+      match !remaining_inner with
+      | [] ->
+        (* Block done: fetch the next block of outer tuples. *)
+        block := [||];
+        refill_block ();
+        next ()
+      | r :: rest ->
+        if !block_pos >= Array.length !block then begin
+          remaining_inner := rest;
+          block_pos := 0;
+          next ()
+        end
+        else begin
+          let l = (!block).(!block_pos) in
+          incr block_pos;
+          let tuple = Tuple.concat l r in
+          if keep tuple then Some tuple else next ()
+        end
+  in
+  let reset () =
+    left.reset ();
+    block := [||];
+    remaining_inner := [];
+    block_pos := 0;
+    exhausted := false
+  in
+  { schema;
+    next;
+    reset;
+    info =
+      { name = (if preds = [] then "bnl-product" else "bnl-join");
+        detail =
+          (if preds = [] then Printf.sprintf "block %d" block_size
+           else preds_detail preds ^ Printf.sprintf "; block %d" block_size);
+        children = [left.info; right.info] } }
+
+let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
+  let inner_schema = Tuple.xasr_schema alias in
+  let schema = left.schema @ inner_schema in
+  let keep_inner = Tuple.compile_preds inner_schema preds in
+  let keep_residual = Tuple.compile_preds schema residual in
+  let as_int = function
+    | Tuple.I v -> v
+    | Tuple.S s -> invalid_arg (Printf.sprintf "inl_join: non-integer probe value %S" s)
+  in
+  let make_probe =
+    match probe with
+    | Probe_child op ->
+      let v = Tuple.compile_operand left.schema op in
+      fun l ->
+        let ins = Store.children_ins ctx.store (as_int (v l)) in
+        let pull () =
+          match ins () with
+          | None -> None
+          | Some nin ->
+            (match Store.fetch ctx.store nin with
+             | None -> failwith "inl_join: dangling parent-index entry"
+             | Some xt -> Some xt)
+        in
+        pull
+    | Probe_desc (in_op, out_op) ->
+      let vin = Tuple.compile_operand left.schema in_op in
+      let vout = Tuple.compile_operand left.schema out_op in
+      fun l -> Store.scan_in_range ctx.store ~lo:(as_int (vin l) + 1) ~hi:(as_int (vout l) - 1)
+    | Probe_pk op ->
+      let v = Tuple.compile_operand left.schema op in
+      fun l ->
+        let fetched = ref false in
+        fun () ->
+          if !fetched then None
+          else begin
+            fetched := true;
+            Store.fetch ctx.store (as_int (v l))
+          end
+  in
+  let current = ref None in
+  let next () =
+    let rec step () =
+      tick ctx;
+      match !current with
+      | None ->
+        (match left.next () with
+         | None -> None
+         | Some l ->
+           current := Some (l, make_probe l);
+           step ())
+      | Some (l, cursor) ->
+        (match cursor () with
+         | None ->
+           current := None;
+           step ()
+         | Some xt ->
+           let inner = Tuple.of_xasr xt in
+           if keep_inner inner then begin
+             let tuple = Tuple.concat l inner in
+             if keep_residual tuple then begin
+               if semi then current := None;
+               Some tuple
+             end
+             else step ()
+           end
+           else step ())
+    in
+    step ()
+  in
+  let reset () =
+    left.reset ();
+    current := None
+  in
+  let probe_detail =
+    match probe with
+    | Probe_child op -> Printf.sprintf "%s.parent_in = %s" alias (Xqdb_tpm.Tpm_print.operand_to_string op)
+    | Probe_desc (i, o) ->
+      Printf.sprintf "%s.in in (%s, %s)" alias (Xqdb_tpm.Tpm_print.operand_to_string i)
+        (Xqdb_tpm.Tpm_print.operand_to_string o)
+    | Probe_pk op -> Printf.sprintf "%s.in = %s" alias (Xqdb_tpm.Tpm_print.operand_to_string op)
+  in
+  { schema;
+    next;
+    reset;
+    info =
+      { name = (if semi then "semi-inl-join" else "inl-join");
+        detail =
+          probe_detail
+          ^ (if preds = [] then "" else "; " ^ preds_detail preds)
+          ^ (if residual = [] then "" else "; residual " ^ preds_detail residual);
+        children = [left.info] } }
+
+(* --- filter, project, sort, materialize -------------------------------- *)
+
+let filter ~preds child =
+  let keep = Tuple.compile_preds child.schema preds in
+  let rec next () =
+    match child.next () with
+    | None -> None
+    | Some tuple -> if keep tuple then Some tuple else next ()
+  in
+  { schema = child.schema;
+    next;
+    reset = child.reset;
+    info = { name = "filter"; detail = preds_detail preds; children = [child.info] } }
+
+let tuples_equal t1 t2 = Array.for_all2 Tuple.value_equal t1 t2
+
+let project ~cols ~dedup child =
+  let positions = Array.of_list (List.map (Tuple.position child.schema) cols) in
+  let dedup_name, fresh_state =
+    match dedup with
+    | `No -> ("", fun () -> fun _ -> true)
+    | `Adjacent ->
+      ( "dedup:adjacent",
+        fun () ->
+          let prev = ref None in
+          fun tuple ->
+            match !prev with
+            | Some p when tuples_equal p tuple -> false
+            | Some _ | None ->
+              prev := Some tuple;
+              true )
+    | `Hash ->
+      ( "dedup:hash",
+        fun () ->
+          let seen = Hashtbl.create 256 in
+          fun tuple ->
+            let key = Tuple.encode tuple in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.replace seen key ();
+              true
+            end )
+  in
+  let accept = ref (fresh_state ()) in
+  let rec next () =
+    match child.next () with
+    | None -> None
+    | Some tuple ->
+      let projected = Tuple.project positions tuple in
+      if !accept projected then Some projected else next ()
+  in
+  { schema = cols;
+    next;
+    reset =
+      (fun () ->
+        child.reset ();
+        accept := fresh_state ());
+    info =
+      { name = "project";
+        detail =
+          String.concat ", "
+            (List.map (fun c -> Printf.sprintf "%s.%s" c.A.rel (A.field_name c.A.field)) cols)
+          ^ (if String.equal dedup_name "" then "" else "; " ^ dedup_name);
+        children = [child.info] } }
+
+let key_positions schema key_cols =
+  Array.of_list (List.map (Tuple.position schema) key_cols)
+
+let compare_on positions t1 t2 =
+  let rec go i =
+    if i >= Array.length positions then 0
+    else begin
+      let c = Tuple.value_compare t1.(positions.(i)) t2.(positions.(i)) in
+      if c <> 0 then c else go (i + 1)
+    end
+  in
+  go 0
+
+let replay_op ~schema ~info ~fill =
+  (* Materialize-on-first-use operator over a list-producing fill. *)
+  let cache = ref None in
+  let pos = ref None in
+  let ensure () =
+    match !cache with
+    | Some c -> c
+    | None ->
+      let c = fill () in
+      cache := Some c;
+      c
+  in
+  { schema;
+    next =
+      (fun () ->
+        let items = match !pos with
+          | Some items -> items
+          | None -> ensure ()
+        in
+        match items with
+        | [] ->
+          pos := Some [];
+          None
+        | tuple :: rest ->
+          pos := Some rest;
+          Some tuple);
+    reset = (fun () -> pos := None);
+    info }
+
+let sort ?(dedup = false) ~mode ~key_cols child ctx =
+  let positions = key_positions child.schema key_cols in
+  let dedup_pass tuples =
+    if not dedup then tuples
+    else begin
+      let rec go prev = function
+        | [] -> []
+        | t :: rest ->
+          (match prev with
+           | Some p when compare_on positions p t = 0 -> go prev rest
+           | Some _ | None -> t :: go (Some t) rest)
+      in
+      go None tuples
+    end
+  in
+  let fill_mem () =
+    dedup_pass (List.stable_sort (compare_on positions) (drain child))
+  in
+  let fill_external () =
+    let compare_records a b =
+      Xqdb_storage.Bytes_codec.compare_bytes (Tuple.key_of_encoded a) (Tuple.key_of_encoded b)
+    in
+    let sorter = Xqdb_storage.Ext_sort.create ctx.pool ~compare:compare_records in
+    child.reset ();
+    let rec feed () =
+      match child.next () with
+      | None -> ()
+      | Some tuple ->
+        Xqdb_storage.Ext_sort.feed sorter (Tuple.encode_with_key ~key_positions:positions tuple);
+        feed ()
+    in
+    feed ();
+    let cursor = Xqdb_storage.Ext_sort.sorted_cursor sorter in
+    let rec collect acc =
+      tick ctx;
+      match cursor () with
+      | None -> List.rev acc
+      | Some record -> collect (snd (Tuple.decode_keyed record) :: acc)
+    in
+    dedup_pass (collect [])
+  in
+  let fill = match mode with
+    | `In_mem -> fill_mem
+    | `External -> fill_external
+  in
+  replay_op ~schema:child.schema
+    ~info:
+      { name = (match mode with `In_mem -> "sort" | `External -> "ext-sort");
+        detail =
+          String.concat ", "
+            (List.map (fun c -> Printf.sprintf "%s.%s" c.A.rel (A.field_name c.A.field)) key_cols)
+          ^ (if dedup then "; dedup" else "");
+        children = [child.info] }
+    ~fill
+
+let btree_sort ?(dedup = true) ~key_cols child ctx =
+  let positions = key_positions child.schema key_cols in
+  let fill () =
+    let bt = Xqdb_storage.Btree.create ctx.pool in
+    child.reset ();
+    let seq = ref 0 in
+    let rec feed () =
+      tick ctx;
+      match child.next () with
+      | None -> ()
+      | Some tuple ->
+        let key =
+          if dedup then Tuple.key_of_encoded (Tuple.encode_with_key ~key_positions:positions tuple)
+          else begin
+            (* Non-dedup mode appends a sequence number as tiebreak. *)
+            incr seq;
+            let buf = Buffer.create 48 in
+            Buffer.add_bytes buf
+              (Tuple.key_of_encoded (Tuple.encode_with_key ~key_positions:positions tuple));
+            Xqdb_storage.Bytes_codec.key_int buf !seq;
+            Buffer.to_bytes buf
+          end
+        in
+        Xqdb_storage.Btree.insert bt ~key ~value:(Tuple.encode tuple);
+        feed ()
+    in
+    feed ();
+    let cursor = Xqdb_storage.Btree.scan_range bt in
+    let rec collect acc =
+      tick ctx;
+      match cursor () with
+      | None -> List.rev acc
+      | Some (_, value) -> collect (Tuple.decode value :: acc)
+    in
+    collect []
+  in
+  replay_op ~schema:child.schema
+    ~info:
+      { name = "btree-sort";
+        detail =
+          String.concat ", "
+            (List.map (fun c -> Printf.sprintf "%s.%s" c.A.rel (A.field_name c.A.field)) key_cols)
+          ^ (if dedup then "; dedup" else "");
+        children = [child.info] }
+    ~fill
+
+let materialize where child ctx =
+  match where with
+  | `Mem ->
+    replay_op ~schema:child.schema
+      ~info:{ name = "materialize"; detail = "memory"; children = [child.info] }
+      ~fill:(fun () -> drain child)
+  | `Disk ->
+    let spool = ref None in
+    let cursor = ref (fun () -> None) in
+    let fill () =
+      match !spool with
+      | Some hf -> hf
+      | None ->
+        let hf = Xqdb_storage.Heap_file.create ctx.pool in
+        child.reset ();
+        let rec go () =
+          tick ctx;
+          match child.next () with
+          | None -> ()
+          | Some tuple ->
+            ignore (Xqdb_storage.Heap_file.append hf (Tuple.encode tuple));
+            go ()
+        in
+        go ();
+        spool := Some hf;
+        hf
+    in
+    let started = ref false in
+    { schema = child.schema;
+      next =
+        (fun () ->
+          if not !started then begin
+            started := true;
+            cursor := Xqdb_storage.Heap_file.scan (fill ())
+          end;
+          match !cursor () with
+          | None -> None
+          | Some data -> Some (Tuple.decode data));
+      reset =
+        (fun () ->
+          started := true;
+          cursor := Xqdb_storage.Heap_file.scan (fill ()));
+      info = { name = "materialize"; detail = "disk"; children = [child.info] } }

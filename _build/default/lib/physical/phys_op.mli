@@ -1,0 +1,144 @@
+(** Physical operators (milestones 3 and 4).
+
+    Volcano-style pull iterators.  Logical TPM/PSX expressions are
+    compiled into trees of these by the planner; the key physical choices
+    of the paper appear as distinct constructors:
+
+    - order-preserving nested-loop join ({!nl_join}) — the milestone-3
+      workhorse ("but no block-nested-loops join", which would destroy
+      order);
+    - index nested-loop join ({!inl_join}) and index-based selection
+      ({!label_scan}) — milestone 4;
+    - projection with one-pass duplicate removal over sorted input
+      ({!project} with [`Adjacent]) — the milestone-3 "basic strategy";
+    - external sort ({!sort} with [`External]) — ordering approach (a);
+    - clustered-B-tree sorting ({!btree_sort}) — the students' "creative
+      workaround" (approach (c));
+    - disk materialization of intermediates ({!materialize}) — milestone
+      3's "write each intermediate result to disk and re-read it".
+
+    All operators poll the context's {!Xqdb_storage.Budget} so the
+    testbed can censor over-budget plans. *)
+
+module A := Xqdb_tpm.Tpm_algebra
+
+type ctx = {
+  store : Xqdb_xasr.Node_store.t;
+  pool : Xqdb_storage.Buffer_pool.t;  (** for temp structures *)
+  budget : Xqdb_storage.Budget.t option;
+}
+
+val make_ctx :
+  ?budget:Xqdb_storage.Budget.t -> Xqdb_xasr.Node_store.t -> ctx
+
+type info = {
+  name : string;
+  detail : string;
+  children : info list;
+}
+
+type t = {
+  schema : Tuple.schema;
+  next : unit -> Tuple.t option;
+  reset : unit -> unit;
+  info : info;
+}
+
+val pp_info : Format.formatter -> info -> unit
+val info_to_string : info -> string
+
+val drain : t -> Tuple.t list
+val count : t -> int
+
+(* --- access paths --- *)
+
+val full_scan : ctx -> string -> preds:A.pred list -> t
+(** Clustered scan of the whole XASR relation under [alias], filtering
+    the (ground) local predicates on the fly. *)
+
+val label_scan :
+  ctx -> string -> ntype:Xqdb_xasr.Xasr.node_type -> value:string -> preds:A.pred list -> t
+(** Index-based selection via the label index; [preds] are the residual
+    local predicates beyond type/value. *)
+
+val empty : Tuple.schema -> t
+(** Produces nothing; the compiled form of a provably empty input. *)
+
+val singleton : Tuple.schema -> Tuple.t -> t
+(** One-tuple input; with an empty schema this is the nullary relation
+    containing the empty tuple, the unit of products. *)
+
+(* --- joins --- *)
+
+type probe =
+  | Probe_child of A.operand
+      (** inner.parent_in = v: parent-index lookup *)
+  | Probe_desc of A.operand * A.operand
+      (** v_in < inner.in && inner.in < v_out: clustered range scan
+          (the interval property makes the out comparison implicit) *)
+  | Probe_pk of A.operand  (** inner.in = v: primary lookup *)
+
+val nl_join :
+  ?materialize_inner:[`Mem | `Disk | `None] ->
+  ?semi:bool ->
+  preds:A.pred list ->
+  t ->
+  t ->
+  ctx ->
+  t
+(** Order-preserving nested-loop join (a product when [preds] is []).
+    The inner input is re-iterated per outer tuple: cached in memory
+    ([`Mem], default), spooled to disk ([`Disk], milestone 3's mode), or
+    recomputed via [reset] ([`None]).  With [semi], at most one match is
+    emitted per outer tuple (the short-circuit a semijoin affords). *)
+
+val bnl_join :
+  ?block_size:int ->
+  preds:A.pred list ->
+  t ->
+  t ->
+  ctx ->
+  t
+(** Block nested-loop join: buffers [block_size] outer tuples (default
+    64) and scans the inner once per block instead of once per tuple.
+    Cheaper than {!nl_join}, but the output comes inner-major within
+    each block — it {e destroys} document order, which is why the
+    paper's milestone 3 forbids it in order-preserving plans.  The
+    planner only emits it under the sorting strategies. *)
+
+val inl_join :
+  ?semi:bool ->
+  ctx ->
+  probe:probe ->
+  alias:string ->
+  preds:A.pred list ->
+  residual:A.pred list ->
+  t ->
+  t
+(** Index nested-loop join: for each outer tuple, probe the inner XASR
+    copy [alias] through an index.  [preds] are the inner's local
+    predicates, [residual] any remaining join predicates (checked on the
+    combined schema).  Probe operands are compiled against the outer
+    schema. *)
+
+(* --- projection, dedup, sort, materialization --- *)
+
+val project : cols:A.col list -> dedup:[`No | `Adjacent | `Hash] -> t -> t
+
+val filter : preds:A.pred list -> t -> t
+
+val sort :
+  ?dedup:bool ->
+  mode:[`In_mem | `External] ->
+  key_cols:A.col list ->
+  t ->
+  ctx ->
+  t
+
+val btree_sort : ?dedup:bool -> key_cols:A.col list -> t -> ctx -> t
+(** Sort by inserting into a scratch clustered B+-tree and scanning it —
+    approach (c).  With [dedup] (default true) key collisions overwrite,
+    which is exactly the duplicate elimination wanted on vartuples. *)
+
+val materialize : [`Mem | `Disk] -> t -> ctx -> t
+(** Spool the input once; [reset] then re-reads the spool. *)

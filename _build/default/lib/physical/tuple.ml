@@ -1,0 +1,144 @@
+module A = Xqdb_tpm.Tpm_algebra
+module Codec = Xqdb_storage.Bytes_codec
+
+type value =
+  | I of int
+  | S of string
+
+type t = value array
+
+type schema = A.col list
+
+let value_equal v1 v2 =
+  match v1, v2 with
+  | I a, I b -> Int.equal a b
+  | S a, S b -> String.equal a b
+  | I _, S _ | S _, I _ -> false
+
+let value_compare v1 v2 =
+  match v1, v2 with
+  | I a, I b -> Int.compare a b
+  | S a, S b -> String.compare a b
+  | I _, S _ -> -1
+  | S _, I _ -> 1
+
+let position schema col =
+  let rec go i = function
+    | [] -> raise Not_found
+    | c :: rest -> if c = col then i else go (i + 1) rest
+  in
+  go 0 schema
+
+let concat = Array.append
+
+let ground_operand env = function
+  | A.Oextern_in x -> A.Oint (fst (env x))
+  | A.Oextern_out x -> A.Oint (snd (env x))
+  | (A.Ocol _ | A.Oint _ | A.Ostr _ | A.Otype _) as op -> op
+
+let compile_operand schema operand =
+  match operand with
+  | A.Ocol c ->
+    let i = position schema c in
+    fun tuple -> tuple.(i)
+  | A.Oint v -> Fun.const (I v)
+  | A.Ostr s -> Fun.const (S s)
+  | A.Otype ty -> Fun.const (I (Xqdb_xasr.Xasr.node_type_code ty))
+  | A.Oextern_in x | A.Oextern_out x ->
+    invalid_arg
+      (Printf.sprintf "Tuple.compile_operand: unresolved external %s"
+         (Xqdb_xq.Xq_print.var x))
+
+let compile_pred schema (p : A.pred) =
+  let left = compile_operand schema p.A.left in
+  let right = compile_operand schema p.A.right in
+  match p.A.op with
+  | A.Eq -> fun tuple -> value_equal (left tuple) (right tuple)
+  | A.Lt -> fun tuple -> value_compare (left tuple) (right tuple) < 0
+  | A.Gt -> fun tuple -> value_compare (left tuple) (right tuple) > 0
+
+let compile_preds schema preds =
+  let compiled = List.map (compile_pred schema) preds in
+  fun tuple -> List.for_all (fun p -> p tuple) compiled
+
+let xasr_schema alias =
+  [ A.col alias A.In;
+    A.col alias A.Out;
+    A.col alias A.Parent_in;
+    A.col alias A.Type_;
+    A.col alias A.Value ]
+
+let of_xasr (x : Xqdb_xasr.Xasr.tuple) =
+  [| I x.Xqdb_xasr.Xasr.nin;
+     I x.nout;
+     I x.parent_in;
+     I (Xqdb_xasr.Xasr.node_type_code x.ntype);
+     S x.value |]
+
+let project positions tuple = Array.map (fun i -> tuple.(i)) positions
+
+let encode tuple =
+  let buf = Buffer.create 32 in
+  Codec.write_uvarint buf (Array.length tuple);
+  Array.iter
+    (fun v ->
+      match v with
+      | I x ->
+        Buffer.add_char buf '\000';
+        Codec.write_uvarint buf x
+      | S s ->
+        Buffer.add_char buf '\001';
+        Codec.write_string buf s)
+    tuple;
+  Buffer.to_bytes buf
+
+let decode_reader r =
+  let n = Codec.read_uvarint r in
+  Array.init n (fun _ ->
+      let tag = Bytes.get r.Codec.data r.Codec.pos in
+      r.Codec.pos <- r.Codec.pos + 1;
+      match tag with
+      | '\000' -> I (Codec.read_uvarint r)
+      | '\001' -> S (Codec.read_string r)
+      | c -> invalid_arg (Printf.sprintf "Tuple.decode: bad tag %C" c))
+
+let decode data = decode_reader (Codec.reader data)
+
+let encode_with_key ~key_positions tuple =
+  (* Layout: uvarint key length, key bytes, then the encoded tuple.
+     Compare by the {e extracted} key bytes, not the whole record — the
+     length prefix is not order-preserving for variable-width keys. *)
+  let key_buf = Buffer.create 48 in
+  Array.iter
+    (fun i ->
+      match tuple.(i) with
+      | I v -> Codec.key_int key_buf v
+      | S s -> Codec.key_string key_buf s)
+    key_positions;
+  let out = Buffer.create 80 in
+  Codec.write_uvarint out (Buffer.length key_buf);
+  Buffer.add_buffer out key_buf;
+  Buffer.add_bytes out (encode tuple);
+  Buffer.to_bytes out
+
+let decode_keyed data =
+  let r = Codec.reader data in
+  let klen = Codec.read_uvarint r in
+  let key = Bytes.sub r.Codec.data r.Codec.pos klen in
+  r.Codec.pos <- r.Codec.pos + klen;
+  (key, decode_reader r)
+
+let key_of_encoded data =
+  let r = Codec.reader data in
+  let klen = Codec.read_uvarint r in
+  Bytes.sub r.Codec.data r.Codec.pos klen
+
+let pp ppf tuple =
+  Format.fprintf ppf "(%s)"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (function
+               | I v -> string_of_int v
+               | S s -> Printf.sprintf "%S" s)
+             tuple)))

@@ -1,0 +1,61 @@
+(** Runtime tuples flowing between physical operators.
+
+    A tuple is a flat array of values; its schema — which TPM column
+    lives at which position — is carried by the operators, not the
+    tuples.  Node types travel as their integer codes so that all
+    comparisons are int/string comparisons. *)
+
+type value =
+  | I of int
+  | S of string
+
+type t = value array
+
+type schema = Xqdb_tpm.Tpm_algebra.col list
+
+val value_equal : value -> value -> bool
+val value_compare : value -> value -> int
+
+val position : schema -> Xqdb_tpm.Tpm_algebra.col -> int
+(** @raise Not_found if the column is not in the schema. *)
+
+val concat : t -> t -> t
+
+(** A ground operand: externals must have been resolved to constants
+    before compilation (see {!ground_operand}). *)
+
+val ground_operand : (Xqdb_xq.Xq_ast.var -> int * int) -> Xqdb_tpm.Tpm_algebra.operand -> Xqdb_tpm.Tpm_algebra.operand
+(** Resolve [Oextern_in]/[Oextern_out] through an environment giving
+    each outer variable's (in, out). *)
+
+val compile_operand : schema -> Xqdb_tpm.Tpm_algebra.operand -> t -> value
+(** @raise Invalid_argument on an unresolved external. *)
+
+val compile_pred : schema -> Xqdb_tpm.Tpm_algebra.pred -> t -> bool
+val compile_preds : schema -> Xqdb_tpm.Tpm_algebra.pred list -> t -> bool
+
+val xasr_schema : string -> schema
+(** The five columns of one XASR copy under an alias, in storage order:
+    in, out, parent_in, type, value. *)
+
+val of_xasr : Xqdb_xasr.Xasr.tuple -> t
+
+val project : int array -> t -> t
+
+(* Serialization for materialization and sorting. *)
+val encode : t -> bytes
+val decode : bytes -> t
+
+val encode_with_key : key_positions:int array -> t -> bytes
+(** An order-preserving key built from the given positions, followed by
+    the encoded tuple.  Compare records by the key returned from
+    {!decode_keyed} (or {!key_of_encoded}); the record as a whole is not
+    order-preserving. *)
+
+val decode_keyed : bytes -> bytes * t
+(** Returns (key bytes, tuple). *)
+
+val key_of_encoded : bytes -> bytes
+(** Extract just the key of an {!encode_with_key} record. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Buffer_pool Bytes Disk Format Int List Page Printf

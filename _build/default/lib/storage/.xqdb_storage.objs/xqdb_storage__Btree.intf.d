@@ -1,0 +1,1 @@
+lib/storage/btree.mli: Buffer_pool

@@ -1,0 +1,1 @@
+lib/storage/budget.ml: Disk Printf Sys

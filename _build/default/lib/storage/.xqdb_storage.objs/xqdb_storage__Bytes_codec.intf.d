@@ -1,0 +1,1 @@
+lib/storage/bytes_codec.mli: Buffer

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Buffer Buffer_pool Bytes Bytes_codec Hashtbl List Option Page

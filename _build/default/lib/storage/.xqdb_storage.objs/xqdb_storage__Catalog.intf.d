@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Buffer_pool

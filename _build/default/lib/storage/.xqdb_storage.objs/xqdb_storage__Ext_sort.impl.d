@@ -1,0 +1,1 @@
+lib/storage/ext_sort.ml: Array Buffer_pool Bytes Heap_file List

@@ -1,0 +1,1 @@
+lib/storage/ext_sort.mli: Buffer_pool

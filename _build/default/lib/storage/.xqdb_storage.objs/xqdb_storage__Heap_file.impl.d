@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Buffer_pool Bytes Disk Page Printf

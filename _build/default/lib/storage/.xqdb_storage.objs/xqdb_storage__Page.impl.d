@@ -1,0 +1,1 @@
+lib/storage/page.ml: Array Bytes Int32

@@ -1,0 +1,564 @@
+(* Node kinds, stored in the page-header flags. *)
+let kind_leaf = 0
+let kind_internal = 1
+let kind_meta = 2
+
+type t = {
+  pool : Buffer_pool.t;
+  meta : int;  (* page id of the meta page *)
+  mutable root : int;
+  mutable count : int;
+  mutable leaves : int;
+  mutable height_ : int;
+}
+
+(* --- meta page -------------------------------------------------------- *)
+
+(* Meta payload at fixed offsets after the slotted header:
+   root:u32, count:u32, leaves:u32, height:u32. *)
+let meta_off_root = Page.header_size
+let meta_off_count = Page.header_size + 4
+let meta_off_leaves = Page.header_size + 8
+let meta_off_height = Page.header_size + 12
+
+let save_meta t =
+  Buffer_pool.with_page_mut t.pool t.meta (fun p ->
+      Page.set_u32 p meta_off_root t.root;
+      Page.set_u32 p meta_off_count t.count;
+      Page.set_u32 p meta_off_leaves t.leaves;
+      Page.set_u32 p meta_off_height t.height_)
+
+let fresh_node pool kind =
+  let id = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool id (fun p ->
+      Page.init p;
+      Page.set_flags p kind);
+  id
+
+let create pool =
+  let meta = fresh_node pool kind_meta in
+  let root = fresh_node pool kind_leaf in
+  let t = { pool; meta; root; count = 0; leaves = 1; height_ = 1 } in
+  save_meta t;
+  t
+
+let open_existing pool ~meta_page =
+  Buffer_pool.with_page pool meta_page (fun p ->
+      if Page.flags p <> kind_meta then invalid_arg "Btree.open_existing: not a meta page";
+      { pool;
+        meta = meta_page;
+        root = Page.get_u32 p meta_off_root;
+        count = Page.get_u32 p meta_off_count;
+        leaves = Page.get_u32 p meta_off_leaves;
+        height_ = Page.get_u32 p meta_off_height })
+
+let meta_page t = t.meta
+let entry_count t = t.count
+let height t = t.height_
+let leaf_pages t = t.leaves
+
+(* --- cell encodings --------------------------------------------------- *)
+
+let leaf_cell ~key ~value =
+  let klen = Bytes.length key in
+  let cell = Bytes.create (2 + klen + Bytes.length value) in
+  Page.set_u16 cell 0 klen;
+  Bytes.blit key 0 cell 2 klen;
+  Bytes.blit value 0 cell (2 + klen) (Bytes.length value);
+  cell
+
+let leaf_cell_key cell =
+  let klen = Page.get_u16 cell 0 in
+  Bytes.sub cell 2 klen
+
+let leaf_cell_value cell =
+  let klen = Page.get_u16 cell 0 in
+  Bytes.sub cell (2 + klen) (Bytes.length cell - 2 - klen)
+
+let internal_cell ~child ~key =
+  let cell = Bytes.create (4 + Bytes.length key) in
+  Page.set_u32 cell 0 child;
+  Bytes.blit key 0 cell 4 (Bytes.length key);
+  cell
+
+let internal_cell_child cell = Page.get_u32 cell 0
+let internal_cell_key cell = Bytes.sub cell 4 (Bytes.length cell - 4)
+
+(* --- searching within a node ----------------------------------------- *)
+
+(* Smallest slot whose key is >= [key]; also reports an exact hit. *)
+let leaf_lower_bound page key =
+  let n = Page.slot_count page in
+  let rec go lo hi =
+    (* invariant: keys below lo are < key, keys at/after hi are >= key *)
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let k = leaf_cell_key (Page.read_slot page mid) in
+      if Bytes.compare k key < 0 then go (mid + 1) hi else go lo mid
+    end
+  in
+  let pos = go 0 n in
+  let exact =
+    pos < n && Bytes.equal (leaf_cell_key (Page.read_slot page pos)) key
+  in
+  (pos, exact)
+
+(* Child to descend into for [key]: the child of the largest separator
+   <= key, or the leftmost child. *)
+let internal_child page key =
+  let n = Page.slot_count page in
+  let rec go lo hi =
+    (* invariant: separators below lo are <= key, at/after hi are > key *)
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      let k = internal_cell_key (Page.read_slot page mid) in
+      if Bytes.compare k key <= 0 then go (mid + 1) hi else go lo mid
+    end
+  in
+  let pos = go 0 n in
+  if pos = 0 then Page.next page
+  else internal_cell_child (Page.read_slot page (pos - 1))
+
+(* --- find ------------------------------------------------------------- *)
+
+let rec find_from t pid key =
+  let step =
+    Buffer_pool.with_page t.pool pid (fun p ->
+        if Page.flags p = kind_leaf then begin
+          let pos, exact = leaf_lower_bound p key in
+          if exact then `Found (leaf_cell_value (Page.read_slot p pos)) else `Missing
+        end
+        else `Descend (internal_child p key))
+  in
+  match step with
+  | `Found v -> Some v
+  | `Missing -> None
+  | `Descend child -> find_from t child key
+
+let find t ~key = find_from t t.root key
+
+(* --- insert ----------------------------------------------------------- *)
+
+let max_cell_size t = Disk.page_size (Buffer_pool.disk t.pool) / 4
+
+(* Rewrite [page] to contain exactly [cells] (already key-sorted). *)
+let rewrite page kind ~next cells =
+  Page.init page;
+  Page.set_flags page kind;
+  Page.set_next page next;
+  Array.iter (fun cell -> ignore (Page.add_slot page cell)) cells
+
+let all_cells page = Array.init (Page.slot_count page) (fun i -> Page.read_slot page i)
+
+let array_insert arr i x =
+  Array.append (Array.sub arr 0 i) (Array.append [|x|] (Array.sub arr i (Array.length arr - i)))
+
+(* Split position: first index such that the left part exceeds half the
+   total cell bytes.  Guarantees both sides non-empty for n >= 2. *)
+let split_point cells =
+  let total = Array.fold_left (fun acc c -> acc + Bytes.length c + 4) 0 cells in
+  let rec go i acc =
+    if i >= Array.length cells - 1 then i
+    else begin
+      let acc = acc + Bytes.length cells.(i) + 4 in
+      if acc * 2 >= total then i + 1 else go (i + 1) acc
+    end
+  in
+  max 1 (go 0 0)
+
+type split = {
+  sep : bytes;
+  right : int;
+}
+
+(* Insert [cell] (with key [key]) into the leaf [pid]; on overflow split
+   and return the separator and the new right page. *)
+let leaf_insert t pid ~key ~cell =
+  Buffer_pool.with_page_mut t.pool pid (fun p ->
+      let pos, exact = leaf_lower_bound p key in
+      if exact then begin
+        Page.remove_slot_at p pos;
+        t.count <- t.count - 1
+      end;
+      t.count <- t.count + 1;
+      let need = Bytes.length cell + 4 in
+      if Page.free_space p >= need then begin
+        Page.insert_slot_at p pos cell;
+        None
+      end
+      else begin
+        Page.compact p;
+        if Page.free_space p >= need then begin
+          Page.insert_slot_at p pos cell;
+          None
+        end
+        else begin
+          (* Split: redistribute all cells plus the new one. *)
+          let cells = array_insert (all_cells p) pos cell in
+          let cut = split_point cells in
+          let left = Array.sub cells 0 cut in
+          let right_cells = Array.sub cells cut (Array.length cells - cut) in
+          let right = fresh_node t.pool kind_leaf in
+          let old_next = Page.next p in
+          rewrite p kind_leaf ~next:right left;
+          Buffer_pool.with_page_mut t.pool right (fun rp ->
+              rewrite rp kind_leaf ~next:old_next right_cells);
+          t.leaves <- t.leaves + 1;
+          Some { sep = leaf_cell_key right_cells.(0); right }
+        end
+      end)
+
+(* Insert a (separator, child) produced by a child split into internal
+   node [pid]. *)
+let internal_insert t pid split_info =
+  Buffer_pool.with_page_mut t.pool pid (fun p ->
+      let cell = internal_cell ~child:split_info.right ~key:split_info.sep in
+      (* Position: keep separators sorted. *)
+      let n = Page.slot_count p in
+      let rec find_pos i =
+        if i >= n then i
+        else if Bytes.compare (internal_cell_key (Page.read_slot p i)) split_info.sep > 0
+        then i
+        else find_pos (i + 1)
+      in
+      let pos = find_pos 0 in
+      let need = Bytes.length cell + 4 in
+      if Page.free_space p >= need then begin
+        Page.insert_slot_at p pos cell;
+        None
+      end
+      else begin
+        Page.compact p;
+        if Page.free_space p >= need then begin
+          Page.insert_slot_at p pos cell;
+          None
+        end
+        else begin
+          let cells = array_insert (all_cells p) pos cell in
+          let cut = split_point cells in
+          (* The cell at [cut] is promoted: its key moves up, its child
+             becomes the leftmost pointer of the right node. *)
+          let promoted = cells.(cut) in
+          let left = Array.sub cells 0 cut in
+          let right_cells = Array.sub cells (cut + 1) (Array.length cells - cut - 1) in
+          let right = fresh_node t.pool kind_internal in
+          let p0 = Page.next p in
+          rewrite p kind_internal ~next:p0 left;
+          Buffer_pool.with_page_mut t.pool right (fun rp ->
+              rewrite rp kind_internal ~next:(internal_cell_child promoted) right_cells);
+          Some { sep = internal_cell_key promoted; right }
+        end
+      end)
+
+let rec insert_rec t pid ~key ~cell =
+  let kind = Buffer_pool.with_page t.pool pid Page.flags in
+  if kind = kind_leaf then leaf_insert t pid ~key ~cell
+  else begin
+    let child = Buffer_pool.with_page t.pool pid (fun p -> internal_child p key) in
+    match insert_rec t child ~key ~cell with
+    | None -> None
+    | Some split_info -> internal_insert t pid split_info
+  end
+
+let insert t ~key ~value =
+  let cell = leaf_cell ~key ~value in
+  if Bytes.length cell + 4 > max_cell_size t then
+    invalid_arg
+      (Printf.sprintf "Btree.insert: cell of %d bytes exceeds max %d" (Bytes.length cell)
+         (max_cell_size t));
+  (match insert_rec t t.root ~key ~cell with
+   | None -> ()
+   | Some { sep; right } ->
+     (* Root split: grow the tree by one level. *)
+     let new_root = fresh_node t.pool kind_internal in
+     Buffer_pool.with_page_mut t.pool new_root (fun p ->
+         Page.set_next p t.root;
+         ignore (Page.add_slot p (internal_cell ~child:right ~key:sep)));
+     t.root <- new_root;
+     t.height_ <- t.height_ + 1);
+  save_meta t
+
+(* --- delete (lazy) ---------------------------------------------------- *)
+
+let rec delete_rec t pid key =
+  let kind = Buffer_pool.with_page t.pool pid Page.flags in
+  if kind = kind_leaf then
+    Buffer_pool.with_page_mut t.pool pid (fun p ->
+        let pos, exact = leaf_lower_bound p key in
+        if exact then begin
+          Page.remove_slot_at p pos;
+          true
+        end
+        else false)
+  else begin
+    let child = Buffer_pool.with_page t.pool pid (fun p -> internal_child p key) in
+    delete_rec t child key
+  end
+
+let delete t ~key =
+  let removed = delete_rec t t.root key in
+  if removed then begin
+    t.count <- t.count - 1;
+    save_meta t
+  end;
+  removed
+
+(* --- scans ------------------------------------------------------------ *)
+
+let rec leftmost_leaf t pid =
+  let step =
+    Buffer_pool.with_page t.pool pid (fun p ->
+        if Page.flags p = kind_leaf then None else Some (Page.next p))
+  in
+  match step with
+  | None -> pid
+  | Some child -> leftmost_leaf t child
+
+let rec leaf_for t pid key =
+  let step =
+    Buffer_pool.with_page t.pool pid (fun p ->
+        if Page.flags p = kind_leaf then None else Some (internal_child p key))
+  in
+  match step with
+  | None -> pid
+  | Some child -> leaf_for t child key
+
+let scan_range ?lo ?hi t =
+  let leaf, start =
+    match lo with
+    | None -> (leftmost_leaf t t.root, 0)
+    | Some key ->
+      let leaf = leaf_for t t.root key in
+      let pos, _ = Buffer_pool.with_page t.pool leaf (fun p -> leaf_lower_bound p key) in
+      (leaf, pos)
+  in
+  let cur_leaf = ref leaf in
+  let cur_pos = ref start in
+  let finished = ref false in
+  let rec pull () =
+    if !finished then None
+    else begin
+      let n, nxt =
+        Buffer_pool.with_page t.pool !cur_leaf (fun p -> (Page.slot_count p, Page.next p))
+      in
+      if !cur_pos >= n then begin
+        if nxt = 0 then begin
+          finished := true;
+          None
+        end
+        else begin
+          cur_leaf := nxt;
+          cur_pos := 0;
+          pull ()
+        end
+      end
+      else begin
+        let cell =
+          Buffer_pool.with_page t.pool !cur_leaf (fun p -> Page.read_slot p !cur_pos)
+        in
+        incr cur_pos;
+        let key = leaf_cell_key cell in
+        match hi with
+        | Some hi_key when Bytes.compare key hi_key > 0 ->
+          finished := true;
+          None
+        | Some _ | None -> Some (key, leaf_cell_value cell)
+      end
+    end
+  in
+  pull
+
+let scan_prefix t ~prefix =
+  let plen = Bytes.length prefix in
+  let inner = scan_range ~lo:prefix t in
+  let finished = ref false in
+  fun () ->
+    if !finished then None
+    else
+      match inner () with
+      | None -> None
+      | Some (key, value) ->
+        if Bytes.length key >= plen && Bytes.equal (Bytes.sub key 0 plen) prefix then
+          Some (key, value)
+        else begin
+          finished := true;
+          None
+        end
+
+let iter t f =
+  let cursor = scan_range t in
+  let rec go () =
+    match cursor () with
+    | None -> ()
+    | Some (k, v) ->
+      f k v;
+      go ()
+  in
+  go ()
+
+(* --- bulk load -------------------------------------------------------- *)
+
+let of_cursor pool cursor =
+  let t = create pool in
+  let psize = Disk.page_size (Buffer_pool.disk pool) in
+  let capacity = psize - Page.header_size in
+  (* Build the leaf level. *)
+  let leaves = ref [] in  (* (first_key, pid) in reverse order *)
+  let current = ref t.root in
+  let current_first = ref None in
+  let used = ref 0 in
+  let last_key = ref None in
+  let n = ref 0 in
+  let rec fill () =
+    match cursor () with
+    | None -> ()
+    | Some (key, value) ->
+      (match !last_key with
+       | Some k when Bytes.compare k key >= 0 ->
+         invalid_arg "Btree.of_cursor: keys not strictly increasing"
+       | Some _ | None -> ());
+      last_key := Some key;
+      let cell = leaf_cell ~key ~value in
+      if Bytes.length cell + 4 > psize / 4 then invalid_arg "Btree.of_cursor: cell too large";
+      if !used + Bytes.length cell + 4 > capacity then begin
+        (* Start a new leaf, chain it. *)
+        let fresh = fresh_node pool kind_leaf in
+        Buffer_pool.with_page_mut pool !current (fun p -> Page.set_next p fresh);
+        (match !current_first with
+         | Some fk -> leaves := (fk, !current) :: !leaves
+         | None -> assert false);
+        current := fresh;
+        current_first := None;
+        used := 0;
+        t.leaves <- t.leaves + 1
+      end;
+      Buffer_pool.with_page_mut pool !current (fun p -> ignore (Page.add_slot p cell));
+      if !current_first = None then current_first := Some key;
+      used := !used + Bytes.length cell + 4;
+      incr n;
+      fill ()
+  in
+  fill ();
+  (match !current_first with
+   | Some fk -> leaves := (fk, !current) :: !leaves
+   | None -> leaves := (Bytes.empty, !current) :: !leaves);
+  t.count <- !n;
+  (* Build internal levels until one node remains.  The input is
+     [(first_key, pid)] per node; [first_key] doubles as the separator
+     when the node becomes a non-leftmost child. *)
+  let rec build_level nodes =
+    match nodes with
+    | [] -> assert false
+    | [(_, pid)] -> pid
+    | (first_key, first_child) :: rest ->
+      let parents = ref [] in  (* reversed (first_key, pid) of the level above *)
+      let node = ref (fresh_node pool kind_internal) in
+      Buffer_pool.with_page_mut pool !node (fun p -> Page.set_next p first_child);
+      let node_first = ref first_key in
+      let used = ref 0 in
+      let finalize () = parents := (!node_first, !node) :: !parents in
+      List.iter
+        (fun (sep, child) ->
+          let cell = internal_cell ~child ~key:sep in
+          if !used + Bytes.length cell + 4 > capacity then begin
+            finalize ();
+            node := fresh_node pool kind_internal;
+            Buffer_pool.with_page_mut pool !node (fun p -> Page.set_next p child);
+            node_first := sep;
+            used := 0
+          end
+          else begin
+            Buffer_pool.with_page_mut pool !node (fun p -> ignore (Page.add_slot p cell));
+            used := !used + Bytes.length cell + 4
+          end)
+        rest;
+      finalize ();
+      t.height_ <- t.height_ + 1;
+      build_level (List.rev !parents)
+  in
+  let nodes = List.rev !leaves in
+  t.height_ <- 1;
+  t.root <- build_level nodes;
+  save_meta t;
+  t
+
+(* --- invariant checking ----------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let leaf_list = ref [] in
+  (* Returns (leaf depth, number of keys). *)
+  let rec walk pid lo hi =
+    Buffer_pool.with_page t.pool pid (fun p ->
+        let n = Page.slot_count p in
+        let check_bounds key =
+          (match lo with
+           | Some l when Bytes.compare key l < 0 ->
+             fail "key below subtree lower bound on page %d" pid
+           | Some _ | None -> ());
+          match hi with
+          | Some h when Bytes.compare key h >= 0 ->
+            fail "key above subtree upper bound on page %d" pid
+          | Some _ | None -> ()
+        in
+        if Page.flags p = kind_leaf then begin
+          leaf_list := pid :: !leaf_list;
+          let prev = ref None in
+          for i = 0 to n - 1 do
+            let key = leaf_cell_key (Page.read_slot p i) in
+            check_bounds key;
+            (match !prev with
+             | Some k when Bytes.compare k key >= 0 -> fail "unsorted leaf %d" pid
+             | Some _ | None -> ());
+            prev := Some key
+          done;
+          (1, n)
+        end
+        else begin
+          let seps = Array.init n (fun i -> internal_cell_key (Page.read_slot p i)) in
+          Array.iteri
+            (fun i sep ->
+              check_bounds sep;
+              if i > 0 && Bytes.compare seps.(i - 1) sep >= 0 then
+                fail "unsorted internal node %d" pid)
+            seps;
+          let children =
+            Page.next p
+            :: List.init n (fun i -> internal_cell_child (Page.read_slot p i))
+          in
+          let bounds i =
+            let l = if i = 0 then lo else Some seps.(i - 1) in
+            let h = if i = n then hi else Some seps.(i) in
+            (l, h)
+          in
+          let depths_counts =
+            List.mapi
+              (fun i child ->
+                let l, h = bounds i in
+                walk child l h)
+              children
+          in
+          let depths = List.map fst depths_counts in
+          (match depths with
+           | d :: rest when List.for_all (Int.equal d) rest -> ()
+           | _ -> fail "unbalanced subtree under page %d" pid);
+          let keys = List.fold_left (fun acc (_, c) -> acc + c) 0 depths_counts in
+          (List.nth depths 0 + 1, keys)
+        end)
+  in
+  let depth, keys = walk t.root None None in
+  if depth <> t.height_ then fail "height mismatch: meta %d, actual %d" t.height_ depth;
+  if keys <> t.count then fail "count mismatch: meta %d, actual %d" t.count keys;
+  (* Leaf chain must visit exactly the leaves found by the walk, left to
+     right. *)
+  let chain = ref [] in
+  let rec follow pid =
+    if pid <> 0 then begin
+      chain := pid :: !chain;
+      follow (Buffer_pool.with_page t.pool pid Page.next)
+    end
+  in
+  follow (leftmost_leaf t t.root);
+  if List.rev !chain <> List.rev !leaf_list then fail "leaf chain does not match tree walk"

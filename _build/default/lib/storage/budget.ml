@@ -1,0 +1,30 @@
+type t = {
+  disk : Disk.t;
+  base_ios : int;
+  start : float;
+  max_page_ios : int option;
+  max_seconds : float option;
+}
+
+exception Exhausted of string
+
+let ios_of disk =
+  let c = Disk.counters disk in
+  c.Disk.reads + c.Disk.writes
+
+let create ?max_page_ios ?max_seconds disk =
+  { disk; base_ios = ios_of disk; start = Sys.time (); max_page_ios; max_seconds }
+
+let unlimited disk = create disk
+let page_ios t = ios_of t.disk - t.base_ios
+let elapsed t = Sys.time () -. t.start
+
+let check t =
+  (match t.max_page_ios with
+   | Some cap when page_ios t > cap ->
+     raise (Exhausted (Printf.sprintf "page I/O budget exceeded (%d > %d)" (page_ios t) cap))
+   | Some _ | None -> ());
+  match t.max_seconds with
+  | Some cap when elapsed t > cap ->
+    raise (Exhausted (Printf.sprintf "time budget exceeded (%.2fs > %.2fs)" (elapsed t) cap))
+  | Some _ | None -> ()

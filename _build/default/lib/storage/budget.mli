@@ -1,0 +1,24 @@
+(** Execution budgets: the mechanism behind the testbed's resource caps.
+
+    The paper's efficiency tests ran each engine under "20 MB of memory
+    and 2 or 30 minutes per query" and censored over-budget engines at
+    the cap.  Here a budget bounds page I/Os (the simulator's proxy for
+    time, independent of host speed) and elapsed CPU seconds; operators
+    poll [check] in their inner loops. *)
+
+type t
+
+exception Exhausted of string
+
+val unlimited : Disk.t -> t
+
+val create : ?max_page_ios:int -> ?max_seconds:float -> Disk.t -> t
+(** Counts I/Os relative to the disk counters at creation time. *)
+
+val check : t -> unit
+(** @raise Exhausted when a cap is exceeded. *)
+
+val page_ios : t -> int
+(** Page I/Os (reads + writes) consumed since creation. *)
+
+val elapsed : t -> float

@@ -1,0 +1,110 @@
+type frame = {
+  page_id : int;
+  buf : bytes;
+  mutable pins : int;
+  mutable dirty : bool;
+  mutable last_used : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+type t = {
+  disk : Disk.t;
+  cap : int;
+  frames : (int, frame) Hashtbl.t;  (* page id -> frame *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 64) disk =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { disk;
+    cap = capacity;
+    frames = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let disk t = t.disk
+let capacity t = t.cap
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let write_back t frame =
+  if frame.dirty then begin
+    Disk.write_page t.disk frame.page_id frame.buf;
+    frame.dirty <- false
+  end
+
+(* Evict the least-recently-used unpinned frame. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame best ->
+        if frame.pins > 0 then best
+        else
+          match best with
+          | Some b when b.last_used <= frame.last_used -> best
+          | Some _ | None -> Some frame)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some frame ->
+    write_back t frame;
+    Hashtbl.remove t.frames frame.page_id;
+    t.evictions <- t.evictions + 1
+
+let insert_frame t page_id buf dirty =
+  if Hashtbl.length t.frames >= t.cap then evict_one t;
+  let frame = { page_id; buf; pins = 0; dirty; last_used = tick t } in
+  Hashtbl.replace t.frames page_id frame;
+  frame
+
+let find t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some frame ->
+    t.hits <- t.hits + 1;
+    frame.last_used <- tick t;
+    frame
+  | None ->
+    t.misses <- t.misses + 1;
+    insert_frame t page_id (Disk.read_page t.disk page_id) false
+
+let alloc_page t =
+  let page_id = Disk.alloc t.disk in
+  let buf = Bytes.make (Disk.page_size t.disk) '\000' in
+  let frame = insert_frame t page_id buf true in
+  frame.last_used <- tick t;
+  page_id
+
+let use t page_id ~mut f =
+  let frame = find t page_id in
+  frame.pins <- frame.pins + 1;
+  if mut then frame.dirty <- true;
+  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame.buf)
+
+let with_page t page_id f = use t page_id ~mut:false f
+let with_page_mut t page_id f = use t page_id ~mut:true f
+
+let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
+
+let drop_all t =
+  flush_all t;
+  Hashtbl.reset t.frames
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,44 @@
+(** The buffer pool: a fixed number of page frames over a {!Disk}, with
+    pin counts, dirty tracking and LRU replacement.
+
+    The frame capacity is the knob behind the paper's "20 MB of memory"
+    constraint in the efficiency tests: an engine configured with a small
+    pool pays real page I/O for plans with poor locality.
+
+    All access goes through [with_page]/[with_page_mut], which pin the
+    frame for the duration of the callback; nesting is allowed as long as
+    at most [capacity] distinct pages are pinned at once. *)
+
+type t
+
+val create : ?capacity:int -> Disk.t -> t
+(** Default capacity is 64 frames. *)
+
+val disk : t -> Disk.t
+val capacity : t -> int
+
+val alloc_page : t -> int
+(** Allocate a fresh page on the disk and cache it (dirty) in the pool. *)
+
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+(** Read access.  The callback must not retain the buffer. *)
+
+val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
+(** Write access; the frame is marked dirty and flushed on eviction or
+    {!flush_all}. *)
+
+val flush_all : t -> unit
+(** Write back all dirty frames (they stay cached). *)
+
+val drop_all : t -> unit
+(** Flush and forget every frame; the next access re-reads from disk.
+    Used by benches to measure cold-cache behaviour. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

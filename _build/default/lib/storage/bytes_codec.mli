@@ -1,0 +1,43 @@
+(** Binary record and key encodings.
+
+    Two layers:
+    - a plain record codec ([write_*]/[read_*]) used for tuple payloads —
+      compact, not order-preserving;
+    - an {e order-preserving} key codec ([key_*]) used for B+-tree keys:
+      if [k1 < k2] componentwise then [encode k1 < encode k2] under
+      unsigned lexicographic byte comparison, including across composite
+      keys encoded by concatenation.
+
+    Ints must be non-negative (page numbers, in/out labels, counters are);
+    this keeps the key encoding a simple big-endian dump. *)
+
+(* --- record payloads --- *)
+
+type reader = {
+  data : bytes;
+  mutable pos : int;
+}
+
+val reader : bytes -> reader
+
+val write_uvarint : Buffer.t -> int -> unit
+val read_uvarint : reader -> int
+
+val write_string : Buffer.t -> string -> unit
+val read_string : reader -> string
+
+(* --- order-preserving keys --- *)
+
+val key_int : Buffer.t -> int -> unit
+(** 8-byte big-endian; @raise Invalid_argument on negative input. *)
+
+val key_string : Buffer.t -> string -> unit
+(** Zero-escaped and zero-zero-terminated so that concatenated composite
+    keys compare componentwise. *)
+
+val read_key_int : reader -> int
+val read_key_string : reader -> string
+
+val compare_bytes : bytes -> bytes -> int
+(** Unsigned lexicographic comparison ([Bytes.compare] has this meaning
+    in OCaml; exposed under a domain name for clarity). *)

@@ -1,0 +1,97 @@
+type t = {
+  pool : Buffer_pool.t;
+  table : (string, string) Hashtbl.t;
+}
+
+let catalog_page = 0
+
+(* The catalog starts on page 0 and chains through the pages' [next]
+   pointers when it outgrows one page.  Each record is [key, value] with
+   uvarint length prefixes; a magic in the flags field distinguishes an
+   initialized catalog page. *)
+let magic = 0xCA7A
+
+let attach pool =
+  let table = Hashtbl.create 16 in
+  let needs_init =
+    Buffer_pool.with_page pool catalog_page (fun p -> Page.flags p <> magic)
+  in
+  if needs_init then
+    Buffer_pool.with_page_mut pool catalog_page (fun p ->
+        Page.init p;
+        Page.set_flags p magic)
+  else begin
+    let rec read_chain page_id =
+      let next =
+        Buffer_pool.with_page pool page_id (fun p ->
+            for i = 0 to Page.slot_count p - 1 do
+              let r = Bytes_codec.reader (Page.read_slot p i) in
+              let key = Bytes_codec.read_string r in
+              let value = Bytes_codec.read_string r in
+              Hashtbl.replace table key value
+            done;
+            Page.next p)
+      in
+      if next <> 0 then read_chain next
+    in
+    read_chain catalog_page
+  end;
+  { pool; table }
+
+let set t key value = Hashtbl.replace t.table key value
+let get t key = Hashtbl.find_opt t.table key
+let get_int t key = Option.map int_of_string (get t key)
+let set_int t key v = set t key (string_of_int v)
+let remove t key = Hashtbl.remove t.table key
+
+let entries t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] |> List.sort compare
+
+let flush t =
+  (* Rewrite the whole chain, reusing existing overflow pages and
+     allocating more as needed.  Chain pages are never reclaimed (the
+     catalog only ever grows by a page at a time and stays tiny). *)
+  let records =
+    List.map
+      (fun (key, value) ->
+        let buf = Buffer.create 64 in
+        Bytes_codec.write_string buf key;
+        Bytes_codec.write_string buf value;
+        Buffer.to_bytes buf)
+      (entries t)
+  in
+  let rec write page_id records =
+    let old_next, leftover =
+      Buffer_pool.with_page_mut t.pool page_id (fun p ->
+          let old_next = Page.next p in
+          Page.init p;
+          Page.set_flags p magic;
+          let rec fill = function
+            | [] -> []
+            | record :: rest when Page.free_space p >= Bytes.length record ->
+              ignore (Page.add_slot p record);
+              fill rest
+            | leftover -> leftover
+          in
+          (old_next, fill records))
+    in
+    match leftover with
+    | [] ->
+      (* Terminate the chain here; stale overflow pages stay allocated
+         but unreachable. *)
+      Buffer_pool.with_page_mut t.pool page_id (fun p -> Page.set_next p 0)
+    | _ :: _ ->
+      let next =
+        if old_next <> 0 then old_next
+        else begin
+          let fresh = Buffer_pool.alloc_page t.pool in
+          Buffer_pool.with_page_mut t.pool fresh (fun p ->
+              Page.init p;
+              Page.set_flags p magic);
+          fresh
+        end
+      in
+      Buffer_pool.with_page_mut t.pool page_id (fun p -> Page.set_next p next);
+      write next leftover
+  in
+  write catalog_page records

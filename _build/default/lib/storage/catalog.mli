@@ -1,0 +1,22 @@
+(** The catalog: a small persistent string map rooted at page 0 (chained
+    across further pages when it grows).
+
+    Stores the bootstrap metadata of a database — for each loaded
+    document, the meta pages of its primary/label/parent B+-trees and
+    its serialized statistics — so a database file can be reopened.
+    Values are strings; helpers cover the common integer case. *)
+
+type t
+
+val attach : Buffer_pool.t -> t
+(** Attach to page 0, reading any entries already there. *)
+
+val set : t -> string -> string -> unit
+val get : t -> string -> string option
+val get_int : t -> string -> int option
+val set_int : t -> string -> int -> unit
+val remove : t -> string -> unit
+val entries : t -> (string * string) list
+
+val flush : t -> unit
+(** Serialize to page 0, chaining overflow pages as needed. *)

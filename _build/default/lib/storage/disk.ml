@@ -1,0 +1,137 @@
+type backend =
+  | Mem of {
+      mutable pages : bytes array;  (* grows geometrically *)
+    }
+  | File of {
+      out : out_channel;
+      inp : in_channel;
+      mutable flushed : bool;
+    }
+
+type counters = {
+  reads : int;
+  writes : int;
+  allocs : int;
+}
+
+type t = {
+  psize : int;
+  backend : backend;
+  mutable count : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable allocs : int;
+}
+
+let do_alloc t =
+  let id = t.count in
+  t.count <- t.count + 1;
+  t.allocs <- t.allocs + 1;
+  (match t.backend with
+   | Mem m ->
+     if id >= Array.length m.pages then begin
+       let bigger = Array.make (max 8 (2 * Array.length m.pages)) Bytes.empty in
+       Array.blit m.pages 0 bigger 0 (Array.length m.pages);
+       m.pages <- bigger
+     end;
+     m.pages.(id) <- Bytes.make t.psize '\000'
+   | File f ->
+     seek_out f.out (id * t.psize);
+     output_bytes f.out (Bytes.make t.psize '\000');
+     f.flushed <- false);
+  id
+
+let with_catalog_page t =
+  (* Page 0 is reserved for the catalog. *)
+  let id = do_alloc t in
+  assert (id = 0);
+  t
+
+let in_memory ?(page_size = 4096) () =
+  with_catalog_page
+    { psize = page_size;
+      backend = Mem { pages = Array.make 8 Bytes.empty };
+      count = 0;
+      reads = 0;
+      writes = 0;
+      allocs = 0 }
+
+let on_file ?(page_size = 4096) path =
+  let out = open_out_gen [Open_wronly; Open_creat; Open_trunc; Open_binary] 0o644 path in
+  let inp = open_in_bin path in
+  with_catalog_page
+    { psize = page_size;
+      backend = File { out; inp; flushed = true };
+      count = 0;
+      reads = 0;
+      writes = 0;
+      allocs = 0 }
+
+let open_existing ?(page_size = 4096) path =
+  let out = open_out_gen [Open_wronly; Open_binary] 0o644 path in
+  let inp = open_in_bin path in
+  let size = in_channel_length inp in
+  if size = 0 || size mod page_size <> 0 then begin
+    close_out out;
+    close_in inp;
+    invalid_arg
+      (Printf.sprintf "Disk.open_existing: %s has %d bytes, not a whole number of %d-byte pages"
+         path size page_size)
+  end;
+  { psize = page_size;
+    backend = File { out; inp; flushed = true };
+    count = size / page_size;
+    reads = 0;
+    writes = 0;
+    allocs = 0 }
+
+let page_size t = t.psize
+let page_count t = t.count
+
+let check_id t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Disk: page %d out of range (count %d)" id t.count)
+
+let alloc t = do_alloc t
+
+let read_page t id =
+  check_id t id;
+  t.reads <- t.reads + 1;
+  match t.backend with
+  | Mem m -> Bytes.copy m.pages.(id)
+  | File f ->
+    if not f.flushed then begin
+      flush f.out;
+      f.flushed <- true
+    end;
+    seek_in f.inp (id * t.psize);
+    let buf = Bytes.create t.psize in
+    really_input f.inp buf 0 t.psize;
+    buf
+
+let write_page t id buf =
+  check_id t id;
+  if Bytes.length buf <> t.psize then
+    invalid_arg "Disk.write_page: buffer size mismatch";
+  t.writes <- t.writes + 1;
+  match t.backend with
+  | Mem m -> Bytes.blit buf 0 m.pages.(id) 0 t.psize
+  | File f ->
+    seek_out f.out (id * t.psize);
+    output_bytes f.out buf;
+    f.flushed <- false
+
+let counters t = { reads = t.reads; writes = t.writes; allocs = t.allocs }
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.allocs <- 0
+
+let close t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f ->
+    flush f.out;
+    close_out f.out;
+    close_in f.inp

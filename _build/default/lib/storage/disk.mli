@@ -1,0 +1,49 @@
+(** The disk abstraction under the storage manager.
+
+    A disk is an array of fixed-size pages addressed by page id, with
+    read/write/alloc counters.  Two backends are provided: a real file
+    (what a deployment would use) and an in-memory page table (what the
+    benchmarks use, so that page-I/O counts — the currency of the cost
+    model of milestone 4 — are measured without OS-cache noise).
+
+    Page 0 is reserved for the {!Catalog} and is allocated eagerly. *)
+
+type t
+
+val in_memory : ?page_size:int -> unit -> t
+(** Default page size is 4096 bytes. *)
+
+val on_file : ?page_size:int -> string -> t
+(** Creates or truncates [path]. *)
+
+val open_existing : ?page_size:int -> string -> t
+(** Open a database file created earlier by {!on_file}; the page count
+    is recovered from the file size.
+    @raise Invalid_argument if the size is not a whole number of pages
+    or the file is empty. *)
+
+val page_size : t -> int
+val page_count : t -> int
+
+val alloc : t -> int
+(** Allocate a fresh zeroed page and return its id. *)
+
+val read_page : t -> int -> bytes
+(** A fresh copy of the page contents.  @raise Invalid_argument on an
+    unallocated page id. *)
+
+val write_page : t -> int -> bytes -> unit
+(** @raise Invalid_argument if the buffer size differs from the page
+    size or the page id was never allocated. *)
+
+type counters = {
+  reads : int;
+  writes : int;
+  allocs : int;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+
+val close : t -> unit
+(** Close the backing file, if any.  The disk must not be used after. *)

@@ -1,0 +1,142 @@
+type phase =
+  | Feeding
+  | Draining
+
+type t = {
+  pool : Buffer_pool.t;
+  compare : bytes -> bytes -> int;
+  run_bytes : int;
+  fan_in : int;
+  mutable phase : phase;
+  mutable buffer : bytes list;  (* current run, reversed *)
+  mutable buffered_bytes : int;
+  mutable runs : Heap_file.t list;  (* spilled runs, reversed *)
+  mutable fed : int;
+  mutable initial_runs : int;
+}
+
+let create ?(run_bytes = 256 * 1024) ?(fan_in = 16) pool ~compare =
+  if fan_in < 2 then invalid_arg "Ext_sort.create: fan_in must be >= 2";
+  { pool;
+    compare;
+    run_bytes;
+    fan_in;
+    phase = Feeding;
+    buffer = [];
+    buffered_bytes = 0;
+    runs = [];
+    fed = 0;
+    initial_runs = 0 }
+
+let spill t =
+  if t.buffer <> [] then begin
+    let records = List.fast_sort t.compare (List.rev t.buffer) in
+    let run = Heap_file.create t.pool in
+    List.iter (fun r -> ignore (Heap_file.append run r)) records;
+    t.runs <- run :: t.runs;
+    t.buffer <- [];
+    t.buffered_bytes <- 0
+  end
+
+let feed t record =
+  (match t.phase with
+   | Feeding -> ()
+   | Draining -> invalid_arg "Ext_sort.feed: already draining");
+  t.buffer <- record :: t.buffer;
+  t.buffered_bytes <- t.buffered_bytes + Bytes.length record;
+  t.fed <- t.fed + 1;
+  if t.buffered_bytes >= t.run_bytes then spill t
+
+let fed_count t = t.fed
+let run_count t = t.initial_runs
+
+(* Merge the cursors into one, with a simple tournament over the heads.
+   Run counts are small (fan_in-bounded), so a linear minimum is fine. *)
+let merge_cursors compare cursors =
+  let heads = Array.map (fun c -> c ()) (Array.of_list cursors) in
+  let cursors = Array.of_list cursors in
+  fun () ->
+    let best = ref (-1) in
+    Array.iteri
+      (fun i head ->
+        match head with
+        | None -> ()
+        | Some r ->
+          (match !best with
+           | -1 -> best := i
+           | b ->
+             (match heads.(b) with
+              | Some rb when compare r rb < 0 -> best := i
+              | Some _ | None -> ())))
+      heads;
+    match !best with
+    | -1 -> None
+    | i ->
+      let r = heads.(i) in
+      heads.(i) <- cursors.(i) ();
+      (match r with
+       | Some _ -> r
+       | None -> assert false)
+
+let run_cursor run = Heap_file.scan run
+
+(* Merge [runs] down to a single cursor, respecting the fan-in. *)
+let rec merge_all t runs =
+  match runs with
+  | [] -> fun () -> None
+  | [run] -> run_cursor run
+  | runs when List.length runs <= t.fan_in ->
+    merge_cursors t.compare (List.map run_cursor runs)
+  | runs ->
+    (* One full merge pass: groups of fan_in runs each merge into a new
+       run on disk, then recurse. *)
+    let rec take n acc rest =
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: rest' when n > 0 -> take (n - 1) (x :: acc) rest'
+      | _ :: _ -> (List.rev acc, rest)
+    in
+    let rec pass acc rest =
+      match rest with
+      | [] -> List.rev acc
+      | _ :: _ ->
+        let group, rest = take t.fan_in [] rest in
+        let merged = merge_cursors t.compare (List.map run_cursor group) in
+        let out = Heap_file.create t.pool in
+        let rec drain () =
+          match merged () with
+          | None -> ()
+          | Some r ->
+            ignore (Heap_file.append out r);
+            drain ()
+        in
+        drain ();
+        pass (out :: acc) rest
+    in
+    merge_all t (pass [] runs)
+
+let sorted_cursor t =
+  (match t.phase with
+   | Feeding ->
+     t.phase <- Draining;
+     if t.runs = [] then begin
+       (* Everything fits in memory: no spill at all. *)
+       let records = List.fast_sort t.compare (List.rev t.buffer) in
+       t.buffer <- records;
+       t.initial_runs <- 0
+     end
+     else begin
+       spill t;
+       t.initial_runs <- List.length t.runs
+     end
+   | Draining -> ());
+  if t.initial_runs = 0 then begin
+    let remaining = ref t.buffer in
+    fun () ->
+      match !remaining with
+      | [] -> None
+      | r :: rest ->
+        remaining := rest;
+        Some r
+  end
+  else merge_all t (List.rev t.runs)

@@ -1,0 +1,36 @@
+(** External merge sort over byte records.
+
+    Records are accumulated into bounded in-memory runs, each run is
+    sorted and spilled to a {!Heap_file}, and the runs are merged with a
+    k-way merge.  This is option (a) of the paper's milestone-3 ordering
+    discussion: sort intermediate results to restore hierarchical
+    document order instead of constraining plans to be order-preserving.
+
+    The comparator works directly on encoded records, so sorting by a
+    key prefix needs no decoding when keys use {!Bytes_codec}'s
+    order-preserving encoders. *)
+
+type t
+
+val create :
+  ?run_bytes:int ->
+  ?fan_in:int ->
+  Buffer_pool.t ->
+  compare:(bytes -> bytes -> int) ->
+  t
+(** [run_bytes] bounds the memory of one run (default 256 KiB);
+    [fan_in] bounds how many runs one merge pass combines (default 16). *)
+
+val feed : t -> bytes -> unit
+(** @raise Invalid_argument after {!sorted_cursor} was called. *)
+
+val fed_count : t -> int
+
+val sorted_cursor : t -> unit -> bytes option
+(** Finish feeding and return a cursor producing all records in
+    ascending comparator order.  Equal records are all produced (the
+    sort is not deduplicating); their relative order is unspecified. *)
+
+val run_count : t -> int
+(** Number of initial runs spilled (0 if everything fit in memory);
+    meaningful after {!sorted_cursor}. *)

@@ -1,0 +1,104 @@
+type t = {
+  pool : Buffer_pool.t;
+  first : int;
+  mutable last : int;
+  mutable pages : int;
+  mutable records : int;
+}
+
+type rid = {
+  page : int;
+  slot : int;
+}
+
+let fresh_page pool =
+  let id = Buffer_pool.alloc_page pool in
+  Buffer_pool.with_page_mut pool id Page.init;
+  id
+
+let create pool =
+  let first = fresh_page pool in
+  { pool; first; last = first; pages = 1; records = 0 }
+
+let open_existing pool ~first_page =
+  let t = { pool; first = first_page; last = first_page; pages = 1; records = 0 } in
+  let rec walk page_id =
+    let nslots, next =
+      Buffer_pool.with_page pool page_id (fun p -> (Page.slot_count p, Page.next p))
+    in
+    t.records <- t.records + nslots;
+    if next = 0 then t.last <- page_id
+    else begin
+      t.pages <- t.pages + 1;
+      walk next
+    end
+  in
+  walk first_page;
+  t
+
+let first_page t = t.first
+let page_count t = t.pages
+let record_count t = t.records
+
+let append t record =
+  let len = Bytes.length record in
+  let psize = Disk.page_size (Buffer_pool.disk t.pool) in
+  if len + 4 + Page.header_size > psize then
+    invalid_arg (Printf.sprintf "Heap_file.append: record of %d bytes exceeds page" len);
+  let fits =
+    Buffer_pool.with_page t.pool t.last (fun p -> Page.free_space p >= len)
+  in
+  if not fits then begin
+    let fresh = fresh_page t.pool in
+    Buffer_pool.with_page_mut t.pool t.last (fun p -> Page.set_next p fresh);
+    t.last <- fresh;
+    t.pages <- t.pages + 1
+  end;
+  let slot = Buffer_pool.with_page_mut t.pool t.last (fun p -> Page.add_slot p record) in
+  t.records <- t.records + 1;
+  { page = t.last; slot }
+
+let get t rid = Buffer_pool.with_page t.pool rid.page (fun p -> Page.read_slot p rid.slot)
+
+let iter t f =
+  let rec go page_id =
+    let nslots, next =
+      Buffer_pool.with_page t.pool page_id (fun p -> (Page.slot_count p, Page.next p))
+    in
+    for slot = 0 to nslots - 1 do
+      let record = Buffer_pool.with_page t.pool page_id (fun p -> Page.read_slot p slot) in
+      f { page = page_id; slot } record
+    done;
+    if next <> 0 then go next
+  in
+  go t.first
+
+let scan t =
+  let page_id = ref t.first in
+  let slot = ref 0 in
+  let finished = ref false in
+  let rec pull () =
+    if !finished then None
+    else begin
+      let nslots, next =
+        Buffer_pool.with_page t.pool !page_id (fun p -> (Page.slot_count p, Page.next p))
+      in
+      if !slot < nslots then begin
+        let record =
+          Buffer_pool.with_page t.pool !page_id (fun p -> Page.read_slot p !slot)
+        in
+        incr slot;
+        Some record
+      end
+      else if next = 0 then begin
+        finished := true;
+        None
+      end
+      else begin
+        page_id := next;
+        slot := 0;
+        pull ()
+      end
+    end
+  in
+  pull

@@ -1,0 +1,109 @@
+let get_u16 page off = Bytes.get_uint16_le page off
+let set_u16 page off v = Bytes.set_uint16_le page off v
+
+let get_u32 page off =
+  Int32.to_int (Bytes.get_int32_le page off) land 0xFFFFFFFF
+
+let set_u32 page off v = Bytes.set_int32_le page off (Int32.of_int v)
+
+let header_size = 10
+
+(* Header fields. *)
+let off_next = 0
+let off_nslots = 4
+let off_free = 6
+let off_flags = 8
+
+let init page =
+  set_u32 page off_next 0;
+  set_u16 page off_nslots 0;
+  set_u16 page off_free header_size;
+  set_u16 page off_flags 0
+
+let next page = get_u32 page off_next
+let flags page = get_u16 page off_flags
+let set_flags page v = set_u16 page off_flags v
+let set_next page v = set_u32 page off_next v
+let slot_count page = get_u16 page off_nslots
+let set_slot_count page n = set_u16 page off_nslots n
+
+let slot_pos page i = Bytes.length page - 4 * (i + 1)
+
+let slot page i =
+  let p = slot_pos page i in
+  (get_u16 page p, get_u16 page (p + 2))
+
+let set_slot page i (off, len) =
+  let p = slot_pos page i in
+  set_u16 page p off;
+  set_u16 page (p + 2) len
+
+let free_space page =
+  let nslots = slot_count page in
+  let free_off = get_u16 page off_free in
+  let dir_start = Bytes.length page - 4 * nslots in
+  dir_start - free_off - 4
+
+let read_slot page i =
+  let off, len = slot page i in
+  Bytes.sub page off len
+
+let add_slot page record =
+  let len = Bytes.length record in
+  if free_space page < len then failwith "Page.add_slot: page full";
+  let free_off = get_u16 page off_free in
+  Bytes.blit record 0 page free_off len;
+  let i = slot_count page in
+  set_slot_count page (i + 1);
+  set_slot page i (free_off, len);
+  set_u16 page off_free (free_off + len);
+  i
+
+let insert_slot_at page i record =
+  let n = slot_count page in
+  if i < 0 || i > n then invalid_arg "Page.insert_slot_at";
+  let len = Bytes.length record in
+  if free_space page < len then failwith "Page.insert_slot_at: page full";
+  let free_off = get_u16 page off_free in
+  Bytes.blit record 0 page free_off len;
+  set_slot_count page (n + 1);
+  (* Shift slots i..n-1 up to i+1..n. *)
+  let rec shift j =
+    if j > i then begin
+      set_slot page j (slot page (j - 1));
+      shift (j - 1)
+    end
+  in
+  shift n;
+  set_slot page i (free_off, len);
+  set_u16 page off_free (free_off + len)
+
+let remove_slot_at page i =
+  let n = slot_count page in
+  if i < 0 || i >= n then invalid_arg "Page.remove_slot_at";
+  for j = i to n - 2 do
+    set_slot page j (slot page (j + 1))
+  done;
+  set_slot_count page (n - 1)
+
+let live_bytes page =
+  let n = slot_count page in
+  let records = ref 0 in
+  for i = 0 to n - 1 do
+    let _, len = slot page i in
+    records := !records + len
+  done;
+  !records + 4 * n
+
+let compact page =
+  let n = slot_count page in
+  let records = Array.init n (fun i -> read_slot page i) in
+  let free_off = ref header_size in
+  Array.iteri
+    (fun i record ->
+      let len = Bytes.length record in
+      Bytes.blit record 0 page !free_off len;
+      set_slot page i (!free_off, len);
+      free_off := !free_off + len)
+    records;
+  set_u16 page off_free !free_off

@@ -1,0 +1,62 @@
+(** Byte-level page access and the slotted-page record layout.
+
+    A slotted page stores variable-length records:
+
+    {v
+    [ header | record area ->   ...   <- slot directory ]
+    v}
+
+    The header layout is [ next:u32 | nslots:u16 | free_off:u16 |
+    flags:u16 ] (10 bytes); [next] is a chain pointer used by
+    {!Heap_file} and by B+-tree leaves (internal B+-tree nodes reuse it
+    as the leftmost-child pointer), and [flags] is free for the client
+    (the B+-tree stores the node kind there).  Each slot is a [u16 offset, u16 length] pair growing from
+    the page end; slot order is the caller's business (insertion order
+    for heaps, key order for B+-tree nodes). *)
+
+(* Scalar accessors (little-endian). *)
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+val set_u32 : bytes -> int -> int -> unit
+
+val header_size : int
+
+(* Slotted-page operations.  [init] must be called on a fresh page. *)
+val init : bytes -> unit
+val next : bytes -> int
+val set_next : bytes -> int -> unit
+val flags : bytes -> int
+val set_flags : bytes -> int -> unit
+val slot_count : bytes -> int
+
+val free_space : bytes -> int
+(** Bytes available for one more record {e including} its slot entry. *)
+
+val read_slot : bytes -> int -> bytes
+(** [read_slot page i] copies record [i]. *)
+
+val add_slot : bytes -> bytes -> int
+(** [add_slot page record] appends a record, returning its slot index.
+    @raise Failure if the record does not fit; callers check
+    {!free_space} first. *)
+
+val insert_slot_at : bytes -> int -> bytes -> unit
+(** [insert_slot_at page i record] inserts a record so that it becomes
+    slot [i], shifting slots [i..] up by one.  Used by B+-tree nodes to
+    keep slots in key order. *)
+
+val remove_slot_at : bytes -> int -> unit
+(** Remove slot [i], shifting higher slots down.  The record bytes are
+    dead space until {!compact}. *)
+
+val set_slot_count : bytes -> int -> unit
+(** Truncate (or logically extend) the slot directory; used by node
+    splits.  Record bytes of dropped slots become dead space. *)
+
+val compact : bytes -> unit
+(** Rewrite the record area dropping dead space, preserving slot order. *)
+
+val live_bytes : bytes -> int
+(** Total bytes of live records plus their slots (excludes the header);
+    used by split heuristics. *)

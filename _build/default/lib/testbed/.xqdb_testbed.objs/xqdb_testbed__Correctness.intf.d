@@ -1,0 +1,1 @@
+lib/testbed/correctness.mli: Xqdb_core Xqdb_xml

@@ -1,0 +1,1 @@
+lib/testbed/efficiency.ml: Buffer List Printf Queries String Xqdb_core Xqdb_workload

@@ -1,0 +1,1 @@
+lib/testbed/efficiency.mli: Xqdb_core

@@ -1,0 +1,1 @@
+lib/testbed/grading.ml: Array Buffer Correctness Efficiency List Printf Xqdb_core

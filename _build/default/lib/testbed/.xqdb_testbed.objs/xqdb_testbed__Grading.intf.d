@@ -1,0 +1,1 @@
+lib/testbed/grading.mli: Xqdb_core

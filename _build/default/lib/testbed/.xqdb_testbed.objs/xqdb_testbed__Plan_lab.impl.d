@@ -1,0 +1,1 @@
+lib/testbed/plan_lab.ml: Buffer List Printf Queries String Sys Xqdb_core Xqdb_optimizer Xqdb_physical Xqdb_storage Xqdb_tpm Xqdb_workload Xqdb_xasr Xqdb_xq

@@ -1,0 +1,1 @@
+lib/testbed/plan_lab.mli: Xqdb_tpm Xqdb_xq

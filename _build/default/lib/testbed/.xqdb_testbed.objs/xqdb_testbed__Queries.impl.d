@@ -1,0 +1,1 @@
+lib/testbed/queries.ml: List Xqdb_xq

@@ -1,0 +1,1 @@
+lib/testbed/queries.mli: Xqdb_xq

@@ -1,0 +1,74 @@
+module Engine = Xqdb_core.Engine
+module Engine_config = Xqdb_core.Engine_config
+module W = Xqdb_workload
+
+type outcome = {
+  doc : string;
+  query : string;
+  engine : string;
+  passed : bool;
+  detail : string;
+}
+
+let documents () =
+  [ ("figure2", [W.Docs.figure2]);
+    ("tiny", [W.Docs.tiny]);
+    ("dblp", [W.Dblp_gen.generate (W.Dblp_gen.scaled 120)]);
+    ("treebank", [W.Treebank_gen.generate (W.Treebank_gen.scaled 25)]) ]
+
+let truncate s =
+  if String.length s <= 80 then s else String.sub s 0 77 ^ "..."
+
+let run ?(configs = Engine_config.all_presets) ?documents:(docs = documents ())
+    ?(queries = Queries.public_queries) () =
+  let parsed = Queries.parsed queries in
+  List.concat_map
+    (fun (doc_name, forest) ->
+      let reference_engine = Engine.load_forest ~config:Engine_config.m1 forest in
+      List.concat_map
+        (fun (query_name, query) ->
+          let reference = Engine.run reference_engine query in
+          List.map
+            (fun config ->
+              let engine = Engine.with_config config reference_engine in
+              let result = Engine.run engine query in
+              let passed, detail =
+                match result.Engine.status, reference.Engine.status with
+                | Engine.Ok, Engine.Ok ->
+                  if String.equal result.Engine.output reference.Engine.output then
+                    (true, "")
+                  else
+                    ( false,
+                      Printf.sprintf "expected %s, got %s"
+                        (truncate reference.Engine.output)
+                        (truncate result.Engine.output) )
+                | Engine.Error m1, Engine.Error _ ->
+                  (true, Printf.sprintf "both erred (%s)" (truncate m1))
+                | Engine.Error m, Engine.Ok -> (false, "engine erred: " ^ truncate m)
+                | Engine.Ok, Engine.Error m -> (false, "reference erred: " ^ truncate m)
+                | Engine.Budget_exceeded m, _ | _, Engine.Budget_exceeded m ->
+                  (false, "budget exceeded without a budget: " ^ truncate m)
+              in
+              { doc = doc_name;
+                query = query_name;
+                engine = config.Engine_config.name;
+                passed;
+                detail })
+            configs)
+        parsed)
+    docs
+
+let failures outcomes = List.filter (fun o -> not o.passed) outcomes
+
+let summary outcomes =
+  let failed = failures outcomes in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "correctness: %d checks, %d failures\n" (List.length outcomes)
+       (List.length failed));
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  FAIL %s / %s / %s: %s\n" o.doc o.query o.engine o.detail))
+    failed;
+  Buffer.contents buf

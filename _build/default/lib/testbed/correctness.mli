@@ -1,0 +1,25 @@
+(** Correctness testing: every engine configuration against the
+    milestone-1 reference, on every testbed document and public query.
+    This is the automated half of the course's submission & test system
+    (the other half was humans conducting milestone reviews). *)
+
+type outcome = {
+  doc : string;
+  query : string;
+  engine : string;
+  passed : bool;
+  detail : string;  (** diff summary on failure *)
+}
+
+val documents : unit -> (string * Xqdb_xml.Xml_tree.forest) list
+(** figure2, tiny, scaled DBLP, scaled Treebank. *)
+
+val run :
+  ?configs:Xqdb_core.Engine_config.t list ->
+  ?documents:(string * Xqdb_xml.Xml_tree.forest) list ->
+  ?queries:(string * string) list ->
+  unit ->
+  outcome list
+
+val failures : outcome list -> outcome list
+val summary : outcome list -> string

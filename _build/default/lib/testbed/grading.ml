@@ -1,0 +1,118 @@
+module Config = Xqdb_core.Engine_config
+
+type submission = {
+  team : string;
+  config : Config.t;
+  weeks_late : int array;
+  exam_points : int;
+}
+
+let submission ?(weeks_late = [| 0; 0; 0; 0 |]) ?(exam_points = 75) team config =
+  if Array.length weeks_late <> 4 then
+    invalid_arg "Grading.submission: four milestones";
+  { team; config; weeks_late; exam_points }
+
+type test_report = {
+  subject : string;
+  correctness_failures : (string * string * string) list;
+  efficiency_total : int;
+  body : string;
+}
+
+let test_submission ?(scale = 250) ?(budget = 50_000) sub =
+  let outcomes = Correctness.run ~configs:[sub.config] () in
+  let correctness_failures =
+    List.map
+      (fun (o : Correctness.outcome) -> (o.Correctness.doc, o.Correctness.query, o.Correctness.detail))
+      (Correctness.failures outcomes)
+  in
+  let table = Efficiency.run ~configs:[sub.config] ~scale ~budget () in
+  let efficiency_total = Efficiency.total table sub.config.Config.name in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "To: team %s\nSubject: test results for engine %s\n\n" sub.team
+       sub.config.Config.name);
+  (match correctness_failures with
+   | [] -> Buffer.add_string buf "All public correctness tests passed.\n"
+   | fails ->
+     Buffer.add_string buf
+       (Printf.sprintf "%d public correctness tests FAILED:\n" (List.length fails));
+     List.iter
+       (fun (doc, query, detail) ->
+         Buffer.add_string buf (Printf.sprintf "  %s / %s: %s\n" doc query detail))
+       fails);
+  Buffer.add_string buf "\nEfficiency tests (page I/Os, * = over budget):\n";
+  Buffer.add_string buf (Efficiency.render table);
+  { subject = Printf.sprintf "test results for team %s" sub.team;
+    correctness_failures;
+    efficiency_total;
+    body = Buffer.contents buf }
+
+type grade = {
+  team : string;
+  admitted : bool;
+  milestone_points : int;
+  scalability_bonus : int;
+  exam_points : int;
+  total : int;
+  passed : bool;
+}
+
+(* Early bird: +2; weeks late: triangular penalty (-1, -3, -6, ...). *)
+let milestone_points weeks_late =
+  Array.fold_left
+    (fun acc weeks -> if weeks <= 0 then acc + 2 else acc - (weeks * (weeks + 1) / 2))
+    0 weeks_late
+
+let grade_course ?scale ?budget submissions =
+  let reports = List.map (fun sub -> (sub, test_submission ?scale ?budget sub)) submissions in
+  (* Scalability ranking among the admitted engines. *)
+  let admitted =
+    List.filter (fun (_, report) -> report.correctness_failures = []) reports
+  in
+  let ranked =
+    List.sort (fun (_, a) (_, b) -> compare a.efficiency_total b.efficiency_total) admitted
+  in
+  let n = List.length ranked in
+  let bonus_of (sub : submission) =
+    match List.mapi (fun i ((s : submission), _) -> (s.team, i)) ranked |> List.assoc_opt sub.team with
+    | None -> 0
+    | Some rank ->
+      (* rank is 0-based; top 10% -> +6, next 15% -> +3. *)
+      if 10 * (rank + 1) <= n then 6 else if 4 * (rank + 1) <= n then 3 else 0
+  in
+  let grades =
+    List.map
+      (fun ((sub : submission), report) ->
+        let admitted = report.correctness_failures = [] in
+        let milestone_points = milestone_points sub.weeks_late in
+        let scalability_bonus = if admitted then bonus_of sub else 0 in
+        let exam_points = if admitted then sub.exam_points else 0 in
+        let total = max 0 (milestone_points + scalability_bonus + exam_points) in
+        { team = sub.team;
+          admitted;
+          milestone_points;
+          scalability_bonus;
+          exam_points;
+          total;
+          passed = admitted && exam_points >= 50 })
+      reports
+  in
+  List.sort (fun a b -> compare b.total a.total) grades
+
+let render grades =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %9s %10s %6s %6s %6s  %s\n" "Team" "milestone" "bonus" "exam"
+       "total" "passed" "status");
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %9d %10d %6d %6d %6s  %s\n" g.team g.milestone_points
+           g.scalability_bonus g.exam_points g.total
+           (if g.passed then "yes" else "no")
+           (if not g.admitted then "not admitted (engine not runnable)"
+            else if g.total > 100 then "over 100 points"
+            else "")))
+    grades;
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+(** The course's grading system and submission & test infrastructure
+    (Section 3 of the paper), in offline form.
+
+    A {e submission} stands for one team's engine: a name, an engine
+    configuration (which optimizations their code implements), and the
+    lateness of each milestone.  The {e test system} runs a submission
+    through the public correctness tests and the efficiency suite and
+    produces the report the course mailed back "within half a day":
+    run-time errors, answers to the public queries in case they differ,
+    and the timing.
+
+    Grading follows the paper's rules, instantiated with concrete
+    numbers where the paper gives none:
+
+    - the best grade is 100 points, obtainable solely in the final exam;
+    - admission to the exam requires a runnable engine (all public
+      correctness tests pass); passing requires at least 50 exam points;
+    - a successful milestone submission by the early-bird review brings
+      2 points; the penalty for missed deadlines grows with the weeks of
+      delay (here: triangular, -1, -3, -6, ...);
+    - the 10% most scalable engines get +6 bonus points, the next 15%
+      +3 — "as a result, 25% of the students that successfully passed
+      the exam got more than 100 points in total". *)
+
+type submission = {
+  team : string;
+  config : Xqdb_core.Engine_config.t;
+  weeks_late : int array;  (** per milestone, length 4, 0 = early bird *)
+  exam_points : int;  (** 0..100 *)
+}
+
+val submission :
+  ?weeks_late:int array -> ?exam_points:int -> string -> Xqdb_core.Engine_config.t -> submission
+
+type test_report = {
+  subject : string;
+  correctness_failures : (string * string * string) list;
+      (** (document, query, diff detail) — empty means runnable *)
+  efficiency_total : int;  (** censored-capped page I/Os, lower is better *)
+  body : string;  (** the notification e-mail text *)
+}
+
+val test_submission :
+  ?scale:int -> ?budget:int -> submission -> test_report
+(** Run the submission & test system for one submission. *)
+
+type grade = {
+  team : string;
+  admitted : bool;  (** runnable engine handed in *)
+  milestone_points : int;
+  scalability_bonus : int;
+  exam_points : int;
+  total : int;
+  passed : bool;  (** admitted && exam_points >= 50 *)
+}
+
+val grade_course : ?scale:int -> ?budget:int -> submission list -> grade list
+(** Test every submission, award bonus points by the efficiency ranking,
+    and compute final grades, best first. *)
+
+val render : grade list -> string
+(** The course's leaderboard. *)

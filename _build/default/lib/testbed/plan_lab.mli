@@ -1,0 +1,39 @@
+(** The Example 6 plan laboratory.
+
+    Builds the paper's three query plans for the milestone-4 example
+    query ("the list of authors of articles that have information on
+    proceedings volume") over a skewed DBLP-like document — many
+    authors, few volumes — and runs all three:
+
+    - {b QP0}: mirrors the query structure bottom-up with the authors
+      joined before the volume test and no order discipline (order
+      restored by a final sort) — the naive plan;
+    - {b QP1}: order-preserving structural plan: (A join B) join V with
+      selections pushed down, nested loops only;
+    - {b QP2}: cost-based plan with the volume semijoin first and index
+      nested-loop joins — Figure 6.
+
+    The paper's claim, checked by the tests: QP2 beats QP1 beats QP0. *)
+
+type measurement = {
+  name : string;
+  description : string;
+  plan : string;  (** rendered plan *)
+  est_cost : float;
+  page_ios : int;  (** measured *)
+  rows : int;  (** distinct vartuples produced *)
+  seconds : float;
+}
+
+val query : Xqdb_xq.Xq_ast.query
+(** The Example 6 query. *)
+
+val psx : unit -> Xqdb_tpm.Tpm_algebra.psx
+(** Its merged PSX (bindings for the article and author variables,
+    existential volume relation). *)
+
+val run : ?scale:int -> unit -> measurement list
+(** Builds the document at [scale] (default 300 publications; the naive plan is quadratic), loads
+    it, and measures QP0, QP1, QP2 in that order. *)
+
+val render : measurement list -> string

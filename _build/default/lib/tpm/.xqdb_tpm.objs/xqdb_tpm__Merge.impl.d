@@ -1,0 +1,1 @@
+lib/tpm/merge.ml: List String Tpm_algebra

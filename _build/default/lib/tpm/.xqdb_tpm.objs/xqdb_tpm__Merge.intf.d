@@ -1,0 +1,1 @@
+lib/tpm/merge.mli: Tpm_algebra

@@ -1,0 +1,1 @@
+lib/tpm/rewrite.ml: List Printf Seq String Tpm_algebra Xqdb_xasr Xqdb_xq

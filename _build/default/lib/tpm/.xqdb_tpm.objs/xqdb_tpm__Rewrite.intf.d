@@ -1,0 +1,1 @@
+lib/tpm/rewrite.mli: Tpm_algebra Xqdb_xq

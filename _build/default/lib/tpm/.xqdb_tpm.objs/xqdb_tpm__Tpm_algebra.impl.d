@@ -1,0 +1,1 @@
+lib/tpm/tpm_algebra.ml: List String Xqdb_xasr Xqdb_xq

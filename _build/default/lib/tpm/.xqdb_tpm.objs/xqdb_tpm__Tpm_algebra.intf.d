@@ -1,0 +1,1 @@
+lib/tpm/tpm_algebra.mli: Xqdb_xasr Xqdb_xq

@@ -1,0 +1,1 @@
+lib/tpm/tpm_print.ml: Format List Printf String Tpm_algebra Xqdb_xasr Xqdb_xq

@@ -1,0 +1,1 @@
+lib/tpm/tpm_print.mli: Format Tpm_algebra

@@ -1,0 +1,52 @@
+module A = Tpm_algebra
+
+(* Substitute references to the outer relfor's variables in the inner
+   PSX's predicates: $xi becomes its binding relation's in column, and
+   out($xi) its out column. *)
+let substitute (outer_bindings : A.binding list) (psx : A.psx) =
+  let subst operand =
+    match operand with
+    | A.Oextern_in x ->
+      (match List.find_opt (fun b -> String.equal b.A.var x) outer_bindings with
+       | Some b -> A.Ocol (A.col b.A.brel A.In)
+       | None -> operand)
+    | A.Oextern_out x ->
+      (match List.find_opt (fun b -> String.equal b.A.var x) outer_bindings with
+       | Some b -> A.Ocol (A.col b.A.brel A.Out)
+       | None -> operand)
+    | A.Ocol _ | A.Oint _ | A.Ostr _ | A.Otype _ -> operand
+  in
+  { psx with
+    A.preds =
+      List.map
+        (fun p -> { p with A.left = subst p.A.left; right = subst p.A.right })
+        psx.A.preds }
+
+let merge_once ~(outer : A.relfor) ~(inner : A.relfor) =
+  let inner_source = substitute outer.A.source.A.bindings inner.A.source in
+  { A.vars = outer.A.vars @ inner.A.vars;
+    source =
+      { A.bindings = outer.A.source.A.bindings @ inner_source.A.bindings;
+        preds = outer.A.source.A.preds @ inner_source.A.preds;
+        rels = outer.A.source.A.rels @ inner_source.A.rels };
+    body = inner.A.body }
+
+let rec merge ?(drop_redundant = true) t =
+  let merge_t = merge ~drop_redundant in
+  match t with
+  | A.Empty | A.Text_out _ | A.Out_var _ -> t
+  | A.Constr (a, body) -> A.Constr (a, merge_t body)
+  | A.Seq (t1, t2) -> A.Seq (merge_t t1, merge_t t2)
+  | A.Guard (c, body) -> A.Guard (c, merge_t body)
+  | A.Relfor r ->
+    let body = merge_t r.A.body in
+    (match body with
+     | A.Relfor inner ->
+       let merged = merge_once ~outer:{ r with body } ~inner in
+       let source =
+         if drop_redundant then A.drop_redundant_self_rels merged.A.source
+         else merged.A.source
+       in
+       A.Relfor { merged with source }
+     | A.Empty | A.Text_out _ | A.Out_var _ | A.Constr _ | A.Seq _ | A.Guard _ ->
+       A.Relfor { r with body })

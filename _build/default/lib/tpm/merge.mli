@@ -1,0 +1,29 @@
+(** Relfor merging (milestone 3).
+
+    Directly nested relfors merge into one, per the paper's rule:
+
+    {v
+    relfor (x1..xm) in PSX(A, phi, R) return
+      relfor (y1..yn) in PSX(B, psi, S) return alpha
+    |- relfor (x1..xm, y1..yn) in PSX(A++B, phi /\ psi', R++S) return alpha
+    v}
+
+    where [psi'] replaces each occurrence of an outer variable [xi] by
+    its column [Ai] (and, in carry-out mode, [out(xi)] by the matching
+    out column).  Aliases are already pairwise distinct by construction.
+
+    The rule applies {e only} to immediately nested relfors: a
+    constructor between two for-loops must keep them separate (empty
+    groups still construct), and a {!Tpm_algebra.Guard} between them is a
+    per-binding runtime check.  Both are enforced structurally.
+
+    After each merge, self-join copies made redundant by the
+    substitution are dropped (Example 4's "we can safely drop N1")
+    unless [drop_redundant] is [false]. *)
+
+val merge : ?drop_redundant:bool -> Tpm_algebra.t -> Tpm_algebra.t
+
+val merge_once :
+  outer:Tpm_algebra.relfor -> inner:Tpm_algebra.relfor -> Tpm_algebra.relfor
+(** One application of the rule (no recursion, no dropping); exposed for
+    the golden tests of Examples 3-4. *)

@@ -1,0 +1,189 @@
+open Xqdb_xq.Xq_ast
+module A = Tpm_algebra
+
+type config = {
+  carry_out : bool;
+}
+
+let default = { carry_out = true }
+let naive = { carry_out = false }
+
+(* Alias generation: derived from the variable name the way the paper
+   names its relations (variable $n yields N, N2, ...), globally unique
+   within one rewrite so that merging never collides. *)
+type state = {
+  cfg : config;
+  mutable used : string list;
+  mutable fresh_count : int;
+}
+
+let base_of_var x =
+  let cleaned =
+    String.to_seq x
+    |> Seq.filter (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+    |> String.of_seq
+  in
+  if String.equal cleaned "" then "R" else String.capitalize_ascii cleaned
+
+let alias st base =
+  let rec pick i =
+    let candidate = if i = 1 then base else Printf.sprintf "%s%d" base i in
+    if List.mem candidate st.used then pick (i + 1) else candidate
+  in
+  let name = pick 1 in
+  st.used <- name :: st.used;
+  name
+
+let fresh_var st =
+  st.fresh_count <- st.fresh_count + 1;
+  Printf.sprintf "#r%d" st.fresh_count
+
+(* References to variables inside one PSX: variables bound in the same
+   PSX (by 'some' chains) resolve to their relation's columns; variables
+   bound by enclosing relfors stay external. *)
+type local_env = (var * string) list
+
+let var_in st env x =
+  match List.assoc_opt x env with
+  | Some a -> A.Ocol (A.col a A.In)
+  | None ->
+    ignore st;
+    (* The virtual root always has in = 1 (Figure 2), so references to
+       $root's in-value are constants, as in the paper's figures. *)
+    if String.equal x root_var then A.Oint 1 else A.Oextern_in x
+
+let var_out st env x =
+  match List.assoc_opt x env with
+  | Some a -> A.Ocol (A.col a A.Out)
+  | None ->
+    ignore st;
+    A.Oextern_out x
+
+let eq l r = { A.left = l; op = A.Eq; right = r }
+let lt l r = { A.left = l; op = A.Lt; right = r }
+
+let test_preds a test =
+  let ty = A.Ocol (A.col a A.Type_) in
+  match test with
+  | Name label ->
+    [eq ty (A.Otype Xqdb_xasr.Xasr.Element); eq (A.Ocol (A.col a A.Value)) (A.Ostr label)]
+  | Star -> [eq ty (A.Otype Xqdb_xasr.Xasr.Element)]
+  | Text_test -> [eq ty (A.Otype Xqdb_xasr.Xasr.Text)]
+
+(* The step rules.  Returns the relations and predicates binding a fresh
+   alias for [y], stepping from [x]. *)
+let step_psx st env y x axis test =
+  let a = alias st (base_of_var y) in
+  match axis with
+  | Child ->
+    let preds = eq (A.Ocol (A.col a A.Parent_in)) (var_in st env x) :: test_preds a test in
+    (a, [a], preds)
+  | Descendant ->
+    let from_local_or_carry =
+      List.mem_assoc x env || st.cfg.carry_out
+    in
+    if from_local_or_carry then begin
+      (* in(x) < in(a)  /\  out(a) < out(x) — out(x) available either as
+         a column (local) or in the vartuple (carry_out). *)
+      let preds =
+        lt (var_in st env x) (A.Ocol (A.col a A.In))
+        :: lt (A.Ocol (A.col a A.Out)) (var_out st env x)
+        :: test_preds a test
+      in
+      (a, [a], preds)
+    end
+    else begin
+      (* The paper's two-relation rule: a self-join copy R1 pinned to the
+         outer binding provides the missing out value. *)
+      let base = base_of_var y in
+      let a1 = alias st (base ^ "1") in
+      let preds =
+        eq (A.Ocol (A.col a1 A.In)) (var_in st env x)
+        :: lt (A.Ocol (A.col a1 A.In)) (A.Ocol (A.col a A.In))
+        :: lt (A.Ocol (A.col a A.Out)) (A.Ocol (A.col a1 A.Out))
+        :: test_preds a test
+      in
+      (a, [a1; a], preds)
+    end
+
+(* ALG(phi): the nullary PSX fragment of a condition, or None. *)
+let rec cond_psx st (env : local_env) = function
+  | True -> Some ([], [])
+  | And (c1, c2) ->
+    (match (cond_psx st env c1, cond_psx st env c2) with
+     | Some (r1, p1), Some (r2, p2) -> Some (r1 @ r2, p1 @ p2)
+     | None, _ | _, None -> None)
+  | Some_ (y, x, axis, test, c) ->
+    let a, rels, preds = step_psx st env y x axis test in
+    (match cond_psx st ((y, a) :: env) c with
+     | Some (rels', preds') -> Some (rels @ rels', preds @ preds')
+     | None -> None)
+  | Eq_const (x, s) ->
+    (* The node bound to x must be a text node with this value. *)
+    (match List.assoc_opt x env with
+     | Some a ->
+       Some
+         ( [],
+           [ eq (A.Ocol (A.col a A.Type_)) (A.Otype Xqdb_xasr.Xasr.Text);
+             eq (A.Ocol (A.col a A.Value)) (A.Ostr s) ] )
+     | None ->
+       (* Outer variable: fetch its tuple through a pinned copy. *)
+       let a = alias st (base_of_var x) in
+       Some
+         ( [a],
+           [ eq (A.Ocol (A.col a A.In)) (A.Oextern_in x);
+             eq (A.Ocol (A.col a A.Type_)) (A.Otype Xqdb_xasr.Xasr.Text);
+             eq (A.Ocol (A.col a A.Value)) (A.Ostr s) ] ))
+  | Eq_vars (x, y) ->
+    let resolve v =
+      match List.assoc_opt v env with
+      | Some a -> ([], [eq (A.Ocol (A.col a A.Type_)) (A.Otype Xqdb_xasr.Xasr.Text)], a)
+      | None ->
+        let a = alias st (base_of_var v) in
+        ( [a],
+          [ eq (A.Ocol (A.col a A.In)) (A.Oextern_in v);
+            eq (A.Ocol (A.col a A.Type_)) (A.Otype Xqdb_xasr.Xasr.Text) ],
+          a )
+    in
+    let rx, px, ax = resolve x in
+    let ry, py, ay = resolve y in
+    Some
+      (rx @ ry, px @ py @ [eq (A.Ocol (A.col ax A.Value)) (A.Ocol (A.col ay A.Value))])
+  | Or _ | Not _ -> None
+
+let maybe_drop st psx = if st.cfg.carry_out then A.drop_redundant_self_rels psx else psx
+
+let rec query_rw st = function
+  | Xqdb_xq.Xq_ast.Empty -> A.Empty
+  | Text_lit s -> A.Text_out s
+  | Var x -> A.Out_var x
+  | Constr (a, q) -> A.Constr (a, query_rw st q)
+  | Seq (q1, q2) -> A.Seq (query_rw st q1, query_rw st q2)
+  | Path (x, axis, test) ->
+    (* Sugar: a path as a query is a for-loop emitting its binding. *)
+    let y = fresh_var st in
+    query_rw st (For (y, x, axis, test, Var y))
+  | For (y, x, axis, test, body) ->
+    let a, rels, preds = step_psx st [] y x axis test in
+    let source =
+      maybe_drop st { A.bindings = [{ A.var = y; brel = a }]; preds; rels }
+    in
+    A.Relfor { vars = [y]; source; body = query_rw st body }
+  | If (c, body) ->
+    (match cond_psx st [] c with
+     | Some (rels, preds) ->
+       let source = maybe_drop st { A.bindings = []; preds; rels } in
+       A.Relfor { vars = []; source; body = query_rw st body }
+     | None -> A.Guard (c, query_rw st body))
+
+let query ?(config = default) q =
+  let st = { cfg = config; used = []; fresh_count = 0 } in
+  query_rw st q
+
+let cond ?(config = default) c =
+  let st = { cfg = config; used = []; fresh_count = 0 } in
+  match cond_psx st [] c with
+  | Some (rels, preds) ->
+    Some (maybe_drop st { A.bindings = []; preds; rels })
+  | None -> None

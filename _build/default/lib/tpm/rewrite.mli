@@ -1,0 +1,47 @@
+(** Rewriting XQ into TPM (milestone 3).
+
+    For-loops and the rewritable fragment of if-conditions become
+    [relfor]s over PSX expressions, following the paper's rules:
+
+    {v
+    for $y in $x/a return q
+      |-  relfor ($y) in PSX(R.in, R.parent_in = $x /\ R.type = elem
+                                    /\ R.value = a, XASR[R]) return q
+
+    for $y in $x//a return q
+      |-  relfor ($y) in PSX(R2.in, R1.in = $x /\ R1.in < R2.in
+                                    /\ R2.out < R1.out /\ R2.type = elem
+                                    /\ R2.value = a,
+                             (XASR[R1], XASR[R2])) return q
+
+    if phi then q else ()  |-  relfor () in ALG(phi) return q
+    v}
+
+    [ALG] covers conditions built from [some], [and], [true()] and
+    text-node equality tests; conditions containing [or] or [not] are
+    outside the TPM fragment (only pass-fail decisions map to it) and
+    are kept as {!Tpm_algebra.Guard}s, evaluated navigationally.
+
+    With [carry_out] (the default, the paper's vartuple refinement) the
+    descendant rule uses the outer binding's [out] directly instead of
+    the [R1] self-join, and redundant self-join relations are dropped as
+    in Example 4.
+
+    A word on typing: [$x = "s"] translates to a selection requiring
+    [X.type = text].  Where milestone 1 raises a runtime type error on a
+    non-text operand, the algebra just produces no tuple; the testbed
+    only compares engines on type-correct queries (see DESIGN.md). *)
+
+type config = {
+  carry_out : bool;  (** vartuples carry (in, out); default true *)
+}
+
+val default : config
+val naive : config
+(** [carry_out = false]: the ablation measuring the extra self-joins. *)
+
+val query : ?config:config -> Xqdb_xq.Xq_ast.query -> Tpm_algebra.t
+
+val cond : ?config:config -> Xqdb_xq.Xq_ast.cond -> Tpm_algebra.psx option
+(** [ALG(phi)]: the nullary PSX of a condition, or [None] if the
+    condition is outside the TPM fragment. *)

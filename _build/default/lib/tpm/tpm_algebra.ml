@@ -1,0 +1,203 @@
+type field =
+  | In
+  | Out
+  | Parent_in
+  | Type_
+  | Value
+
+type col = {
+  rel : string;
+  field : field;
+}
+
+type operand =
+  | Ocol of col
+  | Oint of int
+  | Ostr of string
+  | Otype of Xqdb_xasr.Xasr.node_type
+  | Oextern_in of Xqdb_xq.Xq_ast.var
+  | Oextern_out of Xqdb_xq.Xq_ast.var
+
+type cmp =
+  | Eq
+  | Lt
+  | Gt
+
+type pred = {
+  left : operand;
+  op : cmp;
+  right : operand;
+}
+
+type binding = {
+  var : Xqdb_xq.Xq_ast.var;
+  brel : string;
+}
+
+type psx = {
+  bindings : binding list;
+  preds : pred list;
+  rels : string list;
+}
+
+type t =
+  | Empty
+  | Text_out of string
+  | Constr of string * t
+  | Seq of t * t
+  | Out_var of Xqdb_xq.Xq_ast.var
+  | Relfor of relfor
+  | Guard of Xqdb_xq.Xq_ast.cond * t
+
+and relfor = {
+  vars : Xqdb_xq.Xq_ast.var list;
+  source : psx;
+  body : t;
+}
+
+let col rel field = { rel; field }
+
+let field_name = function
+  | In -> "in"
+  | Out -> "out"
+  | Parent_in -> "parent_in"
+  | Type_ -> "type"
+  | Value -> "value"
+
+let equal_psx (p1 : psx) (p2 : psx) = p1 = p2
+let equal (t1 : t) (t2 : t) = t1 = t2
+
+let operand_rel = function
+  | Ocol c -> Some c.rel
+  | Oint _ | Ostr _ | Otype _ | Oextern_in _ | Oextern_out _ -> None
+
+let operand_extern = function
+  | Oextern_in x | Oextern_out x -> Some x
+  | Ocol _ | Oint _ | Ostr _ | Otype _ -> None
+
+let pred_rels p = List.filter_map operand_rel [p.left; p.right]
+let pred_externs p = List.filter_map operand_extern [p.left; p.right]
+
+let psx_externs psx =
+  List.concat_map pred_externs psx.preds
+  |> List.sort_uniq compare
+
+let rec relfor_count = function
+  | Empty | Text_out _ | Out_var _ -> 0
+  | Constr (_, t) -> relfor_count t
+  | Seq (t1, t2) -> relfor_count t1 + relfor_count t2
+  | Guard (_, t) -> relfor_count t
+  | Relfor r -> 1 + relfor_count r.body
+
+let rec guard_count = function
+  | Empty | Text_out _ | Out_var _ -> 0
+  | Constr (_, t) -> guard_count t
+  | Seq (t1, t2) -> guard_count t1 + guard_count t2
+  | Guard (_, t) -> 1 + guard_count t
+  | Relfor r -> guard_count r.body
+
+let map_operand f = function
+  | Ocol c -> f c
+  | (Oint _ | Ostr _ | Otype _ | Oextern_in _ | Oextern_out _) as op -> op
+
+let map_cols_psx f psx =
+  { psx with
+    preds =
+      List.map
+        (fun p -> { p with left = map_operand f p.left; right = map_operand f p.right })
+        psx.preds }
+
+let rename_rel ~old_alias ~alias psx =
+  let rename_col c = Ocol (if String.equal c.rel old_alias then { c with rel = alias } else c) in
+  let psx = map_cols_psx rename_col psx in
+  { psx with
+    bindings =
+      List.map
+        (fun b -> if String.equal b.brel old_alias then { b with brel = alias } else b)
+        psx.bindings;
+    rels = List.map (fun r -> if String.equal r old_alias then alias else r) psx.rels }
+
+(* --- dropping redundant self-join relations --------------------------- *)
+
+(* A non-binding alias [a] whose [in] is equated to [b.in] (or to an
+   outer variable) denotes the same XASR tuple; its columns can be
+   substituted away.  When the equation is with an outer variable, only
+   the in/out columns are substitutable, so [a] must not be touched on
+   other fields. *)
+
+let fields_used_of psx alias =
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (function
+          | Ocol c when String.equal c.rel alias -> Some c.field
+          | Ocol _ | Oint _ | Ostr _ | Otype _ | Oextern_in _ | Oextern_out _ -> None)
+        [p.left; p.right])
+    psx.preds
+  |> List.sort_uniq compare
+
+(* Find an in-equality pinning [alias]: returns the substitution for its
+   in and out columns. *)
+let pinning_subst psx alias =
+  let candidate p =
+    let this c = (match c with Ocol { rel; field = In } -> String.equal rel alias | _ -> false) in
+    let other =
+      if this p.left then Some p.right else if this p.right then Some p.left else None
+    in
+    match (p.op, other) with
+    | Eq, Some (Ocol { rel; field = In }) when not (String.equal rel alias) ->
+      Some (Ocol (col rel In), Ocol (col rel Out), p)
+    | Eq, Some (Oextern_in x) -> Some (Oextern_in x, Oextern_out x, p)
+    | (Eq | Lt | Gt), _ -> None
+  in
+  List.find_map candidate psx.preds
+
+let drop_redundant_self_rels psx =
+  let bound = List.map (fun b -> b.brel) psx.bindings in
+  let try_drop psx alias =
+    if List.mem alias bound then None
+    else
+      match pinning_subst psx alias with
+      | None -> None
+      | Some (in_subst, out_subst, pin_pred) ->
+        let used = fields_used_of psx alias in
+        let substitutable =
+          List.for_all (fun f -> f = In || f = Out) used
+          ||
+          (* Column-to-column pinning lets every field transfer. *)
+          (match in_subst with Ocol _ -> true | _ -> false)
+        in
+        if not substitutable then None
+        else begin
+          let subst = function
+            | { rel; field } when String.equal rel alias ->
+              (match (field, in_subst) with
+               | In, _ -> in_subst
+               | Out, _ -> out_subst
+               | (Parent_in | Type_ | Value), Ocol { rel = b; field = _ } ->
+                 Ocol (col b field)
+               | (Parent_in | Type_ | Value), _ -> assert false)
+            | c -> Ocol c
+          in
+          let preds = List.filter (fun p -> p != pin_pred) psx.preds in
+          let psx = map_cols_psx subst { psx with preds } in
+          (* Drop trivially-true leftovers such as [x = x]. *)
+          let preds =
+            List.filter (fun p -> not (p.op = Eq && p.left = p.right)) psx.preds
+          in
+          Some { psx with preds; rels = List.filter (fun r -> not (String.equal r alias)) psx.rels }
+        end
+  in
+  let rec fixpoint psx =
+    let rec first_drop = function
+      | [] -> None
+      | alias :: rest ->
+        (match try_drop psx alias with
+         | Some psx' -> Some psx'
+         | None -> first_drop rest)
+    in
+    match first_drop psx.rels with
+    | Some psx' -> fixpoint psx'
+    | None -> psx
+  in
+  fixpoint psx

@@ -1,0 +1,111 @@
+(** The TPM algebra ("the professor's mistake"), milestone 3.
+
+    TPM is not a query algebra in the usual sense: it embeds relational
+    algebra over the XASR relation inside an imperative iteration
+    construct.  A [relfor]
+
+    {v relfor vartuple in xasr-alg return expression v}
+
+    evaluates the relational expression — here kept in
+    project-select-product normal form (PSX) — and iterates the
+    expression body once per result tuple, binding the vartuple.
+
+    The relational result must be (1) projected onto the bound
+    variables' columns and (2) sorted hierarchically in document order,
+    with duplicates removed; how a physical plan achieves this is the
+    milestone 3/4 ordering story.
+
+    Following the paper's suggested refinement, a vartuple entry carries
+    both the [in] {e and} the [out] value of the bound node, so nested
+    descendant steps need no extra self-join; the rewriter can be asked
+    not to do this (see {!Rewrite}) to measure the cost of the naive
+    encoding. *)
+
+type field =
+  | In
+  | Out
+  | Parent_in
+  | Type_
+  | Value
+
+type col = {
+  rel : string;  (** relation alias, e.g. ["J"] *)
+  field : field;
+}
+
+type operand =
+  | Ocol of col
+  | Oint of int  (** an [in]/[out]/[parent_in] constant *)
+  | Ostr of string  (** a label or text constant *)
+  | Otype of Xqdb_xasr.Xasr.node_type
+  | Oextern_in of Xqdb_xq.Xq_ast.var  (** [$x]: outer binding's [in] *)
+  | Oextern_out of Xqdb_xq.Xq_ast.var  (** outer binding's [out] *)
+
+type cmp =
+  | Eq
+  | Lt  (** strictly less *)
+  | Gt
+
+type pred = {
+  left : operand;
+  op : cmp;
+  right : operand;
+}
+
+(** A variable binding produced by a PSX: the pair of columns
+    ([rel.in], [rel.out]) that the vartuple entry for [var] projects. *)
+type binding = {
+  var : Xqdb_xq.Xq_ast.var;
+  brel : string;
+}
+
+(** PSX normal form: [pi_bindings (sigma_preds (rel_1 x ... x rel_n))],
+    all relations being copies of XASR under distinct aliases. *)
+type psx = {
+  bindings : binding list;
+  preds : pred list;
+  rels : string list;
+}
+
+(** TPM expressions: the non-relational shell around relfors. *)
+type t =
+  | Empty
+  | Text_out of string
+  | Constr of string * t
+  | Seq of t * t
+  | Out_var of Xqdb_xq.Xq_ast.var  (** emit the bound node's subtree *)
+  | Relfor of relfor
+  | Guard of Xqdb_xq.Xq_ast.cond * t
+      (** residual condition outside the rewritable fragment ([or], [not],
+          comparisons under them); evaluated navigationally per binding *)
+
+and relfor = {
+  vars : Xqdb_xq.Xq_ast.var list;  (** = [List.map (fun b -> b.var) source.bindings] *)
+  source : psx;
+  body : t;
+}
+
+val col : string -> field -> col
+val field_name : field -> string
+val equal_psx : psx -> psx -> bool
+val equal : t -> t -> bool
+
+val pred_rels : pred -> string list
+(** Aliases mentioned by a predicate (0, 1 or 2). *)
+
+val pred_externs : pred -> Xqdb_xq.Xq_ast.var list
+
+val psx_externs : psx -> Xqdb_xq.Xq_ast.var list
+(** Outer variables a PSX depends on, deduplicated. *)
+
+val relfor_count : t -> int
+val guard_count : t -> int
+
+val rename_rel : old_alias:string -> alias:string -> psx -> psx
+(** Alpha-rename one relation alias throughout a PSX. *)
+
+(** Drop relations made redundant by an [R.in = $x] equality when the
+    vartuple already carries [$x]'s in/out — the paper's "because
+    [N1.in = $j = J.in] ... we can safely drop N1".  Used by the
+    rewriter in carry-out mode and by tests. *)
+val drop_redundant_self_rels : psx -> psx

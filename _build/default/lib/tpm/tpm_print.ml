@@ -1,0 +1,57 @@
+module A = Tpm_algebra
+
+let col_to_string (c : A.col) = Printf.sprintf "%s.%s" c.A.rel (A.field_name c.A.field)
+
+let operand_to_string = function
+  | A.Ocol c -> col_to_string c
+  | A.Oint v -> string_of_int v
+  | A.Ostr s -> s
+  | A.Otype ty -> (match ty with
+    | Xqdb_xasr.Xasr.Root -> "root"
+    | Xqdb_xasr.Xasr.Element -> "elem"
+    | Xqdb_xasr.Xasr.Text -> "text")
+  | A.Oextern_in x -> Xqdb_xq.Xq_print.var x
+  | A.Oextern_out x -> Printf.sprintf "out(%s)" (Xqdb_xq.Xq_print.var x)
+
+let cmp_to_string = function
+  | A.Eq -> "="
+  | A.Lt -> "<"
+  | A.Gt -> ">"
+
+let pred_to_string (p : A.pred) =
+  Printf.sprintf "%s %s %s" (operand_to_string p.A.left) (cmp_to_string p.A.op)
+    (operand_to_string p.A.right)
+
+let preds_to_string preds =
+  match preds with
+  | [] -> "true"
+  | _ :: _ -> String.concat " ∧ " (List.map pred_to_string preds)
+
+let bindings_to_string bindings =
+  String.concat ", "
+    (List.map (fun (b : A.binding) -> col_to_string (A.col b.A.brel A.In)) bindings)
+
+let pp_psx ppf (psx : A.psx) =
+  Format.fprintf ppf "@[<v 0>π[%s]@,σ[%s]@,× (%s)@]"
+    (bindings_to_string psx.A.bindings)
+    (preds_to_string psx.A.preds)
+    (String.concat ", " (List.map (fun r -> "XASR[" ^ r ^ "]") psx.A.rels))
+
+let psx_to_string psx = Format.asprintf "%a" pp_psx psx
+
+let rec pp ppf = function
+  | A.Empty -> Format.pp_print_string ppf "()"
+  | A.Text_out s -> Format.fprintf ppf "text{%S}" s
+  | A.Out_var x -> Format.pp_print_string ppf (Xqdb_xq.Xq_print.var x)
+  | A.Constr (label, body) -> Format.fprintf ppf "@[<v 2>constr(%s)@,%a@]" label pp body
+  | A.Seq (t1, t2) -> Format.fprintf ppf "@[<v 2>seq@,%a@,%a@]" pp t1 pp t2
+  | A.Guard (c, body) ->
+    Format.fprintf ppf "@[<v 2>guard(%s)@,%a@]"
+      (Xqdb_xq.Xq_print.cond_to_string c)
+      pp body
+  | A.Relfor r ->
+    Format.fprintf ppf "@[<v 2>relfor (%s) in@,%a@]@,@[<v 2>return@,%a@]"
+      (String.concat ", " (List.map Xqdb_xq.Xq_print.var r.A.vars))
+      pp_psx r.A.source pp r.A.body
+
+let to_string t = Format.asprintf "@[<v>%a@]" pp t

@@ -1,0 +1,12 @@
+(** Pretty-printing TPM expressions in the style of the paper's
+    Figures 3-5: relfors with their PSX source shown as
+    projection / selection / product over XASR copies. *)
+
+val operand_to_string : Tpm_algebra.operand -> string
+val pred_to_string : Tpm_algebra.pred -> string
+
+val pp_psx : Format.formatter -> Tpm_algebra.psx -> unit
+val psx_to_string : Tpm_algebra.psx -> string
+
+val pp : Format.formatter -> Tpm_algebra.t -> unit
+val to_string : Tpm_algebra.t -> string

@@ -1,0 +1,1 @@
+lib/workload/dblp_gen.ml: Array List Printf Random Xqdb_xml

@@ -1,0 +1,1 @@
+lib/workload/dblp_gen.mli: Xqdb_xml

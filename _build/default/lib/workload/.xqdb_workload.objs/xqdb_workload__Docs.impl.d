@@ -1,0 +1,1 @@
+lib/workload/docs.ml: Xqdb_xml

@@ -1,0 +1,1 @@
+lib/workload/docs.mli: Xqdb_xml

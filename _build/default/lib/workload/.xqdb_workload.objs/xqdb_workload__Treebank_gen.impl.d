@@ -1,0 +1,1 @@
+lib/workload/treebank_gen.ml: Array List Random Xqdb_xml

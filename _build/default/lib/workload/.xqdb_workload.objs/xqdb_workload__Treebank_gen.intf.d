@@ -1,0 +1,1 @@
+lib/workload/treebank_gen.mli: Xqdb_xml

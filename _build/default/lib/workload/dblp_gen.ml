@@ -1,0 +1,89 @@
+module Tree = Xqdb_xml.Xml_tree
+
+type params = {
+  articles : int;
+  inproceedings : int;
+  seed : int;
+  authors_mean : int;
+  volume_fraction : float;
+  distinct_authors : int;
+}
+
+let default =
+  { articles = 400;
+    inproceedings = 200;
+    seed = 20060630;  (* the workshop date *)
+    authors_mean = 3;
+    volume_fraction = 0.1;
+    distinct_authors = 120 }
+
+let scaled n =
+  { default with
+    articles = max 1 (2 * n / 3);
+    inproceedings = max 1 (n / 3) }
+
+let first_names =
+  [| "Ana"; "Bob"; "Carla"; "Dan"; "Eva"; "Felix"; "Gina"; "Hugo"; "Iris"; "Jan";
+     "Katrin"; "Leo"; "Mara"; "Nils"; "Olga"; "Paul"; "Queenie"; "Rosa"; "Sven"; "Tina" |]
+
+let last_names =
+  [| "Koch"; "Olteanu"; "Scherzinger"; "Meier"; "Schmidt"; "Weber"; "Fischer"; "Wagner";
+     "Becker"; "Hoffmann"; "Schulz"; "Keller"; "Richter"; "Wolf"; "Neumann"; "Braun" |]
+
+let title_words =
+  [| "Efficient"; "Scalable"; "Native"; "XML"; "Query"; "Processing"; "Algebraic";
+     "Optimization"; "Storage"; "Indexing"; "Structural"; "Joins"; "Streams"; "Views";
+     "Cost"; "Models"; "Evaluation"; "Fragments"; "Semantics"; "Automata" |]
+
+let venues =
+  [| "SIGMOD"; "VLDB"; "ICDE"; "PODS"; "EDBT"; "WebDB"; "XIME-P" |]
+
+let pick state arr = arr.(Random.State.int state (Array.length arr))
+
+let author_pool params state =
+  Array.init params.distinct_authors (fun _ ->
+      pick state first_names ^ " " ^ pick state last_names)
+
+let publication params state pool kind index =
+  let title =
+    Printf.sprintf "%s %s %s %d" (pick state title_words) (pick state title_words)
+      (pick state title_words) index
+  in
+  let author_count = 1 + Random.State.int state (2 * params.authors_mean - 1) in
+  let authors =
+    List.init author_count (fun _ -> Tree.elem "author" [Tree.text (pick state pool)])
+  in
+  let year =
+    Tree.elem "year" [Tree.text (string_of_int (1985 + Random.State.int state 21))]
+  in
+  let venue_field =
+    match kind with
+    | `Article -> Tree.elem "journal" [Tree.text (pick state venues)]
+    | `Inproceedings -> Tree.elem "booktitle" [Tree.text (pick state venues)]
+  in
+  let volume =
+    match kind with
+    | `Article when Random.State.float state 1.0 < params.volume_fraction ->
+      [Tree.elem "volume" [Tree.text (string_of_int (1 + Random.State.int state 60))]]
+    | `Article | `Inproceedings -> []
+  in
+  let label = match kind with
+    | `Article -> "article"
+    | `Inproceedings -> "inproceedings"
+  in
+  Tree.elem label
+    ((Tree.elem "title" [Tree.text title] :: authors) @ [year; venue_field] @ volume)
+
+let generate params =
+  let state = Random.State.make [| params.seed |] in
+  let pool = author_pool params state in
+  let articles =
+    List.init params.articles (fun i -> publication params state pool `Article i)
+  in
+  let inproceedings =
+    List.init params.inproceedings (fun i ->
+        publication params state pool `Inproceedings (params.articles + i))
+  in
+  Tree.elem "dblp" (articles @ inproceedings)
+
+let generate_string params = Xqdb_xml.Xml_print.to_string (generate params)

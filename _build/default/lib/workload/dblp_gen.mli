@@ -1,0 +1,33 @@
+(** Synthetic DBLP-like documents: the shallow, wide bibliography data of
+    the paper's testbed (they used the 250 MB DBLP dump and a 16 MB
+    excerpt; we generate structurally equivalent data at configurable
+    scale).
+
+    Structural properties preserved, because the efficiency tests depend
+    on them:
+    - shallow: every publication is a depth-2 subtree of the root;
+    - skewed label selectivities: {e many} author elements, {e few}
+      volume elements ("an XML document with many authors and few
+      articles that have information on proceedings volume", Example 6);
+    - text-only leaves with repeating author names, so value joins have
+      non-trivial selectivity. *)
+
+type params = {
+  articles : int;
+  inproceedings : int;
+  seed : int;
+  authors_mean : int;  (** mean authors per publication (>= 1) *)
+  volume_fraction : float;  (** fraction of articles carrying a volume *)
+  distinct_authors : int;
+}
+
+val default : params
+(** 400 articles, 200 inproceedings, ~3 authors each, 10% volumes. *)
+
+val scaled : int -> params
+(** [scaled n]: about [n] publications with the default mix. *)
+
+val generate : params -> Xqdb_xml.Xml_tree.node
+(** The [<dblp>] element. *)
+
+val generate_string : params -> string

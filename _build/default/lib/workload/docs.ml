@@ -1,0 +1,32 @@
+module Tree = Xqdb_xml.Xml_tree
+
+let figure2 =
+  Tree.elem "journal"
+    [ Tree.elem "authors"
+        [Tree.elem "name" [Tree.text "Ana"]; Tree.elem "name" [Tree.text "Bob"]];
+      Tree.elem "title" [Tree.text "DB"] ]
+
+let figure2_string = Xqdb_xml.Xml_print.to_string figure2
+
+let tiny =
+  Tree.elem "library"
+    [ Tree.elem "shelf"
+        [ Tree.elem "book"
+            [ Tree.elem "title" [Tree.text "Foundations of Databases"];
+              Tree.elem "author" [Tree.text "Abiteboul"];
+              Tree.elem "author" [Tree.text "Hull"];
+              Tree.elem "author" [Tree.text "Vianu"] ];
+          Tree.elem "book"
+            [ Tree.elem "title" [Tree.text "Principles of DBS"];
+              Tree.elem "author" [Tree.text "Ullman"] ];
+          Tree.elem "empty-book" [] ];
+      Tree.elem "shelf"
+        [ Tree.elem "note"
+            [ Tree.text "mixed ";
+              Tree.elem "b" [Tree.text "content"];
+              Tree.text " here" ];
+          Tree.elem "deep"
+            [Tree.elem "deep" [Tree.elem "deep" [Tree.elem "leaf" [Tree.text "bottom"]]]] ];
+      Tree.elem "title" [Tree.text "The Library"] ]
+
+let tiny_string = Xqdb_xml.Xml_print.to_string tiny

@@ -1,0 +1,12 @@
+(** The fixed documents of the testbed.
+
+    [figure2] is the exact example document of the paper's Figure 2 (a
+    journal with two author names and a title); [tiny] is the "small
+    hand-made document of several kilobytes" with mixed content, odd
+    labels and corner cases the correctness tests poke at. *)
+
+val figure2 : Xqdb_xml.Xml_tree.node
+val figure2_string : string
+
+val tiny : Xqdb_xml.Xml_tree.node
+val tiny_string : string

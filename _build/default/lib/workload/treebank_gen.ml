@@ -1,0 +1,58 @@
+module Tree = Xqdb_xml.Xml_tree
+
+type params = {
+  sentences : int;
+  seed : int;
+  max_depth : int;
+}
+
+let default = { sentences = 150; seed = 19891213; max_depth = 24 }
+let scaled n = { default with sentences = max 1 n }
+
+let nouns = [| "students"; "queries"; "trees"; "joins"; "engines"; "indexes"; "plans" |]
+let verbs = [| "optimize"; "evaluate"; "rewrite"; "store"; "merge"; "scan" |]
+let determiners = [| "the"; "a"; "some"; "every" |]
+let prepositions = [| "of"; "in"; "with"; "over" |]
+let adjectives = [| "fast"; "nested"; "deep"; "lazy"; "clustered" |]
+
+let pick state arr = arr.(Random.State.int state (Array.length arr))
+let leaf label word = Tree.elem label [Tree.text word]
+
+(* A tiny recursive constituency grammar.  Depth-limited; at the limit
+   every phrase bottoms out in terminals. *)
+let rec np state depth =
+  if depth <= 0 then Tree.elem "NP" [leaf "NN" (pick state nouns)]
+  else
+    match Random.State.int state 4 with
+    | 0 -> Tree.elem "NP" [leaf "DT" (pick state determiners); leaf "NN" (pick state nouns)]
+    | 1 ->
+      Tree.elem "NP"
+        [ leaf "DT" (pick state determiners);
+          leaf "JJ" (pick state adjectives);
+          leaf "NN" (pick state nouns) ]
+    | 2 -> Tree.elem "NP" [np state (depth - 1); pp state (depth - 1)]
+    | _ -> Tree.elem "NP" [leaf "NN" (pick state nouns); sbar state (depth - 1)]
+
+and pp state depth =
+  Tree.elem "PP" [leaf "IN" (pick state prepositions); np state (depth - 1)]
+
+and vp state depth =
+  if depth <= 0 then Tree.elem "VP" [leaf "VB" (pick state verbs)]
+  else
+    match Random.State.int state 3 with
+    | 0 -> Tree.elem "VP" [leaf "VB" (pick state verbs); np state (depth - 1)]
+    | 1 -> Tree.elem "VP" [leaf "VB" (pick state verbs); pp state (depth - 1)]
+    | _ -> Tree.elem "VP" [leaf "VB" (pick state verbs); np state (depth - 1); pp state (depth - 1)]
+
+and sbar state depth =
+  Tree.elem "SBAR" [leaf "IN" "that"; sentence state (depth - 1)]
+
+and sentence state depth = Tree.elem "S" [np state (depth - 1); vp state (depth - 1)]
+
+let generate params =
+  let state = Random.State.make [| params.seed |] in
+  Tree.elem "treebank"
+    (List.init params.sentences (fun _ ->
+         sentence state (4 + Random.State.int state (max 1 (params.max_depth - 4)))))
+
+let generate_string params = Xqdb_xml.Xml_print.to_string (generate params)

@@ -1,0 +1,24 @@
+(** Synthetic TREEBANK-like documents: the deeply nested parse-tree data
+    of the paper's testbed (they used the 80 MB Penn Treebank encoding).
+
+    Each sentence is a random constituency tree generated from a tiny
+    phrase grammar; recursion through NP/VP/PP/SBAR productions yields
+    the deep nesting (tens of levels) that separates descendant-axis
+    strategies, which is what the original data contributes to the
+    experiments. *)
+
+type params = {
+  sentences : int;
+  seed : int;
+  max_depth : int;  (** recursion cap per sentence *)
+}
+
+val default : params
+(** 150 sentences, depth cap 24. *)
+
+val scaled : int -> params
+
+val generate : params -> Xqdb_xml.Xml_tree.node
+(** The [<treebank>] element. *)
+
+val generate_string : params -> string

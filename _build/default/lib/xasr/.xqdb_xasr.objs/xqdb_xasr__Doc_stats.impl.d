@@ -1,0 +1,1 @@
+lib/xasr/doc_stats.ml: Buffer Format Hashtbl List Printf Scanf String Xasr

@@ -1,0 +1,1 @@
+lib/xasr/doc_stats.mli: Format Xasr

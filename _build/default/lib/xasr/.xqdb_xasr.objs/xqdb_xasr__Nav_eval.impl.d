@@ -1,0 +1,1 @@
+lib/xasr/nav_eval.ml: List Node_store Printf Reconstruct String Xasr Xqdb_storage Xqdb_xml Xqdb_xq

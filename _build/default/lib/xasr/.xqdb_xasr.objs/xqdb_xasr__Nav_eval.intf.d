@@ -1,0 +1,1 @@
+lib/xasr/nav_eval.mli: Node_store Xasr Xqdb_storage Xqdb_xml Xqdb_xq

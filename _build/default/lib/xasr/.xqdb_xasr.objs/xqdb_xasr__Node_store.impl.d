@@ -1,0 +1,1 @@
+lib/xasr/node_store.ml: Buffer Bytes Doc_stats Option Printf Xasr Xqdb_storage

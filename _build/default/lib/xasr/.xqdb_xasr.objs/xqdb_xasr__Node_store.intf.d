@@ -1,0 +1,1 @@
+lib/xasr/node_store.mli: Doc_stats Xasr Xqdb_storage

@@ -1,0 +1,1 @@
+lib/xasr/reconstruct.ml: List Node_store Printf Xasr Xqdb_xml

@@ -1,0 +1,1 @@
+lib/xasr/reconstruct.mli: Node_store Xasr Xqdb_xml

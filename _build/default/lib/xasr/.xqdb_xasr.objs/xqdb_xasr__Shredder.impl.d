@@ -1,0 +1,1 @@
+lib/xasr/shredder.ml: Doc_stats List Node_store Printf String Xasr Xqdb_xml

@@ -1,0 +1,1 @@
+lib/xasr/shredder.mli: Doc_stats Node_store Xqdb_storage Xqdb_xml

@@ -1,0 +1,1 @@
+lib/xasr/xasr.ml: Buffer Bytes Format Printf String Xqdb_storage

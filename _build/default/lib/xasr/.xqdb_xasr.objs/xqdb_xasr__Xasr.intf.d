@@ -1,0 +1,1 @@
+lib/xasr/xasr.mli: Format

@@ -1,0 +1,109 @@
+type t = {
+  node_count : int;
+  elem_count : int;
+  text_count : int;
+  depth_sum : int;
+  max_depth : int;
+  label_counts : (string * int) list;
+}
+
+let empty =
+  { node_count = 0;
+    elem_count = 0;
+    text_count = 0;
+    depth_sum = 0;
+    max_depth = 0;
+    label_counts = [] }
+
+let avg_depth t =
+  if t.node_count = 0 then 0.0 else float_of_int t.depth_sum /. float_of_int t.node_count
+
+let label_count t label =
+  match List.assoc_opt label t.label_counts with
+  | Some n -> n
+  | None -> 0
+
+let label_selectivity t label =
+  if t.node_count = 0 then 0.0
+  else float_of_int (label_count t label) /. float_of_int t.node_count
+
+let descendant_selectivity t =
+  if t.node_count = 0 then 0.0 else avg_depth t /. float_of_int t.node_count
+
+(* Serialized as lines: the counts, then one "label count" line each.
+   Labels are XML names, so they contain no whitespace or newlines. *)
+let serialize t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d %d %d\n" t.node_count t.elem_count t.text_count t.depth_sum
+       t.max_depth);
+  List.iter
+    (fun (label, n) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" label n))
+    t.label_counts;
+  Buffer.contents buf
+
+let deserialize s =
+  match String.split_on_char '\n' s with
+  | [] -> invalid_arg "Doc_stats.deserialize: empty"
+  | header :: rest ->
+    let node_count, elem_count, text_count, depth_sum, max_depth =
+      Scanf.sscanf header "%d %d %d %d %d" (fun a b c d e -> (a, b, c, d, e))
+    in
+    let label_counts =
+      List.filter_map
+        (fun line ->
+          if String.equal line "" then None
+          else Some (Scanf.sscanf line "%s %d" (fun l n -> (l, n))))
+        rest
+    in
+    { node_count; elem_count; text_count; depth_sum; max_depth; label_counts }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>nodes: %d (elements %d, texts %d)@,avg depth: %.2f (max %d)@,labels:@,%a@]"
+    t.node_count t.elem_count t.text_count (avg_depth t) t.max_depth
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (l, n) ->
+         Format.fprintf ppf "  %-20s %d" l n))
+    t.label_counts
+
+module Builder = struct
+  type nonrec stats = t
+
+  type t = {
+    mutable node_count : int;
+    mutable elem_count : int;
+    mutable text_count : int;
+    mutable depth_sum : int;
+    mutable max_depth : int;
+    labels : (string, int) Hashtbl.t;
+  }
+
+  let create () =
+    { node_count = 0;
+      elem_count = 0;
+      text_count = 0;
+      depth_sum = 0;
+      max_depth = 0;
+      labels = Hashtbl.create 64 }
+
+  let add_node b ~depth ntype value =
+    b.node_count <- b.node_count + 1;
+    b.depth_sum <- b.depth_sum + depth;
+    if depth > b.max_depth then b.max_depth <- depth;
+    match (ntype : Xasr.node_type) with
+    | Xasr.Root -> ()
+    | Xasr.Text -> b.text_count <- b.text_count + 1
+    | Xasr.Element ->
+      b.elem_count <- b.elem_count + 1;
+      let n = try Hashtbl.find b.labels value with Not_found -> 0 in
+      Hashtbl.replace b.labels value (n + 1)
+
+  let finish b : stats =
+    { node_count = b.node_count;
+      elem_count = b.elem_count;
+      text_count = b.text_count;
+      depth_sum = b.depth_sum;
+      max_depth = b.max_depth;
+      label_counts =
+        Hashtbl.fold (fun l n acc -> (l, n) :: acc) b.labels [] |> List.sort compare }
+end

@@ -1,0 +1,50 @@
+(** Per-document data statistics (milestone 4).
+
+    The paper's minimum: "the selectivity of each of the element node
+    labels occurring in the document, and the average depth of a node in
+    the data tree, as a gross measure for the selectivities of
+    ancestor-descendant joins".  We keep exactly that, plus the basic
+    counts needed to turn selectivities into cardinalities.
+
+    Statistics are collected during shredding and persisted through the
+    catalog as a string. *)
+
+type t = {
+  node_count : int;  (** all nodes incl. the virtual root *)
+  elem_count : int;
+  text_count : int;
+  depth_sum : int;  (** sum of node depths; root has depth 0 *)
+  max_depth : int;
+  label_counts : (string * int) list;  (** element label -> occurrences, sorted *)
+}
+
+val empty : t
+
+val avg_depth : t -> float
+
+val label_count : t -> string -> int
+(** 0 for labels that do not occur — this exactness is what makes the
+    non-existent-label query (test 4 of Figure 7) instant for engines
+    that consult statistics. *)
+
+val label_selectivity : t -> string -> float
+(** [label_count / node_count]. *)
+
+val descendant_selectivity : t -> float
+(** Estimated fraction of node pairs in ancestor-descendant relation:
+    [avg_depth / node_count] (each node has [depth] ancestors). *)
+
+val serialize : t -> string
+val deserialize : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Incremental builder used by the shredder. *)
+module Builder : sig
+  type stats := t
+  type t
+
+  val create : unit -> t
+  val add_node : t -> depth:int -> Xasr.node_type -> string -> unit
+  val finish : t -> stats
+end

@@ -1,0 +1,119 @@
+open Xqdb_xq.Xq_ast
+module Tree = Xqdb_xml.Xml_tree
+module Budget = Xqdb_storage.Budget
+module Xq_eval = Xqdb_xq.Xq_eval
+module Xq_print = Xqdb_xq.Xq_print
+
+type env = (var * Xasr.tuple) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some tuple -> tuple
+  | None -> invalid_arg (Printf.sprintf "Nav_eval: unbound variable %s" (Xq_print.var x))
+
+let tuple_matches tuple = function
+  | Name a -> tuple.Xasr.ntype = Xasr.Element && String.equal tuple.Xasr.value a
+  | Star -> tuple.Xasr.ntype = Xasr.Element
+  | Text_test -> tuple.Xasr.ntype = Xasr.Text
+
+let filter_cursor test cursor =
+  let rec pull () =
+    match cursor () with
+    | None -> None
+    | Some tuple -> if tuple_matches tuple test then Some tuple else pull ()
+  in
+  pull
+
+let axis_cursor store binding axis test =
+  match axis with
+  | Child ->
+    let ins = Node_store.children_ins store binding.Xasr.nin in
+    let fetch () =
+      match ins () with
+      | None -> None
+      | Some nin ->
+        (match Node_store.fetch store nin with
+         | Some tuple -> Some tuple
+         | None -> failwith "Nav_eval: dangling parent-index entry")
+    in
+    filter_cursor test fetch
+  | Descendant ->
+    (* Strictly inside the interval: (in, out). *)
+    let scan =
+      Node_store.scan_in_range store ~lo:(binding.Xasr.nin + 1) ~hi:(binding.Xasr.nout - 1)
+    in
+    filter_cursor test scan
+
+let checked budget cursor =
+  match budget with
+  | None -> cursor
+  | Some b ->
+    fun () ->
+      Budget.check b;
+      cursor ()
+
+let text_value env x =
+  let tuple = lookup env x in
+  match tuple.Xasr.ntype with
+  | Xasr.Text -> tuple.Xasr.value
+  | Xasr.Element ->
+    raise
+      (Xq_eval.Type_error
+         (Printf.sprintf "%s is bound to element <%s>, not a text node" (Xq_print.var x)
+            tuple.Xasr.value))
+  | Xasr.Root ->
+    raise
+      (Xq_eval.Type_error
+         (Printf.sprintf "%s is bound to the document root" (Xq_print.var x)))
+
+let rec eval_cond ?budget store env = function
+  | True -> true
+  | Eq_vars (x, y) -> String.equal (text_value env x) (text_value env y)
+  | Eq_const (x, s) -> String.equal (text_value env x) s
+  | Some_ (y, x, axis, test, c) ->
+    let cursor = checked budget (axis_cursor store (lookup env x) axis test) in
+    let rec exists () =
+      match cursor () with
+      | None -> false
+      | Some tuple -> eval_cond ?budget store ((y, tuple) :: env) c || exists ()
+    in
+    exists ()
+  | And (c1, c2) -> eval_cond ?budget store env c1 && eval_cond ?budget store env c2
+  | Or (c1, c2) -> eval_cond ?budget store env c1 || eval_cond ?budget store env c2
+  | Not c -> not (eval_cond ?budget store env c)
+
+let output_tuple store tuple =
+  match tuple.Xasr.ntype with
+  | Xasr.Root -> Reconstruct.root_forest store
+  | Xasr.Element | Xasr.Text -> [Reconstruct.subtree store tuple]
+
+let rec eval_in_env ?budget store env = function
+  | Empty -> []
+  | Text_lit s -> [Tree.Text s]
+  | Constr (a, q) -> [Tree.Elem (a, eval_in_env ?budget store env q)]
+  | Seq (q1, q2) -> eval_in_env ?budget store env q1 @ eval_in_env ?budget store env q2
+  | Var x -> output_tuple store (lookup env x)
+  | Path (x, axis, test) ->
+    let cursor = checked budget (axis_cursor store (lookup env x) axis test) in
+    let rec collect acc =
+      match cursor () with
+      | None -> List.rev acc
+      | Some tuple -> collect (Reconstruct.subtree store tuple :: acc)
+    in
+    collect []
+  | For (y, x, axis, test, body) ->
+    let cursor = checked budget (axis_cursor store (lookup env x) axis test) in
+    let rec collect acc =
+      match cursor () with
+      | None -> List.concat (List.rev acc)
+      | Some tuple -> collect (eval_in_env ?budget store ((y, tuple) :: env) body :: acc)
+    in
+    collect []
+  | If (c, q) ->
+    if eval_cond ?budget store env c then eval_in_env ?budget store env q else []
+
+let eval ?budget store q =
+  eval_in_env ?budget store [(root_var, Node_store.root_tuple store)] q
+
+let eval_string ?budget store q =
+  Xqdb_xml.Xml_print.forest_to_string (eval ?budget store q)

@@ -1,0 +1,98 @@
+module Storage = Xqdb_storage
+module Btree = Storage.Btree
+module Codec = Storage.Bytes_codec
+
+type t = {
+  pool : Storage.Buffer_pool.t;
+  name : string;
+  primary : Btree.t;
+  label_idx : Btree.t;
+  parent_idx : Btree.t;
+}
+
+let create pool ~name =
+  { pool;
+    name;
+    primary = Btree.create pool;
+    label_idx = Btree.create pool;
+    parent_idx = Btree.create pool }
+
+let name t = t.name
+let pool t = t.pool
+
+let register t catalog ~stats =
+  let module C = Storage.Catalog in
+  C.set_int catalog (t.name ^ ".primary") (Btree.meta_page t.primary);
+  C.set_int catalog (t.name ^ ".label") (Btree.meta_page t.label_idx);
+  C.set_int catalog (t.name ^ ".parent") (Btree.meta_page t.parent_idx);
+  C.set catalog (t.name ^ ".stats") (Doc_stats.serialize stats);
+  C.flush catalog
+
+let open_existing pool catalog ~name =
+  let module C = Storage.Catalog in
+  let meta key =
+    match C.get_int catalog (name ^ key) with
+    | Some page -> page
+    | None -> failwith (Printf.sprintf "Node_store.open_existing: no %s%s in catalog" name key)
+  in
+  { pool;
+    name;
+    primary = Btree.open_existing pool ~meta_page:(meta ".primary");
+    label_idx = Btree.open_existing pool ~meta_page:(meta ".label");
+    parent_idx = Btree.open_existing pool ~meta_page:(meta ".parent") }
+
+let stats_of_catalog catalog ~name =
+  match Storage.Catalog.get catalog (name ^ ".stats") with
+  | Some s -> Doc_stats.deserialize s
+  | None -> failwith (Printf.sprintf "Node_store.stats_of_catalog: no stats for %s" name)
+
+let insert t tuple =
+  Btree.insert t.primary ~key:(Xasr.primary_key tuple.Xasr.nin) ~value:(Xasr.encode tuple);
+  Btree.insert t.label_idx
+    ~key:(Xasr.label_key tuple.Xasr.ntype tuple.Xasr.value tuple.Xasr.nin)
+    ~value:Bytes.empty;
+  Btree.insert t.parent_idx
+    ~key:(Xasr.parent_key tuple.Xasr.parent_in tuple.Xasr.nin)
+    ~value:Bytes.empty
+
+let tuple_count t = Btree.entry_count t.primary
+
+let fetch t nin =
+  Option.map Xasr.decode (Btree.find t.primary ~key:(Xasr.primary_key nin))
+
+let root_tuple t =
+  match fetch t 1 with
+  | Some tuple -> tuple
+  | None -> failwith "Node_store.root_tuple: empty store"
+
+let scan_in_range t ~lo ~hi =
+  let cursor =
+    Btree.scan_range ~lo:(Xasr.primary_key lo) ~hi:(Xasr.primary_key hi) t.primary
+  in
+  fun () -> Option.map (fun (_, v) -> Xasr.decode v) (cursor ())
+
+let scan_all t =
+  let cursor = Btree.scan_range t.primary in
+  fun () -> Option.map (fun (_, v) -> Xasr.decode v) (cursor ())
+
+let children_ins t parent_in =
+  let cursor = Btree.scan_prefix t.parent_idx ~prefix:(Xasr.parent_prefix parent_in) in
+  fun () -> Option.map (fun (k, _) -> Xasr.in_of_parent_key k) (cursor ())
+
+let label_ins t ntype value =
+  let cursor = Btree.scan_prefix t.label_idx ~prefix:(Xasr.label_prefix ntype value) in
+  fun () -> Option.map (fun (k, _) -> Xasr.in_of_label_key k) (cursor ())
+
+let label_ins_all_of_type t ntype =
+  let prefix =
+    let buf = Buffer.create 8 in
+    Codec.key_int buf (Xasr.node_type_code ntype);
+    Buffer.to_bytes buf
+  in
+  let cursor = Btree.scan_prefix t.label_idx ~prefix in
+  fun () -> Option.map (fun (k, _) -> Xasr.in_of_label_key k) (cursor ())
+
+let primary_height t = Btree.height t.primary
+let primary_leaf_pages t = Btree.leaf_pages t.primary
+let label_index_height t = Btree.height t.label_idx
+let parent_index_height t = Btree.height t.parent_idx

@@ -1,0 +1,63 @@
+(** Secondary storage for one shredded document.
+
+    Milestone 2/4 storage layout, one Berkeley-DB-style keyed store per
+    access path:
+
+    - {b primary}: clustered B+-tree on [in], the whole tuple in the
+      leaf.  [in] was "the natural choice" for the clustered primary
+      index; range scans over [in] intervals enumerate subtrees in
+      document order.
+    - {b label index}: [(type, value, in)] — the access path behind
+      index-based selection on element labels and text values.
+    - {b parent index}: [(parent_in, in)] — the access path behind
+      index-based nested-loop child joins.
+
+    All cursors yield results in document order (ascending [in]). *)
+
+type t
+
+val create : Xqdb_storage.Buffer_pool.t -> name:string -> t
+val name : t -> string
+val pool : t -> Xqdb_storage.Buffer_pool.t
+
+val register : t -> Xqdb_storage.Catalog.t -> stats:Doc_stats.t -> unit
+(** Record the index meta pages and serialized statistics under
+    ["<name>.*"] keys and flush the catalog. *)
+
+val open_existing : Xqdb_storage.Buffer_pool.t -> Xqdb_storage.Catalog.t -> name:string -> t
+val stats_of_catalog : Xqdb_storage.Catalog.t -> name:string -> Doc_stats.t
+
+val insert : t -> Xasr.tuple -> unit
+(** Insert into the primary and both secondary indexes. *)
+
+val tuple_count : t -> int
+
+val fetch : t -> int -> Xasr.tuple option
+(** Primary lookup by [in]. *)
+
+val root_tuple : t -> Xasr.tuple
+(** The virtual-root tuple ([in] = 1).  @raise Failure on an empty store. *)
+
+val scan_in_range : t -> lo:int -> hi:int -> unit -> Xasr.tuple option
+(** Clustered scan of tuples with [lo <= in <= hi], in document order. *)
+
+val scan_all : t -> unit -> Xasr.tuple option
+
+val children_ins : t -> int -> unit -> int option
+(** [in]s of the children of the node with the given [in], via the
+    parent index, in document order. *)
+
+val label_ins : t -> Xasr.node_type -> string -> unit -> int option
+(** [in]s of all nodes with the given type and value, via the label
+    index, in document order. *)
+
+val label_ins_all_of_type : t -> Xasr.node_type -> unit -> int option
+(** [in]s of all nodes of a type regardless of value (e.g. all text
+    nodes), via the label index; {e index order} (value-major), not
+    document order. *)
+
+(* Index shape, for the cost model. *)
+val primary_height : t -> int
+val primary_leaf_pages : t -> int
+val label_index_height : t -> int
+val parent_index_height : t -> int

@@ -1,0 +1,82 @@
+module Tree = Xqdb_xml.Xml_tree
+
+(* One pass over tuples sorted by [in], maintaining the stack of open
+   ancestors.  When the next tuple's [in] is beyond the top's [out], the
+   top is complete and folds into its parent. *)
+
+type frame = {
+  tuple : Xasr.tuple;
+  mutable children_rev : Tree.node list;
+}
+
+let to_node frame =
+  match frame.tuple.Xasr.ntype with
+  | Xasr.Text -> Tree.Text frame.tuple.Xasr.value
+  | Xasr.Element -> Tree.Elem (frame.tuple.Xasr.value, List.rev frame.children_rev)
+  | Xasr.Root -> invalid_arg "Reconstruct: root tuple inside a subtree"
+
+(* Build the forest of completed top-level frames from a tuple cursor
+   whose first tuple is the subtree root (excluded from the output when
+   [drop_first]). *)
+let build cursor =
+  let stack = ref [] in
+  let out_rev = ref [] in
+  let complete frame =
+    let node = to_node frame in
+    match !stack with
+    | parent :: _ -> parent.children_rev <- node :: parent.children_rev
+    | [] -> out_rev := node :: !out_rev
+  in
+  let rec pop_until nin =
+    match !stack with
+    | top :: rest when top.tuple.Xasr.nout < nin ->
+      stack := rest;
+      complete top;
+      pop_until nin
+    | _ :: _ | [] -> ()
+  in
+  let rec go () =
+    match cursor () with
+    | None -> ()
+    | Some tuple ->
+      pop_until tuple.Xasr.nin;
+      (match tuple.Xasr.ntype with
+       | Xasr.Text ->
+         (* Texts have no children; complete immediately. *)
+         (match !stack with
+          | parent :: _ -> parent.children_rev <- Tree.Text tuple.Xasr.value :: parent.children_rev
+          | [] -> out_rev := Tree.Text tuple.Xasr.value :: !out_rev)
+       | Xasr.Element | Xasr.Root -> stack := { tuple; children_rev = [] } :: !stack);
+      go ()
+  in
+  go ();
+  pop_until max_int;
+  List.rev !out_rev
+
+let subtree store tuple =
+  match tuple.Xasr.ntype with
+  | Xasr.Root -> invalid_arg "Reconstruct.subtree: virtual root"
+  | Xasr.Text -> Tree.Text tuple.Xasr.value
+  | Xasr.Element ->
+    let cursor = Node_store.scan_in_range store ~lo:tuple.Xasr.nin ~hi:tuple.Xasr.nout in
+    (match build cursor with
+     | [node] -> node
+     | forest ->
+       failwith
+         (Printf.sprintf "Reconstruct.subtree: expected one tree, got %d"
+            (List.length forest)))
+
+let subtree_by_in store nin =
+  match Node_store.fetch store nin with
+  | Some tuple -> subtree store tuple
+  | None -> raise Not_found
+
+let root_forest store =
+  let root = Node_store.root_tuple store in
+  (* Skip the root tuple itself: scan strictly inside its interval. *)
+  let cursor =
+    Node_store.scan_in_range store ~lo:(root.Xasr.nin + 1) ~hi:(root.Xasr.nout - 1)
+  in
+  build cursor
+
+let document_string store = Xqdb_xml.Xml_print.forest_to_string (root_forest store)

@@ -1,0 +1,21 @@
+(** Rebuilding XML trees from XASR tuples.
+
+    The paper: "XML documents stored using this schema can be
+    reconstructed, because (1) the child relation is preserved by the
+    parent_in values, and (2) the order of the children of a node is
+    preserved by the in/out values."
+
+    A subtree is rebuilt from one clustered range scan
+    [in .. out] — the interval property makes the scan contain exactly
+    the subtree, in document order — using a stack, in one pass. *)
+
+val subtree : Node_store.t -> Xasr.tuple -> Xqdb_xml.Xml_tree.node
+(** @raise Invalid_argument on the virtual root (use {!root_forest}). *)
+
+val subtree_by_in : Node_store.t -> int -> Xqdb_xml.Xml_tree.node
+(** @raise Not_found if no node has this [in]. *)
+
+val root_forest : Node_store.t -> Xqdb_xml.Xml_tree.forest
+(** The whole document (children of the virtual root). *)
+
+val document_string : Node_store.t -> string

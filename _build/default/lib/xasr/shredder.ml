@@ -1,0 +1,95 @@
+module Xml_parser = Xqdb_xml.Xml_parser
+module Xml_print = Xqdb_xml.Xml_print
+
+type open_tag = {
+  label : string;
+  tag_in : int;
+}
+
+type t = {
+  store : Node_store.t;
+  stats : Doc_stats.Builder.t;
+  mutable counter : int;  (* last assigned in/out value *)
+  mutable stack : open_tag list;  (* open elements, innermost first *)
+}
+
+let root_in = 1
+
+let start store =
+  let t = { store; stats = Doc_stats.Builder.create (); counter = root_in; stack = [] } in
+  (* The virtual root opens before any event; its tuple is emitted by
+     [finish] once its out value is known. *)
+  t
+
+let parent_in t =
+  match t.stack with
+  | [] -> root_in
+  | top :: _ -> top.tag_in
+
+let depth t = List.length t.stack + 1  (* depth of a node being emitted now *)
+
+let push t event =
+  match event with
+  | Xml_parser.Start_tag label ->
+    t.counter <- t.counter + 1;
+    t.stack <- { label; tag_in = t.counter } :: t.stack
+  | Xml_parser.Text value ->
+    t.counter <- t.counter + 1;
+    let nin = t.counter in
+    t.counter <- t.counter + 1;
+    let tuple =
+      { Xasr.nin;
+        nout = t.counter;
+        parent_in = parent_in t;
+        ntype = Xasr.Text;
+        value }
+    in
+    Doc_stats.Builder.add_node t.stats ~depth:(depth t) Xasr.Text value;
+    Node_store.insert t.store tuple
+  | Xml_parser.End_tag label ->
+    (match t.stack with
+     | [] -> failwith (Printf.sprintf "Shredder: stray end tag </%s>" label)
+     | top :: rest ->
+       if not (String.equal top.label label) then
+         failwith
+           (Printf.sprintf "Shredder: <%s> closed by </%s>" top.label label);
+       t.counter <- t.counter + 1;
+       t.stack <- rest;
+       let tuple =
+         { Xasr.nin = top.tag_in;
+           nout = t.counter;
+           parent_in = parent_in t;
+           ntype = Xasr.Element;
+           value = label }
+       in
+       Doc_stats.Builder.add_node t.stats ~depth:(depth t) Xasr.Element label;
+       Node_store.insert t.store tuple)
+
+let finish t =
+  if t.stack <> [] then failwith "Shredder: unclosed tags at end of input";
+  t.counter <- t.counter + 1;
+  let root =
+    { Xasr.nin = root_in; nout = t.counter; parent_in = 0; ntype = Xasr.Root; value = "" }
+  in
+  Doc_stats.Builder.add_node t.stats ~depth:0 Xasr.Root "";
+  Node_store.insert t.store root;
+  Doc_stats.Builder.finish t.stats
+
+let shred_string pool ~name input =
+  let store = Node_store.create pool ~name in
+  let shredder = start store in
+  Xml_parser.iter_events input (push shredder);
+  let stats = finish shredder in
+  (store, stats)
+
+let shred_forest pool ~name forest =
+  (* Reuses the string path: serialize and re-lex.  Documents are loaded
+     once; simplicity wins over the double scan. *)
+  shred_string pool ~name (Xml_print.forest_to_string forest)
+
+let shred_file pool ~name path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  shred_string pool ~name content

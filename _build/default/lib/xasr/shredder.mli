@@ -1,0 +1,32 @@
+(** Shredding: loading an XML document into a {!Node_store}.
+
+    The shredder consumes SAX events, maintains the open-tag stack and
+    the in/out counter of Figure 2, and emits each node's XASR tuple at
+    its {e closing} tag — so the whole load runs in memory proportional
+    to document depth, never building a DOM (the milestone-2
+    requirement).  Statistics for milestone 4 are collected on the fly. *)
+
+type t
+
+val start : Node_store.t -> t
+
+val push : t -> Xqdb_xml.Xml_parser.event -> unit
+(** @raise Failure on mismatched tags. *)
+
+val finish : t -> Doc_stats.t
+(** Emit the virtual-root tuple and return the collected statistics.
+    @raise Failure if tags remain open. *)
+
+(* Convenience wrappers. *)
+
+val shred_string :
+  Xqdb_storage.Buffer_pool.t -> name:string -> string -> Node_store.t * Doc_stats.t
+
+val shred_forest :
+  Xqdb_storage.Buffer_pool.t ->
+  name:string ->
+  Xqdb_xml.Xml_tree.forest ->
+  Node_store.t * Doc_stats.t
+
+val shred_file :
+  Xqdb_storage.Buffer_pool.t -> name:string -> string -> Node_store.t * Doc_stats.t

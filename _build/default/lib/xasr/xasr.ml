@@ -1,0 +1,96 @@
+module Codec = Xqdb_storage.Bytes_codec
+
+type node_type =
+  | Root
+  | Element
+  | Text
+
+type tuple = {
+  nin : int;
+  nout : int;
+  parent_in : int;
+  ntype : node_type;
+  value : string;
+}
+
+let node_type_code = function
+  | Root -> 0
+  | Element -> 1
+  | Text -> 2
+
+let node_type_of_code = function
+  | 0 -> Root
+  | 1 -> Element
+  | 2 -> Text
+  | c -> invalid_arg (Printf.sprintf "Xasr.node_type_of_code: %d" c)
+
+let node_type_name = function
+  | Root -> "root"
+  | Element -> "element"
+  | Text -> "text"
+
+let is_child_of t ~parent = t.parent_in = parent.nin
+let is_descendant_of t ~ancestor = ancestor.nin < t.nin && t.nout < ancestor.nout
+
+let encode t =
+  let buf = Buffer.create (16 + String.length t.value) in
+  Codec.write_uvarint buf t.nin;
+  Codec.write_uvarint buf t.nout;
+  Codec.write_uvarint buf t.parent_in;
+  Codec.write_uvarint buf (node_type_code t.ntype);
+  Codec.write_string buf t.value;
+  Buffer.to_bytes buf
+
+let decode data =
+  let r = Codec.reader data in
+  let nin = Codec.read_uvarint r in
+  let nout = Codec.read_uvarint r in
+  let parent_in = Codec.read_uvarint r in
+  let ntype = node_type_of_code (Codec.read_uvarint r) in
+  let value = Codec.read_string r in
+  { nin; nout; parent_in; ntype; value }
+
+let pp ppf t =
+  Format.fprintf ppf "(%d, %d, %d, %s, %s)" t.nin t.nout t.parent_in
+    (node_type_name t.ntype)
+    (match t.ntype with
+     | Root -> "NULL"
+     | Element | Text -> t.value)
+
+let primary_key nin =
+  let buf = Buffer.create 8 in
+  Codec.key_int buf nin;
+  Buffer.to_bytes buf
+
+let label_prefix ntype value =
+  let buf = Buffer.create 16 in
+  Codec.key_int buf (node_type_code ntype);
+  Codec.key_string buf value;
+  Buffer.to_bytes buf
+
+let label_key ntype value nin =
+  let buf = Buffer.create 24 in
+  Codec.key_int buf (node_type_code ntype);
+  Codec.key_string buf value;
+  Codec.key_int buf nin;
+  Buffer.to_bytes buf
+
+let parent_prefix parent_in =
+  let buf = Buffer.create 8 in
+  Codec.key_int buf parent_in;
+  Buffer.to_bytes buf
+
+let parent_key parent_in nin =
+  let buf = Buffer.create 16 in
+  Codec.key_int buf parent_in;
+  Codec.key_int buf nin;
+  Buffer.to_bytes buf
+
+(* The trailing 8 bytes of both index keys hold [in]. *)
+let trailing_int key =
+  let r = Codec.reader key in
+  r.Codec.pos <- Bytes.length key - 8;
+  Codec.read_key_int r
+
+let in_of_label_key = trailing_int
+let in_of_parent_key = trailing_int

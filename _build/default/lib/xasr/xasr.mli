@@ -1,0 +1,64 @@
+(** The extended access support relation (XASR) of Fiebig & Moerkotte,
+    as used in the paper's milestone 2: the relation
+
+    {v Node(in, out, parent_in, type, value) v}
+
+    with one tuple per node of the document.  [in]/[out] are the tag
+    counters of Figure 2 ([in]/[out] of the paper), [parent_in] is the
+    parent's [in] (0 for the virtual root), [type] distinguishes root /
+    element / text, and [value] is the label, the text content, or [""]
+    (the paper's NULL) for the root.
+
+    Structural relationships on tuples:
+    - [y] is a child of [x]       iff  [y.parent_in = x.in]
+    - [y] is a descendant of [x]  iff  [x.in < y.in && y.out < x.out]
+
+    This module defines the tuple, its payload codec, its index-key
+    codecs, and the relation's column names used by the TPM algebra. *)
+
+type node_type =
+  | Root
+  | Element
+  | Text
+
+type tuple = {
+  nin : int;
+  nout : int;
+  parent_in : int;
+  ntype : node_type;
+  value : string;
+}
+
+val node_type_code : node_type -> int
+val node_type_of_code : int -> node_type
+val node_type_name : node_type -> string
+
+val is_child_of : tuple -> parent:tuple -> bool
+val is_descendant_of : tuple -> ancestor:tuple -> bool
+
+val encode : tuple -> bytes
+val decode : bytes -> tuple
+
+val pp : Format.formatter -> tuple -> unit
+(** The paper's Example 1 rendering, e.g. [(2, 17, 1, element, journal)]. *)
+
+(* Index-key encodings (order-preserving, see {!Xqdb_storage.Bytes_codec}). *)
+
+val primary_key : int -> bytes
+(** Clustered primary index: key is [in]. *)
+
+val label_key : node_type -> string -> int -> bytes
+(** Label index: [(type, value, in)]; supports prefix scans on
+    [(type, value)] via {!label_prefix}. *)
+
+val label_prefix : node_type -> string -> bytes
+
+val parent_key : int -> int -> bytes
+(** Parent index: [(parent_in, in)]; prefix scans via {!parent_prefix}. *)
+
+val parent_prefix : int -> bytes
+
+val in_of_label_key : bytes -> int
+(** Decode the trailing [in] of a label-index key. *)
+
+val in_of_parent_key : bytes -> int

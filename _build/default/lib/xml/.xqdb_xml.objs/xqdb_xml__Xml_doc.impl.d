@@ -1,0 +1,1 @@
+lib/xml/xml_doc.ml: Array Format List String Xml_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_doc.mli: Format Xml_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_parser.mli: Xml_tree

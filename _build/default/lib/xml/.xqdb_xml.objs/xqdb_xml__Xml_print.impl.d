@@ -1,0 +1,1 @@
+lib/xml/xml_print.ml: Buffer Format List String Xml_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_print.mli: Format Xml_tree

@@ -1,0 +1,1 @@
+lib/xml/xml_tree.mli:

@@ -1,0 +1,118 @@
+type kind =
+  | Root
+  | Element
+  | Text
+
+type t = {
+  count : int;
+  kinds : kind array;
+  values : string array;
+  nins : int array;
+  nouts : int array;
+  parents : int array;
+  lasts : int array;  (* largest preorder index in the node's subtree *)
+}
+
+type node = int
+
+let of_forest forest =
+  let count =
+    1 + List.fold_left (fun acc n -> acc + Xml_tree.size n) 0 forest
+  in
+  let kinds = Array.make count Root in
+  let values = Array.make count "" in
+  let nins = Array.make count 0 in
+  let nouts = Array.make count 0 in
+  let parents = Array.make count (-1) in
+  let lasts = Array.make count 0 in
+  let next_index = ref 0 in
+  let tag_counter = ref 0 in
+  (* Assign one node; returns its preorder index. *)
+  let rec assign parent_index node =
+    let i = !next_index in
+    incr next_index;
+    incr tag_counter;
+    parents.(i) <- parent_index;
+    nins.(i) <- !tag_counter;
+    (match node with
+     | Xml_tree.Text s ->
+       kinds.(i) <- Text;
+       values.(i) <- s
+     | Xml_tree.Elem (label, children) ->
+       kinds.(i) <- Element;
+       values.(i) <- label;
+       List.iter (fun c -> ignore (assign i c)) children);
+    incr tag_counter;
+    nouts.(i) <- !tag_counter;
+    lasts.(i) <- !next_index - 1;
+    i
+  in
+  (* The virtual root. *)
+  next_index := 1;
+  incr tag_counter;
+  nins.(0) <- !tag_counter;
+  List.iter (fun n -> ignore (assign 0 n)) forest;
+  incr tag_counter;
+  nouts.(0) <- !tag_counter;
+  lasts.(0) <- count - 1;
+  { count; kinds; values; nins; nouts; parents; lasts }
+
+let of_node node = of_forest [node]
+
+let count t = t.count
+let root _t = 0
+let kind t v = t.kinds.(v)
+let value t v = t.values.(v)
+let nin t v = t.nins.(v)
+let nout t v = t.nouts.(v)
+let parent t v = if v = 0 then None else Some t.parents.(v)
+let subtree_last t v = t.lasts.(v)
+
+let children t v =
+  (* The children are v+1, then each sibling skips over its own subtree. *)
+  let rec go i acc =
+    if i > t.lasts.(v) then List.rev acc else go (t.lasts.(i) + 1) (i :: acc)
+  in
+  go (v + 1) []
+
+let descendants t v =
+  let rec go i acc = if i > t.lasts.(v) then List.rev acc else go (i + 1) (i :: acc) in
+  go (v + 1) []
+
+let node_by_in t target =
+  (* nins is strictly increasing in preorder index. *)
+  let rec search lo hi =
+    if lo > hi then raise Not_found
+    else begin
+      let mid = (lo + hi) / 2 in
+      let v = t.nins.(mid) in
+      if v = target then mid
+      else if v < target then search (mid + 1) hi
+      else search lo (mid - 1)
+    end
+  in
+  search 0 (t.count - 1)
+
+let depth t v =
+  let rec go v acc = if v = 0 then acc else go t.parents.(v) (acc + 1) in
+  go v 0
+
+let rec to_tree t v =
+  match t.kinds.(v) with
+  | Text -> Xml_tree.Text t.values.(v)
+  | Element -> Xml_tree.Elem (t.values.(v), List.map (to_tree t) (children t v))
+  | Root -> invalid_arg "Xml_doc.to_tree: virtual root"
+
+let to_forest t v = List.map (to_tree t) (children t v)
+
+let pp_labeled ppf t =
+  let rec go indent v =
+    let name =
+      match t.kinds.(v) with
+      | Root -> "#root"
+      | Element | Text -> t.values.(v)
+    in
+    Format.fprintf ppf "%s%d %s %d@." (String.make indent ' ') t.nins.(v) name t.nouts.(v);
+    List.iter (go (indent + 2)) (children t v)
+  in
+  go 0 0

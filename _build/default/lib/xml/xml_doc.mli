@@ -1,0 +1,64 @@
+(** Labeled in-memory documents.
+
+    An {!Xml_tree.forest} is compiled into a flat, array-backed document in
+    which every node carries the [in]/[out] numbering of the paper's
+    Figure 2: a counter is incremented at every opening and at every
+    closing tag (text nodes count as if they were tagged), [in] is the
+    value at the opening and [out] the value at the closing.  Node 0 is the
+    virtual document root ([in] = 1), whose children are the top-level
+    nodes of the forest.
+
+    Nodes are identified by their preorder index, so the descendants of a
+    node form a contiguous index range — the array mirror of the XASR
+    interval property [x.in < y.in && y.out < x.out]. *)
+
+type kind =
+  | Root
+  | Element
+  | Text
+
+type t
+
+type node = int
+(** Preorder index into the document; [0] is the virtual root. *)
+
+val of_forest : Xml_tree.forest -> t
+val of_node : Xml_tree.node -> t
+
+val count : t -> int
+(** Total number of nodes, including the virtual root. *)
+
+val root : t -> node
+val kind : t -> node -> kind
+
+val value : t -> node -> string
+(** Element label, text content, or [""] for the root. *)
+
+val nin : t -> node -> int
+val nout : t -> node -> int
+
+val parent : t -> node -> node option
+val children : t -> node -> node list
+
+val subtree_last : t -> node -> node
+(** Largest preorder index inside the subtree of the node; the
+    descendants of [v] are exactly the indexes [v+1 .. subtree_last t v]. *)
+
+val descendants : t -> node -> node list
+
+val node_by_in : t -> int -> node
+(** Inverse of {!nin}.  @raise Not_found if no node has this [in] value. *)
+
+val depth : t -> node -> int
+(** Number of ancestors: the virtual root has depth 0. *)
+
+val to_tree : t -> node -> Xml_tree.node
+(** Copy the subtree below a node back into a plain tree.
+    @raise Invalid_argument on the virtual root; use {!to_forest}. *)
+
+val to_forest : t -> node -> Xml_tree.forest
+(** Like {!to_tree} but a node's children forest; defined on the root. *)
+
+val pp_labeled : Format.formatter -> t -> unit
+(** Render the document with in/out labels, reproducing the style of the
+    paper's Figure 2 (e.g. ["2 journal 17"]). *)

@@ -1,0 +1,245 @@
+type event =
+  | Start_tag of string
+  | End_tag of string
+  | Text of string
+
+exception Parse_error of string
+
+let fail pos fmt =
+  Format.kasprintf (fun msg -> raise (Parse_error (Printf.sprintf "at byte %d: %s" pos msg))) fmt
+
+(* A cursor over the input string.  All scanning functions take and return
+   explicit positions; the only mutable state is the caller's. *)
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let scan_name input pos =
+  let n = String.length input in
+  if pos >= n || not (is_name_start input.[pos]) then fail pos "expected a name";
+  let rec go i = if i < n && is_name_char input.[i] then go (i + 1) else i in
+  let stop = go (pos + 1) in
+  (String.sub input pos (stop - pos), stop)
+
+let skip_ws input pos =
+  let n = String.length input in
+  let rec go i = if i < n && is_ws input.[i] then go (i + 1) else i in
+  go pos
+
+(* Decode one entity reference starting at the '&'. *)
+let scan_entity input pos buf =
+  let n = String.length input in
+  let semi =
+    match String.index_from_opt input pos ';' with
+    | Some i when i - pos <= 12 -> i
+    | Some _ | None -> fail pos "unterminated entity reference"
+  in
+  let body = String.sub input (pos + 1) (semi - pos - 1) in
+  (match body with
+   | "lt" -> Buffer.add_char buf '<'
+   | "gt" -> Buffer.add_char buf '>'
+   | "amp" -> Buffer.add_char buf '&'
+   | "quot" -> Buffer.add_char buf '"'
+   | "apos" -> Buffer.add_char buf '\''
+   | _ ->
+     if String.length body > 1 && body.[0] = '#' then begin
+       let code =
+         try
+           if body.[1] = 'x' || body.[1] = 'X'
+           then int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+           else int_of_string (String.sub body 1 (String.length body - 1))
+         with Failure _ -> fail pos "bad character reference &%s;" body
+       in
+       if code < 0x80 then Buffer.add_char buf (Char.chr code)
+       else begin
+         (* Encode as UTF-8. *)
+         let add c = Buffer.add_char buf (Char.chr c) in
+         if code < 0x800 then begin
+           add (0xC0 lor (code lsr 6));
+           add (0x80 lor (code land 0x3F))
+         end else if code < 0x10000 then begin
+           add (0xE0 lor (code lsr 12));
+           add (0x80 lor ((code lsr 6) land 0x3F));
+           add (0x80 lor (code land 0x3F))
+         end else begin
+           add (0xF0 lor (code lsr 18));
+           add (0x80 lor ((code lsr 12) land 0x3F));
+           add (0x80 lor ((code lsr 6) land 0x3F));
+           add (0x80 lor (code land 0x3F))
+         end
+       end
+     end
+     else fail pos "unknown entity &%s;" body);
+  ignore n;
+  semi + 1
+
+(* Skip past a construct introduced by "<!" or "<?" starting at [pos]
+   pointing to the '<'. *)
+let skip_markup input pos =
+  let n = String.length input in
+  let find_sub sub from =
+    let m = String.length sub in
+    let rec go i =
+      if i + m > n then fail pos "unterminated markup"
+      else if String.sub input i m = sub then i + m
+      else go (i + 1)
+    in
+    go from
+  in
+  if pos + 3 < n && String.sub input pos 4 = "<!--" then find_sub "-->" (pos + 4)
+  else if pos + 8 < n && String.sub input pos 9 = "<![CDATA[" then pos (* handled by caller *)
+  else if pos + 1 < n && input.[pos + 1] = '?' then find_sub "?>" (pos + 2)
+  else begin
+    (* <!DOCTYPE ...> possibly with an internal subset in brackets. *)
+    let rec go i depth =
+      if i >= n then fail pos "unterminated declaration"
+      else
+        match input.[i] with
+        | '<' -> go (i + 1) (depth + 1)
+        | '[' -> go (i + 1) (depth + 1)
+        | ']' -> go (i + 1) (depth - 1)
+        | '>' -> if depth = 0 then i + 1 else go (i + 1) (depth - 1)
+        | _ -> go (i + 1) depth
+    in
+    go (pos + 1) 0
+  end
+
+(* Skip attributes inside a start tag; returns the position of '>' or "/>". *)
+let skip_attributes input pos =
+  let n = String.length input in
+  let rec go i =
+    let i = skip_ws input i in
+    if i >= n then fail pos "unterminated start tag"
+    else
+      match input.[i] with
+      | '>' | '/' -> i
+      | c when is_name_start c ->
+        let _, i = scan_name input i in
+        let i = skip_ws input i in
+        if i >= n || input.[i] <> '=' then fail i "expected '=' in attribute"
+        else begin
+          let i = skip_ws input (i + 1) in
+          if i >= n || (input.[i] <> '"' && input.[i] <> '\'') then
+            fail i "expected quoted attribute value";
+          let quote = input.[i] in
+          match String.index_from_opt input (i + 1) quote with
+          | None -> fail i "unterminated attribute value"
+          | Some j -> go (j + 1)
+        end
+      | c -> fail i "unexpected character %C in tag" c
+  in
+  go pos
+
+let is_blank s =
+  let rec go i = i >= String.length s || (is_ws s.[i] && go (i + 1)) in
+  go 0
+
+let iter_events ?(strip_ws = true) input f =
+  let n = String.length input in
+  let depth = ref 0 in
+  let text_buf = Buffer.create 256 in
+  let flush_text () =
+    if Buffer.length text_buf > 0 then begin
+      let s = Buffer.contents text_buf in
+      Buffer.clear text_buf;
+      if not (strip_ws && is_blank s) then f (Text s)
+    end
+  in
+  let rec go pos =
+    if pos >= n then begin
+      flush_text ();
+      if !depth <> 0 then fail pos "unexpected end of input: %d unclosed tag(s)" !depth
+    end
+    else if input.[pos] = '<' then begin
+      if pos + 8 < n && String.sub input pos 9 = "<![CDATA[" then begin
+        let stop =
+          let rec find i =
+            if i + 3 > n then fail pos "unterminated CDATA section"
+            else if String.sub input i 3 = "]]>" then i
+            else find (i + 1)
+          in
+          find (pos + 9)
+        in
+        Buffer.add_string text_buf (String.sub input (pos + 9) (stop - pos - 9));
+        go (stop + 3)
+      end
+      else if pos + 1 < n && (input.[pos + 1] = '!' || input.[pos + 1] = '?') then begin
+        flush_text ();
+        go (skip_markup input pos)
+      end
+      else if pos + 1 < n && input.[pos + 1] = '/' then begin
+        flush_text ();
+        let name, p = scan_name input (pos + 2) in
+        let p = skip_ws input p in
+        if p >= n || input.[p] <> '>' then fail p "expected '>' in end tag";
+        decr depth;
+        if !depth < 0 then fail pos "end tag </%s> without matching start tag" name;
+        f (End_tag name);
+        go (p + 1)
+      end
+      else begin
+        flush_text ();
+        let name, p = scan_name input (pos + 1) in
+        let p = skip_attributes input p in
+        if input.[p] = '/' then begin
+          if p + 1 >= n || input.[p + 1] <> '>' then fail p "expected '/>'";
+          f (Start_tag name);
+          f (End_tag name);
+          go (p + 2)
+        end
+        else begin
+          incr depth;
+          f (Start_tag name);
+          go (p + 1)
+        end
+      end
+    end
+    else if input.[pos] = '&' then go (scan_entity input pos text_buf)
+    else begin
+      Buffer.add_char text_buf input.[pos];
+      go (pos + 1)
+    end
+  in
+  go 0
+
+let parse_forest ?strip_ws input =
+  (* Stack of (label, reversed children built so far). *)
+  let stack = ref [] in
+  let top_rev = ref [] in
+  let add node =
+    match !stack with
+    | [] -> top_rev := node :: !top_rev
+    | (label, children) :: rest -> stack := (label, node :: children) :: rest
+  in
+  let handle = function
+    | Start_tag name -> stack := (name, []) :: !stack
+    | End_tag name ->
+      (match !stack with
+       | (label, children) :: rest ->
+         if not (String.equal label name) then
+           raise (Parse_error (Printf.sprintf "mismatched tags: <%s> closed by </%s>" label name));
+         stack := rest;
+         add (Xml_tree.Elem (label, List.rev children))
+       | [] -> raise (Parse_error (Printf.sprintf "stray end tag </%s>" name)))
+    | Text s -> add (Xml_tree.Text s)
+  in
+  iter_events ?strip_ws input handle;
+  List.rev !top_rev
+
+let parse ?strip_ws input =
+  match parse_forest ?strip_ws input with
+  | [root] -> root
+  | [] -> raise (Parse_error "empty document")
+  | _ :: _ -> raise (Parse_error "more than one top-level node")
+
+let parse_file ?strip_ws path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_forest ?strip_ws content

@@ -1,0 +1,36 @@
+(** A small, robust XML parser.
+
+    Two interfaces are provided:
+    - an event (SAX-style) interface, used by the shredder of milestone 2 so
+      that documents can be loaded into the XASR store without ever
+      materializing a DOM tree;
+    - a tree interface building {!Xml_tree.forest}s, used by the in-memory
+      evaluator of milestone 1 and by the test suite.
+
+    Supported syntax: elements, text, entity references ([&lt; &gt; &amp;
+    &quot; &apos;] and numeric [&#NN;]/[&#xHH;]), CDATA sections,
+    self-closing tags.  Attributes, comments, processing instructions, XML
+    declarations and DOCTYPEs are parsed and skipped: the XQ data model of
+    the paper has element and text nodes only. *)
+
+type event =
+  | Start_tag of string
+  | End_tag of string
+  | Text of string
+
+exception Parse_error of string
+(** Raised on malformed input; the message includes a byte offset. *)
+
+(** [iter_events input f] scans [input] and calls [f] on each event in
+    document order.  Whitespace-only text between elements is dropped when
+    [strip_ws] is [true] (the default), matching the data-oriented
+    documents of the paper's testbed. *)
+val iter_events : ?strip_ws:bool -> string -> (event -> unit) -> unit
+
+(** [parse_forest input] parses a sequence of top-level nodes. *)
+val parse_forest : ?strip_ws:bool -> string -> Xml_tree.forest
+
+(** [parse input] parses a document with a single top-level element. *)
+val parse : ?strip_ws:bool -> string -> Xml_tree.node
+
+val parse_file : ?strip_ws:bool -> string -> Xml_tree.forest

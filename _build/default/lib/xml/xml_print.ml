@@ -1,0 +1,56 @@
+let escape_text s =
+  let needs_escape = String.exists (fun c -> c = '<' || c = '>' || c = '&') s in
+  if not needs_escape then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '&' -> Buffer.add_string buf "&amp;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let add_node buf node =
+  let rec go = function
+    | Xml_tree.Text s -> Buffer.add_string buf (escape_text s)
+    | Xml_tree.Elem (label, []) ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf label;
+      Buffer.add_string buf "/>"
+    | Xml_tree.Elem (label, children) ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf label;
+      Buffer.add_char buf '>';
+      List.iter go children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf label;
+      Buffer.add_char buf '>'
+  in
+  go node
+
+let to_string node =
+  let buf = Buffer.create 256 in
+  add_node buf node;
+  Buffer.contents buf
+
+let forest_to_string forest =
+  let buf = Buffer.create 256 in
+  List.iter (add_node buf) forest;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Xml_tree.Text s -> Format.pp_print_string ppf (escape_text s)
+  | Xml_tree.Elem (label, []) -> Format.fprintf ppf "<%s/>" label
+  | Xml_tree.Elem (label, [Xml_tree.Text s]) ->
+    Format.fprintf ppf "<%s>%s</%s>" label (escape_text s) label
+  | Xml_tree.Elem (label, children) ->
+    Format.fprintf ppf "@[<v 2><%s>@,%a@]@,</%s>" label pp_children children label
+
+and pp_children ppf children =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp ppf children
+
+let pp_forest ppf forest = pp_children ppf forest

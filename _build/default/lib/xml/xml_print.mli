@@ -1,0 +1,14 @@
+(** Serialization of XML trees.
+
+    [to_string] produces the canonical compact form used throughout the
+    testbed to compare engine outputs; [pp] is an indented pretty-printer
+    for human consumption. *)
+
+val escape_text : string -> string
+(** Escape ['<'], ['>'] and ['&'] for use in text content. *)
+
+val to_string : Xml_tree.node -> string
+val forest_to_string : Xml_tree.forest -> string
+
+val pp : Format.formatter -> Xml_tree.node -> unit
+val pp_forest : Format.formatter -> Xml_tree.forest -> unit

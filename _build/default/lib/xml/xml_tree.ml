@@ -1,0 +1,54 @@
+type node =
+  | Elem of string * node list
+  | Text of string
+
+type forest = node list
+
+let elem label children = Elem (label, children)
+let text s = Text s
+
+let rec equal n1 n2 =
+  match n1, n2 with
+  | Text s1, Text s2 -> String.equal s1 s2
+  | Elem (l1, c1), Elem (l2, c2) -> String.equal l1 l2 && equal_forest c1 c2
+  | Text _, Elem _ | Elem _, Text _ -> false
+
+and equal_forest f1 f2 =
+  match f1, f2 with
+  | [], [] -> true
+  | n1 :: r1, n2 :: r2 -> equal n1 n2 && equal_forest r1 r2
+  | [], _ :: _ | _ :: _, [] -> false
+
+let text_content n =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Elem (_, children) -> List.iter go children
+  in
+  go n;
+  Buffer.contents buf
+
+let rec size = function
+  | Text _ -> 1
+  | Elem (_, children) -> List.fold_left (fun acc c -> acc + size c) 1 children
+
+let rec depth = function
+  | Text _ -> 1
+  | Elem (_, children) ->
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let count_labels forest =
+  let table = Hashtbl.create 16 in
+  let bump label =
+    let n = try Hashtbl.find table label with Not_found -> 0 in
+    Hashtbl.replace table label (n + 1)
+  in
+  let rec go = function
+    | Text _ -> ()
+    | Elem (label, children) ->
+      bump label;
+      List.iter go children
+  in
+  List.iter go forest;
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) table []
+  |> List.sort compare

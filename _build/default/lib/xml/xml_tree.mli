@@ -1,0 +1,33 @@
+(** Plain XML trees.
+
+    This is the parse result of {!Xml_parser} and the result type of query
+    evaluation: an ordered forest of element and text nodes.  The XQ
+    fragment of the paper has no attributes, comments or processing
+    instructions, so neither do we; the parser skips them. *)
+
+type node =
+  | Elem of string * node list  (** element with label and children *)
+  | Text of string  (** text node *)
+
+type forest = node list
+
+val elem : string -> node list -> node
+val text : string -> node
+
+val equal : node -> node -> bool
+val equal_forest : forest -> forest -> bool
+
+(** [text_content n] is the concatenation of all text descendants of [n],
+    in document order. *)
+val text_content : node -> string
+
+(** [size n] is the number of nodes in the tree rooted at [n]. *)
+val size : node -> int
+
+(** [depth n] is the length of the longest root-to-leaf path, where a
+    single node has depth 1. *)
+val depth : node -> int
+
+(** [count_labels n] folds all element labels of the tree into an
+    association list label -> number of occurrences. *)
+val count_labels : forest -> (string * int) list

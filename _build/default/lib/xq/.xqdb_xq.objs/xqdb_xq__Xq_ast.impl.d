@@ -1,0 +1,1 @@
+lib/xq/xq_ast.ml: List String

@@ -1,0 +1,1 @@
+lib/xq/xq_check.ml: List Printf String Xq_ast Xq_print

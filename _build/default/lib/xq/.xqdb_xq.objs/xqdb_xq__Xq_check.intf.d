@@ -1,0 +1,1 @@
+lib/xq/xq_check.mli: Xq_ast

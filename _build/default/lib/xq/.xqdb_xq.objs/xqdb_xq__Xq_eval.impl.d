@@ -1,0 +1,1 @@
+lib/xq/xq_eval.ml: List Printf String Xq_ast Xq_print Xqdb_xml

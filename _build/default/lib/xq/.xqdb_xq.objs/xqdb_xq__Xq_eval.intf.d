@@ -1,0 +1,1 @@
+lib/xq/xq_eval.mli: Xq_ast Xqdb_xml

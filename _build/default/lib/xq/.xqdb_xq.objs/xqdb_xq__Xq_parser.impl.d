@@ -1,0 +1,1 @@
+lib/xq/xq_parser.ml: Buffer Format List Printf String Xq_ast

@@ -1,0 +1,1 @@
+lib/xq/xq_parser.mli: Xq_ast

@@ -1,0 +1,1 @@
+lib/xq/xq_print.ml: Buffer Format String Xq_ast

@@ -1,0 +1,1 @@
+lib/xq/xq_print.mli: Format Xq_ast

@@ -1,0 +1,104 @@
+type axis =
+  | Child
+  | Descendant
+
+type nodetest =
+  | Name of string
+  | Star
+  | Text_test
+
+type var = string
+
+let root_var = "#root"
+
+type query =
+  | Empty
+  | Constr of string * query
+  | Text_lit of string
+  | Seq of query * query
+  | Var of var
+  | Path of var * axis * nodetest
+  | For of var * var * axis * nodetest * query
+  | If of cond * query
+
+and cond =
+  | True
+  | Eq_vars of var * var
+  | Eq_const of var * string
+  | Some_ of var * var * axis * nodetest * cond
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+let equal_query (q1 : query) (q2 : query) = q1 = q2
+let equal_cond (c1 : cond) (c2 : cond) = c1 = c2
+
+let rec seq_of_list = function
+  | [] -> Empty
+  | [q] -> q
+  | q :: rest -> Seq (q, seq_of_list rest)
+
+let rec query_size = function
+  | Empty | Text_lit _ | Var _ | Path _ -> 1
+  | Constr (_, q) -> 1 + query_size q
+  | Seq (q1, q2) -> 1 + query_size q1 + query_size q2
+  | For (_, _, _, _, q) -> 1 + query_size q
+  | If (c, q) -> 1 + cond_size c + query_size q
+
+and cond_size = function
+  | True | Eq_vars _ | Eq_const _ -> 1
+  | Some_ (_, _, _, _, c) -> 1 + cond_size c
+  | And (c1, c2) | Or (c1, c2) -> 1 + cond_size c1 + cond_size c2
+  | Not c -> 1 + cond_size c
+
+let bound_vars q =
+  let rec go_q acc = function
+    | Empty | Text_lit _ | Var _ | Path _ -> acc
+    | Constr (_, q) -> go_q acc q
+    | Seq (q1, q2) -> go_q (go_q acc q1) q2
+    | For (y, _, _, _, q) -> go_q (y :: acc) q
+    | If (c, q) -> go_q (go_c acc c) q
+  and go_c acc = function
+    | True | Eq_vars _ | Eq_const _ -> acc
+    | Some_ (y, _, _, _, c) -> go_c (y :: acc) c
+    | And (c1, c2) | Or (c1, c2) -> go_c (go_c acc c1) c2
+    | Not c -> go_c acc c
+  in
+  List.rev (go_q [] q)
+
+let cond_free_vars c =
+  let add bound acc x =
+    if List.mem x bound || List.mem x acc || String.equal x root_var then acc
+    else x :: acc
+  in
+  let rec go bound acc = function
+    | True -> acc
+    | Eq_vars (x, y) -> add bound (add bound acc x) y
+    | Eq_const (x, _) -> add bound acc x
+    | Some_ (y, x, _, _, c) -> go (y :: bound) (add bound acc x) c
+    | And (c1, c2) | Or (c1, c2) -> go bound (go bound acc c1) c2
+    | Not c -> go bound acc c
+  in
+  List.rev (go [] [] c)
+
+let free_vars q =
+  let add bound acc x =
+    if List.mem x bound || List.mem x acc || String.equal x root_var then acc
+    else x :: acc
+  in
+  let rec go_q bound acc = function
+    | Empty | Text_lit _ -> acc
+    | Var x | Path (x, _, _) -> add bound acc x
+    | Constr (_, q) -> go_q bound acc q
+    | Seq (q1, q2) -> go_q bound (go_q bound acc q1) q2
+    | For (y, x, _, _, q) -> go_q (y :: bound) (add bound acc x) q
+    | If (c, q) -> go_q bound (go_c bound acc c) q
+  and go_c bound acc = function
+    | True -> acc
+    | Eq_vars (x, y) -> add bound (add bound acc x) y
+    | Eq_const (x, _) -> add bound acc x
+    | Some_ (y, x, _, _, c) -> go_c (y :: bound) (add bound acc x) c
+    | And (c1, c2) | Or (c1, c2) -> go_c bound (go_c bound acc c1) c2
+    | Not c -> go_c bound acc c
+  in
+  List.rev (go_q [] [] q)

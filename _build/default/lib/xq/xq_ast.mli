@@ -1,0 +1,78 @@
+(** Abstract syntax of XQ, the composition-free XQuery fragment of the
+    paper's Figure 1.
+
+    {v
+    query ::= () | <a>query</a> | query query
+            | var | var/axis::nu
+            | for var in var/axis::nu return query
+            | if cond then query
+    cond  ::= var = var | var = string | true()
+            | some var in var/axis::nu satisfies cond
+            | cond and cond | cond or cond | not(cond)
+    axis  ::= child | descendant
+    nu    ::= a | * | text()
+    v}
+
+    One documented extension: [Text_lit] allows literal text inside
+    element constructors (e.g. [<note>hi</note>]); the paper's grammar
+    cannot construct text nodes, which would make round-tripping the
+    testbed documents impossible. *)
+
+type axis =
+  | Child
+  | Descendant
+
+type nodetest =
+  | Name of string  (** label test [a] *)
+  | Star  (** [*]: any element *)
+  | Text_test  (** [text()] *)
+
+type var = string
+(** Variable name, without the ['$'] sigil. *)
+
+val root_var : var
+(** The implicit variable bound to the virtual document root.  Its name
+    contains ['#'] so it cannot be written in the surface syntax; paths
+    starting with ['/'] or ['//'] desugar to steps from [root_var]. *)
+
+type query =
+  | Empty  (** [()] *)
+  | Constr of string * query  (** [<a>{ q }</a>] *)
+  | Text_lit of string  (** literal text inside a constructor *)
+  | Seq of query * query  (** [q1, q2] *)
+  | Var of var  (** [$x] *)
+  | Path of var * axis * nodetest  (** [$x/axis::nu] *)
+  | For of var * var * axis * nodetest * query
+      (** [for $y in $x/axis::nu return q] *)
+  | If of cond * query  (** [if (c) then q else ()] *)
+
+and cond =
+  | True  (** [true()] *)
+  | Eq_vars of var * var  (** [$x = $y] *)
+  | Eq_const of var * string  (** [$x = "s"] *)
+  | Some_ of var * var * axis * nodetest * cond
+      (** [some $y in $x/axis::nu satisfies c] *)
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+val equal_query : query -> query -> bool
+val equal_cond : cond -> cond -> bool
+
+val seq_of_list : query list -> query
+(** Right-nested [Seq]; [Empty] for the empty list. *)
+
+val query_size : query -> int
+(** Number of AST constructors, a complexity measure used by the testbed
+    reports and the random query generator. *)
+
+val bound_vars : query -> var list
+(** All variables bound by [for]/[some], in syntactic order. *)
+
+val free_vars : query -> var list
+(** Variables used but not bound, excluding {!root_var}. *)
+
+val cond_free_vars : cond -> var list
+(** Variables a condition depends on but does not bind itself,
+    excluding {!root_var}; the engine fetches exactly these when it
+    evaluates a residual guard navigationally. *)

@@ -1,0 +1,75 @@
+open Xq_ast
+
+type error =
+  | Unbound_variable of var
+  | Shadowed_variable of var
+  | Root_rebound
+  | Empty_label
+
+let error_to_string = function
+  | Unbound_variable x -> Printf.sprintf "unbound variable %s" (Xq_print.var x)
+  | Shadowed_variable x ->
+    Printf.sprintf "variable %s bound twice (shadowing is not supported)"
+      (Xq_print.var x)
+  | Root_rebound -> "the variable $root cannot be rebound"
+  | Empty_label -> "empty element label"
+
+exception Err of error
+
+let check q =
+  let use scope x =
+    if not (List.mem x scope || String.equal x root_var) then
+      raise (Err (Unbound_variable x))
+  in
+  let bind scope x =
+    if String.equal x root_var then raise (Err Root_rebound);
+    if List.mem x scope then raise (Err (Shadowed_variable x));
+    x :: scope
+  in
+  let label l = if String.equal l "" then raise (Err Empty_label) in
+  let test = function
+    | Name a -> label a
+    | Star | Text_test -> ()
+  in
+  let rec go_q scope = function
+    | Empty | Text_lit _ -> ()
+    | Var x -> use scope x
+    | Path (x, _, t) ->
+      use scope x;
+      test t
+    | Constr (a, q) ->
+      label a;
+      go_q scope q
+    | Seq (q1, q2) ->
+      go_q scope q1;
+      go_q scope q2
+    | For (y, x, _, t, q) ->
+      use scope x;
+      test t;
+      go_q (bind scope y) q
+    | If (c, q) ->
+      go_c scope c;
+      go_q scope q
+  and go_c scope = function
+    | True -> ()
+    | Eq_vars (x, y) ->
+      use scope x;
+      use scope y
+    | Eq_const (x, _) -> use scope x
+    | Some_ (y, x, _, t, c) ->
+      use scope x;
+      test t;
+      go_c (bind scope y) c
+    | And (c1, c2) | Or (c1, c2) ->
+      go_c scope c1;
+      go_c scope c2
+    | Not c -> go_c scope c
+  in
+  match go_q [] q with
+  | () -> Ok ()
+  | exception Err e -> Error e
+
+let check_exn q =
+  match check q with
+  | Ok () -> ()
+  | Error e -> invalid_arg (error_to_string e)

@@ -1,0 +1,24 @@
+(** Static well-formedness checks for XQ queries.
+
+    XQ's key property — every variable binds to a {e single} node, so a
+    query can run in memory bounded by the number of live variables — is
+    guaranteed by the shape of the AST.  What remains to check:
+
+    - every used variable is bound (or is [$root]);
+    - no variable is bound twice along a scope path, and [$root] is never
+      rebound (the algebraic rewriting of milestone 3 uses variable names
+      as algebra column names, so shadowing is rejected up front);
+    - element labels in constructors and name tests are non-empty. *)
+
+type error =
+  | Unbound_variable of Xq_ast.var
+  | Shadowed_variable of Xq_ast.var
+  | Root_rebound
+  | Empty_label
+
+val error_to_string : error -> string
+
+val check : Xq_ast.query -> (unit, error) result
+
+val check_exn : Xq_ast.query -> unit
+(** @raise Invalid_argument with the rendered error. *)

@@ -1,0 +1,71 @@
+open Xq_ast
+module Doc = Xqdb_xml.Xml_doc
+module Tree = Xqdb_xml.Xml_tree
+
+exception Type_error of string
+
+type env = (var * Doc.node) list
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Xq_eval: unbound variable %s" (Xq_print.var x))
+
+let node_matches doc v = function
+  | Name a -> Doc.kind doc v = Doc.Element && String.equal (Doc.value doc v) a
+  | Star -> Doc.kind doc v = Doc.Element
+  | Text_test -> Doc.kind doc v = Doc.Text
+
+let axis_select doc v axis test =
+  let candidates =
+    match axis with
+    | Child -> Doc.children doc v
+    | Descendant -> Doc.descendants doc v
+  in
+  List.filter (fun w -> node_matches doc w test) candidates
+
+(* The paper restricts comparisons to text nodes; anything else is a
+   runtime type error. *)
+let text_value doc env x =
+  let v = lookup env x in
+  match Doc.kind doc v with
+  | Doc.Text -> Doc.value doc v
+  | Doc.Element ->
+    raise
+      (Type_error
+         (Printf.sprintf "%s is bound to element <%s>, not a text node"
+            (Xq_print.var x) (Doc.value doc v)))
+  | Doc.Root ->
+    raise (Type_error (Printf.sprintf "%s is bound to the document root" (Xq_print.var x)))
+
+let rec eval_cond doc env = function
+  | True -> true
+  | Eq_vars (x, y) -> String.equal (text_value doc env x) (text_value doc env y)
+  | Eq_const (x, s) -> String.equal (text_value doc env x) s
+  | Some_ (y, x, axis, test, c) ->
+    let v = lookup env x in
+    List.exists (fun w -> eval_cond doc ((y, w) :: env) c) (axis_select doc v axis test)
+  | And (c1, c2) -> eval_cond doc env c1 && eval_cond doc env c2
+  | Or (c1, c2) -> eval_cond doc env c1 || eval_cond doc env c2
+  | Not c -> not (eval_cond doc env c)
+
+let node_forest doc v =
+  match Doc.kind doc v with
+  | Doc.Root -> Doc.to_forest doc v
+  | Doc.Element | Doc.Text -> [Doc.to_tree doc v]
+
+let rec eval_in_env doc env = function
+  | Empty -> []
+  | Text_lit s -> [Tree.Text s]
+  | Constr (a, q) -> [Tree.Elem (a, eval_in_env doc env q)]
+  | Seq (q1, q2) -> eval_in_env doc env q1 @ eval_in_env doc env q2
+  | Var x -> node_forest doc (lookup env x)
+  | Path (x, axis, test) ->
+    List.map (Doc.to_tree doc) (axis_select doc (lookup env x) axis test)
+  | For (y, x, axis, test, body) ->
+    let bind w = eval_in_env doc ((y, w) :: env) body in
+    List.concat_map bind (axis_select doc (lookup env x) axis test)
+  | If (c, q) -> if eval_cond doc env c then eval_in_env doc env q else []
+
+let eval doc q = eval_in_env doc [(root_var, Doc.root doc)] q
+let eval_string doc q = Xqdb_xml.Xml_print.forest_to_string (eval doc q)

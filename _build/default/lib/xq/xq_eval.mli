@@ -1,0 +1,35 @@
+(** Milestone 1: the in-memory, denotational evaluator for XQ.
+
+    Variables bind to single nodes of the input document (an
+    {!Xqdb_xml.Xml_doc.t}); evaluation follows the denotational semantics
+    of the course material.  This evaluator is the correctness reference
+    against which the secondary-storage evaluator (milestone 2) and the
+    algebraic engines (milestones 3 and 4) are diffed by the testbed. *)
+
+exception Type_error of string
+(** Raised when a comparison involves a node that is not a text node —
+    the simplification the paper explicitly allows ("exit with an error
+    message if two nodes to be compared are not text nodes"). *)
+
+type env = (Xq_ast.var * Xqdb_xml.Xml_doc.node) list
+
+(** [axis_select doc v axis test] is the list of nodes reached from [v]
+    by one step, in document order.  Exposed because milestones 2-4 reuse
+    it to define their expected behaviour in tests. *)
+val axis_select :
+  Xqdb_xml.Xml_doc.t ->
+  Xqdb_xml.Xml_doc.node ->
+  Xq_ast.axis ->
+  Xq_ast.nodetest ->
+  Xqdb_xml.Xml_doc.node list
+
+val eval_cond : Xqdb_xml.Xml_doc.t -> env -> Xq_ast.cond -> bool
+
+val eval_in_env : Xqdb_xml.Xml_doc.t -> env -> Xq_ast.query -> Xqdb_xml.Xml_tree.forest
+
+(** [eval doc q] evaluates [q] with [$root] bound to the virtual root. *)
+val eval : Xqdb_xml.Xml_doc.t -> Xq_ast.query -> Xqdb_xml.Xml_tree.forest
+
+(** [eval_string doc q] is the canonical serialization of [eval doc q],
+    the form compared by the testbed. *)
+val eval_string : Xqdb_xml.Xml_doc.t -> Xq_ast.query -> string

@@ -1,0 +1,341 @@
+open Xq_ast
+
+exception Parse_error of string
+
+type cursor = {
+  input : string;
+  mutable pos : int;
+  mutable gensym : int;
+}
+
+let fail cur fmt =
+  Format.kasprintf
+    (fun msg -> raise (Parse_error (Printf.sprintf "at byte %d: %s" cur.pos msg)))
+    fmt
+
+let fresh cur =
+  cur.gensym <- cur.gensym + 1;
+  Printf.sprintf "#g%d" cur.gensym
+
+let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let len cur = String.length cur.input
+let eof cur = cur.pos >= len cur
+let peek cur = if eof cur then '\000' else cur.input.[cur.pos]
+
+let skip_ws cur =
+  while (not (eof cur)) && is_ws cur.input.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done
+
+(* Does [s] start at the current position? Does not consume. *)
+let looking_at cur s =
+  let n = String.length s in
+  cur.pos + n <= len cur && String.sub cur.input cur.pos n = s
+
+let eat cur s =
+  skip_ws cur;
+  if looking_at cur s then cur.pos <- cur.pos + String.length s
+  else fail cur "expected %S" s
+
+let try_eat cur s =
+  skip_ws cur;
+  if looking_at cur s then begin
+    cur.pos <- cur.pos + String.length s;
+    true
+  end
+  else false
+
+let scan_name cur =
+  skip_ws cur;
+  if eof cur || not (is_name_start (peek cur)) then fail cur "expected a name";
+  let start = cur.pos in
+  while (not (eof cur)) && is_name_char cur.input.[cur.pos] do
+    cur.pos <- cur.pos + 1
+  done;
+  String.sub cur.input start (cur.pos - start)
+
+(* A keyword is a name not followed by a name character; [looking_at_kw]
+   does not consume. *)
+let looking_at_kw cur kw =
+  skip_ws cur;
+  looking_at cur kw
+  && (cur.pos + String.length kw >= len cur
+      || not (is_name_char cur.input.[cur.pos + String.length kw]))
+
+let eat_kw cur kw =
+  if looking_at_kw cur kw then cur.pos <- cur.pos + String.length kw
+  else fail cur "expected keyword %S" kw
+
+let try_eat_kw cur kw =
+  if looking_at_kw cur kw then begin
+    cur.pos <- cur.pos + String.length kw;
+    true
+  end
+  else false
+
+let scan_var cur =
+  eat cur "$";
+  (* A leading '#' admits internal names (desugaring gensyms, the root
+     variable), so that pretty-printed queries always re-parse. *)
+  let hash = if peek cur = '#' then (cur.pos <- cur.pos + 1; "#") else "" in
+  let name = hash ^ scan_name cur in
+  if String.equal name "root" then root_var else name
+
+let scan_string cur =
+  skip_ws cur;
+  if peek cur <> '"' then fail cur "expected a string literal";
+  cur.pos <- cur.pos + 1;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof cur then fail cur "unterminated string literal"
+    else if peek cur = '"' then begin
+      cur.pos <- cur.pos + 1;
+      (* XQuery-style doubled-quote escape. *)
+      if peek cur = '"' then begin
+        Buffer.add_char buf '"';
+        cur.pos <- cur.pos + 1;
+        go ()
+      end
+    end
+    else begin
+      Buffer.add_char buf (peek cur);
+      cur.pos <- cur.pos + 1;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+(* --- Paths ----------------------------------------------------------- *)
+
+(* One step after '/' or '//' has been consumed. *)
+let rec scan_step cur descendant =
+  let axis = if descendant then Descendant else Child in
+  skip_ws cur;
+  if try_eat cur "*" then (axis, Star)
+  else begin
+    let name = scan_name cur in
+    match name with
+    | "text" when try_eat cur "(" ->
+      eat cur ")";
+      (axis, Text_test)
+    | "child" when looking_at cur "::" ->
+      eat cur "::";
+      if descendant then fail cur "axis given twice";
+      scan_step cur false
+    | "descendant" when looking_at cur "::" ->
+      eat cur "::";
+      if descendant then fail cur "axis given twice";
+      scan_step cur true
+    | name -> (axis, Name name)
+  end
+
+(* Steps: ('//'|'/') step, repeated.  Assumes at least one present. *)
+let scan_steps cur =
+  let rec go acc =
+    if try_eat cur "//" then go (scan_step cur true :: acc)
+    else if try_eat cur "/" then go (scan_step cur false :: acc)
+    else List.rev acc
+  in
+  let steps = go [] in
+  if steps = [] then fail cur "expected a path step" else steps
+
+(* A path expression: $x/..., /... or //... ; returns source and steps. *)
+let scan_path cur =
+  skip_ws cur;
+  if peek cur = '$' then begin
+    let v = scan_var cur in
+    skip_ws cur;
+    if peek cur = '/' then (v, scan_steps cur) else (v, [])
+  end
+  else (root_var, scan_steps cur)
+
+(* --- Conditions ------------------------------------------------------ *)
+
+let rec scan_cond cur = scan_or cur
+
+and scan_or cur =
+  let c1 = scan_and cur in
+  if try_eat_kw cur "or" then Or (c1, scan_or cur) else c1
+
+and scan_and cur =
+  let c1 = scan_cond_atom cur in
+  if try_eat_kw cur "and" then And (c1, scan_and cur) else c1
+
+and scan_cond_atom cur =
+  skip_ws cur;
+  if try_eat_kw cur "true" then begin
+    eat cur "(";
+    eat cur ")";
+    True
+  end
+  else if try_eat_kw cur "not" then begin
+    eat cur "(";
+    let c = scan_cond cur in
+    eat cur ")";
+    Not c
+  end
+  else if try_eat_kw cur "some" then begin
+    let y = scan_var cur in
+    eat_kw cur "in";
+    let src, steps = scan_path cur in
+    if steps = [] then fail cur "'some' must range over a path";
+    eat_kw cur "satisfies";
+    let c = scan_cond cur in
+    desugar_some cur y src steps c
+  end
+  else if try_eat cur "(" then begin
+    let c = scan_cond cur in
+    eat cur ")";
+    c
+  end
+  else if peek cur = '$' then begin
+    let x = scan_var cur in
+    eat cur "=";
+    skip_ws cur;
+    if peek cur = '$' then Eq_vars (x, scan_var cur)
+    else Eq_const (x, scan_string cur)
+  end
+  else fail cur "expected a condition"
+
+(* some $y in $x/s1/../sn satisfies c
+   == some $t1 in $x/s1 satisfies ... some $y in $t(n-1)/sn satisfies c *)
+and desugar_some cur y src steps c =
+  match steps with
+  | [] -> assert false
+  | [(axis, test)] -> Some_ (y, src, axis, test, c)
+  | (axis, test) :: rest ->
+    let t = fresh cur in
+    Some_ (t, src, axis, test, desugar_some cur y t rest c)
+
+(* --- Queries --------------------------------------------------------- *)
+
+let rec scan_query cur =
+  let item = scan_item cur in
+  if try_eat cur "," then Seq (item, scan_query cur) else item
+
+and scan_item cur =
+  skip_ws cur;
+  if try_eat cur "(" then begin
+    skip_ws cur;
+    if try_eat cur ")" then Empty
+    else begin
+      let q = scan_query cur in
+      eat cur ")";
+      q
+    end
+  end
+  else if looking_at_kw cur "for" then scan_for cur
+  else if looking_at_kw cur "if" then scan_if cur
+  else if looking_at_kw cur "text" then begin
+    eat_kw cur "text";
+    eat cur "{";
+    let s = scan_string cur in
+    eat cur "}";
+    Text_lit s
+  end
+  else if peek cur = '<' then scan_constructor cur
+  else if peek cur = '$' || peek cur = '/' then begin
+    let src, steps = scan_path cur in
+    desugar_path cur src steps
+  end
+  else fail cur "expected a query"
+
+and scan_for cur =
+  eat_kw cur "for";
+  let y = scan_var cur in
+  eat_kw cur "in";
+  let src, steps = scan_path cur in
+  if steps = [] then fail cur "'for' must range over a path";
+  eat_kw cur "return";
+  let body = scan_item cur in
+  desugar_for cur y src steps body
+
+(* for $y in $x/s1/../sn return q
+   == for $t1 in $x/s1 return ... for $y in $t(n-1)/sn return q *)
+and desugar_for cur y src steps body =
+  match steps with
+  | [] -> assert false
+  | [(axis, test)] -> For (y, src, axis, test, body)
+  | (axis, test) :: rest ->
+    let t = fresh cur in
+    For (t, src, axis, test, desugar_for cur y t rest body)
+
+(* $x/s1/../sn as a query == for $t in $x/s1 return $t/s2/../sn *)
+and desugar_path cur src steps =
+  match steps with
+  | [] -> Var src
+  | [(axis, test)] -> Path (src, axis, test)
+  | (axis, test) :: rest ->
+    let t = fresh cur in
+    For (t, src, axis, test, desugar_path cur t rest)
+
+and scan_if cur =
+  eat_kw cur "if";
+  eat cur "(";
+  let c = scan_cond cur in
+  eat cur ")";
+  eat_kw cur "then";
+  let q = scan_item cur in
+  if try_eat_kw cur "else" then begin
+    eat cur "(";
+    eat cur ")"
+  end;
+  If (c, q)
+
+and scan_constructor cur =
+  eat cur "<";
+  let label = scan_name cur in
+  skip_ws cur;
+  if try_eat cur "/>" then Constr (label, Empty)
+  else begin
+    eat cur ">";
+    let content = scan_content cur [] in
+    eat cur "</";
+    let closing = scan_name cur in
+    if not (String.equal label closing) then
+      fail cur "constructor <%s> closed by </%s>" label closing;
+    eat cur ">";
+    Constr (label, content)
+  end
+
+(* Content of a direct constructor: enclosed expressions, nested
+   constructors and literal text, concatenated into a sequence. *)
+and scan_content cur acc =
+  if looking_at cur "</" then seq_of_list (List.rev acc)
+  else if eof cur then fail cur "unterminated constructor content"
+  else if peek cur = '{' then begin
+    eat cur "{";
+    let q = scan_query cur in
+    eat cur "}";
+    scan_content cur (q :: acc)
+  end
+  else if peek cur = '<' then scan_content cur (scan_constructor cur :: acc)
+  else begin
+    (* Literal text up to the next '<' or '{'. *)
+    let start = cur.pos in
+    while (not (eof cur)) && peek cur <> '<' && peek cur <> '{' do
+      cur.pos <- cur.pos + 1
+    done;
+    let s = String.sub cur.input start (cur.pos - start) in
+    let blank = String.for_all is_ws s in
+    if blank then scan_content cur acc else scan_content cur (Text_lit s :: acc)
+  end
+
+let parse input =
+  let cur = { input; pos = 0; gensym = 0 } in
+  let q = scan_query cur in
+  skip_ws cur;
+  if not (eof cur) then fail cur "trailing input";
+  q
+
+let parse_result input =
+  match parse input with
+  | q -> Ok q
+  | exception Parse_error msg -> Error msg

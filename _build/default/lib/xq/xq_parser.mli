@@ -1,0 +1,29 @@
+(** Parser for the XQ surface syntax.
+
+    The concrete syntax follows XQuery conventions:
+
+    {v
+    ()                                empty sequence
+    $x                                variable ($root is the document root)
+    $x/a   $x//a   $x/*   $x/text()   abbreviated steps
+    $x/child::a  $x/descendant::a     explicit axes
+    /a  //a                           steps from the document root
+    for $y in $x//a return q
+    if ($x = "s" and some $t in $x/b satisfies true()) then q else ()
+    <a>{ q }</a>  <a/>  <a>text</a>   element constructors
+    text { "s" }                      computed text constructor
+    q1, q2                            sequence
+    v}
+
+    Multi-step paths such as [$x/a//b/text()] are accepted and desugared
+    into the nested [for]s (or nested [some]s, in conditions) of the
+    single-step core grammar, introducing fresh variables.  The [else]
+    branch, when present, must be [()] — XQ's conditionals have no
+    alternative branch. *)
+
+exception Parse_error of string
+
+val parse : string -> Xq_ast.query
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Xq_ast.query, string) result

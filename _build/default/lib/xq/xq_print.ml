@@ -1,0 +1,77 @@
+open Xq_ast
+
+let var x = if String.equal x root_var then "$root" else "$" ^ x
+
+let nodetest = function
+  | Name a -> a
+  | Star -> "*"
+  | Text_test -> "text()"
+
+let step x axis test =
+  let source = if String.equal x root_var then "" else var x in
+  let slash =
+    match axis with
+    | Child -> "/"
+    | Descendant -> "//"
+  in
+  source ^ slash ^ nodetest test
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* Items under 'return'/'then' and constructor braces must be single items
+   syntactically, so sequences get parenthesized there. *)
+let rec pp_query ppf = function
+  | Seq (q1, q2) ->
+    Format.fprintf ppf "%a,@ %a" pp_item q1 pp_query q2
+  | q -> pp_item ppf q
+
+and pp_item ppf = function
+  | Empty -> Format.pp_print_string ppf "()"
+  | Text_lit s -> Format.fprintf ppf "text { %s }" (quote_string s)
+  | Var x -> Format.pp_print_string ppf (var x)
+  | Path (x, axis, test) -> Format.pp_print_string ppf (step x axis test)
+  | Constr (label, Empty) -> Format.fprintf ppf "<%s/>" label
+  | Constr (label, q) ->
+    Format.fprintf ppf "@[<hv 2><%s>{@ %a@ }</%s>@]" label pp_query q label
+  | For (y, x, axis, test, body) ->
+    Format.fprintf ppf "@[<hv 2>for %s in %s@ return %a@]" (var y)
+      (step x axis test) pp_single body
+  | If (c, q) ->
+    Format.fprintf ppf "@[<hv 2>if (%a)@ then %a@ else ()@]" pp_cond c
+      pp_single q
+  | Seq _ as q -> Format.fprintf ppf "(%a)" pp_query q
+
+and pp_single ppf q =
+  match q with
+  | Seq _ -> Format.fprintf ppf "(%a)" pp_query q
+  | q -> pp_item ppf q
+
+and pp_cond ppf = function
+  | Or (c1, c2) -> Format.fprintf ppf "%a or %a" pp_cond_and c1 pp_cond c2
+  | c -> pp_cond_and ppf c
+
+and pp_cond_and ppf = function
+  | And (c1, c2) -> Format.fprintf ppf "%a and %a" pp_cond_atom c1 pp_cond_and c2
+  | c -> pp_cond_atom ppf c
+
+and pp_cond_atom ppf = function
+  | True -> Format.pp_print_string ppf "true()"
+  | Eq_vars (x, y) -> Format.fprintf ppf "%s = %s" (var x) (var y)
+  | Eq_const (x, s) -> Format.fprintf ppf "%s = %s" (var x) (quote_string s)
+  | Not c -> Format.fprintf ppf "not(%a)" pp_cond c
+  | Some_ (y, x, axis, test, c) ->
+    (* Parenthesized because 'satisfies' is parsed right-greedily. *)
+    Format.fprintf ppf "@[<hv 2>(some %s in %s@ satisfies %a)@]" (var y)
+      (step x axis test) pp_cond c
+  | (Or _ | And _) as c -> Format.fprintf ppf "(%a)" pp_cond c
+
+let to_string q = Format.asprintf "@[<hv>%a@]" pp_query q
+let cond_to_string c = Format.asprintf "@[<hv>%a@]" pp_cond c

@@ -1,0 +1,16 @@
+(** Pretty-printer for XQ.
+
+    [to_string] emits the abbreviated surface syntax accepted by
+    {!Xq_parser}; parsing the output of [to_string] yields the original
+    query (a property checked by the test suite). *)
+
+val var : Xq_ast.var -> string
+(** ["$x"], or ["$root"] for {!Xq_ast.root_var}. *)
+
+val step : Xq_ast.var -> Xq_ast.axis -> Xq_ast.nodetest -> string
+(** ["$x//a"], ["/journal"], ["$x/text()"], ... *)
+
+val pp_query : Format.formatter -> Xq_ast.query -> unit
+val pp_cond : Format.formatter -> Xq_ast.cond -> unit
+val to_string : Xq_ast.query -> string
+val cond_to_string : Xq_ast.cond -> string

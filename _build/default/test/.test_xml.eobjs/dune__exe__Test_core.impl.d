@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Filename Lazy List QCheck2 QCheck_alcotest String Sys Test_support Xqdb_core Xqdb_optimizer Xqdb_tpm Xqdb_workload Xqdb_xasr Xqdb_xml Xqdb_xq

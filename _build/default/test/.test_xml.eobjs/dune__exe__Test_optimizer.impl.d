@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest List String Xqdb_optimizer Xqdb_physical Xqdb_storage Xqdb_testbed Xqdb_tpm Xqdb_workload Xqdb_xasr Xqdb_xq

@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Array Bytes List Printf QCheck2 QCheck_alcotest String Xqdb_physical Xqdb_storage Xqdb_tpm Xqdb_workload Xqdb_xasr

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer Bytes Filename Int List Map Option Printf QCheck2 QCheck_alcotest Random String Sys Xqdb_storage

@@ -1,0 +1,1 @@
+test/test_testbed.ml: Alcotest List String Xqdb_core Xqdb_testbed Xqdb_xq

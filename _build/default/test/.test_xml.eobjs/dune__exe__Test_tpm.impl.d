@@ -1,0 +1,1 @@
+test/test_tpm.ml: Alcotest List QCheck2 QCheck_alcotest String Test_support Xqdb_tpm Xqdb_xq

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Xqdb_workload Xqdb_xml

@@ -1,0 +1,1 @@
+test/test_xasr.ml: Alcotest Format Fun List Option QCheck2 QCheck_alcotest String Test_support Xqdb_storage Xqdb_workload Xqdb_xasr Xqdb_xml Xqdb_xq

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array List QCheck2 QCheck_alcotest Test_support Xqdb_workload Xqdb_xml

@@ -1,0 +1,1 @@
+test/test_xq.ml: Alcotest Printf QCheck2 QCheck_alcotest Test_support Xqdb_xml Xqdb_xq

@@ -1,0 +1,1 @@
+test/support/gen.ml: List Printf QCheck2 Xqdb_xml Xqdb_xq

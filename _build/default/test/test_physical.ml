@@ -1,0 +1,300 @@
+(* Tests for the physical operators: scans, joins, projection/dedup,
+   sorting, materialization, semijoin early-out. *)
+
+module A = Xqdb_tpm.Tpm_algebra
+module Op = Xqdb_physical.Phys_op
+module Tuple = Xqdb_physical.Tuple
+module S = Xqdb_storage
+module X = Xqdb_xasr
+module Xasr = X.Xasr
+
+(* A small store shared by most tests: the Figure 2 journal. *)
+let make_store ?(forest = [Xqdb_workload.Docs.figure2]) () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create disk in
+  let store, _ = X.Shredder.shred_forest pool ~name:"t" forest in
+  (disk, Op.make_ctx store)
+
+let ins_of op =
+  (* Column 0 of an XASR schema is the in value. *)
+  List.map
+    (fun t -> match t.(0) with Tuple.I v -> v | Tuple.S _ -> -1)
+    (Op.drain op)
+
+let eq l r = { A.left = l; op = A.Eq; right = r }
+let ocol a f = A.Ocol (A.col a f)
+
+let elem_pred a = eq (ocol a A.Type_) (A.Otype Xasr.Element)
+let value_pred a v = eq (ocol a A.Value) (A.Ostr v)
+
+(* --- tuples -------------------------------------------------------------- *)
+
+let tuple_roundtrip =
+  QCheck2.Test.make ~name:"tuple encode/decode round trip" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 8)
+                   (oneof [map (fun i -> Tuple.I i) (int_bound 10_000);
+                           map (fun s -> Tuple.S s) (string_size (int_bound 10))]))
+    (fun values ->
+      let t = Array.of_list values in
+      Tuple.decode (Tuple.encode t) = t)
+
+let test_tuple_keys () =
+  let t = [| Tuple.I 5; Tuple.S "ab"; Tuple.I 9 |] in
+  let encoded = Tuple.encode_with_key ~key_positions:[| 2; 0 |] t in
+  let key, decoded = Tuple.decode_keyed encoded in
+  Alcotest.(check bool) "payload survives" true (decoded = t);
+  Alcotest.(check bytes) "key extraction agrees" key (Tuple.key_of_encoded encoded);
+  (* Key ordering by the selected positions. *)
+  let k v = Tuple.key_of_encoded (Tuple.encode_with_key ~key_positions:[| 0 |] [| Tuple.I v |]) in
+  Alcotest.(check bool) "key order" true (Bytes.compare (k 3) (k 40) < 0)
+
+let test_compile_preds () =
+  let schema = Tuple.xasr_schema "R" in
+  let t = Tuple.of_xasr { Xasr.nin = 4; nout = 7; parent_in = 3; ntype = Xasr.Element; value = "name" } in
+  let holds p = Tuple.compile_pred schema p t in
+  Alcotest.(check bool) "eq col/const" true (holds (value_pred "R" "name"));
+  Alcotest.(check bool) "eq mismatch" false (holds (value_pred "R" "title"));
+  Alcotest.(check bool) "lt" true (holds { A.left = ocol "R" A.In; op = A.Lt; right = A.Oint 5 });
+  Alcotest.(check bool) "gt" true (holds { A.left = ocol "R" A.Out; op = A.Gt; right = A.Oint 5 });
+  (* Unresolved externals are a programming error. *)
+  (try
+     let (_ : Tuple.t -> Tuple.value) = Tuple.compile_operand schema (A.Oextern_in "x") in
+     Alcotest.fail "external should not compile"
+   with Invalid_argument _ -> ());
+  (* ground_operand resolves them. *)
+  let env v = if String.equal v "x" then (10, 20) else (0, 0) in
+  Alcotest.(check bool) "ground in" true (Tuple.ground_operand env (A.Oextern_in "x") = A.Oint 10);
+  Alcotest.(check bool) "ground out" true (Tuple.ground_operand env (A.Oextern_out "x") = A.Oint 20)
+
+(* --- scans ---------------------------------------------------------------- *)
+
+let test_scans () =
+  let _, ctx = make_store () in
+  let all = Op.full_scan ctx "R" ~preds:[] in
+  Alcotest.(check int) "full scan size" 9 (Op.count all);
+  let names = Op.full_scan ctx "R" ~preds:[elem_pred "R"; value_pred "R" "name"] in
+  Alcotest.(check (list int)) "filtered scan" [4; 8] (ins_of names);
+  let via_index = Op.label_scan ctx "R" ~ntype:Xasr.Element ~value:"name" ~preds:[] in
+  Alcotest.(check (list int)) "label scan agrees" [4; 8] (ins_of via_index);
+  let nothing = Op.label_scan ctx "R" ~ntype:Xasr.Element ~value:"zzz" ~preds:[] in
+  Alcotest.(check (list int)) "label scan misses" [] (ins_of nothing);
+  (* reset replays *)
+  Alcotest.(check int) "reset replays" 2 (Op.count via_index);
+  Alcotest.(check int) "count is stable" 2 (Op.count via_index)
+
+let test_unit_and_empty () =
+  let unit = Op.singleton [] [||] in
+  Alcotest.(check int) "unit has one tuple" 1 (Op.count unit);
+  Alcotest.(check int) "empty has none" 0 (Op.count (Op.empty []))
+
+(* --- joins ---------------------------------------------------------------- *)
+
+(* name elements joined to their parents via three methods must agree. *)
+let test_join_methods_agree () =
+  let _, ctx = make_store () in
+  let parent_child_preds = [eq (ocol "P" A.In) (ocol "C" A.Parent_in)] in
+  let nl =
+    Op.nl_join ~preds:parent_child_preds
+      (Op.full_scan ctx "P" ~preds:[elem_pred "P"])
+      (Op.full_scan ctx "C" ~preds:[elem_pred "C"; value_pred "C" "name"])
+      ctx
+  in
+  let inl =
+    Op.inl_join ctx ~probe:(Op.Probe_child (ocol "P" A.In)) ~alias:"C"
+      ~preds:[elem_pred "C"; value_pred "C" "name"] ~residual:[]
+      (Op.full_scan ctx "P" ~preds:[elem_pred "P"])
+  in
+  let pairs op =
+    List.map
+      (fun t -> (t.(0), t.(5)))  (* P.in, C.in *)
+      (Op.drain op)
+  in
+  Alcotest.(check bool) "nl = inl(child)" true (pairs nl = pairs inl);
+  Alcotest.(check int) "two name-parent pairs" 2 (List.length (pairs nl))
+
+let test_desc_probe () =
+  let _, ctx = make_store () in
+  (* Descendant texts of the authors element (in=3, out=12). *)
+  let op =
+    Op.inl_join ctx
+      ~probe:(Op.Probe_desc (ocol "P" A.In, ocol "P" A.Out))
+      ~alias:"D"
+      ~preds:[eq (ocol "D" A.Type_) (A.Otype Xasr.Text)]
+      ~residual:[]
+      (Op.full_scan ctx "P" ~preds:[value_pred "P" "authors"])
+  in
+  let descendant_ins = List.map (fun t -> match t.(5) with Tuple.I v -> v | _ -> -1) (Op.drain op) in
+  Alcotest.(check (list int)) "Ana and Bob" [5; 9] descendant_ins
+
+let test_pk_probe () =
+  let _, ctx = make_store () in
+  (* Each node joined to its parent tuple by primary key. *)
+  let op =
+    Op.inl_join ctx ~probe:(Op.Probe_pk (ocol "C" A.Parent_in)) ~alias:"P" ~preds:[]
+      ~residual:[]
+      (Op.full_scan ctx "C" ~preds:[value_pred "C" "name"])
+  in
+  let parents = List.map (fun t -> match t.(5) with Tuple.I v -> v | _ -> -1) (Op.drain op) in
+  Alcotest.(check (list int)) "both names have the authors parent" [3; 3] parents
+
+let test_product_and_modes () =
+  let _, ctx = make_store () in
+  let make mode =
+    Op.nl_join ~materialize_inner:mode ~preds:[]
+      (Op.full_scan ctx "A" ~preds:[elem_pred "A"])
+      (Op.full_scan ctx "B" ~preds:[eq (ocol "B" A.Type_) (A.Otype Xasr.Text)])
+      ctx
+  in
+  (* 5 elements x 3 texts. *)
+  List.iter
+    (fun mode -> Alcotest.(check int) "product size" 15 (Op.count (make mode)))
+    [`Mem; `Disk; `None]
+
+let test_bnl_join () =
+  let _, ctx = make_store () in
+  let parent_child_preds = [eq (ocol "P" A.In) (ocol "C" A.Parent_in)] in
+  let make_nl () =
+    Op.nl_join ~preds:parent_child_preds
+      (Op.full_scan ctx "P" ~preds:[elem_pred "P"])
+      (Op.full_scan ctx "C" ~preds:[elem_pred "C"]) ctx
+  in
+  let make_bnl block_size =
+    Op.bnl_join ~block_size ~preds:parent_child_preds
+      (Op.full_scan ctx "P" ~preds:[elem_pred "P"])
+      (Op.full_scan ctx "C" ~preds:[elem_pred "C"]) ctx
+  in
+  let multiset op = List.sort compare (Op.drain op) in
+  (* Same multiset of rows as plain NL, for several block sizes. *)
+  List.iter
+    (fun bs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bnl(block=%d) = nl as multisets" bs)
+        true
+        (multiset (make_bnl bs) = multiset (make_nl ())))
+    [1; 2; 3; 64];
+  (* With block size 1 the output order coincides with NL. *)
+  Alcotest.(check bool) "block=1 is plain NL order" true
+    (Op.drain (make_bnl 1) = Op.drain (make_nl ()));
+  (* A cross product with a block spanning several outer tuples is
+     inner-major within the block: order is destroyed. *)
+  let product join =
+    join
+      (Op.full_scan ctx "A" ~preds:[elem_pred "A"])
+      (Op.full_scan ctx "B" ~preds:[eq (ocol "B" A.Type_) (A.Otype Xasr.Text)])
+  in
+  let nl_rows = Op.drain (product (fun l r -> Op.nl_join ~preds:[] l r ctx)) in
+  let bnl_rows = Op.drain (product (fun l r -> Op.bnl_join ~block_size:64 ~preds:[] l r ctx)) in
+  Alcotest.(check bool) "same multiset" true
+    (List.sort compare nl_rows = List.sort compare bnl_rows);
+  Alcotest.(check bool) "different order (order destroyed)" true (nl_rows <> bnl_rows);
+  (* reset replays *)
+  let op = make_bnl 2 in
+  Alcotest.(check int) "replay" (Op.count op) (Op.count op)
+
+let test_semi_join () =
+  let _, ctx = make_store () in
+  (* Elements having at least one text child: semi stops at the first. *)
+  let semi =
+    Op.inl_join ~semi:true ctx ~probe:(Op.Probe_child (ocol "P" A.In)) ~alias:"C"
+      ~preds:[eq (ocol "C" A.Type_) (A.Otype Xasr.Text)]
+      ~residual:[]
+      (Op.full_scan ctx "P" ~preds:[elem_pred "P"])
+  in
+  let lefts = ins_of semi in
+  Alcotest.(check (list int)) "one row per qualifying element" [4; 8; 13] lefts
+
+(* --- filter, project, dedup ------------------------------------------------- *)
+
+let test_filter_and_project () =
+  let _, ctx = make_store () in
+  let scan = Op.full_scan ctx "R" ~preds:[] in
+  let filtered = Op.filter ~preds:[elem_pred "R"] scan in
+  Alcotest.(check int) "filter" 5 (Op.count filtered);
+  let projected =
+    Op.project ~cols:[A.col "R" A.Value] ~dedup:`No
+      (Op.full_scan ctx "R" ~preds:[elem_pred "R"])
+  in
+  Alcotest.(check int) "project width" 1 (List.length (List.hd (Op.drain projected) |> Array.to_list));
+  let dedup_adj =
+    Op.project ~cols:[A.col "R" A.Parent_in] ~dedup:`Adjacent
+      (Op.full_scan ctx "R" ~preds:[elem_pred "R"; value_pred "R" "name"])
+  in
+  (* Both names share parent 3; adjacent dedup collapses them. *)
+  Alcotest.(check int) "adjacent dedup" 1 (Op.count dedup_adj);
+  let dedup_hash =
+    Op.project ~cols:[A.col "R" A.Value] ~dedup:`Hash (Op.full_scan ctx "R" ~preds:[elem_pred "R"])
+  in
+  (* journal authors name name title -> 4 distinct labels. *)
+  Alcotest.(check int) "hash dedup" 4 (Op.count dedup_hash)
+
+(* --- sorting ------------------------------------------------------------------ *)
+
+let test_sorts_agree () =
+  let _, ctx = make_store () in
+  (* Sort elements by value; three implementations must agree. *)
+  let input () = Op.full_scan ctx "R" ~preds:[elem_pred "R"] in
+  let key_cols = [A.col "R" A.Value; A.col "R" A.In] in
+  let values op = List.map (fun t -> t.(4)) (Op.drain op) in
+  let mem = values (Op.sort ~mode:`In_mem ~key_cols (input ()) ctx) in
+  let ext = values (Op.sort ~mode:`External ~key_cols (input ()) ctx) in
+  let bt = values (Op.btree_sort ~dedup:false ~key_cols (input ()) ctx) in
+  Alcotest.(check bool) "mem = external" true (mem = ext);
+  Alcotest.(check bool) "mem = btree" true (mem = bt);
+  Alcotest.(check bool) "sorted by label" true
+    (mem = List.sort compare mem);
+  (* Dedup on the value column alone. *)
+  let dedup =
+    Op.sort ~dedup:true ~mode:`In_mem ~key_cols:[A.col "R" A.Value] (input ()) ctx
+  in
+  Alcotest.(check int) "sort dedup by value" 4 (Op.count dedup);
+  let bt_dedup = Op.btree_sort ~key_cols:[A.col "R" A.Value] (input ()) ctx in
+  Alcotest.(check int) "btree sort dedups by key" 4 (Op.count bt_dedup)
+
+let test_materialize () =
+  let _, ctx = make_store () in
+  List.iter
+    (fun where ->
+      let mat = Op.materialize where (Op.full_scan ctx "R" ~preds:[]) ctx in
+      Alcotest.(check int) "materialized count" 9 (Op.count mat);
+      Alcotest.(check int) "replay" 9 (Op.count mat))
+    [`Mem; `Disk]
+
+(* --- budget propagation -------------------------------------------------------- *)
+
+let test_operator_budget () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:4 disk in
+  let store, _ =
+    X.Shredder.shred_forest pool ~name:"t"
+      [Xqdb_workload.Dblp_gen.generate (Xqdb_workload.Dblp_gen.scaled 150)]
+  in
+  S.Buffer_pool.drop_all pool;
+  let budget = S.Budget.create ~max_page_ios:2 disk in
+  let ctx = Op.make_ctx ~budget store in
+  match Op.count (Op.full_scan ctx "R" ~preds:[]) with
+  | _ -> Alcotest.fail "expected exhaustion"
+  | exception S.Budget.Exhausted _ -> ()
+
+let () =
+  let prop = QCheck_alcotest.to_alcotest in
+  Alcotest.run "physical"
+    [ ( "tuples",
+        [ prop tuple_roundtrip;
+          Alcotest.test_case "keys" `Quick test_tuple_keys;
+          Alcotest.test_case "predicate compilation" `Quick test_compile_preds ] );
+      ( "scans",
+        [ Alcotest.test_case "full and label scans" `Quick test_scans;
+          Alcotest.test_case "unit and empty" `Quick test_unit_and_empty ] );
+      ( "joins",
+        [ Alcotest.test_case "methods agree" `Quick test_join_methods_agree;
+          Alcotest.test_case "descendant probe" `Quick test_desc_probe;
+          Alcotest.test_case "primary-key probe" `Quick test_pk_probe;
+          Alcotest.test_case "products and inner modes" `Quick test_product_and_modes;
+          Alcotest.test_case "block nested loops" `Quick test_bnl_join;
+          Alcotest.test_case "semijoin early-out" `Quick test_semi_join ] );
+      ( "projection",
+        [ Alcotest.test_case "filter and dedup" `Quick test_filter_and_project ] );
+      ( "sorting",
+        [ Alcotest.test_case "three sorts agree" `Quick test_sorts_agree;
+          Alcotest.test_case "materialize" `Quick test_materialize ] );
+      ("budget", [Alcotest.test_case "propagation" `Quick test_operator_budget]) ]

@@ -1,0 +1,501 @@
+(* Tests for the storage manager: disk, buffer pool, slotted pages, heap
+   files, codecs, B+-trees, external sort, catalog, budgets. *)
+
+module S = Xqdb_storage
+module G = QCheck2.Gen
+
+let fresh_pool ?(page_size = 512) ?(capacity = 32) () =
+  let disk = S.Disk.in_memory ~page_size () in
+  (disk, S.Buffer_pool.create ~capacity disk)
+
+let enc_int v =
+  let buf = Buffer.create 8 in
+  S.Bytes_codec.key_int buf v;
+  Buffer.to_bytes buf
+
+let dec_int k = S.Bytes_codec.read_key_int (S.Bytes_codec.reader k)
+
+(* --- disk ---------------------------------------------------------------- *)
+
+let test_disk_mem () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  Alcotest.(check int) "page 0 reserved" 1 (S.Disk.page_count disk);
+  let p = S.Disk.alloc disk in
+  let buf = Bytes.make 128 'x' in
+  S.Disk.write_page disk p buf;
+  Alcotest.(check bytes) "read back" buf (S.Disk.read_page disk p);
+  let c = S.Disk.counters disk in
+  Alcotest.(check int) "reads counted" 1 c.S.Disk.reads;
+  Alcotest.(check int) "writes counted" 1 c.S.Disk.writes;
+  (match S.Disk.read_page disk 99 with
+   | _ -> Alcotest.fail "unallocated page should raise"
+   | exception Invalid_argument _ -> ());
+  (match S.Disk.write_page disk p (Bytes.create 4) with
+   | _ -> Alcotest.fail "size mismatch should raise"
+   | exception Invalid_argument _ -> ())
+
+let test_disk_file () =
+  let path = Filename.temp_file "xqdb_test" ".db" in
+  let disk = S.Disk.on_file ~page_size:256 path in
+  let p1 = S.Disk.alloc disk in
+  let p2 = S.Disk.alloc disk in
+  S.Disk.write_page disk p1 (Bytes.make 256 'a');
+  S.Disk.write_page disk p2 (Bytes.make 256 'b');
+  Alcotest.(check bytes) "page 1" (Bytes.make 256 'a') (S.Disk.read_page disk p1);
+  Alcotest.(check bytes) "page 2" (Bytes.make 256 'b') (S.Disk.read_page disk p2);
+  S.Disk.close disk;
+  Sys.remove path
+
+(* --- buffer pool ---------------------------------------------------------- *)
+
+let test_buffer_pool () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:2 disk in
+  let pages = List.init 4 (fun _ -> S.Buffer_pool.alloc_page pool) in
+  S.Buffer_pool.flush_all pool;
+  (* Touch all four pages through a 2-frame pool: eviction must happen. *)
+  List.iter
+    (fun p -> S.Buffer_pool.with_page_mut pool p (fun b -> Bytes.set b 0 'z'))
+    pages;
+  let stats = S.Buffer_pool.stats pool in
+  Alcotest.(check bool) "evictions happened" true (stats.S.Buffer_pool.evictions > 0);
+  S.Buffer_pool.flush_all pool;
+  (* The writes survived eviction. *)
+  List.iter
+    (fun p -> Alcotest.(check char) "persisted" 'z' (Bytes.get (S.Disk.read_page disk p) 0))
+    pages;
+  (* Hits: the same page twice in a row. *)
+  S.Buffer_pool.reset_stats pool;
+  S.Buffer_pool.with_page pool (List.hd pages) ignore;
+  S.Buffer_pool.with_page pool (List.hd pages) ignore;
+  let stats = S.Buffer_pool.stats pool in
+  Alcotest.(check int) "second access is a hit" 1 stats.S.Buffer_pool.hits;
+  (* Nested pins on distinct pages up to capacity are fine. *)
+  (match pages with
+   | a :: b :: _ ->
+     S.Buffer_pool.with_page pool a (fun _ -> S.Buffer_pool.with_page pool b ignore)
+   | _ -> assert false)
+
+let test_pool_all_pinned () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:1 disk in
+  let p1 = S.Buffer_pool.alloc_page pool in
+  match S.Buffer_pool.with_page pool p1 (fun _ -> S.Buffer_pool.alloc_page pool) with
+  | _ -> Alcotest.fail "expected failure when all frames are pinned"
+  | exception Failure _ -> ()
+
+(* --- slotted pages --------------------------------------------------------- *)
+
+let test_page_slots () =
+  let page = Bytes.make 256 '\000' in
+  S.Page.init page;
+  Alcotest.(check int) "empty" 0 (S.Page.slot_count page);
+  let s0 = S.Page.add_slot page (Bytes.of_string "alpha") in
+  let s1 = S.Page.add_slot page (Bytes.of_string "beta") in
+  Alcotest.(check int) "slot ids" 1 (s1 - s0);
+  Alcotest.(check string) "read back" "alpha" (Bytes.to_string (S.Page.read_slot page 0));
+  S.Page.insert_slot_at page 1 (Bytes.of_string "middle");
+  Alcotest.(check string) "inserted in order" "middle"
+    (Bytes.to_string (S.Page.read_slot page 1));
+  Alcotest.(check string) "shifted" "beta" (Bytes.to_string (S.Page.read_slot page 2));
+  S.Page.remove_slot_at page 0;
+  Alcotest.(check string) "after removal" "middle" (Bytes.to_string (S.Page.read_slot page 0));
+  let live_before = S.Page.live_bytes page in
+  S.Page.compact page;
+  Alcotest.(check int) "compaction preserves live bytes" live_before (S.Page.live_bytes page);
+  Alcotest.(check string) "compaction preserves content" "middle"
+    (Bytes.to_string (S.Page.read_slot page 0))
+
+let test_page_overflow () =
+  let page = Bytes.make 64 '\000' in
+  S.Page.init page;
+  match
+    for _ = 1 to 100 do
+      ignore (S.Page.add_slot page (Bytes.of_string "0123456789"))
+    done
+  with
+  | () -> Alcotest.fail "expected page overflow"
+  | exception Failure _ -> ()
+
+(* --- codecs ---------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let buf = Buffer.create 64 in
+  S.Bytes_codec.write_uvarint buf 0;
+  S.Bytes_codec.write_uvarint buf 127;
+  S.Bytes_codec.write_uvarint buf 128;
+  S.Bytes_codec.write_uvarint buf 300_000_000;
+  S.Bytes_codec.write_string buf "hello";
+  S.Bytes_codec.write_string buf "";
+  let r = S.Bytes_codec.reader (Buffer.to_bytes buf) in
+  Alcotest.(check int) "0" 0 (S.Bytes_codec.read_uvarint r);
+  Alcotest.(check int) "127" 127 (S.Bytes_codec.read_uvarint r);
+  Alcotest.(check int) "128" 128 (S.Bytes_codec.read_uvarint r);
+  Alcotest.(check int) "large" 300_000_000 (S.Bytes_codec.read_uvarint r);
+  Alcotest.(check string) "string" "hello" (S.Bytes_codec.read_string r);
+  Alcotest.(check string) "empty string" "" (S.Bytes_codec.read_string r)
+
+let key_int_order =
+  QCheck2.Test.make ~name:"key_int is order-preserving" ~count:500
+    G.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) -> compare a b = S.Bytes_codec.compare_bytes (enc_int a) (enc_int b))
+
+let enc_str s =
+  let buf = Buffer.create 16 in
+  S.Bytes_codec.key_string buf s;
+  Buffer.to_bytes buf
+
+let key_string_order =
+  QCheck2.Test.make ~name:"key_string is order-preserving" ~count:500
+    G.(pair (string_size (int_bound 12)) (string_size (int_bound 12)))
+    (fun (a, b) ->
+      let c = compare (String.compare a b) 0 in
+      compare (S.Bytes_codec.compare_bytes (enc_str a) (enc_str b)) 0 = c)
+
+let key_string_roundtrip =
+  QCheck2.Test.make ~name:"key_string round trip" ~count:500 G.(string_size (int_bound 20))
+    (fun s ->
+      let r = S.Bytes_codec.reader (enc_str s) in
+      String.equal s (S.Bytes_codec.read_key_string r))
+
+(* Composite keys compare componentwise. *)
+let composite_key_order =
+  QCheck2.Test.make ~name:"composite (string,int) keys" ~count:500
+    G.(pair (pair (string_size (int_bound 6)) (int_bound 100))
+         (pair (string_size (int_bound 6)) (int_bound 100)))
+    (fun ((s1, i1), (s2, i2)) ->
+      let enc (s, i) =
+        let buf = Buffer.create 24 in
+        S.Bytes_codec.key_string buf s;
+        S.Bytes_codec.key_int buf i;
+        Buffer.to_bytes buf
+      in
+      let expected = compare (compare (s1, i1) (s2, i2)) 0 in
+      compare (S.Bytes_codec.compare_bytes (enc (s1, i1)) (enc (s2, i2))) 0 = expected)
+
+(* --- heap files ------------------------------------------------------------- *)
+
+let test_heap_file () =
+  let _, pool = fresh_pool () in
+  let hf = S.Heap_file.create pool in
+  let records = List.init 200 (fun i -> Bytes.of_string (Printf.sprintf "record-%04d" i)) in
+  let rids = List.map (S.Heap_file.append hf) records in
+  Alcotest.(check int) "record count" 200 (S.Heap_file.record_count hf);
+  Alcotest.(check bool) "spans pages" true (S.Heap_file.page_count hf > 1);
+  (* get by rid *)
+  List.iteri
+    (fun i rid ->
+      Alcotest.(check string) "fetch by rid"
+        (Printf.sprintf "record-%04d" i)
+        (Bytes.to_string (S.Heap_file.get hf rid)))
+    rids;
+  (* scan in insertion order *)
+  let scanned = ref [] in
+  S.Heap_file.iter hf (fun _ r -> scanned := Bytes.to_string r :: !scanned);
+  Alcotest.(check (list string)) "scan order" (List.map Bytes.to_string records)
+    (List.rev !scanned);
+  (* reopen from the first page *)
+  let hf2 = S.Heap_file.open_existing pool ~first_page:(S.Heap_file.first_page hf) in
+  Alcotest.(check int) "reopened count" 200 (S.Heap_file.record_count hf2);
+  (* pull cursor agrees with iter *)
+  let cursor = S.Heap_file.scan hf in
+  let rec drain acc =
+    match cursor () with
+    | None -> List.rev acc
+    | Some r -> drain (Bytes.to_string r :: acc)
+  in
+  Alcotest.(check (list string)) "cursor order" (List.map Bytes.to_string records) (drain [])
+
+let test_heap_file_oversize () =
+  let _, pool = fresh_pool ~page_size:128 () in
+  let hf = S.Heap_file.create pool in
+  match S.Heap_file.append hf (Bytes.create 200) with
+  | _ -> Alcotest.fail "oversized record should be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- B+-tree: model-based property ----------------------------------------- *)
+
+type btree_op =
+  | Insert of int * string
+  | Delete of int
+  | Find of int
+
+let op_gen =
+  G.(oneof
+       [ map2 (fun k v -> Insert (k, Printf.sprintf "v%d" v)) (int_bound 400) (int_bound 1000);
+         map (fun k -> Delete k) (int_bound 400);
+         map (fun k -> Find k) (int_bound 400) ])
+
+let btree_matches_model =
+  QCheck2.Test.make ~name:"btree agrees with Map model" ~count:60
+    G.(list_size (int_range 1 400) op_gen)
+    (fun ops ->
+      let _, pool = fresh_pool ~page_size:256 () in
+      let bt = S.Btree.create pool in
+      let module M = Map.Make (Int) in
+      let model = ref M.empty in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+            S.Btree.insert bt ~key:(enc_int k) ~value:(Bytes.of_string v);
+            model := M.add k v !model
+          | Delete k ->
+            let removed = S.Btree.delete bt ~key:(enc_int k) in
+            if removed <> M.mem k !model then ok := false;
+            model := M.remove k !model
+          | Find k ->
+            let got = Option.map Bytes.to_string (S.Btree.find bt ~key:(enc_int k)) in
+            if got <> M.find_opt k !model then ok := false)
+        ops;
+      S.Btree.check_invariants bt;
+      if S.Btree.entry_count bt <> M.cardinal !model then ok := false;
+      (* Full scan agrees with the model, in order. *)
+      let scanned = ref [] in
+      S.Btree.iter bt (fun k v -> scanned := (dec_int k, Bytes.to_string v) :: !scanned);
+      if List.rev !scanned <> M.bindings !model then ok := false;
+      !ok)
+
+let btree_range_scan_model =
+  QCheck2.Test.make ~name:"btree range scans agree with Map model" ~count:40
+    G.(triple (list_size (int_range 1 300) (int_bound 500)) (int_bound 500) (int_bound 500))
+    (fun (keys, a, b) ->
+      let lo, hi = (min a b, max a b) in
+      let _, pool = fresh_pool ~page_size:256 () in
+      let bt = S.Btree.create pool in
+      let module M = Map.Make (Int) in
+      let model =
+        List.fold_left
+          (fun m k ->
+            S.Btree.insert bt ~key:(enc_int k) ~value:(enc_int (k * 2));
+            M.add k (k * 2) m)
+          M.empty keys
+      in
+      let cursor = S.Btree.scan_range ~lo:(enc_int lo) ~hi:(enc_int hi) bt in
+      let rec drain acc =
+        match cursor () with
+        | None -> List.rev acc
+        | Some (k, _) -> drain (dec_int k :: acc)
+      in
+      let expected =
+        M.bindings model |> List.map fst |> List.filter (fun k -> lo <= k && k <= hi)
+      in
+      drain [] = expected)
+
+let test_btree_replace_and_meta () =
+  let _, pool = fresh_pool () in
+  let bt = S.Btree.create pool in
+  for i = 1 to 1000 do
+    S.Btree.insert bt ~key:(enc_int i) ~value:(enc_int i)
+  done;
+  S.Btree.insert bt ~key:(enc_int 500) ~value:(Bytes.of_string "replaced");
+  Alcotest.(check int) "replace keeps count" 1000 (S.Btree.entry_count bt);
+  Alcotest.(check string) "replaced value" "replaced"
+    (Bytes.to_string (Option.get (S.Btree.find bt ~key:(enc_int 500))));
+  Alcotest.(check bool) "tree grew" true (S.Btree.height bt > 1);
+  (* Reopen from the meta page. *)
+  let bt2 = S.Btree.open_existing pool ~meta_page:(S.Btree.meta_page bt) in
+  Alcotest.(check int) "reopened count" 1000 (S.Btree.entry_count bt2);
+  Alcotest.(check string) "reopened lookup" "replaced"
+    (Bytes.to_string (Option.get (S.Btree.find bt2 ~key:(enc_int 500))));
+  S.Btree.check_invariants bt2
+
+let test_btree_bulk_load () =
+  let _, pool = fresh_pool () in
+  let i = ref 0 in
+  let cursor () =
+    if !i >= 5000 then None
+    else begin
+      incr i;
+      Some (enc_int (!i * 3), enc_int !i)
+    end
+  in
+  let bt = S.Btree.of_cursor pool cursor in
+  S.Btree.check_invariants bt;
+  Alcotest.(check int) "count" 5000 (S.Btree.entry_count bt);
+  Alcotest.(check (option bytes)) "lookup" (Some (enc_int 7)) (S.Btree.find bt ~key:(enc_int 21));
+  Alcotest.(check (option bytes)) "gap misses" None (S.Btree.find bt ~key:(enc_int 20));
+  (* Bulk-loaded leaves are packed tighter than random inserts. *)
+  let _, pool2 = fresh_pool () in
+  let bt_random = S.Btree.create pool2 in
+  let order = Array.init 5000 (fun j -> (j + 1) * 3) in
+  let st = Random.State.make [| 99 |] in
+  for j = 4999 downto 1 do
+    let k = Random.State.int st (j + 1) in
+    let tmp = order.(j) in
+    order.(j) <- order.(k);
+    order.(k) <- tmp
+  done;
+  Array.iter (fun k -> S.Btree.insert bt_random ~key:(enc_int k) ~value:(enc_int k)) order;
+  Alcotest.(check bool) "bulk load packs leaves" true
+    (S.Btree.leaf_pages bt < S.Btree.leaf_pages bt_random);
+  (* Unsorted input is rejected. *)
+  let backwards = ref 2 in
+  let bad () =
+    if !backwards < 0 then None
+    else begin
+      let k = !backwards in
+      decr backwards;
+      Some (enc_int k, Bytes.empty)
+    end
+  in
+  match S.Btree.of_cursor pool bad with
+  | _ -> Alcotest.fail "descending keys should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_btree_prefix_scan () =
+  let _, pool = fresh_pool () in
+  let bt = S.Btree.create pool in
+  let composite s i =
+    let buf = Buffer.create 24 in
+    S.Bytes_codec.key_string buf s;
+    S.Bytes_codec.key_int buf i;
+    Buffer.to_bytes buf
+  in
+  List.iter
+    (fun (s, i) -> S.Btree.insert bt ~key:(composite s i) ~value:Bytes.empty)
+    [("ab", 1); ("a", 2); ("a", 1); ("b", 1); ("a", 3); ("ba", 9)];
+  let cursor = S.Btree.scan_prefix bt ~prefix:(enc_str "a") in
+  let rec count n = if cursor () = None then n else count (n + 1) in
+  Alcotest.(check int) "prefix a matches exactly its group" 3 (count 0)
+
+(* --- external sort ----------------------------------------------------------- *)
+
+let ext_sort_property =
+  QCheck2.Test.make ~name:"external sort: sorted permutation of input" ~count:40
+    G.(list_size (int_range 0 2000) (int_bound 10_000))
+    (fun values ->
+      let _, pool = fresh_pool () in
+      let sorter = S.Ext_sort.create ~run_bytes:512 pool ~compare:S.Bytes_codec.compare_bytes in
+      List.iter (fun v -> S.Ext_sort.feed sorter (enc_int v)) values;
+      let cursor = S.Ext_sort.sorted_cursor sorter in
+      let rec drain acc =
+        match cursor () with
+        | None -> List.rev acc
+        | Some r -> drain (dec_int r :: acc)
+      in
+      drain [] = List.sort compare values)
+
+let test_ext_sort_spill () =
+  let _, pool = fresh_pool () in
+  let sorter = S.Ext_sort.create ~run_bytes:256 ~fan_in:2 pool ~compare:S.Bytes_codec.compare_bytes in
+  for i = 1000 downto 1 do
+    S.Ext_sort.feed sorter (enc_int i)
+  done;
+  let cursor = S.Ext_sort.sorted_cursor sorter in
+  Alcotest.(check bool) "spilled to disk" true (S.Ext_sort.run_count sorter > 2);
+  let rec drain n prev =
+    match cursor () with
+    | None -> n
+    | Some r ->
+      let v = dec_int r in
+      Alcotest.(check bool) "ascending" true (v > prev);
+      drain (n + 1) v
+  in
+  Alcotest.(check int) "all records" 1000 (drain 0 0);
+  (match S.Ext_sort.feed sorter (enc_int 1) with
+   | _ -> Alcotest.fail "feeding after draining should be rejected"
+   | exception Invalid_argument _ -> ())
+
+(* --- catalog ------------------------------------------------------------------ *)
+
+let test_catalog () =
+  let _, pool = fresh_pool () in
+  let cat = S.Catalog.attach pool in
+  S.Catalog.set cat "doc.primary" "42";
+  S.Catalog.set_int cat "doc.count" 1234;
+  S.Catalog.flush cat;
+  let cat2 = S.Catalog.attach pool in
+  Alcotest.(check (option string)) "string round trip" (Some "42")
+    (S.Catalog.get cat2 "doc.primary");
+  Alcotest.(check (option int)) "int round trip" (Some 1234) (S.Catalog.get_int cat2 "doc.count");
+  Alcotest.(check (option string)) "missing key" None (S.Catalog.get cat2 "nope");
+  S.Catalog.remove cat2 "doc.primary";
+  S.Catalog.flush cat2;
+  let cat3 = S.Catalog.attach pool in
+  Alcotest.(check (option string)) "removal persisted" None (S.Catalog.get cat3 "doc.primary");
+  Alcotest.(check int) "entries" 1 (List.length (S.Catalog.entries cat3))
+
+let test_catalog_overflow () =
+  let _, pool = fresh_pool ~page_size:256 () in
+  let cat = S.Catalog.attach pool in
+  (* Far more entries than one 256-byte page holds. *)
+  for i = 1 to 120 do
+    S.Catalog.set cat (Printf.sprintf "key-%03d" i) (Printf.sprintf "value-%03d" i)
+  done;
+  S.Catalog.flush cat;
+  let cat2 = S.Catalog.attach pool in
+  Alcotest.(check int) "all entries survive the chain" 120
+    (List.length (S.Catalog.entries cat2));
+  Alcotest.(check (option string)) "spot check" (Some "value-077")
+    (S.Catalog.get cat2 "key-077");
+  (* Shrinking back below one page truncates the chain logically. *)
+  for i = 2 to 120 do
+    S.Catalog.remove cat2 (Printf.sprintf "key-%03d" i)
+  done;
+  S.Catalog.flush cat2;
+  let cat3 = S.Catalog.attach pool in
+  Alcotest.(check int) "shrunk" 1 (List.length (S.Catalog.entries cat3));
+  (* Growing again reuses the old overflow pages. *)
+  for i = 1 to 60 do
+    S.Catalog.set cat3 (Printf.sprintf "re-%03d" i) "x"
+  done;
+  S.Catalog.flush cat3;
+  Alcotest.(check int) "regrown" 61 (List.length (S.Catalog.entries (S.Catalog.attach pool)))
+
+(* --- budgets ------------------------------------------------------------------- *)
+
+let test_budget () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let budget = S.Budget.create ~max_page_ios:5 disk in
+  S.Budget.check budget;
+  let p = S.Disk.alloc disk in
+  for _ = 1 to 6 do
+    ignore (S.Disk.read_page disk p)
+  done;
+  Alcotest.(check int) "consumption measured" 6 (S.Budget.page_ios budget);
+  (match S.Budget.check budget with
+   | _ -> Alcotest.fail "budget should be exhausted"
+   | exception S.Budget.Exhausted _ -> ());
+  (* An unlimited budget never trips. *)
+  let free = S.Budget.unlimited disk in
+  for _ = 1 to 100 do
+    ignore (S.Disk.read_page disk p)
+  done;
+  S.Budget.check free
+
+let () =
+  let prop = QCheck_alcotest.to_alcotest in
+  Alcotest.run "storage"
+    [ ( "disk",
+        [ Alcotest.test_case "in-memory" `Quick test_disk_mem;
+          Alcotest.test_case "file-backed" `Quick test_disk_file ] );
+      ( "buffer pool",
+        [ Alcotest.test_case "eviction and persistence" `Quick test_buffer_pool;
+          Alcotest.test_case "all pinned" `Quick test_pool_all_pinned ] );
+      ( "pages",
+        [ Alcotest.test_case "slots" `Quick test_page_slots;
+          Alcotest.test_case "overflow" `Quick test_page_overflow ] );
+      ( "codecs",
+        [ Alcotest.test_case "round trip" `Quick test_codec_roundtrip;
+          prop key_int_order;
+          prop key_string_order;
+          prop key_string_roundtrip;
+          prop composite_key_order ] );
+      ( "heap files",
+        [ Alcotest.test_case "append/scan/get" `Quick test_heap_file;
+          Alcotest.test_case "oversized records" `Quick test_heap_file_oversize ] );
+      ( "btree",
+        [ prop btree_matches_model;
+          prop btree_range_scan_model;
+          Alcotest.test_case "replace and reopen" `Quick test_btree_replace_and_meta;
+          Alcotest.test_case "bulk load" `Quick test_btree_bulk_load;
+          Alcotest.test_case "prefix scan" `Quick test_btree_prefix_scan ] );
+      ( "external sort",
+        [ prop ext_sort_property;
+          Alcotest.test_case "spilling" `Quick test_ext_sort_spill ] );
+      ( "catalog",
+        [ Alcotest.test_case "persistence" `Quick test_catalog;
+          Alcotest.test_case "page-chain overflow" `Quick test_catalog_overflow ] );
+      ("budget", [Alcotest.test_case "exhaustion" `Quick test_budget]) ]

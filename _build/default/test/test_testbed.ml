@@ -1,0 +1,176 @@
+(* Tests for the course testbed: the public correctness suite across all
+   engines and documents, the efficiency harness with its censoring
+   rule, and the Example 6 plan laboratory. *)
+
+module T = Xqdb_testbed
+module Config = Xqdb_core.Engine_config
+module Grading = T.Grading
+
+let test_queries_parse () =
+  List.iter
+    (fun (name, src) ->
+      match Xqdb_xq.Xq_parser.parse_result src with
+      | Ok q ->
+        (match Xqdb_xq.Xq_check.check q with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "%s: %s" name (Xqdb_xq.Xq_check.error_to_string e))
+      | Error msg -> Alcotest.failf "%s does not parse: %s" name msg)
+    (T.Queries.public_queries @ T.Queries.efficiency_queries
+     @ [("example6", T.Queries.example6)]);
+  Alcotest.(check int) "sixteen public queries" 16 (List.length T.Queries.public_queries);
+  Alcotest.(check int) "five efficiency queries" 5 (List.length T.Queries.efficiency_queries)
+
+(* The paper's correctness testing: every engine, every document, every
+   public query, diffed against milestone 1. *)
+let test_correctness_suite () =
+  let outcomes = T.Correctness.run () in
+  let expected =
+    List.length (T.Correctness.documents ())
+    * List.length T.Queries.public_queries
+    * List.length Config.all_presets
+  in
+  Alcotest.(check int) "all combinations ran" expected (List.length outcomes);
+  match T.Correctness.failures outcomes with
+  | [] -> ()
+  | failures ->
+    Alcotest.failf "%d failures, first: %s" (List.length failures)
+      (T.Correctness.summary outcomes)
+
+(* A smaller efficiency run exercises the harness and the censoring rule
+   (full-scale Figure 7 lives in the benchmarks). *)
+let test_efficiency_harness () =
+  let table =
+    T.Efficiency.run
+      ~configs:[Config.engine1; Config.engine5]
+      ~scale:250 ~budget:40_000
+      ~budgets:[("test3-semijoin", 150); ("test5-unrelated", 150)]
+      ~seconds_cap:30.0 ()
+  in
+  Alcotest.(check int) "2 engines x 5 tests" 10 (List.length table.T.Efficiency.cells);
+  (* Censored cells are assigned exactly the budget. *)
+  List.iter
+    (fun c ->
+      if c.T.Efficiency.censored then begin
+        let cap =
+          match c.T.Efficiency.test with
+          | "test3-semijoin" | "test5-unrelated" -> 150
+          | _ -> 40_000
+        in
+        Alcotest.(check int) "censored cell carries the budget" cap c.T.Efficiency.page_ios
+      end)
+    table.T.Efficiency.cells;
+  (* The milestone-3 engine is censored somewhere under these budgets. *)
+  Alcotest.(check bool) "engine-5 censored somewhere" true
+    (List.exists
+       (fun c -> String.equal c.T.Efficiency.engine "engine-5" && c.T.Efficiency.censored)
+       table.T.Efficiency.cells);
+  (* Totals rank engine-1 ahead of engine-5, as in Figure 7. *)
+  Alcotest.(check bool) "engine-1 beats engine-5" true
+    (T.Efficiency.total table "engine-1" < T.Efficiency.total table "engine-5");
+  (* The rendering mentions every engine. *)
+  let rendered = T.Efficiency.render table in
+  Alcotest.(check bool) "rendering lists engines" true
+    (let contains s sub =
+       let n = String.length sub and h = String.length s in
+       let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     contains rendered "engine-1" && contains rendered "engine-5")
+
+(* The Figure-7 harness is deterministic: generators are seeded and the
+   budget currency is page I/O, so two runs agree cell by cell. *)
+let test_efficiency_deterministic () =
+  let run () =
+    T.Efficiency.run ~configs:[Config.engine2] ~scale:200 ~budget:20_000
+      ~budgets:[] ~seconds_cap:30.0 ()
+  in
+  let a = run () in
+  let b = run () in
+  let key c =
+    (c.T.Efficiency.engine, c.T.Efficiency.test, c.T.Efficiency.page_ios,
+     c.T.Efficiency.censored)
+  in
+  (* Wall-clock seconds vary; the I/O accounting must not. *)
+  Alcotest.(check bool) "two runs give identical I/O tables" true
+    (List.map key a.T.Efficiency.cells = List.map key b.T.Efficiency.cells)
+
+(* Example 6: QP2 <= QP1 <= QP0 in measured page I/Os, same answers. *)
+let test_plan_lab () =
+  match T.Plan_lab.run ~scale:200 () with
+  | [qp0; qp1; qp2] ->
+    Alcotest.(check bool) "same cardinality" true
+      (qp0.T.Plan_lab.rows = qp1.T.Plan_lab.rows && qp1.T.Plan_lab.rows = qp2.T.Plan_lab.rows);
+    Alcotest.(check bool) "QP2 <= QP1" true (qp2.T.Plan_lab.page_ios <= qp1.T.Plan_lab.page_ios);
+    Alcotest.(check bool) "QP1 <= QP0" true (qp1.T.Plan_lab.page_ios <= qp0.T.Plan_lab.page_ios);
+    Alcotest.(check bool) "QP2 strictly beats QP0" true
+      (qp2.T.Plan_lab.page_ios < qp0.T.Plan_lab.page_ios)
+  | _ -> Alcotest.fail "expected three measurements"
+
+(* --- grading system (Section 3) ------------------------------------------------ *)
+
+let test_grading () =
+  (* A small course: three teams with working engines of different
+     quality, one team whose "engine" is so misconfigured it fails the
+     public tests (we fake that by grading it as never submitting a
+     runnable engine through an always-late record and a failing exam). *)
+  let submissions =
+    [ Grading.submission ~exam_points:90 "ada" Config.engine1;
+      Grading.submission ~exam_points:80 ~weeks_late:[| 0; 0; 1; 0 |] "bob" Config.engine3;
+      Grading.submission ~exam_points:45 "cyn" Config.engine5 ]
+  in
+  let grades =
+    Grading.grade_course ~scale:150
+      ~budget:200_000 submissions
+  in
+  Alcotest.(check int) "all graded" 3 (List.length grades);
+  (* Everyone's engine is runnable (they share the correct code base). *)
+  List.iter (fun g -> Alcotest.(check bool) "admitted" true g.Grading.admitted) grades;
+  (* Milestone points: early bird everywhere = 8; one week late on one
+     milestone = 2+2+2-1 = 5. *)
+  let find team = List.find (fun g -> String.equal g.Grading.team team) grades in
+  Alcotest.(check int) "early-bird points" 8 (find "ada").Grading.milestone_points;
+  Alcotest.(check int) "late penalty" 5 (find "bob").Grading.milestone_points;
+  (* cyn fails the exam (< 50 points). *)
+  Alcotest.(check bool) "cyn fails" false (find "cyn").Grading.passed;
+  Alcotest.(check bool) "ada passes" true (find "ada").Grading.passed;
+  (* The leaderboard is sorted by total, best first. *)
+  let totals = List.map (fun g -> g.Grading.total) grades in
+  Alcotest.(check bool) "sorted" true (totals = List.sort (fun a b -> compare b a) totals);
+  (* The rendering mentions all teams. *)
+  let rendered = Grading.render grades in
+  let contains s sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun team -> Alcotest.(check bool) (team ^ " on leaderboard") true (contains rendered team))
+    ["ada"; "bob"; "cyn"]
+
+let test_submission_report () =
+  (* engine-5 runs with the small efficiency pool, so its report shows
+     real page I/O. *)
+  let sub = Grading.submission "solo" Config.engine5 in
+  let report = Grading.test_submission ~scale:150 ~budget:200_000 sub in
+  Alcotest.(check (list (triple string string string))) "no failures" []
+    report.Grading.correctness_failures;
+  Alcotest.(check bool) "efficiency measured" true (report.Grading.efficiency_total > 0);
+  let contains s sub' =
+    let n = String.length sub' and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub' || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report is the notification e-mail" true
+    (contains report.Grading.body "All public correctness tests passed")
+
+let () =
+  Alcotest.run "testbed"
+    [ ("queries", [Alcotest.test_case "parse and check" `Quick test_queries_parse]);
+      ("correctness", [Alcotest.test_case "all engines, all documents" `Slow test_correctness_suite]);
+      ( "efficiency",
+        [ Alcotest.test_case "harness and censoring" `Slow test_efficiency_harness;
+          Alcotest.test_case "determinism" `Slow test_efficiency_deterministic ] );
+      ("plan lab", [Alcotest.test_case "QP2 < QP1 < QP0" `Slow test_plan_lab]);
+      ( "grading (Section 3)",
+        [ Alcotest.test_case "course grades" `Slow test_grading;
+          Alcotest.test_case "submission report" `Slow test_submission_report ] ) ]

@@ -1,0 +1,250 @@
+(* Tests for the TPM algebra: rewriting, merging, redundant-relation
+   dropping and the figure-style pretty printer. *)
+
+module A = Xqdb_tpm.Tpm_algebra
+module Rewrite = Xqdb_tpm.Rewrite
+module Merge = Xqdb_tpm.Merge
+module Print = Xqdb_tpm.Tpm_print
+module Parser = Xqdb_xq.Xq_parser
+
+let parse = Parser.parse
+let rewrite ?config s = Rewrite.query ?config (parse s)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let example2 = "<names>{ for $j in /journal return for $n in $j//name return $n }</names>"
+
+(* --- structural rewriting ------------------------------------------------ *)
+
+let rec relfors = function
+  | A.Empty | A.Text_out _ | A.Out_var _ -> []
+  | A.Constr (_, t) | A.Guard (_, t) -> relfors t
+  | A.Seq (t1, t2) -> relfors t1 @ relfors t2
+  | A.Relfor r -> r :: relfors r.A.body
+
+let test_child_rule () =
+  match rewrite "for $y in $x/a return $y" with
+  | A.Relfor { vars = ["y"]; source; body = A.Out_var "y" } ->
+    Alcotest.(check (list string)) "one relation" ["Y"] source.A.rels;
+    Alcotest.(check int) "three predicates" 3 (List.length source.A.preds);
+    Alcotest.(check bool) "parent_in equated to the outer variable" true
+      (List.exists
+         (fun (p : A.pred) ->
+           p.A.op = A.Eq
+           && p.A.left = A.Ocol (A.col "Y" A.Parent_in)
+           && p.A.right = A.Oextern_in "x")
+         source.A.preds)
+  | t -> Alcotest.failf "unexpected rewrite: %s" (Print.to_string t)
+
+let test_descendant_rules () =
+  (* Carry-out mode: a single relation constrained by the vartuple. *)
+  (match rewrite "for $y in $x//a return $y" with
+   | A.Relfor { source; _ } ->
+     Alcotest.(check (list string)) "carry-out: one relation" ["Y"] source.A.rels;
+     Alcotest.(check bool) "uses out($x)" true (List.mem "x" (A.psx_externs source))
+   | t -> Alcotest.failf "unexpected: %s" (Print.to_string t));
+  (* Naive mode: the paper's two-relation self-join. *)
+  match rewrite ~config:Rewrite.naive "for $y in $x//a return $y" with
+  | A.Relfor { source; _ } ->
+    Alcotest.(check (list string)) "naive: two relations" ["Y1"; "Y"] source.A.rels
+  | t -> Alcotest.failf "unexpected: %s" (Print.to_string t)
+
+let test_root_is_constant () =
+  match rewrite "for $j in /journal return $j" with
+  | A.Relfor { source; _ } ->
+    Alcotest.(check bool) "parent_in = 1 appears" true
+      (List.exists
+         (fun (p : A.pred) -> p.A.right = A.Oint 1 || p.A.left = A.Oint 1)
+         source.A.preds)
+  | t -> Alcotest.failf "unexpected: %s" (Print.to_string t)
+
+let test_if_rewriting () =
+  (* Rewritable conditions become nullary relfors. *)
+  (match rewrite "if (some $t in $x/text() satisfies true()) then <y/> else ()" with
+   | A.Relfor { vars = []; source; body = A.Constr ("y", A.Empty) } ->
+     Alcotest.(check int) "nullary bindings" 0 (List.length source.A.bindings)
+   | t -> Alcotest.failf "unexpected: %s" (Print.to_string t));
+  (* true() alone is the empty PSX. *)
+  (match rewrite "if (true()) then <y/> else ()" with
+   | A.Relfor { vars = []; source; _ } ->
+     Alcotest.(check (list string)) "no relations" [] source.A.rels
+   | t -> Alcotest.failf "unexpected: %s" (Print.to_string t));
+  (* or / not fall back to guards, as in the paper. *)
+  (match rewrite "if (not(true())) then <y/> else ()" with
+   | A.Guard (_, A.Constr ("y", A.Empty)) -> ()
+   | t -> Alcotest.failf "not should guard: %s" (Print.to_string t));
+  match rewrite "if (true() or true()) then <y/> else ()" with
+  | A.Guard _ -> ()
+  | t -> Alcotest.failf "or should guard: %s" (Print.to_string t)
+
+let test_eq_rewriting () =
+  (* A comparison on a some-bound variable needs no extra relation. *)
+  (match rewrite "if (some $t in $x/text() satisfies $t = \"s\") then <y/> else ()" with
+   | A.Relfor { source; _ } ->
+     Alcotest.(check int) "one relation for the chain" 1 (List.length source.A.rels)
+   | t -> Alcotest.failf "unexpected: %s" (Print.to_string t));
+  (* A comparison on an outer variable pins a copy of XASR. *)
+  match rewrite "for $t in //text() return if ($t = \"s\") then <y/> else ()" with
+  | A.Relfor { body = A.Relfor { source; _ }; _ } ->
+    Alcotest.(check int) "pinned copy" 1 (List.length source.A.rels);
+    Alcotest.(check bool) "pinned via in = $t" true
+      (List.exists (fun (p : A.pred) -> p.A.right = A.Oextern_in "t") source.A.preds)
+  | t -> Alcotest.failf "unexpected: %s" (Print.to_string t)
+
+(* --- merging --------------------------------------------------------------- *)
+
+let test_merge_example_3_4 () =
+  let unmerged = rewrite ~config:Rewrite.naive example2 in
+  Alcotest.(check int) "two relfors before merging" 2 (A.relfor_count unmerged);
+  let merged = Merge.merge unmerged in
+  Alcotest.(check int) "one relfor after merging" 1 (A.relfor_count merged);
+  match relfors merged with
+  | [{ A.vars = ["j"; "n"]; source; _ }] ->
+    (* Example 4: N1 was dropped, leaving XASR[J] and XASR[N]. *)
+    Alcotest.(check (list string)) "relations of Figure 4" ["J"; "N"] source.A.rels;
+    Alcotest.(check int) "bindings" 2 (List.length source.A.bindings);
+    (* All externals were substituted by columns. *)
+    Alcotest.(check (list string)) "no externals remain" [] (A.psx_externs source)
+  | _ -> Alcotest.fail "expected a single merged relfor"
+
+let test_merge_blocked_by_constructor () =
+  (* The paper's counterexample: a constructor between the loops must
+     keep them separate (empty groups still construct). *)
+  let t =
+    Merge.merge
+      (rewrite
+         "<names>{ for $j in /journal return <j>{ for $n in $j//name return $n }</j> }</names>")
+  in
+  Alcotest.(check int) "still two relfors" 2 (A.relfor_count t)
+
+let test_merge_example5 () =
+  let t =
+    Merge.merge
+      (rewrite ~config:Rewrite.naive
+         "<names>{ for $j in /journal return if (some $t in $j//text() satisfies true()) \
+          then (for $n in $j//name return $n) else () }</names>")
+  in
+  Alcotest.(check int) "all three relfors merge" 1 (A.relfor_count t);
+  match relfors t with
+  | [{ A.source; _ }] ->
+    (* J, T (existential) and N; the T1/N1 copies were dropped. *)
+    Alcotest.(check (list string)) "relations" ["J"; "T"; "N"] source.A.rels
+  | _ -> Alcotest.fail "expected one relfor"
+
+let test_guard_blocks_merging () =
+  let t =
+    Merge.merge
+      (rewrite
+         "for $x in //a return if (not(some $t in $x/text() satisfies true())) then \
+          (for $y in $x/b return $y) else ()")
+  in
+  Alcotest.(check int) "guard keeps relfors apart" 2 (A.relfor_count t);
+  Alcotest.(check int) "one guard" 1 (A.guard_count t)
+
+(* Merged relfors have pairwise distinct aliases. *)
+let aliases_distinct =
+  QCheck2.Test.make ~name:"merged relfor aliases are pairwise distinct" ~count:300
+    Test_support.Gen.xq_gen (fun q ->
+      let merged = Merge.merge (Rewrite.query q) in
+      List.for_all
+        (fun (r : A.relfor) ->
+          let rels = r.A.source.A.rels in
+          List.length rels = List.length (List.sort_uniq compare rels))
+        (relfors merged))
+
+let merge_idempotent =
+  QCheck2.Test.make ~name:"merging is idempotent" ~count:300 Test_support.Gen.xq_gen
+    (fun q ->
+      let once = Merge.merge (Rewrite.query q) in
+      A.equal (Merge.merge once) once)
+
+let merge_reduces_relfors =
+  QCheck2.Test.make ~name:"merging never increases relfor count" ~count:300
+    Test_support.Gen.xq_gen (fun q ->
+      let t = Rewrite.query q in
+      A.relfor_count (Merge.merge t) <= A.relfor_count t)
+
+(* The bindings of every relfor match its vars, in order. *)
+let bindings_match_vars =
+  QCheck2.Test.make ~name:"relfor vars match PSX bindings" ~count:300
+    Test_support.Gen.xq_gen (fun q ->
+      List.for_all
+        (fun (r : A.relfor) ->
+          r.A.vars = List.map (fun (b : A.binding) -> b.A.var) r.A.source.A.bindings)
+        (relfors (Merge.merge (Rewrite.query q))))
+
+(* --- dropping redundant self-join relations ---------------------------------- *)
+
+let test_drop_redundant () =
+  (* R2 pinned to R1.in by equality: droppable, predicates transfer. *)
+  let psx =
+    { A.bindings = [{ A.var = "x"; brel = "R1" }];
+      preds =
+        [ { A.left = A.Ocol (A.col "R2" A.In); op = A.Eq; right = A.Ocol (A.col "R1" A.In) };
+          { A.left = A.Ocol (A.col "R2" A.Value); op = A.Eq; right = A.Ostr "a" } ];
+      rels = ["R1"; "R2"] }
+  in
+  let dropped = A.drop_redundant_self_rels psx in
+  Alcotest.(check (list string)) "R2 dropped" ["R1"] dropped.A.rels;
+  Alcotest.(check bool) "value predicate transferred to R1" true
+    (List.exists
+       (fun (p : A.pred) -> p.A.left = A.Ocol (A.col "R1" A.Value))
+       dropped.A.preds);
+  (* A binding relation is never dropped: with the binding on R2, the
+     pin is read the other way round and R1 is the redundant copy. *)
+  let psx_bound = { psx with A.bindings = [{ A.var = "x"; brel = "R2" }] } in
+  Alcotest.(check (list string)) "binding relation kept" ["R2"]
+    (A.drop_redundant_self_rels psx_bound).A.rels
+
+let test_drop_redundant_extern_pin () =
+  (* Pinned to an external: only in/out columns can transfer. *)
+  let pin field =
+    { A.bindings = [];
+      preds =
+        [ { A.left = A.Ocol (A.col "R" A.In); op = A.Eq; right = A.Oextern_in "x" };
+          { A.left = A.Ocol (A.col "R" field); op = A.Lt; right = A.Oint 9 } ];
+      rels = ["R"] }
+  in
+  Alcotest.(check (list string)) "in/out-only usage drops" []
+    (A.drop_redundant_self_rels (pin A.Out)).A.rels;
+  Alcotest.(check (list string)) "value usage blocks dropping" ["R"]
+    (A.drop_redundant_self_rels (pin A.Value)).A.rels
+
+(* --- pretty printer ----------------------------------------------------------- *)
+
+let test_figure_rendering () =
+  let merged = Merge.merge (rewrite ~config:Rewrite.naive example2) in
+  let rendered = Print.to_string merged in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (fragment ^ " appears") true (contains rendered fragment))
+    [ "relfor ($j, $n)"; "π[J.in, N.in]"; "J.parent_in = 1"; "J.value = journal";
+      "J.in < N.in"; "N.out < J.out"; "N.value = name"; "XASR[J], XASR[N]" ]
+
+let () =
+  let prop = QCheck_alcotest.to_alcotest in
+  Alcotest.run "tpm"
+    [ ( "rewriting",
+        [ Alcotest.test_case "child rule" `Quick test_child_rule;
+          Alcotest.test_case "descendant rules" `Quick test_descendant_rules;
+          Alcotest.test_case "root constant" `Quick test_root_is_constant;
+          Alcotest.test_case "if rules and guards" `Quick test_if_rewriting;
+          Alcotest.test_case "equality rules" `Quick test_eq_rewriting ] );
+      ( "merging",
+        [ Alcotest.test_case "examples 3-4" `Quick test_merge_example_3_4;
+          Alcotest.test_case "constructor blocks merging" `Quick
+            test_merge_blocked_by_constructor;
+          Alcotest.test_case "example 5" `Quick test_merge_example5;
+          Alcotest.test_case "guards block merging" `Quick test_guard_blocks_merging;
+          prop aliases_distinct;
+          prop merge_idempotent;
+          prop merge_reduces_relfors;
+          prop bindings_match_vars ] );
+      ( "redundant relations",
+        [ Alcotest.test_case "column pins" `Quick test_drop_redundant;
+          Alcotest.test_case "external pins" `Quick test_drop_redundant_extern_pin ] );
+      ( "printing",
+        [ Alcotest.test_case "figure 4 fragments" `Quick test_figure_rendering ] ) ]

@@ -1,0 +1,79 @@
+(* Tests for the workload generators: determinism, scale, and the
+   structural properties the experiments rely on. *)
+
+module W = Xqdb_workload
+module Tree = Xqdb_xml.Xml_tree
+
+let test_figure2 () =
+  Alcotest.(check string) "figure 2 document"
+    "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>"
+    W.Docs.figure2_string;
+  Alcotest.(check bool) "tiny document parses back" true
+    (Tree.equal W.Docs.tiny (Xqdb_xml.Xml_parser.parse W.Docs.tiny_string))
+
+let test_dblp_determinism () =
+  let a = W.Dblp_gen.generate W.Dblp_gen.default in
+  let b = W.Dblp_gen.generate W.Dblp_gen.default in
+  Alcotest.(check bool) "same seed, same document" true (Tree.equal a b);
+  let c = W.Dblp_gen.generate { W.Dblp_gen.default with W.Dblp_gen.seed = 7 } in
+  Alcotest.(check bool) "different seed, different document" false (Tree.equal a c)
+
+let test_dblp_shape () =
+  let doc = W.Dblp_gen.generate (W.Dblp_gen.scaled 300) in
+  (* Shallow: max depth 3 below the dblp element (publication/field/text). *)
+  Alcotest.(check int) "shallow" 4 (Tree.depth doc);
+  let labels = Tree.count_labels [doc] in
+  let count l = try List.assoc l labels with Not_found -> 0 in
+  Alcotest.(check int) "article count" 200 (count "article");
+  Alcotest.(check int) "inproceedings count" 100 (count "inproceedings");
+  (* The skew of Example 6: many authors, few volumes. *)
+  Alcotest.(check bool) "many authors" true (count "author" > 5 * count "volume");
+  Alcotest.(check bool) "some volumes" true (count "volume" > 0);
+  (* Only articles carry volumes. *)
+  let rec check_volumes_under_articles = function
+    | Tree.Text _ -> ()
+    | Tree.Elem (label, children) ->
+      List.iter
+        (fun child ->
+          (match child with
+           | Tree.Elem ("volume", _) ->
+             Alcotest.(check string) "volume parent" "article" label
+           | _ -> ());
+          check_volumes_under_articles child)
+        children
+  in
+  check_volumes_under_articles doc
+
+let test_dblp_scaling () =
+  let small = Tree.size (W.Dblp_gen.generate (W.Dblp_gen.scaled 50)) in
+  let large = Tree.size (W.Dblp_gen.generate (W.Dblp_gen.scaled 500)) in
+  Alcotest.(check bool) "size grows with scale" true (large > 5 * small)
+
+let test_treebank_shape () =
+  let doc = W.Treebank_gen.generate (W.Treebank_gen.scaled 60) in
+  Alcotest.(check bool) "deep nesting" true (Tree.depth doc > 12);
+  let labels = Tree.count_labels [doc] in
+  (* 60 top-level sentences; SBAR recursion adds nested S elements. *)
+  (match doc with
+   | Tree.Elem ("treebank", sentences) ->
+     Alcotest.(check int) "top-level sentences" 60 (List.length sentences)
+   | _ -> Alcotest.fail "expected a treebank element");
+  Alcotest.(check bool) "nested sentences exist" true (List.assoc "S" labels > 60);
+  Alcotest.(check bool) "grammar labels present" true
+    (List.mem_assoc "NP" labels && List.mem_assoc "VP" labels && List.mem_assoc "NN" labels)
+
+let test_treebank_determinism () =
+  let a = W.Treebank_gen.generate W.Treebank_gen.default in
+  let b = W.Treebank_gen.generate W.Treebank_gen.default in
+  Alcotest.(check bool) "same seed, same trees" true (Tree.equal a b)
+
+let () =
+  Alcotest.run "workload"
+    [ ( "fixed documents", [Alcotest.test_case "figure 2 and tiny" `Quick test_figure2] );
+      ( "dblp",
+        [ Alcotest.test_case "determinism" `Quick test_dblp_determinism;
+          Alcotest.test_case "shape" `Quick test_dblp_shape;
+          Alcotest.test_case "scaling" `Quick test_dblp_scaling ] );
+      ( "treebank",
+        [ Alcotest.test_case "shape" `Quick test_treebank_shape;
+          Alcotest.test_case "determinism" `Quick test_treebank_determinism ] ) ]

@@ -1,0 +1,198 @@
+(* Tests for the XML substrate: parser, printer, labeled documents. *)
+
+module Tree = Xqdb_xml.Xml_tree
+module Parser = Xqdb_xml.Xml_parser
+module Print = Xqdb_xml.Xml_print
+module Doc = Xqdb_xml.Xml_doc
+
+let check_parse msg input expected =
+  Alcotest.(check string) msg expected (Print.forest_to_string (Parser.parse_forest input))
+
+(* --- parser ------------------------------------------------------------- *)
+
+let test_basic () =
+  check_parse "element with text" "<a>hi</a>" "<a>hi</a>";
+  check_parse "nested" "<a><b/><c>x</c></a>" "<a><b/><c>x</c></a>";
+  check_parse "self-closing" "<a/>" "<a/>";
+  check_parse "two top-level nodes" "<a/><b/>" "<a/><b/>";
+  check_parse "mixed content" "<a>one<b/>two</a>" "<a>one<b/>two</a>"
+
+let test_whitespace () =
+  check_parse "inter-element whitespace stripped" "<a>\n  <b/>\n  <c/>\n</a>" "<a><b/><c/></a>";
+  check_parse "significant text kept" "<a> x </a>" "<a> x </a>";
+  let forest = Parser.parse_forest ~strip_ws:false "<a> <b/> </a>" in
+  Alcotest.(check string) "strip_ws:false keeps blanks" "<a> <b/> </a>"
+    (Print.forest_to_string forest)
+
+let test_entities () =
+  check_parse "predefined entities" "<a>&lt;&gt;&amp;&quot;&apos;</a>" "<a>&lt;&gt;&amp;\"'</a>";
+  check_parse "decimal reference" "<a>&#65;</a>" "<a>A</a>";
+  check_parse "hex reference" "<a>&#x41;</a>" "<a>A</a>";
+  (* Multi-byte code points survive a round trip. *)
+  let forest = Parser.parse_forest "<a>&#228;</a>" in
+  (match forest with
+   | [Tree.Elem ("a", [Tree.Text s])] ->
+     Alcotest.(check string) "utf-8 encoding of U+00E4" "\xc3\xa4" s
+   | _ -> Alcotest.fail "unexpected shape")
+
+let test_skipped_markup () =
+  check_parse "attributes skipped" "<a x=\"1\" y='2'>t</a>" "<a>t</a>";
+  check_parse "comments skipped" "<a><!-- hidden -->t</a>" "<a>t</a>";
+  check_parse "xml declaration skipped" "<?xml version=\"1.0\"?><a/>" "<a/>";
+  check_parse "processing instruction skipped" "<a><?php echo ?>t</a>" "<a>t</a>";
+  check_parse "doctype skipped" "<!DOCTYPE dblp SYSTEM \"dblp.dtd\"><a/>" "<a/>";
+  check_parse "cdata becomes text" "<a><![CDATA[<raw>&stuff]]></a>" "<a>&lt;raw&gt;&amp;stuff</a>"
+
+let expect_error msg input =
+  match Parser.parse_forest input with
+  | _ -> Alcotest.fail (msg ^ ": expected a parse error")
+  | exception Parser.Parse_error _ -> ()
+
+let test_errors () =
+  expect_error "unclosed tag" "<a><b></a>";
+  expect_error "stray end tag" "</a>";
+  expect_error "unterminated start" "<a";
+  expect_error "unterminated entity" "<a>&amp</a>";
+  expect_error "unterminated cdata" "<a><![CDATA[x</a>";
+  expect_error "garbage attribute" "<a =x>t</a>";
+  (match Parser.parse "<a/><b/>" with
+   | _ -> Alcotest.fail "parse should reject multiple roots"
+   | exception Parser.Parse_error _ -> ())
+
+let test_events () =
+  let events = ref [] in
+  Parser.iter_events "<a>x<b/></a>" (fun e -> events := e :: !events);
+  let rendered =
+    List.rev_map
+      (function
+        | Parser.Start_tag l -> "<" ^ l
+        | Parser.End_tag l -> ">" ^ l
+        | Parser.Text t -> "t:" ^ t)
+      !events
+  in
+  Alcotest.(check (list string)) "event stream" ["<a"; "t:x"; "<b"; ">b"; ">a"] rendered
+
+(* Random bytes never crash the parser with anything but Parse_error. *)
+let parser_total =
+  QCheck2.Test.make ~name:"parser is total (Parse_error or result)" ~count:500
+    QCheck2.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 60))
+    (fun junk ->
+      match Parser.parse_forest junk with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+(* Angle-bracket-heavy soup is the interesting region. *)
+let parser_total_soup =
+  QCheck2.Test.make ~name:"parser is total on tag soup" ~count:500
+    QCheck2.Gen.(string_size ~gen:(oneofa [|'<'; '>'; '/'; 'a'; 'b'; '&'; ';'; '!'; '-'; '['; ']'; '?'; '"'; ' '|]) (int_bound 40))
+    (fun junk ->
+      match Parser.parse_forest junk with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+(* Round trip: print then reparse gives back the same forest. *)
+let print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round trip" ~count:300 Test_support.Gen.forest_gen
+    (fun forest ->
+      let printed = Print.forest_to_string forest in
+      Tree.equal_forest forest (Parser.parse_forest printed))
+
+(* --- tree utilities ------------------------------------------------------ *)
+
+let test_tree_utils () =
+  let t = Parser.parse "<a><b>x</b><b><c/></b></a>" in
+  Alcotest.(check int) "size" 5 (Tree.size t);
+  Alcotest.(check int) "depth" 3 (Tree.depth t);
+  Alcotest.(check string) "text content" "x" (Tree.text_content t);
+  Alcotest.(check (list (pair string int)))
+    "label counts" [("a", 1); ("b", 2); ("c", 1)] (Tree.count_labels [t])
+
+(* --- labeled documents --------------------------------------------------- *)
+
+let figure2 = Xqdb_workload.Docs.figure2
+
+let test_figure2_labels () =
+  let doc = Doc.of_node figure2 in
+  let labels =
+    List.map (fun v -> (Doc.value doc v, Doc.nin doc v, Doc.nout doc v))
+      (Doc.descendants doc (Doc.root doc))
+  in
+  Alcotest.(check (list (triple string int int)))
+    "Figure 2 in/out numbering"
+    [ ("journal", 2, 17); ("authors", 3, 12); ("name", 4, 7); ("Ana", 5, 6);
+      ("name", 8, 11); ("Bob", 9, 10); ("title", 13, 16); ("DB", 14, 15) ]
+    labels;
+  Alcotest.(check int) "root in" 1 (Doc.nin doc (Doc.root doc));
+  Alcotest.(check int) "root out" 18 (Doc.nout doc (Doc.root doc))
+
+let test_doc_navigation () =
+  let doc = Doc.of_node figure2 in
+  let journal = Doc.node_by_in doc 2 in
+  Alcotest.(check int) "children of journal" 2 (List.length (Doc.children doc journal));
+  Alcotest.(check int) "descendants of journal" 7 (List.length (Doc.descendants doc journal));
+  Alcotest.(check (option int)) "parent of journal" (Some 0) (Doc.parent doc journal);
+  let ana = Doc.node_by_in doc 5 in
+  Alcotest.(check int) "depth of Ana" 4 (Doc.depth doc ana);
+  Alcotest.(check string) "to_tree round trip" (Print.to_string figure2)
+    (Print.to_string (Doc.to_tree doc journal));
+  (match Doc.node_by_in doc 99 with
+   | _ -> Alcotest.fail "node_by_in should raise"
+   | exception Not_found -> ())
+
+(* Structural invariants of the labeling, on random forests. *)
+let labeling_invariants =
+  QCheck2.Test.make ~name:"in/out labeling invariants" ~count:300 Test_support.Gen.forest_gen
+    (fun forest ->
+      let doc = Doc.of_forest forest in
+      let n = Doc.count doc in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        (* in < out *)
+        if Doc.nin doc v >= Doc.nout doc v then ok := false;
+        (* children are strictly inside the parent's interval *)
+        List.iter
+          (fun c ->
+            if not (Doc.nin doc v < Doc.nin doc c && Doc.nout doc c < Doc.nout doc v) then
+              ok := false;
+            if Doc.parent doc c <> Some v then ok := false)
+          (Doc.children doc v);
+        (* node_by_in inverts nin *)
+        if Doc.node_by_in doc (Doc.nin doc v) <> v then ok := false
+      done;
+      (* every label value 1..nout(root) is used exactly once as in or out *)
+      let seen = Array.make (Doc.nout doc 0 + 1) 0 in
+      for v = 0 to n - 1 do
+        seen.(Doc.nin doc v) <- seen.(Doc.nin doc v) + 1;
+        seen.(Doc.nout doc v) <- seen.(Doc.nout doc v) + 1
+      done;
+      for i = 1 to Doc.nout doc 0 do
+        if seen.(i) <> 1 then ok := false
+      done;
+      !ok)
+
+let doc_tree_roundtrip =
+  QCheck2.Test.make ~name:"of_forest/to_forest round trip" ~count:300
+    Test_support.Gen.forest_gen (fun forest ->
+      let doc = Doc.of_forest forest in
+      Tree.equal_forest forest (Doc.to_forest doc (Doc.root doc)))
+
+let () =
+  let prop = QCheck_alcotest.to_alcotest in
+  Alcotest.run "xml"
+    [ ( "parser",
+        [ Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "whitespace" `Quick test_whitespace;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "skipped markup" `Quick test_skipped_markup;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "events" `Quick test_events;
+          prop parser_total;
+          prop parser_total_soup;
+          prop print_parse_roundtrip ] );
+      ( "tree",
+        [ Alcotest.test_case "utilities" `Quick test_tree_utils ] );
+      ( "labeled documents",
+        [ Alcotest.test_case "figure 2" `Quick test_figure2_labels;
+          Alcotest.test_case "navigation" `Quick test_doc_navigation;
+          prop labeling_invariants;
+          prop doc_tree_roundtrip ] ) ]

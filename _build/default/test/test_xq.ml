@@ -1,0 +1,236 @@
+(* Tests for the XQ front end: parser, printer, checker, evaluator. *)
+
+open Xqdb_xq.Xq_ast
+module Parser = Xqdb_xq.Xq_parser
+module Print = Xqdb_xq.Xq_print
+module Check = Xqdb_xq.Xq_check
+module Eval = Xqdb_xq.Xq_eval
+module Doc = Xqdb_xml.Xml_doc
+module Xml_parser = Xqdb_xml.Xml_parser
+
+let query = Alcotest.testable (fun ppf q -> Print.pp_query ppf q) equal_query
+
+(* --- parser ------------------------------------------------------------- *)
+
+let test_parse_atoms () =
+  Alcotest.check query "empty" Empty (Parser.parse "()");
+  Alcotest.check query "variable" (Var "x") (Parser.parse "$x");
+  Alcotest.check query "root variable" (Var root_var) (Parser.parse "$root");
+  Alcotest.check query "text constructor" (Text_lit "hi") (Parser.parse {|text { "hi" }|});
+  Alcotest.check query "string escape" (Text_lit {|say "hi"|})
+    (Parser.parse {|text { "say ""hi""" }|})
+
+let test_parse_paths () =
+  Alcotest.check query "child step" (Path ("x", Child, Name "a")) (Parser.parse "$x/a");
+  Alcotest.check query "descendant step" (Path ("x", Descendant, Name "a"))
+    (Parser.parse "$x//a");
+  Alcotest.check query "star" (Path ("x", Child, Star)) (Parser.parse "$x/*");
+  Alcotest.check query "text test" (Path ("x", Child, Text_test)) (Parser.parse "$x/text()");
+  Alcotest.check query "explicit axes" (Path ("x", Descendant, Name "a"))
+    (Parser.parse "$x/descendant::a");
+  Alcotest.check query "root path" (Path (root_var, Child, Name "a")) (Parser.parse "/a");
+  Alcotest.check query "root descendant" (Path (root_var, Descendant, Name "a"))
+    (Parser.parse "//a")
+
+let test_parse_compound () =
+  Alcotest.check query "for loop"
+    (For ("y", "x", Child, Name "a", Var "y"))
+    (Parser.parse "for $y in $x/a return $y");
+  Alcotest.check query "conditional with else"
+    (If (True, Var "x"))
+    (Parser.parse "if (true()) then $x else ()");
+  Alcotest.check query "conditional without else"
+    (If (True, Var "x"))
+    (Parser.parse "if (true()) then $x");
+  Alcotest.check query "sequence"
+    (Seq (Var "x", Seq (Empty, Var "y")))
+    (Parser.parse "$x, (), $y");
+  Alcotest.check query "constructor with brace content"
+    (Constr ("a", Var "x"))
+    (Parser.parse "<a>{ $x }</a>");
+  Alcotest.check query "self-closing constructor" (Constr ("a", Empty)) (Parser.parse "<a/>");
+  Alcotest.check query "literal text content"
+    (Constr ("a", Text_lit "hi"))
+    (Parser.parse "<a>hi</a>");
+  Alcotest.check query "mixed constructor content"
+    (Constr ("a", Seq (Text_lit "n: ", Constr ("b", Var "x"))))
+    (Parser.parse "<a>n: <b>{ $x }</b></a>")
+
+let test_parse_conditions () =
+  let parse_cond s =
+    match Parser.parse (Printf.sprintf "if (%s) then () else ()" s) with
+    | If (c, Empty) -> c
+    | _ -> Alcotest.fail "expected a conditional"
+  in
+  Alcotest.(check bool) "eq vars" true (parse_cond "$x = $y" = Eq_vars ("x", "y"));
+  Alcotest.(check bool) "eq const" true (parse_cond {|$x = "s"|} = Eq_const ("x", "s"));
+  Alcotest.(check bool) "precedence: and binds tighter" true
+    (parse_cond "true() or true() and not(true())" = Or (True, And (True, Not True)));
+  Alcotest.(check bool) "some" true
+    (parse_cond "some $t in $x/text() satisfies true()"
+     = Some_ ("t", "x", Child, Text_test, True))
+
+let test_multistep_desugaring () =
+  Alcotest.check query "two-step path becomes a for"
+    (For ("#g1", root_var, Child, Name "a", Path ("#g1", Child, Name "b")))
+    (Parser.parse "/a/b");
+  (match Parser.parse "for $y in $x/a//b return $y" with
+   | For (t, "x", Child, Name "a", For ("y", t', Descendant, Name "b", Var "y")) ->
+     Alcotest.(check string) "fresh variable threads through" t t'
+   | q -> Alcotest.failf "unexpected desugaring: %s" (Print.to_string q));
+  (match Parser.parse "if (some $t in $x/a/text() satisfies true()) then () else ()" with
+   | If (Some_ (_, "x", Child, Name "a", Some_ ("t", _, Child, Text_test, True)), Empty) -> ()
+   | q -> Alcotest.failf "unexpected some desugaring: %s" (Print.to_string q))
+
+let test_parse_errors () =
+  let expect_error msg input =
+    match Parser.parse input with
+    | q -> Alcotest.failf "%s: parsed as %s" msg (Print.to_string q)
+    | exception Parser.Parse_error _ -> ()
+  in
+  expect_error "else must be empty" "if (true()) then $x else $y";
+  expect_error "for needs a path" "for $y in $x return $y";
+  expect_error "mismatched constructor" "<a>{ () }</b>";
+  expect_error "trailing input" "$x $y";
+  expect_error "unterminated string" {|text { "abc }|}
+
+(* Random input never crashes the query parser with anything but
+   Parse_error. *)
+let xq_parser_total =
+  QCheck2.Test.make ~name:"query parser is total" ~count:500
+    QCheck2.Gen.(string_size ~gen:(oneofa [|'$'; '/'; 'a'; 'x'; '<'; '>'; '{'; '}'; '('; ')'; '"'; '='; ','; ' '; 'f'; 'o'; 'r'; 'i'; 'n'|]) (int_bound 40))
+    (fun junk ->
+      match Parser.parse junk with
+      | _ -> true
+      | exception Parser.Parse_error _ -> true)
+
+(* --- printer ------------------------------------------------------------- *)
+
+let print_parse_roundtrip =
+  QCheck2.Test.make ~name:"print/parse round trip" ~count:500 Test_support.Gen.xq_gen
+    (fun q -> equal_query q (Parser.parse (Print.to_string q)))
+
+let test_print_examples () =
+  let roundtrip s = Print.to_string (Parser.parse s) in
+  Alcotest.(check string) "example 2 survives printing"
+    "<names>{ for $j in /journal return for $n in $j//name return $n }</names>"
+    (roundtrip "<names>{ for $j in /journal return for $n in $j//name return $n }</names>")
+
+(* --- checker ------------------------------------------------------------- *)
+
+let test_checker () =
+  let check_of s = Check.check (Parser.parse s) in
+  Alcotest.(check bool) "good query" true (check_of "for $x in //a return $x" = Ok ());
+  Alcotest.(check bool) "unbound" true
+    (check_of "for $x in //a return $y" = Error (Check.Unbound_variable "y"));
+  Alcotest.(check bool) "shadowing rejected" true
+    (check_of "for $x in //a return for $x in //b return $x"
+     = Error (Check.Shadowed_variable "x"));
+  Alcotest.(check bool) "root rebind rejected" true
+    (check_of "for $root in //a return ()" = Error Check.Root_rebound);
+  Alcotest.(check bool) "some binding scoped to condition" true
+    (check_of "if (some $t in //a satisfies true()) then () else ()" = Ok ());
+  Alcotest.(check bool) "some var does not escape" true
+    (check_of "(if (some $t in //a satisfies true()) then () else ()), $t"
+     = Error (Check.Unbound_variable "t"));
+  Alcotest.(check bool) "sibling loops may reuse names" true
+    (check_of "(for $x in //a return $x), (for $x in //b return $x)" = Ok ())
+
+let test_ast_utils () =
+  let q =
+    Parser.parse
+      "for $x in //a return if (some $t in $x/text() satisfies true()) then $x else ()"
+  in
+  Alcotest.(check (list string)) "bound vars" ["x"; "t"] (bound_vars q);
+  Alcotest.(check (list string)) "free vars" [] (free_vars q);
+  Alcotest.(check (list string)) "free vars of open query" ["z"]
+    (free_vars (Parser.parse "$z/a"));
+  Alcotest.(check bool) "query size positive" true (query_size q > 3);
+  (match q with
+   | For (_, _, _, _, If (c, _)) ->
+     Alcotest.(check (list string)) "cond free vars" ["x"] (cond_free_vars c)
+   | _ -> Alcotest.fail "unexpected query shape");
+  let c2 =
+    Some_ ("t", "a", Child, Text_test, And (Eq_vars ("t", "b"), Not (Eq_const ("c", "s"))))
+  in
+  Alcotest.(check (list string)) "cond free vars excluding bound" ["a"; "b"; "c"]
+    (cond_free_vars c2)
+
+(* --- milestone 1 evaluator ------------------------------------------------ *)
+
+let journal =
+  "<journal><authors><name>Ana</name><name>Bob</name></authors><title>DB</title></journal>"
+
+let eval_str doc_src query_src =
+  let doc = Doc.of_forest (Xml_parser.parse_forest doc_src) in
+  Eval.eval_string doc (Parser.parse query_src)
+
+let test_eval_basics () =
+  Alcotest.(check string) "empty" "" (eval_str journal "()");
+  Alcotest.(check string) "construction" "<a><b/></a>" (eval_str journal "<a><b/></a>");
+  Alcotest.(check string) "path" "<name>Ana</name><name>Bob</name>"
+    (eval_str journal "for $a in /journal/authors return $a/name");
+  Alcotest.(check string) "descendant text" "AnaBobDB" (eval_str journal "//text()");
+  Alcotest.(check string) "star" "<name>Ana</name><name>Bob</name>"
+    (eval_str journal "for $a in //authors return $a/*");
+  Alcotest.(check string) "document order preserved" "<b>1</b><b>2</b><b>3</b>"
+    (eval_str "<r><b>1</b><x><b>2</b></x><b>3</b></r>" "//b")
+
+let test_eval_conditions () =
+  Alcotest.(check string) "eq const" "<hit/>"
+    (eval_str journal
+       "if (some $n in //name satisfies (some $t in $n/text() satisfies $t = \"Ana\")) \
+        then <hit/> else ()");
+  Alcotest.(check string) "eq vars (same binding)" "<y/>"
+    (eval_str journal "if (some $t in //text() satisfies $t = $t) then <y/> else ()");
+  Alcotest.(check string) "not" "<none/>"
+    (eval_str journal "if (not(some $q in //query satisfies true())) then <none/> else ()");
+  Alcotest.(check string) "and short-circuits to false" ""
+    (eval_str journal "if (true() and (some $q in //query satisfies true())) then <q/> else ()");
+  Alcotest.(check string) "or" "<q/>"
+    (eval_str journal "if ((some $q in //query satisfies true()) or true()) then <q/> else ()")
+
+let test_eval_type_errors () =
+  let expect_type_error q =
+    let doc = Doc.of_forest (Xml_parser.parse_forest journal) in
+    match Eval.eval doc (Parser.parse q) with
+    | _ -> Alcotest.fail "expected a type error"
+    | exception Eval.Type_error _ -> ()
+  in
+  (* The paper: comparisons require text nodes. *)
+  expect_type_error "for $n in //name return if ($n = \"Ana\") then $n else ()";
+  expect_type_error
+    "for $n in //name return for $m in //title return if ($n = $m) then $n else ()";
+  expect_type_error "if ($root = \"x\") then () else ()"
+
+let test_eval_var_output () =
+  Alcotest.(check string) "element variable copies subtree" "<title>DB</title>"
+    (eval_str journal "for $t in //title return $t");
+  Alcotest.(check string) "text variable copies text" "Ana"
+    (eval_str journal
+       "for $n in //name return if (some $t in $n/text() satisfies $t = \"Ana\") then \
+        (for $u in $n/text() return $u) else ()");
+  Alcotest.(check string) "root variable emits document" journal (eval_str journal "$root")
+
+let () =
+  let prop = QCheck_alcotest.to_alcotest in
+  Alcotest.run "xq"
+    [ ( "parser",
+        [ Alcotest.test_case "atoms" `Quick test_parse_atoms;
+          Alcotest.test_case "paths" `Quick test_parse_paths;
+          Alcotest.test_case "compound" `Quick test_parse_compound;
+          Alcotest.test_case "conditions" `Quick test_parse_conditions;
+          Alcotest.test_case "multi-step desugaring" `Quick test_multistep_desugaring;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          prop xq_parser_total ] );
+      ( "printer",
+        [ Alcotest.test_case "examples" `Quick test_print_examples;
+          prop print_parse_roundtrip ] );
+      ( "checker",
+        [ Alcotest.test_case "scoping" `Quick test_checker;
+          Alcotest.test_case "ast utilities" `Quick test_ast_utils ] );
+      ( "evaluator",
+        [ Alcotest.test_case "basics" `Quick test_eval_basics;
+          Alcotest.test_case "conditions" `Quick test_eval_conditions;
+          Alcotest.test_case "type errors" `Quick test_eval_type_errors;
+          Alcotest.test_case "variable output" `Quick test_eval_var_output ] ) ]
