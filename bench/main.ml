@@ -26,7 +26,7 @@ let measure ?(seconds_cap = 20.0) ~forest config query_src =
   match result.Engine.status with
   | Engine.Ok -> (result.Engine.page_ios, result.Engine.elapsed, false)
   | Engine.Budget_exceeded _ -> (0, seconds_cap, true)
-  | Engine.Error msg -> failwith msg
+  | Engine.Error msg | Engine.Io_error msg -> failwith msg
 
 let row name (ios, secs, censored) =
   if censored then Printf.printf "  %-28s        censored (> %.0fs)\n%!" name secs

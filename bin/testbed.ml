@@ -1,9 +1,15 @@
-(* The course's submission & test system, batch mode: run the public
-   correctness tests for every engine preset on every testbed document,
-   then the efficiency tests for the five Figure-7 engines. *)
+(* The course's submission & test system, batch mode.
+
+   [run] (the default) replays the public correctness tests for every
+   engine preset on every testbed document, then the efficiency tests
+   for the five Figure-7 engines.  [differential] runs the randomized
+   cross-milestone oracle harness, optionally under disk-fault
+   injection. *)
 
 open Cmdliner
 module T = Xqdb_testbed
+
+(* --- run: the original batch testbed ------------------------------------ *)
 
 let correctness_only =
   Arg.(value & flag & info ["correctness-only"] ~doc:"Skip the efficiency tests.")
@@ -17,7 +23,7 @@ let scale =
 let grade =
   Arg.(value & flag & info ["grade"] ~doc:"Also run the Section-3 grading demo course.")
 
-let action correctness_only efficiency_only scale grade =
+let run_action correctness_only efficiency_only scale grade =
   let failed = ref false in
   if not efficiency_only then begin
     let outcomes = T.Correctness.run () in
@@ -45,9 +51,51 @@ let action correctness_only efficiency_only scale grade =
   end;
   if !failed then exit 1
 
+let run_term =
+  Term.(const run_action $ correctness_only $ efficiency_only $ scale $ grade)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Public correctness and efficiency tests (the default).")
+    run_term
+
+(* --- differential: randomized cross-milestone oracle -------------------- *)
+
+let seed =
+  Arg.(value & opt int 42 & info ["seed"] ~docv:"N" ~doc:"Generator seed.")
+
+let count =
+  Arg.(value & opt int 100 & info ["count"] ~docv:"N" ~doc:"Number of random trials.")
+
+let fault_rate =
+  Arg.(
+    value
+    & opt float 0.
+    & info ["fault-rate"] ~docv:"P"
+        ~doc:"Per-operation disk fault probability; 0 disables the fault sweep.")
+
+let fault_seeds =
+  Arg.(
+    value
+    & opt int 1
+    & info ["fault-seeds"] ~docv:"N"
+        ~doc:"Injector seeds swept per trial when $(b,--fault-rate) is positive.")
+
+let differential_action seed count fault_rate fault_seeds =
+  let report = T.Differential.run ~seed ~count ~fault_rate ~fault_seeds () in
+  print_string (T.Differential.render report);
+  if not (T.Differential.ok report) then exit 1
+
+let differential_cmd =
+  Cmd.v
+    (Cmd.info "differential"
+       ~doc:
+         "Randomized differential oracle: every milestone against the \
+          milestone-1 reference, optionally under injected disk faults.")
+    Term.(const differential_action $ seed $ count $ fault_rate $ fault_seeds)
+
 let () =
   let info =
     Cmd.info "xqdb-testbed" ~doc:"Correctness and efficiency testbed for the XQ engines"
   in
-  let term = Term.(const action $ correctness_only $ efficiency_only $ scale $ grade) in
-  exit (Cmd.eval (Cmd.v info term))
+  exit (Cmd.eval (Cmd.group ~default:run_term info [run_cmd; differential_cmd]))

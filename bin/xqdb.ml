@@ -89,7 +89,7 @@ let run_cmd =
                 config.Config.name result.Engine.elapsed result.Engine.page_ios;
             Ok ()
           | Engine.Error msg -> Error (`Msg ("runtime type error: " ^ msg))
-          | Engine.Budget_exceeded msg -> Error (`Msg msg)))
+          | Engine.Budget_exceeded msg | Engine.Io_error msg -> Error (`Msg msg)))
   in
   let term =
     Term.(term_result (const action $ doc_term $ engine_term $ query_term $ verbose_term))
@@ -186,7 +186,7 @@ let query_cmd =
             print_endline result.Engine.output;
             Ok ()
           | Engine.Error msg -> Error (`Msg ("runtime type error: " ^ msg))
-          | Engine.Budget_exceeded msg -> Error (`Msg msg)))
+          | Engine.Budget_exceeded msg | Engine.Io_error msg -> Error (`Msg msg)))
   in
   let term =
     Term.(term_result (const action $ db_file_term $ name_term $ engine_term $ query_term))
@@ -250,7 +250,8 @@ let repl_cmd =
                  Printf.printf "%s\n(%d page I/Os, %.4fs)\n%!" result.Engine.output
                    result.Engine.page_ios result.Engine.elapsed
                | Engine.Error msg -> Printf.printf "runtime type error: %s\n%!" msg
-               | Engine.Budget_exceeded msg -> Printf.printf "%s\n%!" msg)));
+               | Engine.Budget_exceeded msg | Engine.Io_error msg ->
+                 Printf.printf "%s\n%!" msg)));
         loop ()
     in
     loop ()

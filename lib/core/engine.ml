@@ -74,6 +74,8 @@ let config t = t.config
 let store t = t.store
 let doc_stats t = t.doc_stats
 let document t = t.doc
+let disk t = t.disk
+let pool t = t.pool
 
 (* --- compiled TPM ------------------------------------------------------- *)
 
@@ -189,6 +191,7 @@ type status =
   | Ok
   | Budget_exceeded of string
   | Error of string
+  | Io_error of string
 
 type result = {
   output : string;
@@ -225,6 +228,7 @@ let measured t thunk =
     | forest -> (Ok, Xml_print.forest_to_string forest)
     | exception Storage.Budget.Exhausted msg -> (Budget_exceeded msg, "")
     | exception Xq_eval.Type_error msg -> (Error msg, "")
+    | exception Storage.Disk.Disk_error msg -> (Io_error msg, "")
   in
   { output; status; elapsed = Sys.time () -. start; page_ios = ios t - before }
 

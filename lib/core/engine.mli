@@ -37,10 +37,21 @@ val store : t -> Xqdb_xasr.Node_store.t
 val doc_stats : t -> Xqdb_xasr.Doc_stats.t
 val document : t -> Xqdb_xml.Xml_doc.t
 
+val disk : t -> Xqdb_storage.Disk.t
+(** The disk under the engine's store — the attachment point for
+    {!Xqdb_storage.Fault_disk} injection and for I/O accounting checks. *)
+
+val pool : t -> Xqdb_storage.Buffer_pool.t
+(** The engine's buffer pool; [drop_all] on it forces cold-cache runs. *)
+
 type status =
   | Ok
   | Budget_exceeded of string
   | Error of string  (** runtime type error, as the paper allows *)
+  | Io_error of string
+      (** an unrecoverable disk fault ({!Xqdb_storage.Disk.Disk_error})
+          survived the buffer pool's bounded retries; the run is censored
+          like a budget overrun, never reported as a crash *)
 
 type result = {
   output : string;  (** canonical serialization; [""] if not [Ok] *)

@@ -486,13 +486,24 @@ let of_cursor pool cursor =
 
 (* --- invariant checking ----------------------------------------------- *)
 
-let check_invariants t =
+let check_invariants ?(min_fill = 0.) t =
   let fail fmt = Format.kasprintf failwith fmt in
+  let capacity = Disk.page_size (Buffer_pool.disk t.pool) - Page.header_size in
+  let min_live = int_of_float (min_fill *. float_of_int capacity) in
   let leaf_list = ref [] in
   (* Returns (leaf depth, number of keys). *)
   let rec walk pid lo hi =
     Buffer_pool.with_page t.pool pid (fun p ->
         let n = Page.slot_count p in
+        (* Occupancy bounds: no node overflows its page, and — when the
+           caller asserts a fill floor, as the insert-only workload tests
+           do — every non-root node carries at least [min_fill] of the
+           usable page.  (No unconditional floor: lazy deletion may
+           legally empty a leaf.) *)
+        let live = Page.live_bytes p in
+        if live > capacity then fail "page %d overflows: %d live of %d" pid live capacity;
+        if pid <> t.root && live < min_live then
+          fail "page %d underfull: %d live bytes < required %d" pid live min_live;
         let check_bounds key =
           (match lo with
            | Some l when Bytes.compare key l < 0 ->
@@ -561,4 +572,6 @@ let check_invariants t =
     end
   in
   follow (leftmost_leaf t t.root);
-  if List.rev !chain <> List.rev !leaf_list then fail "leaf chain does not match tree walk"
+  if List.rev !chain <> List.rev !leaf_list then fail "leaf chain does not match tree walk";
+  if List.length !leaf_list <> t.leaves then
+    fail "leaf count mismatch: meta %d, actual %d" t.leaves (List.length !leaf_list)

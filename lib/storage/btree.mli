@@ -52,7 +52,13 @@ val of_cursor : Buffer_pool.t -> (unit -> (bytes * bytes) option) -> t
     order; builds packed leaves bottom-up.
     @raise Invalid_argument if keys are not strictly increasing. *)
 
-val check_invariants : t -> unit
-(** Walk the whole tree verifying key order, separator correctness and
-    leaf chaining; raises [Failure] with a diagnostic otherwise.  Used by
-    the property tests. *)
+val check_invariants : ?min_fill:float -> t -> unit
+(** Walk the whole tree verifying key order, separator correctness,
+    balance, meta accounting (entry and leaf counts) and leaf chaining;
+    raises [Failure] with a diagnostic otherwise.  Used by the property
+    tests.
+
+    [min_fill] (a fraction of the usable page, default [0.]) additionally
+    requires every non-root node to carry at least that many live bytes —
+    a meaningful occupancy floor only for insert-only workloads, since
+    lazy deletion may legally empty a leaf. *)

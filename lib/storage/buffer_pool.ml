@@ -10,6 +10,7 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  retries : int;
 }
 
 type t = {
@@ -20,6 +21,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable retries : int;
 }
 
 let create ?(capacity = 64) disk =
@@ -30,10 +32,24 @@ let create ?(capacity = 64) disk =
     clock = 0;
     hits = 0;
     misses = 0;
-    evictions = 0 }
+    evictions = 0;
+    retries = 0 }
 
 let disk t = t.disk
 let capacity t = t.cap
+
+let max_attempts = 3
+
+(* Transient disk faults (see Fault_disk) clear on retry; anything that
+   still fails after [max_attempts] propagates as Disk_error. *)
+let with_retries t f =
+  let rec go attempt =
+    try f () with
+    | Disk.Disk_error _ when attempt < max_attempts ->
+      t.retries <- t.retries + 1;
+      go (attempt + 1)
+  in
+  go 1
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -41,7 +57,7 @@ let tick t =
 
 let write_back t frame =
   if frame.dirty then begin
-    Disk.write_page t.disk frame.page_id frame.buf;
+    with_retries t (fun () -> Disk.write_page t.disk frame.page_id frame.buf);
     frame.dirty <- false
   end
 
@@ -78,10 +94,10 @@ let find t page_id =
     frame
   | None ->
     t.misses <- t.misses + 1;
-    insert_frame t page_id (Disk.read_page t.disk page_id) false
+    insert_frame t page_id (with_retries t (fun () -> Disk.read_page t.disk page_id)) false
 
 let alloc_page t =
-  let page_id = Disk.alloc t.disk in
+  let page_id = with_retries t (fun () -> Disk.alloc t.disk) in
   let buf = Bytes.make (Disk.page_size t.disk) '\000' in
   let frame = insert_frame t page_id buf true in
   frame.last_used <- tick t;
@@ -102,9 +118,11 @@ let drop_all t =
   flush_all t;
   Hashtbl.reset t.frames
 
-let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+let stats t =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; retries = t.retries }
 
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
-  t.evictions <- 0
+  t.evictions <- 0;
+  t.retries <- 0

@@ -7,7 +7,15 @@
 
     All access goes through [with_page]/[with_page_mut], which pin the
     frame for the duration of the callback; nesting is allowed as long as
-    at most [capacity] distinct pages are pinned at once. *)
+    at most [capacity] distinct pages are pinned at once.
+
+    Disk faults ({!Disk.Disk_error}) are retried a bounded number of
+    times (transient faults injected by {!Fault_disk} clear on retry);
+    a fault that persists propagates to the caller with the pool left
+    consistent.  In particular a dirty frame whose write-back keeps
+    failing stays cached and dirty — it is never dropped silently — so
+    once the disk recovers, the next eviction or [flush_all] persists
+    it. *)
 
 type t
 
@@ -38,6 +46,7 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  retries : int;  (** disk operations retried after a {!Disk.Disk_error} *)
 }
 
 val stats : t -> stats

@@ -14,6 +14,18 @@ type counters = {
   allocs : int;
 }
 
+exception Disk_error of string
+
+type op =
+  | Read
+  | Write
+  | Alloc
+
+type fault =
+  | No_fault
+  | Fail of string
+  | Torn of string
+
 type t = {
   psize : int;
   backend : backend;
@@ -21,9 +33,20 @@ type t = {
   mutable reads : int;
   mutable writes : int;
   mutable allocs : int;
+  mutable injector : (op -> int -> fault) option;
 }
 
+let set_injector t injector = t.injector <- injector
+
+let consult t op id =
+  match t.injector with
+  | None -> No_fault
+  | Some f -> f op id
+
 let do_alloc t =
+  (match consult t Alloc t.count with
+   | No_fault -> ()
+   | Fail msg | Torn msg -> raise (Disk_error msg));
   let id = t.count in
   t.count <- t.count + 1;
   t.allocs <- t.allocs + 1;
@@ -54,7 +77,8 @@ let in_memory ?(page_size = 4096) () =
       count = 0;
       reads = 0;
       writes = 0;
-      allocs = 0 }
+      allocs = 0;
+      injector = None }
 
 let on_file ?(page_size = 4096) path =
   let out = open_out_gen [Open_wronly; Open_creat; Open_trunc; Open_binary] 0o644 path in
@@ -65,7 +89,8 @@ let on_file ?(page_size = 4096) path =
       count = 0;
       reads = 0;
       writes = 0;
-      allocs = 0 }
+      allocs = 0;
+      injector = None }
 
 let open_existing ?(page_size = 4096) path =
   let out = open_out_gen [Open_wronly; Open_binary] 0o644 path in
@@ -83,7 +108,8 @@ let open_existing ?(page_size = 4096) path =
     count = size / page_size;
     reads = 0;
     writes = 0;
-    allocs = 0 }
+    allocs = 0;
+    injector = None }
 
 let page_size t = t.psize
 let page_count t = t.count
@@ -96,6 +122,9 @@ let alloc t = do_alloc t
 
 let read_page t id =
   check_id t id;
+  (match consult t Read id with
+   | No_fault -> ()
+   | Fail msg | Torn msg -> raise (Disk_error msg));
   t.reads <- t.reads + 1;
   match t.backend with
   | Mem m -> Bytes.copy m.pages.(id)
@@ -109,17 +138,31 @@ let read_page t id =
     really_input f.inp buf 0 t.psize;
     buf
 
+let persist t id buf len =
+  match t.backend with
+  | Mem m -> Bytes.blit buf 0 m.pages.(id) 0 len
+  | File f ->
+    seek_out f.out (id * t.psize);
+    output_bytes f.out (if len = t.psize then buf else Bytes.sub buf 0 len);
+    f.flushed <- false
+
 let write_page t id buf =
   check_id t id;
   if Bytes.length buf <> t.psize then
     invalid_arg "Disk.write_page: buffer size mismatch";
-  t.writes <- t.writes + 1;
-  match t.backend with
-  | Mem m -> Bytes.blit buf 0 m.pages.(id) 0 t.psize
-  | File f ->
-    seek_out f.out (id * t.psize);
-    output_bytes f.out buf;
-    f.flushed <- false
+  match consult t Write id with
+  | Fail msg -> raise (Disk_error msg)
+  | Torn msg ->
+    (* Torn (short) write: only the first half of the buffer reaches the
+       disk before the fault; the rest of the page keeps its previous
+       contents.  The failure is reported, so a caller that retries with
+       the full buffer repairs the page. *)
+    t.writes <- t.writes + 1;
+    persist t id buf (t.psize / 2);
+    raise (Disk_error msg)
+  | No_fault ->
+    t.writes <- t.writes + 1;
+    persist t id buf t.psize
 
 let counters t = { reads = t.reads; writes = t.writes; allocs = t.allocs }
 

@@ -6,9 +6,41 @@
     benchmarks use, so that page-I/O counts — the currency of the cost
     model of milestone 4 — are measured without OS-cache noise).
 
-    Page 0 is reserved for the {!Catalog} and is allocated eagerly. *)
+    Page 0 is reserved for the {!Catalog} and is allocated eagerly.
+
+    Disks can misbehave on demand: an installed {e fault injector}
+    (see {!set_injector} and the {!Fault_disk} policy driver) may make
+    any operation raise {!Disk_error}, or tear a write so that only a
+    prefix of the page is persisted before the failure is reported.
+    This is the machinery behind the robustness half of the testbed's
+    differential harness. *)
 
 type t
+
+exception Disk_error of string
+(** An injected (or, conceptually, real) I/O failure.  Unlike
+    [Invalid_argument] — which flags caller bugs such as out-of-range
+    page ids — this is an environmental fault callers are expected to
+    handle: the {!Buffer_pool} retries a bounded number of times, and the
+    engine surfaces what remains as an [Io_error] run status. *)
+
+type op =
+  | Read
+  | Write
+  | Alloc
+
+type fault =
+  | No_fault
+  | Fail of string  (** raise {!Disk_error} without touching the disk *)
+  | Torn of string
+      (** writes only: persist the first half of the buffer, then raise
+          {!Disk_error}; treated as [Fail] for reads and allocs *)
+
+val set_injector : t -> (op -> int -> fault) option -> unit
+(** Install (or with [None] remove) a fault injector.  It is consulted
+    with the operation and page id (for [Alloc], the id the new page
+    would get) before counters are bumped or state is touched, so a
+    failed operation is not counted and allocates nothing. *)
 
 val in_memory : ?page_size:int -> unit -> t
 (** Default page size is 4096 bytes. *)
@@ -26,15 +58,18 @@ val page_size : t -> int
 val page_count : t -> int
 
 val alloc : t -> int
-(** Allocate a fresh zeroed page and return its id. *)
+(** Allocate a fresh zeroed page and return its id.
+    @raise Disk_error on an injected allocation fault. *)
 
 val read_page : t -> int -> bytes
 (** A fresh copy of the page contents.  @raise Invalid_argument on an
-    unallocated page id. *)
+    unallocated page id.  @raise Disk_error on an injected read fault. *)
 
 val write_page : t -> int -> bytes -> unit
 (** @raise Invalid_argument if the buffer size differs from the page
-    size or the page id was never allocated. *)
+    size or the page id was never allocated.
+    @raise Disk_error on an injected write fault; a torn fault persists
+    half the buffer first, so retrying the full write repairs the page. *)
 
 type counters = {
   reads : int;

@@ -1,0 +1,106 @@
+type policy = {
+  read_fault_rate : float;
+  write_fault_rate : float;
+  alloc_fault_rate : float;
+  transient_fraction : float;
+  torn_fraction : float;
+}
+
+let uniform ~rate =
+  { read_fault_rate = rate;
+    write_fault_rate = rate;
+    alloc_fault_rate = rate;
+    transient_fraction = 0.5;
+    torn_fraction = 0.5 }
+
+type counts = {
+  injected : int;
+  transient : int;
+  hard : int;
+  torn : int;
+}
+
+type key = {
+  k_op : Disk.op;
+  k_page : int;
+}
+
+type t = {
+  disk : Disk.t;
+  policy : policy;
+  rng : Random.State.t;
+  broken : (key, string) Hashtbl.t;  (* hard faults persist per (op, page) *)
+  mutable active : bool;
+  mutable injected_n : int;
+  mutable transient_n : int;
+  mutable hard_n : int;
+  mutable torn_n : int;
+}
+
+let op_name = function
+  | Disk.Read -> "read"
+  | Disk.Write -> "write"
+  | Disk.Alloc -> "alloc"
+
+let rate_of t op =
+  match op with
+  | Disk.Read -> t.policy.read_fault_rate
+  | Disk.Write -> t.policy.write_fault_rate
+  | Disk.Alloc -> t.policy.alloc_fault_rate
+
+(* Decide the fate of one disk operation.  A hard fault is remembered and
+   repeats on every later attempt against the same (op, page) — that is
+   what defeats the buffer pool's bounded retry and forces the engine to
+   surface [Io_error].  A transient fault fails this attempt only. *)
+let decide t op page =
+  if not t.active then Disk.No_fault
+  else begin
+    let key = { k_op = op; k_page = page } in
+    match Hashtbl.find_opt t.broken key with
+    | Some msg -> Disk.Fail msg
+    | None ->
+      if Random.State.float t.rng 1.0 >= rate_of t op then Disk.No_fault
+      else begin
+        t.injected_n <- t.injected_n + 1;
+        let transient = Random.State.float t.rng 1.0 < t.policy.transient_fraction in
+        let msg =
+          Printf.sprintf "injected %s%s fault on page %d" (op_name op)
+            (if transient then " (transient)" else "")
+            page
+        in
+        if transient then t.transient_n <- t.transient_n + 1
+        else begin
+          t.hard_n <- t.hard_n + 1;
+          Hashtbl.replace t.broken key msg
+        end;
+        match op with
+        | Disk.Write when Random.State.float t.rng 1.0 < t.policy.torn_fraction ->
+          t.torn_n <- t.torn_n + 1;
+          Disk.Torn msg
+        | Disk.Read | Disk.Write | Disk.Alloc -> Disk.Fail msg
+      end
+  end
+
+let attach ?(policy = uniform ~rate:0.01) ~seed disk =
+  let t =
+    { disk;
+      policy;
+      rng = Random.State.make [| 0xfa17; seed |];
+      broken = Hashtbl.create 16;
+      active = true;
+      injected_n = 0;
+      transient_n = 0;
+      hard_n = 0;
+      torn_n = 0 }
+  in
+  Disk.set_injector disk (Some (decide t));
+  t
+
+let detach t =
+  t.active <- false;
+  Disk.set_injector t.disk None
+
+let set_active t active = t.active <- active
+
+let counts t =
+  { injected = t.injected_n; transient = t.transient_n; hard = t.hard_n; torn = t.torn_n }

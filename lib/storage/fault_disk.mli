@@ -1,0 +1,53 @@
+(** Seeded fault injection for {!Disk}: the storage half of the
+    robustness harness.
+
+    [attach] installs a policy-driven injector into an existing disk.
+    Every subsequent [read_page]/[write_page]/[alloc] consults a seeded
+    RNG and may fail with {!Disk.Disk_error}, tear the write (persist
+    half the page, then fail), or — for {e hard} faults — keep failing on
+    every retry against the same page.  Transient faults clear after a
+    single failure, so the {!Buffer_pool}'s bounded retry absorbs them;
+    hard faults defeat the retry and must surface as the engine's
+    [Io_error] status.
+
+    Determinism: the same seed and policy over the same operation
+    sequence injects the same faults, so a failing fault sweep replays
+    exactly from its seed. *)
+
+type policy = {
+  read_fault_rate : float;  (** probability a read faults *)
+  write_fault_rate : float;  (** probability a write faults *)
+  alloc_fault_rate : float;  (** probability an alloc faults *)
+  transient_fraction : float;
+      (** of injected faults, the fraction that clear after one failure;
+          the rest are hard and persist for the page *)
+  torn_fraction : float;
+      (** of injected write faults, the fraction that also tear the page
+          (persist the first half) before failing *)
+}
+
+val uniform : rate:float -> policy
+(** All three operation rates set to [rate]; half the faults transient,
+    half the write faults torn. *)
+
+type t
+
+val attach : ?policy:policy -> seed:int -> Disk.t -> t
+(** Install the injector.  Default policy is [uniform ~rate:0.01]. *)
+
+val detach : t -> unit
+(** Remove the injector; the disk behaves normally again.  Hard-fault
+    bookkeeping is kept (for [counts]) but no longer consulted. *)
+
+val set_active : t -> bool -> unit
+(** Temporarily mute or re-arm the injector without detaching it —
+    the harness mutes it around its own bookkeeping I/O. *)
+
+type counts = {
+  injected : int;  (** faults injected in total *)
+  transient : int;
+  hard : int;
+  torn : int;
+}
+
+val counts : t -> counts

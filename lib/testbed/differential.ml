@@ -1,0 +1,259 @@
+module Engine = Xqdb_core.Engine
+module Engine_config = Xqdb_core.Engine_config
+module Disk = Xqdb_storage.Disk
+module Buffer_pool = Xqdb_storage.Buffer_pool
+module Fault_disk = Xqdb_storage.Fault_disk
+module Xq_print = Xqdb_xq.Xq_print
+module Xml_print = Xqdb_xml.Xml_print
+
+(* The four milestone engines the harness differentiates; milestone 1 is
+   the oracle, exactly as it was for the students. *)
+let milestone_configs = [Engine_config.m2; Engine_config.m3; Engine_config.m4]
+
+(* Tiny random documents fit in the default pool and would never touch
+   the disk, making fault injection vacuous — so differential engines
+   run over a deliberately small pool and drop it cold before every
+   faulted run. *)
+let pool_frames = 8
+
+type trial = {
+  index : int;
+  query : string;
+  ok : bool;
+  detail : string;
+}
+
+type fault_report = {
+  fault_seed : int;
+  trial_index : int;
+  injected : int;  (** faults the injector fired across the four runs *)
+  crashes : (string * string) list;  (** (config, exception) — must stay [] *)
+  io_errors : int;  (** runs censored as [Io_error] *)
+  rerun_ok : bool;  (** fault-free rerun reproduced the oracle answer *)
+  rerun_detail : string;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  fault_rate : float;
+  trials : trial list;
+  fault_reports : fault_report list;
+}
+
+let truncate s =
+  if String.length s <= 80 then s else String.sub s 0 77 ^ "..."
+
+let status_name = function
+  | Engine.Ok -> "ok"
+  | Engine.Budget_exceeded _ -> "budget_exceeded"
+  | Engine.Error _ -> "error"
+  | Engine.Io_error _ -> "io_error"
+
+(* --- deterministic generation ------------------------------------------- *)
+
+(* Each trial owns an RNG keyed on (seed, index), so trial [i] of a run
+   is reproducible on its own: the CLI can replay one failing index
+   without regenerating the whole sweep. *)
+let generate ~seed ~index =
+  let rand = Random.State.make [| 0x9e3779b9; seed; index |] in
+  let forest = QCheck2.Gen.generate1 ~rand Gen.forest_gen in
+  let query = QCheck2.Gen.generate1 ~rand Gen.xq_gen in
+  (forest, query)
+
+(* --- clean differential pass -------------------------------------------- *)
+
+let page_ios disk =
+  let c = Disk.counters disk in
+  c.Disk.reads + c.Disk.writes
+
+(* Compare one engine's result against the milestone-1 oracle.  With no
+   faults and no budget, only [Ok] and [Error] (the runtime type error
+   the paper allows) are legitimate. *)
+let compare_to_oracle name (oracle : Engine.result) (result : Engine.result) =
+  match oracle.Engine.status, result.Engine.status with
+  | Engine.Ok, Engine.Ok ->
+    if String.equal oracle.Engine.output result.Engine.output then None
+    else
+      Some
+        (Printf.sprintf "%s output diverges: oracle %S, got %S" name
+           (truncate oracle.Engine.output)
+           (truncate result.Engine.output))
+  | Engine.Error _, Engine.Error _ -> None
+  | o, r ->
+    Some
+      (Printf.sprintf "%s status diverges: oracle %s, got %s" name
+         (status_name o) (status_name r))
+
+let clean_trial ~index engine oracle =
+  let query_text = Xq_print.to_string (snd oracle) in
+  let oracle_result, query = fst oracle, snd oracle in
+  let failure = ref None in
+  let record msg = if !failure = None then failure := Some msg in
+  (match oracle_result.Engine.status with
+  | Engine.Ok | Engine.Error _ -> ()
+  | s -> record (Printf.sprintf "oracle status %s without a budget or faults" (status_name s)));
+  List.iter
+    (fun config ->
+      match !failure with
+      | Some _ -> ()
+      | None ->
+        let name = config.Engine_config.name in
+        let e = Engine.with_config config engine in
+        let before = page_ios (Engine.disk e) in
+        (match Engine.run e query with
+        | result ->
+          (match compare_to_oracle name oracle_result result with
+          | Some msg -> record msg
+          | None ->
+            (* The engine's self-reported accounting must match what the
+               harness observes on the raw disk counters. *)
+            let observed = page_ios (Engine.disk e) - before in
+            if result.Engine.page_ios <> observed then
+              record
+                (Printf.sprintf "%s accounting diverges: reported %d page I/Os, disk saw %d"
+                   name result.Engine.page_ios observed)
+            else if result.Engine.page_ios < 0 then
+              record (Printf.sprintf "%s negative page I/O count" name))
+        | exception exn ->
+          record (Printf.sprintf "%s crashed: %s" name (Printexc.to_string exn))))
+    milestone_configs;
+  match !failure with
+  | None -> { index; query = query_text; ok = true; detail = "" }
+  | Some detail -> { index; query = query_text; ok = false; detail }
+
+(* --- fault sweep --------------------------------------------------------- *)
+
+(* Flush and empty the pool with the injector muted: the drop itself is
+   harness bookkeeping, not workload I/O under test. *)
+let quiet_drop injector pool =
+  Fault_disk.set_active injector false;
+  Buffer_pool.drop_all pool;
+  Fault_disk.set_active injector true
+
+let fault_trial ~fault_seed ~fault_rate ~trial_index engine oracle query =
+  let disk = Engine.disk engine in
+  let pool = Engine.pool engine in
+  let injector =
+    Fault_disk.attach ~policy:(Fault_disk.uniform ~rate:fault_rate) ~seed:fault_seed disk
+  in
+  let crashes = ref [] in
+  let io_errors = ref 0 in
+  List.iter
+    (fun config ->
+      let e = Engine.with_config config engine in
+      quiet_drop injector pool;
+      match Engine.run e query with
+      | result ->
+        (match result.Engine.status with
+        | Engine.Io_error _ -> incr io_errors
+        | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ -> ())
+      | exception exn ->
+        crashes :=
+          (config.Engine_config.name, Printexc.to_string exn) :: !crashes)
+    milestone_configs;
+  let injected = (Fault_disk.counts injector).Fault_disk.injected in
+  Fault_disk.set_active injector false;
+  Buffer_pool.drop_all pool;
+  Fault_disk.detach injector;
+  (* The disk has recovered: every engine must reproduce the oracle
+     answer from the same store, or the faults corrupted it. *)
+  let rerun_failure = ref None in
+  List.iter
+    (fun config ->
+      if !rerun_failure = None then begin
+        let e = Engine.with_config config engine in
+        Buffer_pool.drop_all pool;
+        match Engine.run e query with
+        | result ->
+          (match compare_to_oracle config.Engine_config.name oracle result with
+          | Some msg -> rerun_failure := Some ("rerun: " ^ msg)
+          | None -> ())
+        | exception exn ->
+          rerun_failure :=
+            Some
+              (Printf.sprintf "rerun: %s crashed: %s" config.Engine_config.name
+                 (Printexc.to_string exn))
+      end)
+    milestone_configs;
+  { fault_seed;
+    trial_index;
+    injected;
+    crashes = List.rev !crashes;
+    io_errors = !io_errors;
+    rerun_ok = !rerun_failure = None;
+    rerun_detail = (match !rerun_failure with None -> "" | Some d -> d) }
+
+(* --- driver -------------------------------------------------------------- *)
+
+let run ?(seed = 42) ?(count = 100) ?(fault_rate = 0.) ?(fault_seeds = 1) () =
+  let config = { Engine_config.m1 with Engine_config.pool_capacity = pool_frames } in
+  let trials = ref [] in
+  let fault_reports = ref [] in
+  for index = 0 to count - 1 do
+    let forest, query = generate ~seed ~index in
+    (* One load per trial: every configuration, clean and faulted, runs
+       over the same shredded store, exactly like the testbed's grading
+       runs share a database. *)
+    let engine = Engine.load_forest ~config forest in
+    let oracle = Engine.run engine query in
+    trials := clean_trial ~index engine (oracle, query) :: !trials;
+    if fault_rate > 0. then
+      for fs = 0 to fault_seeds - 1 do
+        let fault_seed = (seed * 1021) + (index * fault_seeds) + fs in
+        fault_reports :=
+          fault_trial ~fault_seed ~fault_rate ~trial_index:index engine oracle query
+          :: !fault_reports
+      done
+  done;
+  { seed;
+    count;
+    fault_rate;
+    trials = List.rev !trials;
+    fault_reports = List.rev !fault_reports }
+
+(* --- reporting ----------------------------------------------------------- *)
+
+let agreed report = List.filter (fun t -> t.ok) report.trials |> List.length
+let crash_count report =
+  List.fold_left (fun n fr -> n + List.length fr.crashes) 0 report.fault_reports
+let rerun_failures report =
+  List.filter (fun fr -> not fr.rerun_ok) report.fault_reports |> List.length
+let injected_total report =
+  List.fold_left (fun n fr -> n + fr.injected) 0 report.fault_reports
+
+let ok report =
+  agreed report = report.count
+  && crash_count report = 0
+  && rerun_failures report = 0
+
+let render report =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "differential oracle: %d/%d trials byte-identical across m1 m2 m3 m4 (seed %d)"
+    (agreed report) report.count report.seed;
+  List.iter
+    (fun t -> if not t.ok then line "  trial %d FAILED: %s [%s]" t.index t.detail (truncate t.query))
+    report.trials;
+  if report.fault_rate > 0. then begin
+    let censored =
+      List.fold_left (fun n fr -> n + fr.io_errors) 0 report.fault_reports
+    in
+    line "fault sweep: %d fault runs at rate %g: %d faults injected, %d runs censored as io_error, %d crashes, %d rerun failures"
+      (List.length report.fault_reports)
+      report.fault_rate (injected_total report) censored (crash_count report)
+      (rerun_failures report);
+    List.iter
+      (fun fr ->
+        List.iter
+          (fun (cfg, exn) ->
+            line "  fault seed %d trial %d: %s CRASHED: %s" fr.fault_seed
+              fr.trial_index cfg (truncate exn))
+          fr.crashes;
+        if not fr.rerun_ok then
+          line "  fault seed %d trial %d: %s" fr.fault_seed fr.trial_index
+            (truncate fr.rerun_detail))
+      report.fault_reports
+  end;
+  line "verdict: %s" (if ok report then "PASS" else "FAIL");
+  Buffer.contents buf

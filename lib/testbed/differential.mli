@@ -1,0 +1,64 @@
+(** Cross-milestone differential oracle harness.
+
+    For each seeded trial a random XML forest and a random well-scoped
+    XQ query (from {!Gen}) are loaded once, and the query runs under all
+    four milestone configurations over the {e same} shredded store.  The
+    milestone-1 in-memory evaluator is the oracle: every other milestone
+    must produce byte-identical canonical output (or agree on the
+    runtime type error the paper allows), and each engine's self-reported
+    page-I/O accounting must match the raw disk counters.
+
+    With [fault_rate > 0] every trial is additionally swept under
+    {!Xqdb_storage.Fault_disk} injection: each run must end in one of
+    the four engine statuses — a crash (any escaped exception) is a
+    harness failure — and after the injector detaches, a fault-free
+    cold-cache rerun over the same store must still reproduce the oracle
+    answer, proving injected faults never silently corrupted the
+    persistent pages. *)
+
+type trial = {
+  index : int;
+  query : string;  (** pretty-printed, for replaying failures *)
+  ok : bool;
+  detail : string;
+}
+
+type fault_report = {
+  fault_seed : int;
+  trial_index : int;
+  injected : int;  (** faults the injector fired across the four runs *)
+  crashes : (string * string) list;  (** (config, exception) — must stay [] *)
+  io_errors : int;  (** runs censored as [Io_error] *)
+  rerun_ok : bool;  (** fault-free rerun reproduced the oracle answer *)
+  rerun_detail : string;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  fault_rate : float;
+  trials : trial list;
+  fault_reports : fault_report list;
+}
+
+val generate :
+  seed:int -> index:int -> Xqdb_xml.Xml_tree.forest * Xqdb_xq.Xq_ast.query
+(** The trial inputs for [(seed, index)] — deterministic, so a single
+    failing trial can be replayed without the rest of the sweep. *)
+
+val run :
+  ?seed:int -> ?count:int -> ?fault_rate:float -> ?fault_seeds:int -> unit -> report
+(** Defaults: [seed 42], [count 100], [fault_rate 0.] (no fault sweep),
+    [fault_seeds 1] injector seeds per trial when sweeping. *)
+
+val agreed : report -> int
+(** Trials where all milestones matched the oracle. *)
+
+val crash_count : report -> int
+val rerun_failures : report -> int
+val injected_total : report -> int
+
+val ok : report -> bool
+(** All trials agree, zero crashes, zero rerun failures. *)
+
+val render : report -> string

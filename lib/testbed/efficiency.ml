@@ -54,7 +54,8 @@ let run ?(configs = Engine_config.figure7_engines)
                 page_ios = budget;
                 seconds = result.Engine.elapsed;
                 censored = true }
-            | Engine.Error msg -> failwith ("efficiency test errored: " ^ msg))
+            | Engine.Error msg -> failwith ("efficiency test errored: " ^ msg)
+            | Engine.Io_error msg -> failwith ("efficiency test hit an i/o fault: " ^ msg))
           parsed)
       configs
   in

@@ -1,0 +1,150 @@
+(* QCheck generators shared by the property tests (via [Test_support.Gen])
+   and the differential oracle harness: random XML trees and random
+   well-formed, type-safe XQ queries.
+
+   The query generator only compares variables known to be bound to text
+   nodes (it tracks the node test each variable was bound through), so
+   generated queries never hit the runtime type error that milestone 1
+   raises and the algebraic engines cannot (see DESIGN.md). *)
+
+module G = QCheck2.Gen
+module Tree = Xqdb_xml.Xml_tree
+open Xqdb_xq.Xq_ast
+
+let label_pool = [|"a"; "b"; "c"; "d"; "item"; "name"; "title"|]
+let text_pool = [|"x"; "y"; "zz"; "Ana"; "Bob"; "42"; "hello world"|]
+
+let label_gen = G.oneofa label_pool
+let text_gen = G.oneofa text_pool
+
+(* --- random XML trees --------------------------------------------------- *)
+
+let tree_gen : Tree.node G.t =
+  G.sized (fun size ->
+      let rec node fuel =
+        if fuel <= 0 then G.map Tree.text text_gen
+        else
+          G.bind (G.int_bound 99) (fun pick ->
+              if pick < 30 then G.map Tree.text text_gen
+              else begin
+                let width = G.int_bound (min 4 fuel) in
+                G.bind width (fun w ->
+                    G.bind (G.list_size (G.pure w) (node (fuel / (w + 1))))
+                      (fun children ->
+                        G.map (fun l -> Tree.elem l children) label_gen))
+              end)
+      in
+      node (min size 40))
+
+(* Adjacent text nodes cannot survive a print/parse round trip (the
+   lexer merges them), so normalized forests merge them up front. *)
+let rec normalize_forest forest =
+  match forest with
+  | [] -> []
+  | Tree.Text a :: Tree.Text b :: rest -> normalize_forest (Tree.Text (a ^ b) :: rest)
+  | Tree.Text a :: rest -> Tree.Text a :: normalize_forest rest
+  | Tree.Elem (l, children) :: rest ->
+    Tree.Elem (l, normalize_forest children) :: normalize_forest rest
+
+let forest_gen : Tree.forest G.t =
+  G.map normalize_forest (G.list_size (G.int_range 1 3) tree_gen)
+
+(* --- random XQ queries -------------------------------------------------- *)
+
+(* Environment entries: variable name and whether it is surely a text
+   node (bound through a text() test). *)
+type scope = {
+  vars : (var * bool) list;  (* (name, is_text) *)
+  next : int;
+}
+
+let initial_scope = { vars = [(root_var, false)]; next = 0 }
+
+let any_var scope = G.oneofl scope.vars
+let text_vars scope = List.filter snd scope.vars
+
+let axis_gen = G.oneofl [Child; Descendant]
+
+let nodetest_gen =
+  G.oneof [G.map (fun l -> Name l) label_gen; G.pure Star; G.pure Text_test]
+
+let bind scope test =
+  let name = Printf.sprintf "v%d" scope.next in
+  let is_text = test = Text_test in
+  (name, { vars = (name, is_text) :: scope.vars; next = scope.next + 1 })
+
+let rec query_gen scope fuel : query G.t =
+  if fuel <= 0 then leaf_gen scope
+  else
+    G.bind (G.int_bound 99) (fun pick ->
+        if pick < 15 then leaf_gen scope
+        else if pick < 40 then
+          (* for-loop *)
+          G.bind (any_var scope) (fun (x, _) ->
+              G.bind axis_gen (fun axis ->
+                  G.bind nodetest_gen (fun test ->
+                      let y, scope' = bind scope test in
+                      G.map
+                        (fun body -> For (y, x, axis, test, body))
+                        (query_gen scope' (fuel - 1)))))
+        else if pick < 55 then
+          (* conditional *)
+          G.bind (cond_gen scope (min 3 fuel)) (fun c ->
+              G.map (fun body -> If (c, body)) (query_gen scope (fuel - 1)))
+        else if pick < 70 then
+          G.bind (query_gen scope (fuel / 2)) (fun q1 ->
+              G.map (fun q2 -> Seq (q1, q2)) (query_gen scope (fuel / 2)))
+        else if pick < 85 then
+          G.bind label_gen (fun l ->
+              G.map (fun body -> Constr (l, body)) (query_gen scope (fuel - 1)))
+        else leaf_gen scope)
+
+and leaf_gen scope =
+  G.bind (G.int_bound 99) (fun pick ->
+      if pick < 15 then G.pure Empty
+      else if pick < 30 then G.map (fun s -> Text_lit s) text_gen
+      else if pick < 55 then G.map (fun (x, _) -> Var x) (any_var scope)
+      else
+        G.bind (any_var scope) (fun (x, _) ->
+            G.bind axis_gen (fun axis ->
+                G.map (fun test -> Path (x, axis, test)) nodetest_gen)))
+
+and cond_gen scope fuel : cond G.t =
+  if fuel <= 0 then atom_cond_gen scope
+  else
+    G.bind (G.int_bound 99) (fun pick ->
+        if pick < 30 then atom_cond_gen scope
+        else if pick < 55 then
+          (* some *)
+          G.bind (any_var scope) (fun (x, _) ->
+              G.bind axis_gen (fun axis ->
+                  G.bind nodetest_gen (fun test ->
+                      let y, scope' = bind scope test in
+                      G.map
+                        (fun c -> Some_ (y, x, axis, test, c))
+                        (cond_gen scope' (fuel - 1)))))
+        else if pick < 75 then
+          G.bind (cond_gen scope (fuel / 2)) (fun c1 ->
+              G.map (fun c2 -> And (c1, c2)) (cond_gen scope (fuel / 2)))
+        else if pick < 90 then
+          G.bind (cond_gen scope (fuel / 2)) (fun c1 ->
+              G.map (fun c2 -> Or (c1, c2)) (cond_gen scope (fuel / 2)))
+        else G.map (fun c -> Not c) (cond_gen scope (fuel - 1)))
+
+and atom_cond_gen scope =
+  (* Comparisons only between text-bound variables, so the generated
+     queries stay type-safe. *)
+  match text_vars scope with
+  | [] -> G.pure True
+  | texts ->
+    G.bind (G.int_bound 99) (fun pick ->
+        if pick < 30 then G.pure True
+        else if pick < 70 then
+          G.bind (G.oneofl texts) (fun (x, _) ->
+              G.map (fun s -> Eq_const (x, s)) text_gen)
+        else
+          G.bind (G.oneofl texts) (fun (x, _) ->
+              G.map (fun (y, _) -> Eq_vars (x, y)) (G.oneofl texts)))
+
+let xq_gen : query G.t =
+  G.sized (fun size -> query_gen initial_scope (min 8 (1 + (size / 10))))

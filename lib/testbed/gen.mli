@@ -1,0 +1,22 @@
+(** Random XML forests and well-scoped, type-safe XQ queries.
+
+    One generator pair serves two clients: the per-module QCheck property
+    tests (print/parse round trips, shredding round trips, the
+    cross-engine equivalence property) and the {!Differential} oracle
+    harness, which replays the same distributions from explicit seeds.
+    Queries only ever compare text-bound variables, so milestone 1 never
+    raises its runtime type error on generated input. *)
+
+val label_pool : string array
+val text_pool : string array
+
+val tree_gen : Xqdb_xml.Xml_tree.node QCheck2.Gen.t
+
+val normalize_forest : Xqdb_xml.Xml_tree.forest -> Xqdb_xml.Xml_tree.forest
+(** Merge adjacent text nodes, which cannot survive a print/parse round
+    trip (the lexer concatenates them). *)
+
+val forest_gen : Xqdb_xml.Xml_tree.forest QCheck2.Gen.t
+(** One to three normalized trees. *)
+
+val xq_gen : Xqdb_xq.Xq_ast.query QCheck2.Gen.t

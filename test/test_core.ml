@@ -18,7 +18,7 @@ let run_at config src =
   let result = Engine.run engine (Xqdb_xq.Xq_parser.parse src) in
   match result.Engine.status with
   | Engine.Ok -> result.Engine.output
-  | Engine.Error msg | Engine.Budget_exceeded msg -> Alcotest.fail msg
+  | Engine.Error msg | Engine.Budget_exceeded msg | Engine.Io_error msg -> Alcotest.fail msg
 
 (* --- example 2 at every milestone ---------------------------------------- *)
 
@@ -57,6 +57,7 @@ let engines_agree =
         | Engine.Ok -> Ok result.Engine.output
         | Engine.Error _ -> Error `Type_error
         | Engine.Budget_exceeded _ -> Error `Budget
+        | Engine.Io_error _ -> Error `Io
       in
       let reference = outcome Config.m1 in
       List.for_all (fun config -> outcome config = reference) (List.tl Config.all_presets))
@@ -81,6 +82,7 @@ let naive_rewrite_agrees =
         | Engine.Ok -> Ok result.Engine.output
         | Engine.Error _ -> Error `Type_error
         | Engine.Budget_exceeded _ -> Error `Budget
+        | Engine.Io_error _ -> Error `Io
       in
       outcome Config.m4 = outcome naive_config)
 
@@ -99,6 +101,7 @@ let merging_ablation_agrees =
         | Engine.Ok -> Ok result.Engine.output
         | Engine.Error _ -> Error `Type_error
         | Engine.Budget_exceeded _ -> Error `Budget
+        | Engine.Io_error _ -> Error `Io
       in
       outcome Config.m4 = outcome unmerged)
 
@@ -113,7 +116,8 @@ let test_budget_censoring () =
   let result = Engine.run ~max_page_ios:10 engine q in
   (match result.Engine.status with
    | Engine.Budget_exceeded _ -> ()
-   | Engine.Ok | Engine.Error _ -> Alcotest.fail "expected budget exhaustion");
+   | Engine.Ok | Engine.Error _ | Engine.Io_error _ ->
+     Alcotest.fail "expected budget exhaustion");
   (* Unbudgeted, the same query completes. *)
   let result = Engine.run engine q in
   match result.Engine.status with
@@ -128,7 +132,7 @@ let test_type_errors_reported () =
       let result = Engine.run (Engine.with_config config engine) q in
       match result.Engine.status with
       | Engine.Error _ -> ()
-      | Engine.Ok | Engine.Budget_exceeded _ ->
+      | Engine.Ok | Engine.Budget_exceeded _ | Engine.Io_error _ ->
         (* Milestones 3/4 evaluate comparisons algebraically and simply
            find no matching text node — the documented divergence. *)
         if config.Config.milestone = Config.M1 || config.Config.milestone = Config.M2 then

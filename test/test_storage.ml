@@ -465,6 +465,130 @@ let test_budget () =
   done;
   S.Budget.check free
 
+(* --- fault injection ------------------------------------------------------------ *)
+
+let all_reads_fail =
+  { S.Fault_disk.read_fault_rate = 1.0;
+    write_fault_rate = 0.;
+    alloc_fault_rate = 0.;
+    transient_fraction = 0.;
+    torn_fraction = 0. }
+
+let test_fault_disk_read () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let p = S.Disk.alloc disk in
+  S.Disk.write_page disk p (Bytes.make 128 'a');
+  let injector = S.Fault_disk.attach ~policy:all_reads_fail ~seed:1 disk in
+  (match S.Disk.read_page disk p with
+   | _ -> Alcotest.fail "injected read fault should raise"
+   | exception S.Disk.Disk_error _ -> ());
+  (* Hard faults repeat: the same page fails again. *)
+  (match S.Disk.read_page disk p with
+   | _ -> Alcotest.fail "hard fault should persist"
+   | exception S.Disk.Disk_error _ -> ());
+  let counts = S.Fault_disk.counts injector in
+  Alcotest.(check int) "one injection, replayed not re-counted" 1
+    counts.S.Fault_disk.injected;
+  Alcotest.(check int) "hard" 1 counts.S.Fault_disk.hard;
+  (* Muting lets harness bookkeeping through; re-arming restores the fault. *)
+  S.Fault_disk.set_active injector false;
+  Alcotest.(check char) "muted read succeeds" 'a' (Bytes.get (S.Disk.read_page disk p) 0);
+  S.Fault_disk.set_active injector true;
+  (match S.Disk.read_page disk p with
+   | _ -> Alcotest.fail "re-armed fault should raise"
+   | exception S.Disk.Disk_error _ -> ());
+  S.Fault_disk.detach injector;
+  Alcotest.(check char) "detached disk is healthy" 'a' (Bytes.get (S.Disk.read_page disk p) 0)
+
+let torn_writes =
+  { S.Fault_disk.read_fault_rate = 0.;
+    write_fault_rate = 1.0;
+    alloc_fault_rate = 0.;
+    transient_fraction = 1.0;  (* transient, so the retry can repair the page *)
+    torn_fraction = 1.0 }
+
+let test_fault_disk_torn () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let p = S.Disk.alloc disk in
+  S.Disk.write_page disk p (Bytes.make 128 'a');
+  let injector = S.Fault_disk.attach ~policy:torn_writes ~seed:1 disk in
+  (match S.Disk.write_page disk p (Bytes.make 128 'b') with
+   | () -> Alcotest.fail "torn write should still raise"
+   | exception S.Disk.Disk_error _ -> ());
+  S.Fault_disk.detach injector;
+  (* The tear persisted the first half only: 'b' then stale 'a'. *)
+  let page = S.Disk.read_page disk p in
+  Alcotest.(check char) "first half written" 'b' (Bytes.get page 0);
+  Alcotest.(check char) "second half stale" 'a' (Bytes.get page 127);
+  Alcotest.(check int) "torn counted" 1 (S.Fault_disk.counts injector).S.Fault_disk.torn;
+  (* Retrying the full write repairs the page. *)
+  S.Disk.write_page disk p (Bytes.make 128 'b');
+  Alcotest.(check bytes) "repaired" (Bytes.make 128 'b') (S.Disk.read_page disk p)
+
+(* A transient write fault during eviction: the pool's bounded retry must
+   absorb it and still persist the page. *)
+let test_pool_retry_transient () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:1 disk in
+  let p1 = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool p1 (fun b -> Bytes.set b 0 'q');
+  let remaining = ref 1 in
+  S.Disk.set_injector disk
+    (Some
+       (fun op _ ->
+         match op with
+         | S.Disk.Write when !remaining > 0 ->
+           decr remaining;
+           S.Disk.Fail "transient write fault"
+         | _ -> S.Disk.No_fault));
+  (* Allocating a second page through a 1-frame pool evicts p1. *)
+  let p2 = S.Buffer_pool.alloc_page pool in
+  Alcotest.(check bool) "distinct pages" true (p1 <> p2);
+  Alcotest.(check bool) "retried" true ((S.Buffer_pool.stats pool).S.Buffer_pool.retries > 0);
+  S.Disk.set_injector disk None;
+  Alcotest.(check char) "dirty page persisted despite the fault" 'q'
+    (Bytes.get (S.Disk.read_page disk p1) 0)
+
+(* A write fault that outlasts every retry: the eviction fails, but the
+   dirty page must stay cached — never dropped silently — so the data is
+   still recoverable once the disk heals. *)
+let test_pool_hard_write_fault () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:1 disk in
+  let p1 = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool p1 (fun b -> Bytes.set b 0 'q');
+  S.Disk.set_injector disk
+    (Some
+       (fun op _ ->
+         match op with
+         | S.Disk.Write -> S.Disk.Fail "disk on fire"
+         | _ -> S.Disk.No_fault));
+  (match S.Buffer_pool.alloc_page pool with
+   | _ -> Alcotest.fail "eviction with a broken disk should raise"
+   | exception S.Disk.Disk_error _ -> ());
+  (* Not on disk yet — and not lost either. *)
+  Alcotest.(check bool) "not silently persisted" true
+    (Bytes.get (S.Disk.read_page disk p1) 0 <> 'q');
+  S.Buffer_pool.with_page pool p1 (fun b ->
+      Alcotest.(check char) "dirty data still cached" 'q' (Bytes.get b 0));
+  (* Disk heals: the next flush persists the page. *)
+  S.Disk.set_injector disk None;
+  S.Buffer_pool.flush_all pool;
+  Alcotest.(check char) "persisted after recovery" 'q'
+    (Bytes.get (S.Disk.read_page disk p1) 0)
+
+(* Insert-only workloads must keep every page reasonably full: splits
+   leave at least the occupancy floor on both sides. *)
+let btree_occupancy =
+  QCheck2.Test.make ~name:"btree occupancy after random inserts" ~count:40
+    G.(list_size (int_range 50 600) (int_bound 2000))
+    (fun keys ->
+      let _, pool = fresh_pool ~page_size:256 () in
+      let bt = S.Btree.create pool in
+      List.iter (fun k -> S.Btree.insert bt ~key:(enc_int k) ~value:(enc_int k)) keys;
+      S.Btree.check_invariants ~min_fill:0.15 bt;
+      true)
+
 let () =
   let prop = QCheck_alcotest.to_alcotest in
   Alcotest.run "storage"
@@ -486,9 +610,16 @@ let () =
       ( "heap files",
         [ Alcotest.test_case "append/scan/get" `Quick test_heap_file;
           Alcotest.test_case "oversized records" `Quick test_heap_file_oversize ] );
+      ( "fault injection",
+        [ Alcotest.test_case "read faults" `Quick test_fault_disk_read;
+          Alcotest.test_case "torn writes" `Quick test_fault_disk_torn;
+          Alcotest.test_case "pool retries transient faults" `Quick test_pool_retry_transient;
+          Alcotest.test_case "pool keeps dirty page on hard fault" `Quick
+            test_pool_hard_write_fault ] );
       ( "btree",
         [ prop btree_matches_model;
           prop btree_range_scan_model;
+          prop btree_occupancy;
           Alcotest.test_case "replace and reopen" `Quick test_btree_replace_and_meta;
           Alcotest.test_case "bulk load" `Quick test_btree_bulk_load;
           Alcotest.test_case "prefix scan" `Quick test_btree_prefix_scan ] );

@@ -106,6 +106,39 @@ let test_plan_lab () =
       (qp2.T.Plan_lab.page_ios < qp0.T.Plan_lab.page_ios)
   | _ -> Alcotest.fail "expected three measurements"
 
+(* --- differential oracle harness ------------------------------------------------ *)
+
+let test_differential_clean () =
+  let report = T.Differential.run ~seed:3 ~count:12 () in
+  Alcotest.(check int) "all trials agree" 12 (T.Differential.agreed report);
+  Alcotest.(check bool) "report passes" true (T.Differential.ok report);
+  Alcotest.(check int) "no fault sweep without a rate" 0
+    (List.length report.T.Differential.fault_reports);
+  let contains s sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rendering reports the tally" true
+    (contains (T.Differential.render report) "12/12")
+
+let test_differential_deterministic () =
+  let gen = T.Differential.generate ~seed:5 ~index:7 in
+  let again = T.Differential.generate ~seed:5 ~index:7 in
+  Alcotest.(check bool) "same (seed, index) gives the same trial" true (gen = again);
+  let other = T.Differential.generate ~seed:5 ~index:8 in
+  Alcotest.(check bool) "different index gives a different trial" true (gen <> other)
+
+let test_differential_fault_sweep () =
+  let report = T.Differential.run ~seed:11 ~count:6 ~fault_rate:0.08 ~fault_seeds:2 () in
+  Alcotest.(check int) "one fault report per (trial, seed)" 12
+    (List.length report.T.Differential.fault_reports);
+  Alcotest.(check bool) "faults actually fired" true (T.Differential.injected_total report > 0);
+  Alcotest.(check int) "no crashes" 0 (T.Differential.crash_count report);
+  Alcotest.(check int) "fault-free reruns reproduce the oracle" 0
+    (T.Differential.rerun_failures report);
+  Alcotest.(check bool) "report passes" true (T.Differential.ok report)
+
 (* --- grading system (Section 3) ------------------------------------------------ *)
 
 let test_grading () =
@@ -171,6 +204,10 @@ let () =
         [ Alcotest.test_case "harness and censoring" `Slow test_efficiency_harness;
           Alcotest.test_case "determinism" `Slow test_efficiency_deterministic ] );
       ("plan lab", [Alcotest.test_case "QP2 < QP1 < QP0" `Slow test_plan_lab]);
+      ( "differential",
+        [ Alcotest.test_case "clean oracle run" `Quick test_differential_clean;
+          Alcotest.test_case "seeded generation" `Quick test_differential_deterministic;
+          Alcotest.test_case "fault sweep" `Quick test_differential_fault_sweep ] );
       ( "grading (Section 3)",
         [ Alcotest.test_case "course grades" `Slow test_grading;
           Alcotest.test_case "submission report" `Slow test_submission_report ] ) ]
