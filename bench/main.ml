@@ -4,7 +4,11 @@
    hot substrate operations).
 
    Run with: dune exec bench/main.exe
-   Sections can be selected: dune exec bench/main.exe -- fig7 ablations *)
+   Sections can be selected: dune exec bench/main.exe -- fig7 ablations
+
+   Flags: [--json] additionally writes machine-readable BENCH_<section>.json
+   reports (see Xqdb_testbed.Report for the schema); [--quick] shrinks the
+   workloads so CI can regenerate the reports in seconds. *)
 
 module Engine = Xqdb_core.Engine
 module Config = Xqdb_core.Engine_config
@@ -17,28 +21,39 @@ module Storage = Xqdb_storage
 let header title =
   Printf.printf "\n================ %s ================\n%!" title
 
-(* Run one query on one engine configuration over a shared document,
-   reporting page I/Os and time; censored runs are marked. *)
+let json_mode = ref false
+let quick = ref false
+
+let write_report file json =
+  T.Report.write_file file json;
+  Printf.printf "wrote %s\n%!" file
+
+(* Run one query on one engine configuration over a shared document.
+   The full result (profile included) comes back so sections can both
+   print a human row and serialize the measurement. *)
 let measure ?(seconds_cap = 20.0) ~forest config query_src =
   let engine = Engine.load_forest ~config forest in
   let query = Xqdb_xq.Xq_parser.parse query_src in
-  let result = Engine.run ~max_seconds:seconds_cap engine query in
-  match result.Engine.status with
-  | Engine.Ok -> (result.Engine.page_ios, result.Engine.elapsed, false)
-  | Engine.Budget_exceeded _ -> (0, seconds_cap, true)
-  | Engine.Error msg | Engine.Io_error msg -> failwith msg
+  Engine.run ~max_seconds:seconds_cap engine query
 
-let row name (ios, secs, censored) =
-  if censored then Printf.printf "  %-28s        censored (> %.0fs)\n%!" name secs
-  else Printf.printf "  %-28s %8d page I/Os  %8.3fs\n%!" name ios secs
+let row name (result : Engine.result) =
+  match result.Engine.status with
+  | Engine.Ok ->
+    Printf.printf "  %-28s %8d page I/Os  %8.3fs\n%!" name result.Engine.page_ios
+      result.Engine.elapsed
+  | Engine.Budget_exceeded _ ->
+    Printf.printf "  %-28s        censored (%.1fs)\n%!" name result.Engine.elapsed
+  | Engine.Error msg | Engine.Io_error msg -> failwith msg
 
 (* --- Figure 7 ------------------------------------------------------------- *)
 
 let fig7 () =
   header "Figure 7: timing of the top five engines";
-  Printf.printf "workload: DBLP scale 2500, pool 48 frames, per-test page-I/O budgets\n";
-  let table = T.Efficiency.run () in
+  let scale = if !quick then 250 else 2500 in
+  Printf.printf "workload: DBLP scale %d, pool 48 frames, per-test page-I/O budgets\n" scale;
+  let table = T.Efficiency.run ~scale () in
   print_string (T.Efficiency.render table);
+  if !json_mode then write_report "BENCH_fig7.json" (T.Report.fig7_json table);
   print_string
     "\npaper's Figure 7 (seconds; 2400 = censored at the time budget):\n\
      Engine   Test 1   Test 2   Test 3   Test 4   Test 5    Total\n\
@@ -60,34 +75,51 @@ let fig6 () =
 
 let milestones () =
   header "Milestone ablation (the intro's orders-of-magnitude claim)";
-  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled 400)] in
+  let scale = if !quick then 120 else 400 in
+  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled scale)] in
+  let collected = ref [] in
   List.iter
-    (fun (name, query) ->
-      Printf.printf "%s\n" name;
+    (fun (test, query) ->
+      Printf.printf "%s\n" test;
       List.iter
         (fun config ->
           let config = { config with Config.pool_capacity = 48 } in
-          row config.Config.name (measure ~forest config query))
+          let result = measure ~forest config query in
+          row config.Config.name result;
+          collected :=
+            T.Report.result_json ~engine:config.Config.name ~test result :: !collected)
         [Config.m1; Config.m2; Config.m3; Config.m4])
     [ ("example 6 (selective semijoin query):", T.Queries.example6);
       ( "all article titles (scan-bound):",
-        "for $x in //article return for $t in $x/title return $t" ) ]
+        "for $x in //article return for $t in $x/title return $t" ) ];
+  if !json_mode then
+    write_report "BENCH_milestones.json"
+      (T.Report.bench_json ~kind:"milestones" [] ~results:(List.rev !collected))
 
 (* --- design-choice ablations -------------------------------------------------- *)
 
 let ablations () =
   header "Ablations of the DESIGN.md design choices (m4 engine, Example 6)";
-  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled 800)] in
+  let scale = if !quick then 200 else 800 in
+  let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled scale)] in
   let base = { Config.m4 with Config.pool_capacity = 48 } in
   let q = T.Queries.example6 in
+  let collected = ref [] in
+  (* Print one human row and collect the same measurement for the JSON
+     report: [group] is the ablation axis, [name] the variant. *)
+  let arow group name result =
+    row name result;
+    collected := T.Report.result_json ~engine:name ~test:group result :: !collected
+  in
 
   Printf.printf "1. relfor merging (milestone 3's algebraic step):\n";
-  row "merged (default)" (measure ~forest base q);
-  row "unmerged" (measure ~forest { base with Config.merge_relfors = false } q);
+  arow "relfor-merging" "merged (default)" (measure ~forest base q);
+  arow "relfor-merging" "unmerged"
+    (measure ~forest { base with Config.merge_relfors = false } q);
 
   Printf.printf "2. vartuples carrying out-values (descendant self-joins):\n";
-  row "carry out (default)" (measure ~forest base q);
-  row "naive (self-joins)"
+  arow "carry-out" "carry out (default)" (measure ~forest base q);
+  arow "carry-out" "naive (self-joins)"
     (measure ~forest
        { base with
          Config.rewrite = Rewrite.naive;
@@ -95,18 +127,18 @@ let ablations () =
        q);
 
   Printf.printf "3. index structures and cost-based reordering (milestone 4):\n";
-  row "indexes + reordering" (measure ~forest base q);
-  row "indexes only"
+  arow "indexes" "indexes + reordering" (measure ~forest base q);
+  arow "indexes" "indexes only"
     (measure ~forest
        { base with Config.planner = { base.Config.planner with Planner.cost_based = false } }
        q);
-  row "neither (milestone 3)"
+  arow "indexes" "neither (milestone 3)"
     (measure ~forest { base with Config.planner = Planner.m3_config } q);
 
   Printf.printf "4. ordering strategy (the milestone-3 discussion):\n";
   List.iter
     (fun (name, order) ->
-      row name
+      arow "ordering" name
         (measure ~forest
            { base with Config.planner = { base.Config.planner with Planner.order } }
            q))
@@ -122,18 +154,25 @@ let ablations () =
       Config.planner =
         { base.Config.planner with Planner.order = `Mem_sort; use_indexes = false } }
   in
-  row "order-preserving NL" (measure ~forest { base with Config.planner = { base.Config.planner with Planner.use_indexes = false } } q);
-  row "sorted, BNL (block 64)" (measure ~forest sort_config q);
+  arow "join" "order-preserving NL"
+    (measure ~forest
+       { base with Config.planner = { base.Config.planner with Planner.use_indexes = false } }
+       q);
+  arow "join" "sorted, BNL (block 64)" (measure ~forest sort_config q);
 
   Printf.printf "6. pipelining vs writing intermediates to disk:\n";
-  row "pipelined"
+  arow "materialize" "pipelined"
     (measure ~forest
        { base with Config.planner = { base.Config.planner with Planner.materialize = `Mem } }
        q);
-  row "spooled to disk"
+  arow "materialize" "spooled to disk"
     (measure ~forest
        { base with Config.planner = { base.Config.planner with Planner.materialize = `Disk } }
-       q)
+       q);
+
+  if !json_mode then
+    write_report "BENCH_ablations.json"
+      (T.Report.bench_json ~kind:"ablations" [] ~results:(List.rev !collected))
 
 (* --- Bechamel micro-benchmarks -------------------------------------------------- *)
 
@@ -198,11 +237,17 @@ let sections =
     ("bechamel", bechamel) ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | [] | [_] -> List.map fst sections
-    | _ :: names -> names
-  in
+  let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in
+  let flags, names = List.partition (fun a -> String.length a >= 2 && a.[0] = '-') args in
+  List.iter
+    (function
+      | "--json" -> json_mode := true
+      | "--quick" -> quick := true
+      | flag ->
+        Printf.eprintf "unknown flag %S (known: --json, --quick)\n" flag;
+        exit 1)
+    flags;
+  let requested = match names with [] -> List.map fst sections | names -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

@@ -23,7 +23,16 @@ let scale =
 let grade =
   Arg.(value & flag & info ["grade"] ~doc:"Also run the Section-3 grading demo course.")
 
-let run_action correctness_only efficiency_only scale grade =
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["json"] ~docv:"FILE"
+        ~doc:
+          "Write the efficiency table (with full per-operator profiles) as a \
+           machine-readable JSON report to $(docv).")
+
+let run_action correctness_only efficiency_only scale grade json_file =
   let failed = ref false in
   if not efficiency_only then begin
     let outcomes = T.Correctness.run () in
@@ -33,7 +42,12 @@ let run_action correctness_only efficiency_only scale grade =
   if not correctness_only then begin
     let table = T.Efficiency.run ~scale () in
     print_newline ();
-    print_string (T.Efficiency.render table)
+    print_string (T.Efficiency.render table);
+    match json_file with
+    | Some file ->
+      T.Report.write_file file (T.Report.fig7_json table);
+      Printf.printf "wrote %s\n" file
+    | None -> ()
   end;
   if grade then begin
     let module Config = Xqdb_core.Engine_config in
@@ -52,7 +66,7 @@ let run_action correctness_only efficiency_only scale grade =
   if !failed then exit 1
 
 let run_term =
-  Term.(const run_action $ correctness_only $ efficiency_only $ scale $ grade)
+  Term.(const run_action $ correctness_only $ efficiency_only $ scale $ grade $ json_file)
 
 let run_cmd =
   Cmd.v
@@ -94,8 +108,35 @@ let differential_cmd =
           milestone-1 reference, optionally under injected disk faults.")
     Term.(const differential_action $ seed $ count $ fault_rate $ fault_seeds)
 
+(* --- check-bench: CI's sanity check over BENCH_*.json -------------------- *)
+
+let bench_files =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"Report file to validate.")
+
+let check_bench_action files =
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      match T.Report.validate_file file with
+      | Ok () -> Printf.printf "%s: ok\n" file
+      | Error msg ->
+        Printf.printf "%s: INVALID: %s\n" file msg;
+        failed := true)
+    files;
+  if !failed then exit 1
+
+let check_bench_cmd =
+  Cmd.v
+    (Cmd.info "check-bench"
+       ~doc:
+         "Validate machine-readable benchmark reports: schema envelope, result \
+          quintets, and profile reconciliation (reads + writes = operator_ios + \
+          other_ios, operator trees internally consistent).")
+    Term.(const check_bench_action $ bench_files)
+
 let () =
   let info =
     Cmd.info "xqdb-testbed" ~doc:"Correctness and efficiency testbed for the XQ engines"
   in
-  exit (Cmd.eval (Cmd.group ~default:run_term info [run_cmd; differential_cmd]))
+  exit
+    (Cmd.eval (Cmd.group ~default:run_term info [run_cmd; differential_cmd; check_bench_cmd]))

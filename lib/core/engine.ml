@@ -87,22 +87,29 @@ type compiled =
   | COut of Xq_ast.var
   | CGuard of Xq_ast.cond * compiled
   | CRelfor of {
+      site : int;  (* compile-time id; profiles aggregate per site *)
       bindings : A.binding list;
       plan : Planner.t;
       body : compiled;
     }
 
-let rec compile_tpm t tpm =
-  match (tpm : A.t) with
-  | A.Empty -> CEmpty
-  | A.Text_out s -> CText s
-  | A.Constr (label, body) -> CConstr (label, compile_tpm t body)
-  | A.Seq (t1, t2) -> CSeq (compile_tpm t t1, compile_tpm t t2)
-  | A.Out_var x -> COut x
-  | A.Guard (c, body) -> CGuard (c, compile_tpm t body)
-  | A.Relfor r ->
-    let plan = Planner.plan t.config.Engine_config.planner t.stats r.A.source in
-    CRelfor { bindings = r.A.source.A.bindings; plan; body = compile_tpm t r.A.body }
+let compile_tpm t tpm =
+  let next_site = ref 0 in
+  let rec go tpm =
+    match (tpm : A.t) with
+    | A.Empty -> CEmpty
+    | A.Text_out s -> CText s
+    | A.Constr (label, body) -> CConstr (label, go body)
+    | A.Seq (t1, t2) -> CSeq (go t1, go t2)
+    | A.Out_var x -> COut x
+    | A.Guard (c, body) -> CGuard (c, go body)
+    | A.Relfor r ->
+      let site = !next_site in
+      incr next_site;
+      let plan = Planner.plan t.config.Engine_config.planner t.stats r.A.source in
+      CRelfor { site; bindings = r.A.source.A.bindings; plan; body = go r.A.body }
+  in
+  go tpm
 
 (* --- execution ---------------------------------------------------------- *)
 
@@ -144,24 +151,40 @@ let guard_holds t budget env c =
   in
   Nav_eval.eval_cond ?budget t.store nav_env c
 
-let rec exec t budget (env : env) compiled : Tree.forest =
+(* Per-site operator profiles collected during a run.  Keyed by the
+   relfor's compile-time site id: a nested relfor instantiates its tree
+   once per outer binding, and the per-instantiation profiles merge into
+   one aggregate breakdown per site. *)
+type sink = (int, Op.profile) Hashtbl.t
+
+let sink_add (sink : sink) site op =
+  let p = Op.profile op in
+  match Hashtbl.find_opt sink site with
+  | Some prev -> Hashtbl.replace sink site (Op.merge_profile prev p)
+  | None -> Hashtbl.add sink site p
+
+let rec exec t budget sink (env : env) compiled : Tree.forest =
   match compiled with
   | CEmpty -> []
   | CText s -> [Tree.Text s]
-  | CConstr (label, body) -> [Tree.Elem (label, exec t budget env body)]
-  | CSeq (c1, c2) -> exec t budget env c1 @ exec t budget env c2
+  | CConstr (label, body) -> [Tree.Elem (label, exec t budget sink env body)]
+  | CSeq (c1, c2) -> exec t budget sink env c1 @ exec t budget sink env c2
   | COut x -> output_of t env x
-  | CGuard (c, body) -> if guard_holds t budget env c then exec t budget env body else []
-  | CRelfor { bindings; plan; body } ->
+  | CGuard (c, body) ->
+    if guard_holds t budget env c then exec t budget sink env body else []
+  | CRelfor { site; bindings; plan; body } ->
     let ctx = Op.make_ctx ?budget t.store in
     let op = Planner.instantiate ctx plan ~env:(lookup_env env) in
+    (* Collect the profile even when the run aborts mid-drain (budget
+       exhausted, disk fault): censored runs keep a partial breakdown. *)
+    Fun.protect ~finally:(fun () -> sink_add sink site op) @@ fun () ->
     let carry = plan.Planner.config.Planner.carry_out in
     let width = if carry then 2 else 1 in
     if bindings = [] then begin
       (* A nullary relfor is an existence test: its projection holds at
          most the empty tuple, so the first result decides. *)
       match op.Op.next () with
-      | Some _ -> exec t budget env body
+      | Some _ -> exec t budget sink env body
       | None -> []
     end
     else
@@ -181,7 +204,7 @@ let rec exec t budget (env : env) compiled : Tree.forest =
                bindings)
           @ env
         in
-        loop (exec t budget env' body :: acc)
+        loop (exec t budget sink env' body :: acc)
     in
     loop []
 
@@ -193,49 +216,103 @@ type status =
   | Error of string
   | Io_error of string
 
+type op_profile = Op.profile = {
+  op : string;
+  args : string;
+  rows : int;
+  ios : int;
+  own_ios : int;
+  seconds : float;
+  own_seconds : float;
+  inputs : op_profile list;
+}
+
+type profile = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  pool : Storage.Buffer_pool.stats;
+  counters : Storage.Metrics.snapshot;
+  operators : op_profile list;
+  operator_ios : int;
+  other_ios : int;
+}
+
 type result = {
   output : string;
   status : status;
   elapsed : float;
   page_ios : int;
+  profile : profile;
 }
 
 let root_env t = [(Xq_ast.root_var, (1, t.root_out))]
 
-let eval_algebraic t ?budget query =
+let eval_algebraic t ?budget ~sink query =
   let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
   let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
   let compiled = compile_tpm t tpm in
-  exec t budget (root_env t) compiled
+  exec t budget sink (root_env t) compiled
 
-let eval_with_budget t ?budget query =
+let eval_with_budget t ?budget ~sink query =
   match t.config.Engine_config.milestone with
   | Engine_config.M1 -> Xq_eval.eval t.doc query
   | Engine_config.M2 -> Nav_eval.eval ?budget t.store query
-  | Engine_config.M3 | Engine_config.M4 -> eval_algebraic t ?budget query
+  | Engine_config.M3 | Engine_config.M4 -> eval_algebraic t ?budget ~sink query
 
-let eval t query = eval_with_budget t query
+let eval t query = eval_with_budget t ~sink:(Hashtbl.create 8) query
 
-let ios t =
-  let c = Storage.Disk.counters t.disk in
-  c.Storage.Disk.reads + c.Storage.Disk.writes
+let pool_delta (a : Storage.Buffer_pool.stats) (b : Storage.Buffer_pool.stats) :
+    Storage.Buffer_pool.stats =
+  { hits = b.hits - a.hits;
+    misses = b.misses - a.misses;
+    evictions = b.evictions - a.evictions;
+    retries = b.retries - a.retries }
 
 let measured t thunk =
-  let before = ios t in
+  let before = Storage.Disk.counters t.disk in
+  let pool_before = Storage.Buffer_pool.stats t.pool in
+  let metrics_before = Storage.Metrics.snapshot () in
+  let sink : sink = Hashtbl.create 8 in
   let start = Sys.time () in
   let status, output =
-    match thunk () with
+    match thunk sink with
     | forest -> (Ok, Xml_print.forest_to_string forest)
     | exception Storage.Budget.Exhausted msg -> (Budget_exceeded msg, "")
     | exception Xq_eval.Type_error msg -> (Error msg, "")
     | exception Storage.Disk.Disk_error msg -> (Io_error msg, "")
+    (* Resource conditions surface as statuses too: a query against a
+       fully-pinned pool or an overfull page must censor, not crash. *)
+    | exception Storage.Buffer_pool.Pool_exhausted msg -> (Io_error msg, "")
+    | exception Storage.Page.Page_full msg -> (Io_error msg, "")
   in
-  { output; status; elapsed = Sys.time () -. start; page_ios = ios t - before }
+  let elapsed = Sys.time () -. start in
+  let after = Storage.Disk.counters t.disk in
+  let reads = after.Storage.Disk.reads - before.Storage.Disk.reads in
+  let writes = after.Storage.Disk.writes - before.Storage.Disk.writes in
+  let allocs = after.Storage.Disk.allocs - before.Storage.Disk.allocs in
+  let operators =
+    Hashtbl.fold (fun site p acc -> (site, p) :: acc) sink []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
+  let operator_ios = List.fold_left (fun acc (p : op_profile) -> acc + p.ios) 0 operators in
+  let profile =
+    { reads;
+      writes;
+      allocs;
+      pool = pool_delta pool_before (Storage.Buffer_pool.stats t.pool);
+      counters = Storage.Metrics.diff (Storage.Metrics.snapshot ()) metrics_before;
+      operators;
+      operator_ios;
+      other_ios = reads + writes - operator_ios }
+  in
+  { output; status; elapsed; page_ios = reads + writes; profile }
 
 let run ?max_page_ios ?max_seconds t query =
   Xq_check.check_exn query;
   let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
-  measured t (fun () -> eval_with_budget t ~budget query)
+  measured t (fun sink -> eval_with_budget t ~budget ~sink query)
 
 type prepared =
   | P_direct of Xq_ast.query  (* milestones 1 and 2 have no compile step *)
@@ -253,8 +330,9 @@ let prepare t query =
 let run_prepared ?max_page_ios ?max_seconds t prepared =
   let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
   match prepared with
-  | P_direct query -> measured t (fun () -> eval_with_budget t ~budget query)
-  | P_compiled compiled -> measured t (fun () -> exec t (Some budget) (root_env t) compiled)
+  | P_direct query -> measured t (fun sink -> eval_with_budget t ~budget ~sink query)
+  | P_compiled compiled ->
+    measured t (fun sink -> exec t (Some budget) sink (root_env t) compiled)
 
 let run_string ?max_page_ios ?max_seconds t input =
   run ?max_page_ios ?max_seconds t (Xq_parser.parse input)

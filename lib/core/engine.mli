@@ -49,15 +49,47 @@ type status =
   | Budget_exceeded of string
   | Error of string  (** runtime type error, as the paper allows *)
   | Io_error of string
-      (** an unrecoverable disk fault ({!Xqdb_storage.Disk.Disk_error})
-          survived the buffer pool's bounded retries; the run is censored
+      (** a storage-layer resource failure: an unrecoverable disk fault
+          ({!Xqdb_storage.Disk.Disk_error}) that survived the buffer
+          pool's bounded retries, a fully-pinned pool
+          ({!Xqdb_storage.Buffer_pool.Pool_exhausted}), or an overfull
+          page ({!Xqdb_storage.Page.Page_full}); the run is censored
           like a budget overrun, never reported as a crash *)
+
+type op_profile = Xqdb_physical.Phys_op.profile = {
+  op : string;
+  args : string;
+  rows : int;
+  ios : int;  (** inclusive page I/Os (includes the inputs') *)
+  own_ios : int;  (** exclusive page I/Os *)
+  seconds : float;
+  own_seconds : float;
+  inputs : op_profile list;
+}
+
+type profile = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  pool : Xqdb_storage.Buffer_pool.stats;  (** delta over the run *)
+  counters : Xqdb_storage.Metrics.snapshot;
+      (** storage-structure counter deltas over the run *)
+  operators : op_profile list;
+      (** one aggregated operator tree per relfor compile site, in plan
+          order; partial (but present) on censored runs *)
+  operator_ios : int;  (** sum of the [operators] roots' inclusive I/Os *)
+  other_ios : int;
+      (** page I/Os outside operator trees — guard evaluation, output
+          reconstruction, nout lookups; [operator_ios + other_ios] equals
+          [page_ios] by construction *)
+}
 
 type result = {
   output : string;  (** canonical serialization; [""] if not [Ok] *)
   status : status;
   elapsed : float;  (** CPU seconds *)
   page_ios : int;  (** disk reads + writes during the run *)
+  profile : profile;  (** where those I/Os and seconds went *)
 }
 
 val run :

@@ -21,12 +21,99 @@ type info = {
   children : info list;
 }
 
+type stats = {
+  mutable rows : int;
+  mutable ios : int;  (* inclusive: includes the children's I/O *)
+  mutable seconds : float;  (* inclusive CPU seconds *)
+}
+
 type t = {
   schema : Tuple.schema;
   next : unit -> Tuple.t option;
   reset : unit -> unit;
   info : info;
+  stats : stats;
+  kids : t list;
+  ios_now : unit -> int;  (* disk I/O counter this operator is attributed against *)
 }
+
+(* Every constructor goes through [make], which wraps [next] and [reset]
+   so the operator's stats accumulate rows produced plus the page I/Os
+   and CPU time spent inside its call windows.  The measurements are
+   inclusive — a child only ever runs inside its parent's [next] or
+   [reset] — so the per-operator (exclusive) share is recovered in
+   {!profile} by subtracting the children's inclusive totals. *)
+let make ~schema ~info ?(kids = []) ~ios_now ~next ~reset () =
+  let stats = { rows = 0; ios = 0; seconds = 0. } in
+  let measured f () =
+    let io0 = ios_now () in
+    let t0 = Sys.time () in
+    match f () with
+    | result ->
+      stats.ios <- stats.ios + (ios_now () - io0);
+      stats.seconds <- stats.seconds +. (Sys.time () -. t0);
+      result
+    | exception e ->
+      stats.ios <- stats.ios + (ios_now () - io0);
+      stats.seconds <- stats.seconds +. (Sys.time () -. t0);
+      raise e
+  in
+  let next =
+    let inner = measured next in
+    fun () ->
+      let result = inner () in
+      (match result with
+       | Some _ -> stats.rows <- stats.rows + 1
+       | None -> ());
+      result
+  in
+  { schema; next; reset = measured reset; info; stats; kids; ios_now }
+
+let ctx_ios ctx =
+  let disk = Xqdb_storage.Buffer_pool.disk ctx.pool in
+  fun () -> Xqdb_storage.Disk.total_ios disk
+
+type profile = {
+  op : string;
+  args : string;
+  rows : int;
+  ios : int;  (** inclusive page I/Os *)
+  own_ios : int;  (** exclusive: [ios] minus the inputs' [ios] *)
+  seconds : float;
+  own_seconds : float;
+  inputs : profile list;
+}
+
+let rec profile t =
+  let inputs = List.map profile t.kids in
+  let kid_ios = List.fold_left (fun acc p -> acc + p.ios) 0 inputs in
+  let kid_seconds = List.fold_left (fun acc p -> acc +. p.seconds) 0. inputs in
+  { op = t.info.name;
+    args = t.info.detail;
+    rows = t.stats.rows;
+    ios = t.stats.ios;
+    own_ios = max 0 (t.stats.ios - kid_ios);
+    seconds = t.stats.seconds;
+    own_seconds = Float.max 0. (t.stats.seconds -. kid_seconds);
+    inputs }
+
+(* Sum two profiles of the same plan shape — used when a nested relfor
+   re-instantiates the same operator tree once per outer binding and the
+   engine wants one aggregate breakdown per compile-time site. *)
+let rec merge_profile a b =
+  { op = a.op;
+    args = a.args;
+    rows = a.rows + b.rows;
+    ios = a.ios + b.ios;
+    own_ios = a.own_ios + b.own_ios;
+    seconds = a.seconds +. b.seconds;
+    own_seconds = a.own_seconds +. b.own_seconds;
+    inputs = merge_inputs a.inputs b.inputs }
+
+and merge_inputs xs ys =
+  match (xs, ys) with
+  | [], rest | rest, [] -> rest
+  | x :: xs', y :: ys' -> merge_profile x y :: merge_inputs xs' ys'
 
 let rec pp_info ppf i =
   if String.equal i.detail "" then Format.fprintf ppf "@[<v 2>%s" i.name
@@ -55,12 +142,12 @@ let preds_detail preds =
 
 (* --- access paths ------------------------------------------------------ *)
 
-let cursor_op ~schema ~info ~make_cursor =
+let cursor_op ~schema ~info ~ios_now ~make_cursor =
   let cursor = ref (make_cursor ()) in
-  { schema;
-    next = (fun () -> !cursor ());
-    reset = (fun () -> cursor := make_cursor ());
-    info }
+  make ~schema ~info ~ios_now
+    ~next:(fun () -> !cursor ())
+    ~reset:(fun () -> cursor := make_cursor ())
+    ()
 
 let full_scan ctx alias ~preds =
   let schema = Tuple.xasr_schema alias in
@@ -77,7 +164,7 @@ let full_scan ctx alias ~preds =
     in
     pull
   in
-  cursor_op ~schema
+  cursor_op ~schema ~ios_now:(ctx_ios ctx)
     ~info:{ name = Printf.sprintf "scan XASR[%s]" alias; detail = preds_detail preds; children = [] }
     ~make_cursor
 
@@ -99,7 +186,7 @@ let label_scan ctx alias ~ntype ~value ~preds =
     in
     pull
   in
-  cursor_op ~schema
+  cursor_op ~schema ~ios_now:(ctx_ios ctx)
     ~info:
       { name = Printf.sprintf "idx-scan XASR[%s]" alias;
         detail =
@@ -108,24 +195,27 @@ let label_scan ctx alias ~ntype ~value ~preds =
         children = [] }
     ~make_cursor
 
+let no_ios () = 0
+
 let empty schema =
-  { schema;
-    next = (fun () -> None);
-    reset = (fun () -> ());
-    info = { name = "empty"; detail = "provably empty"; children = [] } }
+  make ~schema ~ios_now:no_ios
+    ~info:{ name = "empty"; detail = "provably empty"; children = [] }
+    ~next:(fun () -> None)
+    ~reset:(fun () -> ())
+    ()
 
 let singleton schema tuple =
   let produced = ref false in
-  { schema;
-    next =
-      (fun () ->
-        if !produced then None
-        else begin
-          produced := true;
-          Some tuple
-        end);
-    reset = (fun () -> produced := false);
-    info = { name = "unit"; detail = ""; children = [] } }
+  make ~schema ~ios_now:no_ios
+    ~info:{ name = "unit"; detail = ""; children = [] }
+    ~next:(fun () ->
+      if !produced then None
+      else begin
+        produced := true;
+        Some tuple
+      end)
+    ~reset:(fun () -> produced := false)
+    ()
 
 (* --- joins ------------------------------------------------------------- *)
 
@@ -220,16 +310,15 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
     left.reset ();
     current_left := None
   in
-  { schema;
-    next;
-    reset;
-    info =
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right] ~next ~reset
+    ~info:
       { name = (if preds = [] then (if semi then "semi-product" else "product")
                 else if semi then "semi-nl-join"
                 else "nl-join");
         detail =
           (if preds = [] then cache_detail else preds_detail preds ^ "; " ^ cache_detail);
-        children = [left.info; right.info] } }
+        children = [left.info; right.info] }
+    ()
 
 let bnl_join ?(block_size = 64) ~preds left right ctx =
   if block_size < 1 then invalid_arg "Phys_op.bnl_join: block_size must be positive";
@@ -301,15 +390,14 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
     block_pos := 0;
     exhausted := false
   in
-  { schema;
-    next;
-    reset;
-    info =
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right] ~next ~reset
+    ~info:
       { name = (if preds = [] then "bnl-product" else "bnl-join");
         detail =
           (if preds = [] then Printf.sprintf "block %d" block_size
            else preds_detail preds ^ Printf.sprintf "; block %d" block_size);
-        children = [left.info; right.info] } }
+        children = [left.info; right.info] }
+    ()
 
 let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
   let inner_schema = Tuple.xasr_schema alias in
@@ -392,16 +480,15 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
         (Xqdb_tpm.Tpm_print.operand_to_string o)
     | Probe_pk op -> Printf.sprintf "%s.in = %s" alias (Xqdb_tpm.Tpm_print.operand_to_string op)
   in
-  { schema;
-    next;
-    reset;
-    info =
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left] ~next ~reset
+    ~info:
       { name = (if semi then "semi-inl-join" else "inl-join");
         detail =
           probe_detail
           ^ (if preds = [] then "" else "; " ^ preds_detail preds)
           ^ (if residual = [] then "" else "; residual " ^ preds_detail residual);
-        children = [left.info] } }
+        children = [left.info] }
+    ()
 
 (* --- filter, project, sort, materialize -------------------------------- *)
 
@@ -412,10 +499,9 @@ let filter ~preds child =
     | None -> None
     | Some tuple -> if keep tuple then Some tuple else next ()
   in
-  { schema = child.schema;
-    next;
-    reset = child.reset;
-    info = { name = "filter"; detail = preds_detail preds; children = [child.info] } }
+  make ~schema:child.schema ~ios_now:child.ios_now ~kids:[child] ~next ~reset:child.reset
+    ~info:{ name = "filter"; detail = preds_detail preds; children = [child.info] }
+    ()
 
 let tuples_equal t1 t2 = Array.for_all2 Tuple.value_equal t1 t2
 
@@ -454,19 +540,18 @@ let project ~cols ~dedup child =
       let projected = Tuple.project positions tuple in
       if !accept projected then Some projected else next ()
   in
-  { schema = cols;
-    next;
-    reset =
-      (fun () ->
-        child.reset ();
-        accept := fresh_state ());
-    info =
+  make ~schema:cols ~ios_now:child.ios_now ~kids:[child] ~next
+    ~reset:(fun () ->
+      child.reset ();
+      accept := fresh_state ())
+    ~info:
       { name = "project";
         detail =
           String.concat ", "
             (List.map (fun c -> Printf.sprintf "%s.%s" c.A.rel (A.field_name c.A.field)) cols)
           ^ (if String.equal dedup_name "" then "" else "; " ^ dedup_name);
-        children = [child.info] } }
+        children = [child.info] }
+    ()
 
 let key_positions schema key_cols =
   Array.of_list (List.map (Tuple.position schema) key_cols)
@@ -481,7 +566,7 @@ let compare_on positions t1 t2 =
   in
   go 0
 
-let replay_op ~schema ~info ~fill =
+let replay_op ~schema ~info ~ios_now ~kids ~fill =
   (* Materialize-on-first-use operator over a list-producing fill. *)
   let cache = ref None in
   let pos = ref None in
@@ -493,22 +578,21 @@ let replay_op ~schema ~info ~fill =
       cache := Some c;
       c
   in
-  { schema;
-    next =
-      (fun () ->
-        let items = match !pos with
-          | Some items -> items
-          | None -> ensure ()
-        in
-        match items with
-        | [] ->
-          pos := Some [];
-          None
-        | tuple :: rest ->
-          pos := Some rest;
-          Some tuple);
-    reset = (fun () -> pos := None);
-    info }
+  make ~schema ~info ~ios_now ~kids
+    ~next:(fun () ->
+      let items = match !pos with
+        | Some items -> items
+        | None -> ensure ()
+      in
+      match items with
+      | [] ->
+        pos := Some [];
+        None
+      | tuple :: rest ->
+        pos := Some rest;
+        Some tuple)
+    ~reset:(fun () -> pos := None)
+    ()
 
 let sort ?(dedup = false) ~mode ~key_cols child ctx =
   let positions = key_positions child.schema key_cols in
@@ -555,7 +639,7 @@ let sort ?(dedup = false) ~mode ~key_cols child ctx =
     | `In_mem -> fill_mem
     | `External -> fill_external
   in
-  replay_op ~schema:child.schema
+  replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
     ~info:
       { name = (match mode with `In_mem -> "sort" | `External -> "ext-sort");
         detail =
@@ -601,7 +685,7 @@ let btree_sort ?(dedup = true) ~key_cols child ctx =
     in
     collect []
   in
-  replay_op ~schema:child.schema
+  replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
     ~info:
       { name = "btree-sort";
         detail =
@@ -614,7 +698,7 @@ let btree_sort ?(dedup = true) ~key_cols child ctx =
 let materialize where child ctx =
   match where with
   | `Mem ->
-    replay_op ~schema:child.schema
+    replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
       ~info:{ name = "materialize"; detail = "memory"; children = [child.info] }
       ~fill:(fun () -> drain child)
   | `Disk ->
@@ -639,18 +723,17 @@ let materialize where child ctx =
         hf
     in
     let started = ref false in
-    { schema = child.schema;
-      next =
-        (fun () ->
-          if not !started then begin
-            started := true;
-            cursor := Xqdb_storage.Heap_file.scan (fill ())
-          end;
-          match !cursor () with
-          | None -> None
-          | Some data -> Some (Tuple.decode data));
-      reset =
-        (fun () ->
+    make ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+      ~info:{ name = "materialize"; detail = "disk"; children = [child.info] }
+      ~next:(fun () ->
+        if not !started then begin
           started := true;
-          cursor := Xqdb_storage.Heap_file.scan (fill ()));
-      info = { name = "materialize"; detail = "disk"; children = [child.info] } }
+          cursor := Xqdb_storage.Heap_file.scan (fill ())
+        end;
+        match !cursor () with
+        | None -> None
+        | Some data -> Some (Tuple.decode data))
+      ~reset:(fun () ->
+        started := true;
+        cursor := Xqdb_storage.Heap_file.scan (fill ()))
+      ()

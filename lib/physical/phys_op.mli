@@ -37,15 +37,55 @@ type info = {
   children : info list;
 }
 
+type stats = {
+  mutable rows : int;  (** tuples produced by [next] *)
+  mutable ios : int;  (** inclusive page I/Os during [next]/[reset] *)
+  mutable seconds : float;  (** inclusive CPU seconds during [next]/[reset] *)
+}
+
 type t = {
   schema : Tuple.schema;
   next : unit -> Tuple.t option;
   reset : unit -> unit;
   info : info;
+  stats : stats;
+  kids : t list;  (** operator inputs, for profile trees *)
+  ios_now : unit -> int;
+      (** the disk I/O counter this operator is attributed against —
+          combinators without their own context inherit the child's *)
 }
 
 val pp_info : Format.formatter -> info -> unit
 val info_to_string : info -> string
+
+(** {2 Profiles}
+
+    Every operator measures itself: its [next] and [reset] closures are
+    wrapped so that rows produced, page I/Os and CPU time spent inside
+    them accumulate into [stats].  The measurements are inclusive (a
+    child only runs inside its parent's call windows); {!profile} turns
+    an operator tree into a tree of per-operator numbers with the
+    exclusive share ([own_ios], [own_seconds]) recovered by subtracting
+    the inputs' inclusive totals. *)
+
+type profile = {
+  op : string;  (** operator name, as in [info.name] *)
+  args : string;  (** operator detail, as in [info.detail] *)
+  rows : int;
+  ios : int;  (** inclusive page I/Os *)
+  own_ios : int;  (** exclusive: [ios] minus the inputs' [ios] *)
+  seconds : float;
+  own_seconds : float;
+  inputs : profile list;
+}
+
+val profile : t -> profile
+(** Snapshot the operator tree's accumulated stats. *)
+
+val merge_profile : profile -> profile -> profile
+(** Pointwise sum of two profiles of the same plan shape; used to
+    aggregate the instantiations a nested relfor makes per outer
+    binding into one breakdown per compile-time site. *)
 
 val drain : t -> Tuple.t list
 val count : t -> int

@@ -3,6 +3,10 @@ let kind_leaf = 0
 let kind_internal = 1
 let kind_meta = 2
 
+let m_node_reads = Metrics.counter "btree.node_reads"
+let m_splits = Metrics.counter "btree.splits"
+let m_inserts = Metrics.counter "btree.inserts"
+
 type t = {
   pool : Buffer_pool.t;
   meta : int;  (* page id of the meta page *)
@@ -124,6 +128,7 @@ let internal_child page key =
 (* --- find ------------------------------------------------------------- *)
 
 let rec find_from t pid key =
+  Metrics.incr m_node_reads;
   let step =
     Buffer_pool.with_page t.pool pid (fun p ->
         if Page.flags p = kind_leaf then begin
@@ -206,6 +211,7 @@ let leaf_insert t pid ~key ~cell =
           Buffer_pool.with_page_mut t.pool right (fun rp ->
               rewrite rp kind_leaf ~next:old_next right_cells);
           t.leaves <- t.leaves + 1;
+          Metrics.incr m_splits;
           Some { sep = leaf_cell_key right_cells.(0); right }
         end
       end)
@@ -248,11 +254,13 @@ let internal_insert t pid split_info =
           rewrite p kind_internal ~next:p0 left;
           Buffer_pool.with_page_mut t.pool right (fun rp ->
               rewrite rp kind_internal ~next:(internal_cell_child promoted) right_cells);
+          Metrics.incr m_splits;
           Some { sep = internal_cell_key promoted; right }
         end
       end)
 
 let rec insert_rec t pid ~key ~cell =
+  Metrics.incr m_node_reads;
   let kind = Buffer_pool.with_page t.pool pid Page.flags in
   if kind = kind_leaf then leaf_insert t pid ~key ~cell
   else begin
@@ -263,6 +271,7 @@ let rec insert_rec t pid ~key ~cell =
   end
 
 let insert t ~key ~value =
+  Metrics.incr m_inserts;
   let cell = leaf_cell ~key ~value in
   if Bytes.length cell + 4 > max_cell_size t then
     invalid_arg
@@ -272,6 +281,7 @@ let insert t ~key ~value =
    | None -> ()
    | Some { sep; right } ->
      (* Root split: grow the tree by one level. *)
+     Metrics.incr m_splits;
      let new_root = fresh_node t.pool kind_internal in
      Buffer_pool.with_page_mut t.pool new_root (fun p ->
          Page.set_next p t.root;
@@ -308,6 +318,7 @@ let delete t ~key =
 (* --- scans ------------------------------------------------------------ *)
 
 let rec leftmost_leaf t pid =
+  Metrics.incr m_node_reads;
   let step =
     Buffer_pool.with_page t.pool pid (fun p ->
         if Page.flags p = kind_leaf then None else Some (Page.next p))
@@ -317,6 +328,7 @@ let rec leftmost_leaf t pid =
   | Some child -> leftmost_leaf t child
 
 let rec leaf_for t pid key =
+  Metrics.incr m_node_reads;
   let step =
     Buffer_pool.with_page t.pool pid (fun p ->
         if Page.flags p = kind_leaf then None else Some (internal_child p key))

@@ -3,7 +3,10 @@ type frame = {
   buf : bytes;
   mutable pins : int;
   mutable dirty : bool;
-  mutable last_used : int;
+  (* Intrusive LRU list links: [lru_prev] points toward the MRU head,
+     [lru_next] toward the LRU tail. *)
+  mutable lru_prev : frame option;
+  mutable lru_next : frame option;
 }
 
 type stats = {
@@ -17,19 +20,28 @@ type t = {
   disk : Disk.t;
   cap : int;
   frames : (int, frame) Hashtbl.t;  (* page id -> frame *)
-  mutable clock : int;
+  mutable head : frame option;  (* most recently used *)
+  mutable tail : frame option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   mutable retries : int;
 }
 
+exception Pool_exhausted of string
+
+let m_hits = Metrics.counter "pool.hits"
+let m_misses = Metrics.counter "pool.misses"
+let m_evictions = Metrics.counter "pool.evictions"
+let m_retries = Metrics.counter "pool.retries"
+
 let create ?(capacity = 64) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
   { disk;
     cap = capacity;
     frames = Hashtbl.create (2 * capacity);
-    clock = 0;
+    head = None;
+    tail = None;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -47,13 +59,37 @@ let with_retries t f =
     try f () with
     | Disk.Disk_error _ when attempt < max_attempts ->
       t.retries <- t.retries + 1;
+      Metrics.incr m_retries;
       go (attempt + 1)
   in
   go 1
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+(* --- the LRU list ------------------------------------------------------ *)
+
+let detach t frame =
+  (match frame.lru_prev with
+   | Some p -> p.lru_next <- frame.lru_next
+   | None -> t.head <- frame.lru_next);
+  (match frame.lru_next with
+   | Some n -> n.lru_prev <- frame.lru_prev
+   | None -> t.tail <- frame.lru_prev);
+  frame.lru_prev <- None;
+  frame.lru_next <- None
+
+let push_front t frame =
+  frame.lru_prev <- None;
+  frame.lru_next <- t.head;
+  (match t.head with
+   | Some h -> h.lru_prev <- Some frame
+   | None -> t.tail <- Some frame);
+  t.head <- Some frame
+
+let touch t frame =
+  match t.head with
+  | Some h when h == frame -> ()
+  | Some _ | None ->
+    detach t frame;
+    push_front t frame
 
 let write_back t frame =
   if frame.dirty then begin
@@ -61,46 +97,50 @@ let write_back t frame =
     frame.dirty <- false
   end
 
-(* Evict the least-recently-used unpinned frame. *)
+(* Evict the least-recently-used unpinned frame: walk from the tail
+   toward the head, skipping pinned frames.  O(1) amortized — pins are
+   rare and short-lived — and deterministic, unlike the old full-table
+   fold whose tie-break depended on hashtable iteration order. *)
 let evict_one t =
-  let victim =
-    Hashtbl.fold
-      (fun _ frame best ->
-        if frame.pins > 0 then best
-        else
-          match best with
-          | Some b when b.last_used <= frame.last_used -> best
-          | Some _ | None -> Some frame)
-      t.frames None
+  let rec find = function
+    | None ->
+      raise
+        (Pool_exhausted
+           (Printf.sprintf "Buffer_pool: all %d frames pinned" t.cap))
+    | Some frame -> if frame.pins = 0 then frame else find frame.lru_prev
   in
-  match victim with
-  | None -> failwith "Buffer_pool: all frames pinned"
-  | Some frame ->
-    write_back t frame;
-    Hashtbl.remove t.frames frame.page_id;
-    t.evictions <- t.evictions + 1
+  let victim = find t.tail in
+  (* A failing write-back raises before the frame is unlinked, so a
+     dirty page is never dropped. *)
+  write_back t victim;
+  detach t victim;
+  Hashtbl.remove t.frames victim.page_id;
+  t.evictions <- t.evictions + 1;
+  Metrics.incr m_evictions
 
 let insert_frame t page_id buf dirty =
   if Hashtbl.length t.frames >= t.cap then evict_one t;
-  let frame = { page_id; buf; pins = 0; dirty; last_used = tick t } in
+  let frame = { page_id; buf; pins = 0; dirty; lru_prev = None; lru_next = None } in
   Hashtbl.replace t.frames page_id frame;
+  push_front t frame;
   frame
 
 let find t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some frame ->
     t.hits <- t.hits + 1;
-    frame.last_used <- tick t;
+    Metrics.incr m_hits;
+    touch t frame;
     frame
   | None ->
     t.misses <- t.misses + 1;
+    Metrics.incr m_misses;
     insert_frame t page_id (with_retries t (fun () -> Disk.read_page t.disk page_id)) false
 
 let alloc_page t =
   let page_id = with_retries t (fun () -> Disk.alloc t.disk) in
   let buf = Bytes.make (Disk.page_size t.disk) '\000' in
-  let frame = insert_frame t page_id buf true in
-  frame.last_used <- tick t;
+  ignore (insert_frame t page_id buf true);
   page_id
 
 let use t page_id ~mut f =
@@ -116,7 +156,9 @@ let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
 
 let drop_all t =
   flush_all t;
-  Hashtbl.reset t.frames
+  Hashtbl.reset t.frames;
+  t.head <- None;
+  t.tail <- None
 
 let stats t =
   { hits = t.hits; misses = t.misses; evictions = t.evictions; retries = t.retries }

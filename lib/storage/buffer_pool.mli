@@ -7,7 +7,12 @@
 
     All access goes through [with_page]/[with_page_mut], which pin the
     frame for the duration of the callback; nesting is allowed as long as
-    at most [capacity] distinct pages are pinned at once.
+    at most [capacity] distinct pages are pinned at once.  When a fetch
+    finds every frame pinned, {!Pool_exhausted} is raised.
+
+    Replacement is strict LRU over an intrusive doubly-linked frame
+    list: victim selection is O(1) amortized (a tail-ward walk skipping
+    pinned frames) and fully deterministic.
 
     Disk faults ({!Disk.Disk_error}) are retried a bounded number of
     times (transient faults injected by {!Fault_disk} clear on retry);
@@ -18,6 +23,12 @@
     it. *)
 
 type t
+
+exception Pool_exhausted of string
+(** Raised when a page must be brought in but every frame is pinned.
+    Like {!Disk.Disk_error} — and unlike a caller bug — this is a
+    runtime resource condition the engine is expected to absorb: it maps
+    to an [Io_error] run status, never to an escaped [Failure]. *)
 
 val create : ?capacity:int -> Disk.t -> t
 (** Default capacity is 64 frames. *)

@@ -166,6 +166,8 @@ let write_page t id buf =
 
 let counters t = { reads = t.reads; writes = t.writes; allocs = t.allocs }
 
+let total_ios t = t.reads + t.writes
+
 let reset_counters t =
   t.reads <- 0;
   t.writes <- 0;

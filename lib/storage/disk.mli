@@ -80,5 +80,9 @@ type counters = {
 val counters : t -> counters
 val reset_counters : t -> unit
 
+val total_ios : t -> int
+(** [reads + writes], without allocating a {!counters} record — the
+    accessor the per-operator I/O attribution polls on every tuple. *)
+
 val close : t -> unit
 (** Close the backing file, if any.  The disk must not be used after. *)

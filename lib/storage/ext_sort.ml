@@ -2,6 +2,9 @@ type phase =
   | Feeding
   | Draining
 
+let m_runs = Metrics.counter "ext_sort.runs"
+let m_merge_passes = Metrics.counter "ext_sort.merge_passes"
+
 type t = {
   pool : Buffer_pool.t;
   compare : bytes -> bytes -> int;
@@ -30,6 +33,7 @@ let create ?(run_bytes = 256 * 1024) ?(fan_in = 16) pool ~compare =
 
 let spill t =
   if t.buffer <> [] then begin
+    Metrics.incr m_runs;
     let records = List.fast_sort t.compare (List.rev t.buffer) in
     let run = Heap_file.create t.pool in
     List.iter (fun r -> ignore (Heap_file.append run r)) records;
@@ -90,6 +94,7 @@ let rec merge_all t runs =
   | runs ->
     (* One full merge pass: groups of fan_in runs each merge into a new
        run on disk, then recurse. *)
+    Metrics.incr m_merge_passes;
     let rec take n acc rest =
       match rest with
       | [] -> (List.rev acc, [])

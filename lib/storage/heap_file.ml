@@ -11,6 +11,9 @@ type rid = {
   slot : int;
 }
 
+let m_appends = Metrics.counter "heap.appends"
+let m_scans = Metrics.counter "heap.scans"
+
 let fresh_page pool =
   let id = Buffer_pool.alloc_page pool in
   Buffer_pool.with_page_mut pool id Page.init;
@@ -41,6 +44,7 @@ let page_count t = t.pages
 let record_count t = t.records
 
 let append t record =
+  Metrics.incr m_appends;
   let len = Bytes.length record in
   let psize = Disk.page_size (Buffer_pool.disk t.pool) in
   if len + 4 + Page.header_size > psize then
@@ -61,6 +65,7 @@ let append t record =
 let get t rid = Buffer_pool.with_page t.pool rid.page (fun p -> Page.read_slot p rid.slot)
 
 let iter t f =
+  Metrics.incr m_scans;
   let rec go page_id =
     let nslots, next =
       Buffer_pool.with_page t.pool page_id (fun p -> (Page.slot_count p, Page.next p))
@@ -74,6 +79,7 @@ let iter t f =
   go t.first
 
 let scan t =
+  Metrics.incr m_scans;
   let page_id = ref t.first in
   let slot = ref 0 in
   let finished = ref false in

@@ -1,0 +1,53 @@
+type counter = {
+  name : string;
+  mutable value : int;
+}
+
+(* The registry is global and append-only: counters are created once (at
+   module initialization of the instrumented subsystem) and bumped with a
+   single mutable-field write on the hot path.  Readers work on
+   snapshots, so per-query attribution is done by delta, never by
+   resetting behind a running engine's back. *)
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { name; value = 0 } in
+    Hashtbl.replace registry name c;
+    c
+
+let name c = c.name
+let value c = c.value
+let incr c = c.value <- c.value + 1
+let add c n = c.value <- c.value + n
+
+let time c f =
+  let start = Sys.time () in
+  Fun.protect
+    ~finally:(fun () ->
+      c.value <- c.value + int_of_float ((Sys.time () -. start) *. 1e6))
+    f
+
+type snapshot = (string * int) list
+
+let snapshot () =
+  Hashtbl.fold (fun _ c acc -> (c.name, c.value) :: acc) registry []
+  |> List.sort compare
+
+let get snap name =
+  match List.assoc_opt name snap with
+  | Some v -> v
+  | None -> 0
+
+(* [diff later earlier]: per-counter deltas, dropping zero entries so a
+   profile only reports the subsystems a query actually touched. *)
+let diff later earlier =
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - get earlier name in
+      if d = 0 then None else Some (name, d))
+    later
+
+let reset () = Hashtbl.iter (fun _ c -> c.value <- 0) registry

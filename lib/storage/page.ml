@@ -6,6 +6,8 @@ let get_u32 page off =
 
 let set_u32 page off v = Bytes.set_int32_le page off (Int32.of_int v)
 
+exception Page_full of string
+
 let header_size = 10
 
 (* Header fields. *)
@@ -50,7 +52,8 @@ let read_slot page i =
 
 let add_slot page record =
   let len = Bytes.length record in
-  if free_space page < len then failwith "Page.add_slot: page full";
+  if free_space page < len then
+    raise (Page_full (Printf.sprintf "Page.add_slot: %d bytes, %d free" len (free_space page)));
   let free_off = get_u16 page off_free in
   Bytes.blit record 0 page free_off len;
   let i = slot_count page in
@@ -63,7 +66,10 @@ let insert_slot_at page i record =
   let n = slot_count page in
   if i < 0 || i > n then invalid_arg "Page.insert_slot_at";
   let len = Bytes.length record in
-  if free_space page < len then failwith "Page.insert_slot_at: page full";
+  if free_space page < len then
+    raise
+      (Page_full
+         (Printf.sprintf "Page.insert_slot_at: %d bytes, %d free" len (free_space page)));
   let free_off = get_u16 page off_free in
   Bytes.blit record 0 page free_off len;
   set_slot_count page (n + 1);

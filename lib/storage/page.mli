@@ -20,6 +20,12 @@ val set_u16 : bytes -> int -> int -> unit
 val get_u32 : bytes -> int -> int
 val set_u32 : bytes -> int -> int -> unit
 
+exception Page_full of string
+(** Raised by {!add_slot} and {!insert_slot_at} when the record (plus
+    its slot entry) does not fit in the page's free space.  A typed
+    error rather than a bare [Failure] so the engine can surface it as a
+    run status instead of letting it escape. *)
+
 val header_size : int
 
 (* Slotted-page operations.  [init] must be called on a fresh page. *)
@@ -38,7 +44,7 @@ val read_slot : bytes -> int -> bytes
 
 val add_slot : bytes -> bytes -> int
 (** [add_slot page record] appends a record, returning its slot index.
-    @raise Failure if the record does not fit; callers check
+    @raise Page_full if the record does not fit; callers check
     {!free_space} first. *)
 
 val insert_slot_at : bytes -> int -> bytes -> unit

@@ -8,6 +8,7 @@ type cell = {
   page_ios : int;
   seconds : float;
   censored : bool;
+  profile : Engine.profile;
 }
 
 type table = {
@@ -42,18 +43,15 @@ let run ?(configs = Engine_config.figure7_engines)
                 test;
                 page_ios = result.Engine.page_ios;
                 seconds = result.Engine.elapsed;
-                censored = false }
+                censored = false;
+                profile = result.Engine.profile }
             | Engine.Budget_exceeded _ ->
-              let budget =
-                match List.assoc_opt test budgets with
-                | Some b -> b
-                | None -> budget
-              in
               { engine = config.Engine_config.name;
                 test;
                 page_ios = budget;
                 seconds = result.Engine.elapsed;
-                censored = true }
+                censored = true;
+                profile = result.Engine.profile }
             | Engine.Error msg -> failwith ("efficiency test errored: " ^ msg)
             | Engine.Io_error msg -> failwith ("efficiency test hit an i/o fault: " ^ msg))
           parsed)

@@ -14,6 +14,8 @@ type cell = {
   page_ios : int;  (** capped at the budget when censored *)
   seconds : float;
   censored : bool;
+  profile : Xqdb_core.Engine.profile;
+      (** full observability breakdown — partial on censored runs *)
 }
 
 type table = {

@@ -1,0 +1,445 @@
+module Engine = Xqdb_core.Engine
+module Storage = Xqdb_storage
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(* --- writer ------------------------------------------------------------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_to_json f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_json f)
+  | Str s -> escape_to buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write_to buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        write_to buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 4096 in
+  write_to buf json;
+  Buffer.contents buf
+
+let write_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string json);
+      output_char oc '\n')
+
+(* --- parser ------------------------------------------------------------- *)
+
+exception Bad of string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Bad (Printf.sprintf "at %d: %s" !pos msg))) fmt in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c, found %c" c c'
+    | None -> fail "expected %c, found end of input" c
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub input !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'; advance ()
+         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+         | Some '/' -> Buffer.add_char buf '/'; advance ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub input !pos 4 in
+           pos := !pos + 4;
+           let code =
+             try int_of_string ("0x" ^ hex) with Failure _ -> fail "bad \\u escape %s" hex
+           in
+           (* Code points beyond one byte round-trip as UTF-8. *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | Some c -> fail "bad escape \\%c" c
+         | None -> fail "unterminated escape");
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char input.[!pos] do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number %s" text
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail "bad number %s" text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (fields [])
+      end
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | Some c -> fail "unexpected character %c" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* --- serializers -------------------------------------------------------- *)
+
+let rec op_json (o : Engine.op_profile) =
+  Obj
+    [ ("op", Str o.op);
+      ("args", Str o.args);
+      ("rows", Int o.rows);
+      ("ios", Int o.ios);
+      ("own_ios", Int o.own_ios);
+      ("seconds", Float o.seconds);
+      ("own_seconds", Float o.own_seconds);
+      ("inputs", Arr (List.map op_json o.inputs)) ]
+
+let profile_json (p : Engine.profile) =
+  Obj
+    [ ("reads", Int p.reads);
+      ("writes", Int p.writes);
+      ("allocs", Int p.allocs);
+      ( "pool",
+        Obj
+          [ ("hits", Int p.pool.Storage.Buffer_pool.hits);
+            ("misses", Int p.pool.Storage.Buffer_pool.misses);
+            ("evictions", Int p.pool.Storage.Buffer_pool.evictions);
+            ("retries", Int p.pool.Storage.Buffer_pool.retries) ] );
+      ("counters", Obj (List.map (fun (name, v) -> (name, Int v)) p.counters));
+      ("operator_ios", Int p.operator_ios);
+      ("other_ios", Int p.other_ios);
+      ("operators", Arr (List.map op_json p.operators)) ]
+
+let result_json ~engine ~test (r : Engine.result) =
+  Obj
+    [ ("engine", Str engine);
+      ("test", Str test);
+      ("page_ios", Int r.page_ios);
+      ("seconds", Float r.elapsed);
+      ( "censored",
+        Bool (match r.status with Engine.Budget_exceeded _ -> true | _ -> false) );
+      ("profile", profile_json r.profile) ]
+
+let cell_json (c : Efficiency.cell) =
+  Obj
+    [ ("engine", Str c.engine);
+      ("test", Str c.test);
+      ("page_ios", Int c.page_ios);
+      ("seconds", Float c.seconds);
+      ("censored", Bool c.censored);
+      ("profile", profile_json c.profile) ]
+
+let schema_version = 1
+
+let bench_json ~kind extra ~results =
+  Obj
+    ((("schema_version", Int schema_version) :: ("kind", Str kind) :: extra)
+    @ [("results", Arr results)])
+
+let fig7_json (table : Efficiency.table) =
+  bench_json ~kind:"fig7"
+    [("budget", Int table.budget)]
+    ~results:(List.map cell_json table.cells)
+
+(* --- validation --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let need what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %s" what)
+
+let as_int what = function
+  | Int i -> Ok i
+  | _ -> Error (Printf.sprintf "%s is not an integer" what)
+
+let as_number what = function
+  | Int i -> Ok (float_of_int i)
+  | Float f -> Ok f
+  | _ -> Error (Printf.sprintf "%s is not a number" what)
+
+let as_str what = function
+  | Str s -> Ok s
+  | _ -> Error (Printf.sprintf "%s is not a string" what)
+
+let as_bool what = function
+  | Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "%s is not a boolean" what)
+
+let as_arr what = function
+  | Arr items -> Ok items
+  | _ -> Error (Printf.sprintf "%s is not an array" what)
+
+let int_field obj name =
+  let* v = need name (member name obj) in
+  as_int name v
+
+let rec validate_op op =
+  let* _ = need "op" (member "op" op) in
+  let* ios = int_field op "ios" in
+  let* own = int_field op "own_ios" in
+  let* rows = int_field op "rows" in
+  if rows < 0 then Error "negative rows"
+  else if own < 0 then Error "negative own_ios"
+  else
+    let* inputs = need "inputs" (member "inputs" op) in
+    let* inputs = as_arr "inputs" inputs in
+    let* kid_ios =
+      List.fold_left
+        (fun acc input ->
+          let* acc = acc in
+          let* () = validate_op input in
+          let* i = int_field input "ios" in
+          Ok (acc + i))
+        (Ok 0) inputs
+    in
+    if own + kid_ios <> ios then
+      Error
+        (Printf.sprintf "operator I/O does not partition: own %d + inputs %d <> %d" own
+           kid_ios ios)
+    else Ok ()
+
+let validate_profile p =
+  let* reads = int_field p "reads" in
+  let* writes = int_field p "writes" in
+  let* op_ios = int_field p "operator_ios" in
+  let* other = int_field p "other_ios" in
+  if op_ios + other <> reads + writes then
+    Error
+      (Printf.sprintf "profile does not reconcile: operator %d + other %d <> reads %d + writes %d"
+         op_ios other reads writes)
+  else
+    let* operators = need "operators" (member "operators" p) in
+    let* operators = as_arr "operators" operators in
+    let* roots_ios =
+      List.fold_left
+        (fun acc op ->
+          let* acc = acc in
+          let* () = validate_op op in
+          let* i = int_field op "ios" in
+          Ok (acc + i))
+        (Ok 0) operators
+    in
+    if roots_ios <> op_ios then
+      Error (Printf.sprintf "operator_ios %d <> sum of operator roots %d" op_ios roots_ios)
+    else
+      let* pool = need "pool" (member "pool" p) in
+      let* _ = int_field pool "hits" in
+      let* _ = int_field pool "misses" in
+      Ok ()
+
+let validate_result r =
+  let* engine = need "engine" (member "engine" r) in
+  let* _ = as_str "engine" engine in
+  let* test = need "test" (member "test" r) in
+  let* _ = as_str "test" test in
+  let* _ = int_field r "page_ios" in
+  let* seconds = need "seconds" (member "seconds" r) in
+  let* _ = as_number "seconds" seconds in
+  let* censored = need "censored" (member "censored" r) in
+  let* censored = as_bool "censored" censored in
+  match member "profile" r with
+  | None -> Error "missing field profile"
+  | Some profile ->
+    (* A censored run's page_ios is the assigned budget, not the raw
+       counter delta, so only uncensored results must reconcile against
+       the top-level number; the profile must still be self-consistent. *)
+    let* () = validate_profile profile in
+    if censored then Ok ()
+    else
+      let* page_ios = int_field r "page_ios" in
+      let* reads = int_field profile "reads" in
+      let* writes = int_field profile "writes" in
+      if reads + writes <> page_ios then
+        Error
+          (Printf.sprintf "page_ios %d <> profile reads %d + writes %d" page_ios reads writes)
+      else Ok ()
+
+let validate_bench json =
+  let* version = need "schema_version" (member "schema_version" json) in
+  let* version = as_int "schema_version" version in
+  if version <> schema_version then
+    Error (Printf.sprintf "unsupported schema_version %d" version)
+  else
+    let* kind = need "kind" (member "kind" json) in
+    let* _ = as_str "kind" kind in
+    let* results = need "results" (member "results" json) in
+    let* results = as_arr "results" results in
+    if results = [] then Error "empty results"
+    else
+      List.fold_left
+        (fun acc r ->
+          let* () = acc in
+          validate_result r)
+        (Ok ()) results
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let* json = parse contents in
+  validate_bench json

@@ -1,0 +1,83 @@
+(** Machine-readable benchmark reports.
+
+    A minimal JSON value type with a writer and a (strict, recursive
+    descent) parser — deliberately hand-rolled so the testbed carries no
+    dependency beyond the standard library — plus serializers for the
+    engine profiles and efficiency tables the benches emit as
+    [BENCH_*.json], and a sanity validator CI runs over those files.
+
+    Schema, stable across the [schema_version] field:
+
+    {v
+    { "schema_version": 1,
+      "kind": "fig7" | "ablations" | "milestones",
+      "budget": int,              (fig7 only)
+      "results": [
+        { "engine": str, "test": str,
+          "page_ios": int, "seconds": float, "censored": bool,
+          "profile": {
+            "reads": int, "writes": int, "allocs": int,
+            "pool": {"hits": int, "misses": int, "evictions": int,
+                     "retries": int},
+            "counters": {<metric name>: int, ...},
+            "operator_ios": int, "other_ios": int,
+            "operators": [<op>, ...] } } ] }
+    v}
+
+    where each [<op>] is [{ "op": str, "args": str, "rows": int,
+    "ios": int, "own_ios": int, "seconds": float, "own_seconds": float,
+    "inputs": [<op>, ...] }]. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact rendering with full string escaping. *)
+
+val parse : string -> (json, string) result
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Numbers with [.], [e] or [E] become [Float], others [Int]. *)
+
+val member : string -> json -> json option
+(** Field lookup; [None] when absent or not an object. *)
+
+val write_file : string -> json -> unit
+
+(* --- serializers -------------------------------------------------------- *)
+
+val profile_json : Xqdb_core.Engine.profile -> json
+
+val result_json :
+  engine:string -> test:string -> Xqdb_core.Engine.result -> json
+(** One engine × test measurement with its full profile. *)
+
+val cell_json : Efficiency.cell -> json
+
+val fig7_json : Efficiency.table -> json
+(** The whole Figure-7 table: [kind = "fig7"]. *)
+
+val bench_json :
+  kind:string ->
+  (string * json) list ->
+  results:json list ->
+  json
+(** Generic report envelope: [schema_version], [kind], extra top-level
+    fields, and the [results] array. *)
+
+(* --- validation --------------------------------------------------------- *)
+
+val validate_bench : json -> (unit, string) result
+(** The sanity check CI applies to every [BENCH_*.json]: the envelope
+    fields are present and well-typed, every result carries the
+    engine/test/page_ios/seconds/censored quintet, and every embedded
+    profile reconciles ([reads + writes = operator_ios + other_ios],
+    operator trees internally consistent). *)
+
+val validate_file : string -> (unit, string) result
+(** Read, parse and {!validate_bench} one file. *)

@@ -105,6 +105,76 @@ let merging_ablation_agrees =
       in
       outcome Config.m4 = outcome unmerged)
 
+(* --- profiles: counters reconcile --------------------------------------------- *)
+
+(* Attribution is never negative: every operator's inclusive I/O covers
+   its inputs', so the exclusive share really partitions the total. *)
+let rec op_profile_consistent (p : Engine.op_profile) =
+  let kid_ios =
+    List.fold_left (fun acc (c : Engine.op_profile) -> acc + c.Engine.ios) 0 p.Engine.inputs
+  in
+  p.Engine.rows >= 0
+  && p.Engine.ios >= kid_ios
+  && p.Engine.own_ios + kid_ios = p.Engine.ios
+  && List.for_all op_profile_consistent p.Engine.inputs
+
+(* The reconciliation property of the observability layer: per-operator
+   attributed I/Os plus the engine's residual equal the run's page I/Os,
+   which equal the raw disk-counter delta; pool and storage-structure
+   counter deltas are consistent; and nothing leaks between queries —
+   profiles are deltas, so a second run reconciles on its own. *)
+let profiles_reconcile =
+  QCheck2.Test.make ~name:"profiles reconcile with disk counters" ~count:100
+    G.(pair Test_support.Gen.forest_gen Test_support.Gen.xq_gen)
+    (fun (forest, query) ->
+      let base = Engine.load_forest ~config:Config.m1 forest in
+      let reconciles config =
+        let engine = Engine.with_config config base in
+        let disk = Engine.disk engine in
+        let check () =
+          let before = Xqdb_storage.Disk.total_ios disk in
+          let result = Engine.run engine query in
+          let delta = Xqdb_storage.Disk.total_ios disk - before in
+          let p = result.Engine.profile in
+          result.Engine.page_ios = delta
+          && p.Engine.reads + p.Engine.writes = delta
+          && p.Engine.operator_ios + p.Engine.other_ios = result.Engine.page_ios
+          && p.Engine.other_ios >= 0
+          && p.Engine.operator_ios
+             = List.fold_left
+                 (fun acc (o : Engine.op_profile) -> acc + o.Engine.ios)
+                 0 p.Engine.operators
+          && List.for_all op_profile_consistent p.Engine.operators
+          && p.Engine.pool.Xqdb_storage.Buffer_pool.hits >= 0
+          && p.Engine.pool.Xqdb_storage.Buffer_pool.misses >= 0
+          && List.for_all (fun (_, v) -> v >= 0) p.Engine.counters
+        in
+        (* Twice: the second run must reconcile independently of the
+           first (deltas, not absolute counters). *)
+        check () && check ()
+      in
+      List.for_all reconciles Config.all_presets)
+
+(* Algebraic runs actually attribute work to operators: a query with a
+   relfor yields a non-empty operator breakdown with the rows it
+   produced. *)
+let test_profile_operators () =
+  let engine = Lazy.force journal_engine in
+  let result = Engine.run engine (Xqdb_xq.Xq_parser.parse example2) in
+  let p = result.Engine.profile in
+  Alcotest.(check bool) "operator breakdown present" true (p.Engine.operators <> []);
+  let rows_somewhere =
+    List.exists (fun (o : Engine.op_profile) -> o.Engine.rows > 0) p.Engine.operators
+  in
+  Alcotest.(check bool) "rows counted" true rows_somewhere;
+  (* The journal document is small — everything fits in the pool — but
+     loading did real I/O, so the pool saw traffic and the profile's
+     counter section carries storage-structure names. *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " non-negative") true (v >= 0))
+    p.Engine.counters
+
 (* --- budgets and errors ------------------------------------------------------ *)
 
 let test_budget_censoring () =
@@ -138,6 +208,32 @@ let test_type_errors_reported () =
         if config.Config.milestone = Config.M1 || config.Config.milestone = Config.M2 then
           Alcotest.failf "%s should raise a type error" config.Config.name)
     Config.all_presets
+
+(* A query against a fully-pinned pool must end in a proper status — the
+   typed Pool_exhausted maps to Io_error — never an escaped exception. *)
+let test_pool_exhausted_censors () =
+  let config = { Config.m4 with Config.pool_capacity = 4 } in
+  let engine =
+    Engine.load_forest ~config [W.Dblp_gen.generate (W.Dblp_gen.scaled 100)]
+  in
+  let pool = Engine.pool engine in
+  let q = Xqdb_xq.Xq_parser.parse "for $x in //article return $x" in
+  let rec pinning pages k =
+    match pages with
+    | [] -> k ()
+    | p :: rest -> Xqdb_storage.Buffer_pool.with_page pool p (fun _ -> pinning rest k)
+  in
+  (* Pin a full pool's worth of frames, then run: the first fetch of any
+     other page has no evictable frame. *)
+  let result = pinning [0; 1; 2; 3] (fun () -> Engine.run engine q) in
+  (match result.Engine.status with
+   | Engine.Io_error _ -> ()
+   | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ ->
+     Alcotest.fail "expected Io_error from a fully pinned pool");
+  (* Pins released: the same engine works again. *)
+  match (Engine.run engine q).Engine.status with
+  | Engine.Ok -> ()
+  | _ -> Alcotest.fail "engine should recover once pins are released"
 
 let test_check_rejects_bad_queries () =
   let engine = Lazy.force journal_engine in
@@ -256,9 +352,13 @@ let () =
         [ prop engines_agree;
           prop naive_rewrite_agrees;
           prop merging_ablation_agrees ] );
+      ( "profiles",
+        [ prop profiles_reconcile;
+          Alcotest.test_case "operator breakdown" `Quick test_profile_operators ] );
       ( "budgets and errors",
         [ Alcotest.test_case "censoring" `Quick test_budget_censoring;
           Alcotest.test_case "type errors" `Quick test_type_errors_reported;
+          Alcotest.test_case "pool exhaustion censors" `Quick test_pool_exhausted_censors;
           Alcotest.test_case "static checks" `Quick test_check_rejects_bad_queries;
           Alcotest.test_case "prepared queries" `Quick test_prepared_queries ] );
       ( "introspection",

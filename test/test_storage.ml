@@ -81,8 +81,55 @@ let test_pool_all_pinned () =
   let pool = S.Buffer_pool.create ~capacity:1 disk in
   let p1 = S.Buffer_pool.alloc_page pool in
   match S.Buffer_pool.with_page pool p1 (fun _ -> S.Buffer_pool.alloc_page pool) with
-  | _ -> Alcotest.fail "expected failure when all frames are pinned"
-  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Pool_exhausted when all frames are pinned"
+  | exception S.Buffer_pool.Pool_exhausted _ -> ()
+
+(* Every frame pinned at once, up to capacity — the next fetch must raise
+   the typed exception, and releasing one pin must make the pool usable
+   again. *)
+let test_pool_exhausted_recovers () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:3 disk in
+  let pages = List.init 4 (fun _ -> S.Buffer_pool.alloc_page pool) in
+  let p0, p1, p2, p3 =
+    match pages with [a; b; c; d] -> (a, b, c, d) | _ -> assert false
+  in
+  S.Buffer_pool.with_page pool p0 (fun _ ->
+      S.Buffer_pool.with_page pool p1 (fun _ ->
+          S.Buffer_pool.with_page pool p2 (fun _ ->
+              match S.Buffer_pool.with_page pool p3 ignore with
+              | _ -> Alcotest.fail "expected Pool_exhausted with every frame pinned"
+              | exception S.Buffer_pool.Pool_exhausted _ -> ())));
+  (* All pins released: the fetch that just failed now succeeds. *)
+  S.Buffer_pool.with_page pool p3 ignore
+
+(* Victim selection is strict LRU over access order — deterministic, not
+   dependent on hashtable iteration order. *)
+let test_pool_lru_order () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:3 disk in
+  let pages = Array.init 4 (fun _ -> S.Buffer_pool.alloc_page pool) in
+  S.Buffer_pool.flush_all pool;
+  S.Buffer_pool.drop_all pool;
+  (* Access 0, 1, 2, then re-touch 0: LRU order is now 1, 2, 0. *)
+  S.Buffer_pool.with_page pool pages.(0) ignore;
+  S.Buffer_pool.with_page pool pages.(1) ignore;
+  S.Buffer_pool.with_page pool pages.(2) ignore;
+  S.Buffer_pool.with_page pool pages.(0) ignore;
+  S.Buffer_pool.reset_stats pool;
+  (* Fetching page 3 evicts page 1 (the LRU), so 2 and 0 are still hits. *)
+  S.Buffer_pool.with_page pool pages.(3) ignore;
+  S.Buffer_pool.with_page pool pages.(2) ignore;
+  S.Buffer_pool.with_page pool pages.(0) ignore;
+  let stats = S.Buffer_pool.stats pool in
+  Alcotest.(check int) "one miss (the new page)" 1 stats.S.Buffer_pool.misses;
+  Alcotest.(check int) "survivors hit" 2 stats.S.Buffer_pool.hits;
+  Alcotest.(check int) "one eviction" 1 stats.S.Buffer_pool.evictions;
+  (* And page 1 is gone: touching it evicts the then-LRU page 3. *)
+  S.Buffer_pool.reset_stats pool;
+  S.Buffer_pool.with_page pool pages.(1) ignore;
+  let stats = S.Buffer_pool.stats pool in
+  Alcotest.(check int) "evicted page misses" 1 stats.S.Buffer_pool.misses
 
 (* --- slotted pages --------------------------------------------------------- *)
 
@@ -115,7 +162,15 @@ let test_page_overflow () =
     done
   with
   | () -> Alcotest.fail "expected page overflow"
-  | exception Failure _ -> ()
+  | exception S.Page.Page_full _ -> ()
+
+let test_page_overflow_insert_at () =
+  let page = Bytes.make 64 '\000' in
+  S.Page.init page;
+  ignore (S.Page.add_slot page (Bytes.of_string "0123456789"));
+  match S.Page.insert_slot_at page 0 (Bytes.create 60) with
+  | () -> Alcotest.fail "expected page overflow"
+  | exception S.Page.Page_full _ -> ()
 
 (* --- codecs ---------------------------------------------------------------- *)
 
@@ -577,6 +632,43 @@ let test_pool_hard_write_fault () =
   Alcotest.(check char) "persisted after recovery" 'q'
     (Bytes.get (S.Disk.read_page disk p1) 0)
 
+(* An oversized record is rejected up front by the size pre-check, as a
+   caller error — it must never surface as a Page_full from deep inside a
+   node operation. *)
+let test_btree_oversize () =
+  let _, pool = fresh_pool ~page_size:256 () in
+  let bt = S.Btree.create pool in
+  match S.Btree.insert bt ~key:(enc_int 1) ~value:(Bytes.create 200) with
+  | () -> Alcotest.fail "oversized cell should be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- metrics ------------------------------------------------------------------ *)
+
+let test_metrics () =
+  let c = S.Metrics.counter "test.counter" in
+  Alcotest.(check bool) "find-or-create returns the same counter" true
+    (c == S.Metrics.counter "test.counter");
+  let before = S.Metrics.snapshot () in
+  S.Metrics.incr c;
+  S.Metrics.add c 4;
+  let after = S.Metrics.snapshot () in
+  Alcotest.(check int) "delta" 5
+    (S.Metrics.get after "test.counter" - S.Metrics.get before "test.counter");
+  Alcotest.(check int) "diff reports the delta" 5
+    (S.Metrics.get (S.Metrics.diff after before) "test.counter");
+  Alcotest.(check int) "absent counter reads 0" 0 (S.Metrics.get after "no.such.counter");
+  (* Storage structures feed the registry: a pool miss shows up. *)
+  let snap = S.Metrics.snapshot () in
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:2 disk in
+  let p = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.drop_all pool;
+  S.Buffer_pool.with_page pool p ignore;
+  S.Buffer_pool.with_page pool p ignore;
+  let d = S.Metrics.diff (S.Metrics.snapshot ()) snap in
+  Alcotest.(check int) "pool.misses delta" 1 (S.Metrics.get d "pool.misses");
+  Alcotest.(check int) "pool.hits delta" 1 (S.Metrics.get d "pool.hits")
+
 (* Insert-only workloads must keep every page reasonably full: splits
    leave at least the occupancy floor on both sides. *)
 let btree_occupancy =
@@ -597,10 +689,14 @@ let () =
           Alcotest.test_case "file-backed" `Quick test_disk_file ] );
       ( "buffer pool",
         [ Alcotest.test_case "eviction and persistence" `Quick test_buffer_pool;
-          Alcotest.test_case "all pinned" `Quick test_pool_all_pinned ] );
+          Alcotest.test_case "all pinned" `Quick test_pool_all_pinned;
+          Alcotest.test_case "exhaustion recovers" `Quick test_pool_exhausted_recovers;
+          Alcotest.test_case "LRU eviction order" `Quick test_pool_lru_order ] );
       ( "pages",
         [ Alcotest.test_case "slots" `Quick test_page_slots;
-          Alcotest.test_case "overflow" `Quick test_page_overflow ] );
+          Alcotest.test_case "overflow" `Quick test_page_overflow;
+          Alcotest.test_case "overflow on ordered insert" `Quick test_page_overflow_insert_at ] );
+      ("metrics", [Alcotest.test_case "registry and deltas" `Quick test_metrics]);
       ( "codecs",
         [ Alcotest.test_case "round trip" `Quick test_codec_roundtrip;
           prop key_int_order;
@@ -622,7 +718,8 @@ let () =
           prop btree_occupancy;
           Alcotest.test_case "replace and reopen" `Quick test_btree_replace_and_meta;
           Alcotest.test_case "bulk load" `Quick test_btree_bulk_load;
-          Alcotest.test_case "prefix scan" `Quick test_btree_prefix_scan ] );
+          Alcotest.test_case "prefix scan" `Quick test_btree_prefix_scan;
+          Alcotest.test_case "oversized cell" `Quick test_btree_oversize ] );
       ( "external sort",
         [ prop ext_sort_property;
           Alcotest.test_case "spilling" `Quick test_ext_sort_spill ] );

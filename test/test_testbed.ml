@@ -139,6 +139,90 @@ let test_differential_fault_sweep () =
     (T.Differential.rerun_failures report);
   Alcotest.(check bool) "report passes" true (T.Differential.ok report)
 
+(* --- machine-readable reports --------------------------------------------------- *)
+
+module R = T.Report
+
+let json = Alcotest.testable (fun ppf j -> Fmt.string ppf (R.to_string j)) ( = )
+
+let test_report_roundtrip () =
+  let samples =
+    [ R.Null; R.Bool true; R.Int 0; R.Int (-42); R.Float 1.5; R.Str "";
+      R.Str "a \"quoted\" back\\slash\nnewline \t tab \x01 control";
+      R.Arr []; R.Obj [];
+      R.Obj
+        [ ("xs", R.Arr [R.Int 1; R.Float (-0.25); R.Str "α β"]);
+          ("nested", R.Obj [("deep", R.Arr [R.Obj [("k", R.Null)]])]) ] ]
+  in
+  List.iter
+    (fun v ->
+      match R.parse (R.to_string v) with
+      | Ok v' -> Alcotest.check json (R.to_string v) v v'
+      | Error msg -> Alcotest.failf "%s does not re-parse: %s" (R.to_string v) msg)
+    samples
+
+let test_report_parser_strict () =
+  List.iter
+    (fun src ->
+      match R.parse src with
+      | Ok _ -> Alcotest.failf "%S should not parse" src
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "{\"a\" 1}"; "tru"; "1 2"; "{} garbage";
+      "\"unterminated"; "\"bad \\x escape\""; "[1, 2" ]
+
+let test_report_member () =
+  let obj = R.Obj [("a", R.Int 1); ("b", R.Str "x")] in
+  Alcotest.(check bool) "present" true (R.member "a" obj = Some (R.Int 1));
+  Alcotest.(check bool) "absent" true (R.member "c" obj = None);
+  Alcotest.(check bool) "not an object" true (R.member "a" (R.Arr []) = None)
+
+(* End to end: a small efficiency table serializes, re-parses, and passes
+   the CI validator; corrupting the reconciliation invariant fails it. *)
+let test_report_validates () =
+  let table =
+    T.Efficiency.run ~configs:[Config.engine1] ~scale:150 ~budget:40_000
+      ~budgets:[] ~seconds_cap:30.0 ()
+  in
+  let report = R.fig7_json table in
+  (match R.parse (R.to_string report) with
+   | Ok reparsed -> Alcotest.check json "survives the wire" report reparsed
+   | Error msg -> Alcotest.failf "report does not re-parse: %s" msg);
+  (match R.validate_bench report with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "fresh report invalid: %s" msg);
+  (* Break reads + writes = operator_ios + other_ios in the first profile. *)
+  let rec corrupt = function
+    | R.Obj fields ->
+      R.Obj
+        (List.map
+           (function
+             | ("other_ios", R.Int n) -> ("other_ios", R.Int (n + 1))
+             | (k, v) -> (k, corrupt v))
+           fields)
+    | R.Arr xs -> R.Arr (List.map corrupt xs)
+    | v -> v
+  in
+  (match R.validate_bench (corrupt report) with
+   | Ok () -> Alcotest.fail "corrupted report still validates"
+   | Error _ -> ());
+  (match R.validate_bench (R.Obj [("schema_version", R.Int 999)]) with
+   | Ok () -> Alcotest.fail "wrong schema_version accepted"
+   | Error _ -> ())
+
+let test_report_file_io () =
+  let file = Filename.temp_file "xqdb_bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let table =
+        T.Efficiency.run ~configs:[Config.engine2] ~scale:120 ~budget:40_000
+          ~budgets:[] ~seconds_cap:30.0 ()
+      in
+      R.write_file file (R.fig7_json table);
+      match R.validate_file file with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "written file invalid: %s" msg)
+
 (* --- grading system (Section 3) ------------------------------------------------ *)
 
 let test_grading () =
@@ -208,6 +292,12 @@ let () =
         [ Alcotest.test_case "clean oracle run" `Quick test_differential_clean;
           Alcotest.test_case "seeded generation" `Quick test_differential_deterministic;
           Alcotest.test_case "fault sweep" `Quick test_differential_fault_sweep ] );
+      ( "reports",
+        [ Alcotest.test_case "json roundtrip" `Quick test_report_roundtrip;
+          Alcotest.test_case "parser is strict" `Quick test_report_parser_strict;
+          Alcotest.test_case "member" `Quick test_report_member;
+          Alcotest.test_case "validator" `Slow test_report_validates;
+          Alcotest.test_case "file io" `Slow test_report_file_io ] );
       ( "grading (Section 3)",
         [ Alcotest.test_case "course grades" `Slow test_grading;
           Alcotest.test_case "submission report" `Slow test_submission_report ] ) ]
