@@ -174,6 +174,44 @@ let ablations () =
     write_report "BENCH_ablations.json"
       (T.Report.bench_json ~kind:"ablations" [] ~results:(List.rev !collected))
 
+(* --- plan templates ------------------------------------------------------------ *)
+
+(* The compile-once claim, observable: a constructor between two nested
+   for-loops blocks relfor merging, so the inner loop stays its own plan
+   site and is re-entered once per outer article.  Template counts must
+   stay at the number of relfor sites while binds (and data) scale. *)
+let templates () =
+  header "Parameterized plan templates: compile once, bind per outer tuple";
+  let scales = if !quick then [60; 180] else [200; 800] in
+  let query =
+    "for $x in //article return <entry>{ for $a in $x/author return $a }</entry>"
+  in
+  Printf.printf "query: %s\n" query;
+  let collected = ref [] in
+  List.iter
+    (fun scale ->
+      let forest = [W.Dblp_gen.generate (W.Dblp_gen.scaled scale)] in
+      let config = { Config.m4 with Config.pool_capacity = 48 } in
+      let result = measure ~forest config query in
+      let counter name =
+        match List.assoc_opt name result.Engine.profile.Engine.counters with
+        | Some v -> v
+        | None -> 0
+      in
+      Printf.printf "  scale %-6d %8d page I/Os  %8.3fs  %d templates  %d binds\n%!"
+        scale result.Engine.page_ios result.Engine.elapsed
+        (counter "planner.templates_built")
+        (counter "planner.template_binds");
+      collected :=
+        T.Report.result_json
+          ~extra:[("scale", T.Report.Int scale)]
+          ~engine:config.Config.name ~test:"nested-constructor" result
+        :: !collected)
+    scales;
+  if !json_mode then
+    write_report "BENCH_templates.json"
+      (T.Report.bench_json ~kind:"templates" [] ~results:(List.rev !collected))
+
 (* --- Bechamel micro-benchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -234,7 +272,7 @@ let bechamel () =
 
 let sections =
   [ ("fig7", fig7); ("fig6", fig6); ("milestones", milestones); ("ablations", ablations);
-    ("bechamel", bechamel) ]
+    ("templates", templates); ("bechamel", bechamel) ]
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in

@@ -108,20 +108,64 @@ let differential_cmd =
           milestone-1 reference, optionally under injected disk faults.")
     Term.(const differential_action $ seed $ count $ fault_rate $ fault_seeds)
 
+(* --- explain: golden EXPLAIN rendering ----------------------------------- *)
+
+let explain_config =
+  Arg.(
+    value
+    & opt string "m4"
+    & info ["config"] ~docv:"NAME"
+        ~doc:"Milestone configuration to explain under: m1, m2, m3 or m4.")
+
+let explain_action name =
+  match T.Explain_suite.render name with
+  | Ok text -> print_string text
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render the staged compilation pipeline (EXPLAIN) of all 16 public queries \
+          over the fixed Figure-2 document — the text the golden tests diff.")
+    Term.(const explain_action $ explain_config)
+
 (* --- check-bench: CI's sanity check over BENCH_*.json -------------------- *)
 
 let bench_files =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"Report file to validate.")
 
-let check_bench_action files =
+let require_constant_templates =
+  Arg.(
+    value & flag
+    & info ["require-constant-templates"]
+        ~doc:
+          "Additionally require that every (engine, test) pair shows the same \
+           templates_built across all its results — the compile-once invariant \
+           under data scaling.")
+
+let check_bench_action constant_templates files =
   let failed = ref false in
   List.iter
     (fun file ->
-      match T.Report.validate_file file with
+      (match T.Report.validate_file file with
       | Ok () -> Printf.printf "%s: ok\n" file
       | Error msg ->
         Printf.printf "%s: INVALID: %s\n" file msg;
-        failed := true)
+        failed := true);
+      if constant_templates && not !failed then
+        match T.Report.parse_file file with
+        | Error msg ->
+          Printf.printf "%s: INVALID: %s\n" file msg;
+          failed := true
+        | Ok json ->
+          (match T.Report.validate_constant_templates json with
+          | Ok () -> Printf.printf "%s: templates constant\n" file
+          | Error msg ->
+            Printf.printf "%s: INVALID: %s\n" file msg;
+            failed := true))
     files;
   if !failed then exit 1
 
@@ -132,11 +176,13 @@ let check_bench_cmd =
          "Validate machine-readable benchmark reports: schema envelope, result \
           quintets, and profile reconciliation (reads + writes = operator_ios + \
           other_ios, operator trees internally consistent).")
-    Term.(const check_bench_action $ bench_files)
+    Term.(const check_bench_action $ require_constant_templates $ bench_files)
 
 let () =
   let info =
     Cmd.info "xqdb-testbed" ~doc:"Correctness and efficiency testbed for the XQ engines"
   in
   exit
-    (Cmd.eval (Cmd.group ~default:run_term info [run_cmd; differential_cmd; check_bench_cmd]))
+    (Cmd.eval
+       (Cmd.group ~default:run_term info
+          [run_cmd; differential_cmd; explain_cmd; check_bench_cmd]))

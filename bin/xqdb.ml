@@ -97,17 +97,31 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQ query against a document.") term
 
 let explain_cmd =
-  let action xml config query =
+  let analyze_term =
+    Arg.(
+      value & flag
+      & info ["analyze"]
+          ~doc:
+            "Also execute the query and append the measured per-site operator \
+             profiles (rows, page I/Os, seconds).")
+  in
+  let action xml config query analyze =
     match Xqdb_xq.Xq_parser.parse_result query with
     | Error msg -> Error (`Msg ("parse error: " ^ msg))
     | Ok q ->
       let engine = Engine.load ~config xml in
-      print_endline (Engine.explain engine q);
+      print_endline (Engine.explain ~analyze engine q);
       Ok ()
   in
-  let term = Term.(term_result (const action $ doc_term $ engine_term $ query_term)) in
+  let term =
+    Term.(term_result (const action $ doc_term $ engine_term $ query_term $ analyze_term))
+  in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the TPM rewriting and physical plans for a query.")
+    (Cmd.info "explain"
+       ~doc:
+         "Show every stage of the compilation pipeline: source AST, TPM after each \
+          logical pass, and the parameterized physical plan template of every relfor \
+          site.")
     term
 
 let label_cmd =

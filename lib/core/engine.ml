@@ -20,6 +20,20 @@ module Op = Xqdb_physical.Phys_op
 module Tuple = Xqdb_physical.Tuple
 module Stats = Xqdb_optimizer.Stats
 module Planner = Xqdb_optimizer.Planner
+module Plan_ir = Xqdb_plan.Plan_ir
+module Pipeline = Xqdb_plan.Pipeline
+
+(* A compiled query: milestones 1/2 evaluate the AST directly; 3/4 hold
+   the whole staged pipeline output (every IR stage plus the physical
+   form with one plan template per relfor site). *)
+type prepared = {
+  p_query : Xq_ast.query;
+  p_form : form;
+}
+
+and form =
+  | Direct
+  | Staged of Pipeline.staged
 
 type t = {
   config : Engine_config.t;
@@ -31,6 +45,9 @@ type t = {
   stats : Stats.t;
   doc : Xml_doc.t;
   root_out : int;
+  (* Keyed by query text; plans depend on config and stats, so the cache
+     is per engine value and [with_config] starts a fresh one. *)
+  prepared_cache : (string, prepared) Hashtbl.t;
 }
 
 let load_forest ?(config = Engine_config.m4) forest =
@@ -42,7 +59,8 @@ let load_forest ?(config = Engine_config.m4) forest =
   let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
   let doc = Xml_doc.of_forest forest in
   let root_out = (Store.root_tuple store).Xasr.nout in
-  { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out }
+  { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out;
+    prepared_cache = Hashtbl.create 8 }
 
 let load ?(config = Engine_config.m4) ?on_file xml =
   let forest = Xml_parser.parse_forest xml in
@@ -57,18 +75,21 @@ let load ?(config = Engine_config.m4) ?on_file xml =
     let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
     let doc = Xml_doc.of_forest forest in
     let root_out = (Store.root_tuple store).Xasr.nout in
-    { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out }
+    { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out;
+      prepared_cache = Hashtbl.create 8 }
 
 let attach ?(config = Engine_config.m4) ~disk ~pool ~catalog ~store ~doc_stats () =
   let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
   let doc = Xml_doc.of_forest (Reconstruct.root_forest store) in
   let root_out = (Store.root_tuple store).Xasr.nout in
-  { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out }
+  { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out;
+    prepared_cache = Hashtbl.create 8 }
 
 let with_config config t =
   { t with
     config;
-    stats = Stats.make ~quality:config.Engine_config.quality t.store t.doc_stats }
+    stats = Stats.make ~quality:config.Engine_config.quality t.store t.doc_stats;
+    prepared_cache = Hashtbl.create 8 }
 
 let config t = t.config
 let store t = t.store
@@ -77,39 +98,42 @@ let document t = t.doc
 let disk t = t.disk
 let pool t = t.pool
 
-(* --- compiled TPM ------------------------------------------------------- *)
+(* --- compilation -------------------------------------------------------- *)
 
-type compiled =
-  | CEmpty
-  | CText of string
-  | CConstr of string * compiled
-  | CSeq of compiled * compiled
-  | COut of Xq_ast.var
-  | CGuard of Xq_ast.cond * compiled
-  | CRelfor of {
-      site : int;  (* compile-time id; profiles aggregate per site *)
-      bindings : A.binding list;
-      plan : Planner.t;
-      body : compiled;
-    }
+let prepared_cache_hits = Storage.Metrics.counter "engine.prepared_cache_hits"
 
-let compile_tpm t tpm =
-  let next_site = ref 0 in
-  let rec go tpm =
-    match (tpm : A.t) with
-    | A.Empty -> CEmpty
-    | A.Text_out s -> CText s
-    | A.Constr (label, body) -> CConstr (label, go body)
-    | A.Seq (t1, t2) -> CSeq (go t1, go t2)
-    | A.Out_var x -> COut x
-    | A.Guard (c, body) -> CGuard (c, go body)
-    | A.Relfor r ->
-      let site = !next_site in
-      incr next_site;
-      let plan = Planner.plan t.config.Engine_config.planner t.stats r.A.source in
-      CRelfor { site; bindings = r.A.source.A.bindings; plan; body = go r.A.body }
-  in
-  go tpm
+let pipeline_ctx t =
+  { Pipeline.config =
+      { Pipeline.rewrite = t.config.Engine_config.rewrite;
+        merge_relfors = t.config.Engine_config.merge_relfors;
+        planner = t.config.Engine_config.planner };
+    stats = t.stats;
+    store = t.store }
+
+(* Compile without re-checking; the cache key is the canonical query
+   text, so structurally equal queries share one prepared plan. *)
+let compile_internal t query =
+  let key = Xqdb_xq.Xq_print.to_string query in
+  match Hashtbl.find_opt t.prepared_cache key with
+  | Some p ->
+    Storage.Metrics.incr prepared_cache_hits;
+    p
+  | None ->
+    let form =
+      match t.config.Engine_config.milestone with
+      | Engine_config.M1 | Engine_config.M2 -> Direct
+      | Engine_config.M3 | Engine_config.M4 ->
+        Staged (Pipeline.compile (pipeline_ctx t) query)
+    in
+    let p = { p_query = query; p_form = form } in
+    Hashtbl.add t.prepared_cache key p;
+    p
+
+let compile t query =
+  Xq_check.check_exn query;
+  compile_internal t query
+
+let prepare = compile
 
 (* --- execution ---------------------------------------------------------- *)
 
@@ -151,40 +175,46 @@ let guard_holds t budget env c =
   in
   Nav_eval.eval_cond ?budget t.store nav_env c
 
-(* Per-site operator profiles collected during a run.  Keyed by the
-   relfor's compile-time site id: a nested relfor instantiates its tree
-   once per outer binding, and the per-instantiation profiles merge into
-   one aggregate breakdown per site. *)
-type sink = (int, Op.profile) Hashtbl.t
+(* Each relfor site's template carries its own operator tree; stats
+   accumulate in place across rebinds, so a nested site's profile is the
+   aggregate over all its outer bindings — including on aborted runs
+   (budget exhausted, disk fault), which keep a partial breakdown. *)
 
-let sink_add (sink : sink) site op =
-  let p = Op.profile op in
-  match Hashtbl.find_opt sink site with
-  | Some prev -> Hashtbl.replace sink site (Op.merge_profile prev p)
-  | None -> Hashtbl.add sink site p
+let arm_staged (staged : Pipeline.staged) budget =
+  Plan_ir.iter_sites
+    (fun site ->
+      Op.set_budget site.Plan_ir.template.Planner.ctx budget;
+      Op.zero_stats site.Plan_ir.template.Planner.op)
+    staged.Pipeline.phys
 
-let rec exec t budget sink (env : env) compiled : Tree.forest =
-  match compiled with
-  | CEmpty -> []
-  | CText s -> [Tree.Text s]
-  | CConstr (label, body) -> [Tree.Elem (label, exec t budget sink env body)]
-  | CSeq (c1, c2) -> exec t budget sink env c1 @ exec t budget sink env c2
-  | COut x -> output_of t env x
-  | CGuard (c, body) ->
-    if guard_holds t budget env c then exec t budget sink env body else []
-  | CRelfor { site; bindings; plan; body } ->
-    let ctx = Op.make_ctx ?budget t.store in
-    let op = Planner.instantiate ctx plan ~env:(lookup_env env) in
-    (* Collect the profile even when the run aborts mid-drain (budget
-       exhausted, disk fault): censored runs keep a partial breakdown. *)
-    Fun.protect ~finally:(fun () -> sink_add sink site op) @@ fun () ->
-    let carry = plan.Planner.config.Planner.carry_out in
+let staged_profiles (staged : Pipeline.staged) =
+  List.map
+    (fun (site : Plan_ir.site) -> Op.profile site.Plan_ir.template.Planner.op)
+    (Plan_ir.sites staged.Pipeline.phys)
+
+let rec exec t budget (env : env) (phys : Plan_ir.phys) : Tree.forest =
+  match phys with
+  | Plan_ir.P_empty -> []
+  | Plan_ir.P_text s -> [Tree.Text s]
+  | Plan_ir.P_constr (label, body) -> [Tree.Elem (label, exec t budget env body)]
+  | Plan_ir.P_seq (p1, p2) -> exec t budget env p1 @ exec t budget env p2
+  | Plan_ir.P_out x -> output_of t env x
+  | Plan_ir.P_guard (c, body) ->
+    if guard_holds t budget env c then exec t budget env body else []
+  | Plan_ir.P_relfor site ->
+    let tmpl = site.Plan_ir.template in
+    (* Bind this environment's outer values into the parameter slots and
+       clear only the parameter-dependent caches; the template's
+       operator tree itself is reused, never rebuilt. *)
+    Planner.bind tmpl ~env:(lookup_env env);
+    let op = tmpl.Planner.op in
+    let carry = tmpl.Planner.plan.Planner.config.Planner.carry_out in
     let width = if carry then 2 else 1 in
-    if bindings = [] then begin
+    if site.Plan_ir.bindings = [] then begin
       (* A nullary relfor is an existence test: its projection holds at
          most the empty tuple, so the first result decides. *)
       match op.Op.next () with
-      | Some _ -> exec t budget sink env body
+      | Some _ -> exec t budget env site.Plan_ir.body
       | None -> []
     end
     else
@@ -201,10 +231,10 @@ let rec exec t budget sink (env : env) compiled : Tree.forest =
                    if carry then as_int tuple.((i * width) + 1) else out_of t budget nin
                  in
                  [(b.A.var, (nin, nout))])
-               bindings)
+               site.Plan_ir.bindings)
           @ env
         in
-        loop (exec t budget sink env' body :: acc)
+        loop (exec t budget env' site.Plan_ir.body :: acc)
     in
     loop []
 
@@ -248,19 +278,25 @@ type result = {
 
 let root_env t = [(Xq_ast.root_var, (1, t.root_out))]
 
-let eval_algebraic t ?budget ~sink query =
-  let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
-  let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
-  let compiled = compile_tpm t tpm in
-  exec t budget sink (root_env t) compiled
+(* Run a prepared query.  [operators] is filled with a profile producer
+   before execution starts, so the caller can harvest per-site operator
+   breakdowns even when the run aborts mid-way. *)
+let rec run_form t budget operators (p : prepared) : Tree.forest =
+  match (p.p_form, t.config.Engine_config.milestone) with
+  | Direct, Engine_config.M1 -> Xq_eval.eval t.doc p.p_query
+  | Direct, Engine_config.M2 -> Nav_eval.eval ?budget t.store p.p_query
+  | Direct, (Engine_config.M3 | Engine_config.M4) ->
+    (* Prepared under a direct-evaluation configuration but executed on
+       an algebraic one: compile (through the cache) and re-dispatch. *)
+    run_form t budget operators (compile_internal t p.p_query)
+  | Staged staged, _ ->
+    arm_staged staged budget;
+    operators := (fun () -> staged_profiles staged);
+    exec t budget (root_env t) staged.Pipeline.phys
 
-let eval_with_budget t ?budget ~sink query =
-  match t.config.Engine_config.milestone with
-  | Engine_config.M1 -> Xq_eval.eval t.doc query
-  | Engine_config.M2 -> Nav_eval.eval ?budget t.store query
-  | Engine_config.M3 | Engine_config.M4 -> eval_algebraic t ?budget ~sink query
-
-let eval t query = eval_with_budget t ~sink:(Hashtbl.create 8) query
+let eval t query =
+  let operators = ref (fun () -> []) in
+  run_form t None operators (compile_internal t query)
 
 let pool_delta (a : Storage.Buffer_pool.stats) (b : Storage.Buffer_pool.stats) :
     Storage.Buffer_pool.stats =
@@ -269,14 +305,13 @@ let pool_delta (a : Storage.Buffer_pool.stats) (b : Storage.Buffer_pool.stats) :
     evictions = b.evictions - a.evictions;
     retries = b.retries - a.retries }
 
-let measured t thunk =
+let measured t ~operators thunk =
   let before = Storage.Disk.counters t.disk in
   let pool_before = Storage.Buffer_pool.stats t.pool in
   let metrics_before = Storage.Metrics.snapshot () in
-  let sink : sink = Hashtbl.create 8 in
   let start = Sys.time () in
   let status, output =
-    match thunk sink with
+    match thunk () with
     | forest -> (Ok, Xml_print.forest_to_string forest)
     | exception Storage.Budget.Exhausted msg -> (Budget_exceeded msg, "")
     | exception Xq_eval.Type_error msg -> (Error msg, "")
@@ -291,11 +326,7 @@ let measured t thunk =
   let reads = after.Storage.Disk.reads - before.Storage.Disk.reads in
   let writes = after.Storage.Disk.writes - before.Storage.Disk.writes in
   let allocs = after.Storage.Disk.allocs - before.Storage.Disk.allocs in
-  let operators =
-    Hashtbl.fold (fun site p acc -> (site, p) :: acc) sink []
-    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
-    |> List.map snd
-  in
+  let operators = !operators () in
   let operator_ios = List.fold_left (fun acc (p : op_profile) -> acc + p.ios) 0 operators in
   let profile =
     { reads;
@@ -312,55 +343,59 @@ let measured t thunk =
 let run ?max_page_ios ?max_seconds t query =
   Xq_check.check_exn query;
   let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
-  measured t (fun sink -> eval_with_budget t ~budget ~sink query)
-
-type prepared =
-  | P_direct of Xq_ast.query  (* milestones 1 and 2 have no compile step *)
-  | P_compiled of compiled
-
-let prepare t query =
-  Xq_check.check_exn query;
-  match t.config.Engine_config.milestone with
-  | Engine_config.M1 | Engine_config.M2 -> P_direct query
-  | Engine_config.M3 | Engine_config.M4 ->
-    let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
-    let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
-    P_compiled (compile_tpm t tpm)
+  let operators = ref (fun () -> []) in
+  (* Compiling inside the measured window keeps template-construction
+     I/O (cursors opened while building plans) in the run's accounting;
+     a cache hit makes it free, which is the point. *)
+  measured t ~operators (fun () ->
+    run_form t (Some budget) operators (compile_internal t query))
 
 let run_prepared ?max_page_ios ?max_seconds t prepared =
   let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
-  match prepared with
-  | P_direct query -> measured t (fun sink -> eval_with_budget t ~budget ~sink query)
-  | P_compiled compiled ->
-    measured t (fun sink -> exec t (Some budget) sink (root_env t) compiled)
+  let operators = ref (fun () -> []) in
+  measured t ~operators (fun () -> run_form t (Some budget) operators prepared)
+
+let execute = run_prepared
 
 let run_string ?max_page_ios ?max_seconds t input =
   run ?max_page_ios ?max_seconds t (Xq_parser.parse input)
 
-let explain t query =
+let status_label = function
+  | Ok -> "ok"
+  | Budget_exceeded msg -> "budget exceeded: " ^ msg
+  | Error msg -> "error: " ^ msg
+  | Io_error msg -> "I/O error: " ^ msg
+
+let explain ?(analyze = false) t query =
   match t.config.Engine_config.milestone with
   | Engine_config.M1 -> "milestone 1: in-memory denotational evaluation"
   | Engine_config.M2 -> "milestone 2: navigational evaluation over the XASR store"
   | Engine_config.M3 | Engine_config.M4 ->
-    let tpm = Rewrite.query ~config:t.config.Engine_config.rewrite query in
-    let tpm = if t.config.Engine_config.merge_relfors then Merge.merge tpm else tpm in
-    let buf = Buffer.create 1024 in
-    Buffer.add_string buf (Tpm_print.to_string tpm);
-    Buffer.add_string buf "\n";
-    let rec walk (e : A.t) =
-      match e with
-      | A.Empty | A.Text_out _ | A.Out_var _ -> ()
-      | A.Constr (_, body) | A.Guard (_, body) -> walk body
-      | A.Seq (t1, t2) ->
-        walk t1;
-        walk t2
-      | A.Relfor r ->
-        let plan = Planner.plan t.config.Engine_config.planner t.stats r.A.source in
-        Buffer.add_string buf
-          (Printf.sprintf "\nplan for relfor (%s):\n%s\n"
-             (String.concat ", " (List.map Xqdb_xq.Xq_print.var r.A.vars))
-             (Planner.to_string plan));
-        walk r.A.body
+    Xq_check.check_exn query;
+    let prepared = compile_internal t query in
+    let staged =
+      match prepared.p_form with
+      | Staged staged -> staged
+      | Direct ->
+        (* Cannot happen: milestones 3/4 always stage.  Recompile
+           defensively rather than assert. *)
+        Pipeline.compile (pipeline_ctx t) query
     in
-    walk tpm;
-    Buffer.contents buf
+    let base = Pipeline.render_staged staged in
+    if not analyze then base
+    else begin
+      let r = run_prepared t prepared in
+      let buf = Buffer.create (String.length base + 1024) in
+      Buffer.add_string buf base;
+      Buffer.add_string buf "== analyze ==\n";
+      Buffer.add_string buf
+        (Printf.sprintf "status: %s\npage I/Os: %d  (operators %d, other %d)\n"
+           (status_label r.status) r.page_ios r.profile.operator_ios r.profile.other_ios);
+      List.iteri
+        (fun i p ->
+          Buffer.add_string buf (Printf.sprintf "\nsite %d:\n" i);
+          Buffer.add_string buf (Op.profile_to_string p);
+          Buffer.add_string buf "\n")
+        r.profile.operators;
+      Buffer.contents buf
+    end

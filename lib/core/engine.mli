@@ -94,15 +94,32 @@ type result = {
 
 val run :
   ?max_page_ios:int -> ?max_seconds:float -> t -> Xqdb_xq.Xq_ast.query -> result
+(** Compile (through the prepared cache) and execute.  The compile
+    happens inside the measured window, so first-run template
+    construction I/O is accounted to the run — and a cache hit makes the
+    whole front end free. *)
 
 type prepared
-(** A checked, rewritten, merged and planned query, bound to the engine
-    it was prepared on; repeated execution skips the whole front end. *)
+(** A compiled query bound to the engine it was prepared on: for
+    milestones 3/4 the full staged pipeline output, with one
+    parameterized plan template per relfor site.  Repeated execution
+    rebinds the templates' parameter slots instead of replanning. *)
+
+val compile : t -> Xqdb_xq.Xq_ast.query -> prepared
+(** Compile through the engine's prepared cache (keyed by canonical
+    query text; hits count [engine.prepared_cache_hits]).  The cache
+    belongs to one engine value — [with_config] starts a fresh one.
+    @raise Invalid_argument if the query fails {!Xqdb_xq.Xq_check}. *)
 
 val prepare : t -> Xqdb_xq.Xq_ast.query -> prepared
-(** @raise Invalid_argument if the query fails {!Xqdb_xq.Xq_check}. *)
+(** Alias of {!compile}. *)
+
+val execute : ?max_page_ios:int -> ?max_seconds:float -> t -> prepared -> result
+(** Execute a prepared query: bind parameters, reset the cached operator
+    trees and drain them — no rewriting, merging or planning. *)
 
 val run_prepared : ?max_page_ios:int -> ?max_seconds:float -> t -> prepared -> result
+(** Alias of {!execute} (historical name). *)
 
 val run_string :
   ?max_page_ios:int -> ?max_seconds:float -> t -> string -> result
@@ -113,7 +130,10 @@ val eval : t -> Xqdb_xq.Xq_ast.query -> Xqdb_xml.Xml_tree.forest
 (** Evaluate without budget, returning the forest.
     @raise Xqdb_xq.Xq_eval.Type_error on ill-typed comparisons. *)
 
-val explain : t -> Xqdb_xq.Xq_ast.query -> string
-(** The TPM expression after rewriting/merging and the physical plan
-    template of every relfor (milestones 3/4; milestones 1/2 report
-    their evaluation strategy). *)
+val explain : ?analyze:bool -> t -> Xqdb_xq.Xq_ast.query -> string
+(** Every stage of the compilation pipeline (source AST, TPM after each
+    logical pass, physical form with one plan template per relfor site)
+    pretty-printed under "== pass: kind ==" headers; milestones 1/2
+    report their evaluation strategy instead.  With [analyze], the query
+    is also executed and the per-site operator profiles (rows, page
+    I/Os, seconds per operator) are appended. *)

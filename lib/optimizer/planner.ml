@@ -531,18 +531,40 @@ let plan_with_order config stats psx order =
   | Some result -> finalize config psx result
   | None -> invalid_arg "Planner.plan_with_order: order invalid under this configuration"
 
-(* --- instantiation ------------------------------------------------------ *)
+(* --- templates ---------------------------------------------------------- *)
 
-let ground_pred env (p : A.pred) =
-  { p with
-    A.left = Tuple.ground_operand env p.A.left;
-    right = Tuple.ground_operand env p.A.right }
+let templates_built = Xqdb_storage.Metrics.counter "planner.templates_built"
+let template_binds = Xqdb_storage.Metrics.counter "planner.template_binds"
 
-let instantiate ctx plan ~env =
+type template = {
+  plan : t;
+  params : Tuple.params;
+  ctx : Op.ctx;
+  op : Op.t;
+}
+
+let operand_externs = function
+  | A.Oextern_in x | A.Oextern_out x -> [x]
+  | A.Ocol _ | A.Oint _ | A.Ostr _ | A.Otype _ -> []
+
+let step_externs step =
+  let of_preds ps = List.concat_map A.pred_externs ps in
+  of_preds step.local @ of_preds step.residual
+  @ (match step.join with
+     | First -> []
+     | Nl preds -> of_preds preds
+     | Inl_child op | Inl_pk op -> operand_externs op
+     | Inl_desc (lo, hi) -> operand_externs lo @ operand_externs hi)
+
+let plan_externs plan =
+  List.sort_uniq compare (List.concat_map step_externs plan.steps)
+
+(* Build the operator tree for a plan once.  External references stay in
+   the predicates/probes: the operators compile them against the
+   context's parameter slots, so the tree serves every outer binding. *)
+let build ctx plan =
   if plan.provably_empty then Op.empty plan.out_cols
   else begin
-  let ground = List.map (ground_pred env) in
-  let ground_op = Tuple.ground_operand env in
   let maybe_spool op =
     match plan.config.materialize with
     | `Disk -> Op.materialize `Disk op ctx
@@ -556,8 +578,8 @@ let instantiate ctx plan ~env =
   let left =
     List.fold_left
       (fun left step ->
-        let local = ground step.local in
-        let residual = ground step.residual in
+        let local = step.local in
+        let residual = step.residual in
         (* A step whose columns are immediately projected away is a pure
            existence test: its join can stop at the first match. *)
         let semi =
@@ -576,26 +598,26 @@ let instantiate ctx plan ~env =
           | Nl preds ->
             let inner = access_op step local in
             (match plan.config.order with
-             | `Preserve -> Op.nl_join ~materialize_inner ~semi ~preds:(ground preds) l inner ctx
+             | `Preserve -> Op.nl_join ~materialize_inner ~semi ~preds l inner ctx
              | `Mem_sort | `Ext_sort | `Btree_sort ->
                (* Order is restored by the final sort, so the cheaper,
                   order-destroying block join is allowed. *)
-               Op.bnl_join ~preds:(ground preds) l inner ctx)
+               Op.bnl_join ~preds l inner ctx)
           | Inl_child op ->
-            Op.inl_join ~semi ctx ~probe:(Op.Probe_child (ground_op op)) ~alias:step.alias
+            Op.inl_join ~semi ctx ~probe:(Op.Probe_child op) ~alias:step.alias
               ~preds:local ~residual l
           | Inl_desc (lo, hi) ->
             Op.inl_join ~semi ctx
-              ~probe:(Op.Probe_desc (ground_op lo, ground_op hi))
+              ~probe:(Op.Probe_desc (lo, hi))
               ~alias:step.alias ~preds:local ~residual l
           | Inl_pk op ->
-            Op.inl_join ~semi ctx ~probe:(Op.Probe_pk (ground_op op)) ~alias:step.alias
+            Op.inl_join ~semi ctx ~probe:(Op.Probe_pk op) ~alias:step.alias
               ~preds:local ~residual l
         in
         let joined =
           match step.join, left with
           | First, None -> access_op step local
-          | First, Some _ -> failwith "Planner.instantiate: First after first step"
+          | First, Some _ -> failwith "Planner.build: First after first step"
           | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _), Some l -> join_to l
           | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _), None ->
             (* First relation accessed through an index probe from the
@@ -627,6 +649,24 @@ let instantiate ctx plan ~env =
     Op.project ~cols:plan.out_cols ~dedup:`No
       (Op.btree_sort ~dedup:true ~key_cols:plan.sort_cols base ctx)
   end
+
+let template ctx plan =
+  let params = Tuple.make_params (plan_externs plan) in
+  let ctx = Op.with_params ctx params in
+  let op = build ctx plan in
+  Xqdb_storage.Metrics.incr templates_built;
+  { plan; params; ctx; op }
+
+let bind tmpl ~env =
+  Xqdb_storage.Metrics.incr template_binds;
+  Tuple.bind_params tmpl.params env;
+  Op.rebind tmpl.op;
+  tmpl.op.Op.reset ()
+
+let instantiate ctx plan ~env =
+  let tmpl = template ctx plan in
+  bind tmpl ~env;
+  tmpl.op
 
 (* --- explain ------------------------------------------------------------ *)
 

@@ -1,9 +1,13 @@
 (** The query planner (milestones 3 and 4).
 
-    Compiles one PSX expression into a left-deep physical plan template;
-    the template is instantiated per outer-variable environment (outer
-    relfor bindings are runtime constants in the algebra, as in the
-    paper's semantics of [[alpha]]n).
+    Compiles one PSX expression into a left-deep physical plan, then —
+    once — into a {!template}: an operator tree whose outer-variable
+    references ([Oextern_in]/[Oextern_out]) are compiled against mutable
+    parameter slots.  Per outer-variable environment the engine merely
+    {!bind}s the slots and resets the tree (outer relfor bindings are
+    runtime constants in the algebra, as in the paper's semantics of
+    [[alpha]]n — but the plan shape never depends on their values, so
+    replanning per binding is pure waste).
 
     Milestone 3 mode ([cost_based = false], [use_indexes = false]) mirrors
     the query structure: binding relations in binding order, then the
@@ -94,7 +98,38 @@ val plan_with_order : config -> Stats.t -> A.psx -> string list -> t
 type env = Xqdb_xq.Xq_ast.var -> int * int
 (** Outer bindings: variable to (in, out). *)
 
+val plan_externs : t -> Xqdb_xq.Xq_ast.var list
+(** The outer variables a plan's predicates and probe operands read,
+    deduplicated — the template's parameter signature. *)
+
+(** {2 Parameterized plan templates}
+
+    [template] builds the operator tree exactly once per plan; [bind]
+    re-targets it at a new outer environment by writing the parameter
+    slots, clearing only the caches that depend on them
+    ({!Xqdb_physical.Phys_op.rebind}), and resetting.  The two are
+    counted in {!Xqdb_storage.Metrics} as [planner.templates_built] and
+    [planner.template_binds]: for a healthy engine the first is
+    O(#relfor sites) while the second scales with outer cardinality. *)
+
+type template = {
+  plan : t;
+  params : Xqdb_physical.Tuple.params;
+  ctx : Xqdb_physical.Phys_op.ctx;
+      (** the derived context the tree was compiled under; swap budgets
+          per run via {!Xqdb_physical.Phys_op.set_budget} *)
+  op : Xqdb_physical.Phys_op.t;
+}
+
+val template : Xqdb_physical.Phys_op.ctx -> t -> template
+
+val bind : template -> env:env -> unit
+(** After [bind], the template's [op] enumerates the plan's result for
+    the given outer environment. *)
+
 val instantiate : Xqdb_physical.Phys_op.ctx -> t -> env:env -> Xqdb_physical.Phys_op.t
+(** [template] + [bind] in one step — builds a fresh tree per call, so
+    only worth using where a plan runs once. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -5,15 +5,30 @@ module Budget = Xqdb_storage.Budget
 type ctx = {
   store : Store.t;
   pool : Xqdb_storage.Buffer_pool.t;
-  budget : Budget.t option;
+  mutable budget : Budget.t option;
+  params : Tuple.params;
 }
 
-let make_ctx ?budget store = { store; pool = Store.pool store; budget }
+let make_ctx ?budget ?(params = Tuple.no_params) store =
+  { store; pool = Store.pool store; budget; params }
+
+let with_params ctx params = { ctx with params }
+
+let set_budget ctx budget = ctx.budget <- budget
 
 let tick ctx =
   match ctx.budget with
   | None -> ()
   | Some b -> Budget.check b
+
+(* Which preds/operands read parameter slots — decides whether a cache
+   built below them survives a rebind. *)
+let operand_param_dep = function
+  | A.Oextern_in _ | A.Oextern_out _ -> true
+  | A.Ocol _ | A.Oint _ | A.Ostr _ | A.Otype _ -> false
+
+let preds_param_dep preds =
+  List.exists (fun p -> A.pred_externs p <> []) preds
 
 type info = {
   name : string;
@@ -35,6 +50,8 @@ type t = {
   stats : stats;
   kids : t list;
   ios_now : unit -> int;  (* disk I/O counter this operator is attributed against *)
+  param_dep : bool;  (* does this subtree's output depend on parameter slots? *)
+  clear : unit -> unit;  (* drop caches invalidated by a rebind (no recursion) *)
 }
 
 (* Every constructor goes through [make], which wraps [next] and [reset]
@@ -42,8 +59,16 @@ type t = {
    and CPU time spent inside its call windows.  The measurements are
    inclusive — a child only ever runs inside its parent's [next] or
    [reset] — so the per-operator (exclusive) share is recovered in
-   {!profile} by subtracting the children's inclusive totals. *)
-let make ~schema ~info ?(kids = []) ~ios_now ~next ~reset () =
+   {!profile} by subtracting the children's inclusive totals.
+
+   [param_dep] is the operator's own dependence on parameter slots; the
+   stored flag is the subtree's (own or any kid's).  [clear] is the
+   constructor's cache-invalidation hook — constructors that cache a
+   parameter-independent subtree deliberately pass [ignore] so the cache
+   survives rebinds (that survival is the point of templates). *)
+let make ~schema ~info ?(kids = []) ?(param_dep = false) ?(clear = ignore) ~ios_now ~next
+    ~reset () =
+  let param_dep = param_dep || List.exists (fun k -> k.param_dep) kids in
   let stats = { rows = 0; ios = 0; seconds = 0. } in
   let measured f () =
     let io0 = ios_now () in
@@ -67,7 +92,17 @@ let make ~schema ~info ?(kids = []) ~ios_now ~next ~reset () =
        | None -> ());
       result
   in
-  { schema; next; reset = measured reset; info; stats; kids; ios_now }
+  { schema; next; reset = measured reset; info; stats; kids; ios_now; param_dep; clear }
+
+let rec rebind t =
+  List.iter rebind t.kids;
+  t.clear ()
+
+let rec zero_stats t =
+  t.stats.rows <- 0;
+  t.stats.ios <- 0;
+  t.stats.seconds <- 0.;
+  List.iter zero_stats t.kids
 
 let ctx_ios ctx =
   let disk = Xqdb_storage.Buffer_pool.disk ctx.pool in
@@ -115,6 +150,16 @@ and merge_inputs xs ys =
   | [], rest | rest, [] -> rest
   | x :: xs', y :: ys' -> merge_profile x y :: merge_inputs xs' ys'
 
+let rec pp_profile ppf p =
+  if String.equal p.args "" then Format.fprintf ppf "@[<v 2>%s" p.op
+  else Format.fprintf ppf "@[<v 2>%s [%s]" p.op p.args;
+  Format.fprintf ppf "  rows %d  ios %d (own %d)  %.3fs (own %.3fs)" p.rows p.ios p.own_ios
+    p.seconds p.own_seconds;
+  List.iter (fun i -> Format.fprintf ppf "@,%a" pp_profile i) p.inputs;
+  Format.fprintf ppf "@]"
+
+let profile_to_string p = Format.asprintf "%a" pp_profile p
+
 let rec pp_info ppf i =
   if String.equal i.detail "" then Format.fprintf ppf "@[<v 2>%s" i.name
   else Format.fprintf ppf "@[<v 2>%s [%s]" i.name i.detail;
@@ -142,16 +187,16 @@ let preds_detail preds =
 
 (* --- access paths ------------------------------------------------------ *)
 
-let cursor_op ~schema ~info ~ios_now ~make_cursor =
+let cursor_op ~schema ~info ~param_dep ~ios_now ~make_cursor =
   let cursor = ref (make_cursor ()) in
-  make ~schema ~info ~ios_now
+  make ~schema ~info ~param_dep ~ios_now
     ~next:(fun () -> !cursor ())
     ~reset:(fun () -> cursor := make_cursor ())
     ()
 
 let full_scan ctx alias ~preds =
   let schema = Tuple.xasr_schema alias in
-  let keep = Tuple.compile_preds schema preds in
+  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
   let make_cursor () =
     let scan = Store.scan_all ctx.store in
     let rec pull () =
@@ -164,13 +209,13 @@ let full_scan ctx alias ~preds =
     in
     pull
   in
-  cursor_op ~schema ~ios_now:(ctx_ios ctx)
+  cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx)
     ~info:{ name = Printf.sprintf "scan XASR[%s]" alias; detail = preds_detail preds; children = [] }
     ~make_cursor
 
 let label_scan ctx alias ~ntype ~value ~preds =
   let schema = Tuple.xasr_schema alias in
-  let keep = Tuple.compile_preds schema preds in
+  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
   let make_cursor () =
     let ins = Store.label_ins ctx.store ntype value in
     let rec pull () =
@@ -186,7 +231,7 @@ let label_scan ctx alias ~ntype ~value ~preds =
     in
     pull
   in
-  cursor_op ~schema ~ios_now:(ctx_ios ctx)
+  cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx)
     ~info:
       { name = Printf.sprintf "idx-scan XASR[%s]" alias;
         detail =
@@ -226,12 +271,15 @@ type probe =
 
 let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
   let schema = left.schema @ right.schema in
-  let keep = Tuple.compile_preds schema preds in
-  (* Inner-side cache. *)
-  let inner_next, inner_rewind, cache_detail =
+  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+  (* Inner-side cache.  [clear] drops it on rebind, but only when the
+     inner subtree reads parameter slots — a parameter-independent inner
+     cache is valid for every outer binding and surviving rebinds is the
+     template payoff. *)
+  let inner_next, inner_rewind, inner_clear, cache_detail =
     match materialize_inner with
     | `None ->
-      ((fun () -> right.next ()), (fun () -> right.reset ()), "recompute")
+      ((fun () -> right.next ()), (fun () -> right.reset ()), ignore, "recompute")
     | `Mem ->
       let cache = ref None in
       let pos = ref [] in
@@ -250,7 +298,11 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
           pos := rest;
           Some tuple
       in
-      (next, (fun () -> pos := fill ()), "inner in memory")
+      let clear () =
+        cache := None;
+        pos := []
+      in
+      (next, (fun () -> pos := fill ()), clear, "inner in memory")
     | `Disk ->
       let spool = ref None in
       let cursor = ref (fun () -> None) in
@@ -276,7 +328,11 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
         | None -> None
         | Some data -> Some (Tuple.decode data)
       in
-      (next, (fun () -> cursor := Xqdb_storage.Heap_file.scan (fill ())), "inner on disk")
+      let clear () =
+        spool := None;
+        cursor := (fun () -> None)
+      in
+      (next, (fun () -> cursor := Xqdb_storage.Heap_file.scan (fill ())), clear, "inner on disk")
   in
   let current_left = ref None in
   let next () =
@@ -311,6 +367,8 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
     current_left := None
   in
   make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right] ~next ~reset
+    ~param_dep:(preds_param_dep preds)
+    ~clear:(if right.param_dep then inner_clear else ignore)
     ~info:
       { name = (if preds = [] then (if semi then "semi-product" else "product")
                 else if semi then "semi-nl-join"
@@ -323,7 +381,7 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
 let bnl_join ?(block_size = 64) ~preds left right ctx =
   if block_size < 1 then invalid_arg "Phys_op.bnl_join: block_size must be positive";
   let schema = left.schema @ right.schema in
-  let keep = Tuple.compile_preds schema preds in
+  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
   (* The inner is spooled once; each block replays it. *)
   let inner = ref None in
   let fill_inner () =
@@ -391,6 +449,8 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
     exhausted := false
   in
   make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right] ~next ~reset
+    ~param_dep:(preds_param_dep preds)
+    ~clear:(if right.param_dep then (fun () -> inner := None) else ignore)
     ~info:
       { name = (if preds = [] then "bnl-product" else "bnl-join");
         detail =
@@ -402,16 +462,21 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
 let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
   let inner_schema = Tuple.xasr_schema alias in
   let schema = left.schema @ inner_schema in
-  let keep_inner = Tuple.compile_preds inner_schema preds in
-  let keep_residual = Tuple.compile_preds schema residual in
+  let keep_inner = Tuple.compile_preds ~params:ctx.params inner_schema preds in
+  let keep_residual = Tuple.compile_preds ~params:ctx.params schema residual in
   let as_int = function
     | Tuple.I v -> v
     | Tuple.S s -> invalid_arg (Printf.sprintf "inl_join: non-integer probe value %S" s)
   in
+  let probe_param_dep =
+    match probe with
+    | Probe_child op | Probe_pk op -> operand_param_dep op
+    | Probe_desc (i, o) -> operand_param_dep i || operand_param_dep o
+  in
   let make_probe =
     match probe with
     | Probe_child op ->
-      let v = Tuple.compile_operand left.schema op in
+      let v = Tuple.compile_operand ~params:ctx.params left.schema op in
       fun l ->
         let ins = Store.children_ins ctx.store (as_int (v l)) in
         let pull () =
@@ -424,11 +489,11 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
         in
         pull
     | Probe_desc (in_op, out_op) ->
-      let vin = Tuple.compile_operand left.schema in_op in
-      let vout = Tuple.compile_operand left.schema out_op in
+      let vin = Tuple.compile_operand ~params:ctx.params left.schema in_op in
+      let vout = Tuple.compile_operand ~params:ctx.params left.schema out_op in
       fun l -> Store.scan_in_range ctx.store ~lo:(as_int (vin l) + 1) ~hi:(as_int (vout l) - 1)
     | Probe_pk op ->
-      let v = Tuple.compile_operand left.schema op in
+      let v = Tuple.compile_operand ~params:ctx.params left.schema op in
       fun l ->
         let fetched = ref false in
         fun () ->
@@ -481,6 +546,7 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
     | Probe_pk op -> Printf.sprintf "%s.in = %s" alias (Xqdb_tpm.Tpm_print.operand_to_string op)
   in
   make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left] ~next ~reset
+    ~param_dep:(probe_param_dep || preds_param_dep preds || preds_param_dep residual)
     ~info:
       { name = (if semi then "semi-inl-join" else "inl-join");
         detail =
@@ -492,14 +558,15 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
 
 (* --- filter, project, sort, materialize -------------------------------- *)
 
-let filter ~preds child =
-  let keep = Tuple.compile_preds child.schema preds in
+let filter ?params ~preds child =
+  let keep = Tuple.compile_preds ?params child.schema preds in
   let rec next () =
     match child.next () with
     | None -> None
     | Some tuple -> if keep tuple then Some tuple else next ()
   in
   make ~schema:child.schema ~ios_now:child.ios_now ~kids:[child] ~next ~reset:child.reset
+    ~param_dep:(preds_param_dep preds)
     ~info:{ name = "filter"; detail = preds_detail preds; children = [child.info] }
     ()
 
@@ -566,7 +633,7 @@ let compare_on positions t1 t2 =
   in
   go 0
 
-let replay_op ~schema ~info ~ios_now ~kids ~fill =
+let replay_op ~schema ~info ~ios_now ~kids ~clear_on_rebind ~fill =
   (* Materialize-on-first-use operator over a list-producing fill. *)
   let cache = ref None in
   let pos = ref None in
@@ -579,6 +646,11 @@ let replay_op ~schema ~info ~ios_now ~kids ~fill =
       c
   in
   make ~schema ~info ~ios_now ~kids
+    ~clear:
+      (if clear_on_rebind then (fun () ->
+           cache := None;
+           pos := None)
+       else ignore)
     ~next:(fun () ->
       let items = match !pos with
         | Some items -> items
@@ -640,6 +712,7 @@ let sort ?(dedup = false) ~mode ~key_cols child ctx =
     | `External -> fill_external
   in
   replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+    ~clear_on_rebind:child.param_dep
     ~info:
       { name = (match mode with `In_mem -> "sort" | `External -> "ext-sort");
         detail =
@@ -686,6 +759,7 @@ let btree_sort ?(dedup = true) ~key_cols child ctx =
     collect []
   in
   replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+    ~clear_on_rebind:child.param_dep
     ~info:
       { name = "btree-sort";
         detail =
@@ -699,6 +773,7 @@ let materialize where child ctx =
   match where with
   | `Mem ->
     replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+      ~clear_on_rebind:child.param_dep
       ~info:{ name = "materialize"; detail = "memory"; children = [child.info] }
       ~fill:(fun () -> drain child)
   | `Disk ->
@@ -724,6 +799,12 @@ let materialize where child ctx =
     in
     let started = ref false in
     make ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+      ~clear:
+        (if child.param_dep then (fun () ->
+             spool := None;
+             cursor := (fun () -> None);
+             started := false)
+         else ignore)
       ~info:{ name = "materialize"; detail = "disk"; children = [child.info] }
       ~next:(fun () ->
         if not !started then begin

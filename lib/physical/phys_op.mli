@@ -25,11 +25,25 @@ module A := Xqdb_tpm.Tpm_algebra
 type ctx = {
   store : Xqdb_xasr.Node_store.t;
   pool : Xqdb_storage.Buffer_pool.t;  (** for temp structures *)
-  budget : Xqdb_storage.Budget.t option;
+  mutable budget : Xqdb_storage.Budget.t option;
+      (** templates outlive any single run, so the budget is swapped in
+          per execution via {!set_budget} *)
+  params : Tuple.params;
+      (** parameter slots the operators compile external references
+          against; [Tuple.no_params] outside a template *)
 }
 
 val make_ctx :
-  ?budget:Xqdb_storage.Budget.t -> Xqdb_xasr.Node_store.t -> ctx
+  ?budget:Xqdb_storage.Budget.t ->
+  ?params:Tuple.params ->
+  Xqdb_xasr.Node_store.t ->
+  ctx
+
+val with_params : ctx -> Tuple.params -> ctx
+(** A derived context sharing the store/pool but compiling against the
+    given parameter slots (with its own budget cell). *)
+
+val set_budget : ctx -> Xqdb_storage.Budget.t option -> unit
 
 type info = {
   name : string;
@@ -53,7 +67,24 @@ type t = {
   ios_now : unit -> int;
       (** the disk I/O counter this operator is attributed against —
           combinators without their own context inherit the child's *)
+  param_dep : bool;
+      (** whether this subtree's output depends on parameter slots *)
+  clear : unit -> unit;
+      (** drop caches a rebind invalidates (this node only; see
+          {!rebind}) *)
 }
+
+val rebind : t -> unit
+(** Prepare a template's operator tree for new parameter bindings: walk
+    the tree clearing every cache whose contents depend on parameter
+    slots.  Parameter-independent caches (a cached inner relation of a
+    join, a spooled sort) deliberately survive — reusing them across
+    outer bindings is the point of plan templates.  Callers still
+    [reset] afterwards to restart iteration. *)
+
+val zero_stats : t -> unit
+(** Reset the accumulated per-operator stats of the whole tree, so a
+    reused template reports per-execution (not cumulative) profiles. *)
 
 val pp_info : Format.formatter -> info -> unit
 val info_to_string : info -> string
@@ -81,6 +112,12 @@ type profile = {
 
 val profile : t -> profile
 (** Snapshot the operator tree's accumulated stats. *)
+
+val pp_profile : Format.formatter -> profile -> unit
+(** Indented tree with per-operator rows / inclusive and exclusive
+    I/Os / seconds — what EXPLAIN's analyze mode prints. *)
+
+val profile_to_string : profile -> string
 
 val merge_profile : profile -> profile -> profile
 (** Pointwise sum of two profiles of the same plan shape; used to
@@ -165,7 +202,7 @@ val inl_join :
 
 val project : cols:A.col list -> dedup:[`No | `Adjacent | `Hash] -> t -> t
 
-val filter : preds:A.pred list -> t -> t
+val filter : ?params:Tuple.params -> preds:A.pred list -> t -> t
 
 val sort :
   ?dedup:bool ->

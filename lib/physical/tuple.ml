@@ -36,7 +36,42 @@ let ground_operand env = function
   | A.Oextern_out x -> A.Oint (snd (env x))
   | (A.Ocol _ | A.Oint _ | A.Ostr _ | A.Otype _) as op -> op
 
-let compile_operand schema operand =
+(* Parameter slots: a template's outer-variable references compile to
+   closures that read these mutable cells, so re-binding a plan to a new
+   outer environment is a handful of writes, not a recompilation. *)
+
+type param_slot = {
+  mutable bound_in : int;
+  mutable bound_out : int;
+}
+
+type params = (Xqdb_xq.Xq_ast.var * param_slot) list
+
+let no_params : params = []
+
+let make_params vars : params =
+  List.sort_uniq compare vars
+  |> List.map (fun v -> (v, { bound_in = 0; bound_out = 0 }))
+
+let param_vars (params : params) = List.map fst params
+
+let bind_params (params : params) env =
+  List.iter
+    (fun (v, slot) ->
+      let nin, nout = env v in
+      slot.bound_in <- nin;
+      slot.bound_out <- nout)
+    params
+
+let compile_operand ?(params = no_params) schema operand =
+  let slot x =
+    match List.assoc_opt x params with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Tuple.compile_operand: unresolved external %s"
+           (Xqdb_xq.Xq_print.var x))
+  in
   match operand with
   | A.Ocol c ->
     let i = position schema c in
@@ -44,21 +79,23 @@ let compile_operand schema operand =
   | A.Oint v -> Fun.const (I v)
   | A.Ostr s -> Fun.const (S s)
   | A.Otype ty -> Fun.const (I (Xqdb_xasr.Xasr.node_type_code ty))
-  | A.Oextern_in x | A.Oextern_out x ->
-    invalid_arg
-      (Printf.sprintf "Tuple.compile_operand: unresolved external %s"
-         (Xqdb_xq.Xq_print.var x))
+  | A.Oextern_in x ->
+    let s = slot x in
+    fun _ -> I s.bound_in
+  | A.Oextern_out x ->
+    let s = slot x in
+    fun _ -> I s.bound_out
 
-let compile_pred schema (p : A.pred) =
-  let left = compile_operand schema p.A.left in
-  let right = compile_operand schema p.A.right in
+let compile_pred ?params schema (p : A.pred) =
+  let left = compile_operand ?params schema p.A.left in
+  let right = compile_operand ?params schema p.A.right in
   match p.A.op with
   | A.Eq -> fun tuple -> value_equal (left tuple) (right tuple)
   | A.Lt -> fun tuple -> value_compare (left tuple) (right tuple) < 0
   | A.Gt -> fun tuple -> value_compare (left tuple) (right tuple) > 0
 
-let compile_preds schema preds =
-  let compiled = List.map (compile_pred schema) preds in
+let compile_preds ?params schema preds =
+  let compiled = List.map (compile_pred ?params schema) preds in
   fun tuple -> List.for_all (fun p -> p tuple) compiled
 
 let xasr_schema alias =

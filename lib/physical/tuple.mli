@@ -21,18 +21,44 @@ val position : schema -> Xqdb_tpm.Tpm_algebra.col -> int
 
 val concat : t -> t -> t
 
-(** A ground operand: externals must have been resolved to constants
-    before compilation (see {!ground_operand}). *)
-
 val ground_operand : (Xqdb_xq.Xq_ast.var -> int * int) -> Xqdb_tpm.Tpm_algebra.operand -> Xqdb_tpm.Tpm_algebra.operand
 (** Resolve [Oextern_in]/[Oextern_out] through an environment giving
-    each outer variable's (in, out). *)
+    each outer variable's (in, out).  Templates no longer need this —
+    they compile externals against {!params} slots — but it remains the
+    simplest way to fully ground a predicate. *)
 
-val compile_operand : schema -> Xqdb_tpm.Tpm_algebra.operand -> t -> value
-(** @raise Invalid_argument on an unresolved external. *)
+(** {2 Parameter slots}
 
-val compile_pred : schema -> Xqdb_tpm.Tpm_algebra.pred -> t -> bool
-val compile_preds : schema -> Xqdb_tpm.Tpm_algebra.pred list -> t -> bool
+    A plan template compiles each external reference into a closure over
+    a mutable {!param_slot}.  {!bind_params} writes a new outer
+    environment into the slots; the compiled operators observe the new
+    values on their next call, so one operator tree serves every outer
+    tuple. *)
+
+type param_slot = {
+  mutable bound_in : int;
+  mutable bound_out : int;
+}
+
+type params = (Xqdb_xq.Xq_ast.var * param_slot) list
+
+val no_params : params
+
+val make_params : Xqdb_xq.Xq_ast.var list -> params
+(** Fresh zero-initialized slots, one per distinct variable. *)
+
+val param_vars : params -> Xqdb_xq.Xq_ast.var list
+
+val bind_params : params -> (Xqdb_xq.Xq_ast.var -> int * int) -> unit
+(** Write each variable's (in, out) into its slot.
+    @raise the environment's own exception on an unknown variable. *)
+
+val compile_operand :
+  ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.operand -> t -> value
+(** @raise Invalid_argument on an external with no slot in [params]. *)
+
+val compile_pred : ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.pred -> t -> bool
+val compile_preds : ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.pred list -> t -> bool
 
 val xasr_schema : string -> schema
 (** The five columns of one XASR copy under an alias, in storage order:

@@ -1,0 +1,53 @@
+module A = Xqdb_tpm.Tpm_algebra
+module Planner = Xqdb_optimizer.Planner
+
+type phys =
+  | P_empty
+  | P_text of string
+  | P_constr of string * phys
+  | P_seq of phys * phys
+  | P_out of Xqdb_xq.Xq_ast.var
+  | P_guard of Xqdb_xq.Xq_ast.cond * phys
+  | P_relfor of site
+
+and site = {
+  id : int;
+  bindings : A.binding list;
+  source : A.psx;
+  template : Planner.template;
+  body : phys;
+}
+
+type t =
+  | Ast of Xqdb_xq.Xq_ast.query
+  | Tpm of A.t
+  | Phys of phys
+
+let stage_kind = function
+  | Ast _ -> "xq-ast"
+  | Tpm _ -> "tpm"
+  | Phys _ -> "physical"
+
+let rec iter_sites f = function
+  | P_empty | P_text _ | P_out _ -> ()
+  | P_constr (_, body) | P_guard (_, body) -> iter_sites f body
+  | P_seq (p1, p2) ->
+    iter_sites f p1;
+    iter_sites f p2
+  | P_relfor site ->
+    f site;
+    iter_sites f site.body
+
+let sites phys =
+  let acc = ref [] in
+  iter_sites (fun s -> acc := s :: !acc) phys;
+  List.sort (fun a b -> Int.compare a.id b.id) !acc
+
+let site_count phys = List.length (sites phys)
+
+let rec tpm_relfors (e : A.t) =
+  match e with
+  | A.Empty | A.Text_out _ | A.Out_var _ -> []
+  | A.Constr (_, body) | A.Guard (_, body) -> tpm_relfors body
+  | A.Seq (t1, t2) -> tpm_relfors t1 @ tpm_relfors t2
+  | A.Relfor r -> r :: tpm_relfors r.A.body

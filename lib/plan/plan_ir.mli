@@ -1,0 +1,50 @@
+(** The shared plan IR the compilation pipeline's passes transform.
+
+    A query moves through three representations: the parsed XQ AST, the
+    TPM algebra (relfors over PSX expressions), and the physical form —
+    the TPM shell with every relfor compiled to a {e parameterized plan
+    template} ({!Xqdb_optimizer.Planner.template}).  Each relfor becomes
+    a {!site}, numbered in prefix order; the template is built exactly
+    once per site and re-bound per outer environment at execution time,
+    which is what makes [planner.templates_built] O(#sites) instead of
+    O(outer tuples). *)
+
+module A := Xqdb_tpm.Tpm_algebra
+
+type phys =
+  | P_empty
+  | P_text of string
+  | P_constr of string * phys
+  | P_seq of phys * phys
+  | P_out of Xqdb_xq.Xq_ast.var
+  | P_guard of Xqdb_xq.Xq_ast.cond * phys
+  | P_relfor of site
+
+and site = {
+  id : int;  (** compile-time id, prefix order; profiles key on it *)
+  bindings : A.binding list;
+  source : A.psx;  (** the PSX the plan was compiled from, for validation/explain *)
+  template : Xqdb_optimizer.Planner.template;
+  body : phys;
+}
+
+(** One stage of the pipeline. *)
+type t =
+  | Ast of Xqdb_xq.Xq_ast.query
+  | Tpm of A.t
+  | Phys of phys
+
+val stage_kind : t -> string
+(** ["xq-ast"], ["tpm"] or ["physical"]. *)
+
+val iter_sites : (site -> unit) -> phys -> unit
+(** Visit every relfor site, outer before inner (prefix order). *)
+
+val sites : phys -> site list
+(** All sites in id order. *)
+
+val site_count : phys -> int
+
+val tpm_relfors : A.t -> A.relfor list
+(** The relfors of a TPM expression in prefix order — the logical
+    counterpart of {!sites}. *)

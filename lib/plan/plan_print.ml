@@ -1,0 +1,49 @@
+module A = Xqdb_tpm.Tpm_algebra
+module Planner = Xqdb_optimizer.Planner
+module Tuple = Xqdb_physical.Tuple
+module Xq_print = Xqdb_xq.Xq_print
+
+let vartuple bindings =
+  String.concat ", " (List.map (fun (b : A.binding) -> Xq_print.var b.A.var) bindings)
+
+let params_detail (tmpl : Planner.template) =
+  match Tuple.param_vars tmpl.Planner.params with
+  | [] -> "none"
+  | vars -> String.concat ", " (List.map Xq_print.var vars)
+
+(* The physical stage prints in two halves: the TPM shell as a skeleton
+   with each relfor reduced to its site header, then one plan block per
+   site.  The skeleton shows where templates hang; the blocks show what
+   each template does. *)
+let rec pp_skeleton ppf (p : Plan_ir.phys) =
+  match p with
+  | Plan_ir.P_empty -> Format.fprintf ppf "()"
+  | Plan_ir.P_text s -> Format.fprintf ppf "text %S" s
+  | Plan_ir.P_constr (label, body) ->
+    Format.fprintf ppf "@[<v 2><%s>@,%a@]" label pp_skeleton body
+  | Plan_ir.P_seq (p1, p2) ->
+    Format.fprintf ppf "%a@,%a" pp_skeleton p1 pp_skeleton p2
+  | Plan_ir.P_out x -> Format.fprintf ppf "out %s" (Xq_print.var x)
+  | Plan_ir.P_guard (c, body) ->
+    Format.fprintf ppf "@[<v 2>guard %s@,%a@]" (Xq_print.cond_to_string c) pp_skeleton body
+  | Plan_ir.P_relfor s ->
+    Format.fprintf ppf "@[<v 2>relfor site %d (%s)  params: %s@,%a@]" s.Plan_ir.id
+      (vartuple s.Plan_ir.bindings) (params_detail s.Plan_ir.template) pp_skeleton
+      s.Plan_ir.body
+
+let pp_site ppf (s : Plan_ir.site) =
+  Format.fprintf ppf "@[<v>plan for relfor (%s)  [site %d; params: %s]@,%a@]"
+    (vartuple s.Plan_ir.bindings) s.Plan_ir.id (params_detail s.Plan_ir.template) Planner.pp
+    s.Plan_ir.template.Planner.plan
+
+let pp_phys ppf phys =
+  Format.fprintf ppf "@[<v>%a@]" pp_skeleton phys;
+  List.iter (fun s -> Format.fprintf ppf "@.@.%a" pp_site s) (Plan_ir.sites phys)
+
+let pp_ir ppf (ir : Plan_ir.t) =
+  match ir with
+  | Plan_ir.Ast q -> Xq_print.pp_query ppf q
+  | Plan_ir.Tpm tpm -> Xqdb_tpm.Tpm_print.pp ppf tpm
+  | Plan_ir.Phys phys -> pp_phys ppf phys
+
+let ir_to_string ir = Format.asprintf "%a" pp_ir ir

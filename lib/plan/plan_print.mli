@@ -1,0 +1,12 @@
+(** Per-stage pretty-printing of the plan IR.
+
+    The AST stage prints as XQ surface syntax, the TPM stage in the
+    paper's Figures 3-5 style, and the physical stage as the TPM shell
+    skeleton (each relfor reduced to its site header with its parameter
+    signature) followed by one plan block per site. *)
+
+val pp_ir : Format.formatter -> Plan_ir.t -> unit
+val ir_to_string : Plan_ir.t -> string
+
+val pp_site : Format.formatter -> Plan_ir.site -> unit
+(** One site's "plan for relfor (vars)" block. *)

@@ -1,0 +1,128 @@
+module A = Xqdb_tpm.Tpm_algebra
+module Ast = Xqdb_xq.Xq_ast
+module Xq_check = Xqdb_xq.Xq_check
+module Xq_print = Xqdb_xq.Xq_print
+module Planner = Xqdb_optimizer.Planner
+module Tuple = Xqdb_physical.Tuple
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let var = Xq_print.var
+
+let distinct xs = List.length (List.sort_uniq compare xs) = List.length xs
+
+let check_psx ~scope (psx : A.psx) =
+  if not (distinct psx.A.rels) then
+    fail "duplicate relation alias among [%s]" (String.concat ", " psx.A.rels);
+  List.iter
+    (fun (b : A.binding) ->
+      if not (List.mem b.A.brel psx.A.rels) then
+        fail "binding %s projects alias %s, which is not among the relations" (var b.A.var)
+          b.A.brel)
+    psx.A.bindings;
+  if not (distinct (List.map (fun (b : A.binding) -> b.A.var) psx.A.bindings)) then
+    fail "a variable is bound twice by one PSX";
+  List.iter
+    (fun (p : A.pred) ->
+      List.iter
+        (fun r ->
+          if not (List.mem r psx.A.rels) then
+            fail "predicate %s mentions unknown alias %s" (Xqdb_tpm.Tpm_print.pred_to_string p)
+              r)
+        (A.pred_rels p))
+    psx.A.preds;
+  List.iter
+    (fun x ->
+      if not (List.mem x scope) then fail "PSX reads outer variable %s, not in scope" (var x))
+    (A.psx_externs psx)
+
+let check_scoped_var ~scope x =
+  if not (List.mem x scope) then fail "variable %s used out of scope" (var x)
+
+let check_guard ~scope c =
+  List.iter (check_scoped_var ~scope) (Ast.cond_free_vars c)
+
+let check_tpm tpm =
+  let rec go scope (e : A.t) =
+    match e with
+    | A.Empty | A.Text_out _ -> ()
+    | A.Out_var x -> check_scoped_var ~scope x
+    | A.Constr (label, body) ->
+      if String.equal label "" then fail "empty constructor label";
+      go scope body
+    | A.Seq (t1, t2) ->
+      go scope t1;
+      go scope t2
+    | A.Guard (c, body) ->
+      check_guard ~scope c;
+      go scope body
+    | A.Relfor r ->
+      if r.A.vars <> List.map (fun (b : A.binding) -> b.A.var) r.A.source.A.bindings then
+        fail "relfor vartuple disagrees with its PSX bindings";
+      check_psx ~scope r.A.source;
+      go (r.A.vars @ scope) r.A.body
+  in
+  go [Ast.root_var] tpm
+
+let check_site ~scope (s : Plan_ir.site) =
+  if s.Plan_ir.bindings <> s.Plan_ir.source.A.bindings then
+    fail "site %d: bindings disagree with the source PSX" s.Plan_ir.id;
+  check_psx ~scope s.Plan_ir.source;
+  let tmpl = s.Plan_ir.template in
+  let plan = tmpl.Planner.plan in
+  let width = if plan.Planner.config.Planner.carry_out then 2 else 1 in
+  let expected = width * List.length s.Plan_ir.bindings in
+  if List.length plan.Planner.out_cols <> expected then
+    fail "site %d: plan projects %d columns, vartuple needs %d" s.Plan_ir.id
+      (List.length plan.Planner.out_cols) expected;
+  List.iter
+    (fun x ->
+      if not (List.mem x scope) then
+        fail "site %d: parameter %s not in scope" s.Plan_ir.id (var x))
+    (Tuple.param_vars tmpl.Planner.params);
+  if plan.Planner.provably_empty && plan.Planner.steps <> [] then
+    fail "site %d: provably empty plan still has steps" s.Plan_ir.id;
+  let aliases = List.map (fun (st : Planner.step) -> st.Planner.alias) plan.Planner.steps in
+  if not (distinct aliases) then fail "site %d: plan places an alias twice" s.Plan_ir.id;
+  List.iter
+    (fun a ->
+      if not (List.mem a s.Plan_ir.source.A.rels) then
+        fail "site %d: plan places alias %s, not in the PSX" s.Plan_ir.id a)
+    aliases;
+  if (not plan.Planner.provably_empty) && s.Plan_ir.source.A.rels <> []
+     && List.sort compare aliases <> List.sort compare s.Plan_ir.source.A.rels
+  then fail "site %d: plan does not place every PSX relation" s.Plan_ir.id
+
+let check_phys phys =
+  let seen_ids = ref [] in
+  let rec go scope (p : Plan_ir.phys) =
+    match p with
+    | Plan_ir.P_empty | Plan_ir.P_text _ -> ()
+    | Plan_ir.P_out x -> check_scoped_var ~scope x
+    | Plan_ir.P_constr (label, body) ->
+      if String.equal label "" then fail "empty constructor label";
+      go scope body
+    | Plan_ir.P_seq (p1, p2) ->
+      go scope p1;
+      go scope p2
+    | Plan_ir.P_guard (c, body) ->
+      check_guard ~scope c;
+      go scope body
+    | Plan_ir.P_relfor s ->
+      if List.mem s.Plan_ir.id !seen_ids then fail "duplicate site id %d" s.Plan_ir.id;
+      seen_ids := s.Plan_ir.id :: !seen_ids;
+      check_site ~scope s;
+      go (List.map (fun (b : A.binding) -> b.A.var) s.Plan_ir.bindings @ scope) s.Plan_ir.body
+  in
+  go [Ast.root_var] phys
+
+let check (ir : Plan_ir.t) =
+  match ir with
+  | Plan_ir.Ast q ->
+    (match Xq_check.check q with
+     | Ok () -> Ok ()
+     | Error e -> Error (Xq_check.error_to_string e))
+  | Plan_ir.Tpm tpm -> (try Ok (check_tpm tpm) with Bad msg -> Error msg)
+  | Plan_ir.Phys phys -> (try Ok (check_phys phys) with Bad msg -> Error msg)

@@ -1,0 +1,19 @@
+(** Per-stage validation of the plan IR.
+
+    The pipeline runs this after every pass, so a pass that produces an
+    ill-formed stage fails loudly at compile time rather than as a
+    runtime lookup error deep in an operator tree.  Checked per stage:
+
+    - {b xq-ast}: {!Xqdb_xq.Xq_check} (unbound/shadowed variables,
+      empty labels);
+    - {b tpm}: PSX well-formedness (binding aliases among the
+      relations, distinct aliases, predicates only over placed aliases)
+      and scoping — every external an inner PSX or guard reads is bound
+      by an enclosing relfor or is [$root];
+    - {b physical}: all of the above on each site's retained source
+      PSX, plus template consistency — the plan projects exactly the
+      vartuple's columns, parameter slots only name in-scope outer
+      variables, every PSX relation is placed exactly once, and site
+      ids are unique. *)
+
+val check : Plan_ir.t -> (unit, string) result

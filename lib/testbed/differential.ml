@@ -116,7 +116,43 @@ let clean_trial ~index engine oracle =
             else if result.Engine.page_ios < 0 then
               record (Printf.sprintf "%s negative page I/O count" name))
         | exception exn ->
-          record (Printf.sprintf "%s crashed: %s" name (Printexc.to_string exn))))
+          record (Printf.sprintf "%s crashed: %s" name (Printexc.to_string exn)));
+        (* Prepared-template axis: the same query prepared once and
+           executed repeatedly through parameter rebinding must keep
+           reproducing the fresh compilation's answer, with accounting
+           that still reconciles against the raw disk counters. *)
+        if !failure = None then begin
+          match Engine.prepare e query with
+          | prepared ->
+            let rerun tag =
+              if !failure = None then begin
+                let before = page_ios (Engine.disk e) in
+                match Engine.run_prepared e prepared with
+                | presult ->
+                  (match
+                     compare_to_oracle
+                       (Printf.sprintf "%s (%s)" name tag)
+                       oracle_result presult
+                   with
+                  | Some msg -> record msg
+                  | None ->
+                    let observed = page_ios (Engine.disk e) - before in
+                    if presult.Engine.page_ios <> observed then
+                      record
+                        (Printf.sprintf
+                           "%s (%s) accounting diverges: reported %d page I/Os, disk saw %d"
+                           name tag presult.Engine.page_ios observed))
+                | exception exn ->
+                  record
+                    (Printf.sprintf "%s (%s) crashed: %s" name tag
+                       (Printexc.to_string exn))
+              end
+            in
+            rerun "prepared run 1";
+            rerun "prepared run 2"
+          | exception exn ->
+            record (Printf.sprintf "%s prepare crashed: %s" name (Printexc.to_string exn))
+        end)
     milestone_configs;
   match !failure with
   | None -> { index; query = query_text; ok = true; detail = "" }

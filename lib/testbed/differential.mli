@@ -8,6 +8,12 @@
     runtime type error the paper allows), and each engine's self-reported
     page-I/O accounting must match the raw disk counters.
 
+    Each configuration is additionally exercised along the {e prepared}
+    axis: the query is prepared once ({!Xqdb_core.Engine.prepare}) and
+    executed twice through parameter rebinding; both executions must
+    reproduce the fresh compilation's answer with reconciling
+    accounting, catching stale template caches across rebinds.
+
     With [fault_rate > 0] every trial is additionally swept under
     {!Xqdb_storage.Fault_disk} injection: each run must end in one of
     the four engine statuses — a crash (any escaped exception) is a

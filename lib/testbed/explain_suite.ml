@@ -1,0 +1,32 @@
+module Engine = Xqdb_core.Engine
+module Engine_config = Xqdb_core.Engine_config
+module W = Xqdb_workload
+
+let configs = [Engine_config.m1; Engine_config.m2; Engine_config.m3; Engine_config.m4]
+
+let config_of_name name =
+  List.find_opt (fun c -> String.equal c.Engine_config.name name) configs
+
+(* The fixed Figure-2 document keeps statistics — and therefore plan
+   choices and cost estimates — byte-stable across runs, which is what
+   lets EXPLAIN output be golden-tested. *)
+let document () = [W.Docs.figure2]
+
+let render_config config =
+  let engine = Engine.load_forest ~config (document ()) in
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun (name, query) ->
+      Buffer.add_string buf (Printf.sprintf "===== %s =====\n" name);
+      Buffer.add_string buf (Engine.explain engine query);
+      Buffer.add_string buf "\n")
+    (Queries.parsed Queries.public_queries);
+  Buffer.contents buf
+
+let render name =
+  match config_of_name name with
+  | Some config -> Ok (render_config config)
+  | None ->
+    Error
+      (Printf.sprintf "unknown config %s (expected one of %s)" name
+         (String.concat ", " (List.map (fun c -> c.Engine_config.name) configs)))

@@ -1,0 +1,17 @@
+(** Golden EXPLAIN output for the 16 public queries.
+
+    Renders {!Xqdb_core.Engine.explain} — every stage of the staged
+    compilation pipeline — for each public query over the fixed Figure-2
+    document, one blob per milestone configuration.  The test suite
+    diffs the blobs against committed golden files; regenerate with
+    [dune runtest] followed by [dune promote] after an intentional
+    planner or printer change. *)
+
+val configs : Xqdb_core.Engine_config.t list
+(** The four milestone configurations, m1 through m4. *)
+
+val render_config : Xqdb_core.Engine_config.t -> string
+(** All 16 public-query EXPLAINs under ["===== <query> ====="] headers. *)
+
+val render : string -> (string, string) result
+(** [render "m3"] — by configuration name, for the CLI. *)

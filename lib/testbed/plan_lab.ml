@@ -1,9 +1,9 @@
 module A = Xqdb_tpm.Tpm_algebra
-module Rewrite = Xqdb_tpm.Rewrite
-module Merge = Xqdb_tpm.Merge
 module Planner = Xqdb_optimizer.Planner
 module Stats = Xqdb_optimizer.Stats
 module Op = Xqdb_physical.Phys_op
+module Plan_ir = Xqdb_plan.Plan_ir
+module Pipeline = Xqdb_plan.Pipeline
 module Engine = Xqdb_core.Engine
 module Engine_config = Xqdb_core.Engine_config
 module W = Xqdb_workload
@@ -21,13 +21,17 @@ type measurement = {
 
 let query = Xqdb_xq.Xq_parser.parse Queries.example6
 
-let rec first_relfor = function
-  | A.Relfor r -> r.A.source
-  | A.Constr (_, t) | A.Guard (_, t) -> first_relfor t
-  | A.Seq (t1, _) -> first_relfor t1
-  | A.Empty | A.Text_out _ | A.Out_var _ -> failwith "Plan_lab: no relfor"
+(* The laboratory studies the single merged relfor of Example 6; the
+   front half of the staged pipeline (rewrite + merge) produces it. *)
+let front_config =
+  { Pipeline.rewrite = Xqdb_tpm.Rewrite.default;
+    merge_relfors = true;
+    planner = Planner.m4_config }
 
-let psx () = first_relfor (Merge.merge (Rewrite.query query))
+let psx_of ctx =
+  match Plan_ir.tpm_relfors (Pipeline.front ctx query) with
+  | r :: _ -> r.A.source
+  | [] -> failwith "Plan_lab: no relfor"
 
 (* The QP0 configuration: no indexes, no order discipline (sort at the
    end), intermediates on disk. *)
@@ -44,7 +48,7 @@ let run ?(scale = 300) () =
   let engine = Engine.load_forest ~config forest in
   let store = Engine.store engine in
   let stats = Stats.make store (Engine.doc_stats engine) in
-  let source = psx () in
+  let source = psx_of { Pipeline.config = front_config; stats; store } in
   let aliases = source.A.rels in
   let binding_aliases = List.map (fun (b : A.binding) -> b.A.brel) source.A.bindings in
   let x_alias, y_alias =
@@ -72,8 +76,9 @@ let run ?(scale = 300) () =
       c.Disk.reads + c.Disk.writes
     in
     let start = Sys.time () in
-    let op = Planner.instantiate ctx plan ~env in
-    let rows = List.length (Op.drain op) in
+    let tmpl = Planner.template ctx plan in
+    Planner.bind tmpl ~env;
+    let rows = List.length (Op.drain tmpl.Planner.op) in
     let seconds = Sys.time () -. start in
     let after =
       let c = Disk.counters disk in

@@ -28,12 +28,15 @@ type measurement = {
 val query : Xqdb_xq.Xq_ast.query
 (** The Example 6 query. *)
 
-val psx : unit -> Xqdb_tpm.Tpm_algebra.psx
+val psx_of : Xqdb_plan.Pipeline.ctx -> Xqdb_tpm.Tpm_algebra.psx
 (** Its merged PSX (bindings for the article and author variables,
-    existential volume relation). *)
+    existential volume relation), obtained by running the logical front
+    half of the staged pipeline ({!Xqdb_plan.Pipeline.front}). *)
 
 val run : ?scale:int -> unit -> measurement list
 (** Builds the document at [scale] (default 300 publications; the naive plan is quadratic), loads
-    it, and measures QP0, QP1, QP2 in that order. *)
+    it, and measures QP0, QP1, QP2 in that order.  Each plan is built
+    as a {!Xqdb_optimizer.Planner.template} and bound once — the same
+    compile/bind split the engine uses. *)
 
 val render : measurement list -> string

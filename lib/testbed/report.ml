@@ -271,26 +271,42 @@ let profile_json (p : Engine.profile) =
       ("other_ios", Int p.other_ios);
       ("operators", Arr (List.map op_json p.operators)) ]
 
-let result_json ~engine ~test (r : Engine.result) =
+(* The planner/engine counter deltas a run's profile carries; surfaced
+   as top-level result fields (schema v2) so CI can assert on them
+   without digging through the counters object. *)
+let template_fields (p : Engine.profile) =
+  let counter name =
+    match List.assoc_opt name p.counters with Some v -> v | None -> 0
+  in
+  [ ("templates_built", Int (counter "planner.templates_built"));
+    ("template_binds", Int (counter "planner.template_binds"));
+    ("prepared_cache_hits", Int (counter "engine.prepared_cache_hits")) ]
+
+let result_json ?(extra = []) ~engine ~test (r : Engine.result) =
   Obj
-    [ ("engine", Str engine);
-      ("test", Str test);
-      ("page_ios", Int r.page_ios);
-      ("seconds", Float r.elapsed);
-      ( "censored",
-        Bool (match r.status with Engine.Budget_exceeded _ -> true | _ -> false) );
-      ("profile", profile_json r.profile) ]
+    ([ ("engine", Str engine); ("test", Str test) ]
+    @ extra
+    @ [ ("page_ios", Int r.page_ios);
+        ("seconds", Float r.elapsed);
+        ( "censored",
+          Bool (match r.status with Engine.Budget_exceeded _ -> true | _ -> false) ) ]
+    @ template_fields r.profile
+    @ [("profile", profile_json r.profile)])
 
 let cell_json (c : Efficiency.cell) =
   Obj
-    [ ("engine", Str c.engine);
-      ("test", Str c.test);
-      ("page_ios", Int c.page_ios);
-      ("seconds", Float c.seconds);
-      ("censored", Bool c.censored);
-      ("profile", profile_json c.profile) ]
+    ([ ("engine", Str c.engine);
+       ("test", Str c.test);
+       ("page_ios", Int c.page_ios);
+       ("seconds", Float c.seconds);
+       ("censored", Bool c.censored) ]
+    @ template_fields c.profile
+    @ [("profile", profile_json c.profile)])
 
-let schema_version = 1
+let schema_version = 2
+
+(* v1 reports (no template counter fields) stay parseable/valid. *)
+let accepted_versions = [1; schema_version]
 
 let bench_json ~kind extra ~results =
   Obj
@@ -389,11 +405,22 @@ let validate_profile p =
       let* _ = int_field pool "misses" in
       Ok ()
 
-let validate_result r =
+let validate_result ~version r =
   let* engine = need "engine" (member "engine" r) in
   let* _ = as_str "engine" engine in
   let* test = need "test" (member "test" r) in
   let* _ = as_str "test" test in
+  let* () =
+    if version < 2 then Ok ()
+    else
+      List.fold_left
+        (fun acc name ->
+          let* () = acc in
+          let* v = int_field r name in
+          if v < 0 then Error (Printf.sprintf "negative %s" name) else Ok ())
+        (Ok ())
+        ["templates_built"; "template_binds"; "prepared_cache_hits"]
+  in
   let* _ = int_field r "page_ios" in
   let* seconds = need "seconds" (member "seconds" r) in
   let* _ = as_number "seconds" seconds in
@@ -419,7 +446,7 @@ let validate_result r =
 let validate_bench json =
   let* version = need "schema_version" (member "schema_version" json) in
   let* version = as_int "schema_version" version in
-  if version <> schema_version then
+  if not (List.mem version accepted_versions) then
     Error (Printf.sprintf "unsupported schema_version %d" version)
   else
     let* kind = need "kind" (member "kind" json) in
@@ -431,15 +458,47 @@ let validate_bench json =
       List.fold_left
         (fun acc r ->
           let* () = acc in
-          validate_result r)
+          validate_result ~version r)
         (Ok ()) results
 
-let validate_file path =
+let validate_constant_templates json =
+  let* results = need "results" (member "results" json) in
+  let* results = as_arr "results" results in
+  let* keyed =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* engine = need "engine" (member "engine" r) in
+        let* engine = as_str "engine" engine in
+        let* test = need "test" (member "test" r) in
+        let* test = as_str "test" test in
+        let* built = int_field r "templates_built" in
+        Ok ((engine ^ " / " ^ test, built) :: acc))
+      (Ok []) results
+  in
+  List.fold_left
+    (fun acc (key, built) ->
+      let* seen = acc in
+      match List.assoc_opt key seen with
+      | None -> Ok ((key, built) :: seen)
+      | Some prev when prev = built -> Ok seen
+      | Some prev ->
+        Error
+          (Printf.sprintf
+             "templates_built varies with scale for %s: %d vs %d — planning is not compile-once"
+             key prev built))
+    (Ok []) (List.rev keyed)
+  |> Result.map (fun _ -> ())
+
+let parse_file path =
   let ic = open_in_bin path in
   let contents =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let* json = parse contents in
+  parse contents
+
+let validate_file path =
+  let* json = parse_file path in
   validate_bench json

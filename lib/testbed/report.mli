@@ -6,15 +6,19 @@
     engine profiles and efficiency tables the benches emit as
     [BENCH_*.json], and a sanity validator CI runs over those files.
 
-    Schema, stable across the [schema_version] field:
+    Schema, stable across the [schema_version] field (version 2 added
+    the per-run planner counters [templates_built], [template_binds] and
+    [prepared_cache_hits]; version-1 files are still accepted):
 
     {v
-    { "schema_version": 1,
-      "kind": "fig7" | "ablations" | "milestones",
+    { "schema_version": 2,
+      "kind": "fig7" | "ablations" | "milestones" | "templates",
       "budget": int,              (fig7 only)
       "results": [
-        { "engine": str, "test": str,
+        { "engine": str, "test": str, <extra fields, e.g. "scale": int>,
           "page_ios": int, "seconds": float, "censored": bool,
+          "templates_built": int, "template_binds": int,
+          "prepared_cache_hits": int,
           "profile": {
             "reads": int, "writes": int, "allocs": int,
             "pool": {"hits": int, "misses": int, "evictions": int,
@@ -54,8 +58,11 @@ val write_file : string -> json -> unit
 val profile_json : Xqdb_core.Engine.profile -> json
 
 val result_json :
+  ?extra:(string * json) list ->
   engine:string -> test:string -> Xqdb_core.Engine.result -> json
-(** One engine × test measurement with its full profile. *)
+(** One engine × test measurement with its full profile and the
+    template counters pulled out of it; [extra] adds result-level fields
+    (e.g. [("scale", Int n)] for scaling sweeps). *)
 
 val cell_json : Efficiency.cell -> json
 
@@ -78,6 +85,14 @@ val validate_bench : json -> (unit, string) result
     engine/test/page_ios/seconds/censored quintet, and every embedded
     profile reconciles ([reads + writes = operator_ios + other_ios],
     operator trees internally consistent). *)
+
+val validate_constant_templates : json -> (unit, string) result
+(** The compile-once invariant: within one report, every (engine, test)
+    pair must show the same [templates_built] across all its results —
+    a scaling sweep whose template count grows with data size means
+    planning happens per outer tuple again.  Requires a v2 report. *)
+
+val parse_file : string -> (json, string) result
 
 val validate_file : string -> (unit, string) result
 (** Read, parse and {!validate_bench} one file. *)

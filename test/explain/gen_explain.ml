@@ -1,0 +1,11 @@
+let () =
+  match Sys.argv with
+  | [| _; name |] -> (
+    match Xqdb_testbed.Explain_suite.render name with
+    | Ok text -> print_string text
+    | Error msg ->
+      prerr_endline msg;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: gen_explain <m1|m2|m3|m4>";
+    exit 1

@@ -279,6 +279,76 @@ let test_prepared_queries () =
   | _ -> Alcotest.fail "prepare should check"
   | exception Invalid_argument _ -> ()
 
+(* --- the prepared-plan cache and compile-once planning ------------------------ *)
+
+let counter r name =
+  match List.assoc_opt name r.Engine.profile.Engine.counters with
+  | Some v -> v
+  | None -> 0
+
+let test_prepared_cache_counters () =
+  (* A fresh engine so other tests' cache entries cannot interfere. *)
+  let engine = Engine.load_forest ~config:Config.m4 [W.Docs.figure2] in
+  let q = Xqdb_xq.Xq_parser.parse example2 in
+  let r1 = Engine.run engine q in
+  Alcotest.(check int) "first run misses the cache" 0
+    (counter r1 "engine.prepared_cache_hits");
+  Alcotest.(check bool) "first run builds templates" true
+    (counter r1 "planner.templates_built" > 0);
+  let r2 = Engine.run engine q in
+  Alcotest.(check string) "same answer" r1.Engine.output r2.Engine.output;
+  Alcotest.(check int) "second run hits the cache" 1
+    (counter r2 "engine.prepared_cache_hits");
+  Alcotest.(check int) "second run builds no templates" 0
+    (counter r2 "planner.templates_built");
+  (* Reconfiguring starts a fresh cache: plans never leak across configs. *)
+  let r3 = Engine.run (Engine.with_config Config.m4 engine) q in
+  Alcotest.(check int) "fresh cache misses" 0 (counter r3 "engine.prepared_cache_hits");
+  Alcotest.(check bool) "fresh cache recompiles" true
+    (counter r3 "planner.templates_built" > 0)
+
+(* The acceptance criterion of the compile-once pipeline: for a nested
+   query whose constructor blocks relfor merging, templates_built stays
+   at the number of relfor sites while template_binds scales with the
+   outer cardinality. *)
+let test_templates_scale_with_sites () =
+  let nested =
+    "for $x in //article return <entry>{ for $a in $x/author return $a }</entry>"
+  in
+  let q = Xqdb_xq.Xq_parser.parse nested in
+  let run scale =
+    let engine =
+      Engine.load_forest ~config:Config.m4
+        [W.Dblp_gen.generate (W.Dblp_gen.scaled scale)]
+    in
+    let r = Engine.run engine q in
+    Alcotest.(check bool) "query succeeds" true (r.Engine.status = Engine.Ok);
+    (counter r "planner.templates_built", counter r "planner.template_binds")
+  in
+  let built60, binds60 = run 60 in
+  let built180, binds180 = run 180 in
+  Alcotest.(check int) "two relfor sites at scale 60" 2 built60;
+  Alcotest.(check int) "still two sites at scale 180" 2 built180;
+  Alcotest.(check bool) "binds scale with the data" true (binds180 > binds60);
+  Alcotest.(check bool) "binds far exceed builds" true (binds180 > 10 * built180)
+
+let test_explain_stages_and_analyze () =
+  let engine = Lazy.force journal_engine in
+  let q = Xqdb_xq.Xq_parser.parse example2 in
+  let text = Engine.explain engine q in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (fragment ^ " in explain") true (contains text fragment))
+    ["== source: xq-ast =="; "== rewrite: tpm =="; "== plan: physical =="];
+  Alcotest.(check bool) "plain explain has no analyze section" false
+    (contains text "== analyze ==");
+  let analyzed = Engine.explain ~analyze:true engine q in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) (fragment ^ " in explain --analyze") true
+        (contains analyzed fragment))
+    ["== analyze =="; "status: ok"; "page I/Os:"; "site 0:"; "rows"]
+
 (* --- multi-document databases -------------------------------------------------- *)
 
 module DB = Xqdb_core.Database
@@ -361,8 +431,14 @@ let () =
           Alcotest.test_case "pool exhaustion censors" `Quick test_pool_exhausted_censors;
           Alcotest.test_case "static checks" `Quick test_check_rejects_bad_queries;
           Alcotest.test_case "prepared queries" `Quick test_prepared_queries ] );
+      ( "compile-once",
+        [ Alcotest.test_case "prepared-plan cache" `Quick test_prepared_cache_counters;
+          Alcotest.test_case "templates scale with sites" `Quick
+            test_templates_scale_with_sites ] );
       ( "introspection",
         [ Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "explain stages and analyze" `Quick
+            test_explain_stages_and_analyze;
           Alcotest.test_case "accessors" `Quick test_document_accessors;
           Alcotest.test_case "file-backed database" `Quick test_on_file_database ] );
       ( "databases",

@@ -195,6 +195,67 @@ let test_all_plans_agree () =
       "for $x in //inproceedings return if (some $y in $x/year satisfies (some $t in \
        $y/text() satisfies $t = \"1999\")) then $x/booktitle else ()" ]
 
+(* --- parameterized templates ------------------------------------------------- *)
+
+(* One template, bound once per outer tuple, must enumerate exactly what
+   a fresh instantiation per tuple does — and the metrics must show one
+   build against many binds. *)
+let test_template_reuse () =
+  let store, doc_stats = load dblp in
+  let stats = Stats.make store doc_stats in
+  let root = root_env store in
+  let outer_plan =
+    Planner.plan Planner.m4_config stats (psx_of "for $x in //article return $x")
+  in
+  let articles = run_plan store outer_plan in
+  Alcotest.(check bool) "many articles" true (List.length articles > 10);
+  (* The inner relfor of the nested query reads $x as an external. *)
+  let inner_psx =
+    let tpm =
+      Merge.merge
+        (Rewrite.query
+           (Xqdb_xq.Xq_parser.parse
+              "for $x in //article return <e>{ for $a in $x/author return $a }</e>"))
+    in
+    match Xqdb_plan.Plan_ir.tpm_relfors tpm with
+    | [_outer; inner] -> inner.A.source
+    | rs -> Alcotest.failf "expected two relfors, got %d" (List.length rs)
+  in
+  let plan = Planner.plan Planner.m4_config stats inner_psx in
+  Alcotest.(check bool) "plan reads outer variables" true
+    (Planner.plan_externs plan <> []);
+  (* m4 vartuples carry (in, out): the article row is [| I in; I out |]. *)
+  let env_of (t : Tuple.t) v =
+    if String.equal v Xqdb_xq.Xq_ast.root_var then root v
+    else
+      match t.(0), t.(1) with
+      | Tuple.I nin, Tuple.I nout -> (nin, nout)
+      | _ -> Alcotest.fail "article vartuple is not (in, out)"
+  in
+  let before = S.Metrics.snapshot () in
+  let tmpl = Planner.template (Op.make_ctx store) plan in
+  let reused =
+    List.map
+      (fun t ->
+        Planner.bind tmpl ~env:(env_of t);
+        Op.drain tmpl.Planner.op)
+      articles
+  in
+  let fresh =
+    List.map
+      (fun t -> Op.drain (Planner.instantiate (Op.make_ctx store) plan ~env:(env_of t)))
+      articles
+  in
+  Alcotest.(check bool) "rebinding agrees with fresh instantiation" true (reused = fresh);
+  Alcotest.(check bool) "some article has authors" true
+    (List.exists (fun rows -> rows <> []) reused);
+  let d = S.Metrics.diff (S.Metrics.snapshot ()) before in
+  let n = List.length articles in
+  Alcotest.(check int) "one shared template + n fresh instantiations" (1 + n)
+    (S.Metrics.get d "planner.templates_built");
+  Alcotest.(check int) "every use is one bind" (2 * n)
+    (S.Metrics.get d "planner.template_binds")
+
 (* Materialization modes do not change results. *)
 let test_materialize_modes_agree () =
   let store, doc_stats = load dblp in
@@ -216,6 +277,8 @@ let () =
           Alcotest.test_case "cost model prefers indexes" `Quick
             test_cost_based_prefers_indexes;
           Alcotest.test_case "semijoin appears" `Quick test_semijoin_in_plan ] );
+      ( "templates",
+        [ Alcotest.test_case "template reuse" `Quick test_template_reuse ] );
       ( "plan equivalence",
         [ Alcotest.test_case "orders and strategies agree" `Slow test_all_plans_agree;
           Alcotest.test_case "materialization modes agree" `Quick

@@ -259,6 +259,67 @@ let test_materialize () =
       Alcotest.(check int) "replay" 9 (Op.count mat))
     [`Mem; `Disk]
 
+(* --- parameter slots and rebind ------------------------------------------------ *)
+
+let test_params_rebind () =
+  let _, base = make_store () in
+  let params = Tuple.make_params ["v"] in
+  let ctx = Op.with_params base params in
+  let op =
+    Op.full_scan ctx "R"
+      ~preds:[elem_pred "R"; eq (ocol "R" A.Parent_in) (A.Oextern_in "v")]
+  in
+  Alcotest.(check bool) "extern pred makes the scan parameter-dependent" true
+    op.Op.param_dep;
+  Alcotest.(check bool) "plain scan is parameter-independent" false
+    (Op.full_scan ctx "R" ~preds:[elem_pred "R"]).Op.param_dep;
+  let children nin =
+    Tuple.bind_params params (fun _ -> (nin, 0));
+    Op.rebind op;
+    op.Op.reset ();
+    ins_of op
+  in
+  Alcotest.(check (list int)) "element children of the root" [2] (children 1);
+  Alcotest.(check (list int)) "element children of authors" [4; 8] (children 3);
+  Alcotest.(check (list int)) "rebinding back agrees" [2] (children 1)
+
+(* rebind clears only parameter-dependent caches: an independent cached
+   inner relation survives (observable through its row counter), while a
+   dependent one is re-read with the new binding. *)
+let test_rebind_cache_policy () =
+  let _, base = make_store () in
+  let params = Tuple.make_params ["v"] in
+  let ctx = Op.with_params base params in
+  (* Dependent outer (children of $v), independent inner (the names). *)
+  let outer =
+    Op.full_scan ctx "R"
+      ~preds:[elem_pred "R"; eq (ocol "R" A.Parent_in) (A.Oextern_in "v")]
+  in
+  let inner = Op.full_scan ctx "S" ~preds:[elem_pred "S"; value_pred "S" "name"] in
+  let join = Op.nl_join ~preds:[] outer inner ctx in
+  Alcotest.(check bool) "join inherits dependence from its outer" true join.Op.param_dep;
+  let rows j nin =
+    Tuple.bind_params params (fun _ -> (nin, 0));
+    Op.rebind j;
+    j.Op.reset ();
+    List.length (Op.drain j)
+  in
+  Alcotest.(check int) "1 root child x 2 names" 2 (rows join 1);
+  let inner_rows = inner.Op.stats.Op.rows in
+  Alcotest.(check int) "2 authors children x 2 names" 4 (rows join 3);
+  Alcotest.(check int) "independent inner served from its cache" inner_rows
+    inner.Op.stats.Op.rows;
+  (* Flip the roles: a parameter-dependent inner cache must be dropped,
+     otherwise the second binding would replay the first one's rows. *)
+  let outer2 = Op.full_scan ctx "R" ~preds:[elem_pred "R"; value_pred "R" "name"] in
+  let inner2 =
+    Op.full_scan ctx "S"
+      ~preds:[elem_pred "S"; eq (ocol "S" A.Parent_in) (A.Oextern_in "v")]
+  in
+  let join2 = Op.nl_join ~preds:[] outer2 inner2 ctx in
+  Alcotest.(check int) "2 names x 1 root child" 2 (rows join2 1);
+  Alcotest.(check int) "2 names x 2 authors children" 4 (rows join2 3)
+
 (* --- budget propagation -------------------------------------------------------- *)
 
 let test_operator_budget () =
@@ -297,4 +358,7 @@ let () =
       ( "sorting",
         [ Alcotest.test_case "three sorts agree" `Quick test_sorts_agree;
           Alcotest.test_case "materialize" `Quick test_materialize ] );
+      ( "params",
+        [ Alcotest.test_case "bind and rebind" `Quick test_params_rebind;
+          Alcotest.test_case "rebind cache policy" `Quick test_rebind_cache_policy ] );
       ("budget", [Alcotest.test_case "propagation" `Quick test_operator_budget]) ]
