@@ -1,0 +1,55 @@
+(* xqdb-lint: the storage-safety static analyzer, standalone form.
+
+   Exit status 0 when the tree is clean under the checked allowlist,
+   1 when there are findings — so CI can gate on it directly. *)
+
+open Cmdliner
+module L = Xqdb_lint
+
+let root =
+  Arg.(
+    value & opt string "."
+    & info ["root"] ~docv:"DIR" ~doc:"Repository root to analyze (default: $(b,.)).")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [("text", `Text); ("json", `Json)]) `Text
+    & info ["format"] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let allow =
+  Arg.(
+    value
+    & opt string L.Driver.default_allow_file
+    & info ["allow"] ~docv:"FILE"
+        ~doc:"Checked allowlist, relative to $(b,--root); unused entries are findings.")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["out"] ~docv:"FILE"
+        ~doc:"Also write the JSON report to $(docv) (whatever $(b,--format) says).")
+
+let lint_action root format allow out =
+  let findings = L.Driver.run ~allow ~root () in
+  (match format with
+  | `Text -> print_string (L.Driver.render_text findings)
+  | `Json -> print_string (L.Driver.render_json findings));
+  (match out with
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (L.Driver.render_json findings);
+    close_out oc
+  | None -> ());
+  if findings <> [] then exit 1
+
+let () =
+  let info =
+    Cmd.info "xqdb-lint"
+      ~doc:
+        "Static analyzer for the xqdb storage-safety invariants (L1 typed errors, \
+         L2 no catch-all handlers, L3 no polymorphic compare on storage data, L4 \
+         interfaces everywhere, L5 metric-name hygiene)."
+  in
+  exit (Cmd.eval (Cmd.v info Term.(const lint_action $ root $ format $ allow $ out)))

@@ -178,6 +178,43 @@ let check_bench_cmd =
           other_ios, operator trees internally consistent).")
     Term.(const check_bench_action $ require_constant_templates $ bench_files)
 
+(* --- lint: the storage-safety static analyzer, testbed form ------------- *)
+
+let lint_root =
+  Arg.(
+    value & opt string "."
+    & info ["root"] ~docv:"DIR" ~doc:"Repository root to analyze (default: $(b,.)).")
+
+let lint_format =
+  Arg.(
+    value
+    & opt (enum [("text", `Text); ("json", `Json)]) `Text
+    & info ["format"] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let lint_allow =
+  Arg.(
+    value
+    & opt string Xqdb_lint.Driver.default_allow_file
+    & info ["allow"] ~docv:"FILE"
+        ~doc:"Checked allowlist, relative to $(b,--root).")
+
+let lint_action root format allow =
+  let findings = Xqdb_lint.Driver.run ~allow ~root () in
+  (match format with
+  | `Text -> print_string (Xqdb_lint.Driver.render_text findings)
+  | `Json -> print_string (Xqdb_lint.Driver.render_json findings));
+  if findings <> [] then exit 1
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the storage-safety static analyzer (same rule registry as \
+          $(b,xqdb-lint)): L1 typed errors, L2 no catch-all handlers, L3 no \
+          polymorphic compare on storage data, L4 interfaces everywhere, L5 \
+          metric-name hygiene.")
+    Term.(const lint_action $ lint_root $ lint_format $ lint_allow)
+
 let () =
   let info =
     Cmd.info "xqdb-testbed" ~doc:"Correctness and efficiency testbed for the XQ engines"
@@ -185,4 +222,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [run_cmd; differential_cmd; explain_cmd; check_bench_cmd]))
+          [run_cmd; differential_cmd; explain_cmd; check_bench_cmd; lint_cmd]))

@@ -86,6 +86,10 @@ let attach ?(config = Engine_config.m4) ~disk ~pool ~catalog ~store ~doc_stats (
     prepared_cache = Hashtbl.create 8 }
 
 let with_config config t =
+  (* A config switch is a quiescent point: nothing may still hold a page
+     pin from the previous configuration's runs. *)
+  if Storage.Buffer_pool.sanitizing t.pool then
+    Storage.Buffer_pool.assert_unpinned ~where:"Engine.with_config" t.pool;
   { t with
     config;
     stats = Stats.make ~quality:config.Engine_config.quality t.store t.doc_stats;
@@ -146,13 +150,13 @@ let lookup_env env x =
 
 let as_int = function
   | Tuple.I v -> v
-  | Tuple.S _ -> failwith "Engine: non-integer binding column"
+  | Tuple.S _ -> Storage.Xqdb_error.internal "Engine: non-integer binding column"
 
 let out_of t budget nin =
   ignore budget;
   match Store.fetch t.store nin with
   | Some tuple -> tuple.Xasr.nout
-  | None -> failwith "Engine: dangling binding"
+  | None -> Storage.Xqdb_error.corrupt "Engine: dangling binding"
 
 let output_of t env x =
   let nin, _ = lookup_env env x in
@@ -214,13 +218,19 @@ let rec exec t budget (env : env) (phys : Plan_ir.phys) : Tree.forest =
       (* A nullary relfor is an existence test: its projection holds at
          most the empty tuple, so the first result decides. *)
       match op.Op.next () with
-      | Some _ -> exec t budget env site.Plan_ir.body
-      | None -> []
+      | Some _ ->
+        Op.close tmpl.Planner.ctx op;
+        exec t budget env site.Plan_ir.body
+      | None ->
+        Op.close tmpl.Planner.ctx op;
+        []
     end
     else
     let rec loop acc =
       match op.Op.next () with
-      | None -> List.concat (List.rev acc)
+      | None ->
+        Op.close tmpl.Planner.ctx op;
+        List.concat (List.rev acc)
       | Some tuple ->
         let env' =
           List.concat
@@ -309,6 +319,9 @@ let measured t ~operators thunk =
   let before = Storage.Disk.counters t.disk in
   let pool_before = Storage.Buffer_pool.stats t.pool in
   let metrics_before = Storage.Metrics.snapshot () in
+  (* Callers may hold pins of their own across a run; the run is only
+     required to release everything *it* acquires. *)
+  let pin_base = Storage.Buffer_pool.pin_baseline t.pool in
   let start = Sys.time () in
   let status, output =
     match thunk () with
@@ -320,7 +333,18 @@ let measured t ~operators thunk =
        fully-pinned pool or an overfull page must censor, not crash. *)
     | exception Storage.Buffer_pool.Pool_exhausted msg -> (Io_error msg, "")
     | exception Storage.Page.Page_full msg -> (Io_error msg, "")
+    (* Typed data errors (dangling index entries, missing catalog keys)
+       censor like disk faults; malformed input surfaces as Error.
+       Xqdb_error.Internal is deliberately NOT caught — an engine bug
+       must crash loudly, not be censored. *)
+    | exception Storage.Xqdb_error.Corrupt msg -> (Io_error ("corrupt: " ^ msg), "")
+    | exception Shredder.Shred_error msg -> (Error msg, "")
   in
+  (* The pin-sanitizer checkpoint: whatever happened above — completion,
+     budget exhaustion, a disk fault mid-scan — every pin the run
+     acquired must be released by now. *)
+  if Storage.Buffer_pool.sanitizing t.pool then
+    Storage.Buffer_pool.assert_balanced ~where:"Engine.run" ~baseline:pin_base t.pool;
   let elapsed = Sys.time () -. start in
   let after = Storage.Disk.counters t.disk in
   let reads = after.Storage.Disk.reads - before.Storage.Disk.reads in

@@ -47,14 +47,26 @@ val pool : t -> Xqdb_storage.Buffer_pool.t
 type status =
   | Ok
   | Budget_exceeded of string
-  | Error of string  (** runtime type error, as the paper allows *)
+  | Error of string
+      (** runtime type error, as the paper allows — or malformed input
+          surfacing as a typed {!Xqdb_xasr.Shredder.Shred_error} *)
   | Io_error of string
       (** a storage-layer resource failure: an unrecoverable disk fault
           ({!Xqdb_storage.Disk.Disk_error}) that survived the buffer
           pool's bounded retries, a fully-pinned pool
-          ({!Xqdb_storage.Buffer_pool.Pool_exhausted}), or an overfull
-          page ({!Xqdb_storage.Page.Page_full}); the run is censored
-          like a budget overrun, never reported as a crash *)
+          ({!Xqdb_storage.Buffer_pool.Pool_exhausted}), an overfull
+          page ({!Xqdb_storage.Page.Page_full}), or corrupt stored data
+          ({!Xqdb_storage.Xqdb_error.Corrupt} — dangling index entries,
+          missing catalog keys); the run is censored like a budget
+          overrun, never reported as a crash.
+          {!Xqdb_storage.Xqdb_error.Internal} — an engine bug — is
+          deliberately not censored and crashes the run.
+
+          Under a sanitizing pool
+          ({!Xqdb_storage.Buffer_pool.sanitizing}) every run, whatever
+          its status, ends with a zero-leaked-pins assertion; a leak
+          raises {!Xqdb_storage.Buffer_pool.Pin_leak} with the
+          offending acquisition backtraces. *)
 
 type op_profile = Xqdb_physical.Phys_op.profile = {
   op : string;

@@ -1,0 +1,69 @@
+type entry = { e_rule : string; e_path : string; e_line : int }
+
+type t = { file : string; entries : entry list; problems : Finding.t list }
+
+let empty = { file = ""; entries = []; problems = [] }
+
+let problem ~file ~line fmt =
+  Printf.ksprintf (fun msg -> Finding.v ~rule:"ALLOW" ~file ~line msg) fmt
+
+let parse ?(known = []) ~file text =
+  let entries = ref [] and problems = ref [] in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      let s = String.trim raw in
+      if s = "" || s.[0] = '#' then ()
+      else
+        match
+          String.split_on_char ' ' s |> List.filter (fun tok -> tok <> "")
+        with
+        | [ rule; path ] ->
+          if known <> [] && not (List.mem rule known) then
+            problems := problem ~file ~line "unknown rule %S in allowlist" rule :: !problems
+          else entries := { e_rule = rule; e_path = path; e_line = line } :: !entries
+        | _ ->
+          problems :=
+            problem ~file ~line "malformed allowlist line (want `<rule> <path>`): %s" s
+            :: !problems)
+    (String.split_on_char '\n' text);
+  { file; entries = List.rev !entries; problems = List.rev !problems }
+
+let load ?known path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    parse ?known ~file:(Filename.basename path) text
+  end
+
+let apply t findings =
+  let entries = Array.of_list t.entries in
+  let used = Array.make (Array.length entries) false in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        let rec find i =
+          if i >= Array.length entries then true
+          else if entries.(i).e_rule = f.rule && entries.(i).e_path = f.file then begin
+            used.(i) <- true;
+            false
+          end
+          else find (i + 1)
+        in
+        find 0)
+      findings
+  in
+  let unused =
+    List.concat
+      (List.mapi
+         (fun i e ->
+           if used.(i) then []
+           else
+             [ problem ~file:t.file ~line:e.e_line
+                 "unused allowlist entry: %s %s (fix the code or drop the entry)"
+                 e.e_rule e.e_path ])
+         (Array.to_list entries))
+  in
+  kept @ unused @ t.problems

@@ -1,0 +1,29 @@
+(** The checked allowlist.
+
+    Suppressions live in one file at the repo root ([lint.allow]), not
+    in inline comments — so every exemption is visible in one place and
+    reviewed as such.  Each non-comment line reads
+
+    {v <rule> <path> v}
+
+    e.g. [L2 lib/testbed/differential.ml], and suppresses every finding
+    of that rule in that file.  The list is {e checked} both ways: a
+    malformed line or an unknown rule is itself a finding (rule
+    ["ALLOW"]), and so is an entry that no longer suppresses anything —
+    stale exemptions cannot accumulate. *)
+
+type t
+
+val empty : t
+
+val parse : ?known:string list -> file:string -> string -> t
+(** Parse allowlist text.  [~file] is the name reported in findings
+    about the list itself.  When [known] is given, entries naming a rule
+    outside it are flagged.  Blank lines and [#] comments are ignored. *)
+
+val load : ?known:string list -> string -> t
+(** [parse] the file at the given path; a missing file is [empty]. *)
+
+val apply : t -> Finding.t list -> Finding.t list
+(** Filter out allowed findings, then append one ["ALLOW"] finding per
+    unused entry and per parse problem. *)

@@ -1,0 +1,27 @@
+(** A single lint violation, anchored to a source location.
+
+    Findings are plain data so the rule registry, the allowlist and the
+    renderers stay decoupled: rules produce them, the allowlist filters
+    (and adds) them, the driver sorts and renders them. *)
+
+type t = {
+  rule : string;  (** rule identifier, e.g. ["L1"]; ["PARSE"] and
+                      ["ALLOW"] are reserved for the driver itself *)
+  file : string;  (** repo-relative path with [/] separators *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports columns *)
+  message : string;
+}
+
+val v : rule:string -> file:string -> ?line:int -> ?col:int -> string -> t
+(** [line] defaults to 1, [col] to 0 — for whole-file findings. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, rule, message — the report order. *)
+
+val to_string : t -> string
+(** ["file:line:col: [rule] message"], one finding per line. *)
+
+val to_json : t -> string
+(** One JSON object [{"rule":…,"file":…,"line":…,"col":…,"message":…}]
+    with strings escaped per RFC 8259. *)

@@ -1,0 +1,323 @@
+type source = { path : string; text : string; mli_exists : bool }
+
+type rule = { id : string; title : string }
+
+let registry =
+  [ { id = "L1";
+      title = "no bare failwith / Failure — raise typed errors instead" };
+    { id = "L2";
+      title = "no catch-all exception handler that discards the exception" };
+    { id = "L3";
+      title = "no polymorphic compare/equality/hash on storage or physical values" };
+    { id = "L4"; title = "every module under lib/ declares an interface (.mli)" };
+    { id = "L5"; title = "Metrics counter names are literal, well-formed and unique" } ]
+
+(* --- location helpers ---------------------------------------------------- *)
+
+let line_col (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol)
+
+let last_of = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply _ -> ""
+
+let rec module_last = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply (_, r) -> module_last r
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let parse_implementation src =
+  let lexbuf = Lexing.from_string src.text in
+  Location.init lexbuf src.path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception Syntaxerr.Error err ->
+    let line, col = line_col (Syntaxerr.location_of_error err) in
+    Error (Finding.v ~rule:"PARSE" ~file:src.path ~line ~col "syntax error")
+  | exception Lexer.Error (_, loc) ->
+    let line, col = line_col loc in
+    Error (Finding.v ~rule:"PARSE" ~file:src.path ~line ~col "lexical error")
+
+(* --- L1: no bare failwith / Failure -------------------------------------- *)
+
+let check_l1 ~emit ast =
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } when last_of txt = "failwith" ->
+      emit "L1" e.pexp_loc
+        "bare failwith — raise Xqdb_error.Internal/Corrupt or a module-typed error"
+    | Pexp_construct ({ txt; _ }, Some _) when last_of txt = "Failure" ->
+      emit "L1" e.pexp_loc
+        "Failure constructed directly — raise a typed error the engine can map to a status"
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it ast
+
+(* --- L2: no catch-all exception handlers --------------------------------- *)
+
+(* A handler pattern is "catch-all" when it matches every exception:
+   [_], a bare variable, an alias or or-pattern thereof.  Returns the
+   bound name when there is one, so the handler body can be checked for
+   a re-raise. *)
+let rec catch_all (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any -> Some None
+  | Ppat_var { txt; _ } -> Some (Some txt)
+  | Ppat_alias (inner, { txt; _ }) -> (
+    match catch_all inner with Some _ -> Some (Some txt) | None -> None)
+  | Ppat_or (a, b) -> (
+    match catch_all a with Some x -> Some x | None -> catch_all b)
+  | Ppat_constraint (inner, _) -> catch_all inner
+  | _ -> None
+
+let reraise_names = [ "raise"; "raise_notrace"; "reraise"; "raise_with_backtrace" ]
+
+(* Does [body] re-raise the exception bound to [var]?  Passing it to
+   [raise] / [Printexc.raise_with_backtrace] (in any argument position)
+   counts; merely formatting it does not. *)
+let reraises var (body : Parsetree.expression) =
+  let found = ref false in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, args)
+      when List.mem (last_of f) reraise_names ->
+      List.iter
+        (fun ((_, a) : _ * Parsetree.expression) ->
+          match a.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident v; _ } when v = var -> found := true
+          | _ -> ())
+        args
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  !found
+
+let check_l2 ~emit ast =
+  let check_handler (c : Parsetree.case) (p : Parsetree.pattern) =
+    match catch_all p with
+    | None -> ()
+    | Some None ->
+      emit "L2" p.ppat_loc
+        "catch-all `_` exception handler can swallow Disk_error/Pool_exhausted"
+    | Some (Some v) ->
+      if not (reraises v c.pc_rhs) then
+        emit "L2" p.ppat_loc
+          (Printf.sprintf
+             "handler binds `%s` but never re-raises it — match the exceptions you \
+              mean to handle"
+             v)
+  in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_try (_, cases) -> List.iter (fun c -> check_handler c c.Parsetree.pc_lhs) cases
+    | Pexp_match (_, cases) ->
+      List.iter
+        (fun (c : Parsetree.case) ->
+          match c.pc_lhs.ppat_desc with
+          | Ppat_exception p -> check_handler c p
+          | _ -> ())
+        cases
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it ast
+
+(* --- L3: no polymorphic compare on storage/physical values ---------------- *)
+
+let l3_scope = [ "lib/storage/"; "lib/physical/"; "lib/xasr/" ]
+
+let in_l3_scope path = List.exists (fun d -> String.starts_with ~prefix:d path) l3_scope
+
+(* Whether the file locally binds the name [compare] (a value binding, a
+   function parameter, a record field) — then a bare [compare] ident
+   refers to the monomorphic local one, not Stdlib.compare. *)
+let binds_compare ast =
+  let found = ref false in
+  let pat it (p : Parsetree.pattern) =
+    (match p.ppat_desc with
+    | Ppat_var { txt = "compare"; _ } -> found := true
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it p
+  in
+  let type_declaration it (td : Parsetree.type_declaration) =
+    (match td.ptype_kind with
+    | Ptype_record fields ->
+      List.iter
+        (fun (f : Parsetree.label_declaration) ->
+          if f.pld_name.txt = "compare" then found := true)
+        fields
+    | _ -> ());
+    Ast_iterator.default_iterator.type_declaration it td
+  in
+  let it = { Ast_iterator.default_iterator with pat; type_declaration } in
+  it.structure it ast;
+  !found
+
+(* Operands whose equality is structurally shallow and obviously
+   intended: constants, constructors (possibly over atoms), idents and
+   field reads.  [x = None], [frame.pins = 0] stay legal; comparing two
+   computed values does not. *)
+let rec atomic (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_ident _ -> true
+  | Pexp_field _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_construct (_, Some a) -> atomic a
+  | Pexp_variant (_, None) -> true
+  | Pexp_variant (_, Some a) -> atomic a
+  | Pexp_tuple parts -> List.for_all atomic parts
+  | Pexp_constraint (a, _) -> atomic a
+  | _ -> false
+
+let check_l3 ~emit ~path ast =
+  if in_l3_scope path then begin
+    let local_compare = binds_compare ast in
+    let expr it (e : Parsetree.expression) =
+      (match e.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident "compare"; _ } when not local_compare ->
+        emit "L3" e.pexp_loc
+          "polymorphic compare on storage data — use String.compare/Int.compare or \
+           a typed comparator"
+      | Pexp_ident { txt = Longident.Ldot (m, ("compare" | "hash")); _ }
+        when module_last m = "Stdlib" || module_last m = "Hashtbl"
+             || module_last m = "Pervasives" ->
+        emit "L3" e.pexp_loc
+          "polymorphic compare/hash on storage data — use a typed comparator"
+      | Pexp_apply
+          ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ };
+              _ },
+            [ (_, a); (_, b) ] )
+        when (not (atomic a)) && not (atomic b) ->
+        emit "L3" e.pexp_loc
+          (Printf.sprintf
+             "polymorphic %s between computed values — compare fields explicitly" op)
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it ast
+  end
+
+(* --- L4: every lib module has an interface -------------------------------- *)
+
+let check_l4 ~emit_at src =
+  if String.starts_with ~prefix:"lib/" src.path && not src.mli_exists then
+    emit_at "L4" 1 0
+      "library module has no .mli — the interface is where invariants are documented"
+
+(* --- L5: Metrics counter names -------------------------------------------- *)
+
+let valid_counter_name s =
+  let seg_ok seg =
+    seg <> "" && String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '_') seg
+  in
+  match String.split_on_char '.' s with
+  | [] | [ _ ] -> false
+  | segs -> List.for_all seg_ok segs
+
+(* Collect [<...>.Metrics.counter <arg>] call sites: [Some name] for a
+   literal first argument, [None] otherwise. *)
+let counter_calls ast =
+  let calls = ref [] in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (m, "counter"); _ }; _ },
+          (_, arg) :: _ )
+      when module_last m = "Metrics" ->
+      let name =
+        match arg.Parsetree.pexp_desc with
+        | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+        | _ -> None
+      in
+      calls := (name, arg.Parsetree.pexp_loc) :: !calls
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.structure it ast;
+  List.rev !calls
+
+let check_l5_local ~emit calls =
+  List.iter
+    (fun (name, loc) ->
+      match name with
+      | None ->
+        emit "L5" loc
+          "Metrics.counter name must be a string literal so the registry is static"
+      | Some s ->
+        if not (valid_counter_name s) then
+          emit "L5" loc
+            (Printf.sprintf
+               "counter name %S must match [a-z_]+(.[a-z_]+)+ — `subsystem.metric`" s))
+    calls
+
+(* --- per-file and cross-file entry points --------------------------------- *)
+
+(* Internal: findings for one file plus its literal counter names (for
+   the cross-file uniqueness check). *)
+let analyze src =
+  let findings = ref [] in
+  let emit_at rule line col msg =
+    findings := Finding.v ~rule ~file:src.path ~line ~col msg :: !findings
+  in
+  let emit rule loc msg =
+    let line, col = line_col loc in
+    emit_at rule line col msg
+  in
+  check_l4 ~emit_at src;
+  let counters =
+    match parse_implementation src with
+    | Error f ->
+      findings := f :: !findings;
+      []
+    | Ok ast ->
+      check_l1 ~emit ast;
+      check_l2 ~emit ast;
+      check_l3 ~emit ~path:src.path ast;
+      let calls = counter_calls ast in
+      check_l5_local ~emit calls;
+      List.filter_map
+        (fun (name, loc) -> Option.map (fun n -> (n, loc)) name)
+        calls
+  in
+  (List.rev !findings, counters)
+
+let check_file src = fst (analyze src)
+
+let check_project srcs =
+  let seen = Hashtbl.create 64 in
+  let findings =
+    List.concat_map
+      (fun src ->
+        let findings, counters = analyze src in
+        let dups =
+          List.filter_map
+            (fun (name, loc) ->
+              match Hashtbl.find_opt seen name with
+              | Some first ->
+                let line, col = line_col loc in
+                Some
+                  (Finding.v ~rule:"L5" ~file:src.path ~line ~col
+                     (Printf.sprintf "duplicate counter name %S (first registered at %s)"
+                        name first))
+              | None ->
+                let line, _ = line_col loc in
+                Hashtbl.add seen name (Printf.sprintf "%s:%d" src.path line);
+                None)
+            counters
+        in
+        findings @ dups)
+      srcs
+  in
+  List.sort Finding.compare findings

@@ -1,0 +1,48 @@
+(** The rule registry: storage-safety invariants checked on the repo's
+    own sources via compiler-libs ([Parse] + [Ast_iterator]).
+
+    The rules encode the error discipline the engine depends on:
+
+    - {b L1} — no bare [failwith] / [Failure _].  Storage raises
+      {!Xqdb_storage.Xqdb_error.Corrupt} (data problem, censored to
+      [Io_error]) or [Internal] (engine bug, crashes loudly); the
+      shredder raises [Shred_error].  A bare [Failure] would slip past
+      the engine's status mapping.
+    - {b L2} — no catch-all exception handler ([with _ ->], or a bound
+      variable that is never re-raised).  Catch-alls can swallow
+      [Disk_error] and [Pool_exhausted] and turn resource failures into
+      silent wrong answers.
+    - {b L3} — no polymorphic [compare] / [Hashtbl.hash], and no [=] /
+      [<>] between two computed values, in [lib/storage], [lib/physical]
+      and [lib/xasr]: physical records contain mutable buffers and
+      closures where structural comparison diverges or raises.
+    - {b L4} — every module under [lib/] has a [.mli]; interfaces are
+      where pin/budget obligations are documented.
+    - {b L5} — [Metrics.counter] names are string literals matching
+      [[a-z_]+(.[a-z_]+)+] and unique across the project, so the metrics
+      namespace stays greppable and collision-free.
+
+    Rules ["PARSE"] (unparseable source) and ["ALLOW"] (allowlist
+    hygiene, see {!Allowlist}) are emitted by the infrastructure. *)
+
+type source = {
+  path : string;  (** repo-relative, [/]-separated — used in findings *)
+  text : string;  (** file contents *)
+  mli_exists : bool;  (** whether [path ^ "i"] exists (for L4) *)
+}
+
+type rule = { id : string; title : string }
+
+val registry : rule list
+(** L1–L5, in order. *)
+
+val check_file : source -> Finding.t list
+(** All per-file rules on one source.  L5's cross-file uniqueness needs
+    {!check_project}. *)
+
+val check_project : source list -> Finding.t list
+(** {!check_file} on every source plus counter-name uniqueness across
+    them, sorted by {!Finding.compare}. *)
+
+val valid_counter_name : string -> bool
+(** The L5 name grammar: two or more [.]-separated [[a-z_]+] segments. *)

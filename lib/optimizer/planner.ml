@@ -498,7 +498,7 @@ let plan config stats psx =
   else if not config.cost_based then begin
     match build_for_order config stats psx (structural_order config psx) with
     | Some result -> finalize config psx result
-    | None -> failwith "Planner: structural order invalid"
+    | None -> Xqdb_storage.Xqdb_error.internal "Planner: structural order invalid"
   end
   else begin
     let candidates =
@@ -521,7 +521,7 @@ let plan config stats psx =
     | None ->
       (match build_for_order config stats psx (structural_order config psx) with
        | Some result -> finalize config psx result
-       | None -> failwith "Planner: no valid join order")
+       | None -> Xqdb_storage.Xqdb_error.internal "Planner: no valid join order")
   end
 
 let plan_with_order config stats psx order =
@@ -617,7 +617,7 @@ let build ctx plan =
         let joined =
           match step.join, left with
           | First, None -> access_op step local
-          | First, Some _ -> failwith "Planner.build: First after first step"
+          | First, Some _ -> Xqdb_storage.Xqdb_error.internal "Planner.build: First after first step"
           | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _), Some l -> join_to l
           | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _), None ->
             (* First relation accessed through an index probe from the

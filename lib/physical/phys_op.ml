@@ -98,6 +98,15 @@ let rec rebind t =
   List.iter rebind t.kids;
   t.clear ()
 
+(* Operators never hold page pins between [next] calls — every access
+   goes through the pool's scoped [with_page] — so "closing" a drained
+   tree is a sanitizer checkpoint, not a resource release: under a
+   sanitizing pool it asserts the discipline actually held. *)
+let close ctx op =
+  ignore op;
+  if Xqdb_storage.Buffer_pool.sanitizing ctx.pool then
+    Xqdb_storage.Buffer_pool.assert_unpinned ~where:"Phys_op.close" ctx.pool
+
 let rec zero_stats t =
   t.stats.rows <- 0;
   t.stats.ios <- 0;
@@ -224,7 +233,7 @@ let label_scan ctx alias ~ntype ~value ~preds =
       | None -> None
       | Some nin ->
         (match Store.fetch ctx.store nin with
-         | None -> failwith "Phys_op.label_scan: dangling label-index entry"
+         | None -> Xqdb_storage.Xqdb_error.corrupt "Phys_op.label_scan: dangling label-index entry"
          | Some xt ->
            let tuple = Tuple.of_xasr xt in
            if keep tuple then Some tuple else pull ())
@@ -484,7 +493,7 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
           | None -> None
           | Some nin ->
             (match Store.fetch ctx.store nin with
-             | None -> failwith "inl_join: dangling parent-index entry"
+             | None -> Xqdb_storage.Xqdb_error.corrupt "inl_join: dangling parent-index entry"
              | Some xt -> Some xt)
         in
         pull

@@ -50,7 +50,7 @@ type params = (Xqdb_xq.Xq_ast.var * param_slot) list
 let no_params : params = []
 
 let make_params vars : params =
-  List.sort_uniq compare vars
+  List.sort_uniq String.compare vars
   |> List.map (fun v -> (v, { bound_in = 0; bound_out = 0 }))
 
 let param_vars (params : params) = List.map fst params

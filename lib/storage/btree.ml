@@ -499,7 +499,7 @@ let of_cursor pool cursor =
 (* --- invariant checking ----------------------------------------------- *)
 
 let check_invariants ?(min_fill = 0.) t =
-  let fail fmt = Format.kasprintf failwith fmt in
+  let fail fmt = Format.kasprintf (fun s -> raise (Xqdb_error.Corrupt s)) fmt in
   let capacity = Disk.page_size (Buffer_pool.disk t.pool) - Page.header_size in
   let min_live = int_of_float (min_fill *. float_of_int capacity) in
   let leaf_list = ref [] in
@@ -584,6 +584,7 @@ let check_invariants ?(min_fill = 0.) t =
     end
   in
   follow (leftmost_leaf t t.root);
-  if List.rev !chain <> List.rev !leaf_list then fail "leaf chain does not match tree walk";
+  if not (List.equal Int.equal (List.rev !chain) (List.rev !leaf_list)) then
+    fail "leaf chain does not match tree walk";
   if List.length !leaf_list <> t.leaves then
     fail "leaf count mismatch: meta %d, actual %d" t.leaves (List.length !leaf_list)

@@ -7,6 +7,19 @@ type frame = {
      [lru_next] toward the LRU tail. *)
   mutable lru_prev : frame option;
   mutable lru_next : frame option;
+  (* Sanitizer shadow buffer: while the frame is pinned under a
+     sanitizing pool, callbacks work on this copy; the last unpin blits
+     it back and poisons it, so a retained reference reads garbage. *)
+  mutable shadow : bytes option;
+}
+
+type pin = {
+  pin_frame : frame;
+  (* Acquisition backtrace, kept raw: symbolization is deferred to the
+     (rare) moment a violation is reported, so taking a pin stays cheap
+     enough to run whole suites under the sanitizer. *)
+  pin_trace : Printexc.raw_backtrace;
+  mutable released : bool;
 }
 
 type stats = {
@@ -19,9 +32,11 @@ type stats = {
 type t = {
   disk : Disk.t;
   cap : int;
+  sanitize : bool;
   frames : (int, frame) Hashtbl.t;  (* page id -> frame *)
   mutable head : frame option;  (* most recently used *)
   mutable tail : frame option;  (* least recently used *)
+  mutable live : pin list;  (* outstanding pins, sanitize mode only *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -29,19 +44,32 @@ type t = {
 }
 
 exception Pool_exhausted of string
+exception Sanitizer_violation of string
+exception Pin_leak of string
+
+let poison_byte = '\xde'
 
 let m_hits = Metrics.counter "pool.hits"
 let m_misses = Metrics.counter "pool.misses"
 let m_evictions = Metrics.counter "pool.evictions"
 let m_retries = Metrics.counter "pool.retries"
 
-let create ?(capacity = 64) disk =
+(* The environment gate lets whole suites run under the sanitizer
+   without touching call sites: XQDB_PIN_SANITIZE=1 dune runtest. *)
+let env_sanitize =
+  match Sys.getenv_opt "XQDB_PIN_SANITIZE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let create ?(capacity = 64) ?(sanitize = env_sanitize) disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
   { disk;
     cap = capacity;
+    sanitize;
     frames = Hashtbl.create (2 * capacity);
     head = None;
     tail = None;
+    live = [];
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -49,6 +77,7 @@ let create ?(capacity = 64) disk =
 
 let disk t = t.disk
 let capacity t = t.cap
+let sanitizing t = t.sanitize
 
 let max_attempts = 3
 
@@ -93,6 +122,12 @@ let touch t frame =
 
 let write_back t frame =
   if frame.dirty then begin
+    (* Under the sanitizer, in-flight changes live in the shadow; fold
+       them in so a flush during an active pin persists what a
+       non-sanitizing pool would. *)
+    (match frame.shadow with
+     | Some s -> Bytes.blit s 0 frame.buf 0 (Bytes.length s)
+     | None -> ());
     with_retries t (fun () -> Disk.write_page t.disk frame.page_id frame.buf);
     frame.dirty <- false
   end
@@ -120,7 +155,9 @@ let evict_one t =
 
 let insert_frame t page_id buf dirty =
   if Hashtbl.length t.frames >= t.cap then evict_one t;
-  let frame = { page_id; buf; pins = 0; dirty; lru_prev = None; lru_next = None } in
+  let frame =
+    { page_id; buf; pins = 0; dirty; lru_prev = None; lru_next = None; shadow = None }
+  in
   Hashtbl.replace t.frames page_id frame;
   push_front t frame;
   frame
@@ -143,11 +180,118 @@ let alloc_page t =
   ignore (insert_frame t page_id buf true);
   page_id
 
+(* --- pins and the sanitizer -------------------------------------------- *)
+
+let no_trace = Printexc.get_callstack 0
+
+let pin_frame t frame =
+  frame.pins <- frame.pins + 1;
+  if not t.sanitize then { pin_frame = frame; pin_trace = no_trace; released = false }
+  else begin
+    (match frame.shadow with
+     | Some _ -> ()
+     | None -> frame.shadow <- Some (Bytes.copy frame.buf));
+    let p =
+      { pin_frame = frame; pin_trace = Printexc.get_callstack 24; released = false }
+    in
+    t.live <- p :: t.live;
+    p
+  end
+
+let pin t page_id = pin_frame t (find t page_id)
+
+let pin_buffer p =
+  match p.pin_frame.shadow with
+  | Some s -> s
+  | None -> p.pin_frame.buf
+
+let unpin t p =
+  if t.sanitize && p.released then
+    raise
+      (Sanitizer_violation
+         (Printf.sprintf "double unpin of page %d; pin acquired at:\n%s"
+            p.pin_frame.page_id
+            (Printexc.raw_backtrace_to_string p.pin_trace)));
+  p.released <- true;
+  let frame = p.pin_frame in
+  frame.pins <- frame.pins - 1;
+  if t.sanitize then begin
+    t.live <- List.filter (fun q -> q != p) t.live;
+    match frame.shadow with
+    | None -> ()
+    | Some s ->
+      (* Commit the shadow's contents, and on the last unpin poison it:
+         any callback that retained the buffer past its pin window now
+         reads 0xde bytes instead of silently-stale page data. *)
+      Bytes.blit s 0 frame.buf 0 (Bytes.length s);
+      if frame.pins = 0 then begin
+        Bytes.fill s 0 (Bytes.length s) poison_byte;
+        frame.shadow <- None
+      end
+  end
+
+let live_pins t =
+  List.map
+    (fun p -> (p.pin_frame.page_id, Printexc.raw_backtrace_to_string p.pin_trace))
+    t.live
+
+let pinned_pages t =
+  Hashtbl.fold
+    (fun _ frame acc -> if frame.pins > 0 then (frame.page_id, frame.pins) :: acc else acc)
+    t.frames []
+
+let assert_unpinned ~where t =
+  match pinned_pages t with
+  | [] -> ()
+  | leaked ->
+    let pages =
+      String.concat ", "
+        (List.map (fun (id, pins) -> Printf.sprintf "%d (%d pins)" id pins) leaked)
+    in
+    let traces =
+      if not t.sanitize then ""
+      else
+        String.concat ""
+          (List.map
+             (fun (id, trace) -> Printf.sprintf "\npage %d pinned at:\n%s" id trace)
+             (live_pins t))
+    in
+    raise (Pin_leak (Printf.sprintf "%s: leaked pins on pages [%s]%s" where pages traces))
+
+type pin_baseline = {
+  base_total : int;  (* total pin count across frames at capture time *)
+  base_live : pin list;  (* the tokens live then (sanitize mode; [] otherwise) *)
+}
+
+let pin_baseline t =
+  { base_total = List.fold_left (fun acc (_, n) -> acc + n) 0 (pinned_pages t);
+    base_live = t.live }
+
+let assert_balanced ~where ~baseline t =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (pinned_pages t) in
+  if total > baseline.base_total then begin
+    let fresh = List.filter (fun p -> not (List.memq p baseline.base_live)) t.live in
+    let traces =
+      if not t.sanitize then ""
+      else
+        String.concat ""
+          (List.map
+             (fun p ->
+               Printf.sprintf "\npage %d pinned at:\n%s" p.pin_frame.page_id
+                 (Printexc.raw_backtrace_to_string p.pin_trace))
+             fresh)
+    in
+    raise
+      (Pin_leak
+         (Printf.sprintf "%s: %d pin(s) acquired but never released (%d held before, %d now)%s"
+            where (total - baseline.base_total) baseline.base_total total traces))
+  end
+
 let use t page_id ~mut f =
   let frame = find t page_id in
-  frame.pins <- frame.pins + 1;
+  let p = pin_frame t frame in
   if mut then frame.dirty <- true;
-  Fun.protect ~finally:(fun () -> frame.pins <- frame.pins - 1) (fun () -> f frame.buf)
+  Fun.protect ~finally:(fun () -> unpin t p) (fun () -> f (pin_buffer p))
 
 let with_page t page_id f = use t page_id ~mut:false f
 let with_page_mut t page_id f = use t page_id ~mut:true f
@@ -155,6 +299,7 @@ let with_page_mut t page_id f = use t page_id ~mut:true f
 let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
 
 let drop_all t =
+  if t.sanitize then assert_unpinned ~where:"Buffer_pool.drop_all" t;
   flush_all t;
   Hashtbl.reset t.frames;
   t.head <- None;

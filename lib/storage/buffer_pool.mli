@@ -20,7 +20,24 @@
     consistent.  In particular a dirty frame whose write-back keeps
     failing stays cached and dirty — it is never dropped silently — so
     once the disk recovers, the next eviction or [flush_all] persists
-    it. *)
+    it.
+
+    {2 Pin sanitizer}
+
+    A pool created with [~sanitize:true] (or with [XQDB_PIN_SANITIZE=1]
+    in the environment) becomes a dynamic oracle for the pin discipline:
+
+    - every pin records its acquisition backtrace, so {!assert_unpinned}
+      and {!live_pins} can say {e who} leaked;
+    - a double {!unpin} of the same pin raises {!Sanitizer_violation};
+    - callbacks work on a {e shadow copy} of the frame which is blitted
+      back on unpin and filled with {!poison_byte} once the last pin
+      drops — a callback that retained the buffer past its pin window
+      (use-after-unpin) reads poison instead of silently-stale data.
+
+    The engine asserts zero outstanding pins at the end of every
+    measured run and at [with_config]; the fault-injection and
+    differential suites run under the sanitizer in CI. *)
 
 type t
 
@@ -30,11 +47,25 @@ exception Pool_exhausted of string
     runtime resource condition the engine is expected to absorb: it maps
     to an [Io_error] run status, never to an escaped [Failure]. *)
 
-val create : ?capacity:int -> Disk.t -> t
-(** Default capacity is 64 frames. *)
+exception Sanitizer_violation of string
+(** Sanitize mode only: the pin discipline was broken in a way the pool
+    could observe directly (currently: double unpin).  The message
+    carries the offending pin's acquisition backtrace. *)
+
+exception Pin_leak of string
+(** Raised by {!assert_unpinned} when frames are still pinned at a point
+    where the caller asserts none should be; under the sanitizer the
+    message carries each leaked pin's acquisition backtrace. *)
+
+val create : ?capacity:int -> ?sanitize:bool -> Disk.t -> t
+(** Default capacity is 64 frames.  [sanitize] defaults to the
+    [XQDB_PIN_SANITIZE] environment variable ([1]/[true]/[yes]). *)
 
 val disk : t -> Disk.t
 val capacity : t -> int
+
+val sanitizing : t -> bool
+(** Whether this pool was created in sanitize mode. *)
 
 val alloc_page : t -> int
 (** Allocate a fresh page on the disk and cache it (dirty) in the pool. *)
@@ -51,7 +82,63 @@ val flush_all : t -> unit
 
 val drop_all : t -> unit
 (** Flush and forget every frame; the next access re-reads from disk.
-    Used by benches to measure cold-cache behaviour. *)
+    Used by benches to measure cold-cache behaviour.  Under the
+    sanitizer, raises {!Pin_leak} if any frame is still pinned — a drop
+    with outstanding pins would invalidate live buffers. *)
+
+(** {2 Low-level pins}
+
+    [with_page]/[with_page_mut] are the normal interface; the explicit
+    pin API exists for callers that need a pin to outlive a single
+    callback and for the sanitizer's own tests.  Every [pin] must be
+    matched by exactly one [unpin] on the same token. *)
+
+type pin
+(** A single pin of a single frame. *)
+
+val pin : t -> int -> pin
+(** Pin the page's frame (faulting it in if needed).  The frame cannot
+    be evicted until every pin on it is released. *)
+
+val unpin : t -> pin -> unit
+(** Release a pin.  Sanitize mode: a second [unpin] of the same token
+    raises {!Sanitizer_violation} carrying the acquisition backtrace. *)
+
+val pin_buffer : pin -> bytes
+(** The pinned frame's buffer — the shadow copy under the sanitizer,
+    the frame itself otherwise.  Invalid after [unpin] (the sanitizer
+    poisons it with {!poison_byte}). *)
+
+val poison_byte : char
+(** The byte ([0xde]) the sanitizer fills released shadow buffers with. *)
+
+val live_pins : t -> (int * string) list
+(** Sanitize mode: the outstanding pins as [(page_id, backtrace)] pairs;
+    [[]] when not sanitizing or nothing is pinned. *)
+
+val pinned_pages : t -> (int * int) list
+(** Frames with a nonzero pin count, as [(page_id, pins)] — works in
+    both modes. *)
+
+val assert_unpinned : where:string -> t -> unit
+(** Raise {!Pin_leak} (tagged with [where]) unless every frame is
+    unpinned.  The engine calls this at [with_config]; harnesses call it
+    between trials. *)
+
+type pin_baseline
+(** A snapshot of the outstanding pins at some instant, for balance
+    checks across a window in which the {e caller} may legitimately hold
+    pins of its own. *)
+
+val pin_baseline : t -> pin_baseline
+
+val assert_balanced : where:string -> baseline:pin_baseline -> t -> unit
+(** Raise {!Pin_leak} if more pins are outstanding now than at
+    [baseline] — i.e. the window acquired pins it never released.  Under
+    the sanitizer the message carries the acquisition backtraces of
+    exactly the pins taken since the baseline.  [Engine.run] brackets
+    every measured run with this, so a query must release everything it
+    pinned even when the caller holds pins across the call. *)
 
 type stats = {
   hits : int;

@@ -45,7 +45,8 @@ let set_int t key v = set t key (string_of_int v)
 let remove t key = Hashtbl.remove t.table key
 
 let entries t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [] |> List.sort compare
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2)
 
 let flush t =
   (* Rewrite the whole chain, reusing existing overflow pages and

@@ -34,7 +34,7 @@ type snapshot = (string * int) list
 
 let snapshot () =
   Hashtbl.fold (fun _ c acc -> (c.name, c.value) :: acc) registry []
-  |> List.sort compare
+  |> List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2)
 
 let get snap name =
   match List.assoc_opt name snap with

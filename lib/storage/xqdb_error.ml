@@ -1,0 +1,5 @@
+exception Internal of string
+exception Corrupt of string
+
+let internal fmt = Printf.ksprintf (fun s -> raise (Internal s)) fmt
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt

@@ -1,0 +1,31 @@
+(** Typed failure modes shared across the engine's layers.
+
+    The paper's testbed grades engines by checking invariants
+    mechanically, and the repo's own lint pass ([xqdb-lint], rule L1)
+    forbids bare [failwith]/[Failure]: every "cannot happen" branch must
+    say {e which kind} of cannot-happen it is, because the two kinds are
+    handled differently.
+
+    {!Internal} is a code bug — a planner or engine invariant violated.
+    Nothing catches it; it must crash loudly so the differential harness
+    records it as a crash.
+
+    {!Corrupt} is a data problem — a dangling index entry, a missing
+    catalog key, an impossible tuple shape read back from a page.  The
+    engine maps it to an [Io_error] run status (censored, like a disk
+    fault that survived retries), because corrupt storage is an
+    environmental condition a server must absorb, not a reason to die. *)
+
+exception Internal of string
+(** An engine invariant was violated: a bug in this codebase.  Never
+    caught by the engine; surfaces as a crash. *)
+
+exception Corrupt of string
+(** Stored data is inconsistent with the storage layer's invariants.
+    Mapped by {!Xqdb_core.Engine} to an [Io_error] status. *)
+
+val internal : ('a, unit, string, 'b) format4 -> 'a
+(** [internal fmt ...] raises {!Internal} with the formatted message. *)
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Corrupt} with the formatted message. *)

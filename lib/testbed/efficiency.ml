@@ -52,8 +52,10 @@ let run ?(configs = Engine_config.figure7_engines)
                 seconds = result.Engine.elapsed;
                 censored = true;
                 profile = result.Engine.profile }
-            | Engine.Error msg -> failwith ("efficiency test errored: " ^ msg)
-            | Engine.Io_error msg -> failwith ("efficiency test hit an i/o fault: " ^ msg))
+            | Engine.Error msg ->
+              Xqdb_storage.Xqdb_error.internal "efficiency test errored: %s" msg
+            | Engine.Io_error msg ->
+              Xqdb_storage.Xqdb_error.internal "efficiency test hit an i/o fault: %s" msg)
           parsed)
       configs
   in

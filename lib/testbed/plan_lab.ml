@@ -31,7 +31,7 @@ let front_config =
 let psx_of ctx =
   match Plan_ir.tpm_relfors (Pipeline.front ctx query) with
   | r :: _ -> r.A.source
-  | [] -> failwith "Plan_lab: no relfor"
+  | [] -> Xqdb_storage.Xqdb_error.internal "Plan_lab: no relfor"
 
 (* The QP0 configuration: no indexes, no order discipline (sort at the
    end), intermediates on disk. *)
@@ -54,19 +54,19 @@ let run ?(scale = 300) () =
   let x_alias, y_alias =
     match binding_aliases with
     | [x; y] -> (x, y)
-    | _ -> failwith "Plan_lab: expected two bindings"
+    | _ -> Xqdb_storage.Xqdb_error.internal "Plan_lab: expected two bindings"
   in
   let v_alias =
     match List.filter (fun a -> not (List.mem a binding_aliases)) aliases with
     | [v] -> v
-    | _ -> failwith "Plan_lab: expected one existential relation"
+    | _ -> Xqdb_storage.Xqdb_error.internal "Plan_lab: expected one existential relation"
   in
   let root_out =
     (Xqdb_xasr.Node_store.root_tuple store).Xqdb_xasr.Xasr.nout
   in
   let env v =
     if String.equal v Xqdb_xq.Xq_ast.root_var then (1, root_out)
-    else failwith ("Plan_lab: unexpected external " ^ v)
+    else Xqdb_storage.Xqdb_error.internal "Plan_lab: unexpected external %s" v
   in
   let measure name description plan =
     let ctx = Op.make_ctx store in

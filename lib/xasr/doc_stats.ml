@@ -105,5 +105,6 @@ module Builder = struct
       depth_sum = b.depth_sum;
       max_depth = b.max_depth;
       label_counts =
-        Hashtbl.fold (fun l n acc -> (l, n) :: acc) b.labels [] |> List.sort compare }
+        Hashtbl.fold (fun l n acc -> (l, n) :: acc) b.labels []
+        |> List.sort (fun (l1, _) (l2, _) -> String.compare l1 l2) }
 end

@@ -34,7 +34,7 @@ let axis_cursor store binding axis test =
       | Some nin ->
         (match Node_store.fetch store nin with
          | Some tuple -> Some tuple
-         | None -> failwith "Nav_eval: dangling parent-index entry")
+         | None -> Xqdb_storage.Xqdb_error.corrupt "Nav_eval: dangling parent-index entry")
     in
     filter_cursor test fetch
   | Descendant ->

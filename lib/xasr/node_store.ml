@@ -33,7 +33,7 @@ let open_existing pool catalog ~name =
   let meta key =
     match C.get_int catalog (name ^ key) with
     | Some page -> page
-    | None -> failwith (Printf.sprintf "Node_store.open_existing: no %s%s in catalog" name key)
+    | None -> Storage.Xqdb_error.corrupt "Node_store.open_existing: no %s%s in catalog" name key
   in
   { pool;
     name;
@@ -44,7 +44,7 @@ let open_existing pool catalog ~name =
 let stats_of_catalog catalog ~name =
   match Storage.Catalog.get catalog (name ^ ".stats") with
   | Some s -> Doc_stats.deserialize s
-  | None -> failwith (Printf.sprintf "Node_store.stats_of_catalog: no stats for %s" name)
+  | None -> Storage.Xqdb_error.corrupt "Node_store.stats_of_catalog: no stats for %s" name
 
 let insert t tuple =
   Btree.insert t.primary ~key:(Xasr.primary_key tuple.Xasr.nin) ~value:(Xasr.encode tuple);
@@ -63,7 +63,7 @@ let fetch t nin =
 let root_tuple t =
   match fetch t 1 with
   | Some tuple -> tuple
-  | None -> failwith "Node_store.root_tuple: empty store"
+  | None -> Storage.Xqdb_error.corrupt "Node_store.root_tuple: empty store"
 
 let scan_in_range t ~lo ~hi =
   let cursor =

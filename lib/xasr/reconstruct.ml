@@ -62,9 +62,8 @@ let subtree store tuple =
     (match build cursor with
      | [node] -> node
      | forest ->
-       failwith
-         (Printf.sprintf "Reconstruct.subtree: expected one tree, got %d"
-            (List.length forest)))
+       Xqdb_storage.Xqdb_error.corrupt "Reconstruct.subtree: expected one tree, got %d"
+         (List.length forest))
 
 let subtree_by_in store nin =
   match Node_store.fetch store nin with

@@ -1,6 +1,10 @@
 module Xml_parser = Xqdb_xml.Xml_parser
 module Xml_print = Xqdb_xml.Xml_print
 
+exception Shred_error of string
+
+let shred_fail fmt = Printf.ksprintf (fun s -> raise (Shred_error s)) fmt
+
 type open_tag = {
   label : string;
   tag_in : int;
@@ -48,11 +52,10 @@ let push t event =
     Node_store.insert t.store tuple
   | Xml_parser.End_tag label ->
     (match t.stack with
-     | [] -> failwith (Printf.sprintf "Shredder: stray end tag </%s>" label)
+     | [] -> shred_fail "Shredder: stray end tag </%s>" label
      | top :: rest ->
        if not (String.equal top.label label) then
-         failwith
-           (Printf.sprintf "Shredder: <%s> closed by </%s>" top.label label);
+         shred_fail "Shredder: <%s> closed by </%s>" top.label label;
        t.counter <- t.counter + 1;
        t.stack <- rest;
        let tuple =
@@ -66,7 +69,9 @@ let push t event =
        Node_store.insert t.store tuple)
 
 let finish t =
-  if t.stack <> [] then failwith "Shredder: unclosed tags at end of input";
+  (match t.stack with
+   | [] -> ()
+   | top :: _ -> shred_fail "Shredder: unclosed <%s> at end of input" top.label);
   t.counter <- t.counter + 1;
   let root =
     { Xasr.nin = root_in; nout = t.counter; parent_in = 0; ntype = Xasr.Root; value = "" }

@@ -8,14 +8,19 @@
 
 type t
 
+exception Shred_error of string
+(** Malformed input: mismatched, stray or unclosed tags in the event
+    stream.  A typed error, never a bare [Failure] — the engine surfaces
+    it as an [Error] run status rather than a crash (lint rule L1). *)
+
 val start : Node_store.t -> t
 
 val push : t -> Xqdb_xml.Xml_parser.event -> unit
-(** @raise Failure on mismatched tags. *)
+(** @raise Shred_error on mismatched or stray tags. *)
 
 val finish : t -> Doc_stats.t
 (** Emit the virtual-root tuple and return the collected statistics.
-    @raise Failure if tags remain open. *)
+    @raise Shred_error if tags remain open. *)
 
 (* Convenience wrappers. *)
 

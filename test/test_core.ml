@@ -235,6 +235,46 @@ let test_pool_exhausted_censors () =
   | Engine.Ok -> ()
   | _ -> Alcotest.fail "engine should recover once pins are released"
 
+(* The pin sanitizer as an end-to-end oracle: an engine over a
+   sanitizing pool, hit by hard disk faults mid-query, must censor to
+   Io_error with zero leaked pins (Engine.run asserts that itself at the
+   end of every run), and recover to Ok once the injector detaches. *)
+let test_sanitized_engine_under_faults () =
+  let module St = Xqdb_storage in
+  let disk = St.Disk.in_memory () in
+  let pool = St.Buffer_pool.create ~capacity:16 ~sanitize:true disk in
+  let catalog = St.Catalog.attach pool in
+  let store, doc_stats =
+    Xqdb_xasr.Shredder.shred_forest pool ~name:"dblp"
+      [W.Dblp_gen.generate (W.Dblp_gen.scaled 100)]
+  in
+  let engine =
+    Engine.attach ~config:Config.m4 ~disk ~pool ~catalog ~store ~doc_stats ()
+  in
+  Alcotest.(check bool) "pool is sanitizing" true (St.Buffer_pool.sanitizing pool);
+  let q = Xqdb_xq.Xq_parser.parse "for $x in //article return $x" in
+  (match (Engine.run engine q).Engine.status with
+  | Engine.Ok -> ()
+  | _ -> Alcotest.fail "engine should run clean before faults");
+  St.Buffer_pool.drop_all pool;
+  let hard_reads =
+    { St.Fault_disk.read_fault_rate = 1.0;
+      write_fault_rate = 0.;
+      alloc_fault_rate = 0.;
+      transient_fraction = 0.;
+      torn_fraction = 0. }
+  in
+  let injector = St.Fault_disk.attach ~policy:hard_reads ~seed:3 disk in
+  (match (Engine.run engine q).Engine.status with
+  | Engine.Io_error _ -> ()
+  | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ ->
+    Alcotest.fail "expected Io_error under hard read faults");
+  St.Buffer_pool.assert_unpinned ~where:"after censored run" pool;
+  St.Fault_disk.detach injector;
+  match (Engine.run engine q).Engine.status with
+  | Engine.Ok -> ()
+  | _ -> Alcotest.fail "engine should recover once the injector detaches"
+
 let test_check_rejects_bad_queries () =
   let engine = Lazy.force journal_engine in
   match Engine.run engine (Xqdb_xq.Xq_parser.parse "$nope/a") with
@@ -429,6 +469,8 @@ let () =
         [ Alcotest.test_case "censoring" `Quick test_budget_censoring;
           Alcotest.test_case "type errors" `Quick test_type_errors_reported;
           Alcotest.test_case "pool exhaustion censors" `Quick test_pool_exhausted_censors;
+          Alcotest.test_case "sanitized engine under faults" `Quick
+            test_sanitized_engine_under_faults;
           Alcotest.test_case "static checks" `Quick test_check_rejects_bad_queries;
           Alcotest.test_case "prepared queries" `Quick test_prepared_queries ] );
       ( "compile-once",

@@ -320,6 +320,66 @@ let test_rebind_cache_policy () =
   Alcotest.(check int) "2 names x 1 root child" 2 (rows join2 1);
   Alcotest.(check int) "2 names x 2 authors children" 4 (rows join2 3)
 
+(* --- pin safety under disk faults ------------------------------------------ *)
+
+(* Satellite of the pin-sanitizer work: a hard disk fault in the middle
+   of an index scan or an index join must unwind without leaving a
+   single pinned frame — otherwise each fault would permanently shrink
+   the pool until it is unusable. *)
+
+let hard_read_faults =
+  { S.Fault_disk.read_fault_rate = 1.0;
+    write_fault_rate = 0.;
+    alloc_fault_rate = 0.;
+    transient_fraction = 0.;  (* hard: defeats the pool's bounded retry *)
+    torn_fraction = 0. }
+
+let make_sanitized_store () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:8 ~sanitize:true disk in
+  let store, _ = X.Shredder.shred_forest pool ~name:"t" [Xqdb_workload.Docs.figure2] in
+  (disk, pool, Op.make_ctx store)
+
+let expect_disk_error_pins_clean ~what ~pool ~ctx build =
+  match Op.drain (build ()) with
+  | _ -> Alcotest.fail (what ^ ": injected hard fault should surface as Disk_error")
+  | exception S.Disk.Disk_error _ ->
+    S.Buffer_pool.assert_unpinned ~where:what pool;
+    Alcotest.(check (list (pair int int))) (what ^ ": no pinned frames") []
+      (S.Buffer_pool.pinned_pages pool);
+    ignore ctx
+
+let test_label_scan_fault_pins () =
+  let disk, pool, ctx = make_sanitized_store () in
+  S.Buffer_pool.drop_all pool;  (* the scan must fault its pages back in *)
+  let injector = S.Fault_disk.attach ~policy:hard_read_faults ~seed:7 disk in
+  expect_disk_error_pins_clean ~what:"label_scan mid-fault" ~pool ~ctx (fun () ->
+      Op.label_scan ctx "R" ~ntype:Xasr.Element ~value:"name" ~preds:[]);
+  S.Fault_disk.detach injector;
+  (* Every frame is evictable again: the same scan now runs to completion. *)
+  let op = Op.label_scan ctx "R" ~ntype:Xasr.Element ~value:"name" ~preds:[] in
+  Alcotest.(check bool) "recovered scan produces rows" true (ins_of op <> []);
+  Op.close ctx op
+
+let test_inl_join_fault_pins () =
+  let disk, pool, ctx = make_sanitized_store () in
+  S.Buffer_pool.drop_all pool;
+  let injector = S.Fault_disk.attach ~policy:hard_read_faults ~seed:11 disk in
+  let build () =
+    (* Constant probe over the nullary outer: the first probe hits the
+       parent index, whose pages are all faulted. *)
+    Op.inl_join ctx
+      ~probe:(Op.Probe_child (A.Oint 1))
+      ~alias:"C" ~preds:[] ~residual:[]
+      (Op.singleton [] [||])
+  in
+  expect_disk_error_pins_clean ~what:"inl_join mid-fault" ~pool ~ctx build;
+  S.Fault_disk.detach injector;
+  let op = build () in
+  Alcotest.(check bool) "recovered join produces rows" true (Op.count op > 0);
+  Op.close ctx op;
+  S.Buffer_pool.assert_unpinned ~where:"inl_join after recovery" pool
+
 (* --- budget propagation -------------------------------------------------------- *)
 
 let test_operator_budget () =
@@ -361,4 +421,9 @@ let () =
       ( "params",
         [ Alcotest.test_case "bind and rebind" `Quick test_params_rebind;
           Alcotest.test_case "rebind cache policy" `Quick test_rebind_cache_policy ] );
+      ( "pin safety",
+        [ Alcotest.test_case "label_scan fault leaves no pins" `Quick
+            test_label_scan_fault_pins;
+          Alcotest.test_case "inl_join fault leaves no pins" `Quick
+            test_inl_join_fault_pins ] );
       ("budget", [Alcotest.test_case "propagation" `Quick test_operator_budget]) ]

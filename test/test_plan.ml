@@ -118,6 +118,60 @@ let test_validate_rejects_unbound () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "empty constructor label must be rejected"
 
+(* The rejection paths one by one: take a well-formed compiled plan and
+   break exactly one invariant, checking the validator names it. *)
+
+let expect_error ~needle ir =
+  match Plan_validate.check ir with
+  | Ok () -> Alcotest.failf "validator accepted IR that should fail with %S" needle
+  | Error msg ->
+    Alcotest.(check bool) (Printf.sprintf "message %S mentions %S" msg needle) true
+      (contains msg needle)
+
+let test_validate_rejects_unbound_phys () =
+  let staged = Pipeline.compile (ctx ()) (parse nested) in
+  (* A physical shell that emits a variable no relfor ever bound. *)
+  expect_error ~needle:"out of scope"
+    (Plan_ir.Phys (Plan_ir.P_seq (staged.Pipeline.phys, Plan_ir.P_out "zzz")))
+
+let test_validate_rejects_duplicate_alias () =
+  let staged = Pipeline.compile (ctx ()) (parse "for $n in //name return $n") in
+  let tpm =
+    match
+      List.find_map
+        (fun (_, ir) -> match ir with Plan_ir.Tpm t -> Some t | _ -> None)
+        staged.Pipeline.stages
+    with
+    | Some t -> t
+    | None -> Alcotest.fail "pipeline has no TPM stage"
+  in
+  match Plan_ir.tpm_relfors tpm with
+  | [] -> Alcotest.fail "expected a relfor"
+  | r :: _ ->
+    let bad_psx = { r.A.source with A.rels = r.A.source.A.rels @ r.A.source.A.rels } in
+    expect_error ~needle:"duplicate relation alias"
+      (Plan_ir.Tpm (A.Relfor { r with A.source = bad_psx }))
+
+let test_validate_rejects_arity_mismatch () =
+  let staged = Pipeline.compile (ctx ()) (parse "for $n in //name return $n") in
+  match Plan_ir.sites staged.Pipeline.phys with
+  | [] -> Alcotest.fail "expected a site"
+  | s :: _ ->
+    (* Double the vartuple under distinct names without touching the
+       compiled plan: the template now projects half the columns the
+       bindings need. *)
+    let clones =
+      List.map (fun (b : A.binding) -> { b with A.var = b.A.var ^ "_dup" })
+        s.Plan_ir.source.A.bindings
+    in
+    let bindings = s.Plan_ir.bindings @ clones in
+    let bad =
+      { s with
+        Plan_ir.bindings;
+        Plan_ir.source = { s.Plan_ir.source with A.bindings } }
+    in
+    expect_error ~needle:"columns" (Plan_ir.Phys (Plan_ir.P_relfor bad))
+
 (* --- rendering ----------------------------------------------------------- *)
 
 let test_render_staged () =
@@ -144,6 +198,12 @@ let () =
         [ Alcotest.test_case "site parameters" `Quick test_site_params ] );
       ( "validation",
         [ Alcotest.test_case "stages validate" `Quick test_validate_stages;
-          Alcotest.test_case "rejects bad IR" `Quick test_validate_rejects_unbound ] );
+          Alcotest.test_case "rejects bad IR" `Quick test_validate_rejects_unbound;
+          Alcotest.test_case "rejects unbound variable in physical shell" `Quick
+            test_validate_rejects_unbound_phys;
+          Alcotest.test_case "rejects duplicate alias" `Quick
+            test_validate_rejects_duplicate_alias;
+          Alcotest.test_case "rejects vartuple arity mismatch" `Quick
+            test_validate_rejects_arity_mismatch ] );
       ( "rendering",
         [ Alcotest.test_case "render staged" `Quick test_render_staged ] ) ]

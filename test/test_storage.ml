@@ -669,6 +669,80 @@ let test_metrics () =
   Alcotest.(check int) "pool.misses delta" 1 (S.Metrics.get d "pool.misses");
   Alcotest.(check int) "pool.hits delta" 1 (S.Metrics.get d "pool.hits")
 
+(* --- pin sanitizer ------------------------------------------------------- *)
+
+let sanitize_pool ?(capacity = 4) () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  (disk, S.Buffer_pool.create ~capacity ~sanitize:true disk)
+
+let test_sanitizer_double_unpin () =
+  let _, pool = sanitize_pool () in
+  let p = S.Buffer_pool.alloc_page pool in
+  let pin = S.Buffer_pool.pin pool p in
+  S.Buffer_pool.unpin pool pin;
+  match S.Buffer_pool.unpin pool pin with
+  | () -> Alcotest.fail "double unpin should raise"
+  | exception S.Buffer_pool.Sanitizer_violation msg ->
+    (* The violation names the acquisition site so the leak is debuggable. *)
+    Alcotest.(check bool) "message carries a backtrace" true (String.length msg > 0)
+
+let test_sanitizer_use_after_unpin () =
+  let _, pool = sanitize_pool () in
+  let p = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool p (fun b -> Bytes.fill b 0 (Bytes.length b) 'x');
+  (* A callback that (illegally) retains the buffer past its pin window
+     sees poison afterwards, not silently-stale data. *)
+  let retained = ref Bytes.empty in
+  S.Buffer_pool.with_page pool p (fun b ->
+      retained := b;
+      Alcotest.(check char) "live buffer is real data" 'x' (Bytes.get b 0));
+  Alcotest.(check char) "retained buffer reads poison" S.Buffer_pool.poison_byte
+    (Bytes.get !retained 0);
+  (* The frame itself is intact: a fresh pin sees the real bytes. *)
+  S.Buffer_pool.with_page pool p (fun b ->
+      Alcotest.(check char) "fresh pin sees real data" 'x' (Bytes.get b 0))
+
+let test_sanitizer_leak_detection () =
+  let _, pool = sanitize_pool () in
+  let p = S.Buffer_pool.alloc_page pool in
+  let pin = S.Buffer_pool.pin pool p in
+  Alcotest.(check int) "one live pin" 1 (List.length (S.Buffer_pool.live_pins pool));
+  Alcotest.(check bool) "pinned_pages sees it" true
+    (List.mem_assoc p (S.Buffer_pool.pinned_pages pool));
+  (match S.Buffer_pool.assert_unpinned ~where:"test" pool with
+  | () -> Alcotest.fail "leak should raise Pin_leak"
+  | exception S.Buffer_pool.Pin_leak msg ->
+    Alcotest.(check bool) "names the site" true (String.length msg > 0));
+  S.Buffer_pool.unpin pool pin;
+  S.Buffer_pool.assert_unpinned ~where:"test" pool;
+  Alcotest.(check int) "no live pins after release" 0
+    (List.length (S.Buffer_pool.live_pins pool))
+
+(* Sanitize mode must not change what programs compute: nested pins on
+   the same page share one shadow, writes through one pin are visible to
+   the other, and write-back under an open pin persists the bytes. *)
+let test_sanitizer_transparent () =
+  let disk, pool = sanitize_pool () in
+  let p = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool p (fun outer ->
+      Bytes.set outer 0 'a';
+      S.Buffer_pool.with_page_mut pool p (fun inner ->
+          Alcotest.(check char) "nested pin sees outer write" 'a' (Bytes.get inner 0);
+          Bytes.set inner 1 'b');
+      Alcotest.(check char) "outer sees nested write" 'b' (Bytes.get outer 1));
+  S.Buffer_pool.flush_all pool;
+  let b = S.Disk.read_page disk p in
+  Alcotest.(check char) "flushed byte 0" 'a' (Bytes.get b 0);
+  Alcotest.(check char) "flushed byte 1" 'b' (Bytes.get b 1);
+  (* And the whole btree machinery runs unchanged under the sanitizer. *)
+  let bt = S.Btree.create pool in
+  List.iter (fun k -> S.Btree.insert bt ~key:(enc_int k) ~value:(enc_int (2 * k)))
+    (List.init 100 Fun.id);
+  S.Btree.check_invariants bt;
+  Alcotest.(check (option int)) "lookup" (Some 84)
+    (Option.map dec_int (S.Btree.find bt ~key:(enc_int 42)));
+  S.Buffer_pool.assert_unpinned ~where:"btree under sanitizer" pool
+
 (* Insert-only workloads must keep every page reasonably full: splits
    leave at least the occupancy floor on both sides. *)
 let btree_occupancy =
@@ -726,4 +800,11 @@ let () =
       ( "catalog",
         [ Alcotest.test_case "persistence" `Quick test_catalog;
           Alcotest.test_case "page-chain overflow" `Quick test_catalog_overflow ] );
+      ( "pin sanitizer",
+        [ Alcotest.test_case "double unpin" `Quick test_sanitizer_double_unpin;
+          Alcotest.test_case "use after unpin reads poison" `Quick
+            test_sanitizer_use_after_unpin;
+          Alcotest.test_case "leak detection with backtraces" `Quick
+            test_sanitizer_leak_detection;
+          Alcotest.test_case "semantics-transparent" `Quick test_sanitizer_transparent ] );
       ("budget", [Alcotest.test_case "exhaustion" `Quick test_budget]) ]

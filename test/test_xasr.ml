@@ -76,6 +76,9 @@ let shred_matches_labeling =
       done;
       !ok)
 
+(* Malformed input is a typed error (lint rule L1): every shredder
+   failure mode raises Shred_error with a descriptive message, never a
+   bare Failure that would escape the engine's status censoring. *)
 let test_shredder_errors () =
   let disk = S.Disk.in_memory () in
   let pool = S.Buffer_pool.create disk in
@@ -84,12 +87,46 @@ let test_shredder_errors () =
   X.Shredder.push sh (Xqdb_xml.Xml_parser.Start_tag "a");
   (match X.Shredder.push sh (Xqdb_xml.Xml_parser.End_tag "b") with
    | _ -> Alcotest.fail "mismatched tag should fail"
-   | exception Failure _ -> ());
+   | exception X.Shredder.Shred_error msg ->
+     Alcotest.(check bool) "mismatch names both tags" true
+       (String.length msg > 0 && msg.[String.length msg - 1] = '>')
+   | exception Failure _ -> Alcotest.fail "mismatched tag escaped as bare Failure");
   let sh2 = X.Shredder.start (X.Node_store.create pool ~name:"bad2") in
   X.Shredder.push sh2 (Xqdb_xml.Xml_parser.Start_tag "a");
   (match X.Shredder.finish sh2 with
    | _ -> Alcotest.fail "unclosed tag should fail"
-   | exception Failure _ -> ())
+   | exception X.Shredder.Shred_error _ -> ()
+   | exception Failure _ -> Alcotest.fail "unclosed tag escaped as bare Failure");
+  (match X.Shredder.push (X.Shredder.start (X.Node_store.create pool ~name:"bad3"))
+           (Xqdb_xml.Xml_parser.End_tag "a")
+   with
+   | _ -> Alcotest.fail "stray end tag should fail"
+   | exception X.Shredder.Shred_error _ -> ())
+
+(* The malformed-document regression: a raw event stream with bad
+   nesting must fail as Shred_error from the convenience wrappers too,
+   and the catalog-missing paths of Node_store must be typed Corrupt,
+   not Failure. *)
+let test_malformed_document_regression () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create disk in
+  List.iter
+    (fun (name, doc) ->
+      match X.Shredder.shred_string pool ~name doc with
+      | _ -> Alcotest.fail (Printf.sprintf "%s: malformed %S should not shred" name doc)
+      | exception X.Shredder.Shred_error _ -> ()
+      | exception Xqdb_xml.Xml_parser.Parse_error _ -> ()
+      | exception Failure msg ->
+        Alcotest.fail (Printf.sprintf "%s: escaped as bare Failure %S" name msg))
+    [("m1", "<a><b></a>"); ("m2", "<a></a></b>"); ("m3", "<open>text")];
+  let catalog = S.Catalog.attach pool in
+  (match X.Node_store.open_existing pool catalog ~name:"nope" with
+   | _ -> Alcotest.fail "open_existing of unknown store should fail"
+   | exception S.Xqdb_error.Corrupt _ -> ()
+   | exception Failure _ -> Alcotest.fail "open_existing escaped as bare Failure");
+  match X.Node_store.stats_of_catalog catalog ~name:"nope" with
+  | _ -> Alcotest.fail "stats_of_catalog of unknown store should fail"
+  | exception S.Xqdb_error.Corrupt _ -> ()
 
 (* --- node store access paths --------------------------------------------- *)
 
@@ -265,7 +302,9 @@ let () =
       ( "shredder",
         [ Alcotest.test_case "example 1" `Quick test_example1_tuples;
           prop shred_matches_labeling;
-          Alcotest.test_case "errors" `Quick test_shredder_errors ] );
+          Alcotest.test_case "errors" `Quick test_shredder_errors;
+          Alcotest.test_case "malformed documents are typed errors" `Quick
+            test_malformed_document_regression ] );
       ( "node store",
         [ Alcotest.test_case "cursors" `Quick test_store_cursors;
           Alcotest.test_case "reopen" `Quick test_store_reopen ] );
