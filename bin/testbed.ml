@@ -108,6 +108,51 @@ let differential_cmd =
           milestone-1 reference, optionally under injected disk faults.")
     Term.(const differential_action $ seed $ count $ fault_rate $ fault_seeds)
 
+(* --- crash: crash-point recovery sweep ----------------------------------- *)
+
+let crash_seed =
+  Arg.(value & opt int 42 & info ["seed"] ~docv:"N" ~doc:"Workload generator seed.")
+
+let crash_count =
+  Arg.(value & opt int 3 & info ["count"] ~docv:"N" ~doc:"Number of workload trials.")
+
+let crash_points =
+  Arg.(
+    value
+    & opt int 10
+    & info ["points"] ~docv:"N"
+        ~doc:
+          "Crash points checked per trial, spread evenly over the workload's \
+           observed durability events (always including the first and last).")
+
+let crash_json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["json"] ~docv:"FILE"
+        ~doc:"Write the sweep as a machine-readable JSON report to $(docv).")
+
+let crash_action seed count points json_file =
+  let report = T.Differential.crash_sweep ~seed ~count ~points () in
+  print_string (T.Differential.render_crash report);
+  (match json_file with
+   | Some file ->
+     T.Report.write_file file (T.Report.crash_json report);
+     Printf.printf "wrote %s\n" file
+   | None -> ());
+  if not (T.Differential.crash_ok report) then exit 1
+
+let crash_cmd =
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:
+         "Crash-point recovery sweep: run a checkpointed load/drop workload, \
+          simulate a crash at every sampled durability event (page write, WAL \
+          append, WAL sync — alternately torn mid-write), recover from the \
+          durable state alone, and check catalog, index invariants and \
+          cross-milestone query agreement after each recovery.")
+    Term.(const crash_action $ crash_seed $ crash_count $ crash_points $ crash_json_file)
+
 (* --- explain: golden EXPLAIN rendering ----------------------------------- *)
 
 let explain_config =
@@ -222,4 +267,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [run_cmd; differential_cmd; explain_cmd; check_bench_cmd; lint_cmd]))
+          [run_cmd; differential_cmd; crash_cmd; explain_cmd; check_bench_cmd; lint_cmd]))

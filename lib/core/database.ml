@@ -5,20 +5,34 @@ module Shredder = Xqdb_xasr.Shredder
 type t = {
   config : Engine_config.t;
   disk : Storage.Disk.t;
+  wal : Storage.Wal.t option;
   pool : Storage.Buffer_pool.t;
   catalog : Storage.Catalog.t;
   engines : (string, Engine.t) Hashtbl.t;
 }
 
-let create ?(config = Engine_config.m4) ?on_file () =
-  let disk =
-    match on_file with
-    | None -> Storage.Disk.in_memory ()
-    | Some path -> Storage.Disk.on_file path
+(* Once the durable log grows past this, the next load/drop triggers a
+   checkpoint: recovery time stays bounded by ~this many bytes of
+   after-images instead of the whole history. *)
+let wal_checkpoint_threshold = 1 lsl 20
+
+let make ~config ?wal disk =
+  let pool =
+    Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity ?wal disk
   in
-  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
   let catalog = Storage.Catalog.attach pool in
-  { config; disk; pool; catalog; engines = Hashtbl.create 8 }
+  { config; disk; wal; pool; catalog; engines = Hashtbl.create 8 }
+
+let create_on ?(config = Engine_config.m4) ?wal disk = make ~config ?wal disk
+
+let create ?(config = Engine_config.m4) ?on_file () =
+  match on_file with
+  | None -> make ~config (Storage.Disk.in_memory ())
+  | Some path ->
+    (* A file database gets a sibling redo log: [path].wal. *)
+    let disk = Storage.Disk.on_file path in
+    let wal = Storage.Wal.on_file (path ^ ".wal") in
+    make ~config ~wal disk
 
 (* Document names are recovered from the catalog's ".stats" keys. *)
 let catalog_names catalog =
@@ -30,21 +44,66 @@ let catalog_names catalog =
       | Some _ | None -> None)
     (Storage.Catalog.entries catalog)
 
-let open_file ?(config = Engine_config.m4) path =
-  let disk = Storage.Disk.open_existing path in
-  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
-  let catalog = Storage.Catalog.attach pool in
-  let t = { config; disk; pool; catalog; engines = Hashtbl.create 8 } in
+(* Redo recovery: blindly rewrite every durable after-image in LSN
+   order, growing the page file when the log references pages the crash
+   cut off, then checkpoint so the log is not replayed twice.  Replay is
+   idempotent — crashing during recovery and recovering again is safe. *)
+let recover disk wal =
+  let stats =
+    Storage.Wal.replay wal ~apply:(fun ~lsn:_ ~page_id data ->
+        while Storage.Disk.page_count disk <= page_id do
+          ignore (Storage.Disk.alloc disk)
+        done;
+        Storage.Disk.write_page disk page_id data)
+  in
+  Storage.Disk.sync disk;
+  Storage.Wal.checkpoint wal;
+  stats
+
+let attach_engines t =
   List.iter
     (fun name ->
-      let store = Store.open_existing pool catalog ~name in
-      let doc_stats = Store.stats_of_catalog catalog ~name in
+      let store = Store.open_existing t.pool t.catalog ~name in
+      let doc_stats = Store.stats_of_catalog t.catalog ~name in
       Hashtbl.replace t.engines name
-        (Engine.attach ~config ~disk ~pool ~catalog ~store ~doc_stats ()))
-    (catalog_names catalog);
+        (Engine.attach ~config:t.config ~disk:t.disk ~pool:t.pool ~catalog:t.catalog
+           ~store ~doc_stats ()))
+    (catalog_names t.catalog)
+
+let open_disk ?(config = Engine_config.m4) ?wal disk =
+  (match wal with
+   | None -> ()
+   | Some wal -> ignore (recover disk wal));
+  let t = make ~config ?wal disk in
+  attach_engines t;
   t
 
+let open_file ?(config = Engine_config.m4) path =
+  let wal = Storage.Wal.open_existing (path ^ ".wal") in
+  let disk = Storage.Disk.open_existing path in
+  open_disk ~config ~wal disk
+
 let config t = t.config
+let disk t = t.disk
+let wal t = t.wal
+
+(* The checkpoint protocol, in order: catalog to pool, pool to disk
+   (each write-back syncs the log first — WAL before data), disk to
+   durable storage, and only then truncate the log. *)
+let checkpoint t =
+  Storage.Catalog.flush t.catalog;
+  Storage.Buffer_pool.flush_all t.pool;
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+    Storage.Disk.sync t.disk;
+    Storage.Wal.checkpoint wal
+
+let maybe_checkpoint t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+    if Storage.Wal.size_bytes wal >= wal_checkpoint_threshold then checkpoint t
 
 let check_name t name =
   if String.equal name "" then invalid_arg "Database: empty document name";
@@ -62,6 +121,7 @@ let load_forest t ~name forest =
       ~doc_stats ()
   in
   Hashtbl.replace t.engines name engine;
+  maybe_checkpoint t;
   engine
 
 let load_document t ~name xml =
@@ -84,15 +144,17 @@ let drop_document t ~name =
   List.iter
     (fun suffix -> Storage.Catalog.remove t.catalog (name ^ suffix))
     [".primary"; ".label"; ".parent"; ".stats"];
-  Storage.Catalog.flush t.catalog
+  Storage.Catalog.flush t.catalog;
+  maybe_checkpoint t
 
 let run ?max_page_ios ?max_seconds t ~name query =
   Engine.run ?max_page_ios ?max_seconds (engine t ~name) query
 
-let flush t =
-  Storage.Catalog.flush t.catalog;
-  Storage.Buffer_pool.flush_all t.pool
+let flush t = checkpoint t
 
 let close t =
   flush t;
+  (match t.wal with
+   | None -> ()
+   | Some wal -> Storage.Wal.close wal);
   Storage.Disk.close t.disk

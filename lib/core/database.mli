@@ -9,19 +9,51 @@
 
     Updates follow the paper's scope: documents are loaded and dropped
     wholesale ("keep updates as simple as possible"); there is no
-    in-place node mutation, and no concurrency control or recovery. *)
+    in-place node mutation and no concurrency control.
+
+    There {e is} recovery: a file database keeps a sibling redo log
+    ([path.wal], see {!Xqdb_storage.Wal}) which the buffer pool writes
+    ahead of every page, {!open_file} replays after a crash, and
+    {!checkpoint} truncates once the data file is durable.  In-memory
+    databases skip logging unless a log is passed explicitly
+    ({!create_on}), which is how the crash-point harness drives
+    simulated crashes. *)
 
 type t
 
 val create : ?config:Engine_config.t -> ?on_file:string -> unit -> t
-(** An empty database (in memory, or on a file). *)
+(** An empty database (in memory, or on a file).  With [on_file:path],
+    a write-ahead log is created at [path ^ ".wal"]. *)
+
+val create_on : ?config:Engine_config.t -> ?wal:Xqdb_storage.Wal.t -> Xqdb_storage.Disk.t -> t
+(** An empty database over a caller-supplied (fresh) disk, optionally
+    write-ahead logged.  The harness entry point. *)
 
 val open_file : ?config:Engine_config.t -> string -> t
 (** Reopen a database file created earlier with [create ~on_file] —
     documents, indexes and statistics come back from the catalog.
+    First replays [path ^ ".wal"] (tolerating a torn log tail) and
+    checkpoints, so a crash between two checkpoints loses at most
+    unsynced work, never consistency.
     @raise Failure if the file does not contain a catalog. *)
 
+val open_disk :
+  ?config:Engine_config.t -> ?wal:Xqdb_storage.Wal.t -> Xqdb_storage.Disk.t -> t
+(** Like {!open_file} over a caller-supplied disk/log pair: replay the
+    log onto the disk, checkpoint, then attach every catalogued
+    document.  The crash-point harness's recovery entry point. *)
+
 val config : t -> Engine_config.t
+
+val disk : t -> Xqdb_storage.Disk.t
+val wal : t -> Xqdb_storage.Wal.t option
+
+val checkpoint : t -> unit
+(** Make the data file durable, then truncate the log: flush the
+    catalog and every dirty page (each write-back syncs the log first),
+    {!Xqdb_storage.Disk.sync}, and only then
+    {!Xqdb_storage.Wal.checkpoint}.  Also runs automatically once the
+    log grows past a threshold (~1 MB) at load/drop boundaries. *)
 
 val load_document : t -> name:string -> string -> Engine.t
 (** Parse, shred and index a document under [name].
@@ -51,7 +83,8 @@ val run :
   Engine.result
 
 val flush : t -> unit
-(** Write all dirty pages and the catalog back to the disk. *)
+(** Write all dirty pages and the catalog back to the disk; with a log
+    attached this is a full {!checkpoint}. *)
 
 val close : t -> unit
-(** [flush] and release the backing file. *)
+(** [flush] and release the backing file and log. *)

@@ -3,6 +3,10 @@ type frame = {
   buf : bytes;
   mutable pins : int;
   mutable dirty : bool;
+  (* LSN of the WAL record holding this frame's current contents; 0 when
+     the latest mutation is not yet logged.  Write-back appends a record
+     only when this is 0, so a retried write-back never duplicates one. *)
+  mutable logged_lsn : int;
   (* Intrusive LRU list links: [lru_prev] points toward the MRU head,
      [lru_next] toward the LRU tail. *)
   mutable lru_prev : frame option;
@@ -31,6 +35,7 @@ type stats = {
 
 type t = {
   disk : Disk.t;
+  wal : Wal.t option;
   cap : int;
   sanitize : bool;
   frames : (int, frame) Hashtbl.t;  (* page id -> frame *)
@@ -61,9 +66,10 @@ let env_sanitize =
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
 
-let create ?(capacity = 64) ?(sanitize = env_sanitize) disk =
+let create ?(capacity = 64) ?(sanitize = env_sanitize) ?wal disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
   { disk;
+    wal;
     cap = capacity;
     sanitize;
     frames = Hashtbl.create (2 * capacity);
@@ -76,6 +82,7 @@ let create ?(capacity = 64) ?(sanitize = env_sanitize) disk =
     retries = 0 }
 
 let disk t = t.disk
+let wal t = t.wal
 let capacity t = t.cap
 let sanitizing t = t.sanitize
 
@@ -128,6 +135,22 @@ let write_back t frame =
     (match frame.shadow with
      | Some s -> Bytes.blit s 0 frame.buf 0 (Bytes.length s)
      | None -> ());
+    (* WAL before data: the after-image must be durable before the page
+       itself is.  Frames whose latest contents are already logged (the
+       common case — mutation-time logging) are not re-appended, so a
+       retried write-back never duplicates a record. *)
+    (match t.wal with
+     | None -> ()
+     | Some wal ->
+       if frame.logged_lsn = 0 then
+         frame.logged_lsn <- Wal.append wal ~page_id:frame.page_id ~data:frame.buf;
+       Wal.sync wal;
+       if t.sanitize && Wal.synced_lsn wal < frame.logged_lsn then
+         raise
+           (Sanitizer_violation
+              (Printf.sprintf
+                 "Buffer_pool: writing back page %d logged at LSN %d but WAL synced only to %d"
+                 frame.page_id frame.logged_lsn (Wal.synced_lsn wal))));
     with_retries t (fun () -> Disk.write_page t.disk frame.page_id frame.buf);
     frame.dirty <- false
   end
@@ -156,7 +179,14 @@ let evict_one t =
 let insert_frame t page_id buf dirty =
   if Hashtbl.length t.frames >= t.cap then evict_one t;
   let frame =
-    { page_id; buf; pins = 0; dirty; lru_prev = None; lru_next = None; shadow = None }
+    { page_id;
+      buf;
+      pins = 0;
+      dirty;
+      logged_lsn = 0;
+      lru_prev = None;
+      lru_next = None;
+      shadow = None }
   in
   Hashtbl.replace t.frames page_id frame;
   push_front t frame;
@@ -290,8 +320,21 @@ let assert_balanced ~where ~baseline t =
 let use t page_id ~mut f =
   let frame = find t page_id in
   let p = pin_frame t frame in
-  if mut then frame.dirty <- true;
-  Fun.protect ~finally:(fun () -> unpin t p) (fun () -> f (pin_buffer p))
+  if mut then begin
+    frame.dirty <- true;
+    frame.logged_lsn <- 0
+  end;
+  let result = Fun.protect ~finally:(fun () -> unpin t p) (fun () -> f (pin_buffer p)) in
+  (* Mutation-time logging: append the after-image as soon as the
+     mutation completes (after the unpin, so the sanitizer's shadow has
+     been folded into [buf]).  A callback that raises leaves the frame
+     with [logged_lsn = 0]; write-back logs it then.  Logging outside
+     [Fun.protect] keeps an injected crash out of [~finally]. *)
+  (match t.wal with
+   | None -> ()
+   | Some wal ->
+     if mut then frame.logged_lsn <- Wal.append wal ~page_id ~data:frame.buf);
+  result
 
 let with_page t page_id f = use t page_id ~mut:false f
 let with_page_mut t page_id f = use t page_id ~mut:true f

@@ -22,6 +22,16 @@
     once the disk recovers, the next eviction or [flush_all] persists
     it.
 
+    {2 Write-ahead logging}
+
+    A pool created with [~wal] logs every page mutation to the {!Wal}:
+    the after-image is appended when [with_page_mut] completes, and
+    before a dirty frame is written back the log is synced at least to
+    that frame's record (WAL before data).  A frame records the LSN of
+    its logged contents, so a write-back retried after a fault does not
+    append a duplicate record.  Under the sanitizer, writing back a page
+    whose record is not yet durable raises {!Sanitizer_violation}.
+
     {2 Pin sanitizer}
 
     A pool created with [~sanitize:true] (or with [XQDB_PIN_SANITIZE=1]
@@ -48,20 +58,26 @@ exception Pool_exhausted of string
     to an [Io_error] run status, never to an escaped [Failure]. *)
 
 exception Sanitizer_violation of string
-(** Sanitize mode only: the pin discipline was broken in a way the pool
-    could observe directly (currently: double unpin).  The message
-    carries the offending pin's acquisition backtrace. *)
+(** Sanitize mode only: a discipline the pool can observe directly was
+    broken — a double unpin (the message carries the offending pin's
+    acquisition backtrace), or a write-back of a page whose WAL record
+    is not yet durable (WAL-before-data). *)
 
 exception Pin_leak of string
 (** Raised by {!assert_unpinned} when frames are still pinned at a point
     where the caller asserts none should be; under the sanitizer the
     message carries each leaked pin's acquisition backtrace. *)
 
-val create : ?capacity:int -> ?sanitize:bool -> Disk.t -> t
+val create : ?capacity:int -> ?sanitize:bool -> ?wal:Wal.t -> Disk.t -> t
 (** Default capacity is 64 frames.  [sanitize] defaults to the
-    [XQDB_PIN_SANITIZE] environment variable ([1]/[true]/[yes]). *)
+    [XQDB_PIN_SANITIZE] environment variable ([1]/[true]/[yes]).
+    [wal], when given, enables write-ahead logging of every mutation. *)
 
 val disk : t -> Disk.t
+
+val wal : t -> Wal.t option
+(** The log this pool writes ahead to, if any. *)
+
 val capacity : t -> int
 
 val sanitizing : t -> bool

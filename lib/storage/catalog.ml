@@ -21,9 +21,13 @@ let attach pool =
         Page.init p;
         Page.set_flags p magic)
   else begin
-    let rec read_chain page_id =
+    (* A damaged [next] pointer must surface as typed corruption, not an
+       infinite loop or an out-of-range crash deeper down. *)
+    let rec read_chain seen page_id =
       let next =
         Buffer_pool.with_page pool page_id (fun p ->
+            if Page.flags p <> magic then
+              Xqdb_error.corrupt "Catalog: chain page %d lacks the catalog magic" page_id;
             for i = 0 to Page.slot_count p - 1 do
               let r = Bytes_codec.reader (Page.read_slot p i) in
               let key = Bytes_codec.read_string r in
@@ -32,9 +36,15 @@ let attach pool =
             done;
             Page.next p)
       in
-      if next <> 0 then read_chain next
+      if next <> 0 then begin
+        if next >= Disk.page_count (Buffer_pool.disk pool) then
+          Xqdb_error.corrupt "Catalog: chain pointer %d points past the end of the file" next;
+        if List.mem next seen then
+          Xqdb_error.corrupt "Catalog: page chain cycles back to page %d" next;
+        read_chain (next :: seen) next
+      end
     in
-    read_chain catalog_page
+    read_chain [catalog_page] catalog_page
   end;
   { pool; table }
 

@@ -1,0 +1,73 @@
+(* A deterministic crash injector over a {Disk, Wal} pair.
+
+   The harness counts {e durability events} — page writes, log appends,
+   log syncs — and at a chosen event simulates pulling the plug: a
+   dedicated [Crash] exception tears through the workload, and from that
+   moment every storage operation raises [Crash] too, so nothing can
+   "finish the job" after the crash.  Sweeping the crash point over
+   every event in a workload exercises every prefix of its durability
+   schedule; recovery must produce a consistent database from each.
+
+   [Crash] deliberately is not [Disk.Disk_error]: the buffer pool's
+   bounded retry absorbs disk errors, but a crash must not be retried
+   away.  (A {e torn} crash first reports an ordinary torn-write error —
+   which the pool does retry — and the retry then hits the dead
+   storage and raises [Crash].) *)
+
+exception Crash of string
+
+type t = {
+  crash_at : int;
+  torn : bool;
+  disk : Disk.t;
+  wal : Wal.t;
+  mutable events : int;
+  mutable crashed : bool;
+}
+
+let events t = t.events
+let crashed t = t.crashed
+
+let crash_msg t = Printf.sprintf "Crash_point: simulated crash at event %d" t.events
+
+(* Count one durability event; decide whether this is the one. *)
+let tick t =
+  t.events <- t.events + 1;
+  t.crash_at > 0 && t.events >= t.crash_at && not t.crashed
+
+let disk_fault t op _id =
+  if t.crashed then raise (Crash (crash_msg t));
+  match op with
+  | Disk.Write ->
+    if tick t then begin
+      t.crashed <- true;
+      if t.torn then Disk.Torn (crash_msg t) else raise (Crash (crash_msg t))
+    end
+    else Disk.No_fault
+  | Disk.Read | Disk.Alloc -> Disk.No_fault
+
+let wal_fault t op =
+  if t.crashed then raise (Crash (crash_msg t));
+  match op with
+  | Wal.Append ->
+    if tick t then begin
+      t.crashed <- true;
+      raise (Crash (crash_msg t))
+    end
+    else Wal.No_fault
+  | Wal.Sync ->
+    if tick t then begin
+      t.crashed <- true;
+      if t.torn then Wal.Torn (crash_msg t) else raise (Crash (crash_msg t))
+    end
+    else Wal.No_fault
+
+let install ?(crash_at = 0) ?(torn = false) ~disk ~wal () =
+  let t = { crash_at; torn; disk; wal; events = 0; crashed = false } in
+  Disk.set_injector disk (Some (fun op id -> disk_fault t op id));
+  Wal.set_injector wal (Some (fun op -> wal_fault t op));
+  t
+
+let disarm t =
+  Disk.set_injector t.disk None;
+  Wal.set_injector t.wal None

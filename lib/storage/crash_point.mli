@@ -1,0 +1,38 @@
+(** Deterministic crash injection over a {!Disk} / {!Wal} pair.
+
+    The injector counts {e durability events} — disk page writes, WAL
+    appends, WAL syncs — and at event [crash_at] simulates the machine
+    dying: the pending operation raises {!Crash}, and {e every}
+    subsequent storage operation raises {!Crash} as well, so no code
+    path can keep writing after the crash.  A workload run first with
+    [crash_at = 0] (observe only) reports its total event count; a
+    driver then sweeps [crash_at] over 1..N and checks that recovery
+    from each prefix yields a consistent database.
+
+    With [~torn:true] the crashing event is reported as an ordinary
+    torn-write {!Disk.Disk_error} (a damaged half-page, or a torn log
+    tail at a sync) — the buffer pool dutifully retries, and the retry
+    hits the now-dead storage and raises {!Crash}.  This models the
+    plug being pulled {e mid}-write rather than between writes. *)
+
+type t
+
+exception Crash of string
+(** The simulated power loss.  Deliberately not {!Disk.Disk_error}:
+    retries must not absorb it. *)
+
+val install : ?crash_at:int -> ?torn:bool -> disk:Disk.t -> wal:Wal.t -> unit -> t
+(** Install injectors on both [disk] and [wal] (replacing any already
+    installed).  [crash_at = 0] (the default) never crashes — it only
+    counts events.  [torn] defaults to [false]. *)
+
+val events : t -> int
+(** Durability events observed so far. *)
+
+val crashed : t -> bool
+(** Whether the crash point has been reached.  Harness code uses this to
+    tell a crash-induced {!Disk.Disk_error} (from a torn crashing write)
+    apart from an unexpected one. *)
+
+val disarm : t -> unit
+(** Remove the injectors from both devices, e.g. before recovery. *)

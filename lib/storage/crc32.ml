@@ -1,0 +1,29 @@
+(* Table-driven CRC-32 (the IEEE 802.3 polynomial, reflected form
+   0xEDB88320) over OCaml's native ints.  All arithmetic stays inside 32
+   bits, so results are identical on 64-bit platforms and round-trip
+   through a page's u32 header slot. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let start = 0xFFFFFFFF
+
+let feed acc buf pos len =
+  let table = Lazy.force table in
+  let acc = ref acc in
+  for i = pos to pos + len - 1 do
+    acc := table.((!acc lxor Char.code (Bytes.get buf i)) land 0xFF) lxor (!acc lsr 8)
+  done;
+  !acc
+
+let finish acc = acc lxor 0xFFFFFFFF
+
+let digest buf = finish (feed start buf 0 (Bytes.length buf))

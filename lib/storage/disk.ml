@@ -3,10 +3,14 @@ type backend =
       mutable pages : bytes array;  (* grows geometrically *)
     }
   | File of {
+      path : string;
       out : out_channel;
       inp : in_channel;
       mutable flushed : bool;
     }
+
+let m_torn_writes = Metrics.counter "disk.torn_writes"
+let m_checksum_failures = Metrics.counter "disk.checksum_failures"
 
 type counters = {
   reads : int;
@@ -43,6 +47,18 @@ let consult t op id =
   | None -> No_fault
   | Some f -> f op id
 
+let label t =
+  match t.backend with
+  | Mem _ -> "<mem>"
+  | File f -> f.path
+
+(* A fresh zeroed page, checksum already stamped: even a page that is
+   allocated and then read before any write verifies cleanly. *)
+let blank_page psize =
+  let page = Bytes.make psize '\000' in
+  Page.stamp_checksum page;
+  page
+
 let do_alloc t =
   (match consult t Alloc t.count with
    | No_fault -> ()
@@ -57,10 +73,10 @@ let do_alloc t =
        Array.blit m.pages 0 bigger 0 (Array.length m.pages);
        m.pages <- bigger
      end;
-     m.pages.(id) <- Bytes.make t.psize '\000'
+     m.pages.(id) <- blank_page t.psize
    | File f ->
      seek_out f.out (id * t.psize);
-     output_bytes f.out (Bytes.make t.psize '\000');
+     output_bytes f.out (blank_page t.psize);
      f.flushed <- false);
   id
 
@@ -70,7 +86,14 @@ let with_catalog_page t =
   assert (id = 0);
   t
 
+let check_page_size page_size =
+  if page_size < 2 * Page.header_size then
+    invalid_arg
+      (Printf.sprintf "Disk: page size %d is too small for the %d-byte page header"
+         page_size Page.header_size)
+
 let in_memory ?(page_size = 4096) () =
+  check_page_size page_size;
   with_catalog_page
     { psize = page_size;
       backend = Mem { pages = Array.make 8 Bytes.empty };
@@ -81,11 +104,12 @@ let in_memory ?(page_size = 4096) () =
       injector = None }
 
 let on_file ?(page_size = 4096) path =
+  check_page_size page_size;
   let out = open_out_gen [Open_wronly; Open_creat; Open_trunc; Open_binary] 0o644 path in
   let inp = open_in_bin path in
   with_catalog_page
     { psize = page_size;
-      backend = File { out; inp; flushed = true };
+      backend = File { path; out; inp; flushed = true };
       count = 0;
       reads = 0;
       writes = 0;
@@ -93,6 +117,7 @@ let on_file ?(page_size = 4096) path =
       injector = None }
 
 let open_existing ?(page_size = 4096) path =
+  check_page_size page_size;
   let out = open_out_gen [Open_wronly; Open_binary] 0o644 path in
   let inp = open_in_bin path in
   let size = in_channel_length inp in
@@ -104,7 +129,7 @@ let open_existing ?(page_size = 4096) path =
          path size page_size)
   end;
   { psize = page_size;
-    backend = File { out; inp; flushed = true };
+    backend = File { path; out; inp; flushed = true };
     count = size / page_size;
     reads = 0;
     writes = 0;
@@ -120,12 +145,7 @@ let check_id t id =
 
 let alloc t = do_alloc t
 
-let read_page t id =
-  check_id t id;
-  (match consult t Read id with
-   | No_fault -> ()
-   | Fail msg | Torn msg -> raise (Disk_error msg));
-  t.reads <- t.reads + 1;
+let fetch t id =
   match t.backend with
   | Mem m -> Bytes.copy m.pages.(id)
   | File f ->
@@ -137,6 +157,23 @@ let read_page t id =
     let buf = Bytes.create t.psize in
     really_input f.inp buf 0 t.psize;
     buf
+
+let read_page t id =
+  check_id t id;
+  (match consult t Read id with
+   | No_fault -> ()
+   | Fail msg | Torn msg -> raise (Disk_error msg));
+  t.reads <- t.reads + 1;
+  let buf = fetch t id in
+  if not (Page.checksum_matches buf) then begin
+    Metrics.incr m_checksum_failures;
+    Xqdb_error.corrupt "Disk: checksum mismatch on page %d of %s" id (label t)
+  end;
+  buf
+
+let read_page_raw t id =
+  check_id t id;
+  fetch t id
 
 let persist t id buf len =
   match t.backend with
@@ -150,19 +187,32 @@ let write_page t id buf =
   check_id t id;
   if Bytes.length buf <> t.psize then
     invalid_arg "Disk.write_page: buffer size mismatch";
+  Page.stamp_checksum buf;
   match consult t Write id with
   | Fail msg -> raise (Disk_error msg)
   | Torn msg ->
     (* Torn (short) write: only the first half of the buffer reaches the
-       disk before the fault; the rest of the page keeps its previous
-       contents.  The failure is reported, so a caller that retries with
-       the full buffer repairs the page. *)
+       disk before the fault, and one byte of that half is garbled in
+       flight, so the page's stored checksum cannot match.  The damage is
+       applied to a copy — the caller's buffer stays intact, so a retry
+       with the same buffer repairs the page. *)
     t.writes <- t.writes + 1;
-    persist t id buf (t.psize / 2);
+    Metrics.incr m_torn_writes;
+    let half = Bytes.sub buf 0 (t.psize / 2) in
+    let victim = t.psize / 4 in
+    Bytes.set half victim (Char.chr (Char.code (Bytes.get half victim) lxor 0xff));
+    persist t id half (t.psize / 2);
     raise (Disk_error msg)
   | No_fault ->
     t.writes <- t.writes + 1;
     persist t id buf t.psize
+
+let sync t =
+  match t.backend with
+  | Mem _ -> ()
+  | File f ->
+    flush f.out;
+    f.flushed <- true
 
 let counters t = { reads = t.reads; writes = t.writes; allocs = t.allocs }
 

@@ -11,9 +11,14 @@
     Disks can misbehave on demand: an installed {e fault injector}
     (see {!set_injector} and the {!Fault_disk} policy driver) may make
     any operation raise {!Disk_error}, or tear a write so that only a
-    prefix of the page is persisted before the failure is reported.
-    This is the machinery behind the robustness half of the testbed's
-    differential harness. *)
+    damaged prefix of the page is persisted before the failure is
+    reported.  This is the machinery behind the robustness half of the
+    testbed's differential harness.
+
+    Every page carries a CRC-32 in its header ({!Page.stamp_checksum}):
+    {!write_page} and {!alloc} stamp it, {!read_page} verifies it and
+    raises {!Xqdb_error.Corrupt} on a mismatch, so a torn page that
+    reaches a reader is detected rather than returned as data. *)
 
 type t
 
@@ -33,7 +38,8 @@ type fault =
   | No_fault
   | Fail of string  (** raise {!Disk_error} without touching the disk *)
   | Torn of string
-      (** writes only: persist the first half of the buffer, then raise
+      (** writes only: persist the first half of the buffer with one byte
+          garbled (so the page's checksum cannot verify), then raise
           {!Disk_error}; treated as [Fail] for reads and allocs *)
 
 val set_injector : t -> (op -> int -> fault) option -> unit
@@ -58,18 +64,34 @@ val page_size : t -> int
 val page_count : t -> int
 
 val alloc : t -> int
-(** Allocate a fresh zeroed page and return its id.
-    @raise Disk_error on an injected allocation fault. *)
+(** Allocate a fresh zeroed page (checksum pre-stamped) and return its
+    id.  @raise Disk_error on an injected allocation fault. *)
 
 val read_page : t -> int -> bytes
-(** A fresh copy of the page contents.  @raise Invalid_argument on an
-    unallocated page id.  @raise Disk_error on an injected read fault. *)
+(** A fresh copy of the page contents, checksum-verified.
+    @raise Invalid_argument on an unallocated page id.
+    @raise Disk_error on an injected read fault.
+    @raise Xqdb_error.Corrupt if the stored checksum does not match the
+    contents (the [disk.checksum_failures] counter is bumped). *)
+
+val read_page_raw : t -> int -> bytes
+(** Like {!read_page} but without checksum verification, fault
+    injection, or counter updates — for tests and recovery tooling that
+    inspect possibly-damaged pages.
+    @raise Invalid_argument on an unallocated page id. *)
 
 val write_page : t -> int -> bytes -> unit
-(** @raise Invalid_argument if the buffer size differs from the page
+(** Stamps the page checksum into [buf] (in place), then persists it.
+    @raise Invalid_argument if the buffer size differs from the page
     size or the page id was never allocated.
     @raise Disk_error on an injected write fault; a torn fault persists
-    half the buffer first, so retrying the full write repairs the page. *)
+    a damaged half of the buffer first ([disk.torn_writes] is bumped),
+    so retrying the full write repairs the page. *)
+
+val sync : t -> unit
+(** Flush buffered writes to the backing file (no-op for the in-memory
+    backend).  The durability point the {!Wal} checkpoint protocol
+    relies on. *)
 
 type counters = {
   reads : int;

@@ -3,9 +3,10 @@
 
     [attach] installs a policy-driven injector into an existing disk.
     Every subsequent [read_page]/[write_page]/[alloc] consults a seeded
-    RNG and may fail with {!Disk.Disk_error}, tear the write (persist
-    half the page, then fail), or — for {e hard} faults — keep failing on
-    every retry against the same page.  Transient faults clear after a
+    RNG and may fail with {!Disk.Disk_error}, tear the write (persist a
+    damaged first half of the page, then fail — the page's checksum then
+    refuses any verified read until a retry repairs it), or — for
+    {e hard} faults — keep failing on every retry against the same page.  Transient faults clear after a
     single failure, so the {!Buffer_pool}'s bounded retry absorbs them;
     hard faults defeat the retry and must surface as the engine's
     [Io_error] status.
@@ -23,7 +24,8 @@ type policy = {
           the rest are hard and persist for the page *)
   torn_fraction : float;
       (** of injected write faults, the fraction that also tear the page
-          (persist the first half) before failing *)
+          (persist a damaged first half, detectable by checksum) before
+          failing *)
 }
 
 val uniform : rate:float -> policy

@@ -8,19 +8,32 @@ let set_u32 page off v = Bytes.set_int32_le page off (Int32.of_int v)
 
 exception Page_full of string
 
-let header_size = 10
+let header_size = 14
 
 (* Header fields. *)
 let off_next = 0
 let off_nslots = 4
 let off_free = 6
 let off_flags = 8
+let off_crc = 10
 
 let init page =
   set_u32 page off_next 0;
   set_u16 page off_nslots 0;
   set_u16 page off_free header_size;
-  set_u16 page off_flags 0
+  set_u16 page off_flags 0;
+  set_u32 page off_crc 0
+
+(* The stored CRC covers every byte of the page except its own header
+   slot, so stamping does not disturb the value being checked. *)
+let checksum page =
+  let acc = Crc32.feed Crc32.start page 0 off_crc in
+  let tail = off_crc + 4 in
+  Crc32.finish (Crc32.feed acc page tail (Bytes.length page - tail))
+
+let stored_checksum page = get_u32 page off_crc
+let stamp_checksum page = set_u32 page off_crc (checksum page)
+let checksum_matches page = Int.equal (stored_checksum page) (checksum page)
 
 let next page = get_u32 page off_next
 let flags page = get_u16 page off_flags

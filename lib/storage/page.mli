@@ -7,7 +7,7 @@
     v}
 
     The header layout is [ next:u32 | nslots:u16 | free_off:u16 |
-    flags:u16 ] (10 bytes); [next] is a chain pointer used by
+    flags:u16 | crc:u32 ] (14 bytes); [next] is a chain pointer used by
     {!Heap_file} and by B+-tree leaves (internal B+-tree nodes reuse it
     as the leftmost-child pointer), and [flags] is free for the client
     (the B+-tree stores the node kind there).  Each slot is a [u16 offset, u16 length] pair growing from
@@ -51,6 +51,24 @@ val insert_slot_at : bytes -> int -> bytes -> unit
 (** [insert_slot_at page i record] inserts a record so that it becomes
     slot [i], shifting slots [i..] up by one.  Used by B+-tree nodes to
     keep slots in key order. *)
+
+(** {2 Checksums}
+
+    Every page carries a CRC-32 of its full contents (excluding the CRC
+    slot itself) in the header.  {!Disk} stamps it on every write-back
+    and allocation and verifies it on every read, so a torn or bit-flipped
+    page surfaces as a typed {!Xqdb_error.Corrupt} instead of being
+    returned as data.  Clients of the slotted layout never touch these. *)
+
+val checksum : bytes -> int
+(** CRC-32 over the whole page, skipping the header's CRC slot. *)
+
+val stored_checksum : bytes -> int
+
+val stamp_checksum : bytes -> unit
+(** Store {!checksum} into the header slot. *)
+
+val checksum_matches : bytes -> bool
 
 val remove_slot_at : bytes -> int -> unit
 (** Remove slot [i], shifting higher slots down.  The record bytes are

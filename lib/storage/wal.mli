@@ -1,0 +1,104 @@
+(** A redo-only physical write-ahead log.
+
+    The {!Buffer_pool} appends a page's full after-image after every
+    mutation and syncs the log before writing the page back, so the
+    database file is never ahead of the durable log.  Recovery
+    ({!replay}) blindly rewrites every durable after-image in LSN order
+    — idempotent, so recovering twice (or crashing during recovery and
+    recovering again) is safe.
+
+    Record layout, little-endian:
+
+    {v
+    [ kind:u8 | lsn:i64 | page_id:u32 | len:u32 | payload | crc:u32 ]
+    v}
+
+    The trailing CRC-32 covers everything before it; a record that fails
+    it (a torn log write) ends the replayable prefix, and the bytes
+    after it are discarded.
+
+    Like {!Disk}, a log can misbehave on demand via {!set_injector} —
+    the seam the {!Crash_point} harness uses to crash a workload between
+    any two log operations. *)
+
+type t
+
+type op =
+  | Append
+  | Sync
+
+type fault =
+  | No_fault
+  | Fail of string  (** raise {!Disk.Disk_error} without logging *)
+  | Torn of string
+      (** sync only: persist the older half of the pending records plus
+          a damaged prefix of the next, drop the rest, then raise
+          {!Disk.Disk_error}; treated as [Fail] on append *)
+
+val in_memory : unit -> t
+(** A log whose "durable" store is a buffer in this process — the
+    crash-point harness's backend, where {!crash_discard} plays the
+    crash. *)
+
+val on_file : string -> t
+(** Create or truncate a log file. *)
+
+val open_existing : string -> t
+(** Open a log left by an earlier process ({e the} recovery entry
+    point); a missing file is treated as an empty log. *)
+
+val set_injector : t -> (op -> fault) option -> unit
+
+val append : t -> page_id:int -> data:bytes -> int
+(** Append an after-image and return its LSN (LSNs start at 1 and
+    increase).  The record is {e pending} — not durable — until the next
+    {!sync}.  @raise Disk.Disk_error on an injected fault (nothing is
+    appended). *)
+
+val sync : t -> unit
+(** Make every pending record durable.  No-op when nothing is pending.
+    @raise Disk.Disk_error on an injected fault; a torn sync leaves a
+    prefix of the pending records durable (possibly ending mid-record)
+    and drops the rest. *)
+
+val last_lsn : t -> int
+(** The LSN of the newest appended record; 0 for an empty log. *)
+
+val synced_lsn : t -> int
+(** The LSN up to which the log is durable; [synced_lsn <= last_lsn].
+    The buffer pool's write-back sanitizer checks a page's record LSN
+    against this. *)
+
+val size_bytes : t -> int
+(** Durable plus pending bytes — what the auto-checkpoint threshold
+    watches. *)
+
+val checkpoint : t -> unit
+(** Truncate the log.  Callers must first make the database file itself
+    durable (flush the pool, {!Disk.sync}); see
+    [Xqdb_core.Database.checkpoint] for the full protocol. *)
+
+type replay_stats = {
+  applied : int;  (** records replayed *)
+  discarded_bytes : int;  (** torn/garbage tail bytes skipped *)
+  torn_tail : bool;  (** whether the log ended mid-record *)
+}
+
+val replay : t -> apply:(lsn:int -> page_id:int -> bytes -> unit) -> replay_stats
+(** Decode the durable log and feed each after-image to [apply] in LSN
+    order, stopping at the first record that is truncated or fails its
+    CRC.  Also advances this log's LSN counters past the highest LSN
+    seen, so appends after recovery do not reuse LSNs. *)
+
+val crash_discard : t -> unit
+(** Simulate the crash: drop every pending (unsynced) record, leaving
+    only the durable prefix.  In-memory harness use; a real crash does
+    this for free. *)
+
+val unsafe_no_sync : t -> bool -> unit
+(** Test seam: while set, {!sync} does nothing, so the WAL-before-data
+    invariant can be made to fail and the pin sanitizer's check
+    exercised. *)
+
+val close : t -> unit
+(** Flush and close the backing file, if any. *)

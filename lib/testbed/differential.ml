@@ -1,8 +1,13 @@
 module Engine = Xqdb_core.Engine
 module Engine_config = Xqdb_core.Engine_config
+module Database = Xqdb_core.Database
 module Disk = Xqdb_storage.Disk
 module Buffer_pool = Xqdb_storage.Buffer_pool
 module Fault_disk = Xqdb_storage.Fault_disk
+module Wal = Xqdb_storage.Wal
+module Crash_point = Xqdb_storage.Crash_point
+module Xqdb_error = Xqdb_storage.Xqdb_error
+module Node_store = Xqdb_xasr.Node_store
 module Xq_print = Xqdb_xq.Xq_print
 module Xml_print = Xqdb_xml.Xml_print
 
@@ -292,4 +297,214 @@ let render report =
       report.fault_reports
   end;
   line "verdict: %s" (if ok report then "PASS" else "FAIL");
+  Buffer.contents buf
+
+(* --- crash-point sweep ---------------------------------------------------
+
+   A fixed durability workload — load alpha, checkpoint, load beta,
+   checkpoint, drop beta, checkpoint — is first run once under an
+   observing {!Crash_point} to count its durability events, then
+   replayed with a simulated crash at a spread of those events.  After
+   each crash the database is recovered from (disk, durable log) alone
+   and must be consistent: only known documents, checkpointed documents
+   still present, dropped documents not resurrected, every index
+   structurally sound, and every surviving document answering the
+   trial's query identically across milestones. *)
+
+type crash_point_report = {
+  point : int;  (** the 1-based durability event the crash hit *)
+  torn : bool;
+  crashed : bool;  (** whether the workload reached the crash point at all *)
+  point_ok : bool;
+  point_detail : string;
+}
+
+type crash_trial = {
+  crash_trial_index : int;
+  crash_query : string;
+  events_total : int;  (** durability events in the crash-free workload *)
+  points : crash_point_report list;
+}
+
+type crash_report = {
+  crash_seed : int;
+  crash_trial_count : int;
+  points_per_trial : int;
+  crash_trials : crash_trial list;
+}
+
+let crash_docs = ["alpha"; "beta"]
+
+let crash_config = { Engine_config.m4 with Engine_config.pool_capacity = pool_frames }
+
+(* [progress] records the last fully-checkpointed phase, which bounds
+   what recovery must reproduce: redo recovery may additionally surface
+   work the crash interrupted (whose log records were already durable),
+   so only checkpointed facts are asserted, monotonically. *)
+let crash_workload db ~alpha ~beta progress =
+  ignore (Database.load_forest db ~name:"alpha" alpha);
+  Database.checkpoint db;
+  progress := 1;
+  ignore (Database.load_forest db ~name:"beta" beta);
+  Database.checkpoint db;
+  progress := 2;
+  Database.drop_document db ~name:"beta";
+  Database.checkpoint db;
+  progress := 3
+
+let validate_recovery ~progress ~query db =
+  let failure = ref None in
+  let record msg = if !failure = None then failure := Some msg in
+  let names = Database.document_names db in
+  (match List.filter (fun n -> not (List.mem n crash_docs)) names with
+   | [] -> ()
+   | bad -> record (Printf.sprintf "unknown documents after recovery: %s" (String.concat ", " bad)));
+  if progress >= 1 && not (List.mem "alpha" names) then
+    record "checkpointed document alpha lost by recovery";
+  if progress >= 3 && List.mem "beta" names then
+    record "dropped document beta resurrected by recovery";
+  List.iter
+    (fun name ->
+      (match Node_store.check_invariants (Engine.store (Database.engine db ~name)) with
+       | () -> ()
+       | exception Xqdb_error.Corrupt msg ->
+         record (Printf.sprintf "%s: recovered index corrupt: %s" name msg));
+      if !failure = None then begin
+        (* The recovered store is its own oracle: milestone 1 evaluates
+           in memory from it, and the disk-based milestones must agree. *)
+        let oracle = Engine.run (Database.engine ~config:Engine_config.m1 db ~name) query in
+        List.iter
+          (fun config ->
+            if !failure = None then begin
+              let label = Printf.sprintf "%s/%s" name config.Engine_config.name in
+              match Engine.run (Database.engine ~config db ~name) query with
+              | result ->
+                (match compare_to_oracle label oracle result with
+                 | Some msg -> record ("post-recovery " ^ msg)
+                 | None -> ())
+              | exception exn ->
+                record
+                  (Printf.sprintf "post-recovery %s crashed: %s" label
+                     (Printexc.to_string exn))
+            end)
+          [Engine_config.m2; Engine_config.m4]
+      end)
+    names;
+  !failure
+
+let crash_at_point ~alpha ~beta ~query ~point ~torn =
+  let disk = Disk.in_memory () in
+  let wal = Wal.in_memory () in
+  let progress = ref 0 in
+  let cp = Crash_point.install ~crash_at:point ~torn ~disk ~wal () in
+  let run_workload () =
+    let db = Database.create_on ~config:crash_config ~wal disk in
+    crash_workload db ~alpha ~beta progress
+  in
+  let crashed, crash_failure =
+    match run_workload () with
+    | () -> (false, None)
+    | exception Crash_point.Crash _ -> (true, None)
+    | exception Disk.Disk_error _ when Crash_point.crashed cp ->
+      (* The torn crashing write surfaced as an ordinary disk error on a
+         path without a retry around it; the storage is dead either way. *)
+      (true, None)
+    | exception exn ->
+      (Crash_point.crashed cp,
+       Some (Printf.sprintf "workload died of %s instead of the crash" (Printexc.to_string exn)))
+  in
+  Crash_point.disarm cp;
+  (* The crash loses everything the log had not synced. *)
+  Wal.crash_discard wal;
+  match crash_failure with
+  | Some msg -> { point; torn; crashed; point_ok = false; point_detail = msg }
+  | None ->
+    (match Database.open_disk ~config:crash_config ~wal disk with
+     | db ->
+       let detail = validate_recovery ~progress:!progress ~query db in
+       { point;
+         torn;
+         crashed;
+         point_ok = detail = None;
+         point_detail = (match detail with None -> "" | Some d -> d) }
+     | exception exn ->
+       { point;
+         torn;
+         crashed;
+         point_ok = false;
+         point_detail = Printf.sprintf "recovery crashed: %s" (Printexc.to_string exn) })
+
+(* Evenly spaced 1-based crash points, always including the first and
+   last event, without duplicates. *)
+let select_points ~total ~wanted =
+  if total <= 0 || wanted <= 0 then []
+  else if total <= wanted then List.init total (fun i -> i + 1)
+  else if wanted = 1 then [1]
+  else
+    List.init wanted (fun i -> 1 + (i * (total - 1) / (wanted - 1)))
+    |> List.sort_uniq compare
+
+let crash_sweep ?(seed = 42) ?(count = 3) ?(points = 10) () =
+  let crash_trials =
+    List.init count (fun index ->
+        let alpha, query = generate ~seed ~index in
+        (* A distinct forest for beta, still keyed on (seed, index). *)
+        let beta, _ = generate ~seed ~index:(index + 7919) in
+        (* Observe run: count the workload's durability events. *)
+        let disk = Disk.in_memory () in
+        let wal = Wal.in_memory () in
+        let progress = ref 0 in
+        let cp = Crash_point.install ~disk ~wal () in
+        let db = Database.create_on ~config:crash_config ~wal disk in
+        crash_workload db ~alpha ~beta progress;
+        let events_total = Crash_point.events cp in
+        Crash_point.disarm cp;
+        let pts = select_points ~total:events_total ~wanted:points in
+        let reports =
+          List.mapi
+            (fun i point ->
+              crash_at_point ~alpha ~beta ~query ~point ~torn:(i mod 2 = 1))
+            pts
+        in
+        { crash_trial_index = index;
+          crash_query = Xq_print.to_string query;
+          events_total;
+          points = reports })
+  in
+  { crash_seed = seed;
+    crash_trial_count = count;
+    points_per_trial = points;
+    crash_trials }
+
+let crash_points_checked r =
+  List.fold_left (fun n t -> n + List.length t.points) 0 r.crash_trials
+
+let crash_failures r =
+  List.fold_left
+    (fun n t -> n + List.length (List.filter (fun p -> not p.point_ok) t.points))
+    0 r.crash_trials
+
+let crash_ok r =
+  r.crash_trials <> []
+  && List.for_all (fun t -> t.events_total > 0) r.crash_trials
+  && crash_failures r = 0
+
+let render_crash r =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "crash-point sweep: %d trials, %d crash points recovered, %d failures (seed %d)"
+    r.crash_trial_count (crash_points_checked r) (crash_failures r) r.crash_seed;
+  List.iter
+    (fun t ->
+      line "  trial %d: %d durability events, %d points checked [%s]" t.crash_trial_index
+        t.events_total (List.length t.points) (truncate t.crash_query);
+      List.iter
+        (fun p ->
+          if not p.point_ok then
+            line "    point %d%s FAILED: %s" p.point
+              (if p.torn then " (torn)" else "")
+              (truncate p.point_detail))
+        t.points)
+    r.crash_trials;
+  line "verdict: %s" (if crash_ok r then "PASS" else "FAIL");
   Buffer.contents buf

@@ -68,3 +68,51 @@ val ok : report -> bool
 (** All trials agree, zero crashes, zero rerun failures. *)
 
 val render : report -> string
+
+(** {2 Crash-point sweep}
+
+    The crash axis: a fixed durability workload (load [alpha],
+    checkpoint, load [beta], checkpoint, drop [beta], checkpoint) over
+    an in-memory disk and write-ahead log is first observed to count its
+    durability events ({!Xqdb_storage.Crash_point}), then replayed with
+    a simulated crash at a spread of those events — alternate points
+    crash {e mid-write} (torn).  Recovery from the durable state alone
+    must yield a database whose catalog lists only known documents,
+    keeps everything checkpointed, never resurrects a dropped document,
+    passes {!Xqdb_xasr.Node_store.check_invariants} on every index, and
+    answers the trial query identically across milestones. *)
+
+type crash_point_report = {
+  point : int;  (** the 1-based durability event the crash hit *)
+  torn : bool;
+  crashed : bool;  (** whether the workload reached the crash point at all *)
+  point_ok : bool;
+  point_detail : string;
+}
+
+type crash_trial = {
+  crash_trial_index : int;
+  crash_query : string;  (** pretty-printed, for replaying failures *)
+  events_total : int;  (** durability events in the crash-free workload *)
+  points : crash_point_report list;
+}
+
+type crash_report = {
+  crash_seed : int;
+  crash_trial_count : int;
+  points_per_trial : int;
+  crash_trials : crash_trial list;
+}
+
+val crash_sweep : ?seed:int -> ?count:int -> ?points:int -> unit -> crash_report
+(** Defaults: [seed 42], [count 3] trials, up to [points 10] crash
+    points per trial (evenly spaced over the observed events, always
+    including the first and last). *)
+
+val crash_points_checked : crash_report -> int
+val crash_failures : crash_report -> int
+
+val crash_ok : crash_report -> bool
+(** Every trial observed events and every crash point recovered clean. *)
+
+val render_crash : crash_report -> string

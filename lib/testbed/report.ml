@@ -282,6 +282,17 @@ let template_fields (p : Engine.profile) =
     ("template_binds", Int (counter "planner.template_binds"));
     ("prepared_cache_hits", Int (counter "engine.prepared_cache_hits")) ]
 
+(* WAL and recovery counter deltas (schema v3), surfaced as top-level
+   result fields; zero for engines running without a log, so CI can
+   assert durability activity without digging through counters. *)
+let durability_fields (p : Engine.profile) =
+  let counter name =
+    match List.assoc_opt name p.counters with Some v -> v | None -> 0
+  in
+  [ ("wal_appends", Int (counter "wal.appends"));
+    ("wal_checkpoints", Int (counter "wal.checkpoints"));
+    ("recovery_replayed", Int (counter "wal.recovery_replayed")) ]
+
 let result_json ?(extra = []) ~engine ~test (r : Engine.result) =
   Obj
     ([ ("engine", Str engine); ("test", Str test) ]
@@ -291,6 +302,7 @@ let result_json ?(extra = []) ~engine ~test (r : Engine.result) =
         ( "censored",
           Bool (match r.status with Engine.Budget_exceeded _ -> true | _ -> false) ) ]
     @ template_fields r.profile
+    @ durability_fields r.profile
     @ [("profile", profile_json r.profile)])
 
 let cell_json (c : Efficiency.cell) =
@@ -301,12 +313,14 @@ let cell_json (c : Efficiency.cell) =
        ("seconds", Float c.seconds);
        ("censored", Bool c.censored) ]
     @ template_fields c.profile
+    @ durability_fields c.profile
     @ [("profile", profile_json c.profile)])
 
-let schema_version = 2
+let schema_version = 3
 
-(* v1 reports (no template counter fields) stay parseable/valid. *)
-let accepted_versions = [1; schema_version]
+(* v1 reports (no template counter fields) and v2 reports (no
+   durability fields) stay parseable/valid. *)
+let accepted_versions = [1; 2; schema_version]
 
 let bench_json ~kind extra ~results =
   Obj
@@ -317,6 +331,30 @@ let fig7_json (table : Efficiency.table) =
   bench_json ~kind:"fig7"
     [("budget", Int table.budget)]
     ~results:(List.map cell_json table.cells)
+
+(* One result object per crash point, flat, so CI can grep a failing
+   (trial, point) pair straight out of the artifact. *)
+let crash_json (r : Differential.crash_report) =
+  bench_json ~kind:"crash"
+    [ ("seed", Int r.Differential.crash_seed);
+      ("trial_count", Int r.Differential.crash_trial_count);
+      ("points_per_trial", Int r.Differential.points_per_trial) ]
+    ~results:
+      (List.concat_map
+         (fun (t : Differential.crash_trial) ->
+           List.map
+             (fun (p : Differential.crash_point_report) ->
+               Obj
+                 [ ("trial", Int t.Differential.crash_trial_index);
+                   ("query", Str t.Differential.crash_query);
+                   ("events_total", Int t.Differential.events_total);
+                   ("point", Int p.Differential.point);
+                   ("torn", Bool p.Differential.torn);
+                   ("crashed", Bool p.Differential.crashed);
+                   ("ok", Bool p.Differential.point_ok);
+                   ("detail", Str p.Differential.point_detail) ])
+             t.Differential.points)
+         r.Differential.crash_trials)
 
 (* --- validation --------------------------------------------------------- *)
 
@@ -410,16 +448,18 @@ let validate_result ~version r =
   let* _ = as_str "engine" engine in
   let* test = need "test" (member "test" r) in
   let* _ = as_str "test" test in
+  let counter_fields =
+    (if version >= 2 then ["templates_built"; "template_binds"; "prepared_cache_hits"]
+     else [])
+    @ (if version >= 3 then ["wal_appends"; "wal_checkpoints"; "recovery_replayed"] else [])
+  in
   let* () =
-    if version < 2 then Ok ()
-    else
-      List.fold_left
-        (fun acc name ->
-          let* () = acc in
-          let* v = int_field r name in
-          if v < 0 then Error (Printf.sprintf "negative %s" name) else Ok ())
-        (Ok ())
-        ["templates_built"; "template_binds"; "prepared_cache_hits"]
+    List.fold_left
+      (fun acc name ->
+        let* () = acc in
+        let* v = int_field r name in
+        if v < 0 then Error (Printf.sprintf "negative %s" name) else Ok ())
+      (Ok ()) counter_fields
   in
   let* _ = int_field r "page_ios" in
   let* seconds = need "seconds" (member "seconds" r) in
@@ -443,6 +483,25 @@ let validate_result ~version r =
           (Printf.sprintf "page_ios %d <> profile reads %d + writes %d" page_ios reads writes)
       else Ok ()
 
+(* A crash-sweep result: one crash point's verdict, no profile. *)
+let validate_crash_result r =
+  let* trial = int_field r "trial" in
+  let* point = int_field r "point" in
+  let* events = int_field r "events_total" in
+  let* torn = need "torn" (member "torn" r) in
+  let* _ = as_bool "torn" torn in
+  let* crashed = need "crashed" (member "crashed" r) in
+  let* _ = as_bool "crashed" crashed in
+  let* ok = need "ok" (member "ok" r) in
+  let* _ = as_bool "ok" ok in
+  let* detail = need "detail" (member "detail" r) in
+  let* _ = as_str "detail" detail in
+  if trial < 0 then Error "negative trial"
+  else if point < 1 then Error "crash point must be >= 1"
+  else if point > events then
+    Error (Printf.sprintf "crash point %d past the %d observed events" point events)
+  else Ok ()
+
 let validate_bench json =
   let* version = need "schema_version" (member "schema_version" json) in
   let* version = as_int "schema_version" version in
@@ -450,15 +509,19 @@ let validate_bench json =
     Error (Printf.sprintf "unsupported schema_version %d" version)
   else
     let* kind = need "kind" (member "kind" json) in
-    let* _ = as_str "kind" kind in
+    let* kind = as_str "kind" kind in
     let* results = need "results" (member "results" json) in
     let* results = as_arr "results" results in
     if results = [] then Error "empty results"
     else
+      let check =
+        if String.equal kind "crash" then validate_crash_result
+        else validate_result ~version
+      in
       List.fold_left
         (fun acc r ->
           let* () = acc in
-          validate_result ~version r)
+          check r)
         (Ok ()) results
 
 let validate_constant_templates json =

@@ -8,10 +8,12 @@
 
     Schema, stable across the [schema_version] field (version 2 added
     the per-run planner counters [templates_built], [template_binds] and
-    [prepared_cache_hits]; version-1 files are still accepted):
+    [prepared_cache_hits]; version 3 the durability counters
+    [wal_appends], [wal_checkpoints] and [recovery_replayed]; version-1
+    and version-2 files are still accepted):
 
     {v
-    { "schema_version": 2,
+    { "schema_version": 3,
       "kind": "fig7" | "ablations" | "milestones" | "templates",
       "budget": int,              (fig7 only)
       "results": [
@@ -19,6 +21,8 @@
           "page_ios": int, "seconds": float, "censored": bool,
           "templates_built": int, "template_binds": int,
           "prepared_cache_hits": int,
+          "wal_appends": int, "wal_checkpoints": int,
+          "recovery_replayed": int,
           "profile": {
             "reads": int, "writes": int, "allocs": int,
             "pool": {"hits": int, "misses": int, "evictions": int,
@@ -30,7 +34,12 @@
 
     where each [<op>] is [{ "op": str, "args": str, "rows": int,
     "ios": int, "own_ios": int, "seconds": float, "own_seconds": float,
-    "inputs": [<op>, ...] }]. *)
+    "inputs": [<op>, ...] }].
+
+    Crash-sweep reports ([kind = "crash"], {!crash_json}) use the same
+    envelope with one flat result object per crash point:
+    [{ "trial": int, "query": str, "events_total": int, "point": int,
+    "torn": bool, "crashed": bool, "ok": bool, "detail": str }]. *)
 
 type json =
   | Null
@@ -68,6 +77,9 @@ val cell_json : Efficiency.cell -> json
 
 val fig7_json : Efficiency.table -> json
 (** The whole Figure-7 table: [kind = "fig7"]. *)
+
+val crash_json : Differential.crash_report -> json
+(** A crash-point sweep: [kind = "crash"], one result per crash point. *)
 
 val bench_json :
   kind:string ->

@@ -92,6 +92,11 @@ let label_ins_all_of_type t ntype =
   let cursor = Btree.scan_prefix t.label_idx ~prefix in
   fun () -> Option.map (fun (k, _) -> Xasr.in_of_label_key k) (cursor ())
 
+let check_invariants ?min_fill t =
+  Btree.check_invariants ?min_fill t.primary;
+  Btree.check_invariants ?min_fill t.label_idx;
+  Btree.check_invariants ?min_fill t.parent_idx
+
 let primary_height t = Btree.height t.primary
 let primary_leaf_pages t = Btree.leaf_pages t.primary
 let label_index_height t = Btree.height t.label_idx

@@ -56,6 +56,12 @@ val label_ins_all_of_type : t -> Xasr.node_type -> unit -> int option
     nodes), via the label index; {e index order} (value-major), not
     document order. *)
 
+val check_invariants : ?min_fill:float -> t -> unit
+(** Run {!Xqdb_storage.Btree.check_invariants} over the primary and both
+    secondary indexes — the structural oracle the crash-recovery harness
+    applies to every recovered document.
+    @raise Xqdb_storage.Xqdb_error.Corrupt on any violation. *)
+
 (* Index shape, for the cost model. *)
 val primary_height : t -> int
 val primary_leaf_pages : t -> int

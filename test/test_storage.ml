@@ -39,10 +39,14 @@ let test_disk_file () =
   let disk = S.Disk.on_file ~page_size:256 path in
   let p1 = S.Disk.alloc disk in
   let p2 = S.Disk.alloc disk in
-  S.Disk.write_page disk p1 (Bytes.make 256 'a');
-  S.Disk.write_page disk p2 (Bytes.make 256 'b');
-  Alcotest.(check bytes) "page 1" (Bytes.make 256 'a') (S.Disk.read_page disk p1);
-  Alcotest.(check bytes) "page 2" (Bytes.make 256 'b') (S.Disk.read_page disk p2);
+  (* write_page stamps the checksum into the buffer in place, so compare
+     the read against the buffer as written, not a fresh fill. *)
+  let a = Bytes.make 256 'a' in
+  let b = Bytes.make 256 'b' in
+  S.Disk.write_page disk p1 a;
+  S.Disk.write_page disk p2 b;
+  Alcotest.(check bytes) "page 1" a (S.Disk.read_page disk p1);
+  Alcotest.(check bytes) "page 2" b (S.Disk.read_page disk p2);
   S.Disk.close disk;
   Sys.remove path
 
@@ -571,14 +575,19 @@ let test_fault_disk_torn () =
    | () -> Alcotest.fail "torn write should still raise"
    | exception S.Disk.Disk_error _ -> ());
   S.Fault_disk.detach injector;
-  (* The tear persisted the first half only: 'b' then stale 'a'. *)
-  let page = S.Disk.read_page disk p in
+  (* The tear left a damaged first half; a verified read refuses it. *)
+  (match S.Disk.read_page disk p with
+   | _ -> Alcotest.fail "torn page should fail checksum verification"
+   | exception S.Xqdb_error.Corrupt _ -> ());
+  (* Raw inspection sees 'b' in the persisted half, stale 'a' after. *)
+  let page = S.Disk.read_page_raw disk p in
   Alcotest.(check char) "first half written" 'b' (Bytes.get page 0);
   Alcotest.(check char) "second half stale" 'a' (Bytes.get page 127);
   Alcotest.(check int) "torn counted" 1 (S.Fault_disk.counts injector).S.Fault_disk.torn;
   (* Retrying the full write repairs the page. *)
-  S.Disk.write_page disk p (Bytes.make 128 'b');
-  Alcotest.(check bytes) "repaired" (Bytes.make 128 'b') (S.Disk.read_page disk p)
+  let repaired = Bytes.make 128 'b' in
+  S.Disk.write_page disk p repaired;
+  Alcotest.(check bytes) "repaired" repaired (S.Disk.read_page disk p)
 
 (* A transient write fault during eviction: the pool's bounded retry must
    absorb it and still persist the page. *)
@@ -755,6 +764,296 @@ let btree_occupancy =
       S.Btree.check_invariants ~min_fill:0.15 bt;
       true)
 
+(* --- page checksums ------------------------------------------------------- *)
+
+let test_checksum_roundtrip () =
+  let buf = Bytes.make 256 '\000' in
+  S.Page.init buf;
+  ignore (S.Page.add_slot buf (Bytes.of_string "hello"));
+  S.Page.stamp_checksum buf;
+  Alcotest.(check bool) "stamped page verifies" true (S.Page.checksum_matches buf);
+  Alcotest.(check int) "stored equals computed" (S.Page.checksum buf)
+    (S.Page.stored_checksum buf);
+  (* Any single damaged payload byte must be detected. *)
+  let byte = S.Page.header_size + 3 in
+  Bytes.set buf byte (Char.chr (Char.code (Bytes.get buf byte) lxor 0x40));
+  Alcotest.(check bool) "flipped bit detected" false (S.Page.checksum_matches buf);
+  (* And damage inside the header (outside the CRC slot itself) too. *)
+  let buf2 = Bytes.make 256 '\000' in
+  S.Page.init buf2;
+  S.Page.stamp_checksum buf2;
+  S.Page.set_next buf2 7;
+  Alcotest.(check bool) "header damage detected" false (S.Page.checksum_matches buf2)
+
+(* Tear the persisted image of one page and check that the verified read
+   path reports it as [Corrupt], while rewriting the good image repairs
+   it.  Used below against a live page of every on-disk structure. *)
+let tear_and_check disk id =
+  let good = S.Disk.read_page_raw disk id in
+  let good = Bytes.copy good in
+  S.Disk.set_injector disk
+    (Some (fun op id' ->
+       match op with
+       | S.Disk.Write when id' = id -> S.Disk.Torn "injected tear"
+       | _ -> S.Disk.No_fault));
+  (match S.Disk.write_page disk id (Bytes.copy good) with
+   | () -> Alcotest.fail "torn write should raise"
+   | exception S.Disk.Disk_error _ -> ());
+  S.Disk.set_injector disk None;
+  (match S.Disk.read_page disk id with
+   | _ -> Alcotest.fail (Printf.sprintf "page %d: torn image should fail checksum" id)
+   | exception S.Xqdb_error.Corrupt msg ->
+     Alcotest.(check bool) "error names the page" true
+       (let needle = Printf.sprintf "page %d" id in
+        let len = String.length needle in
+        let rec scan i =
+          i + len <= String.length msg
+          && (String.equal (String.sub msg i len) needle || scan (i + 1))
+        in
+        scan 0));
+  S.Disk.write_page disk id good;
+  Alcotest.(check bytes) "repaired page reads back" good (S.Disk.read_page disk id)
+
+let test_checksum_per_page_type () =
+  let disk, pool = fresh_pool ~page_size:512 () in
+  let failures_before =
+    S.Metrics.get (S.Metrics.snapshot ()) "disk.checksum_failures"
+  in
+  (* A catalog page (page 0), a btree page, and a heap page. *)
+  let catalog = S.Catalog.attach pool in
+  let bt = S.Btree.create pool in
+  List.iter (fun k -> S.Btree.insert bt ~key:(enc_int k) ~value:(enc_int k))
+    (List.init 40 Fun.id);
+  let heap = S.Heap_file.create pool in
+  ignore (S.Heap_file.append heap (Bytes.of_string "record"));
+  S.Catalog.set catalog "doc" (string_of_int (S.Btree.meta_page bt));
+  S.Catalog.flush catalog;
+  S.Buffer_pool.flush_all pool;
+  List.iter (tear_and_check disk)
+    [0; S.Btree.meta_page bt; S.Heap_file.first_page heap];
+  let failures_after =
+    S.Metrics.get (S.Metrics.snapshot ()) "disk.checksum_failures"
+  in
+  Alcotest.(check int) "checksum failures counted" 3 (failures_after - failures_before)
+
+(* --- write-ahead log ------------------------------------------------------ *)
+
+let test_wal_append_replay () =
+  let wal = S.Wal.in_memory () in
+  let payload i = Bytes.make 32 (Char.chr (Char.code 'a' + i)) in
+  let lsns = List.init 3 (fun i -> S.Wal.append wal ~page_id:(i + 1) ~data:(payload i)) in
+  Alcotest.(check (list int)) "LSNs are dense from 1" [1; 2; 3] lsns;
+  (* Nothing is durable before the first sync. *)
+  let seen = ref [] in
+  let stats = S.Wal.replay wal ~apply:(fun ~lsn ~page_id data -> seen := (lsn, page_id, Bytes.copy data) :: !seen) in
+  Alcotest.(check int) "nothing durable pre-sync" 0 stats.S.Wal.applied;
+  S.Wal.sync wal;
+  Alcotest.(check int) "synced through last LSN" 3 (S.Wal.synced_lsn wal);
+  let stats = S.Wal.replay wal ~apply:(fun ~lsn ~page_id data -> seen := (lsn, page_id, Bytes.copy data) :: !seen) in
+  Alcotest.(check int) "all records replayed" 3 stats.S.Wal.applied;
+  Alcotest.(check bool) "clean tail" false stats.S.Wal.torn_tail;
+  Alcotest.(check int) "nothing discarded" 0 stats.S.Wal.discarded_bytes;
+  let seen = List.rev !seen in
+  List.iteri
+    (fun i (lsn, page_id, data) ->
+      Alcotest.(check int) "replay LSN order" (i + 1) lsn;
+      Alcotest.(check int) "replay page id" (i + 1) page_id;
+      Alcotest.(check bytes) "replay payload" (payload i) data)
+    seen;
+  (* Checkpoint truncates: nothing left to replay. *)
+  S.Wal.checkpoint wal;
+  Alcotest.(check int) "log empty after checkpoint" 0 (S.Wal.size_bytes wal);
+  let stats = S.Wal.replay wal ~apply:(fun ~lsn:_ ~page_id:_ _ -> Alcotest.fail "replay after checkpoint") in
+  Alcotest.(check int) "checkpoint truncated" 0 stats.S.Wal.applied
+
+let test_wal_torn_tail () =
+  let wal = S.Wal.in_memory () in
+  let payload i = Bytes.make 24 (Char.chr (Char.code 'A' + i)) in
+  for i = 0 to 3 do
+    ignore (S.Wal.append wal ~page_id:i ~data:(payload i))
+  done;
+  S.Wal.set_injector wal
+    (Some (function S.Wal.Sync -> S.Wal.Torn "power cut" | S.Wal.Append -> S.Wal.No_fault));
+  (match S.Wal.sync wal with
+   | () -> Alcotest.fail "torn sync should raise"
+   | exception S.Disk.Disk_error _ -> ());
+  S.Wal.set_injector wal None;
+  (* Half the records landed whole, plus a damaged prefix of the next:
+     replay must apply exactly the whole ones and flag the torn tail. *)
+  let count = ref 0 in
+  let stats = S.Wal.replay wal ~apply:(fun ~lsn:_ ~page_id:_ _ -> incr count) in
+  Alcotest.(check int) "whole records replayed" 2 stats.S.Wal.applied;
+  Alcotest.(check bool) "torn tail detected" true stats.S.Wal.torn_tail;
+  Alcotest.(check bool) "torn bytes discarded" true (stats.S.Wal.discarded_bytes > 0);
+  (* Replay is idempotent: a second pass sees the same durable prefix. *)
+  let stats2 = S.Wal.replay wal ~apply:(fun ~lsn:_ ~page_id:_ _ -> incr count) in
+  Alcotest.(check int) "second replay identical" 2 stats2.S.Wal.applied;
+  Alcotest.(check int) "both passes applied" 4 !count;
+  (* Appending after recovery continues past the survivors. *)
+  let lsn = S.Wal.append wal ~page_id:9 ~data:(payload 0) in
+  Alcotest.(check bool) "fresh LSN beyond survivors" true (lsn > S.Wal.synced_lsn wal)
+
+let test_wal_replay_idempotent_on_disk () =
+  (* Double recovery must leave the pages byte-identical to single
+     recovery: redo records are blind physical rewrites. *)
+  let wal = S.Wal.in_memory () in
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let image i = Bytes.make 128 (Char.chr (Char.code 'p' + i)) in
+  for i = 0 to 2 do
+    ignore (S.Wal.append wal ~page_id:(i + 1) ~data:(image i))
+  done;
+  S.Wal.sync wal;
+  let apply ~lsn:_ ~page_id data =
+    while S.Disk.page_count disk <= page_id do
+      ignore (S.Disk.alloc disk)
+    done;
+    S.Disk.write_page disk page_id (Bytes.copy data)
+  in
+  ignore (S.Wal.replay wal ~apply);
+  let first = List.init 3 (fun i -> Bytes.copy (S.Disk.read_page disk (i + 1))) in
+  let stats = S.Wal.replay wal ~apply in
+  Alcotest.(check int) "second recovery replays all" 3 stats.S.Wal.applied;
+  List.iteri
+    (fun i expected ->
+      Alcotest.(check bytes) "page unchanged by re-replay" expected
+        (S.Disk.read_page disk (i + 1)))
+    first
+
+let test_wal_crash_discard () =
+  let wal = S.Wal.in_memory () in
+  ignore (S.Wal.append wal ~page_id:1 ~data:(Bytes.make 16 'x'));
+  S.Wal.sync wal;
+  ignore (S.Wal.append wal ~page_id:2 ~data:(Bytes.make 16 'y'));
+  Alcotest.(check int) "two appended" 2 (S.Wal.last_lsn wal);
+  S.Wal.crash_discard wal;
+  Alcotest.(check int) "pending record gone" 1 (S.Wal.last_lsn wal);
+  let stats = S.Wal.replay wal ~apply:(fun ~lsn:_ ~page_id:_ _ -> ()) in
+  Alcotest.(check int) "only the synced record survives" 1 stats.S.Wal.applied
+
+let test_wal_before_data_sanitizer () =
+  let disk = S.Disk.in_memory ~page_size:256 () in
+  let wal = S.Wal.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:4 ~sanitize:true ~wal disk in
+  let p = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool p (fun buf -> Bytes.set buf 0 'z');
+  (* Break the protocol: the log refuses to reach stable storage, so
+     writing the dirty frame back would put data ahead of its log
+     record.  The sanitizer must catch it before the page write. *)
+  S.Wal.unsafe_no_sync wal true;
+  (match S.Buffer_pool.flush_all pool with
+   | () -> Alcotest.fail "WAL-before-data violation should raise"
+   | exception S.Buffer_pool.Sanitizer_violation _ -> ());
+  S.Wal.unsafe_no_sync wal false;
+  S.Buffer_pool.flush_all pool;
+  Alcotest.(check char) "flush succeeds once the log syncs" 'z'
+    (Bytes.get (S.Disk.read_page disk p) 0)
+
+let test_wal_retry_no_duplicate_append () =
+  (* A transient write fault during write-back must not re-log the
+     frame: the retry reuses the LSN already appended for it. *)
+  let disk = S.Disk.in_memory ~page_size:256 () in
+  let wal = S.Wal.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:4 ~wal disk in
+  let p = S.Buffer_pool.alloc_page pool in
+  let appends_before = S.Wal.last_lsn wal in
+  (* The mutation itself logs the after-image... *)
+  S.Buffer_pool.with_page_mut pool p (fun buf -> Bytes.set buf 0 'q');
+  Alcotest.(check int) "mutation logged once" 1 (S.Wal.last_lsn wal - appends_before);
+  (* ...so the faulting write-back retries must reuse that record. *)
+  let remaining = ref 2 in
+  S.Disk.set_injector disk
+    (Some (fun op _ ->
+       match op with
+       | S.Disk.Write when !remaining > 0 ->
+         decr remaining;
+         S.Disk.Fail "transient"
+       | _ -> S.Disk.No_fault));
+  S.Buffer_pool.flush_all pool;
+  S.Disk.set_injector disk None;
+  Alcotest.(check char) "write-back landed after retries" 'q'
+    (Bytes.get (S.Disk.read_page disk p) 0);
+  Alcotest.(check int) "retries appended no duplicate records" 1
+    (S.Wal.last_lsn wal - appends_before);
+  (* A clean frame re-flushed appends nothing either. *)
+  S.Buffer_pool.flush_all pool;
+  Alcotest.(check int) "clean flush appends nothing" 1 (S.Wal.last_lsn wal - appends_before)
+
+(* --- crash points --------------------------------------------------------- *)
+
+(* A tiny workload under the crash-point injector: mutate a page through
+   a WAL-attached pool and flush.  Crashing at the first, a middle and
+   the last durability event must each leave a recoverable image. *)
+let test_crash_point_model () =
+  let observe crash_at torn =
+    let disk = S.Disk.in_memory ~page_size:256 () in
+    let wal = S.Wal.in_memory () in
+    let cp = S.Crash_point.install ~crash_at ~torn ~disk ~wal () in
+    let outcome =
+      match
+        let pool = S.Buffer_pool.create ~capacity:4 ~wal disk in
+        let p = S.Buffer_pool.alloc_page pool in
+        S.Buffer_pool.with_page_mut pool p (fun buf -> Bytes.set buf 0 'm');
+        S.Buffer_pool.flush_all pool;
+        S.Disk.sync disk;
+        S.Wal.checkpoint wal;
+        p
+      with
+      | p -> `Completed p
+      | exception S.Crash_point.Crash _ -> `Crashed
+      | exception S.Disk.Disk_error _ when S.Crash_point.crashed cp -> `Crashed
+    in
+    S.Crash_point.disarm cp;
+    (S.Crash_point.events cp, outcome, disk, wal)
+  in
+  (* Crash-free observation run counts the durability events. *)
+  let total, outcome, _, _ = observe 0 false in
+  (match outcome with
+   | `Completed _ -> ()
+   | `Crashed -> Alcotest.fail "crash-free run must complete");
+  Alcotest.(check bool) "workload has durability events" true (total > 0);
+  List.iteri
+    (fun i point ->
+      let torn = i mod 2 = 1 in
+      let _, outcome, disk, wal = observe point torn in
+      (match outcome with
+       | `Crashed -> ()
+       | `Completed _ ->
+         Alcotest.fail (Printf.sprintf "crash point %d should interrupt" point));
+      (* Post-crash the process is gone: recovery sees only durable state. *)
+      S.Wal.crash_discard wal;
+      let stats =
+        S.Wal.replay wal ~apply:(fun ~lsn:_ ~page_id data ->
+            while S.Disk.page_count disk <= page_id do
+              ignore (S.Disk.alloc disk)
+            done;
+            S.Disk.write_page disk page_id (Bytes.copy data))
+      in
+      Alcotest.(check bool) "replay terminates" true (stats.S.Wal.applied >= 0);
+      (* Every surviving page must verify its checksum. *)
+      for id = 0 to S.Disk.page_count disk - 1 do
+        ignore (S.Disk.read_page disk id)
+      done)
+    [1; (total + 1) / 2; total]
+
+let test_crash_point_operations_fail_after_crash () =
+  let disk = S.Disk.in_memory ~page_size:256 () in
+  let wal = S.Wal.in_memory () in
+  let cp = S.Crash_point.install ~crash_at:1 ~disk ~wal () in
+  (match S.Disk.write_page disk 0 (Bytes.create 256) with
+   | () -> Alcotest.fail "first write should crash"
+   | exception S.Crash_point.Crash _ -> ());
+  Alcotest.(check bool) "crashed flag set" true (S.Crash_point.crashed cp);
+  (* After the crash every further operation fails too: the process is
+     dead, retries must not resurrect it. *)
+  (match S.Disk.write_page disk 0 (Bytes.create 256) with
+   | () -> Alcotest.fail "post-crash write should fail"
+   | exception S.Crash_point.Crash _ -> ());
+  (match S.Wal.append wal ~page_id:0 ~data:(Bytes.create 8) with
+   | _ -> Alcotest.fail "post-crash append should fail"
+   | exception S.Crash_point.Crash _ -> ());
+  S.Crash_point.disarm cp;
+  S.Disk.write_page disk 0 (Bytes.create 256)
+
 let () =
   let prop = QCheck_alcotest.to_alcotest in
   Alcotest.run "storage"
@@ -780,6 +1079,26 @@ let () =
       ( "heap files",
         [ Alcotest.test_case "append/scan/get" `Quick test_heap_file;
           Alcotest.test_case "oversized records" `Quick test_heap_file_oversize ] );
+      ( "checksums",
+        [ Alcotest.test_case "round trip and detection" `Quick test_checksum_roundtrip;
+          Alcotest.test_case "catalog, btree and heap pages" `Quick
+            test_checksum_per_page_type ] );
+      ( "wal",
+        [ Alcotest.test_case "append, sync, replay, checkpoint" `Quick
+            test_wal_append_replay;
+          Alcotest.test_case "torn tail recovery" `Quick test_wal_torn_tail;
+          Alcotest.test_case "replay idempotent on disk" `Quick
+            test_wal_replay_idempotent_on_disk;
+          Alcotest.test_case "crash discards pending" `Quick test_wal_crash_discard;
+          Alcotest.test_case "WAL-before-data sanitizer" `Quick
+            test_wal_before_data_sanitizer;
+          Alcotest.test_case "retry appends no duplicate" `Quick
+            test_wal_retry_no_duplicate_append ] );
+      ( "crash points",
+        [ Alcotest.test_case "first, middle and last event" `Quick
+            test_crash_point_model;
+          Alcotest.test_case "operations fail after crash" `Quick
+            test_crash_point_operations_fail_after_crash ] );
       ( "fault injection",
         [ Alcotest.test_case "read faults" `Quick test_fault_disk_read;
           Alcotest.test_case "torn writes" `Quick test_fault_disk_torn;

@@ -223,6 +223,101 @@ let test_report_file_io () =
       | Ok () -> ()
       | Error msg -> Alcotest.failf "written file invalid: %s" msg)
 
+(* --- crash-point sweep ---------------------------------------------------------- *)
+
+(* points = 3 always samples the first, a middle and the last durability
+   event (select_points pins both endpoints), so this one sweep covers
+   "crash at first / middle / last write" end to end. *)
+let test_crash_sweep () =
+  let report = T.Differential.crash_sweep ~seed:5 ~count:1 ~points:3 () in
+  Alcotest.(check int) "three crash points checked" 3
+    (T.Differential.crash_points_checked report);
+  Alcotest.(check int) "every point recovers" 0 (T.Differential.crash_failures report);
+  Alcotest.(check bool) "sweep passes" true (T.Differential.crash_ok report);
+  (match report.T.Differential.crash_trials with
+   | [trial] ->
+     Alcotest.(check bool) "events observed" true (trial.T.Differential.events_total > 0);
+     (match trial.T.Differential.points with
+      | [first; middle; last] ->
+        Alcotest.(check int) "first event covered" 1 first.T.Differential.point;
+        Alcotest.(check bool) "middle point is interior" true
+          (middle.T.Differential.point > 1
+           && middle.T.Differential.point < trial.T.Differential.events_total);
+        Alcotest.(check int) "last event covered" trial.T.Differential.events_total
+          last.T.Differential.point;
+        Alcotest.(check bool) "alternate points crash mid-write" true
+          middle.T.Differential.torn;
+        List.iter
+          (fun (p : T.Differential.crash_point_report) ->
+            Alcotest.(check bool) "workload reached the point" true p.T.Differential.crashed)
+          trial.T.Differential.points
+      | ps -> Alcotest.failf "expected 3 points, got %d" (List.length ps))
+   | ts -> Alcotest.failf "expected 1 trial, got %d" (List.length ts));
+  (* The sweep is deterministic for a fixed seed, so failures replay. *)
+  let again = T.Differential.crash_sweep ~seed:5 ~count:1 ~points:3 () in
+  Alcotest.(check bool) "deterministic" true (report = again)
+
+let test_crash_report_json () =
+  let report = T.Differential.crash_sweep ~seed:9 ~count:1 ~points:2 () in
+  let j = R.crash_json report in
+  (match R.parse (R.to_string j) with
+   | Ok reparsed -> Alcotest.check json "survives the wire" j reparsed
+   | Error msg -> Alcotest.failf "crash report does not re-parse: %s" msg);
+  (match R.validate_bench j with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "crash report invalid: %s" msg);
+  (* A crash point past the observed events is a malformed report. *)
+  let rec corrupt = function
+    | R.Obj fields ->
+      R.Obj
+        (List.map
+           (function
+             | ("point", R.Int _) -> ("point", R.Int 1_000_000)
+             | (k, v) -> (k, corrupt v))
+           fields)
+    | R.Arr xs -> R.Arr (List.map corrupt xs)
+    | v -> v
+  in
+  (match R.validate_bench (corrupt j) with
+   | Ok () -> Alcotest.fail "out-of-range crash point accepted"
+   | Error _ -> ())
+
+(* Old report files must keep validating: a v2 writer knows nothing of
+   the durability counters, a v3 writer must emit them. *)
+let test_report_version_gating () =
+  let table =
+    T.Efficiency.run ~configs:[Config.engine1] ~scale:120 ~budget:40_000
+      ~budgets:[] ~seconds_cap:30.0 ()
+  in
+  let report = R.fig7_json table in
+  let durability = ["wal_appends"; "wal_checkpoints"; "recovery_replayed"] in
+  let rec rewrite f = function
+    | R.Obj fields ->
+      R.Obj
+        (List.filter_map
+           (fun (k, v) -> Option.map (fun v' -> (k, v')) (f k (rewrite f v)))
+           fields)
+    | R.Arr xs -> R.Arr (List.map (rewrite f) xs)
+    | v -> v
+  in
+  let v2 =
+    rewrite
+      (fun k v ->
+        if List.mem k durability then None
+        else if String.equal k "schema_version" then Some (R.Int 2)
+        else Some v)
+      report
+  in
+  (match R.validate_bench v2 with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "v2 report without durability counters rejected: %s" msg);
+  let missing =
+    rewrite (fun k v -> if String.equal k "wal_appends" then None else Some v) report
+  in
+  (match R.validate_bench missing with
+   | Ok () -> Alcotest.fail "v3 report without durability counters accepted"
+   | Error _ -> ())
+
 (* --- grading system (Section 3) ------------------------------------------------ *)
 
 let test_grading () =
@@ -297,7 +392,12 @@ let () =
           Alcotest.test_case "parser is strict" `Quick test_report_parser_strict;
           Alcotest.test_case "member" `Quick test_report_member;
           Alcotest.test_case "validator" `Slow test_report_validates;
-          Alcotest.test_case "file io" `Slow test_report_file_io ] );
+          Alcotest.test_case "file io" `Slow test_report_file_io;
+          Alcotest.test_case "version gating" `Slow test_report_version_gating ] );
+      ( "crash sweep",
+        [ Alcotest.test_case "first, middle and last event recover" `Quick
+            test_crash_sweep;
+          Alcotest.test_case "json report" `Quick test_crash_report_json ] );
       ( "grading (Section 3)",
         [ Alcotest.test_case "course grades" `Slow test_grading;
           Alcotest.test_case "submission report" `Slow test_submission_report ] ) ]
