@@ -212,6 +212,55 @@ let templates () =
     write_report "BENCH_templates.json"
       (T.Report.bench_json ~kind:"templates" [] ~results:(List.rev !collected))
 
+(* --- structural & path indexes --------------------------------------------------- *)
+
+(* The index-vs-scan ablation: every test runs under m4 and under
+   m4-nostruct (same engine, structural index family forced off).  On
+   the deep Treebank tests the staircase/twig plans must do strictly
+   less page I/O — CI gates on that via check-bench
+   --require-structural-gain, which compares m4 against m4-nostruct for
+   every test named "deep-*".  The shallow DBLP row documents where the
+   family deliberately does not fire. *)
+let structural () =
+  header "Structural & path indexes: staircase/twig plans vs per-outer probes";
+  let tb_scale = if !quick then 25 else 60 in
+  let dblp_scale = if !quick then 150 else 600 in
+  (* A pool smaller than the deep document is the point: the per-outer
+     probe plans re-fault pages the staircase/twig streams touch once. *)
+  let pool_capacity = 16 in
+  Printf.printf "workloads: Treebank scale %d (deep), DBLP scale %d (shallow), pool %d frames\n"
+    tb_scale dblp_scale pool_capacity;
+  let treebank = [W.Treebank_gen.generate (W.Treebank_gen.scaled tb_scale)] in
+  let dblp = [W.Dblp_gen.generate (W.Dblp_gen.scaled dblp_scale)] in
+  let collected = ref [] in
+  List.iter
+    (fun (test, forest, query) ->
+      Printf.printf "%s\n" test;
+      List.iter
+        (fun config ->
+          let config = { config with Config.pool_capacity } in
+          let result = measure ~forest config query in
+          row config.Config.name result;
+          collected :=
+            T.Report.result_json ~engine:config.Config.name ~test result :: !collected)
+        [Config.m4; Config.m4_nostruct])
+    [ ( "deep-twig (//S//NP//NN):",
+        treebank,
+        "for $s in //S return for $np in $s//NP return for $nn in $np//NN return $nn" );
+      ( "deep-pair (//NP//NN):",
+        treebank,
+        "for $np in //NP return for $nn in $np//NN return $nn" );
+      ( "deep-semi (NP with a VB descendant):",
+        treebank,
+        "for $np in //NP return if (some $vb in $np//VB satisfies true()) then <hit/> else ()"
+      );
+      ( "shallow-pair (//article//author):",
+        dblp,
+        "for $x in //article return for $a in $x//author return $a" ) ];
+  if !json_mode then
+    write_report "BENCH_structural.json"
+      (T.Report.bench_json ~kind:"structural" [] ~results:(List.rev !collected))
+
 (* --- Bechamel micro-benchmarks -------------------------------------------------- *)
 
 let bechamel () =
@@ -272,7 +321,7 @@ let bechamel () =
 
 let sections =
   [ ("fig7", fig7); ("fig6", fig6); ("milestones", milestones); ("ablations", ablations);
-    ("templates", templates); ("bechamel", bechamel) ]
+    ("templates", templates); ("structural", structural); ("bechamel", bechamel) ]
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in

@@ -191,7 +191,16 @@ let require_constant_templates =
            templates_built across all its results — the compile-once invariant \
            under data scaling.")
 
-let check_bench_action constant_templates files =
+let require_structural_gain =
+  Arg.(
+    value & flag
+    & info ["require-structural-gain"]
+        ~doc:
+          "Additionally require that every deep-* test shows m4 doing strictly \
+           less page I/O than m4-nostruct — the structural-index payoff over a \
+           BENCH_structural.json report.")
+
+let check_bench_action constant_templates structural_gain files =
   let failed = ref false in
   List.iter
     (fun file ->
@@ -200,17 +209,23 @@ let check_bench_action constant_templates files =
       | Error msg ->
         Printf.printf "%s: INVALID: %s\n" file msg;
         failed := true);
-      if constant_templates && not !failed then
-        match T.Report.parse_file file with
-        | Error msg ->
-          Printf.printf "%s: INVALID: %s\n" file msg;
-          failed := true
-        | Ok json ->
-          (match T.Report.validate_constant_templates json with
-          | Ok () -> Printf.printf "%s: templates constant\n" file
+      let extra validate label =
+        if not !failed then
+          match T.Report.parse_file file with
           | Error msg ->
             Printf.printf "%s: INVALID: %s\n" file msg;
-            failed := true))
+            failed := true
+          | Ok json ->
+            (match validate json with
+            | Ok () -> Printf.printf "%s: %s\n" file label
+            | Error msg ->
+              Printf.printf "%s: INVALID: %s\n" file msg;
+              failed := true)
+      in
+      if constant_templates then
+        extra T.Report.validate_constant_templates "templates constant";
+      if structural_gain then
+        extra T.Report.validate_structural_gain "structural gain on deep tests")
     files;
   if !failed then exit 1
 
@@ -221,7 +236,9 @@ let check_bench_cmd =
          "Validate machine-readable benchmark reports: schema envelope, result \
           quintets, and profile reconciliation (reads + writes = operator_ios + \
           other_ios, operator trees internally consistent).")
-    Term.(const check_bench_action $ require_constant_templates $ bench_files)
+    Term.(
+      const check_bench_action $ require_constant_templates $ require_structural_gain
+      $ bench_files)
 
 (* --- lint: the storage-safety static analyzer, testbed form ------------- *)
 

@@ -34,16 +34,6 @@ let create ?(config = Engine_config.m4) ?on_file () =
     let wal = Storage.Wal.on_file (path ^ ".wal") in
     make ~config ~wal disk
 
-(* Document names are recovered from the catalog's ".stats" keys. *)
-let catalog_names catalog =
-  List.filter_map
-    (fun (key, _) ->
-      match String.rindex_opt key '.' with
-      | Some i when String.sub key i (String.length key - i) = ".stats" ->
-        Some (String.sub key 0 i)
-      | Some _ | None -> None)
-    (Storage.Catalog.entries catalog)
-
 (* Redo recovery: blindly rewrite every durable after-image in LSN
    order, growing the page file when the log references pages the crash
    cut off, then checkpoint so the log is not replayed twice.  Replay is
@@ -68,7 +58,7 @@ let attach_engines t =
       Hashtbl.replace t.engines name
         (Engine.attach ~config:t.config ~disk:t.disk ~pool:t.pool ~catalog:t.catalog
            ~store ~doc_stats ()))
-    (catalog_names t.catalog)
+    (Store.registered_names t.catalog)
 
 let open_disk ?(config = Engine_config.m4) ?wal disk =
   (match wal with
@@ -141,9 +131,7 @@ let engine ?config t ~name =
 let drop_document t ~name =
   if not (Hashtbl.mem t.engines name) then raise Not_found;
   Hashtbl.remove t.engines name;
-  List.iter
-    (fun suffix -> Storage.Catalog.remove t.catalog (name ^ suffix))
-    [".primary"; ".label"; ".parent"; ".stats"];
+  Store.unregister t.catalog ~name;
   Storage.Catalog.flush t.catalog;
   maybe_checkpoint t
 

@@ -51,32 +51,47 @@ let m4 =
     merge_relfors = true;
     planner = Planner.m4_config }
 
+(* Milestone 4 with the structural-index family forced off: the
+   index-vs-scan axis of the differential oracle, and the baseline the
+   structural bench compares page I/O against. *)
+let m4_nostruct =
+  { m4 with
+    name = "m4-nostruct";
+    planner = { Planner.m4_config with Planner.use_struct = false } }
+
 let efficiency_pool = 48
 
+(* The Figure 7 engines model the paper's 2006 student engines, which
+   had no structural indexes: [use_struct] stays off so the efficiency
+   rankings are untouched by the modern index family. *)
 let engine1 =
   { m4 with
     name = "engine-1";
     pool_capacity = efficiency_pool;
-    planner = { Planner.m4_config with materialize = `Disk } }
+    planner = { Planner.m4_config with use_struct = false; materialize = `Disk } }
 
 let engine2 =
   { m4 with
     name = "engine-2";
     pool_capacity = efficiency_pool;
     quality = Stats.Unlucky;
-    planner = { Planner.m4_config with materialize = `Mem } }
+    planner = { Planner.m4_config with use_struct = false; materialize = `Mem } }
 
 let engine3 =
   { m4 with
     name = "engine-3";
     pool_capacity = efficiency_pool;
-    planner = { Planner.m4_config with cost_based = false; materialize = `Disk } }
+    planner =
+      { Planner.m4_config with use_struct = false; cost_based = false;
+        materialize = `Disk } }
 
 let engine4 =
   { m4 with
     name = "engine-4";
     pool_capacity = efficiency_pool;
-    planner = { Planner.m4_config with use_indexes = false; materialize = `Disk } }
+    planner =
+      { Planner.m4_config with use_struct = false; use_indexes = false;
+        materialize = `Disk } }
 
 let engine5 =
   { m3 with

@@ -28,6 +28,10 @@ val m2 : t
 val m3 : t
 val m4 : t
 
+val m4_nostruct : t
+(** Milestone 4 with [use_struct] forced off — the index-vs-scan axis of
+    the differential oracle and the structural bench's baseline. *)
+
 val milestone_name : milestone -> string
 
 (* The five Figure-7 engines, ranked 1..5 as in the paper. *)

@@ -1,5 +1,6 @@
 module A = Xqdb_tpm.Tpm_algebra
 module Xasr = Xqdb_xasr.Xasr
+module Path_summary = Xqdb_xasr.Path_summary
 module Op = Xqdb_physical.Phys_op
 module Tuple = Xqdb_physical.Tuple
 
@@ -11,6 +12,7 @@ type order_strategy =
 
 type config = {
   use_indexes : bool;
+  use_struct : bool;
   cost_based : bool;
   order : order_strategy;
   materialize : [`Disk | `Mem];
@@ -18,12 +20,12 @@ type config = {
 }
 
 let m3_config =
-  { use_indexes = false; cost_based = false; order = `Preserve; materialize = `Disk;
-    carry_out = true }
+  { use_indexes = false; use_struct = false; cost_based = false; order = `Preserve;
+    materialize = `Disk; carry_out = true }
 
 let m4_config =
-  { use_indexes = true; cost_based = true; order = `Preserve; materialize = `Mem;
-    carry_out = true }
+  { use_indexes = true; use_struct = true; cost_based = true; order = `Preserve;
+    materialize = `Mem; carry_out = true }
 
 type join_kind =
   | First
@@ -31,6 +33,7 @@ type join_kind =
   | Inl_child of A.operand
   | Inl_desc of A.operand * A.operand
   | Inl_pk of A.operand
+  | Struct_desc of string * A.operand * A.operand
 
 type step = {
   alias : string;
@@ -46,10 +49,25 @@ type step = {
 and access =
   | Full_scan
   | Label_scan of Xasr.node_type * string
+  | Struct_scan of string
+
+type twig_step = {
+  tw_alias : string;
+  tw_label : string;
+  tw_axis : Path_summary.axis;
+  tw_card : float;
+  tw_cost : float;
+}
+
+type twig = {
+  tw_anchor : (A.operand * A.operand) option;
+  tw_steps : twig_step list;
+}
 
 type t = {
   config : config;
   steps : step list;
+  twig : twig option;
   sort_cols : A.col list;
   out_cols : A.col list;
   est_cost : float;
@@ -184,6 +202,118 @@ let join_pred_selectivity stats (p : A.pred) =
     Float.sqrt (Stats.avg_depth stats /. n)
   | (A.Eq | A.Lt | A.Gt), _, _ -> 0.5
 
+(* --- per-path structural edges ------------------------------------------ *)
+
+(* The label alias [a] selects on, when its local predicates pin it to
+   one element label — the precondition for every per-path estimate. *)
+let element_label psx a =
+  let feats = features_of a (local_preds psx a) in
+  match feats.ntype, feats.value with
+  | Some Xasr.Element, Some v -> Some v
+  | _ -> None
+
+(* Classify a column-column predicate relative to alias [a]: the two
+   halves of a descendant interval ([b.in < a.in], [a.out < b.out]) and
+   the child equality ([a.parent_in = b.in]), each with the partner
+   alias.  [Gt] is normalized to [Lt]. *)
+let edge_of a (p : A.pred) =
+  match p.A.op, p.A.left, p.A.right with
+  | A.Lt, A.Ocol l, A.Ocol r | A.Gt, A.Ocol r, A.Ocol l ->
+    if
+      String.equal r.A.rel a && r.A.field = A.In && l.A.field = A.In
+      && not (String.equal l.A.rel a)
+    then `Lo l.A.rel
+    else if
+      String.equal l.A.rel a && l.A.field = A.Out && r.A.field = A.Out
+      && not (String.equal r.A.rel a)
+    then `Hi r.A.rel
+    else `Other
+  | A.Eq, A.Ocol l, A.Ocol r ->
+    if
+      String.equal l.A.rel a && l.A.field = A.Parent_in && r.A.field = A.In
+      && not (String.equal r.A.rel a)
+    then `Child r.A.rel
+    else if
+      String.equal r.A.rel a && r.A.field = A.Parent_in && l.A.field = A.In
+      && not (String.equal l.A.rel a)
+    then `Child l.A.rel
+    else `Other
+  | (A.Eq | A.Lt | A.Gt), _, _ -> `Other
+
+(* Structural edges among [preds] where [a] is the descendant (or child)
+   side and both endpoints have known labels: the predicates the edge
+   spans, plus the labelled relationship. *)
+let labelled_edges psx a preds =
+  match element_label psx a with
+  | None -> []
+  | Some la ->
+    let lo =
+      List.filter_map
+        (fun p ->
+          match edge_of a p with `Lo b -> Some (p, b) | `Hi _ | `Child _ | `Other -> None)
+        preds
+    and hi =
+      List.filter_map
+        (fun p ->
+          match edge_of a p with `Hi b -> Some (p, b) | `Lo _ | `Child _ | `Other -> None)
+        preds
+    and child =
+      List.filter_map
+        (fun p ->
+          match edge_of a p with `Child b -> Some (p, b) | `Lo _ | `Hi _ | `Other -> None)
+        preds
+    in
+    let desc =
+      List.filter_map
+        (fun (plo, b) ->
+          match
+            List.find_opt (fun ((_ : A.pred), b') -> String.equal b b') hi,
+            element_label psx b
+          with
+          | Some (phi, _), Some lb -> Some ([plo; phi], `Desc (lb, la))
+          | (Some _ | None), _ -> None)
+        lo
+    and childs =
+      List.filter_map
+        (fun (p, b) ->
+          match element_label psx b with
+          | Some lb -> Some ([p], `Child_of (lb, la))
+          | None -> None)
+        child
+    in
+    desc @ childs
+
+let edge_pair_card stats = function
+  | `Desc (anc, desc) -> Stats.desc_pair_card stats ~anc ~desc
+  | `Child_of (parent, child) -> Stats.child_pair_card stats ~parent ~child
+
+(* Selectivity of the connecting predicates when placing [a].  Where a
+   structural edge carries known labels on both ends, the exact per-path
+   pair count replaces the depth heuristics (Good statistics only — the
+   pair estimators return [None] under Unlucky); everything else keeps
+   {!join_pred_selectivity}. *)
+let connecting_selectivity stats psx a connecting =
+  let generic acc p = acc *. join_pred_selectivity stats p in
+  let exact =
+    List.find_map
+      (fun (handled, edge) ->
+        match edge_pair_card stats edge with
+        | None -> None
+        | Some pairs ->
+          let (`Desc (lb, la) | `Child_of (lb, la)) = edge in
+          let denom =
+            Float.max 1.0 (Stats.label_card stats la)
+            *. Float.max 1.0 (Stats.label_card stats lb)
+          in
+          Some (handled, pairs /. denom))
+      (labelled_edges psx a connecting)
+  in
+  match exact with
+  | None -> List.fold_left generic 1.0 connecting
+  | Some (handled, sel) ->
+    List.fold_left (fun acc p -> if List.memq p handled then acc else generic acc p) sel
+      connecting
+
 (* --- cost model --------------------------------------------------------- *)
 
 let access_cost stats access feats =
@@ -200,6 +330,12 @@ let access_cost stats access feats =
     Stats.label_height stats
     +. (matches /. (3.0 *. Stats.tuples_per_page stats))
     +. (matches *. Stats.primary_height stats)
+  | Struct_scan value ->
+    (* Index-only: the label's run of the structural index, never the
+       primary. *)
+    ignore feats;
+    Stats.struct_height stats
+    +. Stats.struct_pages_of_label stats (Stats.label_card stats value)
 
 let probe_cost stats kind feats =
   match kind with
@@ -215,7 +351,7 @@ let probe_cost stats kind feats =
     in
     ignore feats;
     Stats.primary_height stats +. Stats.pages_of_tuples stats scanned
-  | First | Nl _ -> invalid_arg "probe_cost"
+  | First | Nl _ | Struct_desc _ -> invalid_arg "probe_cost"
 
 (* --- building one candidate plan for a fixed relation order ------------- *)
 
@@ -316,6 +452,8 @@ let build_for_order config stats psx order =
           let feats = features_of a local in
           let access =
             match feats.ntype, feats.value with
+            | Some Xasr.Element, Some v when config.use_indexes && config.use_struct ->
+              Struct_scan v
             | Some ((Xasr.Element | Xasr.Text) as ty), Some v when config.use_indexes ->
               Label_scan (ty, v)
             | _ -> Full_scan
@@ -324,12 +462,9 @@ let build_for_order config stats psx order =
           let probe =
             if config.use_indexes then find_probe placed a (local @ connecting) else None
           in
-          (* Join selectivity from connecting predicates. *)
-          let join_sel =
-            List.fold_left
-              (fun acc p -> acc *. join_pred_selectivity stats p)
-              1.0 connecting
-          in
+          (* Join selectivity from connecting predicates; exact per-path
+             pair counts where the structural edges carry labels. *)
+          let join_sel = connecting_selectivity stats psx a connecting in
           let out_card =
             if placed = [] then a_card
             else Float.max 0.01 (card *. a_card *. join_sel)
@@ -363,6 +498,22 @@ let build_for_order config stats psx order =
             match probe with
             | Some (kind, consumed) ->
               let probe_total = Float.max 1.0 card *. probe_cost stats kind feats in
+              (* The staircase join reads the inner label's structural-
+                 index run once, whatever the outer cardinality — it
+                 replaces a descendant-interval probe whenever the inner
+                 is a labelled element. *)
+              let kind, probe_total =
+                match kind, feats.ntype, feats.value with
+                | Inl_desc (lo, hi), Some Xasr.Element, Some v when config.use_struct ->
+                  let struct_total =
+                    Stats.struct_height stats
+                    +. Stats.struct_pages_of_label stats (Stats.label_card stats v)
+                  in
+                  if (not config.cost_based) || struct_total < probe_total then
+                    (Struct_desc (v, lo, hi), struct_total)
+                  else (kind, probe_total)
+                | _, _, _ -> (kind, probe_total)
+              in
               (* Milestone-4 engines rank access methods by cost; the
                  structural engines (cost_based = false) use an index
                  whenever one applies. *)
@@ -454,19 +605,32 @@ let sort_cols_of psx =
 
 let out_cols_of config psx = binding_cols config psx psx.A.rels
 
-(* With exact (Good) statistics and no updates, a label count of zero is
-   a proof of emptiness — the optimization behind the paper's observation
-   that the non-existent-label query ran in under 0.01 seconds on engines
-   that consulted their statistics. *)
+(* With exact (Good) statistics and no updates, the path summary proves
+   emptiness: a label absent from every path (the optimization behind
+   the paper's observation that the non-existent-label query ran in
+   under 0.01 seconds on engines that consulted their statistics), or a
+   labelled structural edge whose exact pair count is zero — //a//b over
+   sibling <a/><b/>.  Both estimators return [None] under Unlucky: a
+   degraded engine proves nothing and executes the plan. *)
 let provably_empty config stats psx =
   (config.use_indexes || config.cost_based)
-  && Stats.quality stats = Stats.Good
   && List.exists
        (fun a ->
-         let feats = features_of a (local_preds psx a) in
-         match feats.ntype, feats.value with
-         | Some Xasr.Element, Some v -> Stats.label_card stats v = 0.0
-         | _ -> false)
+         let label_absent =
+           match element_label psx a with
+           | Some v ->
+             (match Stats.path_chain_card stats [(Path_summary.Descendant, v)] with
+              | Some c -> c <= 0.0
+              | None -> false)
+           | None -> false
+         in
+         label_absent
+         || List.exists
+              (fun ((_ : A.pred list), edge) ->
+                match edge_pair_card stats edge with
+                | Some c -> c <= 0.0
+                | None -> false)
+              (labelled_edges psx a psx.A.preds))
        psx.A.rels
 
 let finalize config psx (steps, card, cost) =
@@ -479,16 +643,134 @@ let finalize config psx (steps, card, cost) =
   in
   { config;
     steps;
+    twig = None;
     sort_cols = sort_cols_of psx;
     out_cols = out_cols_of config psx;
     est_cost = cost +. sort_cost;
     est_card = card;
     provably_empty = false }
 
+(* --- twig recognition ---------------------------------------------------- *)
+
+(* A PSX is a twig (path pattern) when its relations are exactly its
+   bindings in binding order, each one a labelled element with no other
+   local predicates (the first may carry a constant/extern anchor
+   interval), and consecutive relations are linked by exactly one child
+   equality or one descendant-interval pair — the shape produced by
+   step chains like //NP//NN.  Such a chain can bypass join ordering
+   entirely and run as one holistic stack merge over the structural
+   index streams. *)
+let recognize_twig config stats psx =
+  let bindings = binding_aliases psx in
+  let rels = psx.A.rels in
+  if
+    not
+      (config.use_indexes && config.use_struct && config.cost_based
+       && (match config.order with
+           | `Preserve -> true
+           | `Mem_sort | `Ext_sort | `Btree_sort -> false))
+    || List.length rels < 2
+    || List.length rels <> List.length bindings
+    || not (List.for_all (fun a -> List.mem a bindings) rels)
+  then None
+  else begin
+    let exception No in
+    try
+      let placed_preds = ref 0 in
+      let anchor = ref None in
+      let rec go i placed prev acc = function
+        | [] -> List.rev acc
+        | a :: rest ->
+          let local = local_preds psx a in
+          let feats = features_of a local in
+          let label =
+            match feats.ntype, feats.value with
+            | Some Xasr.Element, Some v -> v
+            | _ -> raise No
+          in
+          if feats.pk || feats.parent_const then raise No;
+          let expected_local =
+            if i = 0 then begin
+              match feats.range_lo, feats.range_hi with
+              | Some lo, Some hi ->
+                anchor := Some (lo, hi);
+                4
+              | None, None -> 2
+              | Some _, None | None, Some _ -> raise No
+            end
+            else if feats.range_lo <> None || feats.range_hi <> None then raise No
+            else 2
+          in
+          if List.length local <> expected_local then raise No;
+          let connecting = connecting_preds psx placed a in
+          let axis =
+            if i = 0 then
+              if connecting = [] then Path_summary.Descendant else raise No
+            else begin
+              match prev, List.map (edge_of a) connecting with
+              | Some b0, ([`Lo b; `Hi b'] | [`Hi b'; `Lo b])
+                when String.equal b b0 && String.equal b' b0 ->
+                Path_summary.Descendant
+              | Some b0, [`Child b] when String.equal b b0 -> Path_summary.Child
+              | _, _ -> raise No
+            end
+          in
+          placed_preds := !placed_preds + List.length local + List.length connecting;
+          let sel = connecting_selectivity stats psx a connecting in
+          let card =
+            match acc with
+            | [] -> base_card stats feats
+            | last :: _ -> Float.max 0.01 (last.tw_card *. base_card stats feats *. sel)
+          in
+          let cost =
+            (match acc with [] -> 0.0 | last :: _ -> last.tw_cost)
+            +. Stats.struct_height stats
+            +. Stats.struct_pages_of_label stats (Stats.label_card stats label)
+          in
+          let step =
+            { tw_alias = a; tw_label = label; tw_axis = axis; tw_card = card;
+              tw_cost = cost }
+          in
+          go (i + 1) (a :: placed) (Some a) (step :: acc) rest
+      in
+      let steps = go 0 [] None [] rels in
+      if !placed_preds <> List.length psx.A.preds then raise No;
+      Some { tw_anchor = !anchor; tw_steps = steps }
+    with No -> None
+  end
+
+let twig_cost tw =
+  match List.rev tw.tw_steps with
+  | last :: _ -> last.tw_cost
+  | [] -> 0.0
+
+(* A join chain hands each intermediate binding tuple to the next step;
+   the stack-based twig evaluation holds only one root-to-leaf stack per
+   open path and emits solutions directly.  Charging the chain for the
+   pages its non-final intermediates occupy is what makes the twig win
+   on deep chains with fat middles, while a two-step chain with a small
+   intermediate keeps the generic plan. *)
+let intermediate_pages stats (generic : t) =
+  match generic.steps with
+  | [] | [_] -> 0.0
+  | steps ->
+    let rec sum = function
+      | [] | [_] -> 0.0
+      | (step : step) :: rest -> Stats.pages_of_tuples stats step.est_card +. sum rest
+    in
+    sum steps
+
+let prefer_twig config stats psx generic =
+  match recognize_twig config stats psx with
+  | Some tw when twig_cost tw < generic.est_cost +. intermediate_pages stats generic ->
+    { generic with steps = []; twig = Some tw; est_cost = twig_cost tw }
+  | Some _ | None -> generic
+
 let plan config stats psx =
   if provably_empty config stats psx then
     { config;
       steps = [];
+      twig = None;
       sort_cols = sort_cols_of psx;
       out_cols = out_cols_of config psx;
       est_cost = Stats.label_height stats;
@@ -517,7 +799,7 @@ let plan config stats psx =
         None candidates
     in
     match best with
-    | Some result -> finalize config psx result
+    | Some result -> prefer_twig config stats psx (finalize config psx result)
     | None ->
       (match build_for_order config stats psx (structural_order config psx) with
        | Some result -> finalize config psx result
@@ -554,17 +836,41 @@ let step_externs step =
      | First -> []
      | Nl preds -> of_preds preds
      | Inl_child op | Inl_pk op -> operand_externs op
-     | Inl_desc (lo, hi) -> operand_externs lo @ operand_externs hi)
+     | Inl_desc (lo, hi) | Struct_desc (_, lo, hi) ->
+       operand_externs lo @ operand_externs hi)
 
 let plan_externs plan =
-  List.sort_uniq compare (List.concat_map step_externs plan.steps)
+  let twig_externs =
+    match plan.twig with
+    | Some { tw_anchor = Some (lo, hi); _ } -> operand_externs lo @ operand_externs hi
+    | Some { tw_anchor = None; _ } | None -> []
+  in
+  List.sort_uniq compare (twig_externs @ List.concat_map step_externs plan.steps)
 
 (* Build the operator tree for a plan once.  External references stay in
    the predicates/probes: the operators compile them against the
    context's parameter slots, so the tree serves every outer binding. *)
+let build_twig ctx plan tw =
+  let steps =
+    List.map
+      (fun s ->
+        { Op.tw_alias = s.tw_alias;
+          tw_label = s.tw_label;
+          tw_axis =
+            (match s.tw_axis with
+             | Path_summary.Child -> Op.Twig_child
+             | Path_summary.Descendant -> Op.Twig_desc) })
+      tw.tw_steps
+  in
+  Op.project ~cols:plan.out_cols ~dedup:`Adjacent
+    (Op.twig_match ctx ~anchor:tw.tw_anchor ~steps)
+
 let build ctx plan =
   if plan.provably_empty then Op.empty plan.out_cols
-  else begin
+  else match plan.twig with
+  | Some tw -> build_twig ctx plan tw
+  | None ->
+  begin
   let maybe_spool op =
     match plan.config.materialize with
     | `Disk -> Op.materialize `Disk op ctx
@@ -574,6 +880,7 @@ let build ctx plan =
     match step.access with
     | Full_scan -> Op.full_scan ctx step.alias ~preds
     | Label_scan (ntype, value) -> Op.label_scan ctx step.alias ~ntype ~value ~preds
+    | Struct_scan label -> Op.struct_scan ctx step.alias ~label ~preds
   in
   let left =
     List.fold_left
@@ -613,13 +920,16 @@ let build ctx plan =
           | Inl_pk op ->
             Op.inl_join ~semi ctx ~probe:(Op.Probe_pk op) ~alias:step.alias
               ~preds:local ~residual l
+          | Struct_desc (label, lo, hi) ->
+            Op.struct_join ~semi ctx ~lo ~hi ~alias:step.alias ~label ~preds:local
+              ~residual l
         in
         let joined =
           match step.join, left with
           | First, None -> access_op step local
           | First, Some _ -> Xqdb_storage.Xqdb_error.internal "Planner.build: First after first step"
-          | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _), Some l -> join_to l
-          | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _), None ->
+          | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _ | Struct_desc _), Some l -> join_to l
+          | (Nl _ | Inl_child _ | Inl_desc _ | Inl_pk _ | Struct_desc _), None ->
             (* First relation accessed through an index probe from the
                unit relation (constant probe operands). *)
             join_to (Op.singleton [] [||])
@@ -676,18 +986,36 @@ let join_kind_name = function
   | Inl_child _ -> "inl-join(child)"
   | Inl_desc _ -> "inl-join(desc)"
   | Inl_pk _ -> "inl-join(pk)"
+  | Struct_desc _ -> "struct-join(desc)"
 
 let pp ppf plan =
   Format.fprintf ppf "@[<v>";
-  if plan.provably_empty then Format.fprintf ppf "provably empty (label statistics)@,";
+  if plan.provably_empty then Format.fprintf ppf "provably empty (path statistics)@,";
+  (match plan.twig with
+   | Some tw ->
+     List.iteri
+       (fun i s ->
+         let name =
+           if i = 0 then "twig-anchor"
+           else
+             match s.tw_axis with
+             | Path_summary.Child -> "twig(child)"
+             | Path_summary.Descendant -> "twig(desc)"
+         in
+         Format.fprintf ppf "%-16s XASR[%s] via sidx(%s)  (card %.1f, cost %.1f)@," name
+           s.tw_alias s.tw_label s.tw_card s.tw_cost)
+       tw.tw_steps
+   | None -> ());
   List.iter
     (fun step ->
       let access =
         match step.access, step.join with
+        | _, Struct_desc (v, _, _) -> Printf.sprintf "sidx(%s)" v
         | _, (Inl_child _ | Inl_desc _ | Inl_pk _) -> "index probe"
         | Full_scan, _ -> "scan"
         | Label_scan (ty, v), _ ->
           Printf.sprintf "idx(%s,%s)" (Xasr.node_type_name ty) v
+        | Struct_scan v, _ -> Printf.sprintf "sidx(%s)" v
       in
       Format.fprintf ppf "%-16s XASR[%s] via %s%s  (card %.1f, cost %.1f)@,"
         (join_kind_name step.join) step.alias access

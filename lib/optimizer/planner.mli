@@ -41,6 +41,10 @@ type order_strategy =
 
 type config = {
   use_indexes : bool;
+  use_struct : bool;
+      (** consult the structural (label, in) index: index-only label
+          scans, staircase structural joins, holistic twig matching, and
+          per-path selectivities from the path summary *)
   cost_based : bool;
   order : order_strategy;
   materialize : [`Disk | `Mem];
@@ -52,7 +56,8 @@ val m3_config : config
 (** Structural order, NL joins only, intermediates on disk. *)
 
 val m4_config : config
-(** Cost-based, indexes, pipelined, order-preserving. *)
+(** Cost-based, indexes (structural included), pipelined,
+    order-preserving. *)
 
 type join_kind =
   | First  (** access path from the unit relation *)
@@ -60,6 +65,10 @@ type join_kind =
   | Inl_child of A.operand
   | Inl_desc of A.operand * A.operand
   | Inl_pk of A.operand
+  | Struct_desc of string * A.operand * A.operand
+      (** staircase join against the label's structural-index run; same
+          semantics as [Inl_desc], page I/O independent of the outer
+          cardinality *)
 
 type step = {
   alias : string;
@@ -75,18 +84,40 @@ type step = {
 and access =
   | Full_scan
   | Label_scan of Xqdb_xasr.Xasr.node_type * string
+  | Struct_scan of string  (** index-only scan of one label's run *)
+
+type twig_step = {
+  tw_alias : string;
+  tw_label : string;
+  tw_axis : Xqdb_xasr.Path_summary.axis;
+      (** relationship to the previous step; the first step's axis is
+          relative to the anchor interval *)
+  tw_card : float;  (** cumulative estimated matches through this step *)
+  tw_cost : float;  (** cumulative estimated page I/Os *)
+}
+
+type twig = {
+  tw_anchor : (A.operand * A.operand) option;
+  tw_steps : twig_step list;
+}
 
 type t = {
   config : config;
   steps : step list;
+  twig : twig option;
+      (** the whole PSX recognized as a root-to-leaf step chain and
+          compiled to one holistic twig match over the structural index
+          streams instead of a join pipeline; [steps] is empty *)
   sort_cols : A.col list;
   out_cols : A.col list;
   est_cost : float;
   est_card : float;
   provably_empty : bool;
-      (** exact (Good-quality) statistics show a label count of zero, so
-          the plan is compiled to the empty operator — the shortcut
-          behind the instant non-existent-label runs of Figure 7 *)
+      (** exact (Good-quality) path statistics show the label — or a
+          labelled ancestor/descendant or parent/child pair — occurs
+          zero times, so the plan is compiled to the empty operator —
+          the shortcut behind the instant non-existent-label runs of
+          Figure 7 *)
 }
 
 val plan : config -> Stats.t -> A.psx -> t

@@ -1,4 +1,5 @@
 module Doc_stats = Xqdb_xasr.Doc_stats
+module Path_summary = Xqdb_xasr.Path_summary
 module Store = Xqdb_xasr.Node_store
 
 type quality =
@@ -13,6 +14,9 @@ type t = {
   primary_leaf_pages : float;
   label_height : float;
   parent_height : float;
+  struct_height : float;
+  struct_leaf_pages : float;
+  struct_entries : float;
 }
 
 let make ?(quality = Good) store doc =
@@ -24,7 +28,10 @@ let make ?(quality = Good) store doc =
     primary_height = float_of_int (Store.primary_height store);
     primary_leaf_pages = leaf_pages;
     label_height = float_of_int (Store.label_index_height store);
-    parent_height = float_of_int (Store.parent_index_height store) }
+    parent_height = float_of_int (Store.parent_index_height store);
+    struct_height = float_of_int (Store.struct_index_height store);
+    struct_leaf_pages = float_of_int (max 1 (Store.struct_leaf_pages store));
+    struct_entries = float_of_int (max 1 (Store.struct_entry_count store)) }
 
 let quality t = t.quality
 let node_count t = float_of_int (max 1 t.doc.Doc_stats.node_count)
@@ -57,10 +64,43 @@ let avg_fanout t =
   (* Children exist under elements and the root. *)
   (node_count t -. 1.0) /. max 1.0 (elem_count t +. 1.0)
 
+(* --- per-path statistics -------------------------------------------------- *)
+
+(* The path summary is exact, so [Good] estimates from it are exact pair
+   counts — including 0, which is what makes absent structure provably
+   empty.  [Unlucky] never consults paths: it degrades to the per-label
+   and depth heuristics and can never prove anything empty. *)
+
+let path_chain_card t steps =
+  match t.quality with
+  | Good -> Some (float_of_int (Path_summary.chain_card t.doc.Doc_stats.paths steps))
+  | Unlucky -> None
+
+let desc_pair_card t ~anc ~desc =
+  match t.quality with
+  | Good ->
+    Some (float_of_int (Path_summary.desc_pair_card t.doc.Doc_stats.paths ~anc ~desc))
+  | Unlucky -> None
+
+let child_pair_card t ~parent ~child =
+  match t.quality with
+  | Good ->
+    Some
+      (float_of_int (Path_summary.child_pair_card t.doc.Doc_stats.paths ~parent ~child))
+  | Unlucky -> None
+
 let tuples_per_page t = t.tuples_per_page
 let primary_height t = t.primary_height
 let primary_leaf_pages t = t.primary_leaf_pages
 let label_height t = t.label_height
 let parent_height t = t.parent_height
+let struct_height t = t.struct_height
+let struct_leaf_pages t = t.struct_leaf_pages
+
+(* Pages of one label's structural-index run: entries are packed
+   (label, in) -> (out, level, parent) records, so a label's share of
+   the leaf pages is proportional to its cardinality. *)
+let struct_pages_of_label t card =
+  Float.max 1.0 (Float.ceil (t.struct_leaf_pages *. card /. t.struct_entries))
 
 let pages_of_tuples t card = Float.max 1.0 (Float.ceil (card /. t.tuples_per_page))

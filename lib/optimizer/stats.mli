@@ -30,11 +30,31 @@ val text_value_card : t -> string -> float
 val avg_depth : t -> float
 val avg_fanout : t -> float
 
+(* Per-path statistics, exact under [Good].  All return [None] under
+   [Unlucky] — a degraded estimator cannot prove structure absent, so
+   callers must fall back to per-label heuristics. *)
+
+val path_chain_card : t -> (Xqdb_xasr.Path_summary.axis * string) list -> float option
+(** Exact number of elements matched by a root-anchored step chain;
+    [Some 0.] proves the chain matches nothing (Figure 7, test 4). *)
+
+val desc_pair_card : t -> anc:string -> desc:string -> float option
+(** Exact (ancestor, descendant) element-pair count for two labels. *)
+
+val child_pair_card : t -> parent:string -> child:string -> float option
+(** Exact (parent, child) element-pair count for two labels. *)
+
 val tuples_per_page : t -> float
 val primary_height : t -> float
 val primary_leaf_pages : t -> float
 val label_height : t -> float
 val parent_height : t -> float
+val struct_height : t -> float
+val struct_leaf_pages : t -> float
+
+val struct_pages_of_label : t -> float -> float
+(** Leaf pages holding one label's run of the structural index, given
+    that label's cardinality. *)
 
 val pages_of_tuples : t -> float -> float
 (** Pages needed to hold this many XASR-sized tuples. *)

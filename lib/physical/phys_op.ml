@@ -249,6 +249,30 @@ let label_scan ctx alias ~ntype ~value ~preds =
         children = [] }
     ~make_cursor
 
+let struct_scan ctx alias ~label ~preds =
+  let schema = Tuple.xasr_schema alias in
+  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+  let make_cursor () =
+    let stream = Store.struct_stream ctx.store label in
+    let rec pull () =
+      tick ctx;
+      match stream () with
+      | None -> None
+      | Some xt ->
+        let tuple = Tuple.of_xasr xt in
+        if keep tuple then Some tuple else pull ()
+    in
+    pull
+  in
+  cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx)
+    ~info:
+      { name = Printf.sprintf "sidx-scan XASR[%s]" alias;
+        detail =
+          Printf.sprintf "struct(%s)%s" label
+            (if preds = [] then "" else "; " ^ preds_detail preds);
+        children = [] }
+    ~make_cursor
+
 let no_ios () = 0
 
 let empty schema =
@@ -565,6 +589,373 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
         children = [left.info] }
     ()
 
+let replay_op ~schema ~info ~ios_now ~kids ~clear_on_rebind ~fill =
+  (* Materialize-on-first-use operator over a list-producing fill. *)
+  let cache = ref None in
+  let pos = ref None in
+  let ensure () =
+    match !cache with
+    | Some c -> c
+    | None ->
+      let c = fill () in
+      cache := Some c;
+      c
+  in
+  make ~schema ~info ~ios_now ~kids
+    ~clear:
+      (if clear_on_rebind then (fun () ->
+           cache := None;
+           pos := None)
+       else ignore)
+    ~next:(fun () ->
+      let items = match !pos with
+        | Some items -> items
+        | None -> ensure ()
+      in
+      match items with
+      | [] ->
+        pos := Some [];
+        None
+      | tuple :: rest ->
+        pos := Some rest;
+        Some tuple)
+    ~reset:(fun () -> pos := None)
+    ()
+
+(* Staircase join over the structural index: the label's run is loaded
+   once into a sorted-by-[in] array (it never depends on parameters, so
+   it survives rebinds like a cached nl-join inner); each outer tuple
+   binary-searches its (lo, hi) interval and emits the contained
+   entries.  Output order matches {!inl_join} with [Probe_desc]:
+   outer-major, inner in document order — the property the index-vs-scan
+   differential oracle relies on. *)
+let struct_join ?(semi = false) ctx ~lo ~hi ~alias ~label ~preds ~residual left =
+  let inner_schema = Tuple.xasr_schema alias in
+  let schema = left.schema @ inner_schema in
+  let keep_inner = Tuple.compile_preds ~params:ctx.params inner_schema preds in
+  let keep_residual = Tuple.compile_preds ~params:ctx.params schema residual in
+  let as_int = function
+    | Tuple.I v -> v
+    | Tuple.S s -> invalid_arg (Printf.sprintf "struct_join: non-integer bound %S" s)
+  in
+  let vlo = Tuple.compile_operand ~params:ctx.params left.schema lo in
+  let vhi = Tuple.compile_operand ~params:ctx.params left.schema hi in
+  let entries = ref None in
+  let load () =
+    match !entries with
+    | Some pair -> pair
+    | None ->
+      let stream = Store.struct_stream ctx.store label in
+      let rec go acc =
+        tick ctx;
+        match stream () with
+        | None -> List.rev acc
+        | Some xt -> go (Tuple.of_xasr xt :: acc)
+      in
+      let tuples = Array.of_list (go []) in
+      let ins = Array.map (fun t -> as_int t.(0)) tuples in
+      let pair = (tuples, ins) in
+      entries := Some pair;
+      pair
+  in
+  (* First index whose [in] exceeds [bound]. *)
+  let lower_bound ins bound =
+    let rec go a b =
+      if a >= b then a
+      else begin
+        let mid = (a + b) / 2 in
+        if ins.(mid) > bound then go a mid else go (mid + 1) b
+      end
+    in
+    go 0 (Array.length ins)
+  in
+  let current = ref None in
+  let next () =
+    let rec step () =
+      tick ctx;
+      match !current with
+      | None ->
+        (match left.next () with
+         | None -> None
+         | Some l ->
+           let tuples, ins = load () in
+           let lo_v = as_int (vlo l) in
+           let hi_v = as_int (vhi l) in
+           current := Some (l, hi_v, ref (lower_bound ins lo_v), tuples, ins);
+           step ())
+      | Some (l, hi_v, idx, tuples, ins) ->
+        if !idx >= Array.length tuples || ins.(!idx) >= hi_v then begin
+          current := None;
+          step ()
+        end
+        else begin
+          let inner = tuples.(!idx) in
+          incr idx;
+          if keep_inner inner then begin
+            let tuple = Tuple.concat l inner in
+            if keep_residual tuple then begin
+              if semi then current := None;
+              Some tuple
+            end
+            else step ()
+          end
+          else step ()
+        end
+    in
+    step ()
+  in
+  let reset () =
+    left.reset ();
+    current := None
+  in
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left] ~next ~reset
+    ~param_dep:
+      (operand_param_dep lo || operand_param_dep hi || preds_param_dep preds
+      || preds_param_dep residual)
+    ~info:
+      { name = (if semi then "semi-struct-join" else "struct-join");
+        detail =
+          Printf.sprintf "%s.in in (%s, %s); struct(%s)" alias
+            (Xqdb_tpm.Tpm_print.operand_to_string lo)
+            (Xqdb_tpm.Tpm_print.operand_to_string hi)
+            label
+          ^ (if preds = [] then "" else "; " ^ preds_detail preds)
+          ^ (if residual = [] then "" else "; residual " ^ preds_detail residual);
+        children = [left.info] }
+    ()
+
+(* --- twig matching ------------------------------------------------------- *)
+
+type twig_axis =
+  | Twig_child
+  | Twig_desc
+
+type twig_step = {
+  tw_alias : string;
+  tw_label : string;
+  tw_axis : twig_axis;
+}
+
+(* PathStack (Bruno et al.): one structural-index stream and one stack
+   per step, streams merged by [in].  Stack entries are (tuple, partner
+   index into the previous stack); each stack holds a chain of nested
+   intervals, so a stream entry's ancestors with the previous step's
+   label are exactly the un-popped entries below its partner pointer.
+   Solutions are enumerated at the leaf step and sorted lexicographically
+   by the aliases' [in] columns, which reproduces the order of the
+   equivalent left-deep nested-loop plan. *)
+let twig_match ctx ~anchor ~steps =
+  (match steps with
+  | [] -> invalid_arg "Phys_op.twig_match: no steps"
+  | _ :: _ -> ());
+  let schema = List.concat_map (fun s -> Tuple.xasr_schema s.tw_alias) steps in
+  let steps_arr = Array.of_list steps in
+  let k = Array.length steps_arr in
+  let as_int = function
+    | Tuple.I v -> v
+    | Tuple.S s -> invalid_arg (Printf.sprintf "twig_match: non-integer bound %S" s)
+  in
+  let anchor_fn =
+    match anchor with
+    | None -> None
+    | Some (lo, hi) ->
+      (* Anchor operands are constants or externs — never columns — so
+         they compile against the empty schema. *)
+      let vlo = Tuple.compile_operand ~params:ctx.params [] lo in
+      let vhi = Tuple.compile_operand ~params:ctx.params [] hi in
+      Some (fun () -> (as_int (vlo [||]), as_int (vhi [||])))
+  in
+  let tuple_in t = as_int t.(0) in
+  let tuple_out t = as_int t.(1) in
+  let fill () =
+    let lo, hi =
+      match anchor_fn with
+      | None -> (min_int, max_int)
+      | Some f -> f ()
+    in
+    let dummy = ([||], -1) in
+    let stacks = Array.init k (fun _ -> ref (Array.make 8 dummy)) in
+    let lens = Array.make k 0 in
+    let push i entry =
+      let arr = !(stacks.(i)) in
+      if lens.(i) >= Array.length arr then begin
+        let bigger = Array.make (2 * Array.length arr) dummy in
+        Array.blit arr 0 bigger 0 lens.(i);
+        stacks.(i) := bigger
+      end;
+      !(stacks.(i)).(lens.(i)) <- entry;
+      lens.(i) <- lens.(i) + 1
+    in
+    let get i j = !(stacks.(i)).(j) in
+    let pop_closed nin =
+      Array.iteri
+        (fun i _ ->
+          let rec go () =
+            if lens.(i) > 0 then begin
+              let t, _ = get i (lens.(i) - 1) in
+              if tuple_out t < nin then begin
+                lens.(i) <- lens.(i) - 1;
+                go ()
+              end
+            end
+          in
+          go ())
+        lens
+    in
+    (* One stream per step; heads merged by ascending [in], ties broken
+       by step order (two steps over the same label see the same node). *)
+    let streams =
+      Array.map (fun s -> Store.struct_stream ctx.store s.tw_label) steps_arr
+    in
+    let heads = Array.map (fun stream -> stream ()) streams in
+    let advance i = heads.(i) <- streams.(i) () in
+    let next_entry () =
+      let best = ref (-1) in
+      Array.iteri
+        (fun i head ->
+          match head with
+          | None -> ()
+          | Some xt ->
+            (match !best with
+            | -1 -> best := i
+            | b ->
+              (match heads.(b) with
+              | Some bxt when bxt.Xqdb_xasr.Xasr.nin <= xt.Xqdb_xasr.Xasr.nin -> ()
+              | Some _ | None -> best := i)))
+        heads;
+      match !best with
+      | -1 -> None
+      | i ->
+        let xt = heads.(i) in
+        advance i;
+        Option.map (fun xt -> (i, xt)) xt
+    in
+    (* Partner index of an entry joining step [i] (> 0): for Desc, the
+       topmost previous-stack entry that is a *strict* ancestor (a
+       same-label node at the same [in] is excluded); for Child, the
+       entry whose [in] equals the parent pointer, searched downward. *)
+    let partner_of i nin parent_in =
+      match steps_arr.(i).tw_axis with
+      | Twig_desc ->
+        let top = lens.(i - 1) - 1 in
+        if top < 0 then -1
+        else begin
+          let t, _ = get (i - 1) top in
+          if tuple_in t = nin then top - 1 else top
+        end
+      | Twig_child ->
+        let rec find j =
+          if j < 0 then -1
+          else begin
+            let t, _ = get (i - 1) j in
+            let pin = tuple_in t in
+            if pin = parent_in then j else if pin < parent_in then -1 else find (j - 1)
+          end
+        in
+        find (lens.(i - 1) - 1)
+    in
+    let solutions = ref [] in
+    (* All chains from stack [i] entry [j] down to stack 0, leaf-first. *)
+    let rec chains i j =
+      let tuple, ptr = get i j in
+      if i = 0 then [ [ tuple ] ]
+      else begin
+        let partners =
+          match steps_arr.(i).tw_axis with
+          | Twig_desc -> List.init (ptr + 1) (fun p -> p)
+          | Twig_child -> [ ptr ]
+        in
+        List.concat_map
+          (fun p -> List.map (fun chain -> tuple :: chain) (chains (i - 1) p))
+          partners
+      end
+    in
+    let emit_leaf tuple ptr =
+      let leaf_chains =
+        if k = 1 then [ [ tuple ] ]
+        else begin
+          let partners =
+            match steps_arr.(k - 1).tw_axis with
+            | Twig_desc -> List.init (ptr + 1) (fun p -> p)
+            | Twig_child -> [ ptr ]
+          in
+          List.concat_map
+            (fun p -> List.map (fun chain -> tuple :: chain) (chains (k - 2) p))
+            partners
+        end
+      in
+      List.iter
+        (fun chain ->
+          let parts = List.rev chain in
+          let solution =
+            match parts with
+            | [] -> [||]
+            | first :: rest -> List.fold_left Tuple.concat first rest
+          in
+          solutions := solution :: !solutions)
+        leaf_chains
+    in
+    let rec consume () =
+      tick ctx;
+      match next_entry () with
+      | None -> ()
+      | Some (i, xt) ->
+        let nin = xt.Xqdb_xasr.Xasr.nin in
+        pop_closed nin;
+        (if i = 0 then begin
+           if lo < nin && xt.Xqdb_xasr.Xasr.nout < hi then
+             if k = 1 then emit_leaf (Tuple.of_xasr xt) (-1)
+             else push 0 (Tuple.of_xasr xt, -1)
+         end
+         else begin
+           let ptr = partner_of i nin xt.Xqdb_xasr.Xasr.parent_in in
+           if ptr >= 0 then
+             if i = k - 1 then emit_leaf (Tuple.of_xasr xt) ptr
+             else push i (Tuple.of_xasr xt, ptr)
+         end);
+        consume ()
+    in
+    consume ();
+    (* Lexicographic (a1.in, ..., ak.in) order = the nested-loop plan's
+       output order. *)
+    let in_positions = Array.init k (fun i -> i * 5) in
+    let by_ins t1 t2 =
+      let rec go i =
+        if i >= k then 0
+        else begin
+          let c = Int.compare (as_int t1.(in_positions.(i))) (as_int t2.(in_positions.(i))) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    in
+    List.sort by_ins !solutions
+  in
+  let clear_on_rebind =
+    match anchor with
+    | None -> false
+    | Some (lo, hi) -> operand_param_dep lo || operand_param_dep hi
+  in
+  replay_op ~schema ~ios_now:(ctx_ios ctx) ~kids:[] ~clear_on_rebind
+    ~info:
+      { name = "twig-match";
+        detail =
+          String.concat " / "
+            (List.map
+               (fun s ->
+                 Printf.sprintf "%s%s:%s"
+                   (match s.tw_axis with Twig_child -> "child " | Twig_desc -> "desc ")
+                   s.tw_alias s.tw_label)
+               steps)
+          ^ (match anchor with
+            | None -> ""
+            | Some (lo, hi) ->
+              Printf.sprintf "; anchor (%s, %s)"
+                (Xqdb_tpm.Tpm_print.operand_to_string lo)
+                (Xqdb_tpm.Tpm_print.operand_to_string hi));
+        children = [] }
+    ~fill
+
 (* --- filter, project, sort, materialize -------------------------------- *)
 
 let filter ?params ~preds child =
@@ -641,39 +1032,6 @@ let compare_on positions t1 t2 =
     end
   in
   go 0
-
-let replay_op ~schema ~info ~ios_now ~kids ~clear_on_rebind ~fill =
-  (* Materialize-on-first-use operator over a list-producing fill. *)
-  let cache = ref None in
-  let pos = ref None in
-  let ensure () =
-    match !cache with
-    | Some c -> c
-    | None ->
-      let c = fill () in
-      cache := Some c;
-      c
-  in
-  make ~schema ~info ~ios_now ~kids
-    ~clear:
-      (if clear_on_rebind then (fun () ->
-           cache := None;
-           pos := None)
-       else ignore)
-    ~next:(fun () ->
-      let items = match !pos with
-        | Some items -> items
-        | None -> ensure ()
-      in
-      match items with
-      | [] ->
-        pos := Some [];
-        None
-      | tuple :: rest ->
-        pos := Some rest;
-        Some tuple)
-    ~reset:(fun () -> pos := None)
-    ()
 
 let sort ?(dedup = false) ~mode ~key_cols child ctx =
   let positions = key_positions child.schema key_cols in

@@ -147,6 +147,12 @@ val label_scan :
 (** Index-based selection via the label index; [preds] are the residual
     local predicates beyond type/value. *)
 
+val struct_scan : ctx -> string -> label:string -> preds:A.pred list -> t
+(** Index-only selection via the structural index: streams full element
+    tuples for one label without touching the primary.  [preds] are
+    residual local predicates (any type/value predicates are trivially
+    true on the stream and merely re-checked). *)
+
 val empty : Tuple.schema -> t
 (** Produces nothing; the compiled form of a provably empty input. *)
 
@@ -206,6 +212,49 @@ val inl_join :
     predicates, [residual] any remaining join predicates (checked on the
     combined schema).  Probe operands are compiled against the outer
     schema. *)
+
+val struct_join :
+  ?semi:bool ->
+  ctx ->
+  lo:A.operand ->
+  hi:A.operand ->
+  alias:string ->
+  label:string ->
+  preds:A.pred list ->
+  residual:A.pred list ->
+  t ->
+  t
+(** Staircase structural join: emits, per outer tuple, the inner label's
+    elements with [lo < in < hi], located by binary search in the
+    label's structural-index run.  The run is loaded once and — being
+    parameter-independent — survives template rebinds.  Output order and
+    semantics match {!inl_join} with [Probe_desc]; the page I/O cost
+    does not scale with outer cardinality. *)
+
+type twig_axis =
+  | Twig_child
+  | Twig_desc
+
+type twig_step = {
+  tw_alias : string;
+  tw_label : string;
+  tw_axis : twig_axis;
+      (** relationship to the {e previous} step; the first step's axis
+          is relative to the anchor interval and is always treated as
+          descendant containment *)
+}
+
+val twig_match :
+  ctx -> anchor:(A.operand * A.operand) option -> steps:twig_step list -> t
+(** Stack-based holistic twig (path-pattern) matching over the
+    structural index, PathStack-style: one index stream and one stack
+    per step, merged by [in], near-linear in the input streams plus the
+    output.  [anchor], when given, restricts the first step to
+    [lo < in && out < hi]; its operands must be constants or externs.
+    The output schema is the concatenation of the steps' XASR schemas;
+    solutions come lexicographically ordered by the steps' [in] columns,
+    i.e. exactly the order of the equivalent left-deep order-preserving
+    nested-loop plan. *)
 
 (* --- projection, dedup, sort, materialization --- *)
 

@@ -84,7 +84,14 @@ let check_site ~scope (s : Plan_ir.site) =
     (Tuple.param_vars tmpl.Planner.params);
   if plan.Planner.provably_empty && plan.Planner.steps <> [] then
     fail "site %d: provably empty plan still has steps" s.Plan_ir.id;
-  let aliases = List.map (fun (st : Planner.step) -> st.Planner.alias) plan.Planner.steps in
+  if plan.Planner.twig <> None && plan.Planner.steps <> [] then
+    fail "site %d: twig plan still has join steps" s.Plan_ir.id;
+  let aliases =
+    match plan.Planner.twig with
+    | Some tw ->
+      List.map (fun (st : Planner.twig_step) -> st.Planner.tw_alias) tw.Planner.tw_steps
+    | None -> List.map (fun (st : Planner.step) -> st.Planner.alias) plan.Planner.steps
+  in
   if not (distinct aliases) then fail "site %d: plan places an alias twice" s.Plan_ir.id;
   List.iter
     (fun a ->

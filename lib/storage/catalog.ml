@@ -82,6 +82,13 @@ let flush t =
             | record :: rest when Page.free_space p >= Bytes.length record ->
               ignore (Page.add_slot p record);
               fill rest
+            | record :: _ when Page.slot_count p = 0 ->
+              (* A record too large for an empty page would chain fresh
+                 overflow pages forever; oversized values must be
+                 chunked by the caller. *)
+              Xqdb_error.internal
+                "Catalog: record of %d bytes cannot fit a page; chunk the value"
+                (Bytes.length record)
             | leftover -> leftover
           in
           (old_next, fill records))

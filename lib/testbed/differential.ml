@@ -8,12 +8,18 @@ module Wal = Xqdb_storage.Wal
 module Crash_point = Xqdb_storage.Crash_point
 module Xqdb_error = Xqdb_storage.Xqdb_error
 module Node_store = Xqdb_xasr.Node_store
+module Doc_stats = Xqdb_xasr.Doc_stats
+module Path_summary = Xqdb_xasr.Path_summary
 module Xq_print = Xqdb_xq.Xq_print
 module Xml_print = Xqdb_xml.Xml_print
 
-(* The four milestone engines the harness differentiates; milestone 1 is
-   the oracle, exactly as it was for the students. *)
-let milestone_configs = [Engine_config.m2; Engine_config.m3; Engine_config.m4]
+(* The milestone engines the harness differentiates; milestone 1 is the
+   oracle, exactly as it was for the students.  [m4-nostruct] is the
+   index-vs-scan axis: the same cost-based engine with the structural
+   index family forced off, so any divergence between it and m4 is a
+   wrong struct-join/twig answer, not a milestone difference. *)
+let milestone_configs =
+  [Engine_config.m2; Engine_config.m3; Engine_config.m4; Engine_config.m4_nostruct]
 
 (* Tiny random documents fit in the default pool and would never touch
    the disk, making fault injection vacuous — so differential engines
@@ -31,7 +37,7 @@ type trial = {
 type fault_report = {
   fault_seed : int;
   trial_index : int;
-  injected : int;  (** faults the injector fired across the four runs *)
+  injected : int;  (** faults the injector fired across the engine runs *)
   crashes : (string * string) list;  (** (config, exception) — must stay [] *)
   io_errors : int;  (** runs censored as [Io_error] *)
   rerun_ok : bool;  (** fault-free rerun reproduced the oracle answer *)
@@ -271,7 +277,8 @@ let ok report =
 let render report =
   let buf = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  line "differential oracle: %d/%d trials byte-identical across m1 m2 m3 m4 (seed %d)"
+  line
+    "differential oracle: %d/%d trials byte-identical across m1 m2 m3 m4 m4-nostruct (seed %d)"
     (agreed report) report.count report.seed;
   List.iter
     (fun t -> if not t.ok then line "  trial %d FAILED: %s [%s]" t.index t.detail (truncate t.query))
@@ -369,6 +376,19 @@ let validate_recovery ~progress ~query db =
        | () -> ()
        | exception Xqdb_error.Corrupt msg ->
          record (Printf.sprintf "%s: recovered index corrupt: %s" name msg));
+      (* The recovered catalog's path summary must agree with one
+         rebuilt by rescanning the recovered primary: the planner's
+         provably-empty and per-path selectivity decisions ride on it,
+         so a stale summary silently corrupts plans, not answers. *)
+      if !failure = None then begin
+        let e = Database.engine db ~name in
+        let persisted = (Engine.doc_stats e).Doc_stats.paths in
+        let rebuilt = Path_summary.of_scan (Node_store.scan_all (Engine.store e)) in
+        if not (Path_summary.equal persisted rebuilt) then
+          record
+            (Printf.sprintf
+               "%s: recovered path summary disagrees with a from-scratch rescan" name)
+      end;
       if !failure = None then begin
         (* The recovered store is its own oracle: milestone 1 evaluates
            in memory from it, and the disk-based milestones must agree. *)
@@ -387,7 +407,7 @@ let validate_recovery ~progress ~query db =
                   (Printf.sprintf "post-recovery %s crashed: %s" label
                      (Printexc.to_string exn))
             end)
-          [Engine_config.m2; Engine_config.m4]
+          [Engine_config.m2; Engine_config.m4; Engine_config.m4_nostruct]
       end)
     names;
   !failure

@@ -23,10 +23,63 @@ let render_config config =
     (Queries.parsed Queries.public_queries);
   Buffer.contents buf
 
+(* The structural suite pins where the struct-join/twig operators are
+   chosen: they must appear on the deep Treebank parse forest, whose
+   long label paths make interval containment cheap relative to
+   per-outer index probes, and must NOT appear on the shallow DBLP
+   bibliography.  Each document renders under m4 and under m4 with
+   structural indexes disabled, so the golden diff is the plan change
+   the index family buys. *)
+let structural_documents () =
+  [ (* Deep recursive parse trees: descendant chains over fat label runs
+       are where the staircase/twig operators must take over from
+       per-outer interval probes. *)
+    ( "deep-treebank",
+      [W.Treebank_gen.generate (W.Treebank_gen.scaled 10)],
+      [ ("twig-three-step",
+         "for $s in //S return for $np in $s//NP return for $nn in $np//NN return $nn");
+        ("pair-desc-deep", "for $np in //NP return for $nn in $np//NN return $nn");
+        (* The existential breaks the binding-chain shape the twig
+           recognizer needs, so this one pins the plain semijoin form of
+           the staircase operator. *)
+        ("semi-exist",
+         "for $np in //NP return if (some $vb in $np//VB satisfies true()) then <hit/> else ()");
+        ("absent-label", "for $x in //proceedings return for $y in $x//cite return $y") ] );
+    (* Shallow bibliography: child steps and selective probes are
+       already cheap, so no structural JOIN may appear here — at most
+       the covering sidx access path replaces a label-index scan. *)
+    ( "shallow-dblp",
+      [W.Dblp_gen.generate (W.Dblp_gen.scaled 40)],
+      [ ("multistep-child", "for $w in /dblp/article/author return $w");
+        ("twig-three-step",
+         "for $s in //S return for $np in $s//NP return for $nn in $np//NN return $nn");
+        ("absent-label", "for $x in //proceedings return for $y in $x//cite return $y") ] ) ]
+
+let render_structural () =
+  let buf = Buffer.create 8192 in
+  List.iter
+    (fun (doc_name, forest, queries) ->
+      List.iter
+        (fun config ->
+          let engine = Engine.load_forest ~config forest in
+          List.iter
+            (fun (name, query) ->
+              Buffer.add_string buf
+                (Printf.sprintf "===== %s / %s / %s =====\n" doc_name
+                   config.Engine_config.name name);
+              Buffer.add_string buf (Engine.explain engine query);
+              Buffer.add_string buf "\n")
+            (Queries.parsed queries))
+        [Engine_config.m4; Engine_config.m4_nostruct])
+    (structural_documents ());
+  Buffer.contents buf
+
 let render name =
-  match config_of_name name with
-  | Some config -> Ok (render_config config)
-  | None ->
-    Error
-      (Printf.sprintf "unknown config %s (expected one of %s)" name
-         (String.concat ", " (List.map (fun c -> c.Engine_config.name) configs)))
+  if String.equal name "structural" then Ok (render_structural ())
+  else
+    match config_of_name name with
+    | Some config -> Ok (render_config config)
+    | None ->
+      Error
+        (Printf.sprintf "unknown config %s (expected one of %s, structural)" name
+           (String.concat ", " (List.map (fun c -> c.Engine_config.name) configs)))

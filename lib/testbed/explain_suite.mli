@@ -13,5 +13,13 @@ val configs : Xqdb_core.Engine_config.t list
 val render_config : Xqdb_core.Engine_config.t -> string
 (** All 16 public-query EXPLAINs under ["===== <query> ====="] headers. *)
 
+val render_structural : unit -> string
+(** The structural-index placement golden: descendant-chain queries over
+    a deep Treebank parse forest and a shallow DBLP bibliography, each
+    explained under m4 and under m4 with structural indexes disabled.
+    Struct-join and twig operators must show up on the deep document
+    only. *)
+
 val render : string -> (string, string) result
-(** [render "m3"] — by configuration name, for the CLI. *)
+(** [render "m3"] — by configuration name, for the CLI; ["structural"]
+    renders {!render_structural}. *)

@@ -37,6 +37,7 @@ let psx_of ctx =
    end), intermediates on disk. *)
 let qp0_config =
   { Planner.use_indexes = false;
+    use_struct = false;
     cost_based = false;
     order = `Mem_sort;
     materialize = `Disk;

@@ -553,6 +553,58 @@ let validate_constant_templates json =
     (Ok []) (List.rev keyed)
   |> Result.map (fun _ -> ())
 
+(* The structural-gain gate: every "deep-*" test of a structural report
+   must show the m4 plans doing strictly less page I/O than the same
+   engine with structural indexes disabled.  Shallow tests are exempt —
+   the index family deliberately stays out of their plans. *)
+let validate_structural_gain json =
+  let* results = need "results" (member "results" json) in
+  let* results = as_arr "results" results in
+  let* keyed =
+    List.fold_left
+      (fun acc r ->
+        let* acc = acc in
+        let* engine = need "engine" (member "engine" r) in
+        let* engine = as_str "engine" engine in
+        let* test = need "test" (member "test" r) in
+        let* test = as_str "test" test in
+        let* ios = int_field r "page_ios" in
+        Ok ((test, (engine, ios)) :: acc))
+      (Ok []) results
+  in
+  let deep_tests =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (test, _) ->
+           if String.length test >= 4 && String.equal (String.sub test 0 4) "deep" then
+             Some test
+           else None)
+         keyed)
+  in
+  if deep_tests = [] then Error "no deep-* structural tests in the report"
+  else
+    List.fold_left
+      (fun acc test ->
+        let* () = acc in
+        let ios_of engine =
+          List.assoc_opt (engine, ())
+            (List.filter_map
+               (fun (t, (e, ios)) ->
+                 if String.equal t test && String.equal e engine then Some ((e, ()), ios)
+                 else None)
+               keyed)
+        in
+        match ios_of "m4", ios_of "m4-nostruct" with
+        | Some with_struct, Some without when with_struct < without -> Ok ()
+        | Some with_struct, Some without ->
+          Error
+            (Printf.sprintf
+               "%s: structural plans show no page-I/O gain (m4 %d vs m4-nostruct %d)"
+               test with_struct without)
+        | None, _ | _, None ->
+          Error (Printf.sprintf "%s: missing m4 or m4-nostruct measurement" test))
+      (Ok ()) deep_tests
+
 let parse_file path =
   let ic = open_in_bin path in
   let contents =

@@ -104,6 +104,12 @@ val validate_constant_templates : json -> (unit, string) result
     a scaling sweep whose template count grows with data size means
     planning happens per outer tuple again.  Requires a v2 report. *)
 
+val validate_structural_gain : json -> (unit, string) result
+(** The structural-index payoff gate over a [BENCH_structural.json]
+    report: every test named ["deep-*"] must carry measurements for both
+    [m4] and [m4-nostruct], and the m4 page I/O must be strictly lower.
+    Errors when no deep tests are present at all. *)
+
 val parse_file : string -> (json, string) result
 
 val validate_file : string -> (unit, string) result

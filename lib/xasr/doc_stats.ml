@@ -5,6 +5,7 @@ type t = {
   depth_sum : int;
   max_depth : int;
   label_counts : (string * int) list;
+  paths : Path_summary.t;
 }
 
 let empty =
@@ -13,7 +14,8 @@ let empty =
     text_count = 0;
     depth_sum = 0;
     max_depth = 0;
-    label_counts = [] }
+    label_counts = [];
+    paths = Path_summary.empty }
 
 let avg_depth t =
   if t.node_count = 0 then 0.0 else float_of_int t.depth_sum /. float_of_int t.node_count
@@ -30,8 +32,11 @@ let label_selectivity t label =
 let descendant_selectivity t =
   if t.node_count = 0 then 0.0 else avg_depth t /. float_of_int t.node_count
 
-(* Serialized as lines: the counts, then one "label count" line each.
-   Labels are XML names, so they contain no whitespace or newlines. *)
+(* Serialized as lines: the counts, one "label count" line each, then a
+   "#paths" separator and the path-summary lines.  Labels are XML names,
+   so they contain no whitespace, newlines or a leading '#'. *)
+let paths_separator = "#paths"
+
 let serialize t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
@@ -40,6 +45,8 @@ let serialize t =
   List.iter
     (fun (label, n) -> Buffer.add_string buf (Printf.sprintf "%s %d\n" label n))
     t.label_counts;
+  Buffer.add_string buf (paths_separator ^ "\n");
+  Buffer.add_string buf (Path_summary.serialize t.paths);
   Buffer.contents buf
 
 let deserialize s =
@@ -49,22 +56,31 @@ let deserialize s =
     let node_count, elem_count, text_count, depth_sum, max_depth =
       Scanf.sscanf header "%d %d %d %d %d" (fun a b c d e -> (a, b, c, d, e))
     in
+    (* Stats written before path summaries existed have no separator;
+       they deserialize with an empty summary. *)
+    let rec split_label_lines acc = function
+      | [] -> (List.rev acc, [])
+      | line :: tl when String.equal line paths_separator -> (List.rev acc, tl)
+      | line :: tl -> split_label_lines (line :: acc) tl
+    in
+    let label_lines, path_lines = split_label_lines [] rest in
     let label_counts =
       List.filter_map
         (fun line ->
           if String.equal line "" then None
           else Some (Scanf.sscanf line "%s %d" (fun l n -> (l, n))))
-        rest
+        label_lines
     in
-    { node_count; elem_count; text_count; depth_sum; max_depth; label_counts }
+    let paths = Path_summary.deserialize (String.concat "\n" path_lines) in
+    { node_count; elem_count; text_count; depth_sum; max_depth; label_counts; paths }
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>nodes: %d (elements %d, texts %d)@,avg depth: %.2f (max %d)@,labels:@,%a@]"
+    "@[<v>nodes: %d (elements %d, texts %d)@,avg depth: %.2f (max %d)@,labels:@,%a@,paths:@,%a@]"
     t.node_count t.elem_count t.text_count (avg_depth t) t.max_depth
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (l, n) ->
          Format.fprintf ppf "  %-20s %d" l n))
-    t.label_counts
+    t.label_counts Path_summary.pp t.paths
 
 module Builder = struct
   type nonrec stats = t
@@ -76,6 +92,7 @@ module Builder = struct
     mutable depth_sum : int;
     mutable max_depth : int;
     labels : (string, int) Hashtbl.t;
+    paths : Path_summary.Builder.t;
   }
 
   let create () =
@@ -84,7 +101,8 @@ module Builder = struct
       text_count = 0;
       depth_sum = 0;
       max_depth = 0;
-      labels = Hashtbl.create 64 }
+      labels = Hashtbl.create 64;
+      paths = Path_summary.Builder.create () }
 
   let add_node b ~depth ntype value =
     b.node_count <- b.node_count + 1;
@@ -98,6 +116,8 @@ module Builder = struct
       let n = try Hashtbl.find b.labels value with Not_found -> 0 in
       Hashtbl.replace b.labels value (n + 1)
 
+  let add_element_path b segments = Path_summary.Builder.add_element_path b.paths segments
+
   let finish b : stats =
     { node_count = b.node_count;
       elem_count = b.elem_count;
@@ -106,5 +126,6 @@ module Builder = struct
       max_depth = b.max_depth;
       label_counts =
         Hashtbl.fold (fun l n acc -> (l, n) :: acc) b.labels []
-        |> List.sort (fun (l1, _) (l2, _) -> String.compare l1 l2) }
+        |> List.sort (fun (l1, _) (l2, _) -> String.compare l1 l2);
+      paths = Path_summary.Builder.finish b.paths }
 end

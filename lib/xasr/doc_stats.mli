@@ -4,7 +4,9 @@
     labels occurring in the document, and the average depth of a node in
     the data tree, as a gross measure for the selectivities of
     ancestor-descendant joins".  We keep exactly that, plus the basic
-    counts needed to turn selectivities into cardinalities.
+    counts needed to turn selectivities into cardinalities, plus a
+    {!Path_summary} giving exact per-path cardinalities for the
+    structural-index planner.
 
     Statistics are collected during shredding and persisted through the
     catalog as a string. *)
@@ -16,6 +18,7 @@ type t = {
   depth_sum : int;  (** sum of node depths; root has depth 0 *)
   max_depth : int;
   label_counts : (string * int) list;  (** element label -> occurrences, sorted *)
+  paths : Path_summary.t;  (** per-path cardinality and fan-out *)
 }
 
 val empty : t
@@ -46,5 +49,10 @@ module Builder : sig
 
   val create : unit -> t
   val add_node : t -> depth:int -> Xasr.node_type -> string -> unit
+
+  val add_element_path : t -> string list -> unit
+  (** Feed one element's full root-first label path into the embedded
+      {!Path_summary.Builder}. *)
+
   val finish : t -> stats
 end

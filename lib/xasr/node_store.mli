@@ -11,6 +11,11 @@
       index-based selection on element labels and text values.
     - {b parent index}: [(parent_in, in)] — the access path behind
       index-based nested-loop child joins.
+    - {b structural index}: [(label, in)] keys carrying
+      [(out, level, parent_in)] payloads — together the (label, pre,
+      post, level) record of the structural-join literature, so
+      staircase and twig operators stream whole element tuples per
+      label without touching the primary.
 
     All cursors yield results in document order (ascending [in]). *)
 
@@ -27,8 +32,18 @@ val register : t -> Xqdb_storage.Catalog.t -> stats:Doc_stats.t -> unit
 val open_existing : Xqdb_storage.Buffer_pool.t -> Xqdb_storage.Catalog.t -> name:string -> t
 val stats_of_catalog : Xqdb_storage.Catalog.t -> name:string -> Doc_stats.t
 
-val insert : t -> Xasr.tuple -> unit
-(** Insert into the primary and both secondary indexes. *)
+val registered_names : Xqdb_storage.Catalog.t -> string list
+(** The documents registered in the catalog, sorted.  A document exists
+    exactly when its ["<name>.stats.n"] chunk-count key does. *)
+
+val unregister : Xqdb_storage.Catalog.t -> name:string -> unit
+(** Remove every catalog key [register] wrote for [name] — index meta
+    pages and all statistics chunks.  Does not flush. *)
+
+val insert : t -> level:int -> Xasr.tuple -> unit
+(** Insert into the primary and all secondary indexes.  [level] is the
+    node's depth (root 0); it is persisted in the structural index for
+    element nodes. *)
 
 val tuple_count : t -> int
 
@@ -56,10 +71,19 @@ val label_ins_all_of_type : t -> Xasr.node_type -> unit -> int option
     nodes), via the label index; {e index order} (value-major), not
     document order. *)
 
+val struct_stream : t -> string -> unit -> Xasr.tuple option
+(** Full element tuples with the given label, streamed from the
+    structural index alone in document order — no primary fetches. *)
+
+val struct_entry_count : t -> int
+
 val check_invariants : ?min_fill:float -> t -> unit
-(** Run {!Xqdb_storage.Btree.check_invariants} over the primary and both
-    secondary indexes — the structural oracle the crash-recovery harness
-    applies to every recovered document.
+(** Run {!Xqdb_storage.Btree.check_invariants} over the primary and all
+    secondary indexes, then rescan the primary and require the
+    structural index to agree entry-for-entry with a from-scratch
+    rebuild (same (out, level, parent) per element, equal counts) — the
+    structural oracle the crash-recovery harness applies to every
+    recovered document.
     @raise Xqdb_storage.Xqdb_error.Corrupt on any violation. *)
 
 (* Index shape, for the cost model. *)
@@ -67,3 +91,5 @@ val primary_height : t -> int
 val primary_leaf_pages : t -> int
 val label_index_height : t -> int
 val parent_index_height : t -> int
+val struct_index_height : t -> int
+val struct_leaf_pages : t -> int

@@ -1,0 +1,196 @@
+(* DataGuide-style path summary: one entry per distinct root-to-node
+   label path, with occurrence count and summed element fan-out.  Paths
+   are element-only; the virtual root and text nodes contribute none. *)
+
+type entry = {
+  count : int;
+  child_sum : int;
+}
+
+(* Sorted by path string, so equality and serialization are canonical. *)
+type t = (string * entry) list
+
+type axis =
+  | Child
+  | Descendant
+
+let empty = []
+
+let path_of_segments segments = "/" ^ String.concat "/" segments
+
+let paths t = t
+let distinct t = List.length t
+
+let count t path =
+  match List.assoc_opt path t with
+  | Some e -> e.count
+  | None -> 0
+
+let total_count t = List.fold_left (fun acc (_, e) -> acc + e.count) 0 t
+
+let fanout t path =
+  match List.assoc_opt path t with
+  | Some e when e.count > 0 -> float_of_int e.child_sum /. float_of_int e.count
+  | Some _ | None -> 0.0
+
+let equal a b =
+  List.equal
+    (fun (p1, e1) (p2, e2) ->
+      String.equal p1 p2 && e1.count = e2.count && e1.child_sum = e2.child_sum)
+    a b
+
+(* Segments are XML names: no '/', no whitespace — safe to split on. *)
+let segments_of_path path =
+  match String.split_on_char '/' path with
+  | "" :: segs -> segs
+  | segs -> segs
+
+(* Does the label path [segs] (root-first) match the step chain?  The
+   chain is anchored at both ends: the first step starts at the document
+   root, the last step must name the final segment. *)
+let rec chain_matches steps segs =
+  match steps with
+  | [] -> (match segs with [] -> true | _ :: _ -> false)
+  | (Child, l) :: rest -> (
+    match segs with
+    | s :: tl when String.equal s l -> chain_matches rest tl
+    | _ -> false)
+  | (Descendant, l) :: rest ->
+    let rec try_from segs =
+      match segs with
+      | [] -> false
+      | s :: tl ->
+        (String.equal s l && chain_matches rest tl) || try_from tl
+    in
+    try_from segs
+
+let chain_card t steps =
+  match steps with
+  | [] -> 0
+  | _ :: _ ->
+    List.fold_left
+      (fun acc (path, e) ->
+        if chain_matches steps (segments_of_path path) then acc + e.count else acc)
+      0 t
+
+(* Every element's path ends with its own label; its ancestors labeled
+   [anc] are exactly the occurrences of [anc] in the proper prefix.
+   Summing count * occurrences over paths ending in [desc] yields the
+   exact number of (ancestor, descendant) element pairs. *)
+let desc_pair_card t ~anc ~desc =
+  List.fold_left
+    (fun acc (path, e) ->
+      match List.rev (segments_of_path path) with
+      | last :: prefix_rev when String.equal last desc ->
+        let occurrences =
+          List.fold_left
+            (fun n s -> if String.equal s anc then n + 1 else n)
+            0 prefix_rev
+        in
+        acc + (e.count * occurrences)
+      | _ -> acc)
+    0 t
+
+let child_pair_card t ~parent ~child =
+  List.fold_left
+    (fun acc (path, e) ->
+      match List.rev (segments_of_path path) with
+      | last :: up :: _ when String.equal last child && String.equal up parent ->
+        acc + e.count
+      | _ -> acc)
+    0 t
+
+(* --- serialization ------------------------------------------------------- *)
+
+(* One "path count child_sum" line per entry; paths contain no
+   whitespace, so Scanf round-trips them. *)
+let serialize t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (path, e) ->
+      Buffer.add_string buf (Printf.sprintf "%s %d %d\n" path e.count e.child_sum))
+    t;
+  Buffer.contents buf
+
+let deserialize s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         if String.equal line "" then None
+         else
+           Some
+             (Scanf.sscanf line "%s %d %d" (fun path count child_sum ->
+                  (path, { count; child_sum }))))
+
+let pp ppf t =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf (path, e) ->
+      Format.fprintf ppf "  %-32s %d (fanout %.2f)" path e.count (fanout t path))
+    ppf t
+
+(* --- builder ------------------------------------------------------------- *)
+
+module Builder = struct
+  type summary = t
+
+  type t = {
+    counts : (string, int) Hashtbl.t;
+    child_sums : (string, int) Hashtbl.t;
+  }
+
+  let create () = { counts = Hashtbl.create 64; child_sums = Hashtbl.create 64 }
+
+  let bump tbl key =
+    let n = match Hashtbl.find_opt tbl key with Some n -> n | None -> 0 in
+    Hashtbl.replace tbl key (n + 1)
+
+  let add_element_path b segments =
+    (match segments with
+    | [] -> invalid_arg "Path_summary.Builder.add_element_path: empty path"
+    | _ :: _ -> ());
+    bump b.counts (path_of_segments segments);
+    match List.rev segments with
+    | _ :: (_ :: _ as parent_rev) ->
+      bump b.child_sums (path_of_segments (List.rev parent_rev))
+    | _ -> ()
+
+  let finish b : summary =
+    Hashtbl.fold
+      (fun path count acc ->
+        let child_sum =
+          match Hashtbl.find_opt b.child_sums path with Some n -> n | None -> 0
+        in
+        (path, { count; child_sum }) :: acc)
+      b.counts []
+    |> List.sort (fun (p1, _) (p2, _) -> String.compare p1 p2)
+end
+
+(* Rebuild from a document-order tuple cursor (ascending [in]), e.g.
+   [Node_store.scan_all]: the interval stack mirrors the shredder's
+   open-tag stack, so the result must equal the incrementally built
+   summary — the QCheck equivalence oracle. *)
+let of_scan next =
+  let b = Builder.create () in
+  (* Open-element stack, innermost first: (label, nout). *)
+  let stack = ref [] in
+  let rec pop_closed nin =
+    match !stack with
+    | (_, nout) :: rest when nout < nin ->
+      stack := rest;
+      pop_closed nin
+    | _ -> ()
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some t ->
+      pop_closed t.Xasr.nin;
+      (match t.Xasr.ntype with
+      | Xasr.Root | Xasr.Text -> ()
+      | Xasr.Element ->
+        let segments = List.rev (t.Xasr.value :: List.map fst !stack) in
+        Builder.add_element_path b segments;
+        stack := (t.Xasr.value, t.Xasr.nout) :: !stack);
+      loop ()
+  in
+  loop ();
+  Builder.finish b

@@ -1,0 +1,75 @@
+(** DataGuide-style path summary.
+
+    One entry per distinct root-to-node {e label path} of the document
+    (element nodes only — the virtual root and text nodes have no
+    label), written ["/a/b/c"].  Each entry carries the number of
+    elements with that path and the summed element fan-out under it, so
+    the optimizer can derive {e per-path} selectivities instead of
+    per-label ones.
+
+    The summary is exact, not an estimate: [chain_card] of an absent
+    path is 0, which is what lets the planner prove queries over
+    non-existent structure empty (Figure 7, test 4). *)
+
+type entry = {
+  count : int;  (** elements with exactly this root path *)
+  child_sum : int;  (** element children summed over those occurrences *)
+}
+
+type t
+
+type axis =
+  | Child
+  | Descendant
+
+val empty : t
+
+val paths : t -> (string * entry) list
+(** All entries, sorted by path string. *)
+
+val distinct : t -> int
+val count : t -> string -> int
+val total_count : t -> int
+
+val fanout : t -> string -> float
+(** Average element fan-out of elements with this path; 0 if absent. *)
+
+val equal : t -> t -> bool
+
+val chain_card : t -> (axis * string) list -> int
+(** Exact number of elements reachable by the step chain from the
+    document root, e.g. [[(Descendant, "NP"); (Child, "NN")]] for
+    [//NP/NN].  0 when the chain matches no stored path. *)
+
+val desc_pair_card : t -> anc:string -> desc:string -> int
+(** Exact number of (ancestor, descendant) element pairs with the given
+    labels. *)
+
+val child_pair_card : t -> parent:string -> child:string -> int
+(** Exact number of (parent, child) element pairs with the given
+    labels. *)
+
+val serialize : t -> string
+val deserialize : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Incremental builder fed by the shredder at element close. *)
+module Builder : sig
+  type summary := t
+  type t
+
+  val create : unit -> t
+
+  val add_element_path : t -> string list -> unit
+  (** Full label path of one element, root-first, ending with the
+      element's own label. *)
+
+  val finish : t -> summary
+end
+
+val of_scan : (unit -> Xasr.tuple option) -> t
+(** Rebuild the summary from a document-order tuple cursor (e.g.
+    {!Node_store.scan_all}), reconstructing nesting from the
+    (in, out) intervals.  Must equal the incrementally built summary —
+    the property the QCheck suite pins. *)

@@ -49,7 +49,7 @@ let push t event =
         value }
     in
     Doc_stats.Builder.add_node t.stats ~depth:(depth t) Xasr.Text value;
-    Node_store.insert t.store tuple
+    Node_store.insert t.store ~level:(depth t) tuple
   | Xml_parser.End_tag label ->
     (match t.stack with
      | [] -> shred_fail "Shredder: stray end tag </%s>" label
@@ -66,7 +66,11 @@ let push t event =
            value = label }
        in
        Doc_stats.Builder.add_node t.stats ~depth:(depth t) Xasr.Element label;
-       Node_store.insert t.store tuple)
+       (* Root-first label path: the popped stack still holds every
+          open ancestor, innermost first. *)
+       Doc_stats.Builder.add_element_path t.stats
+         (List.rev (label :: List.map (fun o -> o.label) rest));
+       Node_store.insert t.store ~level:(depth t) tuple)
 
 let finish t =
   (match t.stack with
@@ -77,7 +81,7 @@ let finish t =
     { Xasr.nin = root_in; nout = t.counter; parent_in = 0; ntype = Xasr.Root; value = "" }
   in
   Doc_stats.Builder.add_node t.stats ~depth:0 Xasr.Root "";
-  Node_store.insert t.store root;
+  Node_store.insert t.store ~level:0 root;
   Doc_stats.Builder.finish t.stats
 
 let shred_string pool ~name input =

@@ -86,7 +86,38 @@ let parent_key parent_in nin =
   Codec.key_int buf nin;
   Buffer.to_bytes buf
 
-(* The trailing 8 bytes of both index keys hold [in]. *)
+let struct_prefix label =
+  let buf = Buffer.create 16 in
+  Codec.key_string buf label;
+  Buffer.to_bytes buf
+
+let struct_key label nin =
+  let buf = Buffer.create 24 in
+  Codec.key_string buf label;
+  Codec.key_int buf nin;
+  Buffer.to_bytes buf
+
+type struct_entry = {
+  s_nout : int;
+  s_level : int;
+  s_parent_in : int;
+}
+
+let encode_struct e =
+  let buf = Buffer.create 12 in
+  Codec.write_uvarint buf e.s_nout;
+  Codec.write_uvarint buf e.s_level;
+  Codec.write_uvarint buf e.s_parent_in;
+  Buffer.to_bytes buf
+
+let decode_struct data =
+  let r = Codec.reader data in
+  let s_nout = Codec.read_uvarint r in
+  let s_level = Codec.read_uvarint r in
+  let s_parent_in = Codec.read_uvarint r in
+  { s_nout; s_level; s_parent_in }
+
+(* The trailing 8 bytes of all index keys hold [in]. *)
 let trailing_int key =
   let r = Codec.reader key in
   r.Codec.pos <- Bytes.length key - 8;
@@ -94,3 +125,4 @@ let trailing_int key =
 
 let in_of_label_key = trailing_int
 let in_of_parent_key = trailing_int
+let in_of_struct_key = trailing_int

@@ -58,7 +58,26 @@ val parent_key : int -> int -> bytes
 
 val parent_prefix : int -> bytes
 
+val struct_key : string -> int -> bytes
+(** Structural index: [(label, in)]; prefix scans on [label] via
+    {!struct_prefix}.  Element nodes only. *)
+
+val struct_prefix : string -> bytes
+
+(** Payload of a structural-index entry: with the key's [(label, in)]
+    this is the full (label, pre, post, level) record, so structural
+    joins never touch the primary index. *)
+type struct_entry = {
+  s_nout : int;
+  s_level : int;  (** depth in the tree; the virtual root has level 0 *)
+  s_parent_in : int;
+}
+
+val encode_struct : struct_entry -> bytes
+val decode_struct : bytes -> struct_entry
+
 val in_of_label_key : bytes -> int
 (** Decode the trailing [in] of a label-index key. *)
 
 val in_of_parent_key : bytes -> int
+val in_of_struct_key : bytes -> int

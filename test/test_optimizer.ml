@@ -130,6 +130,80 @@ let test_semijoin_in_plan () =
     (List.exists (fun s -> s.Planner.semijoin_keep <> None) plan.Planner.steps);
   ignore store
 
+(* --- structural plans --------------------------------------------------------- *)
+
+let treebank = [W.Treebank_gen.generate (W.Treebank_gen.scaled 10)]
+let nostruct_config = { Planner.m4_config with Planner.use_struct = false }
+
+let contains msg sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1)) in
+  go 0
+
+(* The Figure-7 test-4 regression, path-statistics form: a query over
+   structure the document does not have — an absent label, or an absent
+   parent/child pairing of present labels — compiles to the empty plan,
+   and EXPLAIN attributes the proof to the path statistics. *)
+let test_empty_structure_plan_shape () =
+  let store, doc_stats = load dblp in
+  let stats = Stats.make store doc_stats in
+  List.iter
+    (fun (what, query) ->
+      let psx = psx_of query in
+      let plan = Planner.plan Planner.m4_config stats psx in
+      Alcotest.(check bool) (what ^ ": provably empty") true plan.Planner.provably_empty;
+      Alcotest.(check int) (what ^ ": no steps") 0 (List.length plan.Planner.steps);
+      Alcotest.(check bool) (what ^ ": no twig") true (plan.Planner.twig = None);
+      let rendered = Planner.to_string plan in
+      Alcotest.(check bool) (what ^ ": explain says provably empty") true
+        (contains rendered "provably empty");
+      Alcotest.(check bool) (what ^ ": proof credited to path statistics") true
+        (contains rendered "path statistics");
+      Alcotest.(check int) (what ^ ": no rows") 0 (List.length (run_plan store plan)))
+    [ ("absent label", "for $x in //proceedings return $x");
+      ("absent pair", "for $x in //article return for $y in $x/article return $y") ]
+
+(* On a deep recursive document the cost model reaches for the
+   structural machinery — the holistic twig for a pure chain, staircase
+   joins otherwise — and the results match the plan compiled with
+   [use_struct = false]. *)
+let test_struct_plans_chosen_and_agree () =
+  let store, doc_stats = load treebank in
+  let stats = Stats.make store doc_stats in
+  List.iter
+    (fun (what, expect_twig, query) ->
+      let psx = psx_of query in
+      let structural = Planner.plan Planner.m4_config stats psx in
+      let baseline = Planner.plan nostruct_config stats psx in
+      let is_struct_join s =
+        match s.Planner.join with Planner.Struct_desc _ -> true | _ -> false
+      in
+      let is_struct_scan s =
+        match s.Planner.access with Planner.Struct_scan _ -> true | _ -> false
+      in
+      if expect_twig then
+        Alcotest.(check bool) (what ^ ": compiled to a twig") true
+          (structural.Planner.twig <> None)
+      else
+        Alcotest.(check bool) (what ^ ": uses the structural index") true
+          (List.exists (fun s -> is_struct_join s || is_struct_scan s)
+             structural.Planner.steps);
+      Alcotest.(check bool) (what ^ ": baseline avoids structural plans") true
+        (baseline.Planner.twig = None
+        && List.for_all (fun s -> not (is_struct_join s || is_struct_scan s))
+             baseline.Planner.steps);
+      let rows = run_plan store structural in
+      Alcotest.(check bool) (what ^ ": produces rows") true (rows <> []);
+      Alcotest.(check bool) (what ^ ": structural = baseline results") true
+        (rows = run_plan store baseline))
+    [ ( "three-step chain", true,
+        "for $s in //S return for $np in $s//NP return for $nn in $np//NN return $nn" );
+      (* The existential breaks the root-to-leaf chain shape, so this
+         one must fall back to a staircase semijoin, not a twig. *)
+      ( "existential semijoin", false,
+        "for $np in //NP return if (some $vb in $np//VB satisfies true()) then $np else ()"
+      ) ]
+
 (* --- plan equivalence across orders and strategies ---------------------------- *)
 
 (* For a PSX with several relations, every valid permutation under every
@@ -165,11 +239,12 @@ let test_all_plans_agree () =
           List.iter
             (fun strategy ->
               List.iter
-                (fun use_indexes ->
+                (fun (use_indexes, use_struct) ->
                   let config =
                     { Planner.m4_config with
                       Planner.order = strategy;
                       use_indexes;
+                      use_struct;
                       cost_based = true }
                   in
                   match Planner.plan_with_order config stats psx order with
@@ -177,16 +252,16 @@ let test_all_plans_agree () =
                     incr tried;
                     let rows = run_plan store plan in
                     if rows <> reference then
-                      Alcotest.failf "plan disagrees (%s, %s, indexes=%b)"
+                      Alcotest.failf "plan disagrees (%s, %s, indexes=%b, struct=%b)"
                         (String.concat "," order)
                         (match strategy with
                          | `Preserve -> "preserve"
                          | `Mem_sort -> "mem-sort"
                          | `Ext_sort -> "ext-sort"
                          | `Btree_sort -> "btree-sort")
-                        use_indexes
+                        use_indexes use_struct
                   | exception Invalid_argument _ -> ())
-                [true; false])
+                [(true, true); (true, false); (false, false)])
             strategies)
         permutations;
       Alcotest.(check bool) "tried many plans" true (!tried > 10))
@@ -277,6 +352,11 @@ let () =
           Alcotest.test_case "cost model prefers indexes" `Quick
             test_cost_based_prefers_indexes;
           Alcotest.test_case "semijoin appears" `Quick test_semijoin_in_plan ] );
+      ( "structural plans",
+        [ Alcotest.test_case "absent structure compiles to empty" `Quick
+            test_empty_structure_plan_shape;
+          Alcotest.test_case "struct plans chosen and agree" `Quick
+            test_struct_plans_chosen_and_agree ] );
       ( "templates",
         [ Alcotest.test_case "template reuse" `Quick test_template_reuse ] );
       ( "plan equivalence",

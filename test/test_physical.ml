@@ -203,6 +203,96 @@ let test_semi_join () =
   let lefts = ins_of semi in
   Alcotest.(check (list int)) "one row per qualifying element" [4; 8; 13] lefts
 
+(* --- structural operators -------------------------------------------------- *)
+
+module Tree = Xqdb_xml.Xml_tree
+
+let int_of = function Tuple.I v -> v | Tuple.S _ -> -1
+
+let test_struct_scan () =
+  let _, ctx = make_store () in
+  Alcotest.(check (list int)) "struct scan = label scan" [4; 8]
+    (ins_of (Op.struct_scan ctx "R" ~label:"name" ~preds:[]));
+  Alcotest.(check (list int)) "missing label" []
+    (ins_of (Op.struct_scan ctx "R" ~label:"zzz" ~preds:[]));
+  (* The stream carries full tuples despite never touching the primary. *)
+  let t = List.hd (Op.drain (Op.struct_scan ctx "R" ~label:"journal" ~preds:[])) in
+  Alcotest.(check bool) "full tuple reconstructed" true
+    (t.(1) = Tuple.I 17 && t.(2) = Tuple.I 1 && t.(4) = Tuple.S "journal");
+  Alcotest.(check (list int)) "residual predicate applies" [4]
+    (ins_of
+       (Op.struct_scan ctx "R" ~label:"name"
+          ~preds:[{ A.left = ocol "R" A.In; op = A.Lt; right = A.Oint 5 }]))
+
+(* The staircase join must agree with the descendant-probe index join on
+   every interval configuration: normal, empty inner run, disjoint
+   sibling intervals, and fully (self-)nested chains. *)
+let test_struct_join_agrees () =
+  List.iter
+    (fun (what, forest, outer_label, inner_label, expected_pairs) ->
+      let _, ctx = make_store ~forest () in
+      let outer () = Op.label_scan ctx "P" ~ntype:Xasr.Element ~value:outer_label ~preds:[] in
+      let sj ?semi () =
+        Op.struct_join ?semi ctx ~lo:(ocol "P" A.In) ~hi:(ocol "P" A.Out) ~alias:"D"
+          ~label:inner_label ~preds:[] ~residual:[] (outer ())
+      in
+      let inl ?semi () =
+        Op.inl_join ?semi ctx
+          ~probe:(Op.Probe_desc (ocol "P" A.In, ocol "P" A.Out))
+          ~alias:"D"
+          ~preds:[elem_pred "D"; value_pred "D" inner_label]
+          ~residual:[] (outer ())
+      in
+      Alcotest.(check int)
+        (what ^ ": pair count")
+        expected_pairs
+        (List.length (Op.drain (sj ())));
+      Alcotest.(check bool) (what ^ ": struct = inl(desc)") true
+        (Op.drain (sj ()) = Op.drain (inl ()));
+      Alcotest.(check bool) (what ^ ": semijoins agree") true
+        (Op.drain (sj ~semi:true ()) = Op.drain (inl ~semi:true ()));
+      (* reset replays from the cached run *)
+      let op = sj () in
+      Alcotest.(check int) (what ^ ": replay") (Op.count op) (Op.count op))
+    [ ("figure2", [Xqdb_workload.Docs.figure2], "journal", "name", 2);
+      ("empty inner", [Tree.elem "a" [Tree.elem "b" []]], "a", "zzz", 0);
+      ( "disjoint siblings",
+        [Tree.elem "r" [Tree.elem "a" []; Tree.elem "b" []]],
+        "a", "b", 0 );
+      ( "fully nested chain",
+        [Tree.elem "a" [Tree.elem "a" [Tree.elem "a" [Tree.elem "b" []]]]],
+        "a", "a", 3 ) ]
+
+let twig alias label axis = { Op.tw_alias = alias; tw_label = label; tw_axis = axis }
+
+let test_twig_match_hand_verified () =
+  let _, ctx = make_store () in
+  let solutions ?anchor steps cols =
+    List.map
+      (fun t -> List.map (fun c -> int_of t.(c)) cols)
+      (Op.drain (Op.twig_match ctx ~anchor ~steps))
+  in
+  (* //journal//name: (2,4) and (2,8), in lexicographic (in, in) order. *)
+  Alcotest.(check (list (list int))) "journal//name" [[2; 4]; [2; 8]]
+    (solutions [twig "J" "journal" Op.Twig_desc; twig "N" "name" Op.Twig_desc] [0; 5]);
+  (* Three steps: //journal//authors//name. *)
+  Alcotest.(check (list (list int))) "journal//authors//name" [[2; 3; 4]; [2; 3; 8]]
+    (solutions
+       [ twig "J" "journal" Op.Twig_desc;
+         twig "A" "authors" Op.Twig_desc;
+         twig "N" "name" Op.Twig_desc ]
+       [0; 5; 10]);
+  (* Child axis prunes: names are children of authors, not of journal. *)
+  Alcotest.(check (list (list int))) "authors/name" [[3; 4]; [3; 8]]
+    (solutions [twig "A" "authors" Op.Twig_desc; twig "N" "name" Op.Twig_child] [0; 5]);
+  Alcotest.(check (list (list int))) "journal/name is empty" []
+    (solutions [twig "J" "journal" Op.Twig_desc; twig "N" "name" Op.Twig_child] [0; 5]);
+  (* An anchor interval restricts the first step's stream. *)
+  Alcotest.(check (list (list int))) "anchored to authors (3, 12)" [[4]; [8]]
+    (solutions ~anchor:(A.Oint 3, A.Oint 12) [twig "N" "name" Op.Twig_desc] [0]);
+  Alcotest.(check (list (list int))) "anchored to title (13, 16)" []
+    (solutions ~anchor:(A.Oint 13, A.Oint 16) [twig "N" "name" Op.Twig_desc] [0])
+
 (* --- filter, project, dedup ------------------------------------------------- *)
 
 let test_filter_and_project () =
@@ -380,6 +470,25 @@ let test_inl_join_fault_pins () =
   Op.close ctx op;
   S.Buffer_pool.assert_unpinned ~where:"inl_join after recovery" pool
 
+(* Pin safety of the structural family: a hard fault mid-stream unwinds
+   without leaving pinned frames, same contract as label_scan/inl_join. *)
+let test_struct_ops_fault_pins () =
+  let disk, pool, ctx = make_sanitized_store () in
+  S.Buffer_pool.drop_all pool;
+  let injector = S.Fault_disk.attach ~policy:hard_read_faults ~seed:13 disk in
+  expect_disk_error_pins_clean ~what:"struct_scan mid-fault" ~pool ~ctx (fun () ->
+      Op.struct_scan ctx "R" ~label:"name" ~preds:[]);
+  expect_disk_error_pins_clean ~what:"struct_join mid-fault" ~pool ~ctx (fun () ->
+      Op.struct_join ctx ~lo:(A.Oint 1) ~hi:(A.Oint 18) ~alias:"D" ~label:"name"
+        ~preds:[] ~residual:[] (Op.singleton [] [||]));
+  expect_disk_error_pins_clean ~what:"twig_match mid-fault" ~pool ~ctx (fun () ->
+      Op.twig_match ctx ~anchor:None ~steps:[twig "N" "name" Op.Twig_desc]);
+  S.Fault_disk.detach injector;
+  let op = Op.struct_scan ctx "R" ~label:"name" ~preds:[] in
+  Alcotest.(check (list int)) "recovered struct scan produces rows" [4; 8] (ins_of op);
+  Op.close ctx op;
+  S.Buffer_pool.assert_unpinned ~where:"struct ops after recovery" pool
+
 (* --- budget propagation -------------------------------------------------------- *)
 
 let test_operator_budget () =
@@ -413,6 +522,10 @@ let () =
           Alcotest.test_case "products and inner modes" `Quick test_product_and_modes;
           Alcotest.test_case "block nested loops" `Quick test_bnl_join;
           Alcotest.test_case "semijoin early-out" `Quick test_semi_join ] );
+      ( "structural",
+        [ Alcotest.test_case "struct scan" `Quick test_struct_scan;
+          Alcotest.test_case "staircase join = index join" `Quick test_struct_join_agrees;
+          Alcotest.test_case "twig matching" `Quick test_twig_match_hand_verified ] );
       ( "projection",
         [ Alcotest.test_case "filter and dedup" `Quick test_filter_and_project ] );
       ( "sorting",
@@ -425,5 +538,7 @@ let () =
         [ Alcotest.test_case "label_scan fault leaves no pins" `Quick
             test_label_scan_fault_pins;
           Alcotest.test_case "inl_join fault leaves no pins" `Quick
-            test_inl_join_fault_pins ] );
+            test_inl_join_fault_pins;
+          Alcotest.test_case "structural family leaves no pins" `Quick
+            test_struct_ops_fault_pins ] );
       ("budget", [Alcotest.test_case "propagation" `Quick test_operator_budget]) ]

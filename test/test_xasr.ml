@@ -151,6 +151,25 @@ let test_store_cursors () =
   let texts = drain (X.Node_store.label_ins_all_of_type store Xasr.Text) in
   Alcotest.(check int) "all texts" 3 (List.length texts)
 
+(* A struct-index entry that disagrees with the primary is a typed
+   Corrupt, caught by the same invariant sweep the crash harness runs
+   after every recovery. *)
+let test_struct_index_corruption_detected () =
+  let store, _ = shred [figure2] in
+  X.Node_store.check_invariants store;
+  X.Node_store.insert store ~level:5
+    { Xasr.nin = 19; nout = 20; parent_in = 0; ntype = Xasr.Element; value = "bogus" };
+  match X.Node_store.check_invariants store with
+  | () -> Alcotest.fail "mislabeled struct entry should be caught"
+  | exception S.Xqdb_error.Corrupt msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i = i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names the disagreement" true
+      (contains "struct entry" && contains "disagrees")
+
 let test_store_reopen () =
   let disk = S.Disk.in_memory () in
   let pool = S.Buffer_pool.create disk in
@@ -207,6 +226,75 @@ let test_stats_serialization () =
   Alcotest.(check int) "missing label count" 0 (X.Doc_stats.label_count stats "nosuch");
   Alcotest.(check bool) "avg depth sane" true
     (X.Doc_stats.avg_depth stats > 2.0 && X.Doc_stats.avg_depth stats < 3.0)
+
+(* --- path summary -------------------------------------------------------- *)
+
+let test_path_summary_figure2 () =
+  let _, stats = shred [figure2] in
+  let ps = stats.X.Doc_stats.paths in
+  Alcotest.(check int) "distinct paths" 4 (X.Path_summary.distinct ps);
+  Alcotest.(check int) "total elements" 5 (X.Path_summary.total_count ps);
+  Alcotest.(check int) "name path count" 2 (X.Path_summary.count ps "/journal/authors/name");
+  Alcotest.(check (float 0.001)) "authors fan-out" 2.0 (X.Path_summary.fanout ps "/journal/authors");
+  Alcotest.(check int) "//name" 2 (X.Path_summary.chain_card ps [(X.Path_summary.Descendant, "name")]);
+  Alcotest.(check int) "//journal/title" 1
+    (X.Path_summary.chain_card ps
+       [(X.Path_summary.Descendant, "journal"); (X.Path_summary.Child, "title")]);
+  Alcotest.(check int) "absent label is provably empty" 0
+    (X.Path_summary.chain_card ps [(X.Path_summary.Descendant, "proceedings")]);
+  Alcotest.(check int) "journal//name pairs" 2
+    (X.Path_summary.desc_pair_card ps ~anc:"journal" ~desc:"name");
+  Alcotest.(check int) "authors/name pairs" 2
+    (X.Path_summary.child_pair_card ps ~parent:"authors" ~child:"name");
+  Alcotest.(check bool) "serialization round trip" true
+    (X.Path_summary.equal ps (X.Path_summary.deserialize (X.Path_summary.serialize ps)))
+
+(* The maintenance property the differential's recovery check also pins:
+   the summary the shredder builds incrementally at element close equals
+   a from-scratch rebuild out of the stored (in, out) intervals. *)
+let path_summary_incremental_matches_rescan =
+  QCheck2.Test.make ~name:"incremental path summary = from-scratch rescan" ~count:150
+    Test_support.Gen.forest_gen (fun forest ->
+      let store, stats = shred forest in
+      X.Path_summary.equal stats.X.Doc_stats.paths
+        (X.Path_summary.of_scan (X.Node_store.scan_all store)))
+
+(* Same agreement on the two workload generators the benches use — the
+   shapes (shallow/bushy DBLP, deep/recursive Treebank) stress the
+   rescan's stack reconstruction differently from the random forests. *)
+let test_path_summary_generators () =
+  List.iter
+    (fun (name, doc) ->
+      let store, stats = shred [doc] in
+      Alcotest.(check bool) (name ^ ": incremental = rescan") true
+        (X.Path_summary.equal stats.X.Doc_stats.paths
+           (X.Path_summary.of_scan (X.Node_store.scan_all store))))
+    [ ("dblp", Xqdb_workload.Dblp_gen.generate (Xqdb_workload.Dblp_gen.scaled 60));
+      ("treebank", Xqdb_workload.Treebank_gen.generate (Xqdb_workload.Treebank_gen.scaled 8)) ]
+
+(* The region-algebra precondition every structural join relies on: the
+   (in, out) intervals of any two stored nodes are either disjoint or
+   strictly nested, never partially overlapping. *)
+let intervals_properly_nest =
+  QCheck2.Test.make ~name:"(pre, post) intervals are disjoint or nested" ~count:100
+    Test_support.Gen.forest_gen (fun forest ->
+      let store, _ = shred forest in
+      let rec drain acc cursor =
+        match cursor () with None -> List.rev acc | Some t -> drain (t :: acc) cursor
+      in
+      let tuples = drain [] (X.Node_store.scan_all store) in
+      List.for_all (fun t -> t.Xasr.nin < t.Xasr.nout) tuples
+      && List.for_all
+           (fun a ->
+             List.for_all
+               (fun b ->
+                 a.Xasr.nin = b.Xasr.nin
+                 || a.Xasr.nout < b.Xasr.nin
+                 || b.Xasr.nout < a.Xasr.nin
+                 || (a.Xasr.nin < b.Xasr.nin && b.Xasr.nout < a.Xasr.nout)
+                 || (b.Xasr.nin < a.Xasr.nin && a.Xasr.nout < b.Xasr.nout))
+               tuples)
+           tuples)
 
 (* --- milestone 2 vs milestone 1 ---------------------------------------------- *)
 
@@ -307,6 +395,8 @@ let () =
             test_malformed_document_regression ] );
       ( "node store",
         [ Alcotest.test_case "cursors" `Quick test_store_cursors;
+          Alcotest.test_case "struct-index corruption is typed" `Quick
+            test_struct_index_corruption_detected;
           Alcotest.test_case "reopen" `Quick test_store_reopen ] );
       ( "reconstruction",
         [ prop reconstruct_roundtrip;
@@ -314,6 +404,11 @@ let () =
       ( "statistics",
         [ prop stats_match_document;
           Alcotest.test_case "serialization" `Quick test_stats_serialization ] );
+      ( "path summary",
+        [ Alcotest.test_case "figure 2" `Quick test_path_summary_figure2;
+          prop path_summary_incremental_matches_rescan;
+          Alcotest.test_case "workload generators" `Quick test_path_summary_generators;
+          prop intervals_properly_nest ] );
       ( "navigational evaluator",
         [ Alcotest.test_case "figure 2 queries" `Quick test_nav_eval_figure2;
           prop axis_cursor_equivalence;
