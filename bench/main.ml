@@ -319,9 +319,24 @@ let bechamel () =
       | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
     (List.sort compare rows)
 
+(* --- Concurrent traffic --------------------------------------------------- *)
+
+let traffic () =
+  header "Traffic: concurrent sessions over one shared database";
+  let scale = if !quick then 100 else 250 in
+  let requests = if !quick then 10 else 40 in
+  let report =
+    T.Traffic.run ~sessions:4 ~requests ~seed:42 ~scale ~mode:T.Traffic.Closed ()
+  in
+  print_string (T.Traffic.render report);
+  if report.T.Traffic.total_mismatches <> 0 then
+    failwith "traffic: oracle mismatches under concurrency";
+  if !json_mode then write_report "BENCH_traffic.json" (T.Report.traffic_json report)
+
 let sections =
   [ ("fig7", fig7); ("fig6", fig6); ("milestones", milestones); ("ablations", ablations);
-    ("templates", templates); ("structural", structural); ("bechamel", bechamel) ]
+    ("templates", templates); ("structural", structural); ("traffic", traffic);
+    ("bechamel", bechamel) ]
 
 let () =
   let args = match Array.to_list Sys.argv with [] -> [] | _ :: rest -> rest in

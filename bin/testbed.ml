@@ -153,6 +153,90 @@ let crash_cmd =
           cross-milestone query agreement after each recovery.")
     Term.(const crash_action $ crash_seed $ crash_count $ crash_points $ crash_json_file)
 
+(* --- traffic: concurrent multi-session load generator --------------------- *)
+
+let traffic_sessions =
+  Arg.(value & opt int 8 & info ["sessions"] ~docv:"N" ~doc:"Concurrent client sessions.")
+
+let traffic_requests =
+  Arg.(value & opt int 50 & info ["requests"] ~docv:"N" ~doc:"Requests per session.")
+
+let traffic_seed =
+  Arg.(value & opt int 42 & info ["seed"] ~docv:"N" ~doc:"Query-mix schedule seed.")
+
+let traffic_scale =
+  Arg.(value & opt int 250 & info ["scale"] ~docv:"N" ~doc:"DBLP scale of the shared document.")
+
+let traffic_mode =
+  Arg.(
+    value
+    & opt (enum [("closed", `Closed); ("open", `Open)]) `Closed
+    & info ["mode"] ~docv:"MODE"
+        ~doc:
+          "$(b,closed): each session fires its next request on completion. \
+           $(b,open): requests fire on a fixed schedule (see $(b,--rate)), so \
+           latencies include client-visible queueing.")
+
+let traffic_rate =
+  Arg.(
+    value
+    & opt float 20.
+    & info ["rate"] ~docv:"R"
+        ~doc:"Open-loop request rate per session, in requests per second.")
+
+let traffic_max_page_ios =
+  Arg.(
+    value
+    & opt (some int) None
+    & info ["max-page-ios"] ~docv:"N"
+        ~doc:"Per-request page-I/O cap every session admits under.")
+
+let traffic_max_seconds =
+  Arg.(
+    value
+    & opt (some float) None
+    & info ["max-seconds"] ~docv:"S"
+        ~doc:"Per-request wall-clock cap every session admits under.")
+
+let traffic_json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["json"] ~docv:"FILE"
+        ~doc:"Write the run as a machine-readable JSON report to $(docv).")
+
+let traffic_action sessions requests seed scale mode rate max_page_ios max_seconds
+    json_file =
+  let mode =
+    match mode with
+    | `Closed -> T.Traffic.Closed
+    | `Open -> T.Traffic.Open_rate rate
+  in
+  let report =
+    T.Traffic.run ~mode ?max_page_ios ?max_seconds ~sessions ~requests ~seed ~scale ()
+  in
+  print_string (T.Traffic.render report);
+  (match json_file with
+   | Some file ->
+     T.Report.write_file file (T.Report.traffic_json report);
+     Printf.printf "wrote %s\n" file
+   | None -> ());
+  if report.T.Traffic.total_mismatches <> 0 then exit 1
+
+let traffic_cmd =
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Concurrent traffic harness: N client sessions (one domain each) replay \
+          a seeded query mix through the full wire path over one shared \
+          database, report throughput and p50/p95/p99 latency, and compare \
+          every response against a single-session oracle. Exits nonzero on any \
+          mismatch.")
+    Term.(
+      const traffic_action $ traffic_sessions $ traffic_requests $ traffic_seed
+      $ traffic_scale $ traffic_mode $ traffic_rate $ traffic_max_page_ios
+      $ traffic_max_seconds $ traffic_json_file)
+
 (* --- explain: golden EXPLAIN rendering ----------------------------------- *)
 
 let explain_config =
@@ -284,4 +368,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [run_cmd; differential_cmd; crash_cmd; explain_cmd; check_bench_cmd; lint_cmd]))
+          [ run_cmd; differential_cmd; crash_cmd; traffic_cmd; explain_cmd;
+            check_bench_cmd; lint_cmd ]))

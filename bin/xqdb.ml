@@ -238,6 +238,62 @@ let drop_cmd =
   let term = Term.(term_result (const action $ db_file_term $ name_term)) in
   Cmd.v (Cmd.info "drop" ~doc:"Drop a document from a database file.") term
 
+let serve_cmd =
+  let module Server = Xqdb_server.Server in
+  let port_term =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.port
+      & info ["port"] ~docv:"PORT"
+          ~doc:"TCP port to listen on (loopback only); 0 picks an ephemeral port.")
+  in
+  let sessions_term =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_sessions
+      & info ["max-sessions"] ~docv:"N"
+          ~doc:
+            "Concurrent session cap: the size of the worker-domain pool. Clients \
+             beyond it queue in the listen backlog.")
+  in
+  let ios_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info ["max-page-ios"] ~docv:"N"
+          ~doc:
+            "Server-wide per-request page-I/O cap; an over-budget request is \
+             censored (the session lives on). Clients can only tighten it.")
+  in
+  let secs_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info ["max-seconds"] ~docv:"S" ~doc:"Server-wide per-request wall-clock cap.")
+  in
+  let action path port max_sessions max_page_ios max_seconds =
+    let db = DB.open_file path in
+    let config = { Server.port; max_sessions; max_page_ios; max_seconds } in
+    Server.serve
+      ~on_ready:(fun port ->
+        Printf.eprintf "xqdb: serving %s on 127.0.0.1:%d (%d sessions)\n%!" path port
+          max_sessions)
+      config db;
+    Ok ()
+  in
+  let term =
+    Term.(
+      term_result
+        (const action $ db_file_term $ port_term $ sessions_term $ ios_term $ secs_term))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a database file to concurrent clients over a length-prefixed \
+          binary wire protocol (request = query text + budget options, response \
+          = serialized forest, typed error, or budget censoring + accounting).")
+    term
+
 let repl_cmd =
   let action xml config =
     let engine = Engine.load ~config xml in
@@ -282,4 +338,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; explain_cmd; label_cmd; shred_cmd; stats_cmd; load_cmd; query_cmd;
-            ls_cmd; drop_cmd; repl_cmd ]))
+            ls_cmd; drop_cmd; serve_cmd; repl_cmd ]))

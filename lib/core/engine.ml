@@ -46,9 +46,17 @@ type t = {
   doc : Xml_doc.t;
   root_out : int;
   (* Keyed by query text; plans depend on config and stats, so the cache
-     is per engine value and [with_config] starts a fresh one. *)
-  prepared_cache : (string, prepared) Hashtbl.t;
+     is per engine value and [with_config]/[session] start fresh ones.
+     Bounded LRU — a session replaying ad-hoc query text must not grow
+     it without bound. *)
+  prepared_cache : prepared Plan_cache.t;
+  (* The catalog epoch the cached plans were compiled under.  Plans
+     reference node stores and statistics by page, so when a document
+     load/drop moves the epoch the whole cache is invalid. *)
+  mutable cache_epoch : int;
 }
+
+let fresh_cache config = Plan_cache.create config.Engine_config.prepared_cache_capacity
 
 let load_forest ?(config = Engine_config.m4) forest =
   let disk = Storage.Disk.in_memory () in
@@ -60,7 +68,8 @@ let load_forest ?(config = Engine_config.m4) forest =
   let doc = Xml_doc.of_forest forest in
   let root_out = (Store.root_tuple store).Xasr.nout in
   { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out;
-    prepared_cache = Hashtbl.create 8 }
+    prepared_cache = fresh_cache config;
+    cache_epoch = Storage.Catalog.epoch catalog }
 
 let load ?(config = Engine_config.m4) ?on_file xml =
   let forest = Xml_parser.parse_forest xml in
@@ -76,14 +85,16 @@ let load ?(config = Engine_config.m4) ?on_file xml =
     let doc = Xml_doc.of_forest forest in
     let root_out = (Store.root_tuple store).Xasr.nout in
     { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out;
-      prepared_cache = Hashtbl.create 8 }
+      prepared_cache = fresh_cache config;
+      cache_epoch = Storage.Catalog.epoch catalog }
 
 let attach ?(config = Engine_config.m4) ~disk ~pool ~catalog ~store ~doc_stats () =
   let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
   let doc = Xml_doc.of_forest (Reconstruct.root_forest store) in
   let root_out = (Store.root_tuple store).Xasr.nout in
   { config; disk; pool; catalog; store; doc_stats; stats; doc; root_out;
-    prepared_cache = Hashtbl.create 8 }
+    prepared_cache = fresh_cache config;
+    cache_epoch = Storage.Catalog.epoch catalog }
 
 let with_config config t =
   (* A config switch is a quiescent point: nothing may still hold a page
@@ -93,7 +104,17 @@ let with_config config t =
   { t with
     config;
     stats = Stats.make ~quality:config.Engine_config.quality t.store t.doc_stats;
-    prepared_cache = Hashtbl.create 8 }
+    prepared_cache = fresh_cache config;
+    cache_epoch = Storage.Catalog.epoch t.catalog }
+
+(* A per-session view over the same database: shares the store, pool and
+   statistics (all read-only after load) but owns its prepared-plan
+   cache.  Plans hold mutable state — parameter slots, operator cursors,
+   accumulating stats — so two sessions must never execute the same
+   prepared value; per-session caches give each session its own compiled
+   copies.  [cache_epoch] is mutable, and record copy makes it
+   per-session too. *)
+let session t = { t with prepared_cache = fresh_cache t.config }
 
 let config t = t.config
 let store t = t.store
@@ -105,6 +126,8 @@ let pool t = t.pool
 (* --- compilation -------------------------------------------------------- *)
 
 let prepared_cache_hits = Storage.Metrics.counter "engine.prepared_cache_hits"
+let prepared_cache_evictions = Storage.Metrics.counter "engine.prepared_cache_evictions"
+let prepared_cache_invalidations = Storage.Metrics.counter "engine.prepared_cache_invalidations"
 
 let pipeline_ctx t =
   { Pipeline.config =
@@ -114,11 +137,31 @@ let pipeline_ctx t =
     stats = t.stats;
     store = t.store }
 
+(* Wholesale invalidation when the catalog epoch has moved since the
+   cached plans were compiled: a document load/drop changes the set of
+   node stores and the statistics plans were costed against.  If this
+   engine's own document is among the dropped, there is nothing valid to
+   recompile against either — its store references dead pages — so that
+   surfaces as typed corruption (censored to an [Io_error] status by
+   [measured]), never as silently-stale results. *)
+let revalidate_cache t =
+  let epoch = Storage.Catalog.epoch t.catalog in
+  if epoch <> t.cache_epoch then begin
+    Plan_cache.clear t.prepared_cache;
+    Storage.Metrics.incr prepared_cache_invalidations;
+    if List.mem (Store.name t.store) (Store.registered_names t.catalog) then
+      t.cache_epoch <- epoch
+    else
+      (* Leave [cache_epoch] stale so every later compile re-raises. *)
+      Storage.Xqdb_error.corrupt "Engine: document %s was dropped" (Store.name t.store)
+  end
+
 (* Compile without re-checking; the cache key is the canonical query
    text, so structurally equal queries share one prepared plan. *)
 let compile_internal t query =
+  revalidate_cache t;
   let key = Xqdb_xq.Xq_print.to_string query in
-  match Hashtbl.find_opt t.prepared_cache key with
+  match Plan_cache.find t.prepared_cache key with
   | Some p ->
     Storage.Metrics.incr prepared_cache_hits;
     p
@@ -130,7 +173,8 @@ let compile_internal t query =
         Staged (Pipeline.compile (pipeline_ctx t) query)
     in
     let p = { p_query = query; p_form = form } in
-    Hashtbl.add t.prepared_cache key p;
+    Plan_cache.put t.prepared_cache key p
+      ~on_evict:(fun _ _ -> Storage.Metrics.incr prepared_cache_evictions);
     p
 
 let compile t query =
@@ -322,7 +366,10 @@ let measured t ~operators thunk =
   (* Callers may hold pins of their own across a run; the run is only
      required to release everything *it* acquires. *)
   let pin_base = Storage.Buffer_pool.pin_baseline t.pool in
-  let start = Sys.time () in
+  (* Wall clock: [Sys.time] is process CPU time, which under concurrent
+     sessions charges every session for every other session's work and
+     misses I/O and latch wait entirely. *)
+  let start = Storage.Monotonic.now () in
   let status, output =
     match thunk () with
     | forest -> (Ok, Xml_print.forest_to_string forest)
@@ -345,7 +392,7 @@ let measured t ~operators thunk =
      acquired must be released by now. *)
   if Storage.Buffer_pool.sanitizing t.pool then
     Storage.Buffer_pool.assert_balanced ~where:"Engine.run" ~baseline:pin_base t.pool;
-  let elapsed = Sys.time () -. start in
+  let elapsed = Storage.Monotonic.elapsed_since start in
   let after = Storage.Disk.counters t.disk in
   let reads = after.Storage.Disk.reads - before.Storage.Disk.reads in
   let writes = after.Storage.Disk.writes - before.Storage.Disk.writes in

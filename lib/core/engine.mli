@@ -32,6 +32,13 @@ val with_config : Engine_config.t -> t -> t
 (** Same store and document, different engine configuration — engines
     sharing one loaded database is how the testbed compares them. *)
 
+val session : t -> t
+(** A per-session view over the same database: shares the store, pool
+    and statistics (read-only after load) but owns a fresh prepared-plan
+    cache.  Prepared plans hold mutable state (parameter slots, operator
+    cursors, accumulating stats), so concurrent sessions must each run
+    on their own view — never share one engine value across domains. *)
+
 val config : t -> Engine_config.t
 val store : t -> Xqdb_xasr.Node_store.t
 val doc_stats : t -> Xqdb_xasr.Doc_stats.t
@@ -99,7 +106,7 @@ type profile = {
 type result = {
   output : string;  (** canonical serialization; [""] if not [Ok] *)
   status : status;
-  elapsed : float;  (** CPU seconds *)
+  elapsed : float;  (** wall-clock seconds *)
   page_ios : int;  (** disk reads + writes during the run *)
   profile : profile;  (** where those I/Os and seconds went *)
 }
@@ -120,7 +127,16 @@ type prepared
 val compile : t -> Xqdb_xq.Xq_ast.query -> prepared
 (** Compile through the engine's prepared cache (keyed by canonical
     query text; hits count [engine.prepared_cache_hits]).  The cache
-    belongs to one engine value — [with_config] starts a fresh one.
+    belongs to one engine value — [with_config] and [session] start
+    fresh ones.  It is bounded by the configuration's
+    [prepared_cache_capacity]: beyond that the least-recently-used plan
+    is evicted ([engine.prepared_cache_evictions]).  When the catalog
+    epoch has moved since the cached plans were compiled (a document was
+    loaded or dropped), the whole cache is invalidated
+    ([engine.prepared_cache_invalidations]); if this engine's own
+    document was dropped, compilation raises typed corruption — censored
+    to an [Io_error] status by {!run} — rather than serving plans over
+    dead pages.
     @raise Invalid_argument if the query fails {!Xqdb_xq.Xq_check}. *)
 
 val prepare : t -> Xqdb_xq.Xq_ast.query -> prepared

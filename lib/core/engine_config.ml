@@ -16,6 +16,7 @@ type t = {
   planner : Planner.config;
   quality : Stats.quality;
   pool_capacity : int;
+  prepared_cache_capacity : int;
 }
 
 let milestone_name = function
@@ -26,6 +27,11 @@ let milestone_name = function
 
 let default_pool = 256
 
+(* Plenty for the testbed's fixed query mixes; small enough that a
+   server session replaying ad-hoc query text cannot grow without
+   bound. *)
+let default_prepared_cache = 64
+
 let m1 =
   { name = "m1";
     milestone = M1;
@@ -33,7 +39,8 @@ let m1 =
     rewrite = Rewrite.default;
     planner = Planner.m3_config;
     quality = Stats.Good;
-    pool_capacity = default_pool }
+    pool_capacity = default_pool;
+    prepared_cache_capacity = default_prepared_cache }
 
 let m2 = { m1 with name = "m2"; milestone = M2 }
 

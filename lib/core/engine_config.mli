@@ -21,6 +21,8 @@ type t = {
   planner : Xqdb_optimizer.Planner.config;
   quality : Xqdb_optimizer.Stats.quality;
   pool_capacity : int;  (** buffer-pool frames: the "20 MB" knob *)
+  prepared_cache_capacity : int;
+      (** max prepared plans kept per engine (LRU-evicted beyond this) *)
 }
 
 val m1 : t

@@ -1,0 +1,91 @@
+(* A bounded string-keyed LRU cache for prepared plans.
+
+   Same intrusive doubly-linked-list idiom as the buffer pool's frame
+   list: [prev] points toward the MRU head, [next] toward the LRU tail,
+   so both lookup-touch and eviction are O(1).  Not thread-safe — each
+   engine value (and so each server session) owns its cache. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be positive";
+  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let detach t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | Some _ | None ->
+    detach t node;
+    push_front t node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+    touch t node;
+    Some node.value
+
+let put ?(on_evict = fun _ _ -> ()) t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.value <- value;
+    touch t node
+  | None ->
+    if Hashtbl.length t.table >= t.cap then begin
+      match t.tail with
+      | None -> assert false (* cap >= 1 and the table is full *)
+      | Some victim ->
+        detach t victim;
+        Hashtbl.remove t.table victim.key;
+        on_evict victim.key victim.value
+    end;
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let keys_lru_first t =
+  let rec walk acc = function
+    | None -> acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  (* From the MRU head toward the LRU tail, consing as we go: the tail
+     ends up first in the result. *)
+  walk [] t.head

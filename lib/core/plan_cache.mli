@@ -1,0 +1,31 @@
+(** A bounded string-keyed LRU cache, used for prepared plans.
+
+    O(1) lookup (which freshens the entry) and O(1) LRU eviction, via
+    the same intrusive doubly-linked-list idiom as the buffer pool's
+    frame list.  Not thread-safe: each engine value owns its cache, and
+    server sessions get per-session engine values. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — at most [capacity] entries are retained.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Look up and mark most-recently-used. *)
+
+val put : ?on_evict:(string -> 'a -> unit) -> 'a t -> string -> 'a -> unit
+(** Insert (or overwrite, freshening) an entry.  When the cache is full,
+    the least-recently-used entry is dropped and [on_evict] observes it
+    (default: nothing). *)
+
+val clear : 'a t -> unit
+(** Drop every entry (no [on_evict] calls — this is invalidation, not
+    pressure). *)
+
+val keys_lru_first : 'a t -> string list
+(** The cached keys, least-recently-used first — for tests and
+    introspection. *)

@@ -10,7 +10,8 @@ let registry =
     { id = "L3";
       title = "no polymorphic compare/equality/hash on storage or physical values" };
     { id = "L4"; title = "every module under lib/ declares an interface (.mli)" };
-    { id = "L5"; title = "Metrics counter names are literal, well-formed and unique" } ]
+    { id = "L5"; title = "Metrics counter names are literal, well-formed and unique" };
+    { id = "L6"; title = "no stdout writes in lib/server — responses go over the wire" } ]
 
 (* --- location helpers ---------------------------------------------------- *)
 
@@ -262,6 +263,50 @@ let check_l5_local ~emit calls =
                "counter name %S must match [a-z_]+(.[a-z_]+)+ — `subsystem.metric`" s))
     calls
 
+(* --- L6: no stdout writes in lib/server ----------------------------------- *)
+
+(* Server worker domains share the process; a [print_string] from one
+   interleaves with another's and with any client piping the binary.
+   Responses travel over the wire, diagnostics over stderr — nothing in
+   lib/server may touch stdout. *)
+
+let l6_scope = [ "lib/server/" ]
+
+let in_l6_scope path = List.exists (fun d -> String.starts_with ~prefix:d path) l6_scope
+
+let stdout_idents =
+  [ "print_string"; "print_endline"; "print_newline"; "print_char"; "print_int";
+    "print_float"; "print_bytes" ]
+
+let check_l6 ~emit ~path ast =
+  if in_l6_scope path then begin
+    let flag loc what =
+      emit "L6" loc
+        (Printf.sprintf
+           "%s writes stdout from lib/server — use stderr for diagnostics, the wire \
+            for responses"
+           what)
+    in
+    let expr it (e : Parsetree.expression) =
+      (match e.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident s; _ } when List.mem s stdout_idents ->
+        flag e.pexp_loc s
+      | Pexp_ident { txt = Longident.Ldot (m, s); _ }
+        when module_last m = "Stdlib" && List.mem s stdout_idents ->
+        flag e.pexp_loc ("Stdlib." ^ s)
+      | Pexp_ident { txt = Longident.Ldot (m, "printf"); _ }
+        when module_last m = "Printf" || module_last m = "Format" ->
+        flag e.pexp_loc (module_last m ^ ".printf")
+      | Pexp_ident { txt = Longident.Ldot (m, "stdout"); _ }
+        when module_last m = "Stdlib" || module_last m = "Format" ->
+        flag e.pexp_loc (module_last m ^ ".stdout")
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it ast
+  end
+
 (* --- per-file and cross-file entry points --------------------------------- *)
 
 (* Internal: findings for one file plus its literal counter names (for
@@ -285,6 +330,7 @@ let analyze src =
       check_l1 ~emit ast;
       check_l2 ~emit ast;
       check_l3 ~emit ~path:src.path ast;
+      check_l6 ~emit ~path:src.path ast;
       let calls = counter_calls ast in
       check_l5_local ~emit calls;
       List.filter_map

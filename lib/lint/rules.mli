@@ -21,6 +21,10 @@
     - {b L5} — [Metrics.counter] names are string literals matching
       [[a-z_]+(.[a-z_]+)+] and unique across the project, so the metrics
       namespace stays greppable and collision-free.
+    - {b L6} — nothing in [lib/server] writes stdout ([print_*],
+      [Printf.printf], [Format.printf], [Stdlib.stdout]): worker domains
+      share the process, so stdout prints interleave across sessions.
+      Diagnostics go to stderr; responses go over the wire.
 
     Rules ["PARSE"] (unparseable source) and ["ALLOW"] (allowlist
     hygiene, see {!Allowlist}) are emitted by the infrastructure. *)
@@ -34,7 +38,7 @@ type source = {
 type rule = { id : string; title : string }
 
 val registry : rule list
-(** L1–L5, in order. *)
+(** L1–L6, in order. *)
 
 val check_file : source -> Finding.t list
 (** All per-file rules on one source.  L5's cross-file uniqueness needs

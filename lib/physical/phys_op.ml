@@ -70,17 +70,21 @@ let make ~schema ~info ?(kids = []) ?(param_dep = false) ?(clear = ignore) ~ios_
     ~reset () =
   let param_dep = param_dep || List.exists (fun k -> k.param_dep) kids in
   let stats = { rows = 0; ios = 0; seconds = 0. } in
+  (* Wall clock (not [Sys.time], which is process CPU time): operator
+     profiles must attribute I/O wait to the operator that paid it, and
+     under concurrent sessions CPU time would charge every session for
+     every other session's work. *)
   let measured f () =
     let io0 = ios_now () in
-    let t0 = Sys.time () in
+    let t0 = Xqdb_storage.Monotonic.now () in
     match f () with
     | result ->
       stats.ios <- stats.ios + (ios_now () - io0);
-      stats.seconds <- stats.seconds +. (Sys.time () -. t0);
+      stats.seconds <- stats.seconds +. Xqdb_storage.Monotonic.elapsed_since t0;
       result
     | exception e ->
       stats.ios <- stats.ios + (ios_now () - io0);
-      stats.seconds <- stats.seconds +. (Sys.time () -. t0);
+      stats.seconds <- stats.seconds +. Xqdb_storage.Monotonic.elapsed_since t0;
       raise e
   in
   let next =

@@ -1,0 +1,96 @@
+module Database = Xqdb_core.Database
+module Metrics = Xqdb_storage.Metrics
+
+(* The multi-session server: a fixed pool of [max_sessions] worker
+   domains all accepting on one listening socket.  Each accepted
+   connection becomes one {!Session} (its own engine views, its own
+   prepared-plan cache) over the shared database; the fixed pool IS the
+   session cap — clients beyond it queue in the listen backlog instead
+   of spawning unbounded domains.
+
+   The loop never dies on client behaviour: garbage frames get a typed
+   [Bad_request] response and the connection is dropped (a binary stream
+   cannot be resynchronized after garbage); socket errors close the one
+   connection.  Only engine bugs ([Xqdb_error.Internal]) escape, by
+   design. *)
+
+type config = {
+  port : int;  (* 0 picks an ephemeral port, reported via [on_ready] *)
+  max_sessions : int;
+  max_page_ios : int option;  (* server-wide per-request caps; *)
+  max_seconds : float option;  (* clients can only tighten them *)
+}
+
+let default_config =
+  { port = 7788; max_sessions = 4; max_page_ios = None; max_seconds = None }
+
+let m_connections = Metrics.counter "server.connections"
+let m_wire_errors = Metrics.counter "server.wire_errors"
+
+(* Generic over reader/writer so the protocol loop is testable without
+   sockets.  [write] may raise (e.g. [Unix.Unix_error] on a peer that
+   went away); the caller owns that. *)
+let handle_connection ~session ~read ~write =
+  let respond r = write (Wire.encode_response r) in
+  let rec loop () =
+    match Wire.read_request ~read with
+    | Result.Error Wire.Closed -> ()
+    | Result.Error e ->
+      (* Typed error out, then drop the connection: after a framing
+         error there is no boundary to resynchronize on. *)
+      Metrics.incr m_wire_errors;
+      respond (Wire.error_response Wire.Bad_request (Wire.error_to_string e))
+    | Result.Ok req ->
+      respond (Session.handle session req);
+      loop ()
+  in
+  loop ()
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let serve_fd config db fd =
+  Metrics.incr m_connections;
+  let session =
+    Session.create ?max_page_ios:config.max_page_ios ?max_seconds:config.max_seconds db
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        handle_connection ~session
+          ~read:(fun b off len -> Unix.read fd b off len)
+          ~write:(write_all fd)
+      with Unix.Unix_error _ ->
+        (* The peer vanished mid-frame; the connection is already dead. *)
+        ())
+
+let rec accept_loop config db sock =
+  match Unix.accept sock with
+  | fd, _ ->
+    serve_fd config db fd;
+    accept_loop config db sock
+  | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+    (* The listening socket was closed: orderly shutdown. *)
+    ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop config db sock
+
+let serve ?(on_ready = fun _ -> ()) config db =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  on_ready port;
+  let workers =
+    List.init
+      (max 1 config.max_sessions)
+      (fun _ -> Domain.spawn (fun () -> accept_loop config db sock))
+  in
+  List.iter Domain.join workers

@@ -1,0 +1,39 @@
+(** The concurrent multi-session query server.
+
+    [serve] binds a loopback TCP socket and runs a fixed pool of
+    [max_sessions] worker domains, all accepting on it.  Each accepted
+    connection becomes one {!Session} — its own engine views and
+    prepared-plan cache — over the shared database; the fixed pool is
+    the session cap, so clients beyond it queue in the listen backlog
+    rather than spawning unbounded domains.
+
+    The loop never dies on client behaviour: a garbage, truncated or
+    oversized frame gets a typed [Bad_request] response and its
+    connection is closed; socket errors close the one connection.  Only
+    engine bugs ({!Xqdb_storage.Xqdb_error.Internal}) escape, by
+    design. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port, reported via [on_ready] *)
+  max_sessions : int;  (** worker-domain pool size = concurrent sessions *)
+  max_page_ios : int option;  (** server-wide per-request cap *)
+  max_seconds : float option;  (** ditto; clients can only tighten *)
+}
+
+val default_config : config
+(** Port 7788, 4 sessions, no budget caps. *)
+
+val handle_connection :
+  session:Session.t ->
+  read:(bytes -> int -> int -> int) ->
+  write:(bytes -> unit) ->
+  unit
+(** One connection's protocol loop, generic over the byte channel (and
+    therefore testable without sockets): read frames, answer each
+    request, answer the first framing error with [Bad_request] and
+    return.  Returns normally on clean EOF.  [write]'s exceptions
+    propagate. *)
+
+val serve : ?on_ready:(int -> unit) -> config -> Xqdb_core.Database.t -> unit
+(** Bind, listen, serve until the process dies.  [on_ready] observes the
+    actual port (useful with [port = 0]) before the first accept. *)

@@ -1,0 +1,99 @@
+module Engine = Xqdb_core.Engine
+module Database = Xqdb_core.Database
+module Xq_parser = Xqdb_xq.Xq_parser
+module Metrics = Xqdb_storage.Metrics
+
+(* One client session over a shared database.
+
+   A session owns per-session engine views ({!Engine.session}): each
+   view has its own prepared-plan cache, and since prepared plans carry
+   their parameter slots and operator state, per-session caches are what
+   make concurrent execution over the one shared store safe.  Views are
+   cached per document name and re-derived when the database hands back
+   a different base engine (the document was dropped and reloaded).
+
+   Admission control reuses {!Xqdb_storage.Budget}: the session's caps
+   clamp whatever the client asks for, and an over-budget request is
+   censored to a [Budget_exceeded] response — the session (and the
+   server) live on. *)
+
+type limits = {
+  max_page_ios : int option;
+  max_seconds : float option;
+}
+
+type t = {
+  db : Database.t;
+  limits : limits;
+  (* doc name -> (base engine it was derived from, per-session view) *)
+  mutable views : (string * (Engine.t * Engine.t)) list;
+}
+
+let m_requests = Metrics.counter "server.session_requests"
+let m_bad_requests = Metrics.counter "server.session_bad_requests"
+
+let create ?max_page_ios ?max_seconds db =
+  { db; limits = { max_page_ios; max_seconds }; views = [] }
+
+let limits t = t.limits
+
+(* The tighter of the server's cap and the client's ask. *)
+let clamp server client =
+  match (server, client) with
+  | None, c -> c
+  | s, None -> s
+  | Some s, Some c -> Some (min s c)
+
+let clampf server client =
+  match (server, client) with
+  | None, c -> c
+  | s, None -> s
+  | Some s, Some c -> Some (Float.min s c)
+
+let view t ~doc =
+  let base = Database.engine t.db ~name:doc in
+  match List.assoc_opt doc t.views with
+  | Some (b, v) when b == base -> v
+  | Some _ | None ->
+    let v = Engine.session base in
+    t.views <- (doc, (base, v)) :: List.remove_assoc doc t.views;
+    v
+
+let status_of_engine = function
+  | Engine.Ok -> Wire.Ok
+  | Engine.Budget_exceeded _ -> Wire.Budget_exceeded
+  | Engine.Error _ -> Wire.Error
+  | Engine.Io_error _ -> Wire.Io_error
+
+let message_of_status = function
+  | Engine.Ok -> ""
+  | Engine.Budget_exceeded m | Engine.Error m | Engine.Io_error m -> m
+
+let handle t (req : Wire.request) : Wire.response =
+  Metrics.incr m_requests;
+  match Xq_parser.parse_result req.Wire.query_text with
+  | Result.Error msg ->
+    Metrics.incr m_bad_requests;
+    Wire.error_response Wire.Bad_request ("parse error: " ^ msg)
+  | Result.Ok query ->
+    match view t ~doc:req.Wire.doc with
+    | exception Not_found ->
+      Metrics.incr m_bad_requests;
+      Wire.error_response Wire.Bad_request
+        (Printf.sprintf "unknown document %S" req.Wire.doc)
+    | engine ->
+      let max_page_ios = clamp t.limits.max_page_ios req.Wire.max_page_ios in
+      let max_seconds = clampf t.limits.max_seconds req.Wire.max_seconds in
+      match Engine.run ?max_page_ios ?max_seconds engine query with
+      | result ->
+        { Wire.status = status_of_engine result.Engine.status;
+          payload =
+            (match result.Engine.status with
+             | Engine.Ok -> result.Engine.output
+             | s -> message_of_status s);
+          elapsed = result.Engine.elapsed;
+          page_ios = result.Engine.page_ios }
+      | exception Invalid_argument msg ->
+        (* Scope-check failures ([Xq_check]) and unbound variables. *)
+        Metrics.incr m_bad_requests;
+        Wire.error_response Wire.Bad_request msg

@@ -1,0 +1,31 @@
+(** One client session over a shared {!Xqdb_core.Database}.
+
+    Each session owns per-session engine views ({!Xqdb_core.Engine.session}):
+    its own prepared-plan cache and therefore its own parameter slots and
+    operator state, over the one shared store and buffer pool.  Views
+    are re-derived when the database hands back a different base engine
+    for a name (drop + reload).
+
+    Admission control reuses {!Xqdb_storage.Budget}: the session's caps
+    clamp the client's requested caps (the tighter bound wins), and an
+    over-budget request is censored to a [Budget_exceeded] response —
+    the session and the server live on. *)
+
+type t
+
+type limits = {
+  max_page_ios : int option;
+  max_seconds : float option;
+}
+
+val create : ?max_page_ios:int -> ?max_seconds:float -> Xqdb_core.Database.t -> t
+(** The optional caps bound every request this session runs. *)
+
+val limits : t -> limits
+
+val handle : t -> Wire.request -> Wire.response
+(** Execute one request: parse, resolve the document view, run under the
+    clamped budget.  Parse/check failures and unknown documents come
+    back as [Bad_request]; engine statuses map one-to-one.  Never raises
+    on malformed input — only genuine engine bugs
+    ({!Xqdb_storage.Xqdb_error.Internal}) escape. *)

@@ -13,11 +13,14 @@ let ios_of disk =
   c.Disk.reads + c.Disk.writes
 
 let create ?max_page_ios ?max_seconds disk =
-  { disk; base_ios = ios_of disk; start = Sys.time (); max_page_ios; max_seconds }
+  (* Wall clock, not [Sys.time]: a time budget bounds how long the
+     caller waits, which includes I/O wait and — under concurrent
+     sessions — time spent blocked on latches. *)
+  { disk; base_ios = ios_of disk; start = Monotonic.now (); max_page_ios; max_seconds }
 
 let unlimited disk = create disk
 let page_ios t = ios_of t.disk - t.base_ios
-let elapsed t = Sys.time () -. t.start
+let elapsed t = Monotonic.elapsed_since t.start
 
 let check t =
   (match t.max_page_ios with

@@ -3,8 +3,15 @@
     The paper's efficiency tests ran each engine under "20 MB of memory
     and 2 or 30 minutes per query" and censored over-budget engines at
     the cap.  Here a budget bounds page I/Os (the simulator's proxy for
-    time, independent of host speed) and elapsed CPU seconds; operators
-    poll [check] in their inner loops. *)
+    time, independent of host speed) and elapsed wall-clock seconds
+    ({!Monotonic} — [Sys.time]'s CPU seconds never advance while a
+    session blocks on I/O or another domain runs); operators poll
+    [check] in their inner loops.
+
+    The I/O count is the {e global} disk counter delta since creation,
+    so under concurrency other sessions' page I/Os can charge this
+    budget too — page caps are approximate across concurrent sessions
+    (DESIGN.md, "Serving traffic"). *)
 
 type t
 
@@ -22,3 +29,4 @@ val page_ios : t -> int
 (** Page I/Os (reads + writes) consumed since creation. *)
 
 val elapsed : t -> float
+(** Wall-clock seconds since creation. *)

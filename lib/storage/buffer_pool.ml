@@ -1,6 +1,16 @@
 type frame = {
   page_id : int;
   buf : bytes;
+  (* Guards the frame's *contents* while a callback works on them:
+     shared for [with_page], exclusive for [with_page_mut].  The pool's
+     table mutex is never held while waiting on a latch. *)
+  latch : Latch.t;
+  (* Latch holds taken via [use], as (domain, exclusive) pairs — guarded
+     by the table mutex.  The latch itself is not reentrant, so a nested
+     [use] of the same page by the same domain (the sanitizer tests do
+     this; btree never does) skips re-acquisition when its entry here
+     already covers the requested mode.  At most one entry per domain. *)
+  mutable latch_holds : (int * bool) list;
   mutable pins : int;
   mutable dirty : bool;
   (* LSN of the WAL record holding this frame's current contents; 0 when
@@ -19,10 +29,16 @@ type frame = {
 
 type pin = {
   pin_frame : frame;
+  (* The domain that took the pin: balance checks are per domain, so one
+     session's checkpoint does not see another session's in-flight pins. *)
+  pin_domain : int;
   (* Acquisition backtrace, kept raw: symbolization is deferred to the
      (rare) moment a violation is reported, so taking a pin stays cheap
      enough to run whole suites under the sanitizer. *)
   pin_trace : Printexc.raw_backtrace;
+  (* Whether this pin currently holds the frame latch ([use] sets and
+     clears it); an unpin with the latch still held is a latch leak. *)
+  mutable pin_latched : bool;
   mutable released : bool;
 }
 
@@ -38,7 +54,16 @@ type t = {
   wal : Wal.t option;
   cap : int;
   sanitize : bool;
+  (* The table mutex: frames, LRU links, pin counts, counters, the
+     sanitizer's live list, and all disk/WAL traffic happen under it.
+     Frame *contents* are guarded by the per-frame latches instead, so
+     callbacks overlap across domains; the mutex is never held while a
+     callback runs or a latch is awaited. *)
+  lock : Mutex.t;
   frames : (int, frame) Hashtbl.t;  (* page id -> frame *)
+  (* Outstanding pins per domain id — the balance the sanitizer checks
+     at per-session quiescent points. *)
+  domain_pins : (int, int) Hashtbl.t;
   mutable head : frame option;  (* most recently used *)
   mutable tail : frame option;  (* least recently used *)
   mutable live : pin list;  (* outstanding pins, sanitize mode only *)
@@ -72,7 +97,9 @@ let create ?(capacity = 64) ?(sanitize = env_sanitize) ?wal disk =
     wal;
     cap = capacity;
     sanitize;
+    lock = Mutex.create ();
     frames = Hashtbl.create (2 * capacity);
+    domain_pins = Hashtbl.create 8;
     head = None;
     tail = None;
     live = [];
@@ -85,6 +112,21 @@ let disk t = t.disk
 let wal t = t.wal
 let capacity t = t.cap
 let sanitizing t = t.sanitize
+
+(* Every public entry point brackets its table work with this; helpers
+   below assume the mutex is already held and never re-take it. *)
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let domain_id () = (Domain.self () :> int)
+
+let domain_pin_count t d =
+  match Hashtbl.find_opt t.domain_pins d with Some n -> n | None -> 0
+
+let bump_domain_pins t d delta =
+  let n = domain_pin_count t d + delta in
+  if n = 0 then Hashtbl.remove t.domain_pins d else Hashtbl.replace t.domain_pins d n
 
 let max_attempts = 3
 
@@ -158,7 +200,9 @@ let write_back t frame =
 (* Evict the least-recently-used unpinned frame: walk from the tail
    toward the head, skipping pinned frames.  O(1) amortized — pins are
    rare and short-lived — and deterministic, unlike the old full-table
-   fold whose tie-break depended on hashtable iteration order. *)
+   fold whose tie-break depended on hashtable iteration order.  A frame
+   with zero pins has no latch holders either (latches are only taken
+   under a pin), so the victim's contents are quiescent. *)
 let evict_one t =
   let rec find = function
     | None ->
@@ -181,6 +225,8 @@ let insert_frame t page_id buf dirty =
   let frame =
     { page_id;
       buf;
+      latch = Latch.create ();
+      latch_holds = [];
       pins = 0;
       dirty;
       logged_lsn = 0;
@@ -205,10 +251,11 @@ let find t page_id =
     insert_frame t page_id (with_retries t (fun () -> Disk.read_page t.disk page_id)) false
 
 let alloc_page t =
-  let page_id = with_retries t (fun () -> Disk.alloc t.disk) in
-  let buf = Bytes.make (Disk.page_size t.disk) '\000' in
-  ignore (insert_frame t page_id buf true);
-  page_id
+  locked t (fun () ->
+      let page_id = with_retries t (fun () -> Disk.alloc t.disk) in
+      let buf = Bytes.make (Disk.page_size t.disk) '\000' in
+      ignore (insert_frame t page_id buf true);
+      page_id)
 
 (* --- pins and the sanitizer -------------------------------------------- *)
 
@@ -216,35 +263,53 @@ let no_trace = Printexc.get_callstack 0
 
 let pin_frame t frame =
   frame.pins <- frame.pins + 1;
-  if not t.sanitize then { pin_frame = frame; pin_trace = no_trace; released = false }
+  bump_domain_pins t (domain_id ()) 1;
+  if not t.sanitize then
+    { pin_frame = frame;
+      pin_domain = domain_id ();
+      pin_trace = no_trace;
+      pin_latched = false;
+      released = false }
   else begin
     (match frame.shadow with
      | Some _ -> ()
      | None -> frame.shadow <- Some (Bytes.copy frame.buf));
     let p =
-      { pin_frame = frame; pin_trace = Printexc.get_callstack 24; released = false }
+      { pin_frame = frame;
+        pin_domain = domain_id ();
+        pin_trace = Printexc.get_callstack 24;
+        pin_latched = false;
+        released = false }
     in
     t.live <- p :: t.live;
     p
   end
 
-let pin t page_id = pin_frame t (find t page_id)
+let pin t page_id = locked t (fun () -> pin_frame t (find t page_id))
 
 let pin_buffer p =
   match p.pin_frame.shadow with
   | Some s -> s
   | None -> p.pin_frame.buf
 
-let unpin t p =
+(* Assumes the table mutex is held. *)
+let unpin_locked t p =
   if t.sanitize && p.released then
     raise
       (Sanitizer_violation
          (Printf.sprintf "double unpin of page %d; pin acquired at:\n%s"
             p.pin_frame.page_id
             (Printexc.raw_backtrace_to_string p.pin_trace)));
+  if t.sanitize && p.pin_latched then
+    raise
+      (Sanitizer_violation
+         (Printf.sprintf "unpin of page %d while its frame latch is still held; pin acquired at:\n%s"
+            p.pin_frame.page_id
+            (Printexc.raw_backtrace_to_string p.pin_trace)));
   p.released <- true;
   let frame = p.pin_frame in
   frame.pins <- frame.pins - 1;
+  bump_domain_pins t p.pin_domain (-1);
   if t.sanitize then begin
     t.live <- List.filter (fun q -> q != p) t.live;
     match frame.shadow with
@@ -260,71 +325,163 @@ let unpin t p =
       end
   end
 
-let live_pins t =
-  List.map
-    (fun p -> (p.pin_frame.page_id, Printexc.raw_backtrace_to_string p.pin_trace))
-    t.live
+let unpin t p = locked t (fun () -> unpin_locked t p)
 
-let pinned_pages t =
+let live_pins t =
+  locked t (fun () ->
+      List.map
+        (fun p -> (p.pin_frame.page_id, Printexc.raw_backtrace_to_string p.pin_trace))
+        t.live)
+
+let pinned_pages_locked t =
   Hashtbl.fold
     (fun _ frame acc -> if frame.pins > 0 then (frame.page_id, frame.pins) :: acc else acc)
     t.frames []
 
-let assert_unpinned ~where t =
-  match pinned_pages t with
-  | [] -> ()
-  | leaked ->
-    let pages =
+let pinned_pages t = locked t (fun () -> pinned_pages_locked t)
+
+let latched_pages_locked t =
+  Hashtbl.fold
+    (fun _ frame acc ->
+      let h = Latch.holders frame.latch in
+      if h <> 0 then (frame.page_id, h) :: acc else acc)
+    t.frames []
+
+let latched_pages t = locked t (fun () -> latched_pages_locked t)
+
+(* The leak report for [where]: the pins (and held latches) attributable
+   to the calling domain.  Assumes the mutex is held. *)
+let domain_leak_report ~where t d =
+  let mine = List.filter (fun p -> p.pin_domain = d) t.live in
+  let pages =
+    if mine <> [] then
       String.concat ", "
-        (List.map (fun (id, pins) -> Printf.sprintf "%d (%d pins)" id pins) leaked)
-    in
-    let traces =
-      if not t.sanitize then ""
-      else
-        String.concat ""
-          (List.map
-             (fun (id, trace) -> Printf.sprintf "\npage %d pinned at:\n%s" id trace)
-             (live_pins t))
-    in
-    raise (Pin_leak (Printf.sprintf "%s: leaked pins on pages [%s]%s" where pages traces))
+        (List.map (fun p -> string_of_int p.pin_frame.page_id) mine)
+    else
+      String.concat ", "
+        (List.map (fun (id, pins) -> Printf.sprintf "%d (%d pins)" id pins)
+           (pinned_pages_locked t))
+  in
+  let traces =
+    String.concat ""
+      (List.map
+         (fun p ->
+           Printf.sprintf "\npage %d pinned at:\n%s" p.pin_frame.page_id
+             (Printexc.raw_backtrace_to_string p.pin_trace))
+         mine)
+  in
+  Printf.sprintf "%s: leaked pins on pages [%s]%s" where pages traces
+
+(* Per-domain: a session's checkpoint must not trip over another
+   session's in-flight pins, so the balance checked here is the calling
+   domain's outstanding count, not the global one. *)
+let assert_unpinned ~where t =
+  locked t (fun () ->
+      let d = domain_id () in
+      if domain_pin_count t d > 0 then raise (Pin_leak (domain_leak_report ~where t d));
+      if t.sanitize then
+        match latched_pages_locked t with
+        | [] -> ()
+        | leaked ->
+          let held = List.filter (fun p -> p.pin_latched && p.pin_domain = d) t.live in
+          if held <> [] then
+            raise
+              (Sanitizer_violation
+                 (Printf.sprintf "%s: frame latches still held on pages [%s]" where
+                    (String.concat ", "
+                       (List.map (fun (id, h) -> Printf.sprintf "%d (%d)" id h) leaked)))))
 
 type pin_baseline = {
-  base_total : int;  (* total pin count across frames at capture time *)
+  base_domain : int;  (* the domain that captured the baseline *)
+  base_total : int;  (* that domain's outstanding pins at capture time *)
   base_live : pin list;  (* the tokens live then (sanitize mode; [] otherwise) *)
 }
 
 let pin_baseline t =
-  { base_total = List.fold_left (fun acc (_, n) -> acc + n) 0 (pinned_pages t);
-    base_live = t.live }
+  locked t (fun () ->
+      let d = domain_id () in
+      { base_domain = d; base_total = domain_pin_count t d; base_live = t.live })
 
 let assert_balanced ~where ~baseline t =
-  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (pinned_pages t) in
-  if total > baseline.base_total then begin
-    let fresh = List.filter (fun p -> not (List.memq p baseline.base_live)) t.live in
-    let traces =
-      if not t.sanitize then ""
-      else
-        String.concat ""
-          (List.map
-             (fun p ->
-               Printf.sprintf "\npage %d pinned at:\n%s" p.pin_frame.page_id
-                 (Printexc.raw_backtrace_to_string p.pin_trace))
-             fresh)
-    in
-    raise
-      (Pin_leak
-         (Printf.sprintf "%s: %d pin(s) acquired but never released (%d held before, %d now)%s"
-            where (total - baseline.base_total) baseline.base_total total traces))
-  end
+  locked t (fun () ->
+      let d = baseline.base_domain in
+      let total = domain_pin_count t d in
+      if total > baseline.base_total then begin
+        let fresh =
+          List.filter
+            (fun p -> p.pin_domain = d && not (List.memq p baseline.base_live))
+            t.live
+        in
+        let traces =
+          if not t.sanitize then ""
+          else
+            String.concat ""
+              (List.map
+                 (fun p ->
+                   Printf.sprintf "\npage %d pinned at:\n%s" p.pin_frame.page_id
+                     (Printexc.raw_backtrace_to_string p.pin_trace))
+                 fresh)
+        in
+        raise
+          (Pin_leak
+             (Printf.sprintf
+                "%s: %d pin(s) acquired but never released (%d held before, %d now)%s"
+                where (total - baseline.base_total) baseline.base_total total traces))
+      end)
 
 let use t page_id ~mut f =
-  let frame = find t page_id in
-  let p = pin_frame t frame in
-  if mut then begin
-    frame.dirty <- true;
-    frame.logged_lsn <- 0
+  let d = domain_id () in
+  let p, acquire =
+    locked t (fun () ->
+        let frame = find t page_id in
+        (* The latch is not reentrant: a nested [use] of the same page by
+           the same domain rides on the hold already registered for it.
+           A shared hold cannot cover a nested mutation — upgrading
+           in place would self-deadlock, so refuse loudly instead. *)
+        let acquire =
+          match List.assoc_opt d frame.latch_holds with
+          | None ->
+            frame.latch_holds <- (d, mut) :: frame.latch_holds;
+            true
+          | Some exclusive ->
+            if mut && not exclusive then
+              raise
+                (Latch.Latch_error
+                   (Printf.sprintf
+                      "Buffer_pool: nested latch upgrade (shared -> exclusive) on \
+                       page %d within one domain"
+                      page_id));
+            false
+        in
+        let p = pin_frame t frame in
+        if mut then begin
+          frame.dirty <- true;
+          frame.logged_lsn <- 0
+        end;
+        (p, acquire))
+  in
+  let frame = p.pin_frame in
+  (* Latch outside the table mutex: waiting here must not block other
+     domains' table traffic.  The pin already protects the frame from
+     eviction, so the frame (and its latch) stay alive while we wait. *)
+  if acquire then begin
+    if mut then Latch.acquire_exclusive frame.latch else Latch.acquire_shared frame.latch;
+    p.pin_latched <- true
   end;
-  let result = Fun.protect ~finally:(fun () -> unpin t p) (fun () -> f (pin_buffer p)) in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        if p.pin_latched then begin
+          p.pin_latched <- false;
+          Latch.release frame.latch
+        end;
+        locked t (fun () ->
+            if acquire then
+              frame.latch_holds <-
+                List.filter (fun (d', _) -> d' <> d) frame.latch_holds;
+            unpin_locked t p))
+      (fun () -> f (pin_buffer p))
+  in
   (* Mutation-time logging: append the after-image as soon as the
      mutation completes (after the unpin, so the sanitizer's shadow has
      been folded into [buf]).  A callback that raises leaves the frame
@@ -333,26 +490,39 @@ let use t page_id ~mut f =
   (match t.wal with
    | None -> ()
    | Some wal ->
-     if mut then frame.logged_lsn <- Wal.append wal ~page_id ~data:frame.buf);
+     if mut then
+       locked t (fun () -> frame.logged_lsn <- Wal.append wal ~page_id ~data:frame.buf));
   result
 
 let with_page t page_id f = use t page_id ~mut:false f
 let with_page_mut t page_id f = use t page_id ~mut:true f
 
-let flush_all t = Hashtbl.iter (fun _ frame -> write_back t frame) t.frames
+let flush_all t = locked t (fun () -> Hashtbl.iter (fun _ frame -> write_back t frame) t.frames)
 
 let drop_all t =
-  if t.sanitize then assert_unpinned ~where:"Buffer_pool.drop_all" t;
-  flush_all t;
-  Hashtbl.reset t.frames;
-  t.head <- None;
-  t.tail <- None
+  locked t (fun () ->
+      (* Dropping frames with outstanding pins — anyone's, not just this
+         domain's — would invalidate live buffers. *)
+      (match pinned_pages_locked t with
+       | [] -> ()
+       | leaked ->
+         let pages =
+           String.concat ", "
+             (List.map (fun (id, pins) -> Printf.sprintf "%d (%d pins)" id pins) leaked)
+         in
+         raise (Pin_leak (Printf.sprintf "Buffer_pool.drop_all: leaked pins on pages [%s]" pages)));
+      Hashtbl.iter (fun _ frame -> write_back t frame) t.frames;
+      Hashtbl.reset t.frames;
+      t.head <- None;
+      t.tail <- None)
 
 let stats t =
-  { hits = t.hits; misses = t.misses; evictions = t.evictions; retries = t.retries }
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions; retries = t.retries })
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0;
-  t.retries <- 0
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0;
+      t.retries <- 0)

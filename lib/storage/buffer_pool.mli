@@ -14,6 +14,30 @@
     list: victim selection is O(1) amortized (a tail-ward walk skipping
     pinned frames) and fully deterministic.
 
+    {2 Concurrency}
+
+    The pool is safe to share across domains.  A single table mutex
+    guards the frame table, the LRU list, pin counts, counters and all
+    disk/WAL traffic; frame {e contents} are guarded by a per-frame
+    readers-writer {!Latch} instead, so callbacks overlap: any number of
+    [with_page] readers may work on the same frame at once, while a
+    [with_page_mut] callback holds its frame exclusively.  Lock order is
+    fixed — table mutex first, frame latch second — and the table mutex
+    is never held while a callback runs or a latch is awaited, so the
+    two layers cannot deadlock against each other.  The latch is not
+    reentrant, but the pool tracks which domain holds each frame's latch:
+    a nested access to the {e same} page from the same domain rides on
+    the hold it already has rather than self-deadlocking.  The one
+    unsupported shape is a latch {e upgrade} — [with_page_mut] nested
+    inside [with_page] on the same page — which raises
+    {!Latch.Latch_error} instead of deadlocking.
+
+    Pin-balance accounting ({!assert_unpinned}, {!pin_baseline} /
+    {!assert_balanced}) is {e per domain}: a session's quiescent-point
+    checks see only its own outstanding pins, not other sessions'
+    in-flight ones.  {!drop_all} is the one global quiescent point — it
+    requires zero pins from {e everyone}.
+
     Disk faults ({!Disk.Disk_error}) are retried a bounded number of
     times (transient faults injected by {!Fault_disk} clear on retry);
     a fault that persists propagates to the caller with the pool left
@@ -39,7 +63,10 @@
 
     - every pin records its acquisition backtrace, so {!assert_unpinned}
       and {!live_pins} can say {e who} leaked;
-    - a double {!unpin} of the same pin raises {!Sanitizer_violation};
+    - a double {!unpin} of the same pin raises {!Sanitizer_violation},
+      as does an unpin while the pin's frame latch is still held (a
+      latch leak); {!assert_unpinned} additionally checks that no frame
+      latch is held at the quiescent point;
     - callbacks work on a {e shadow copy} of the frame which is blitted
       back on unpin and filled with {!poison_byte} once the last pin
       drops — a callback that retained the buffer past its pin window
@@ -136,10 +163,15 @@ val pinned_pages : t -> (int * int) list
 (** Frames with a nonzero pin count, as [(page_id, pins)] — works in
     both modes. *)
 
+val latched_pages : t -> (int * int) list
+(** Frames whose latch is not idle, as [(page_id, holders)] where
+    [holders] follows {!Latch.holders} ([> 0] readers, [-1] writer). *)
+
 val assert_unpinned : where:string -> t -> unit
-(** Raise {!Pin_leak} (tagged with [where]) unless every frame is
-    unpinned.  The engine calls this at [with_config]; harnesses call it
-    between trials. *)
+(** Raise {!Pin_leak} (tagged with [where]) unless the {e calling
+    domain} holds no pins.  Under the sanitizer, also raise
+    {!Sanitizer_violation} if any frame latch is still held.  The engine
+    calls this at [with_config]; harnesses call it between trials. *)
 
 type pin_baseline
 (** A snapshot of the outstanding pins at some instant, for balance
@@ -149,8 +181,9 @@ type pin_baseline
 val pin_baseline : t -> pin_baseline
 
 val assert_balanced : where:string -> baseline:pin_baseline -> t -> unit
-(** Raise {!Pin_leak} if more pins are outstanding now than at
-    [baseline] — i.e. the window acquired pins it never released.  Under
+(** Raise {!Pin_leak} if the {e baseline's domain} holds more pins now
+    than at [baseline] — i.e. the window acquired pins it never
+    released.  Under
     the sanitizer the message carries the acquisition backtraces of
     exactly the pins taken since the baseline.  [Engine.run] brackets
     every measured run with this, so a query must release everything it

@@ -1,6 +1,10 @@
 type t = {
   pool : Buffer_pool.t;
   table : (string, string) Hashtbl.t;
+  (* Bumped on every document registration/unregistration; prepared-plan
+     caches compare their stamped epoch against this to notice that the
+     plans (and the statistics they were costed against) are stale. *)
+  mutable epoch : int;
 }
 
 let catalog_page = 0
@@ -46,7 +50,10 @@ let attach pool =
     in
     read_chain [catalog_page] catalog_page
   end;
-  { pool; table }
+  { pool; table; epoch = 0 }
+
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let set t key value = Hashtbl.replace t.table key value
 let get t key = Hashtbl.find_opt t.table key

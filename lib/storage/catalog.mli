@@ -11,6 +11,16 @@ type t
 val attach : Buffer_pool.t -> t
 (** Attach to page 0, reading any entries already there. *)
 
+val epoch : t -> int
+(** A counter that advances whenever the set of registered documents
+    changes ({!bump_epoch}).  Prepared-plan caches stamp their entries
+    with the epoch they were compiled under and treat a moved epoch as
+    wholesale invalidation: plans reference node stores and statistics
+    by page, both of which a load/drop can change. *)
+
+val bump_epoch : t -> unit
+(** Advance {!epoch}.  Called by [Node_store.register]/[unregister]. *)
+
 val set : t -> string -> string -> unit
 val get : t -> string -> string option
 val get_int : t -> string -> int option

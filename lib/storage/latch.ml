@@ -1,0 +1,77 @@
+(* A readers-writer latch for page frames.
+
+   Shared acquisitions admit any number of concurrent readers; an
+   exclusive acquisition waits for the frame to drain and then blocks
+   everyone else.  Writers are preferred: once one is waiting, new
+   readers queue behind it, so a stream of readers cannot starve a
+   write-back.
+
+   Built on the stdlib [Mutex]/[Condition] (domain-safe in OCaml 5);
+   acquisition order is pool table first, latch second, and the pool's
+   mutex is never held while waiting on a latch, so the two layers
+   cannot deadlock against each other. *)
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  (* > 0: that many readers; 0: free; -1: one writer. *)
+  mutable holders : int;
+  mutable writers_waiting : int;
+}
+
+exception Latch_error of string
+
+let m_shared = Metrics.counter "latch.shared_acquisitions"
+let m_exclusive = Metrics.counter "latch.exclusive_acquisitions"
+let m_waits = Metrics.counter "latch.waits"
+
+let create () =
+  { mutex = Mutex.create ();
+    cond = Condition.create ();
+    holders = 0;
+    writers_waiting = 0 }
+
+let acquire_shared t =
+  Mutex.lock t.mutex;
+  let waited = ref false in
+  while t.holders < 0 || t.writers_waiting > 0 do
+    waited := true;
+    Condition.wait t.cond t.mutex
+  done;
+  t.holders <- t.holders + 1;
+  Mutex.unlock t.mutex;
+  Metrics.incr m_shared;
+  if !waited then Metrics.incr m_waits
+
+let acquire_exclusive t =
+  Mutex.lock t.mutex;
+  let waited = ref false in
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.holders <> 0 do
+    waited := true;
+    Condition.wait t.cond t.mutex
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.holders <- -1;
+  Mutex.unlock t.mutex;
+  Metrics.incr m_exclusive;
+  if !waited then Metrics.incr m_waits
+
+let release t =
+  Mutex.lock t.mutex;
+  (match t.holders with
+   | 0 ->
+     Mutex.unlock t.mutex;
+     raise (Latch_error "Latch.release: latch is not held")
+   | -1 -> t.holders <- 0
+   | _ -> t.holders <- t.holders - 1);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let holders t =
+  Mutex.lock t.mutex;
+  let h = t.holders in
+  Mutex.unlock t.mutex;
+  h
+
+let idle t = holders t = 0

@@ -1,0 +1,38 @@
+(** Readers-writer latches for buffer-pool frames.
+
+    A latch guards one frame's {e contents} while a callback works on
+    them: any number of shared holders (readers) may overlap, one
+    exclusive holder (a mutator) excludes everyone.  Writers are
+    preferred — a waiting exclusive acquisition blocks new shared ones —
+    so readers cannot starve write-backs.
+
+    Latches order {e after} the pool's table mutex: the pool pins a
+    frame (which protects it from eviction) under its own lock, releases
+    that lock, and only then blocks on the frame latch.  Counters:
+    [latch.shared_acquisitions], [latch.exclusive_acquisitions] and
+    [latch.waits] (acquisitions that had to block). *)
+
+type t
+
+exception Latch_error of string
+(** Raised on misuse — releasing a latch that is not held. *)
+
+val create : unit -> t
+(** A free latch. *)
+
+val acquire_shared : t -> unit
+(** Block until no writer holds or awaits the latch, then join the
+    readers. *)
+
+val acquire_exclusive : t -> unit
+(** Block until the latch is completely free, then hold it exclusively. *)
+
+val release : t -> unit
+(** Release one holder (the caller's own shared or exclusive hold).
+    @raise Latch_error if the latch is not held at all. *)
+
+val holders : t -> int
+(** > 0: that many shared holders; 0: free; -1: held exclusively. *)
+
+val idle : t -> bool
+(** [holders t = 0]. *)

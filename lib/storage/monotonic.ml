@@ -1,0 +1,10 @@
+(* Wall-clock timing for measurements and budgets.
+
+   [Sys.time] is *process CPU* time: under concurrent sessions every
+   domain's work inflates every other session's reading, and time spent
+   blocked on I/O or a latch does not show up at all.  Everything that
+   reports or limits elapsed time goes through this module instead. *)
+
+let now () = Unix.gettimeofday ()
+
+let elapsed_since start = now () -. start

@@ -1,0 +1,13 @@
+(** Wall-clock timing.
+
+    [Sys.time] measures {e process CPU} seconds — correct only while the
+    process runs exactly one query at a time, and even then blind to
+    I/O wait.  Per-operator profiles, run timing and time budgets use
+    this wall clock instead, so a session's [seconds] stay its own under
+    concurrency. *)
+
+val now : unit -> float
+(** Seconds since the epoch, wall clock, sub-millisecond resolution. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0]. *)

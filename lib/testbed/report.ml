@@ -316,11 +316,11 @@ let cell_json (c : Efficiency.cell) =
     @ durability_fields c.profile
     @ [("profile", profile_json c.profile)])
 
-let schema_version = 3
+let schema_version = 4
 
-(* v1 reports (no template counter fields) and v2 reports (no
-   durability fields) stay parseable/valid. *)
-let accepted_versions = [1; 2; schema_version]
+(* v1 reports (no template counter fields), v2 reports (no durability
+   fields) and v3 reports (no traffic kind) stay parseable/valid. *)
+let accepted_versions = [1; 2; 3; schema_version]
 
 let bench_json ~kind extra ~results =
   Obj
@@ -355,6 +355,39 @@ let crash_json (r : Differential.crash_report) =
                    ("detail", Str p.Differential.point_detail) ])
              t.Differential.points)
          r.Differential.crash_trials)
+
+(* One result object per session; the run-level aggregates live in the
+   top-level extras so CI can gate on throughput/latency/mismatches
+   without folding over sessions. *)
+let traffic_json (r : Traffic.report) =
+  let session_json (s : Traffic.session_report) =
+    Obj
+      [ ("session", Int s.Traffic.session);
+        ("requests", Int s.Traffic.requests);
+        ("ok", Int s.Traffic.ok);
+        ("budget_exceeded", Int s.Traffic.budget_exceeded);
+        ("errors", Int s.Traffic.errors);
+        ("io_errors", Int s.Traffic.io_errors);
+        ("bad_requests", Int s.Traffic.bad_requests);
+        ("mismatches", Int s.Traffic.mismatches);
+        ("p50_ms", Float s.Traffic.p50_ms);
+        ("p95_ms", Float s.Traffic.p95_ms);
+        ("p99_ms", Float s.Traffic.p99_ms) ]
+  in
+  bench_json ~kind:"traffic"
+    [ ("sessions", Int r.Traffic.sessions);
+      ("requests_per_session", Int r.Traffic.requests_per_session);
+      ("seed", Int r.Traffic.seed);
+      ("scale", Int r.Traffic.scale);
+      ("mode", Str (Traffic.mode_label r.Traffic.mode));
+      ("doc", Str r.Traffic.doc);
+      ("wall_seconds", Float r.Traffic.wall_seconds);
+      ("throughput", Float r.Traffic.throughput);
+      ("mismatches", Int r.Traffic.total_mismatches);
+      ("p50_ms", Float r.Traffic.p50_ms);
+      ("p95_ms", Float r.Traffic.p95_ms);
+      ("p99_ms", Float r.Traffic.p99_ms) ]
+    ~results:(List.map session_json r.Traffic.per_session)
 
 (* --- validation --------------------------------------------------------- *)
 
@@ -502,6 +535,40 @@ let validate_crash_result r =
     Error (Printf.sprintf "crash point %d past the %d observed events" point events)
   else Ok ()
 
+(* A traffic session entry: the outcome counts must partition the
+   session's requests, latency percentiles must be ordered, and — the
+   gate CI relies on — the concurrent run must match the single-session
+   oracle exactly (zero mismatches). *)
+let validate_traffic_result r =
+  let* session = int_field r "session" in
+  let* requests = int_field r "requests" in
+  let* ok = int_field r "ok" in
+  let* budget = int_field r "budget_exceeded" in
+  let* errors = int_field r "errors" in
+  let* io = int_field r "io_errors" in
+  let* bad = int_field r "bad_requests" in
+  let* mismatches = int_field r "mismatches" in
+  let* p50 = need "p50_ms" (member "p50_ms" r) in
+  let* p50 = as_number "p50_ms" p50 in
+  let* p95 = need "p95_ms" (member "p95_ms" r) in
+  let* p95 = as_number "p95_ms" p95 in
+  let* p99 = need "p99_ms" (member "p99_ms" r) in
+  let* p99 = as_number "p99_ms" p99 in
+  if session < 0 then Error "negative session"
+  else if requests < 1 then Error "session with no requests"
+  else if ok + budget + errors + io + bad <> requests then
+    Error
+      (Printf.sprintf "session %d outcomes do not partition: %d+%d+%d+%d+%d <> %d" session
+         ok budget errors io bad requests)
+  else if mismatches <> 0 then
+    Error
+      (Printf.sprintf "session %d diverged from the single-session oracle (%d mismatches)"
+         session mismatches)
+  else if p50 < 0. || p95 < 0. || p99 < 0. then Error "negative latency percentile"
+  else if p50 > p95 || p95 > p99 then
+    Error (Printf.sprintf "session %d latency percentiles not ordered" session)
+  else Ok ()
+
 let validate_bench json =
   let* version = need "schema_version" (member "schema_version" json) in
   let* version = as_int "schema_version" version in
@@ -513,9 +580,12 @@ let validate_bench json =
     let* results = need "results" (member "results" json) in
     let* results = as_arr "results" results in
     if results = [] then Error "empty results"
+    else if String.equal kind "traffic" && version < 4 then
+      Error (Printf.sprintf "traffic reports need schema_version >= 4, got %d" version)
     else
       let check =
         if String.equal kind "crash" then validate_crash_result
+        else if String.equal kind "traffic" then validate_traffic_result
         else validate_result ~version
       in
       List.fold_left

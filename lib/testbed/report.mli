@@ -9,11 +9,11 @@
     Schema, stable across the [schema_version] field (version 2 added
     the per-run planner counters [templates_built], [template_binds] and
     [prepared_cache_hits]; version 3 the durability counters
-    [wal_appends], [wal_checkpoints] and [recovery_replayed]; version-1
-    and version-2 files are still accepted):
+    [wal_appends], [wal_checkpoints] and [recovery_replayed]; version 4
+    the ["traffic"] kind; older files are still accepted):
 
     {v
-    { "schema_version": 3,
+    { "schema_version": 4,
       "kind": "fig7" | "ablations" | "milestones" | "templates",
       "budget": int,              (fig7 only)
       "results": [
@@ -39,7 +39,16 @@
     Crash-sweep reports ([kind = "crash"], {!crash_json}) use the same
     envelope with one flat result object per crash point:
     [{ "trial": int, "query": str, "events_total": int, "point": int,
-    "torn": bool, "crashed": bool, "ok": bool, "detail": str }]. *)
+    "torn": bool, "crashed": bool, "ok": bool, "detail": str }].
+
+    Traffic reports ([kind = "traffic"], {!traffic_json}, v4+) carry the
+    run aggregates ([sessions], [requests_per_session], [seed], [scale],
+    [mode], [wall_seconds], [throughput], [mismatches], [p50_ms],
+    [p95_ms], [p99_ms]) at the top level and one result object per
+    session: [{ "session": int, "requests": int, "ok": int,
+    "budget_exceeded": int, "errors": int, "io_errors": int,
+    "bad_requests": int, "mismatches": int, "p50_ms": float,
+    "p95_ms": float, "p99_ms": float }]. *)
 
 type json =
   | Null
@@ -80,6 +89,12 @@ val fig7_json : Efficiency.table -> json
 
 val crash_json : Differential.crash_report -> json
 (** A crash-point sweep: [kind = "crash"], one result per crash point. *)
+
+val traffic_json : Traffic.report -> json
+(** A traffic run: [kind = "traffic"], one result per session.  The
+    validator additionally requires zero oracle mismatches, outcome
+    counts that partition each session's requests, and ordered latency
+    percentiles. *)
 
 val bench_json :
   kind:string ->

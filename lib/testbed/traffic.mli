@@ -1,0 +1,71 @@
+(** The traffic harness: a closed/open-loop load generator over the
+    multi-session server stack.
+
+    [run] loads a scaled DBLP document into one shared database, then
+    drives [sessions] concurrent client sessions (one domain each),
+    every request passing through the full wire path in-process —
+    encode, decode, execute, encode, decode.  Each session replays a
+    schedule drawn deterministically from [seed], sampling the five
+    efficiency queries plus the Section-2 example.
+
+    Before the domains start, a single-session oracle executes every
+    distinct query and records its (status, payload); each concurrent
+    response is compared against it and counted as a mismatch when it
+    differs — the multi-session acceptance criterion.  After all
+    sessions join, the shared pool must be quiescent (no pins, no held
+    latches); a leak raises {!Xqdb_storage.Xqdb_error.Internal}. *)
+
+type mode =
+  | Closed  (** each session fires its next request on completion *)
+  | Open_rate of float
+      (** requests per second per session, fired on schedule regardless
+          of completion — latencies include client-visible queueing *)
+
+type session_report = {
+  session : int;
+  requests : int;
+  ok : int;
+  budget_exceeded : int;
+  errors : int;
+  io_errors : int;
+  bad_requests : int;
+  mismatches : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+type report = {
+  sessions : int;
+  requests_per_session : int;
+  seed : int;
+  scale : int;
+  mode : mode;
+  doc : string;
+  wall_seconds : float;
+  throughput : float;  (** completed requests per wall-clock second *)
+  total_mismatches : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  per_session : session_report list;
+}
+
+val run :
+  ?mode:mode ->
+  ?max_page_ios:int ->
+  ?max_seconds:float ->
+  sessions:int ->
+  requests:int ->
+  seed:int ->
+  scale:int ->
+  unit ->
+  report
+(** The caps become every session's admission limits (requests censor to
+    [Budget_exceeded] when they trip, sessions and server live on). *)
+
+val mode_label : mode -> string
+(** ["closed"] or ["open"]. *)
+
+val render : report -> string
+(** Human-readable summary. *)

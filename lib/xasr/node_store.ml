@@ -45,6 +45,7 @@ let register t catalog ~stats =
     C.set catalog (Printf.sprintf "%s.stats.%d" t.name i) (String.sub blob off len)
   done;
   C.set_int catalog (t.name ^ ".stats.n") chunks;
+  C.bump_epoch catalog;
   C.flush catalog
 
 let open_existing pool catalog ~name =
@@ -89,7 +90,8 @@ let unregister catalog ~name =
   | None -> ());
   List.iter
     (fun suffix -> C.remove catalog (name ^ suffix))
-    [".primary"; ".label"; ".parent"; ".struct"; stats_count_suffix]
+    [".primary"; ".label"; ".parent"; ".struct"; stats_count_suffix];
+  C.bump_epoch catalog
 
 let stats_of_catalog catalog ~name =
   let module C = Storage.Catalog in

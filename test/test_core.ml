@@ -426,6 +426,96 @@ let test_database_basics () =
    | _ -> Alcotest.fail "unknown name should raise"
    | exception Not_found -> ())
 
+(* --- the prepared-plan cache ---------------------------------------------------- *)
+
+module PC = Xqdb_core.Plan_cache
+module Metrics = Xqdb_storage.Metrics
+
+let cache_hits (r : Engine.result) =
+  Metrics.get r.Engine.profile.Engine.counters "engine.prepared_cache_hits"
+
+(* The regression the server work surfaced: cached plans compiled
+   against one catalog epoch must not survive a load or drop.  Before
+   the epoch stamp, a drop + re-query would happily run a plan over
+   dead pages. *)
+let test_prepared_cache_invalidation () =
+  let db = DB.create () in
+  ignore (DB.load_document db ~name:"journal" W.Docs.figure2_string);
+  let engine = DB.engine db ~name:"journal" in
+  let q = Xqdb_xq.Xq_parser.parse "for $n in //name return $n" in
+  ignore (Engine.run engine q);
+  Alcotest.(check int) "second run hits the cache" 1 (cache_hits (Engine.run engine q));
+  (* Loading another document moves the catalog epoch: the cache is
+     invalidated wholesale, the re-run recompiles and still succeeds. *)
+  let inv = Metrics.counter "engine.prepared_cache_invalidations" in
+  let inv_before = Metrics.value inv in
+  ignore (DB.load_forest db ~name:"lib" [W.Docs.tiny]);
+  let r = Engine.run engine q in
+  Alcotest.(check int) "load invalidates, no hit" 0 (cache_hits r);
+  Alcotest.(check string) "recompiled plan is correct"
+    "<name>Ana</name><name>Bob</name>" r.Engine.output;
+  Alcotest.(check int) "one invalidation counted" (inv_before + 1) (Metrics.value inv);
+  Alcotest.(check int) "then caches again" 1 (cache_hits (Engine.run engine q));
+  (* Dropping the engine's own document: the re-query is censored to
+     Io_error — and stays censored on every retry, never served from a
+     stale plan over dead pages. *)
+  DB.drop_document db ~name:"journal";
+  let censored () =
+    match (Engine.run engine q).Engine.status with
+    | Engine.Io_error _ -> ()
+    | Engine.Ok -> Alcotest.fail "query over a dropped document should be censored"
+    | Engine.Error m | Engine.Budget_exceeded m -> Alcotest.fail m
+  in
+  censored ();
+  censored ()
+
+let test_plan_cache_lru () =
+  let c = PC.create 2 in
+  let evicted = ref [] in
+  let on_evict k _ = evicted := k :: !evicted in
+  PC.put ~on_evict c "a" 1;
+  PC.put ~on_evict c "b" 2;
+  Alcotest.(check (option int)) "find freshens" (Some 1) (PC.find c "a");
+  PC.put ~on_evict c "c" 3;
+  Alcotest.(check (list string)) "LRU entry evicted" ["b"] !evicted;
+  Alcotest.(check (list string)) "order, LRU first" ["a"; "c"] (PC.keys_lru_first c);
+  Alcotest.(check (option int)) "evicted key gone" None (PC.find c "b");
+  Alcotest.(check int) "bounded" 2 (PC.length c);
+  PC.clear c;
+  Alcotest.(check int) "clear empties" 0 (PC.length c);
+  Alcotest.(check (list string)) "no eviction callbacks on clear" ["b"] !evicted;
+  match PC.create 0 with
+  | _ -> Alcotest.fail "zero capacity should be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* The cache is bounded per engine: pushing past the configured capacity
+   evicts the least-recently-used plan, which then recompiles. *)
+let test_prepared_cache_bounded () =
+  let config = { Config.m4 with Config.prepared_cache_capacity = 2 } in
+  let engine = Engine.load_forest ~config [W.Docs.figure2] in
+  let run src = Engine.run engine (Xqdb_xq.Xq_parser.parse src) in
+  let ev = Metrics.counter "engine.prepared_cache_evictions" in
+  let ev_before = Metrics.value ev in
+  ignore (run "/journal");
+  ignore (run "for $n in //name return $n");
+  ignore (run "//name");
+  Alcotest.(check bool) "eviction counted" true (Metrics.value ev > ev_before);
+  Alcotest.(check int) "evicted plan recompiles" 0 (cache_hits (run "/journal"));
+  Alcotest.(check int) "and caches again" 1 (cache_hits (run "/journal"))
+
+(* Session views share the store but own their caches: a hit on the
+   base engine says nothing about a fresh session. *)
+let test_session_views () =
+  let engine = Engine.load_forest ~config:Config.m4 [W.Docs.figure2] in
+  let q = Xqdb_xq.Xq_parser.parse "for $n in //name return $n" in
+  ignore (Engine.run engine q);
+  Alcotest.(check int) "base caches" 1 (cache_hits (Engine.run engine q));
+  let view = Engine.session engine in
+  Alcotest.(check int) "fresh session, fresh cache" 0 (cache_hits (Engine.run view q));
+  Alcotest.(check string) "same answer"
+    "<name>Ana</name><name>Bob</name>" (Engine.run view q).Engine.output;
+  Alcotest.(check int) "session caches independently" 1 (cache_hits (Engine.run view q))
+
 let test_database_persistence () =
   let path = Filename.temp_file "xqdb_db" ".db" in
   let db = DB.create ~on_file:path () in
@@ -493,4 +583,9 @@ let () =
           Alcotest.test_case "file-backed database" `Quick test_on_file_database ] );
       ( "databases",
         [ Alcotest.test_case "multiple documents" `Quick test_database_basics;
-          Alcotest.test_case "persistence" `Quick test_database_persistence ] ) ]
+          Alcotest.test_case "persistence" `Quick test_database_persistence ] );
+      ( "prepared cache",
+        [ Alcotest.test_case "epoch invalidation" `Quick test_prepared_cache_invalidation;
+          Alcotest.test_case "LRU mechanics" `Quick test_plan_cache_lru;
+          Alcotest.test_case "bounded per engine" `Quick test_prepared_cache_bounded;
+          Alcotest.test_case "session views" `Quick test_session_views ] ) ]

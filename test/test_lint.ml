@@ -117,6 +117,25 @@ let test_l5 () =
        fs);
   Alcotest.(check int) "first registration clean" 3 (count ~rule:"L5" fs)
 
+(* --- L6 ------------------------------------------------------------------ *)
+
+let seeded_l6 =
+  String.concat "\n"
+    [ "let a () = print_endline \"hi\"";
+      "let b () = Printf.printf \"x%d\" 3";
+      "let c () = Printf.eprintf \"x%d\" 3";
+      "let d () = output_string Stdlib.stdout \"y\"" ]
+
+let test_l6 () =
+  let fs = L.Rules.check_file (src ~path:"lib/server/seeded.ml" seeded_l6) in
+  Alcotest.(check bool) "print_endline line 1" true (has ~rule:"L6" ~line:1 fs);
+  Alcotest.(check bool) "Printf.printf line 2" true (has ~rule:"L6" ~line:2 fs);
+  Alcotest.(check bool) "Stdlib.stdout line 4" true (has ~rule:"L6" ~line:4 fs);
+  Alcotest.(check int) "eprintf stays clean" 3 (count ~rule:"L6" fs);
+  (* scope: the same text outside lib/server is not checked *)
+  let fs' = L.Rules.check_file (src seeded_l6) in
+  Alcotest.(check int) "out of scope" 0 (count ~rule:"L6" fs')
+
 (* --- unparseable sources -------------------------------------------------- *)
 
 let test_parse_error () =
@@ -209,6 +228,7 @@ let () =
           Alcotest.test_case "L3 no polymorphic compare" `Quick test_l3;
           Alcotest.test_case "L4 interfaces everywhere" `Quick test_l4;
           Alcotest.test_case "L5 counter-name hygiene" `Quick test_l5;
+          Alcotest.test_case "L6 no stdout in lib/server" `Quick test_l6;
           Alcotest.test_case "unparseable source" `Quick test_parse_error ] );
       ( "allowlist",
         [ Alcotest.test_case "suppression is checked both ways" `Quick test_allowlist ] );

@@ -524,6 +524,150 @@ let test_budget () =
   done;
   S.Budget.check free
 
+(* The time budget is a wall-clock budget.  Sleeping accrues no process
+   CPU time, so under the old [Sys.time] implementation this budget
+   never tripped — a hung I/O or a descheduled domain ran forever. *)
+let test_budget_wall_clock () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let budget = S.Budget.create ~max_seconds:0.05 disk in
+  S.Budget.check budget;
+  Unix.sleepf 0.1;
+  Alcotest.(check bool) "elapsed is wall time" true (S.Budget.elapsed budget >= 0.05);
+  match S.Budget.check budget with
+  | _ -> Alcotest.fail "time budget should trip while sleeping"
+  | exception S.Budget.Exhausted _ -> ()
+
+let test_monotonic () =
+  let t0 = S.Monotonic.now () in
+  Unix.sleepf 0.02;
+  let dt = S.Monotonic.elapsed_since t0 in
+  Alcotest.(check bool) "sleep is visible" true (dt >= 0.02);
+  Alcotest.(check bool) "and bounded" true (dt < 5.0)
+
+(* --- latches ------------------------------------------------------------- *)
+
+let test_latch_shared_overlap () =
+  let l = S.Latch.create () in
+  S.Latch.acquire_shared l;
+  S.Latch.acquire_shared l;
+  Alcotest.(check int) "two readers" 2 (S.Latch.holders l);
+  S.Latch.release l;
+  S.Latch.release l;
+  Alcotest.(check bool) "idle after release" true (S.Latch.idle l)
+
+let test_latch_exclusive_excludes () =
+  let l = S.Latch.create () in
+  (* A reader and a writer domain contend for the latch; the observed
+     holder states must never show both at once. *)
+  let reader_ran = Atomic.make false in
+  S.Latch.acquire_exclusive l;
+  Alcotest.(check int) "writer holds" (-1) (S.Latch.holders l);
+  let d =
+    Domain.spawn (fun () ->
+        S.Latch.acquire_shared l;
+        Atomic.set reader_ran true;
+        S.Latch.release l)
+  in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "reader blocked behind writer" false (Atomic.get reader_ran);
+  S.Latch.release l;
+  Domain.join d;
+  Alcotest.(check bool) "reader ran after release" true (Atomic.get reader_ran);
+  Alcotest.(check bool) "idle at the end" true (S.Latch.idle l)
+
+let test_latch_writer_preference () =
+  let l = S.Latch.create () in
+  S.Latch.acquire_shared l;
+  let writer_holds = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        S.Latch.acquire_exclusive l;
+        Atomic.set writer_holds true;
+        Unix.sleepf 0.02;
+        S.Latch.release l)
+  in
+  (* Give the writer time to park in the wait queue, then a late reader
+     must queue behind it rather than overtaking. *)
+  Unix.sleepf 0.02;
+  let late_reader =
+    Domain.spawn (fun () ->
+        S.Latch.acquire_shared l;
+        (* By the time any new reader gets in, the writer must have
+           already held the latch. *)
+        Alcotest.(check bool) "writer went first" true (Atomic.get writer_holds);
+        S.Latch.release l)
+  in
+  Unix.sleepf 0.02;
+  S.Latch.release l;
+  Domain.join writer;
+  Domain.join late_reader;
+  Alcotest.(check bool) "idle at the end" true (S.Latch.idle l)
+
+let test_latch_release_unheld () =
+  let l = S.Latch.create () in
+  match S.Latch.release l with
+  | () -> Alcotest.fail "releasing a free latch should raise"
+  | exception S.Latch.Latch_error _ -> ()
+
+(* Nested [use] of the same page by one domain must ride on the hold it
+   already has (the latch is not reentrant), and an upgrade — mutating
+   nested inside a shared read — must raise instead of deadlocking. *)
+let test_latch_nested_same_page () =
+  let _, pool = fresh_pool () in
+  let p = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool p (fun outer ->
+      Bytes.set outer 0 'a';
+      S.Buffer_pool.with_page pool p (fun inner ->
+          Alcotest.(check char) "read nested in write" 'a' (Bytes.get inner 0)));
+  S.Buffer_pool.with_page pool p (fun _ ->
+      S.Buffer_pool.with_page pool p (fun _ -> ()));
+  (match
+     S.Buffer_pool.with_page pool p (fun _ ->
+         S.Buffer_pool.with_page_mut pool p (fun _ -> ()))
+   with
+  | () -> Alcotest.fail "latch upgrade should raise"
+  | exception S.Latch.Latch_error _ -> ());
+  Alcotest.(check (list (pair int int))) "no latches survive" []
+    (S.Buffer_pool.latched_pages pool);
+  S.Buffer_pool.assert_unpinned ~where:"nested latches" pool
+
+(* K domains hammer the pool concurrently — disjoint mutated pages plus
+   one shared read-only page — under the sanitizer.  Every domain's
+   writes must all land, readers must see consistent snapshots of the
+   shared page, and the pool must end quiescent. *)
+let test_pool_concurrent_domains () =
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:16 ~sanitize:true disk in
+  let shared = S.Buffer_pool.alloc_page pool in
+  S.Buffer_pool.with_page_mut pool shared (fun b ->
+      Bytes.fill b 0 (Bytes.length b) 's');
+  let own = Array.init 4 (fun _ -> S.Buffer_pool.alloc_page pool) in
+  let tears = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () ->
+            for i = 1 to 200 do
+              S.Buffer_pool.with_page_mut pool own.(k) (fun b ->
+                  Bytes.set b 0 (Char.chr (i land 0xff));
+                  Bytes.set b 1 (Char.chr (i land 0xff)));
+              S.Buffer_pool.with_page pool shared (fun b ->
+                  if Bytes.get b 0 <> 's' then Atomic.incr tears)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "shared page never torn" 0 (Atomic.get tears);
+  Array.iter
+    (fun p ->
+      S.Buffer_pool.with_page pool p (fun b ->
+          Alcotest.(check char) "both bytes of the last write" (Bytes.get b 0)
+            (Bytes.get b 1)))
+    own;
+  Alcotest.(check (list (pair int int))) "no pins survive" []
+    (S.Buffer_pool.pinned_pages pool);
+  Alcotest.(check (list (pair int int))) "no latches survive" []
+    (S.Buffer_pool.latched_pages pool);
+  S.Buffer_pool.drop_all pool
+
 (* --- fault injection ------------------------------------------------------------ *)
 
 let all_reads_fail =
@@ -1126,4 +1270,14 @@ let () =
           Alcotest.test_case "leak detection with backtraces" `Quick
             test_sanitizer_leak_detection;
           Alcotest.test_case "semantics-transparent" `Quick test_sanitizer_transparent ] );
-      ("budget", [Alcotest.test_case "exhaustion" `Quick test_budget]) ]
+      ( "budget",
+        [ Alcotest.test_case "exhaustion" `Quick test_budget;
+          Alcotest.test_case "wall-clock seconds" `Quick test_budget_wall_clock;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic ] );
+      ( "latches",
+        [ Alcotest.test_case "shared holders overlap" `Quick test_latch_shared_overlap;
+          Alcotest.test_case "exclusive excludes" `Quick test_latch_exclusive_excludes;
+          Alcotest.test_case "writer preference" `Quick test_latch_writer_preference;
+          Alcotest.test_case "release unheld raises" `Quick test_latch_release_unheld;
+          Alcotest.test_case "nested same-page use" `Quick test_latch_nested_same_page;
+          Alcotest.test_case "concurrent domains" `Quick test_pool_concurrent_domains ] ) ]

@@ -318,6 +318,52 @@ let test_report_version_gating () =
    | Ok () -> Alcotest.fail "v3 report without durability counters accepted"
    | Error _ -> ())
 
+(* A small closed-loop traffic run: serializes, re-parses, validates —
+   and a report with a faked mismatch or disordered percentiles must be
+   rejected (the validator is the acceptance gate CI applies). *)
+let test_traffic_report () =
+  let report = T.Traffic.run ~sessions:2 ~requests:6 ~seed:7 ~scale:60 () in
+  Alcotest.(check int) "no oracle mismatches" 0 report.T.Traffic.total_mismatches;
+  Alcotest.(check int) "all sessions reported" 2
+    (List.length report.T.Traffic.per_session);
+  List.iter
+    (fun (s : T.Traffic.session_report) ->
+      Alcotest.(check int) "outcomes partition the requests" s.T.Traffic.requests
+        (s.T.Traffic.ok + s.T.Traffic.budget_exceeded + s.T.Traffic.errors
+        + s.T.Traffic.io_errors + s.T.Traffic.bad_requests))
+    report.T.Traffic.per_session;
+  let j = R.traffic_json report in
+  (match R.parse (R.to_string j) with
+   | Ok reparsed -> Alcotest.check json "survives the wire" j reparsed
+   | Error msg -> Alcotest.failf "traffic report does not re-parse: %s" msg);
+  (match R.validate_bench j with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "traffic report invalid: %s" msg);
+  let rec rewrite f = function
+    | R.Obj fields -> R.Obj (List.map (fun (k, v) -> (k, f k (rewrite f v))) fields)
+    | R.Arr xs -> R.Arr (List.map (rewrite f) xs)
+    | v -> v
+  in
+  let mismatched =
+    rewrite (fun k v -> if String.equal k "mismatches" then R.Int 1 else v) j
+  in
+  (match R.validate_bench mismatched with
+   | Ok () -> Alcotest.fail "oracle mismatches accepted"
+   | Error _ -> ());
+  let disordered =
+    rewrite (fun k v -> if String.equal k "p50_ms" then R.Float 1e9 else v) j
+  in
+  (match R.validate_bench disordered with
+   | Ok () -> Alcotest.fail "disordered percentiles accepted"
+   | Error _ -> ());
+  (* The traffic kind needs schema v4: an older version must not claim it. *)
+  let downgraded =
+    rewrite (fun k v -> if String.equal k "schema_version" then R.Int 3 else v) j
+  in
+  (match R.validate_bench downgraded with
+   | Ok () -> Alcotest.fail "v3 traffic report accepted"
+   | Error _ -> ())
+
 (* --- grading system (Section 3) ------------------------------------------------ *)
 
 let test_grading () =
@@ -394,6 +440,8 @@ let () =
           Alcotest.test_case "validator" `Slow test_report_validates;
           Alcotest.test_case "file io" `Slow test_report_file_io;
           Alcotest.test_case "version gating" `Slow test_report_version_gating ] );
+      ( "traffic",
+        [ Alcotest.test_case "report round trip and gates" `Slow test_traffic_report ] );
       ( "crash sweep",
         [ Alcotest.test_case "first, middle and last event recover" `Quick
             test_crash_sweep;
