@@ -95,8 +95,19 @@ let fault_seeds =
     & info ["fault-seeds"] ~docv:"N"
         ~doc:"Injector seeds swept per trial when $(b,--fault-rate) is positive.")
 
-let differential_action seed count fault_rate fault_seeds =
-  let report = T.Differential.run ~seed ~count ~fault_rate ~fault_seeds () in
+let scan_domains =
+  Arg.(
+    value
+    & opt int 1
+    & info ["scan-domains"] ~docv:"N"
+        ~doc:
+          "Additionally rerun every configuration with full scans partitioned \
+           across N domains; the answers must stay byte-identical.")
+
+let differential_action seed count fault_rate fault_seeds scan_domains =
+  let report =
+    T.Differential.run ~seed ~count ~fault_rate ~fault_seeds ~scan_domains ()
+  in
   print_string (T.Differential.render report);
   if not (T.Differential.ok report) then exit 1
 
@@ -106,7 +117,9 @@ let differential_cmd =
        ~doc:
          "Randomized differential oracle: every milestone against the \
           milestone-1 reference, optionally under injected disk faults.")
-    Term.(const differential_action $ seed $ count $ fault_rate $ fault_seeds)
+    Term.(
+      const differential_action $ seed $ count $ fault_rate $ fault_seeds
+      $ scan_domains)
 
 (* --- crash: crash-point recovery sweep ----------------------------------- *)
 
@@ -284,7 +297,17 @@ let require_structural_gain =
            less page I/O than m4-nostruct — the structural-index payoff over a \
            BENCH_structural.json report.")
 
-let check_bench_action constant_templates structural_gain files =
+let require_batch_gain =
+  Arg.(
+    value & flag
+    & info ["require-batch-gain"]
+        ~doc:
+          "Additionally require that the report's batch-vs-tuple comparison \
+           shows the vectorized run strictly faster than the same engines at \
+           batch size 1, with unchanged engine rankings — the vectorization \
+           payoff over a BENCH_fig7.json report.")
+
+let check_bench_action constant_templates structural_gain batch_gain files =
   let failed = ref false in
   List.iter
     (fun file ->
@@ -309,7 +332,9 @@ let check_bench_action constant_templates structural_gain files =
       if constant_templates then
         extra T.Report.validate_constant_templates "templates constant";
       if structural_gain then
-        extra T.Report.validate_structural_gain "structural gain on deep tests")
+        extra T.Report.validate_structural_gain "structural gain on deep tests";
+      if batch_gain then
+        extra T.Report.validate_batch_gain "batched execution faster, rankings unchanged")
     files;
   if !failed then exit 1
 
@@ -322,7 +347,7 @@ let check_bench_cmd =
           other_ios, operator trees internally consistent).")
     Term.(
       const check_bench_action $ require_constant_templates $ require_structural_gain
-      $ bench_files)
+      $ require_batch_gain $ bench_files)
 
 (* --- lint: the storage-safety static analyzer, testbed form ------------- *)
 

@@ -59,6 +59,7 @@ type t = {
 let fresh_cache config = Plan_cache.create config.Engine_config.prepared_cache_capacity
 
 let load_forest ?(config = Engine_config.m4) forest =
+  let config = Engine_config.validate config in
   let disk = Storage.Disk.in_memory () in
   let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
   let catalog = Storage.Catalog.attach pool in
@@ -72,6 +73,7 @@ let load_forest ?(config = Engine_config.m4) forest =
     cache_epoch = Storage.Catalog.epoch catalog }
 
 let load ?(config = Engine_config.m4) ?on_file xml =
+  let config = Engine_config.validate config in
   let forest = Xml_parser.parse_forest xml in
   match on_file with
   | None -> load_forest ~config forest
@@ -89,6 +91,7 @@ let load ?(config = Engine_config.m4) ?on_file xml =
       cache_epoch = Storage.Catalog.epoch catalog }
 
 let attach ?(config = Engine_config.m4) ~disk ~pool ~catalog ~store ~doc_stats () =
+  let config = Engine_config.validate config in
   let stats = Stats.make ~quality:config.Engine_config.quality store doc_stats in
   let doc = Xml_doc.of_forest (Reconstruct.root_forest store) in
   let root_out = (Store.root_tuple store).Xasr.nout in
@@ -97,6 +100,7 @@ let attach ?(config = Engine_config.m4) ~disk ~pool ~catalog ~store ~doc_stats (
     cache_epoch = Storage.Catalog.epoch catalog }
 
 let with_config config t =
+  let config = Engine_config.validate config in
   (* A config switch is a quiescent point: nothing may still hold a page
      pin from the previous configuration's runs. *)
   if Storage.Buffer_pool.sanitizing t.pool then
@@ -133,7 +137,9 @@ let pipeline_ctx t =
   { Pipeline.config =
       { Pipeline.rewrite = t.config.Engine_config.rewrite;
         merge_relfors = t.config.Engine_config.merge_relfors;
-        planner = t.config.Engine_config.planner };
+        planner = t.config.Engine_config.planner;
+        batch_size = t.config.Engine_config.batch_size;
+        scan_domains = t.config.Engine_config.scan_domains };
     stats = t.stats;
     store = t.store }
 
@@ -260,8 +266,8 @@ let rec exec t budget (env : env) (phys : Plan_ir.phys) : Tree.forest =
     let width = if carry then 2 else 1 in
     if site.Plan_ir.bindings = [] then begin
       (* A nullary relfor is an existence test: its projection holds at
-         most the empty tuple, so the first result decides. *)
-      match op.Op.next () with
+         most the empty tuple, so the first (non-empty) batch decides. *)
+      match op.Op.next_batch () with
       | Some _ ->
         Op.close tmpl.Planner.ctx op;
         exec t budget env site.Plan_ir.body
@@ -271,24 +277,35 @@ let rec exec t budget (env : env) (phys : Plan_ir.phys) : Tree.forest =
     end
     else
     let rec loop acc =
-      match op.Op.next () with
+      match op.Op.next_batch () with
       | None ->
         Op.close tmpl.Planner.ctx op;
         List.concat (List.rev acc)
-      | Some tuple ->
-        let env' =
-          List.concat
-            (List.mapi
-               (fun i (b : A.binding) ->
-                 let nin = as_int tuple.(i * width) in
-                 let nout =
-                   if carry then as_int tuple.((i * width) + 1) else out_of t budget nin
-                 in
-                 [(b.A.var, (nin, nout))])
-               site.Plan_ir.bindings)
-          @ env
+      | Some b ->
+        (* The batch is the operator's reusable storage: every binding is
+           read out of the column arrays before the next [next_batch]
+           call overwrites them.  Body execution between rows is safe —
+           nested sites run their own operator trees. *)
+        let rec rows row acc =
+          if row >= b.Tuple.len then acc
+          else begin
+            let env' =
+              List.concat
+                (List.mapi
+                   (fun i (bind : A.binding) ->
+                     let nin = as_int b.Tuple.cols.(i * width).(row) in
+                     let nout =
+                       if carry then as_int b.Tuple.cols.((i * width) + 1).(row)
+                       else out_of t budget nin
+                     in
+                     [(bind.A.var, (nin, nout))])
+                   site.Plan_ir.bindings)
+              @ env
+            in
+            rows (row + 1) (exec t budget env' site.Plan_ir.body :: acc)
+          end
         in
-        loop (exec t budget env' site.Plan_ir.body :: acc)
+        loop (rows 0 acc)
     in
     loop []
 
@@ -304,6 +321,7 @@ type op_profile = Op.profile = {
   op : string;
   args : string;
   rows : int;
+  batches : int;
   ios : int;
   own_ios : int;
   seconds : float;
@@ -459,9 +477,13 @@ let explain ?(analyze = false) t query =
       let buf = Buffer.create (String.length base + 1024) in
       Buffer.add_string buf base;
       Buffer.add_string buf "== analyze ==\n";
+      let root_rows = List.fold_left (fun acc p -> acc + p.rows) 0 r.profile.operators in
+      let root_batches = List.fold_left (fun acc p -> acc + p.batches) 0 r.profile.operators in
       Buffer.add_string buf
         (Printf.sprintf "status: %s\npage I/Os: %d  (operators %d, other %d)\n"
            (status_label r.status) r.page_ios r.profile.operator_ios r.profile.other_ios);
+      Buffer.add_string buf
+        (Printf.sprintf "rows out: %d in %d batches\n" root_rows root_batches);
       List.iteri
         (fun i p ->
           Buffer.add_string buf (Printf.sprintf "\nsite %d:\n" i);

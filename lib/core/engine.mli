@@ -79,6 +79,7 @@ type op_profile = Xqdb_physical.Phys_op.profile = {
   op : string;
   args : string;
   rows : int;
+  batches : int;  (** [next_batch] calls that returned rows *)
   ios : int;  (** inclusive page I/Os (includes the inputs') *)
   own_ios : int;  (** exclusive page I/Os *)
   seconds : float;

@@ -17,6 +17,8 @@ type t = {
   quality : Stats.quality;
   pool_capacity : int;
   prepared_cache_capacity : int;
+  batch_size : int;
+  scan_domains : int;
 }
 
 let milestone_name = function
@@ -32,6 +34,25 @@ let default_pool = 256
    bound. *)
 let default_prepared_cache = 64
 
+let default_batch_size = 256
+
+(* A batch never usefully holds more rows than a page has bytes: every
+   slot costs at least one byte, so [page bytes] bounds the rows a
+   page-at-a-time scan can stage from one pull. *)
+let max_batch_size = 4096
+
+let validate t =
+  if t.batch_size <= 0 then
+    invalid_arg
+      (Printf.sprintf "Engine_config %s: batch_size must be positive (got %d)"
+         t.name t.batch_size);
+  if t.scan_domains <= 0 then
+    invalid_arg
+      (Printf.sprintf "Engine_config %s: scan_domains must be positive (got %d)"
+         t.name t.scan_domains);
+  if t.batch_size > max_batch_size then { t with batch_size = max_batch_size }
+  else t
+
 let m1 =
   { name = "m1";
     milestone = M1;
@@ -40,7 +61,9 @@ let m1 =
     planner = Planner.m3_config;
     quality = Stats.Good;
     pool_capacity = default_pool;
-    prepared_cache_capacity = default_prepared_cache }
+    prepared_cache_capacity = default_prepared_cache;
+    batch_size = default_batch_size;
+    scan_domains = 1 }
 
 let m2 = { m1 with name = "m2"; milestone = M2 }
 

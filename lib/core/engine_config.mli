@@ -23,7 +23,23 @@ type t = {
   pool_capacity : int;  (** buffer-pool frames: the "20 MB" knob *)
   prepared_cache_capacity : int;
       (** max prepared plans kept per engine (LRU-evicted beyond this) *)
+  batch_size : int;
+      (** rows per operator batch; validated by {!validate} *)
+  scan_domains : int;
+      (** domains the planner may partition a full scan across (1 =
+          sequential) *)
 }
+
+val default_batch_size : int
+
+val max_batch_size : int
+(** Upper bound on [batch_size]: the page size in bytes, which bounds
+    the rows a page-at-a-time scan can stage from one page pull. *)
+
+val validate : t -> t
+(** Clamp [batch_size] to {!max_batch_size}.
+    @raise Invalid_argument when [batch_size <= 0] or
+    [scan_domains <= 0].  Every engine constructor applies this. *)
 
 val m1 : t
 val m2 : t

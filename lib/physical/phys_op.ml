@@ -1,5 +1,6 @@
 module A = Xqdb_tpm.Tpm_algebra
 module Store = Xqdb_xasr.Node_store
+module Xasr = Xqdb_xasr.Xasr
 module Budget = Xqdb_storage.Budget
 
 type ctx = {
@@ -7,10 +8,15 @@ type ctx = {
   pool : Xqdb_storage.Buffer_pool.t;
   mutable budget : Budget.t option;
   params : Tuple.params;
+  batch_size : int;
+  scan_domains : int;
 }
 
-let make_ctx ?budget ?(params = Tuple.no_params) store =
-  { store; pool = Store.pool store; budget; params }
+let make_ctx ?budget ?(params = Tuple.no_params) ?(batch_size = 256)
+    ?(scan_domains = 1) store =
+  if batch_size < 1 then invalid_arg "Phys_op.make_ctx: batch_size must be positive";
+  if scan_domains < 1 then invalid_arg "Phys_op.make_ctx: scan_domains must be positive";
+  { store; pool = Store.pool store; budget; params; batch_size; scan_domains }
 
 let with_params ctx params = { ctx with params }
 
@@ -38,13 +44,14 @@ type info = {
 
 type stats = {
   mutable rows : int;
+  mutable batches : int;
   mutable ios : int;  (* inclusive: includes the children's I/O *)
   mutable seconds : float;  (* inclusive CPU seconds *)
 }
 
 type t = {
   schema : Tuple.schema;
-  next : unit -> Tuple.t option;
+  next_batch : unit -> Tuple.batch option;
   reset : unit -> unit;
   info : info;
   stats : stats;
@@ -54,22 +61,25 @@ type t = {
   clear : unit -> unit;  (* drop caches invalidated by a rebind (no recursion) *)
 }
 
-(* Every constructor goes through [make], which wraps [next] and [reset]
-   so the operator's stats accumulate rows produced plus the page I/Os
-   and CPU time spent inside its call windows.  The measurements are
-   inclusive — a child only ever runs inside its parent's [next] or
-   [reset] — so the per-operator (exclusive) share is recovered in
-   {!profile} by subtracting the children's inclusive totals.
+(* Every constructor goes through [make], which wraps [next_batch] and
+   [reset] so the operator's stats accumulate rows and batches produced
+   plus the page I/Os and CPU time spent inside its call windows.  The
+   measurements are inclusive — a child only ever runs inside its
+   parent's [next_batch] or [reset] — so the per-operator (exclusive)
+   share is recovered in {!profile} by subtracting the children's
+   inclusive totals.  Measuring per batch rather than per tuple is the
+   vectorization payoff on the hot path: two I/O-counter reads and two
+   clock reads per batch instead of per row.
 
    [param_dep] is the operator's own dependence on parameter slots; the
    stored flag is the subtree's (own or any kid's).  [clear] is the
    constructor's cache-invalidation hook — constructors that cache a
    parameter-independent subtree deliberately pass [ignore] so the cache
    survives rebinds (that survival is the point of templates). *)
-let make ~schema ~info ?(kids = []) ?(param_dep = false) ?(clear = ignore) ~ios_now ~next
-    ~reset () =
+let make ~schema ~info ?(kids = []) ?(param_dep = false) ?(clear = ignore) ~ios_now
+    ~next_batch ~reset () =
   let param_dep = param_dep || List.exists (fun k -> k.param_dep) kids in
-  let stats = { rows = 0; ios = 0; seconds = 0. } in
+  let stats = { rows = 0; batches = 0; ios = 0; seconds = 0. } in
   (* Wall clock (not [Sys.time], which is process CPU time): operator
      profiles must attribute I/O wait to the operator that paid it, and
      under concurrent sessions CPU time would charge every session for
@@ -87,25 +97,30 @@ let make ~schema ~info ?(kids = []) ?(param_dep = false) ?(clear = ignore) ~ios_
       stats.seconds <- stats.seconds +. Xqdb_storage.Monotonic.elapsed_since t0;
       raise e
   in
-  let next =
-    let inner = measured next in
+  let next_batch =
+    let inner = measured next_batch in
     fun () ->
       let result = inner () in
       (match result with
-       | Some _ -> stats.rows <- stats.rows + 1
+       | Some b ->
+         stats.rows <- stats.rows + b.Tuple.len;
+         stats.batches <- stats.batches + 1
        | None -> ());
       result
   in
-  { schema; next; reset = measured reset; info; stats; kids; ios_now; param_dep; clear }
+  { schema; next_batch; reset = measured reset; info; stats; kids; ios_now; param_dep;
+    clear }
+
+let next_batch t = t.next_batch ()
 
 let rec rebind t =
   List.iter rebind t.kids;
   t.clear ()
 
-(* Operators never hold page pins between [next] calls — every access
-   goes through the pool's scoped [with_page] — so "closing" a drained
-   tree is a sanitizer checkpoint, not a resource release: under a
-   sanitizing pool it asserts the discipline actually held. *)
+(* Operators never hold page pins between [next_batch] calls — every
+   access goes through the pool's scoped [with_page] — so "closing" a
+   drained tree is a sanitizer checkpoint, not a resource release: under
+   a sanitizing pool it asserts the discipline actually held. *)
 let close ctx op =
   ignore op;
   if Xqdb_storage.Buffer_pool.sanitizing ctx.pool then
@@ -113,6 +128,7 @@ let close ctx op =
 
 let rec zero_stats t =
   t.stats.rows <- 0;
+  t.stats.batches <- 0;
   t.stats.ios <- 0;
   t.stats.seconds <- 0.;
   List.iter zero_stats t.kids
@@ -125,6 +141,7 @@ type profile = {
   op : string;
   args : string;
   rows : int;
+  batches : int;
   ios : int;  (** inclusive page I/Os *)
   own_ios : int;  (** exclusive: [ios] minus the inputs' [ios] *)
   seconds : float;
@@ -139,6 +156,7 @@ let rec profile t =
   { op = t.info.name;
     args = t.info.detail;
     rows = t.stats.rows;
+    batches = t.stats.batches;
     ios = t.stats.ios;
     own_ios = max 0 (t.stats.ios - kid_ios);
     seconds = t.stats.seconds;
@@ -152,6 +170,7 @@ let rec merge_profile a b =
   { op = a.op;
     args = a.args;
     rows = a.rows + b.rows;
+    batches = a.batches + b.batches;
     ios = a.ios + b.ios;
     own_ios = a.own_ios + b.own_ios;
     seconds = a.seconds +. b.seconds;
@@ -166,8 +185,8 @@ and merge_inputs xs ys =
 let rec pp_profile ppf p =
   if String.equal p.args "" then Format.fprintf ppf "@[<v 2>%s" p.op
   else Format.fprintf ppf "@[<v 2>%s [%s]" p.op p.args;
-  Format.fprintf ppf "  rows %d  ios %d (own %d)  %.3fs (own %.3fs)" p.rows p.ios p.own_ios
-    p.seconds p.own_seconds;
+  Format.fprintf ppf "  rows %d  batches %d  ios %d (own %d)  %.3fs (own %.3fs)" p.rows
+    p.batches p.ios p.own_ios p.seconds p.own_seconds;
   List.iter (fun i -> Format.fprintf ppf "@,%a" pp_profile i) p.inputs;
   Format.fprintf ppf "@]"
 
@@ -183,17 +202,83 @@ let info_to_string i = Format.asprintf "%a" pp_info i
 
 let drain op =
   op.reset ();
-  let rec go acc =
-    match op.next () with
-    | None -> List.rev acc
-    | Some tuple -> go (tuple :: acc)
+  let acc = ref [] in
+  let rec go () =
+    match op.next_batch () with
+    | None -> List.rev !acc
+    | Some b ->
+      for i = 0 to b.Tuple.len - 1 do
+        acc := Tuple.batch_row b i :: !acc
+      done;
+      go ()
   in
-  go []
+  go ()
 
 let count op =
   op.reset ();
-  let rec go n = if op.next () = None then n else go (n + 1) in
+  let rec go n =
+    match op.next_batch () with
+    | None -> n
+    | Some b -> go (n + b.Tuple.len)
+  in
   go 0
+
+(* A tuple-at-a-time view of a child's batch stream, for operators whose
+   inner logic is inherently row-wise (joins, sorts, spools).  Rows are
+   materialized lazily and the current batch is fully consumed before
+   the child is asked for the next one, so batch reuse is safe. *)
+type cursor = {
+  pull : unit -> Tuple.t option;
+  restart : unit -> unit;  (* reset the child and forget the held batch *)
+}
+
+let cursor_of op =
+  let held = ref None in
+  let idx = ref 0 in
+  let rec pull () =
+    match !held with
+    | Some b when !idx < b.Tuple.len ->
+      let t = Tuple.batch_row b !idx in
+      incr idx;
+      Some t
+    | _ ->
+      (match op.next_batch () with
+       | None ->
+         held := None;
+         idx := 0;
+         None
+       | Some b ->
+         held := Some b;
+         idx := 0;
+         pull ())
+  in
+  { pull;
+    restart =
+      (fun () ->
+        op.reset ();
+        held := None;
+        idx := 0) }
+
+let out_batch ctx schema = Tuple.batch_create ~width:(List.length schema) ctx.batch_size
+
+(* Wrap a row generator into a batch producer over a reusable output
+   batch; the budget is polled once per batch. *)
+let batched ctx ~schema gen =
+  let b = out_batch ctx schema in
+  fun () ->
+    tick ctx;
+    Tuple.batch_clear b;
+    let rec fill () =
+      if Tuple.batch_full b then ()
+      else
+        match gen () with
+        | None -> ()
+        | Some tuple ->
+          Tuple.batch_push b tuple;
+          fill ()
+    in
+    fill ();
+    if b.Tuple.len = 0 then None else Some b
 
 let preds_detail preds =
   String.concat " ∧ " (List.map Xqdb_tpm.Tpm_print.pred_to_string preds)
@@ -203,76 +288,114 @@ let preds_detail preds =
 let cursor_op ~schema ~info ~param_dep ~ios_now ~make_cursor =
   let cursor = ref (make_cursor ()) in
   make ~schema ~info ~param_dep ~ios_now
-    ~next:(fun () -> !cursor ())
+    ~next_batch:(fun () -> !cursor ())
     ~reset:(fun () -> cursor := make_cursor ())
     ()
 
-let full_scan ctx alias ~preds =
-  let schema = Tuple.xasr_schema alias in
-  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+(* Write an XASR tuple's five columns into the batch's staging row
+   (index [len]) without materializing a [Tuple.t]; the caller commits
+   the row by bumping [len] once the predicates pass. *)
+let stage_xasr b (xt : Xasr.tuple) =
+  let row = b.Tuple.len in
+  let cols = b.Tuple.cols in
+  cols.(0).(row) <- Tuple.I xt.Xasr.nin;
+  cols.(1).(row) <- Tuple.I xt.Xasr.nout;
+  cols.(2).(row) <- Tuple.I xt.Xasr.parent_in;
+  cols.(3).(row) <- Tuple.I (Xasr.node_type_code xt.Xasr.ntype);
+  cols.(4).(row) <- Tuple.S xt.Xasr.value
+
+(* Shared shape of the batch scans: a page-at-a-time cursor yields whole
+   leaves of decoded XASR tuples; each [next_batch] stages rows straight
+   into the output columns and evaluates the compiled predicates in
+   place — no per-tuple [Tuple.t] is allocated on the scan path. *)
+let xasr_page_scan ctx ~schema ~preds ~info ~make_pages =
+  let keep = Tuple.compile_preds_batch ~params:ctx.params schema preds in
   let make_cursor () =
-    let scan = Store.scan_all ctx.store in
-    let rec pull () =
+    let pages = make_pages () in
+    let pending = ref [||] in
+    let pos = ref 0 in
+    let b = out_batch ctx schema in
+    fun () ->
       tick ctx;
-      match scan () with
-      | None -> None
-      | Some xt ->
-        let tuple = Tuple.of_xasr xt in
-        if keep tuple then Some tuple else pull ()
-    in
-    pull
+      Tuple.batch_clear b;
+      let exhausted = ref false in
+      while (not (Tuple.batch_full b)) && not !exhausted do
+        if !pos < Array.length !pending then begin
+          let xt = (!pending).(!pos) in
+          incr pos;
+          stage_xasr b xt;
+          if keep b b.Tuple.len then b.Tuple.len <- b.Tuple.len + 1
+        end
+        else
+          match pages () with
+          | None -> exhausted := true
+          | Some arr ->
+            pending := arr;
+            pos := 0
+      done;
+      if b.Tuple.len = 0 then None else Some b
   in
-  cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx)
-    ~info:{ name = Printf.sprintf "scan XASR[%s]" alias; detail = preds_detail preds; children = [] }
+  cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx) ~info
     ~make_cursor
+
+let full_scan ctx alias ~preds =
+  xasr_page_scan ctx ~schema:(Tuple.xasr_schema alias) ~preds
+    ~info:
+      { name = Printf.sprintf "scan XASR[%s]" alias;
+        detail = preds_detail preds;
+        children = [] }
+    ~make_pages:(fun () -> Store.scan_all_pages ctx.store)
+
+let struct_scan ctx alias ~label ~preds =
+  xasr_page_scan ctx ~schema:(Tuple.xasr_schema alias) ~preds
+    ~info:
+      { name = Printf.sprintf "sidx-scan XASR[%s]" alias;
+        detail =
+          Printf.sprintf "struct(%s)%s" label
+            (if preds = [] then "" else "; " ^ preds_detail preds);
+        children = [] }
+    ~make_pages:(fun () -> Store.struct_stream_pages ctx.store label)
 
 let label_scan ctx alias ~ntype ~value ~preds =
   let schema = Tuple.xasr_schema alias in
-  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+  let keep = Tuple.compile_preds_batch ~params:ctx.params schema preds in
   let make_cursor () =
-    let ins = Store.label_ins ctx.store ntype value in
-    let rec pull () =
+    (* The label index yields whole leaves of matching [in]s; each one
+       still costs a primary fetch (that is the access path's nature),
+       but staging and filtering stay allocation-free. *)
+    let pages = Store.label_ins_pages ctx.store ntype value in
+    let pending = ref [||] in
+    let pos = ref 0 in
+    let b = out_batch ctx schema in
+    fun () ->
       tick ctx;
-      match ins () with
-      | None -> None
-      | Some nin ->
-        (match Store.fetch ctx.store nin with
-         | None -> Xqdb_storage.Xqdb_error.corrupt "Phys_op.label_scan: dangling label-index entry"
-         | Some xt ->
-           let tuple = Tuple.of_xasr xt in
-           if keep tuple then Some tuple else pull ())
-    in
-    pull
+      Tuple.batch_clear b;
+      let exhausted = ref false in
+      while (not (Tuple.batch_full b)) && not !exhausted do
+        if !pos < Array.length !pending then begin
+          let nin = (!pending).(!pos) in
+          incr pos;
+          match Store.fetch ctx.store nin with
+          | None ->
+            Xqdb_storage.Xqdb_error.corrupt "Phys_op.label_scan: dangling label-index entry"
+          | Some xt ->
+            stage_xasr b xt;
+            if keep b b.Tuple.len then b.Tuple.len <- b.Tuple.len + 1
+        end
+        else
+          match pages () with
+          | None -> exhausted := true
+          | Some arr ->
+            pending := arr;
+            pos := 0
+      done;
+      if b.Tuple.len = 0 then None else Some b
   in
   cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx)
     ~info:
       { name = Printf.sprintf "idx-scan XASR[%s]" alias;
         detail =
-          Printf.sprintf "label(%s, %s)%s" (Xqdb_xasr.Xasr.node_type_name ntype) value
-            (if preds = [] then "" else "; " ^ preds_detail preds);
-        children = [] }
-    ~make_cursor
-
-let struct_scan ctx alias ~label ~preds =
-  let schema = Tuple.xasr_schema alias in
-  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
-  let make_cursor () =
-    let stream = Store.struct_stream ctx.store label in
-    let rec pull () =
-      tick ctx;
-      match stream () with
-      | None -> None
-      | Some xt ->
-        let tuple = Tuple.of_xasr xt in
-        if keep tuple then Some tuple else pull ()
-    in
-    pull
-  in
-  cursor_op ~schema ~param_dep:(preds_param_dep preds) ~ios_now:(ctx_ios ctx)
-    ~info:
-      { name = Printf.sprintf "sidx-scan XASR[%s]" alias;
-        detail =
-          Printf.sprintf "struct(%s)%s" label
+          Printf.sprintf "label(%s, %s)%s" (Xasr.node_type_name ntype) value
             (if preds = [] then "" else "; " ^ preds_detail preds);
         children = [] }
     ~make_cursor
@@ -282,22 +405,80 @@ let no_ios () = 0
 let empty schema =
   make ~schema ~ios_now:no_ios
     ~info:{ name = "empty"; detail = "provably empty"; children = [] }
-    ~next:(fun () -> None)
+    ~next_batch:(fun () -> None)
     ~reset:(fun () -> ())
     ()
 
 let singleton schema tuple =
+  let b = Tuple.batch_create ~width:(List.length schema) 1 in
+  Tuple.batch_push b tuple;
   let produced = ref false in
   make ~schema ~ios_now:no_ios
     ~info:{ name = "unit"; detail = ""; children = [] }
-    ~next:(fun () ->
+    ~next_batch:(fun () ->
       if !produced then None
       else begin
         produced := true;
-        Some tuple
+        Some b
       end)
     ~reset:(fun () -> produced := false)
     ()
+
+(* --- parallel scan ------------------------------------------------------ *)
+
+(* Partitioned clustered scan: the document's [in] space [1, root.out]
+   is split into one contiguous range per domain; each domain runs a
+   page-at-a-time primary scan of its range against the shared
+   (domain-safe) buffer pool and filters locally.  Concatenating the
+   partitions in range order is document order, so the output is
+   byte-identical to {!full_scan}.  The result is materialized once and
+   replayed across [reset]s; the cache survives rebinds unless the
+   predicates read parameter slots. *)
+let par_scan_fill ctx ~keep ~domains () =
+  if Store.tuple_count ctx.store = 0 then []
+  else begin
+    let root = Store.root_tuple ctx.store in
+    let total = root.Xasr.nout in
+    let n = max 1 (min domains total) in
+    let chunk = (total + n - 1) / n in
+    let ranges =
+      List.init n (fun d ->
+          let lo = 1 + (d * chunk) in
+          let hi = min total (lo + chunk - 1) in
+          (lo, hi))
+      |> List.filter (fun (lo, hi) -> lo <= hi)
+    in
+    let scan_range (lo, hi) () =
+      let pages = Store.scan_in_range_pages ctx.store ~lo ~hi in
+      let acc = ref [] in
+      let rec go () =
+        tick ctx;
+        match pages () with
+        | None -> ()
+        | Some arr ->
+          Array.iter
+            (fun xt ->
+              let tuple = Tuple.of_xasr xt in
+              if keep tuple then acc := tuple :: !acc)
+            arr;
+          go ()
+      in
+      go ();
+      List.rev !acc
+    in
+    match ranges with
+    | [ r ] -> scan_range r ()
+    | ranges ->
+      let handles = List.map (fun r -> Domain.spawn (scan_range r)) ranges in
+      (* Join every domain before re-raising: an abandoned domain would
+         keep scanning against the shared pool. *)
+      let outcomes =
+        List.map (fun h -> match Domain.join h with r -> Ok r | exception e -> Error e)
+          handles
+      in
+      tick ctx;
+      List.concat_map (function Ok part -> part | Error e -> raise e) outcomes
+  end
 
 (* --- joins ------------------------------------------------------------- *)
 
@@ -309,6 +490,7 @@ type probe =
 let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
   let schema = left.schema @ right.schema in
   let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+  let left_cur = cursor_of left in
   (* Inner-side cache.  [clear] drops it on rebind, but only when the
      inner subtree reads parameter slots — a parameter-independent inner
      cache is valid for every outer binding and surviving rebinds is the
@@ -316,7 +498,8 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
   let inner_next, inner_rewind, inner_clear, cache_detail =
     match materialize_inner with
     | `None ->
-      ((fun () -> right.next ()), (fun () -> right.reset ()), ignore, "recompute")
+      let rc = cursor_of right in
+      (rc.pull, rc.restart, ignore, "recompute")
     | `Mem ->
       let cache = ref None in
       let pos = ref [] in
@@ -341,6 +524,7 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
       in
       (next, (fun () -> pos := fill ()), clear, "inner in memory")
     | `Disk ->
+      let rc = cursor_of right in
       let spool = ref None in
       let cursor = ref (fun () -> None) in
       let fill () =
@@ -348,9 +532,9 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
         | Some hf -> hf
         | None ->
           let hf = Xqdb_storage.Heap_file.create ctx.pool in
-          right.reset ();
+          rc.restart ();
           let rec go () =
-            match right.next () with
+            match rc.pull () with
             | None -> ()
             | Some tuple ->
               ignore (Xqdb_storage.Heap_file.append hf (Tuple.encode tuple));
@@ -372,12 +556,11 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
       (next, (fun () -> cursor := Xqdb_storage.Heap_file.scan (fill ())), clear, "inner on disk")
   in
   let current_left = ref None in
-  let next () =
+  let gen () =
     let rec step () =
-      tick ctx;
       match !current_left with
       | None ->
-        (match left.next () with
+        (match left_cur.pull () with
          | None -> None
          | Some l ->
            current_left := Some l;
@@ -400,10 +583,11 @@ let nl_join ?(materialize_inner = `Mem) ?(semi = false) ~preds left right ctx =
     step ()
   in
   let reset () =
-    left.reset ();
+    left_cur.restart ();
     current_left := None
   in
-  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right] ~next ~reset
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right]
+    ~next_batch:(batched ctx ~schema gen) ~reset
     ~param_dep:(preds_param_dep preds)
     ~clear:(if right.param_dep then inner_clear else ignore)
     ~info:
@@ -419,6 +603,7 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
   if block_size < 1 then invalid_arg "Phys_op.bnl_join: block_size must be positive";
   let schema = left.schema @ right.schema in
   let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+  let left_cur = cursor_of left in
   (* The inner is spooled once; each block replays it. *)
   let inner = ref None in
   let fill_inner () =
@@ -437,7 +622,7 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
     let buf = ref [] in
     let rec take n =
       if n > 0 then
-        match left.next () with
+        match left_cur.pull () with
         | None -> ()
         | Some l ->
           buf := l :: !buf;
@@ -451,12 +636,11 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
       block_pos := 0
     end
   in
-  let rec next () =
-    tick ctx;
+  let rec gen () =
     if !exhausted then None
     else if Array.length !block = 0 then begin
       refill_block ();
-      next ()
+      gen ()
     end
     else
       match !remaining_inner with
@@ -464,28 +648,29 @@ let bnl_join ?(block_size = 64) ~preds left right ctx =
         (* Block done: fetch the next block of outer tuples. *)
         block := [||];
         refill_block ();
-        next ()
+        gen ()
       | r :: rest ->
         if !block_pos >= Array.length !block then begin
           remaining_inner := rest;
           block_pos := 0;
-          next ()
+          gen ()
         end
         else begin
           let l = (!block).(!block_pos) in
           incr block_pos;
           let tuple = Tuple.concat l r in
-          if keep tuple then Some tuple else next ()
+          if keep tuple then Some tuple else gen ()
         end
   in
   let reset () =
-    left.reset ();
+    left_cur.restart ();
     block := [||];
     remaining_inner := [];
     block_pos := 0;
     exhausted := false
   in
-  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right] ~next ~reset
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left; right]
+    ~next_batch:(batched ctx ~schema gen) ~reset
     ~param_dep:(preds_param_dep preds)
     ~clear:(if right.param_dep then (fun () -> inner := None) else ignore)
     ~info:
@@ -540,13 +725,13 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
             Store.fetch ctx.store (as_int (v l))
           end
   in
+  let left_cur = cursor_of left in
   let current = ref None in
-  let next () =
+  let gen () =
     let rec step () =
-      tick ctx;
       match !current with
       | None ->
-        (match left.next () with
+        (match left_cur.pull () with
          | None -> None
          | Some l ->
            current := Some (l, make_probe l);
@@ -571,7 +756,7 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
     step ()
   in
   let reset () =
-    left.reset ();
+    left_cur.restart ();
     current := None
   in
   let probe_detail =
@@ -582,7 +767,8 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
         (Xqdb_tpm.Tpm_print.operand_to_string o)
     | Probe_pk op -> Printf.sprintf "%s.in = %s" alias (Xqdb_tpm.Tpm_print.operand_to_string op)
   in
-  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left] ~next ~reset
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left]
+    ~next_batch:(batched ctx ~schema gen) ~reset
     ~param_dep:(probe_param_dep || preds_param_dep preds || preds_param_dep residual)
     ~info:
       { name = (if semi then "semi-inl-join" else "inl-join");
@@ -593,10 +779,11 @@ let inl_join ?(semi = false) ctx ~probe ~alias ~preds ~residual left =
         children = [left.info] }
     ()
 
-let replay_op ~schema ~info ~ios_now ~kids ~clear_on_rebind ~fill =
-  (* Materialize-on-first-use operator over a list-producing fill. *)
+let replay_op ~schema ~info ~ios_now ~kids ~clear_on_rebind ~ctx ~fill =
+  (* Materialize-on-first-use operator over a list-producing fill; the
+     cached list is served out through a reusable batch. *)
   let cache = ref None in
-  let pos = ref None in
+  let serving = ref None in
   let ensure () =
     match !cache with
     | Some c -> c
@@ -605,26 +792,48 @@ let replay_op ~schema ~info ~ios_now ~kids ~clear_on_rebind ~fill =
       cache := Some c;
       c
   in
-  make ~schema ~info ~ios_now ~kids
+  let out = out_batch ctx schema in
+  (* A fill that must be dropped on rebind reads parameter slots, so the
+     operator itself is parameter-dependent (kids contribute via make). *)
+  make ~schema ~info ~ios_now ~kids ~param_dep:clear_on_rebind
     ~clear:
       (if clear_on_rebind then (fun () ->
            cache := None;
-           pos := None)
+           serving := None)
        else ignore)
-    ~next:(fun () ->
-      let items = match !pos with
+    ~next_batch:(fun () ->
+      tick ctx;
+      let items = match !serving with
         | Some items -> items
         | None -> ensure ()
       in
-      match items with
-      | [] ->
-        pos := Some [];
-        None
-      | tuple :: rest ->
-        pos := Some rest;
-        Some tuple)
-    ~reset:(fun () -> pos := None)
+      Tuple.batch_clear out;
+      let rec take = function
+        | [] -> []
+        | items when Tuple.batch_full out -> items
+        | tuple :: rest ->
+          Tuple.batch_push out tuple;
+          take rest
+      in
+      let rest = take items in
+      serving := Some rest;
+      if out.Tuple.len = 0 then None else Some out)
+    ~reset:(fun () -> serving := None)
     ()
+
+let par_scan ctx ~domains alias ~preds =
+  if domains < 1 then invalid_arg "Phys_op.par_scan: domains must be positive";
+  let schema = Tuple.xasr_schema alias in
+  let keep = Tuple.compile_preds ~params:ctx.params schema preds in
+  replay_op ~schema ~ios_now:(ctx_ios ctx) ~kids:[] ~ctx
+    ~clear_on_rebind:(preds_param_dep preds)
+    ~info:
+      { name = Printf.sprintf "par-scan XASR[%s]" alias;
+        detail =
+          Printf.sprintf "domains %d" domains
+          ^ (if preds = [] then "" else "; " ^ preds_detail preds);
+        children = [] }
+    ~fill:(par_scan_fill ctx ~keep ~domains)
 
 (* Staircase join over the structural index: the label's run is loaded
    once into a sorted-by-[in] array (it never depends on parameters, so
@@ -649,12 +858,12 @@ let struct_join ?(semi = false) ctx ~lo ~hi ~alias ~label ~preds ~residual left 
     match !entries with
     | Some pair -> pair
     | None ->
-      let stream = Store.struct_stream ctx.store label in
+      let pages = Store.struct_stream_pages ctx.store label in
       let rec go acc =
         tick ctx;
-        match stream () with
+        match pages () with
         | None -> List.rev acc
-        | Some xt -> go (Tuple.of_xasr xt :: acc)
+        | Some arr -> go (Array.fold_left (fun acc xt -> Tuple.of_xasr xt :: acc) acc arr)
       in
       let tuples = Array.of_list (go []) in
       let ins = Array.map (fun t -> as_int t.(0)) tuples in
@@ -673,13 +882,13 @@ let struct_join ?(semi = false) ctx ~lo ~hi ~alias ~label ~preds ~residual left 
     in
     go 0 (Array.length ins)
   in
+  let left_cur = cursor_of left in
   let current = ref None in
-  let next () =
+  let gen () =
     let rec step () =
-      tick ctx;
       match !current with
       | None ->
-        (match left.next () with
+        (match left_cur.pull () with
          | None -> None
          | Some l ->
            let tuples, ins = load () in
@@ -709,10 +918,11 @@ let struct_join ?(semi = false) ctx ~lo ~hi ~alias ~label ~preds ~residual left 
     step ()
   in
   let reset () =
-    left.reset ();
+    left_cur.restart ();
     current := None
   in
-  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left] ~next ~reset
+  make ~schema ~ios_now:(ctx_ios ctx) ~kids:[left]
+    ~next_batch:(batched ctx ~schema gen) ~reset
     ~param_dep:
       (operand_param_dep lo || operand_param_dep hi || preds_param_dep preds
       || preds_param_dep residual)
@@ -824,7 +1034,7 @@ let twig_match ctx ~anchor ~steps =
             | -1 -> best := i
             | b ->
               (match heads.(b) with
-              | Some bxt when bxt.Xqdb_xasr.Xasr.nin <= xt.Xqdb_xasr.Xasr.nin -> ()
+              | Some bxt when bxt.Xasr.nin <= xt.Xasr.nin -> ()
               | Some _ | None -> best := i)))
         heads;
       match !best with
@@ -904,15 +1114,15 @@ let twig_match ctx ~anchor ~steps =
       match next_entry () with
       | None -> ()
       | Some (i, xt) ->
-        let nin = xt.Xqdb_xasr.Xasr.nin in
+        let nin = xt.Xasr.nin in
         pop_closed nin;
         (if i = 0 then begin
-           if lo < nin && xt.Xqdb_xasr.Xasr.nout < hi then
+           if lo < nin && xt.Xasr.nout < hi then
              if k = 1 then emit_leaf (Tuple.of_xasr xt) (-1)
              else push 0 (Tuple.of_xasr xt, -1)
          end
          else begin
-           let ptr = partner_of i nin xt.Xqdb_xasr.Xasr.parent_in in
+           let ptr = partner_of i nin xt.Xasr.parent_in in
            if ptr >= 0 then
              if i = k - 1 then emit_leaf (Tuple.of_xasr xt) ptr
              else push i (Tuple.of_xasr xt, ptr)
@@ -940,7 +1150,7 @@ let twig_match ctx ~anchor ~steps =
     | None -> false
     | Some (lo, hi) -> operand_param_dep lo || operand_param_dep hi
   in
-  replay_op ~schema ~ios_now:(ctx_ios ctx) ~kids:[] ~clear_on_rebind
+  replay_op ~schema ~ios_now:(ctx_ios ctx) ~kids:[] ~clear_on_rebind ~ctx
     ~info:
       { name = "twig-match";
         detail =
@@ -962,14 +1172,36 @@ let twig_match ctx ~anchor ~steps =
 
 (* --- filter, project, sort, materialize -------------------------------- *)
 
+(* Filter and project work batch-to-batch: rows of the child's batch are
+   tested (and for project, remapped) column-wise into a reusable output
+   batch sized off the child's, skipping the row-generator machinery
+   entirely. *)
+
+let ensure_out out ~width cap =
+  match !out with
+  | Some b when b.Tuple.cap >= cap -> b
+  | Some _ | None ->
+    let b = Tuple.batch_create ~width (max 1 cap) in
+    out := Some b;
+    b
+
 let filter ?params ~preds child =
-  let keep = Tuple.compile_preds ?params child.schema preds in
-  let rec next () =
-    match child.next () with
+  let keep = Tuple.compile_preds_batch ?params child.schema preds in
+  let width = List.length child.schema in
+  let out = ref None in
+  let rec next_batch () =
+    match child.next_batch () with
     | None -> None
-    | Some tuple -> if keep tuple then Some tuple else next ()
+    | Some cb ->
+      let b = ensure_out out ~width cb.Tuple.cap in
+      Tuple.batch_clear b;
+      for i = 0 to cb.Tuple.len - 1 do
+        if keep cb i then Tuple.batch_copy_row cb i b
+      done;
+      if b.Tuple.len = 0 then next_batch () else Some b
   in
-  make ~schema:child.schema ~ios_now:child.ios_now ~kids:[child] ~next ~reset:child.reset
+  make ~schema:child.schema ~ios_now:child.ios_now ~kids:[child] ~next_batch
+    ~reset:child.reset
     ~param_dep:(preds_param_dep preds)
     ~info:{ name = "filter"; detail = preds_detail preds; children = [child.info] }
     ()
@@ -978,6 +1210,7 @@ let tuples_equal t1 t2 = Array.for_all2 Tuple.value_equal t1 t2
 
 let project ~cols ~dedup child =
   let positions = Array.of_list (List.map (Tuple.position child.schema) cols) in
+  let width = Array.length positions in
   let dedup_name, fresh_state =
     match dedup with
     | `No -> ("", fun () -> fun _ -> true)
@@ -1004,14 +1237,20 @@ let project ~cols ~dedup child =
             end )
   in
   let accept = ref (fresh_state ()) in
-  let rec next () =
-    match child.next () with
+  let out = ref None in
+  let rec next_batch () =
+    match child.next_batch () with
     | None -> None
-    | Some tuple ->
-      let projected = Tuple.project positions tuple in
-      if !accept projected then Some projected else next ()
+    | Some cb ->
+      let b = ensure_out out ~width cb.Tuple.cap in
+      Tuple.batch_clear b;
+      for i = 0 to cb.Tuple.len - 1 do
+        let projected = Array.map (fun p -> cb.Tuple.cols.(p).(i)) positions in
+        if !accept projected then Tuple.batch_push b projected
+      done;
+      if b.Tuple.len = 0 then next_batch () else Some b
   in
-  make ~schema:cols ~ios_now:child.ios_now ~kids:[child] ~next
+  make ~schema:cols ~ios_now:child.ios_now ~kids:[child] ~next_batch
     ~reset:(fun () ->
       child.reset ();
       accept := fresh_state ())
@@ -1060,9 +1299,10 @@ let sort ?(dedup = false) ~mode ~key_cols child ctx =
       Xqdb_storage.Bytes_codec.compare_bytes (Tuple.key_of_encoded a) (Tuple.key_of_encoded b)
     in
     let sorter = Xqdb_storage.Ext_sort.create ctx.pool ~compare:compare_records in
-    child.reset ();
+    let cur = cursor_of child in
+    cur.restart ();
     let rec feed () =
-      match child.next () with
+      match cur.pull () with
       | None -> ()
       | Some tuple ->
         Xqdb_storage.Ext_sort.feed sorter (Tuple.encode_with_key ~key_positions:positions tuple);
@@ -1082,7 +1322,7 @@ let sort ?(dedup = false) ~mode ~key_cols child ctx =
     | `In_mem -> fill_mem
     | `External -> fill_external
   in
-  replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+  replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child] ~ctx
     ~clear_on_rebind:child.param_dep
     ~info:
       { name = (match mode with `In_mem -> "sort" | `External -> "ext-sort");
@@ -1097,11 +1337,12 @@ let btree_sort ?(dedup = true) ~key_cols child ctx =
   let positions = key_positions child.schema key_cols in
   let fill () =
     let bt = Xqdb_storage.Btree.create ctx.pool in
-    child.reset ();
+    let cur = cursor_of child in
+    cur.restart ();
     let seq = ref 0 in
     let rec feed () =
       tick ctx;
-      match child.next () with
+      match cur.pull () with
       | None -> ()
       | Some tuple ->
         let key =
@@ -1129,7 +1370,7 @@ let btree_sort ?(dedup = true) ~key_cols child ctx =
     in
     collect []
   in
-  replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+  replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child] ~ctx
     ~clear_on_rebind:child.param_dep
     ~info:
       { name = "btree-sort";
@@ -1143,22 +1384,23 @@ let btree_sort ?(dedup = true) ~key_cols child ctx =
 let materialize where child ctx =
   match where with
   | `Mem ->
-    replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
+    replay_op ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child] ~ctx
       ~clear_on_rebind:child.param_dep
       ~info:{ name = "materialize"; detail = "memory"; children = [child.info] }
       ~fill:(fun () -> drain child)
   | `Disk ->
     let spool = ref None in
     let cursor = ref (fun () -> None) in
+    let cur = cursor_of child in
     let fill () =
       match !spool with
       | Some hf -> hf
       | None ->
         let hf = Xqdb_storage.Heap_file.create ctx.pool in
-        child.reset ();
+        cur.restart ();
         let rec go () =
           tick ctx;
-          match child.next () with
+          match cur.pull () with
           | None -> ()
           | Some tuple ->
             ignore (Xqdb_storage.Heap_file.append hf (Tuple.encode tuple));
@@ -1169,6 +1411,15 @@ let materialize where child ctx =
         hf
     in
     let started = ref false in
+    let gen () =
+      if not !started then begin
+        started := true;
+        cursor := Xqdb_storage.Heap_file.scan (fill ())
+      end;
+      match !cursor () with
+      | None -> None
+      | Some data -> Some (Tuple.decode data)
+    in
     make ~schema:child.schema ~ios_now:(ctx_ios ctx) ~kids:[child]
       ~clear:
         (if child.param_dep then (fun () ->
@@ -1177,14 +1428,7 @@ let materialize where child ctx =
              started := false)
          else ignore)
       ~info:{ name = "materialize"; detail = "disk"; children = [child.info] }
-      ~next:(fun () ->
-        if not !started then begin
-          started := true;
-          cursor := Xqdb_storage.Heap_file.scan (fill ())
-        end;
-        match !cursor () with
-        | None -> None
-        | Some data -> Some (Tuple.decode data))
+      ~next_batch:(batched ctx ~schema:child.schema gen)
       ~reset:(fun () ->
         started := true;
         cursor := Xqdb_storage.Heap_file.scan (fill ()))

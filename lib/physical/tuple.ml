@@ -98,6 +98,92 @@ let compile_preds ?params schema preds =
   let compiled = List.map (compile_pred ?params schema) preds in
   fun tuple -> List.for_all (fun p -> p tuple) compiled
 
+(* Columnar batches: one value array per schema column plus a fill
+   length, over backing storage an operator allocates once and reuses
+   across [next_batch] calls.  A consumer must finish with a batch before
+   asking its producer for the next one — the arrays are overwritten in
+   place. *)
+
+type batch = {
+  cols : value array array;
+  cap : int;
+  mutable len : int;
+}
+
+let batch_create ~width cap =
+  if cap <= 0 then invalid_arg "Tuple.batch_create: capacity must be positive";
+  { cols = Array.init width (fun _ -> Array.make cap (I 0)); cap; len = 0 }
+
+let batch_width b = Array.length b.cols
+let batch_clear b = b.len <- 0
+let batch_full b = b.len >= b.cap
+
+let batch_push b tuple =
+  let row = b.len in
+  Array.iteri (fun c col -> col.(row) <- tuple.(c)) b.cols;
+  b.len <- row + 1
+
+let batch_row b i =
+  Array.map (fun col -> col.(i)) b.cols
+
+let batch_copy_row src i dst =
+  let row = dst.len in
+  Array.iteri (fun c col -> col.(row) <- src.cols.(c).(i)) dst.cols;
+  dst.len <- row + 1
+
+let batch_of_list ~width tuples =
+  let cap = max 1 (List.length tuples) in
+  let b = batch_create ~width cap in
+  List.iter (batch_push b) tuples;
+  b
+
+let batch_to_list b =
+  List.init b.len (batch_row b)
+
+(* Batch-compiled operands and predicates read column arrays directly —
+   no per-row tuple is materialized on the scan hot paths. *)
+
+let compile_operand_batch ?(params = no_params) schema operand =
+  let slot x =
+    match List.assoc_opt x params with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Tuple.compile_operand_batch: unresolved external %s"
+           (Xqdb_xq.Xq_print.var x))
+  in
+  match operand with
+  | A.Ocol c ->
+    let i = position schema c in
+    fun b row -> b.cols.(i).(row)
+  | A.Oint v ->
+    let v = I v in
+    fun _ _ -> v
+  | A.Ostr s ->
+    let v = S s in
+    fun _ _ -> v
+  | A.Otype ty ->
+    let v = I (Xqdb_xasr.Xasr.node_type_code ty) in
+    fun _ _ -> v
+  | A.Oextern_in x ->
+    let s = slot x in
+    fun _ _ -> I s.bound_in
+  | A.Oextern_out x ->
+    let s = slot x in
+    fun _ _ -> I s.bound_out
+
+let compile_pred_batch ?params schema (p : A.pred) =
+  let left = compile_operand_batch ?params schema p.A.left in
+  let right = compile_operand_batch ?params schema p.A.right in
+  match p.A.op with
+  | A.Eq -> fun b row -> value_equal (left b row) (right b row)
+  | A.Lt -> fun b row -> value_compare (left b row) (right b row) < 0
+  | A.Gt -> fun b row -> value_compare (left b row) (right b row) > 0
+
+let compile_preds_batch ?params schema preds =
+  let compiled = List.map (compile_pred_batch ?params schema) preds in
+  fun b row -> List.for_all (fun p -> p b row) compiled
+
 let xasr_schema alias =
   [ A.col alias A.In;
     A.col alias A.Out;

@@ -60,6 +60,54 @@ val compile_operand :
 val compile_pred : ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.pred -> t -> bool
 val compile_preds : ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.pred list -> t -> bool
 
+(** {2 Columnar batches}
+
+    The unit of flow between physical operators: one value array per
+    schema column plus a fill length, over backing storage the producer
+    allocates once ({!batch_create}) and reuses.  A batch returned by a
+    producer is valid only until the producer's next call — consumers
+    drain it (or copy rows out with {!batch_row}) before asking for
+    more. *)
+
+type batch = {
+  cols : value array array;  (** one array per column; length = capacity *)
+  cap : int;  (** row capacity of the backing arrays *)
+  mutable len : int;  (** rows currently filled, [0 <= len <= cap] *)
+}
+
+val batch_create : width:int -> int -> batch
+(** [batch_create ~width cap]: empty batch with [width] column arrays of
+    [cap] rows each.  @raise Invalid_argument when [cap <= 0]. *)
+
+val batch_width : batch -> int
+val batch_clear : batch -> unit
+val batch_full : batch -> bool
+
+val batch_push : batch -> t -> unit
+(** Append a row (the caller checks {!batch_full} first). *)
+
+val batch_row : batch -> int -> t
+(** Materialize row [i] as a fresh tuple. *)
+
+val batch_copy_row : batch -> int -> batch -> unit
+(** [batch_copy_row src i dst]: append [src]'s row [i] to [dst]
+    column-wise, without materializing a tuple.  The batches must have
+    the same width. *)
+
+val batch_of_list : width:int -> t list -> batch
+val batch_to_list : batch -> t list
+
+val compile_operand_batch :
+  ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.operand -> batch -> int -> value
+(** Like {!compile_operand} but reading a batch row in place — the scan
+    hot paths evaluate predicates without materializing tuples. *)
+
+val compile_pred_batch :
+  ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.pred -> batch -> int -> bool
+
+val compile_preds_batch :
+  ?params:params -> schema -> Xqdb_tpm.Tpm_algebra.pred list -> batch -> int -> bool
+
 val xasr_schema : string -> schema
 (** The five columns of one XASR copy under an alias, in storage order:
     in, out, parent_in, type, value. *)

@@ -9,6 +9,8 @@ type config = {
   rewrite : Rewrite.config;
   merge_relfors : bool;
   planner : Planner.config;
+  batch_size : int;
+  scan_domains : int;
 }
 
 type ctx = {
@@ -52,7 +54,10 @@ let plan_pass =
       (fun ctx ir ->
         match ir with
         | Plan_ir.Tpm tpm ->
-          let base = Op.make_ctx ctx.store in
+          let base =
+            Op.make_ctx ~batch_size:ctx.config.batch_size
+              ~scan_domains:ctx.config.scan_domains ctx.store
+          in
           let next_site = ref 0 in
           let rec go (e : A.t) : Plan_ir.phys =
             match e with

@@ -19,6 +19,9 @@ type config = {
   rewrite : Xqdb_tpm.Rewrite.config;
   merge_relfors : bool;
   planner : Xqdb_optimizer.Planner.config;
+  batch_size : int;  (** rows per operator batch (validated upstream) *)
+  scan_domains : int;
+      (** domains the planner may split a full scan across (1 = off) *)
 }
 
 type ctx = {

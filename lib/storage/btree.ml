@@ -399,6 +399,88 @@ let scan_prefix t ~prefix =
           None
         end
 
+(* Page-at-a-time scans: where [scan_range] re-enters the pool for every
+   entry (a slot-count probe plus a slot read per pull), these cursors
+   pin each leaf once and decode all its qualifying cells inside that
+   single [with_page] window.  The batch-execution scan operators are
+   built on these. *)
+
+let scan_range_pages ?lo ?hi t =
+  let leaf, start =
+    match lo with
+    | None -> (leftmost_leaf t t.root, 0)
+    | Some key ->
+      let leaf = leaf_for t t.root key in
+      let pos, _ = Buffer_pool.with_page t.pool leaf (fun p -> leaf_lower_bound p key) in
+      (leaf, pos)
+  in
+  let cur_leaf = ref leaf in
+  let cur_pos = ref start in
+  let finished = ref false in
+  let rec pull () =
+    if !finished then None
+    else begin
+      Metrics.incr m_node_reads;
+      let cells, nxt, past_hi =
+        Buffer_pool.with_page t.pool !cur_leaf (fun p ->
+            let n = Page.slot_count p in
+            let acc = ref [] in
+            let past_hi = ref false in
+            let pos = ref !cur_pos in
+            while (not !past_hi) && !pos < n do
+              let cell = Page.read_slot p !pos in
+              let key = leaf_cell_key cell in
+              match hi with
+              | Some hi_key when Bytes.compare key hi_key > 0 -> past_hi := true
+              | Some _ | None ->
+                acc := (key, leaf_cell_value cell) :: !acc;
+                incr pos
+            done;
+            (Array.of_list (List.rev !acc), Page.next p, !past_hi))
+      in
+      if past_hi || nxt = 0 then finished := true
+      else begin
+        cur_leaf := nxt;
+        cur_pos := 0
+      end;
+      if Array.length cells = 0 then if !finished then None else pull ()
+      else Some cells
+    end
+  in
+  pull
+
+let scan_prefix_pages t ~prefix =
+  let plen = Bytes.length prefix in
+  let inner = scan_range_pages ~lo:prefix t in
+  let finished = ref false in
+  let rec pull () =
+    if !finished then None
+    else
+      match inner () with
+      | None ->
+        finished := true;
+        None
+      | Some cells ->
+        let matches (key, _) =
+          Bytes.length key >= plen && Bytes.equal (Bytes.sub key 0 plen) prefix
+        in
+        let n = Array.length cells in
+        let keep = ref n in
+        (try
+           for i = 0 to n - 1 do
+             if not (matches cells.(i)) then begin
+               keep := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !keep < n then finished := true;
+        if !keep = 0 then if !finished then None else pull ()
+        else if !keep = n then Some cells
+        else Some (Array.sub cells 0 !keep)
+  in
+  pull
+
 let iter t f =
   let cursor = scan_range t in
   let rec go () =

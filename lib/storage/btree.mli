@@ -45,6 +45,16 @@ val scan_range : ?lo:bytes -> ?hi:bytes -> t -> unit -> (bytes * bytes) option
 val scan_prefix : t -> prefix:bytes -> unit -> (bytes * bytes) option
 (** All entries whose key starts with [prefix], in key order. *)
 
+val scan_range_pages :
+  ?lo:bytes -> ?hi:bytes -> t -> unit -> (bytes * bytes) array option
+(** Page-at-a-time variant of {!scan_range}: each pull pins one leaf and
+    returns all its qualifying cells (never an empty array), decoded
+    inside a single [with_page] window instead of one pool round-trip
+    per entry.  The batch scan operators are built on this. *)
+
+val scan_prefix_pages : t -> prefix:bytes -> unit -> (bytes * bytes) array option
+(** Page-at-a-time variant of {!scan_prefix}. *)
+
 val iter : t -> (bytes -> bytes -> unit) -> unit
 
 val of_cursor : Buffer_pool.t -> (unit -> (bytes * bytes) option) -> t

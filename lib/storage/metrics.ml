@@ -1,39 +1,42 @@
 type counter = {
   name : string;
-  mutable value : int;
+  value : int Atomic.t;
 }
 
 (* The registry is global and append-only: counters are created once (at
    module initialization of the instrumented subsystem) and bumped with a
-   single mutable-field write on the hot path.  Readers work on
-   snapshots, so per-query attribution is done by delta, never by
-   resetting behind a running engine's back. *)
+   single atomic fetch-and-add on the hot path — parallel scan domains
+   bump the same counters, so a plain mutable field would silently lose
+   updates.  Readers work on snapshots, so per-query attribution is done
+   by delta, never by resetting behind a running engine's back. *)
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { name; value = 0 } in
-    Hashtbl.replace registry name c;
-    c
+  Mutex.protect registry_mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+        let c = { name; value = Atomic.make 0 } in
+        Hashtbl.replace registry name c;
+        c)
 
 let name c = c.name
-let value c = c.value
-let incr c = c.value <- c.value + 1
-let add c n = c.value <- c.value + n
+let value c = Atomic.get c.value
+let incr c = ignore (Atomic.fetch_and_add c.value 1)
+let add c n = ignore (Atomic.fetch_and_add c.value n)
 
 let time c f =
   let start = Sys.time () in
   Fun.protect
-    ~finally:(fun () ->
-      c.value <- c.value + int_of_float ((Sys.time () -. start) *. 1e6))
+    ~finally:(fun () -> add c (int_of_float ((Sys.time () -. start) *. 1e6)))
     f
 
 type snapshot = (string * int) list
 
 let snapshot () =
-  Hashtbl.fold (fun _ c acc -> (c.name, c.value) :: acc) registry []
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.fold (fun _ c acc -> (c.name, Atomic.get c.value) :: acc) registry [])
   |> List.sort (fun (n1, _) (n2, _) -> String.compare n1 n2)
 
 let get snap name =
@@ -50,4 +53,6 @@ let diff later earlier =
       if d = 0 then None else Some (name, d))
     later
 
-let reset () = Hashtbl.iter (fun _ c -> c.value <- 0) registry
+let reset () =
+  Mutex.protect registry_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) registry)

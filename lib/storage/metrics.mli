@@ -17,7 +17,11 @@
     Counters are global, not per-structure: with several pools or trees
     in one process the registry reports the sum.  Per-structure numbers
     stay available where they always were (e.g.
-    {!Buffer_pool.stats}). *)
+    {!Buffer_pool.stats}).
+
+    Counters are domain-safe: increments are atomic fetch-and-adds, so
+    parallel scan domains bumping the same counter never lose updates,
+    and the registry itself is guarded by a mutex. *)
 
 type counter
 

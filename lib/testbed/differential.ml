@@ -96,7 +96,7 @@ let compare_to_oracle name (oracle : Engine.result) (result : Engine.result) =
       (Printf.sprintf "%s status diverges: oracle %s, got %s" name
          (status_name o) (status_name r))
 
-let clean_trial ~index engine oracle =
+let clean_trial ?(scan_domains = 1) ~index engine oracle =
   let query_text = Xq_print.to_string (snd oracle) in
   let oracle_result, query = fst oracle, snd oracle in
   let failure = ref None in
@@ -163,6 +163,39 @@ let clean_trial ~index engine oracle =
             rerun "prepared run 2"
           | exception exn ->
             record (Printf.sprintf "%s prepare crashed: %s" name (Printexc.to_string exn))
+        end;
+        (* Batch-vs-tuple axis: the same engine at batch_size 1 runs the
+           identical operator code one row per batch — any divergence is
+           a vectorization bug, not a plan difference.  The multi-domain
+           axis does the same for the partitioned parallel scan. *)
+        if !failure = None then begin
+          let axis tag config' =
+            if !failure = None then begin
+              let e' = Engine.with_config config' engine in
+              let before = page_ios (Engine.disk e') in
+              match Engine.run e' query with
+              | result ->
+                (match
+                   compare_to_oracle (Printf.sprintf "%s (%s)" name tag) oracle_result result
+                 with
+                | Some msg -> record msg
+                | None ->
+                  let observed = page_ios (Engine.disk e') - before in
+                  if result.Engine.page_ios <> observed then
+                    record
+                      (Printf.sprintf
+                         "%s (%s) accounting diverges: reported %d page I/Os, disk saw %d"
+                         name tag result.Engine.page_ios observed))
+              | exception exn ->
+                record
+                  (Printf.sprintf "%s (%s) crashed: %s" name tag (Printexc.to_string exn))
+            end
+          in
+          axis "batch=1" { config with Engine_config.batch_size = 1 };
+          if scan_domains > 1 then
+            axis
+              (Printf.sprintf "domains=%d" scan_domains)
+              { config with Engine_config.scan_domains }
         end)
     milestone_configs;
   match !failure with
@@ -233,7 +266,8 @@ let fault_trial ~fault_seed ~fault_rate ~trial_index engine oracle query =
 
 (* --- driver -------------------------------------------------------------- *)
 
-let run ?(seed = 42) ?(count = 100) ?(fault_rate = 0.) ?(fault_seeds = 1) () =
+let run ?(seed = 42) ?(count = 100) ?(fault_rate = 0.) ?(fault_seeds = 1)
+    ?(scan_domains = 1) () =
   let config = { Engine_config.m1 with Engine_config.pool_capacity = pool_frames } in
   let trials = ref [] in
   let fault_reports = ref [] in
@@ -244,7 +278,7 @@ let run ?(seed = 42) ?(count = 100) ?(fault_rate = 0.) ?(fault_seeds = 1) () =
        runs share a database. *)
     let engine = Engine.load_forest ~config forest in
     let oracle = Engine.run engine query in
-    trials := clean_trial ~index engine (oracle, query) :: !trials;
+    trials := clean_trial ~scan_domains ~index engine (oracle, query) :: !trials;
     if fault_rate > 0. then
       for fs = 0 to fault_seeds - 1 do
         let fault_seed = (seed * 1021) + (index * fault_seeds) + fs in

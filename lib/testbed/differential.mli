@@ -14,6 +14,14 @@
     reproduce the fresh compilation's answer with reconciling
     accounting, catching stale template caches across rebinds.
 
+    The {e batch-vs-tuple} axis reruns each configuration with
+    [batch_size = 1] — the identical vectorized operators degraded to
+    one row per batch — so any divergence is a vectorization bug rather
+    than a plan difference.  With [scan_domains > 1] a further axis
+    reruns each configuration with full scans partitioned across that
+    many domains; both must stay byte-identical with reconciling
+    accounting.
+
     With [fault_rate > 0] every trial is additionally swept under
     {!Xqdb_storage.Fault_disk} injection: each run must end in one of
     the four engine statuses — a crash (any escaped exception) is a
@@ -53,9 +61,16 @@ val generate :
     failing trial can be replayed without the rest of the sweep. *)
 
 val run :
-  ?seed:int -> ?count:int -> ?fault_rate:float -> ?fault_seeds:int -> unit -> report
+  ?seed:int ->
+  ?count:int ->
+  ?fault_rate:float ->
+  ?fault_seeds:int ->
+  ?scan_domains:int ->
+  unit ->
+  report
 (** Defaults: [seed 42], [count 100], [fault_rate 0.] (no fault sweep),
-    [fault_seeds 1] injector seeds per trial when sweeping. *)
+    [fault_seeds 1] injector seeds per trial when sweeping,
+    [scan_domains 1] (no multi-domain axis). *)
 
 val agreed : report -> int
 (** Trials where all milestones matched the oracle. *)

@@ -26,7 +26,9 @@ let query = Xqdb_xq.Xq_parser.parse Queries.example6
 let front_config =
   { Pipeline.rewrite = Xqdb_tpm.Rewrite.default;
     merge_relfors = true;
-    planner = Planner.m4_config }
+    planner = Planner.m4_config;
+    batch_size = 256;
+    scan_domains = 1 }
 
 let psx_of ctx =
   match Plan_ir.tpm_relfors (Pipeline.front ctx query) with

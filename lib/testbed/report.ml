@@ -249,6 +249,7 @@ let rec op_json (o : Engine.op_profile) =
     [ ("op", Str o.op);
       ("args", Str o.args);
       ("rows", Int o.rows);
+      ("batches", Int o.batches);
       ("ios", Int o.ios);
       ("own_ios", Int o.own_ios);
       ("seconds", Float o.seconds);
@@ -316,20 +317,46 @@ let cell_json (c : Efficiency.cell) =
     @ durability_fields c.profile
     @ [("profile", profile_json c.profile)])
 
-let schema_version = 4
+let schema_version = 5
 
 (* v1 reports (no template counter fields), v2 reports (no durability
-   fields) and v3 reports (no traffic kind) stay parseable/valid. *)
-let accepted_versions = [1; 2; 3; schema_version]
+   fields), v3 reports (no traffic kind) and v4 reports (no per-operator
+   batch counts) stay parseable/valid. *)
+let accepted_versions = [1; 2; 3; 4; schema_version]
 
 let bench_json ~kind extra ~results =
   Obj
     ((("schema_version", Int schema_version) :: ("kind", Str kind) :: extra)
     @ [("results", Arr results)])
 
-let fig7_json (table : Efficiency.table) =
+(* The batch-vs-tuple comparison carried by fig7 reports (schema v5):
+   the same engines and workload run once at the configured batch size
+   and once degraded to one-row batches through the identical operator
+   code, so the seconds delta isolates the vectorization win.  Rankings
+   are each run's engines ordered by total censored-capped page I/O —
+   the gate requires them to agree. *)
+type batch_comparison = {
+  cmp_batch_size : int;
+  batch_seconds : float;
+  tuple_seconds : float;
+  batch_ranking : string list;
+  tuple_ranking : string list;
+}
+
+let batch_comparison_json c =
+  Obj
+    [ ("batch_size", Int c.cmp_batch_size);
+      ("batch_seconds", Float c.batch_seconds);
+      ("tuple_seconds", Float c.tuple_seconds);
+      ("batch_ranking", Arr (List.map (fun e -> Str e) c.batch_ranking));
+      ("tuple_ranking", Arr (List.map (fun e -> Str e) c.tuple_ranking)) ]
+
+let fig7_json ?batch (table : Efficiency.table) =
   bench_json ~kind:"fig7"
-    [("budget", Int table.budget)]
+    (("budget", Int table.budget)
+    :: (match batch with
+       | None -> []
+       | Some c -> [("batch", batch_comparison_json c)]))
     ~results:(List.map cell_json table.cells)
 
 (* One result object per crash point, flat, so CI can grep a failing
@@ -427,6 +454,18 @@ let rec validate_op op =
   let* ios = int_field op "ios" in
   let* own = int_field op "own_ios" in
   let* rows = int_field op "rows" in
+  (* v5 reports carry per-operator batch counts; every non-empty batch
+     holds at least one row, so batches can never exceed rows. *)
+  let* () =
+    match member "batches" op with
+    | None -> Ok ()
+    | Some v ->
+      let* batches = as_int "batches" v in
+      if batches < 0 then Error "negative batches"
+      else if batches > rows then
+        Error (Printf.sprintf "batches %d exceed rows %d" batches rows)
+      else Ok ()
+  in
   if rows < 0 then Error "negative rows"
   else if own < 0 then Error "negative own_ios"
   else
@@ -674,6 +713,46 @@ let validate_structural_gain json =
         | None, _ | _, None ->
           Error (Printf.sprintf "%s: missing m4 or m4-nostruct measurement" test))
       (Ok ()) deep_tests
+
+(* The batch-gain gate: a fig7 report's batch-vs-tuple comparison must
+   show the vectorized run strictly faster than the same engines
+   degraded to one-row batches, without disturbing the engine rankings
+   (same code path, same plans, same page I/Os — only the per-row
+   overhead changes). *)
+let validate_batch_gain json =
+  let* batch = need "batch" (member "batch" json) in
+  let* size = int_field batch "batch_size" in
+  let* batch_seconds = need "batch_seconds" (member "batch_seconds" batch) in
+  let* batch_seconds = as_number "batch_seconds" batch_seconds in
+  let* tuple_seconds = need "tuple_seconds" (member "tuple_seconds" batch) in
+  let* tuple_seconds = as_number "tuple_seconds" tuple_seconds in
+  let ranking name =
+    let* arr = need name (member name batch) in
+    let* items = as_arr name arr in
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* s = as_str name item in
+        Ok (s :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+  in
+  let* batch_ranking = ranking "batch_ranking" in
+  let* tuple_ranking = ranking "tuple_ranking" in
+  if size <= 1 then
+    Error (Printf.sprintf "batch comparison ran at batch_size %d, not a vectorized size" size)
+  else if batch_ranking = [] then Error "empty engine rankings"
+  else if not (List.equal String.equal batch_ranking tuple_ranking) then
+    Error
+      (Printf.sprintf "engine rankings changed under batching: [%s] vs [%s]"
+         (String.concat "; " batch_ranking)
+         (String.concat "; " tuple_ranking))
+  else if batch_seconds >= tuple_seconds then
+    Error
+      (Printf.sprintf
+         "batched execution shows no gain: %.3fs at batch %d vs %.3fs tuple-at-a-time"
+         batch_seconds size tuple_seconds)
+  else Ok ()
 
 let parse_file path =
   let ic = open_in_bin path in

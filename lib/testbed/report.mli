@@ -10,10 +10,11 @@
     the per-run planner counters [templates_built], [template_binds] and
     [prepared_cache_hits]; version 3 the durability counters
     [wal_appends], [wal_checkpoints] and [recovery_replayed]; version 4
-    the ["traffic"] kind; older files are still accepted):
+    the ["traffic"] kind; version 5 per-operator [batches] counts and
+    the fig7 [batch] comparison object; older files are still accepted):
 
     {v
-    { "schema_version": 4,
+    { "schema_version": 5,
       "kind": "fig7" | "ablations" | "milestones" | "templates",
       "budget": int,              (fig7 only)
       "results": [
@@ -33,8 +34,8 @@
     v}
 
     where each [<op>] is [{ "op": str, "args": str, "rows": int,
-    "ios": int, "own_ios": int, "seconds": float, "own_seconds": float,
-    "inputs": [<op>, ...] }].
+    "batches": int, "ios": int, "own_ios": int, "seconds": float,
+    "own_seconds": float, "inputs": [<op>, ...] }].
 
     Crash-sweep reports ([kind = "crash"], {!crash_json}) use the same
     envelope with one flat result object per crash point:
@@ -84,8 +85,21 @@ val result_json :
 
 val cell_json : Efficiency.cell -> json
 
-val fig7_json : Efficiency.table -> json
-(** The whole Figure-7 table: [kind = "fig7"]. *)
+(** The batch-vs-tuple comparison a fig7 report can carry (v5): the same
+    engines and workload measured at the configured batch size and again
+    degraded to one-row batches through the identical operator code,
+    with each run's engines ranked by total censored-capped page I/O. *)
+type batch_comparison = {
+  cmp_batch_size : int;  (** the vectorized run's batch size *)
+  batch_seconds : float;  (** total seconds across the table, batched *)
+  tuple_seconds : float;  (** total seconds at [batch_size = 1] *)
+  batch_ranking : string list;
+  tuple_ranking : string list;
+}
+
+val fig7_json : ?batch:batch_comparison -> Efficiency.table -> json
+(** The whole Figure-7 table: [kind = "fig7"], plus the [batch]
+    comparison object when provided. *)
 
 val crash_json : Differential.crash_report -> json
 (** A crash-point sweep: [kind = "crash"], one result per crash point. *)
@@ -124,6 +138,13 @@ val validate_structural_gain : json -> (unit, string) result
     report: every test named ["deep-*"] must carry measurements for both
     [m4] and [m4-nostruct], and the m4 page I/O must be strictly lower.
     Errors when no deep tests are present at all. *)
+
+val validate_batch_gain : json -> (unit, string) result
+(** The vectorization payoff gate over a [BENCH_fig7.json] report: the
+    [batch] comparison object must be present, the batched run must be
+    strictly faster than the tuple-at-a-time run, and the engine
+    rankings of the two runs must agree.  Requires a v5 report with the
+    comparison recorded. *)
 
 val parse_file : string -> (json, string) result
 

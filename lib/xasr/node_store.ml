@@ -148,6 +148,21 @@ let scan_all t =
   let cursor = Btree.scan_range t.primary in
   fun () -> Option.map (fun (_, v) -> Xasr.decode v) (cursor ())
 
+(* Page-at-a-time cursors: one pull decodes every qualifying entry of
+   one leaf page, pinned once.  These feed the batch scan operators. *)
+
+let decode_page cells = Array.map (fun (_, v) -> Xasr.decode v) cells
+
+let scan_in_range_pages t ~lo ~hi =
+  let cursor =
+    Btree.scan_range_pages ~lo:(Xasr.primary_key lo) ~hi:(Xasr.primary_key hi) t.primary
+  in
+  fun () -> Option.map decode_page (cursor ())
+
+let scan_all_pages t =
+  let cursor = Btree.scan_range_pages t.primary in
+  fun () -> Option.map decode_page (cursor ())
+
 let children_ins t parent_in =
   let cursor = Btree.scan_prefix t.parent_idx ~prefix:(Xasr.parent_prefix parent_in) in
   fun () -> Option.map (fun (k, _) -> Xasr.in_of_parent_key k) (cursor ())
@@ -155,6 +170,12 @@ let children_ins t parent_in =
 let label_ins t ntype value =
   let cursor = Btree.scan_prefix t.label_idx ~prefix:(Xasr.label_prefix ntype value) in
   fun () -> Option.map (fun (k, _) -> Xasr.in_of_label_key k) (cursor ())
+
+let label_ins_pages t ntype value =
+  let cursor =
+    Btree.scan_prefix_pages t.label_idx ~prefix:(Xasr.label_prefix ntype value)
+  in
+  fun () -> Option.map (Array.map (fun (k, _) -> Xasr.in_of_label_key k)) (cursor ())
 
 let label_ins_all_of_type t ntype =
   let prefix =
@@ -177,6 +198,10 @@ let struct_tuple label key data =
 let struct_stream t label =
   let cursor = Btree.scan_prefix t.struct_idx ~prefix:(Xasr.struct_prefix label) in
   fun () -> Option.map (fun (k, v) -> struct_tuple label k v) (cursor ())
+
+let struct_stream_pages t label =
+  let cursor = Btree.scan_prefix_pages t.struct_idx ~prefix:(Xasr.struct_prefix label) in
+  fun () -> Option.map (Array.map (fun (k, v) -> struct_tuple label k v)) (cursor ())
 
 let struct_entry_count t = Btree.entry_count t.struct_idx
 

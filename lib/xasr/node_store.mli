@@ -58,6 +58,13 @@ val scan_in_range : t -> lo:int -> hi:int -> unit -> Xasr.tuple option
 
 val scan_all : t -> unit -> Xasr.tuple option
 
+val scan_in_range_pages : t -> lo:int -> hi:int -> unit -> Xasr.tuple array option
+(** Page-at-a-time variant of {!scan_in_range}: each pull pins one
+    primary leaf once and decodes all its qualifying tuples (never an
+    empty array).  Document order across pulls. *)
+
+val scan_all_pages : t -> unit -> Xasr.tuple array option
+
 val children_ins : t -> int -> unit -> int option
 (** [in]s of the children of the node with the given [in], via the
     parent index, in document order. *)
@@ -65,6 +72,9 @@ val children_ins : t -> int -> unit -> int option
 val label_ins : t -> Xasr.node_type -> string -> unit -> int option
 (** [in]s of all nodes with the given type and value, via the label
     index, in document order. *)
+
+val label_ins_pages : t -> Xasr.node_type -> string -> unit -> int array option
+(** Page-at-a-time variant of {!label_ins}. *)
 
 val label_ins_all_of_type : t -> Xasr.node_type -> unit -> int option
 (** [in]s of all nodes of a type regardless of value (e.g. all text
@@ -74,6 +84,9 @@ val label_ins_all_of_type : t -> Xasr.node_type -> unit -> int option
 val struct_stream : t -> string -> unit -> Xasr.tuple option
 (** Full element tuples with the given label, streamed from the
     structural index alone in document order — no primary fetches. *)
+
+val struct_stream_pages : t -> string -> unit -> Xasr.tuple array option
+(** Page-at-a-time variant of {!struct_stream}. *)
 
 val struct_entry_count : t -> int
 

@@ -40,6 +40,43 @@ let test_milestone_names () =
     (fun m -> Alcotest.(check bool) "name nonempty" true (Config.milestone_name m <> ""))
     [Config.M1; Config.M2; Config.M3; Config.M4]
 
+let test_config_validation () =
+  let reject what config =
+    match Config.validate config with
+    | _ -> Alcotest.fail (what ^ " must be rejected")
+    | exception Invalid_argument _ -> ()
+  in
+  reject "batch_size 0" { Config.m4 with Config.batch_size = 0 };
+  reject "negative batch_size" { Config.m4 with Config.batch_size = -3 };
+  reject "scan_domains 0" { Config.m4 with Config.scan_domains = 0 };
+  (* An oversized batch is clamped, not rejected: nothing breaks, it
+     just wastes memory past the page capacity. *)
+  let clamped = Config.validate { Config.m4 with Config.batch_size = 1_000_000 } in
+  Alcotest.(check int) "oversized batch clamps to the page capacity"
+    Config.max_batch_size clamped.Config.batch_size;
+  (* Every shipped preset validates unchanged. *)
+  List.iter
+    (fun c ->
+      let v = Config.validate c in
+      Alcotest.(check int) "preset batch size kept" c.Config.batch_size
+        v.Config.batch_size;
+      Alcotest.(check int) "preset scan domains kept" c.Config.scan_domains
+        v.Config.scan_domains)
+    Config.all_presets;
+  (* Engine constructors apply validation, so a bad config cannot reach
+     the operators. *)
+  (match Engine.load ~config:{ Config.m4 with Config.batch_size = 0 } W.Docs.figure2_string with
+   | _ -> Alcotest.fail "Engine.load must validate its config"
+   | exception Invalid_argument _ -> ());
+  (* An engine running parallel scans still agrees with the default. *)
+  let base = Engine.load ~config:Config.m4 W.Docs.figure2_string in
+  let par = Engine.with_config { Config.m4 with Config.scan_domains = 2 } base in
+  let answer e =
+    (Engine.run e (Xqdb_xq.Xq_parser.parse "for $n in //name return $n")).Engine.output
+  in
+  Alcotest.(check string) "2-domain engine agrees with sequential" (answer base)
+    (answer par)
+
 (* --- the central equivalence property -------------------------------------- *)
 
 (* Random documents, random queries: milestones 2, 3 and 4 (and the five
@@ -555,7 +592,8 @@ let () =
   Alcotest.run "core"
     [ ( "milestones",
         [ Alcotest.test_case "example 2 everywhere" `Quick test_example2_everywhere;
-          Alcotest.test_case "presets" `Quick test_milestone_names ] );
+          Alcotest.test_case "presets" `Quick test_milestone_names;
+          Alcotest.test_case "config validation" `Quick test_config_validation ] );
       ( "equivalence",
         [ prop engines_agree;
           prop naive_rewrite_agrees;

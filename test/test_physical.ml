@@ -505,6 +505,198 @@ let test_operator_budget () =
   | _ -> Alcotest.fail "expected exhaustion"
   | exception S.Budget.Exhausted _ -> ()
 
+(* --- batch protocol ------------------------------------------------------- *)
+
+(* Pull batches by hand, checking the protocol invariant as we go: a
+   returned batch is never empty, exhaustion is always [None]. *)
+let batch_lengths op =
+  let rec go acc =
+    match Op.next_batch op with
+    | None -> List.rev acc
+    | Some b ->
+      Alcotest.(check bool) "a returned batch is never empty" true (b.Tuple.len > 0);
+      go (b.Tuple.len :: acc)
+  in
+  go []
+
+let test_batch_partial_and_empty () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create disk in
+  let store, _ = X.Shredder.shred_forest pool ~name:"t" [Xqdb_workload.Docs.figure2] in
+  let ctx = Op.make_ctx ~batch_size:4 store in
+  (* Nine tuples at batch size four: two full batches plus a final
+     partial one, with stats counted per row and per batch. *)
+  let op = Op.full_scan ctx "R" ~preds:[] in
+  Alcotest.(check (list int)) "final batch is partial" [4; 4; 1] (batch_lengths op);
+  Alcotest.(check int) "stats count rows" 9 op.Op.stats.Op.rows;
+  Alcotest.(check int) "stats count batches" 3 op.Op.stats.Op.batches;
+  (* A predicate matching nothing yields None immediately, never a
+     zero-length batch. *)
+  let none = Op.full_scan ctx "R" ~preds:[value_pred "R" "zzz"] in
+  Alcotest.(check (list int)) "empty result is None, not an empty batch" []
+    (batch_lengths none);
+  Alcotest.(check int) "empty result counts no batches" 0 none.Op.stats.Op.batches
+
+let test_batch_straddles_pages () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create disk in
+  let store, _ =
+    X.Shredder.shred_forest pool ~name:"t"
+      [Xqdb_workload.Dblp_gen.generate (Xqdb_workload.Dblp_gen.scaled 60)]
+  in
+  let total = X.Node_store.tuple_count store in
+  let leaves = X.Node_store.primary_leaf_pages store in
+  Alcotest.(check bool) "store spans several leaf pages" true (leaves > 1);
+  Alcotest.(check bool) "store is larger than one batch" true (total > 512);
+  (* A 512-row batch necessarily crosses leaf boundaries (a 4 KiB page
+     holds far fewer XASR tuples), so a full first batch proves the scan
+     keeps filling across page pulls rather than cutting batches at
+     page edges. *)
+  let big = Op.full_scan (Op.make_ctx ~batch_size:512 store) "R" ~preds:[] in
+  (match batch_lengths big with
+   | first :: _ -> Alcotest.(check int) "first batch fills across pages" 512 first
+   | [] -> Alcotest.fail "scan produced no batches");
+  Alcotest.(check int) "all rows delivered" total big.Op.stats.Op.rows;
+  (* Degrading to one-row batches runs the identical code path and must
+     produce the same rows in the same document order. *)
+  let rows bs = ins_of (Op.full_scan (Op.make_ctx ~batch_size:bs store) "R" ~preds:[]) in
+  Alcotest.(check bool) "batch=512 equals batch=1, in order" true (rows 512 = rows 1)
+
+let test_rebind_between_batches () =
+  let _, base = make_store () in
+  let params = Tuple.make_params ["v"] in
+  let ctx = Op.with_params { base with Op.batch_size = 1 } params in
+  let op =
+    Op.full_scan ctx "R"
+      ~preds:[elem_pred "R"; eq (ocol "R" A.Parent_in) (A.Oextern_in "v")]
+  in
+  (* Consume only the first of authors' two children... *)
+  Tuple.bind_params params (fun _ -> (3, 0));
+  Op.rebind op;
+  op.Op.reset ();
+  (match Op.next_batch op with
+   | Some b ->
+     Alcotest.(check bool) "first child of authors" true
+       ((Tuple.batch_row b 0).(0) = Tuple.I 4)
+   | None -> Alcotest.fail "expected a first batch");
+  (* ...then rebind mid-stream: the stream must restart under the new
+     binding instead of resuming the old one. *)
+  Tuple.bind_params params (fun _ -> (1, 0));
+  Op.rebind op;
+  op.Op.reset ();
+  Alcotest.(check (list int)) "rebind mid-stream restarts cleanly" [2] (ins_of op)
+
+let test_budget_partial_batches () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:4 disk in
+  let store, _ =
+    X.Shredder.shred_forest pool ~name:"t"
+      [Xqdb_workload.Dblp_gen.generate (Xqdb_workload.Dblp_gen.scaled 150)]
+  in
+  S.Buffer_pool.drop_all pool;
+  let budget = S.Budget.create ~max_page_ios:2 disk in
+  let ctx = Op.make_ctx ~budget store in
+  let op = Op.full_scan ctx "R" ~preds:[] in
+  (* The budget is polled per batch, so the first batch (whose fill
+     overruns the two-I/O allowance) still comes back whole... *)
+  let first =
+    match Op.next_batch op with
+    | Some b -> b.Tuple.len
+    | None -> Alcotest.fail "expected rows before exhaustion"
+  in
+  Alcotest.(check bool) "first batch delivered" true (first > 0);
+  (* ...and the next poll raises. *)
+  (match Op.next_batch op with
+   | _ -> Alcotest.fail "expected exhaustion on the second batch"
+   | exception S.Budget.Exhausted _ -> ());
+  (* The censored operator still reports a consistent partial profile. *)
+  let p = Op.profile op in
+  Alcotest.(check int) "partial profile keeps the delivered batch" 1 p.Op.batches;
+  Alcotest.(check int) "partial profile keeps the delivered rows" first p.Op.rows;
+  Alcotest.(check bool) "partial profile charged the I/O" true (p.Op.ios > 0)
+
+(* --- parallel scan -------------------------------------------------------- *)
+
+let test_par_scan_agrees () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:8 ~sanitize:true disk in
+  let store, _ =
+    X.Shredder.shred_forest pool ~name:"t"
+      [Xqdb_workload.Dblp_gen.generate (Xqdb_workload.Dblp_gen.scaled 20)]
+  in
+  ignore disk;
+  let ctx = Op.make_ctx store in
+  let seq = ins_of (Op.full_scan ctx "R" ~preds:[]) in
+  Alcotest.(check bool) "sequential baseline is non-trivial" true
+    (List.length seq > 8);
+  List.iter
+    (fun domains ->
+      let op = Op.par_scan ctx ~domains "R" ~preds:[] in
+      Alcotest.(check bool)
+        (Printf.sprintf "par_scan over %d domains preserves document order" domains)
+        true
+        (ins_of op = seq);
+      Alcotest.(check int) "replay from the merge agrees" (List.length seq)
+        (Op.count op);
+      Op.close ctx op)
+    [1; 2; 3; 4];
+  (* Predicates are evaluated inside the partitions. *)
+  let preds = [elem_pred "R"; value_pred "R" "author"] in
+  let filtered = ins_of (Op.full_scan ctx "R" ~preds) in
+  let par = Op.par_scan ctx ~domains:4 "R" ~preds in
+  Alcotest.(check bool) "filtered parallel scan agrees" true (ins_of par = filtered);
+  Op.close ctx par;
+  (* The sanitizer saw every cross-domain pin; nothing may be left. *)
+  S.Buffer_pool.assert_unpinned ~where:"par_scan" pool;
+  Alcotest.(check (list (pair int int))) "no pinned frames after par_scan" []
+    (S.Buffer_pool.pinned_pages pool)
+
+let test_par_scan_rebind () =
+  let _, base = make_store () in
+  let params = Tuple.make_params ["v"] in
+  let ctx = Op.with_params base params in
+  let op =
+    Op.par_scan ctx ~domains:2 "R"
+      ~preds:[elem_pred "R"; eq (ocol "R" A.Parent_in) (A.Oextern_in "v")]
+  in
+  Alcotest.(check bool) "extern pred makes par_scan parameter-dependent" true
+    op.Op.param_dep;
+  let children nin =
+    Tuple.bind_params params (fun _ -> (nin, 0));
+    Op.rebind op;
+    op.Op.reset ();
+    ins_of op
+  in
+  Alcotest.(check (list int)) "element children of the root" [2] (children 1);
+  Alcotest.(check (list int)) "element children of authors" [4; 8] (children 3);
+  Alcotest.(check (list int)) "rebinding back agrees" [2] (children 1)
+
+let test_par_scan_budget () =
+  let disk = S.Disk.in_memory () in
+  let pool = S.Buffer_pool.create ~capacity:4 disk in
+  let store, _ =
+    X.Shredder.shred_forest pool ~name:"t"
+      [Xqdb_workload.Dblp_gen.generate (Xqdb_workload.Dblp_gen.scaled 150)]
+  in
+  S.Buffer_pool.drop_all pool;
+  let budget = S.Budget.create ~max_page_ios:2 disk in
+  let ctx = Op.make_ctx ~budget store in
+  (* Exhaustion inside a worker domain must cross the join barrier and
+     surface as the ordinary budget exception, not a crash. *)
+  match Op.count (Op.par_scan ctx ~domains:3 "R" ~preds:[]) with
+  | _ -> Alcotest.fail "expected exhaustion through the domain join"
+  | exception S.Budget.Exhausted _ -> ()
+
+let test_ctx_validation () =
+  let _, ctx = make_store () in
+  let store_of (c : Op.ctx) = c.Op.store in
+  (match Op.make_ctx ~batch_size:0 (store_of ctx) with
+   | _ -> Alcotest.fail "batch_size 0 must be rejected"
+   | exception Invalid_argument _ -> ());
+  (match Op.make_ctx ~scan_domains:0 (store_of ctx) with
+   | _ -> Alcotest.fail "scan_domains 0 must be rejected"
+   | exception Invalid_argument _ -> ())
+
 let () =
   let prop = QCheck_alcotest.to_alcotest in
   Alcotest.run "physical"
@@ -541,4 +733,19 @@ let () =
             test_inl_join_fault_pins;
           Alcotest.test_case "structural family leaves no pins" `Quick
             test_struct_ops_fault_pins ] );
-      ("budget", [Alcotest.test_case "propagation" `Quick test_operator_budget]) ]
+      ("budget", [Alcotest.test_case "propagation" `Quick test_operator_budget]);
+      ( "batches",
+        [ Alcotest.test_case "partial and empty batches" `Quick
+            test_batch_partial_and_empty;
+          Alcotest.test_case "batches straddle page boundaries" `Quick
+            test_batch_straddles_pages;
+          Alcotest.test_case "rebind between batches" `Quick
+            test_rebind_between_batches;
+          Alcotest.test_case "budget censoring mid-stream" `Quick
+            test_budget_partial_batches;
+          Alcotest.test_case "ctx validation" `Quick test_ctx_validation ] );
+      ( "parallel scan",
+        [ Alcotest.test_case "agrees with full scan, in order" `Quick
+            test_par_scan_agrees;
+          Alcotest.test_case "rebind across domains" `Quick test_par_scan_rebind;
+          Alcotest.test_case "budget crosses the join" `Quick test_par_scan_budget ] ) ]

@@ -822,6 +822,34 @@ let test_metrics () =
   Alcotest.(check int) "pool.misses delta" 1 (S.Metrics.get d "pool.misses");
   Alcotest.(check int) "pool.hits delta" 1 (S.Metrics.get d "pool.hits")
 
+(* Counters are Atomic.t precisely so parallel scans can bump them from
+   worker domains: two domains hammering one counter must lose no
+   increments — a plain int cell would drop some under contention and
+   the per-operator I/O reconciliation the differential harness enforces
+   would start failing intermittently. *)
+let test_metrics_domain_safety () =
+  let c = S.Metrics.counter "test.domains" in
+  let before = S.Metrics.get (S.Metrics.snapshot ()) "test.domains" in
+  let n = 100_000 in
+  let worker () =
+    for _ = 1 to n do
+      S.Metrics.incr c
+    done;
+    S.Metrics.add c n
+  in
+  let d1 = Domain.spawn worker in
+  let d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  let after = S.Metrics.get (S.Metrics.snapshot ()) "test.domains" in
+  Alcotest.(check int) "exact total across two domains" (4 * n) (after - before);
+  (* Registration itself is also domain-safe: both domains asking for
+     the same name must get the same counter. *)
+  let r1 = Domain.spawn (fun () -> S.Metrics.counter "test.domains.reg") in
+  let r2 = Domain.spawn (fun () -> S.Metrics.counter "test.domains.reg") in
+  let c1 = Domain.join r1 and c2 = Domain.join r2 in
+  Alcotest.(check bool) "concurrent registration converges" true (c1 == c2)
+
 (* --- pin sanitizer ------------------------------------------------------- *)
 
 let sanitize_pool ?(capacity = 4) () =
@@ -1213,7 +1241,9 @@ let () =
         [ Alcotest.test_case "slots" `Quick test_page_slots;
           Alcotest.test_case "overflow" `Quick test_page_overflow;
           Alcotest.test_case "overflow on ordered insert" `Quick test_page_overflow_insert_at ] );
-      ("metrics", [Alcotest.test_case "registry and deltas" `Quick test_metrics]);
+      ( "metrics",
+        [ Alcotest.test_case "registry and deltas" `Quick test_metrics;
+          Alcotest.test_case "domain safety" `Quick test_metrics_domain_safety ] );
       ( "codecs",
         [ Alcotest.test_case "round trip" `Quick test_codec_roundtrip;
           prop key_int_order;
