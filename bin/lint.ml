@@ -48,8 +48,11 @@ let () =
   let info =
     Cmd.info "xqdb-lint"
       ~doc:
-        "Static analyzer for the xqdb storage-safety invariants (L1 typed errors, \
-         L2 no catch-all handlers, L3 no polymorphic compare on storage data, L4 \
-         interfaces everywhere, L5 metric-name hygiene)."
+        "Static analyzer for the xqdb storage-safety and domain-safety invariants \
+         (L1 typed errors, L2 no catch-all handlers, L3 no polymorphic compare on \
+         storage data, L4 interfaces everywhere, L5 metric-name hygiene, L6 no \
+         server stdout, L7 no unprotected shared mutable state in domain-reachable \
+         modules, L8 sanctioned Domain.spawn sites only, L9 no blocking calls \
+         while a latch is held)."
   in
   exit (Cmd.eval (Cmd.v info Term.(const lint_action $ root $ format $ allow $ out)))

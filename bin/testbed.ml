@@ -383,8 +383,45 @@ let lint_cmd =
          "Run the storage-safety static analyzer (same rule registry as \
           $(b,xqdb-lint)): L1 typed errors, L2 no catch-all handlers, L3 no \
           polymorphic compare on storage data, L4 interfaces everywhere, L5 \
-          metric-name hygiene.")
+          metric-name hygiene, L6 no server stdout, L7 no unprotected shared \
+          mutable state near domains, L8 sanctioned Domain.spawn sites only, \
+          L9 no blocking calls under a held latch.")
     Term.(const lint_action $ lint_root $ lint_format $ lint_allow)
+
+(* --- check-lint: CI's sanity check over lint-report.json ------------------ *)
+
+let lint_report_files =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"FILE" ~doc:"Lint JSON report to validate.")
+
+let check_lint_action files =
+  let failed = ref false in
+  List.iter
+    (fun file ->
+      let text =
+        let ic = open_in_bin file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      match Xqdb_lint.Driver.validate_json text with
+      | Ok () -> Printf.printf "%s: ok\n" file
+      | Error msg ->
+        Printf.printf "%s: INVALID: %s\n" file msg;
+        failed := true)
+    files;
+  if !failed then exit 1
+
+let check_lint_cmd =
+  Cmd.v
+    (Cmd.info "check-lint"
+       ~doc:
+         "Validate machine-readable lint reports the way $(b,check-bench) \
+          validates benchmark reports: well-formed JSON, accepted \
+          schema_version, tool stamp, count matching the findings array, and \
+          complete rule/file/line/col/message on every finding.")
+    Term.(const check_lint_action $ lint_report_files)
 
 let () =
   let info =
@@ -394,4 +431,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default:run_term info
           [ run_cmd; differential_cmd; crash_cmd; traffic_cmd; explain_cmd;
-            check_bench_cmd; lint_cmd ]))
+            check_bench_cmd; lint_cmd; check_lint_cmd ]))

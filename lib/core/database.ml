@@ -10,6 +10,10 @@ type t = {
   catalog : Storage.Catalog.t;
   engines : (string, Engine.t) Hashtbl.t;
 }
+(* Registration (load / drop / attach) mutates [engines] while holding
+   the catalog's page-0 frame latch exclusively, which serializes all
+   catalog writers; see DESIGN.md "Concurrency invariants". *)
+[@@guarded_by catalog_page_latch]
 
 (* Once the durable log grows past this, the next load/drop triggers a
    checkpoint: recovery time stays bounded by ~this many bytes of

@@ -55,6 +55,8 @@ type t = {
      load/drop moves the epoch the whole cache is invalid. *)
   mutable cache_epoch : int;
 }
+(* One engine per session, one session per worker domain. *)
+[@@domain_local]
 
 let fresh_cache config = Plan_cache.create config.Engine_config.prepared_cache_capacity
 

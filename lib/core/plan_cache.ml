@@ -11,6 +11,7 @@ type 'a node = {
   mutable prev : 'a node option;
   mutable next : 'a node option;
 }
+[@@domain_local]
 
 type 'a t = {
   cap : int;
@@ -18,6 +19,8 @@ type 'a t = {
   mutable head : 'a node option;  (* most recently used *)
   mutable tail : 'a node option;  (* least recently used *)
 }
+(* Caches belong to an engine, engines to a session's worker domain. *)
+[@@domain_local]
 
 let create capacity =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be positive";

@@ -11,7 +11,12 @@ let registry =
       title = "no polymorphic compare/equality/hash on storage or physical values" };
     { id = "L4"; title = "every module under lib/ declares an interface (.mli)" };
     { id = "L5"; title = "Metrics counter names are literal, well-formed and unique" };
-    { id = "L6"; title = "no stdout writes in lib/server — responses go over the wire" } ]
+    { id = "L6"; title = "no stdout writes in lib/server — responses go over the wire" };
+    { id = "L7";
+      title =
+        "no unprotected shared mutable state in modules reachable from Domain.spawn" };
+    { id = "L8"; title = "no Domain.spawn outside the sanctioned sites" };
+    { id = "L9"; title = "no blocking call while a latch is held in the same body" } ]
 
 (* --- location helpers ---------------------------------------------------- *)
 
@@ -202,6 +207,22 @@ let check_l3 ~emit ~path ast =
         emit "L3" e.pexp_loc
           (Printf.sprintf
              "polymorphic %s between computed values — compare fields explicitly" op)
+      | Pexp_apply
+          ( { pexp_desc =
+                Pexp_ident { txt = Longident.Lident (("min" | "max") as op); _ };
+              _ },
+            (_, a) :: (_, b) :: _ )
+        when (not (atomic a)) && not (atomic b) ->
+        emit "L3" e.pexp_loc
+          (Printf.sprintf
+             "polymorphic %s between computed values — use a typed comparator" op)
+      | Pexp_apply
+          ( { pexp_desc = Pexp_ident { txt = Longident.Ldot (m, "mem"); _ }; _ },
+            (_, a) :: _ )
+        when module_last m = "List" && not (atomic a) ->
+        emit "L3" e.pexp_loc
+          "List.mem uses polymorphic equality on storage data — use List.exists with \
+           a typed equality (List.memq for token identity)"
       | _ -> ());
       Ast_iterator.default_iterator.expr it e
     in
@@ -225,6 +246,14 @@ let valid_counter_name s =
   match String.split_on_char '.' s with
   | [] | [ _ ] -> false
   | segs -> List.for_all seg_ok segs
+
+(* The closed set of counter subsystems.  A registered counter whose
+   first segment is not listed here is a finding: either the name is a
+   typo, or a new subsystem was added and this grammar must grow with
+   it (deliberately, in the same PR). *)
+let counter_subsystems =
+  [ "btree"; "disk"; "engine"; "ext_sort"; "heap"; "latch"; "planner"; "pool";
+    "server"; "wal" ]
 
 (* Collect [<...>.Metrics.counter <arg>] call sites: [Some name] for a
    literal first argument, [None] otherwise. *)
@@ -260,7 +289,17 @@ let check_l5_local ~emit calls =
         if not (valid_counter_name s) then
           emit "L5" loc
             (Printf.sprintf
-               "counter name %S must match [a-z_]+(.[a-z_]+)+ — `subsystem.metric`" s))
+               "counter name %S must match [a-z_]+(.[a-z_]+)+ — `subsystem.metric`" s)
+        else (
+          match String.split_on_char '.' s with
+          | sub :: _ when not (List.mem sub counter_subsystems) ->
+            emit "L5" loc
+              (Printf.sprintf
+                 "counter %S names unknown subsystem %S — known: %s (extend the \
+                  grammar in lint rules.ml when adding a subsystem)"
+                 s sub
+                 (String.concat ", " counter_subsystems))
+          | _ -> ()))
     calls
 
 (* --- L6: no stdout writes in lib/server ----------------------------------- *)
@@ -307,11 +346,258 @@ let check_l6 ~emit ~path ast =
     it.structure it ast
   end
 
-(* --- per-file and cross-file entry points --------------------------------- *)
+(* --- discipline annotations (L7/L9 vocabulary) ----------------------------- *)
 
-(* Internal: findings for one file plus its literal counter names (for
-   the cross-file uniqueness check). *)
-let analyze src =
+(* Two attributes declare a concurrency discipline the type system can't
+   see: [[@@guarded_by lock]] — every access happens with [lock] held —
+   and [[@@domain_local]] — the value never crosses a domain boundary.
+   Unknown attributes are ignored by the compiler, so they cost nothing
+   at build time; L7 treats either as a reviewed, documented claim. *)
+
+let discipline_attrs = [ "guarded_by"; "domain_local" ]
+
+let has_discipline (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> List.mem a.attr_name.txt discipline_attrs)
+    attrs
+
+let rec type_head (t : Parsetree.core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> Some txt
+  | Ptyp_alias (t, _) | Ptyp_poly (_, t) -> type_head t
+  | _ -> None
+
+let is_atomic_type t =
+  match type_head t with
+  | Some (Longident.Ldot (m, "t")) -> module_last m = "Atomic"
+  | _ -> false
+
+let is_hashtbl_type t =
+  match type_head t with
+  | Some (Longident.Ldot (m, "t")) -> module_last m = "Hashtbl"
+  | _ -> false
+
+(* --- L7: shared mutable state facts ---------------------------------------- *)
+
+type shared_site = { s_loc : Location.t; s_what : string }
+
+let rec peel_constraint (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> peel_constraint e
+  | _ -> e
+
+(* Top-level [let x = ref ...] / [let t = Hashtbl.create ...] without a
+   discipline attribute on the binding.  Local refs are fine — they are
+   confined unless captured, and capture sites are what L8 bounds. *)
+let shared_top_binding (vb : Parsetree.value_binding) =
+  if has_discipline vb.pvb_attributes then None
+  else
+    let name =
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt; _ } -> txt
+      | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> txt
+      | _ -> "_"
+    in
+    match (peel_constraint vb.pvb_expr).pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = Longident.Lident "ref"; _ }; _ }, _)
+      ->
+      Some { s_loc = vb.pvb_pat.ppat_loc; s_what = Printf.sprintf "top-level ref `%s`" name }
+    | Pexp_apply
+        ({ pexp_desc = Pexp_ident { txt = Longident.Ldot (m, "create"); _ }; _ }, _)
+      when module_last m = "Hashtbl" ->
+      Some
+        { s_loc = vb.pvb_pat.ppat_loc;
+          s_what = Printf.sprintf "top-level Hashtbl `%s`" name }
+    | _ -> None
+
+(* Mutable or Hashtbl-typed record fields, unless the field's type
+   carries a discipline attribute, the whole type declaration does, or
+   the field is an [Atomic.t] (atomics are their own discipline). *)
+let shared_fields (td : Parsetree.type_declaration) =
+  if has_discipline td.ptype_attributes then []
+  else
+    match td.ptype_kind with
+    | Ptype_record fields ->
+      List.filter_map
+        (fun (f : Parsetree.label_declaration) ->
+          let shared =
+            (f.pld_mutable = Mutable || is_hashtbl_type f.pld_type)
+            && (not (is_atomic_type f.pld_type))
+            && (not (has_discipline f.pld_attributes))
+            && not (has_discipline f.pld_type.ptyp_attributes)
+          in
+          if shared then
+            Some
+              { s_loc = f.pld_name.loc;
+                s_what =
+                  Printf.sprintf "%s field `%s` of type `%s`"
+                    (if f.pld_mutable = Mutable then "mutable" else "Hashtbl")
+                    f.pld_name.txt td.ptype_name.txt }
+          else None)
+        fields
+    | _ -> []
+
+(* --- L8: Domain.spawn sites ------------------------------------------------ *)
+
+(* The two sanctioned sites, as (path, top-level binding) pairs: the
+   partitioned parallel scan and the server's fixed worker pool.  Every
+   other spawn is a finding — new parallelism must either go through
+   those or be argued into this list (or the allowlist) explicitly. *)
+let sanctioned_spawns =
+  [ ("lib/physical/phys_op.ml", "par_scan_fill"); ("lib/server/server.ml", "serve") ]
+
+let spawns_in (e : Parsetree.expression) =
+  let sites = ref [] in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Ldot (m, "spawn"); loc }
+      when module_last m = "Domain" ->
+      sites := loc :: !sites
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it e;
+  List.rev !sites
+
+(* --- L9: blocking calls under a held latch ---------------------------------- *)
+
+(* Syscalls (and the disk/WAL entry points that wrap them) that can
+   block for arbitrarily long.  Anything here executed while a frame
+   latch is held stalls every domain queued on that latch. *)
+let blocking_calls =
+  [ ("Unix", "sleep"); ("Unix", "sleepf"); ("Unix", "select"); ("Unix", "read");
+    ("Unix", "write"); ("Unix", "accept"); ("Unix", "connect");
+    ("Disk", "read_page"); ("Disk", "write_page"); ("Disk", "alloc");
+    ("Wal", "sync") ]
+
+type l9_event = Acquire | Release | Blocking of string
+
+(* Scan one top-level body in textual order: latch acquisitions open a
+   held region, releases close it, and a blocking call inside a region
+   is "provably under a latch in the same body".  Purely syntactic — a
+   release inside a [~finally] that textually precedes the protected
+   body still closes the region, which matches how [Buffer_pool.use]
+   brackets its latch. *)
+let check_l9 ~emit (body : Parsetree.expression) =
+  let events = ref [] in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Ldot (m, f); _ } -> (
+      let m = module_last m in
+      if m = "Latch" && (f = "acquire_shared" || f = "acquire_exclusive") then
+        events := (e.pexp_loc, Acquire) :: !events
+      else if m = "Latch" && f = "release" then
+        events := (e.pexp_loc, Release) :: !events
+      else
+        match List.find_opt (fun (bm, bf) -> bm = m && bf = f) blocking_calls with
+        | Some _ -> events := (e.pexp_loc, Blocking (m ^ "." ^ f)) :: !events
+        | None -> ())
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let it = { Ast_iterator.default_iterator with expr } in
+  it.expr it body;
+  let ordered =
+    List.sort
+      (fun ((a : Location.t), _) ((b : Location.t), _) ->
+        compare a.loc_start.pos_cnum b.loc_start.pos_cnum)
+      !events
+  in
+  ignore
+    (List.fold_left
+       (fun held (loc, ev) ->
+         match ev with
+         | Acquire -> held + 1
+         | Release -> if held > 0 then held - 1 else 0
+         | Blocking what ->
+           if held > 0 then
+             emit "L9" loc
+               (Printf.sprintf
+                  "%s while a latch is held in this body — do the I/O before \
+                   acquiring or after releasing the latch"
+                  what);
+           held)
+       0 ordered)
+
+(* --- phase one: per-file facts --------------------------------------------- *)
+
+(* Phase one parses each file once and distills everything the rules
+   need: per-file findings (L1-L6, L8, L9), literal counter names (L5
+   uniqueness), the modules the file references (the dependency graph),
+   its [Domain.spawn] sites (the graph's roots) and its unannotated
+   shared mutable state (L7 candidates — judged only in phase two, once
+   reachability is known). *)
+
+type facts = {
+  f_src : source;
+  f_module : string;  (* capitalized module name of this file *)
+  f_wrapper : string option;  (* dune wrapper module exposing it, e.g. Xqdb_storage *)
+  f_refs : string list;  (* capitalized idents the file mentions *)
+  f_spawns : bool;  (* has at least one Domain.spawn (graph root) *)
+  f_shared : shared_site list;  (* L7 candidates *)
+  f_findings : Finding.t list;  (* per-file findings, oldest first *)
+  f_counters : (string * Location.t) list;  (* literal counter registrations *)
+}
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+let wrapper_of_path path =
+  match String.split_on_char '/' path with
+  | [ "lib"; dir; _ ] -> Some (String.capitalize_ascii ("xqdb_" ^ dir))
+  | _ -> None
+
+let rec lid_segments = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> s :: lid_segments l
+  | Longident.Lapply (a, b) -> lid_segments a @ lid_segments b
+
+(* Every capitalized identifier the file mentions, from expressions,
+   patterns, types and module expressions.  Over-approximate on purpose:
+   a stray extra edge only makes reachability (and so L7) stricter. *)
+let collect_refs ast =
+  let refs = Hashtbl.create 64 in
+  let note lid =
+    List.iter
+      (fun s ->
+        if s <> "" && s.[0] >= 'A' && s.[0] <= 'Z' then Hashtbl.replace refs s ())
+      (lid_segments lid)
+  in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ }
+    | Pexp_construct ({ txt; _ }, _)
+    | Pexp_field (_, { txt; _ })
+    | Pexp_setfield (_, { txt; _ }, _)
+    | Pexp_new { txt; _ } ->
+      note txt
+    | _ -> ());
+    Ast_iterator.default_iterator.expr it e
+  in
+  let pat it (p : Parsetree.pattern) =
+    (match p.ppat_desc with
+    | Ppat_construct ({ txt; _ }, _) -> note txt
+    | _ -> ());
+    Ast_iterator.default_iterator.pat it p
+  in
+  let typ it (t : Parsetree.core_type) =
+    (match t.ptyp_desc with
+    | Ptyp_constr ({ txt; _ }, _) -> note txt
+    | _ -> ());
+    Ast_iterator.default_iterator.typ it t
+  in
+  let module_expr it (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; _ } -> note txt
+    | _ -> ());
+    Ast_iterator.default_iterator.module_expr it m
+  in
+  let it = { Ast_iterator.default_iterator with expr; pat; typ; module_expr } in
+  it.structure it ast;
+  Hashtbl.fold (fun k () acc -> k :: acc) refs []
+
+let gather_facts src =
   let findings = ref [] in
   let emit_at rule line col msg =
     findings := Finding.v ~rule ~file:src.path ~line ~col msg :: !findings
@@ -321,6 +607,7 @@ let analyze src =
     emit_at rule line col msg
   in
   check_l4 ~emit_at src;
+  let refs = ref [] and spawns = ref false and shared = ref [] in
   let counters =
     match parse_implementation src with
     | Error f ->
@@ -331,22 +618,95 @@ let analyze src =
       check_l2 ~emit ast;
       check_l3 ~emit ~path:src.path ast;
       check_l6 ~emit ~path:src.path ast;
+      refs := collect_refs ast;
+      (* Top-level walk: binding names scope L8's sanction check and
+         L9's per-body scan; type declarations yield L7 candidates. *)
+      List.iter
+        (fun (item : Parsetree.structure_item) ->
+          match item.pstr_desc with
+          | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : Parsetree.value_binding) ->
+                let name =
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt; _ } -> txt
+                  | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) -> txt
+                  | _ -> "_"
+                in
+                let sites = spawns_in vb.pvb_expr in
+                if sites <> [] then spawns := true;
+                List.iter
+                  (fun loc ->
+                    if not (List.mem (src.path, name) sanctioned_spawns) then
+                      emit "L8" loc
+                        (Printf.sprintf
+                           "Domain.spawn in `%s` — parallelism goes through \
+                            Phys_op.par_scan or the Server worker pool, not ad-hoc \
+                            domains"
+                           name))
+                  sites;
+                check_l9 ~emit vb.pvb_expr;
+                match shared_top_binding vb with
+                | Some s -> shared := s :: !shared
+                | None -> ())
+              vbs
+          | Pstr_type (_, tds) ->
+            List.iter (fun td -> shared := shared_fields td @ !shared) tds
+          | _ -> ())
+        ast;
       let calls = counter_calls ast in
       check_l5_local ~emit calls;
-      List.filter_map
-        (fun (name, loc) -> Option.map (fun n -> (n, loc)) name)
-        calls
+      List.filter_map (fun (name, loc) -> Option.map (fun n -> (n, loc)) name) calls
   in
-  (List.rev !findings, counters)
+  { f_src = src;
+    f_module = module_of_path src.path;
+    f_wrapper = wrapper_of_path src.path;
+    f_refs = !refs;
+    f_spawns = !spawns;
+    f_shared = List.rev !shared;
+    f_findings = List.rev !findings;
+    f_counters = counters }
 
-let check_file src = fst (analyze src)
+let check_file src = (gather_facts src).f_findings
+
+(* --- phase two: reachability and project-wide rules ------------------------- *)
+
+(* Paths of the files reachable (by module reference) from any file that
+   spawns domains.  Conservative: a reference to a wrapper module
+   (Xqdb_storage) pulls in every file of that library, since the source
+   of [Xqdb_storage.X.f] could be any of them. *)
+let reachable_paths facts =
+  let by_name : (string, facts list) Hashtbl.t = Hashtbl.create 64 in
+  let index name fa =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt by_name name) in
+    Hashtbl.replace by_name name (fa :: cur)
+  in
+  List.iter
+    (fun fa ->
+      index fa.f_module fa;
+      Option.iter (fun w -> index w fa) fa.f_wrapper)
+    facts;
+  let seen = Hashtbl.create 64 in
+  let rec visit fa =
+    if not (Hashtbl.mem seen fa.f_src.path) then begin
+      Hashtbl.add seen fa.f_src.path ();
+      List.iter
+        (fun r ->
+          List.iter visit (Option.value ~default:[] (Hashtbl.find_opt by_name r)))
+        fa.f_refs
+    end
+  in
+  List.iter (fun fa -> if fa.f_spawns then visit fa) facts;
+  seen
 
 let check_project srcs =
+  let facts = List.map gather_facts srcs in
+  let reach = reachable_paths facts in
   let seen = Hashtbl.create 64 in
   let findings =
     List.concat_map
-      (fun src ->
-        let findings, counters = analyze src in
+      (fun fa ->
+        let src = fa.f_src in
         let dups =
           List.filter_map
             (fun (name, loc) ->
@@ -361,9 +721,23 @@ let check_project srcs =
                 let line, _ = line_col loc in
                 Hashtbl.add seen name (Printf.sprintf "%s:%d" src.path line);
                 None)
-            counters
+            fa.f_counters
         in
-        findings @ dups)
-      srcs
+        let l7 =
+          if not (Hashtbl.mem reach src.path) then []
+          else
+            List.map
+              (fun s ->
+                let line, col = line_col s.s_loc in
+                Finding.v ~rule:"L7" ~file:src.path ~line ~col
+                  (Printf.sprintf
+                     "%s in a module reachable from Domain.spawn — use Atomic.t, or \
+                      declare the discipline with [@@guarded_by <lock>] / \
+                      [@@domain_local]"
+                     s.s_what))
+              fa.f_shared
+        in
+        fa.f_findings @ dups @ l7)
+      facts
   in
   List.sort Finding.compare findings

@@ -11,6 +11,9 @@ type ctx = {
   batch_size : int;
   scan_domains : int;
 }
+(* Owned by the query's driving domain; par_scan workers only read the
+   immutable fields and return their batches to the owner. *)
+[@@domain_local]
 
 let make_ctx ?budget ?(params = Tuple.no_params) ?(batch_size = 256)
     ?(scan_domains = 1) store =
@@ -48,6 +51,7 @@ type stats = {
   mutable ios : int;  (* inclusive: includes the children's I/O *)
   mutable seconds : float;  (* inclusive CPU seconds *)
 }
+[@@domain_local]
 
 type t = {
   schema : Tuple.schema;

@@ -44,6 +44,7 @@ type param_slot = {
   mutable bound_in : int;
   mutable bound_out : int;
 }
+[@@domain_local]
 
 type params = (Xqdb_xq.Xq_ast.var * param_slot) list
 
@@ -109,6 +110,8 @@ type batch = {
   cap : int;
   mutable len : int;
 }
+(* Producer-owned: a batch is filled and consumed on one domain. *)
+[@@domain_local]
 
 let batch_create ~width cap =
   if cap <= 0 then invalid_arg "Tuple.batch_create: capacity must be positive";

@@ -28,6 +28,8 @@ type t = {
   (* doc name -> (base engine it was derived from, per-session view) *)
   mutable views : (string * (Engine.t * Engine.t)) list;
 }
+(* A session lives on exactly one worker domain for its whole life. *)
+[@@domain_local]
 
 let m_requests = Metrics.counter "server.session_requests"
 let m_bad_requests = Metrics.counter "server.session_bad_requests"

@@ -15,6 +15,9 @@ type t = {
   mutable leaves : int;
   mutable height_ : int;
 }
+(* Mutated only while the loading domain builds the tree; published to
+   reader domains through catalog registration (epoch bump). *)
+[@@domain_local]
 
 (* --- meta page -------------------------------------------------------- *)
 

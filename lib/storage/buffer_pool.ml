@@ -26,6 +26,7 @@ type frame = {
      it back and poisons it, so a retained reference reads garbage. *)
   mutable shadow : bytes option;
 }
+[@@guarded_by lock]
 
 type pin = {
   pin_frame : frame;
@@ -41,6 +42,7 @@ type pin = {
   mutable pin_latched : bool;
   mutable released : bool;
 }
+[@@guarded_by lock]
 
 type stats = {
   hits : int;
@@ -71,7 +73,13 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable retries : int;
+  (* Lockdep class names for this pool's frame latches and table mutex —
+     unique per pool so two pools' page ids never alias in the global
+     order graph (see {!Lock_order}). *)
+  lockdep_page : string;
+  lockdep_table : string;
 }
+[@@guarded_by lock]
 
 exception Pool_exhausted of string
 exception Sanitizer_violation of string
@@ -91,8 +99,13 @@ let env_sanitize =
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
 
+(* Pool sequence for lockdep class names; Atomic because pools are
+   created from any domain. *)
+let pool_seq = Atomic.make 0
+
 let create ?(capacity = 64) ?(sanitize = env_sanitize) ?wal disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  let seq = Atomic.fetch_and_add pool_seq 1 in
   { disk;
     wal;
     cap = capacity;
@@ -106,7 +119,9 @@ let create ?(capacity = 64) ?(sanitize = env_sanitize) ?wal disk =
     hits = 0;
     misses = 0;
     evictions = 0;
-    retries = 0 }
+    retries = 0;
+    lockdep_page = Printf.sprintf "pool%d.page" seq;
+    lockdep_table = Printf.sprintf "pool%d.table" seq }
 
 let disk t = t.disk
 let wal t = t.wal
@@ -114,10 +129,20 @@ let capacity t = t.cap
 let sanitizing t = t.sanitize
 
 (* Every public entry point brackets its table work with this; helpers
-   below assume the mutex is already held and never re-take it. *)
+   below assume the mutex is already held and never re-take it.  Under
+   the sanitizer the table mutex participates in lockdep: latch -> table
+   edges are expected (nested page use and mutation-time WAL logging run
+   table work under a held latch), but a table -> latch edge — waiting
+   on a latch while holding the table mutex — would close a cycle and is
+   exactly the protocol violation the checker exists to catch. *)
 let locked t f =
+  if t.sanitize then Lock_order.before_acquire ~cls:t.lockdep_table ~inst:(-1);
   Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.unlock t.lock;
+      if t.sanitize then Lock_order.after_release ~cls:t.lockdep_table ~inst:(-1))
+    f
 
 let domain_id () = (Domain.self () :> int)
 
@@ -389,7 +414,10 @@ let assert_unpinned ~where t =
               (Sanitizer_violation
                  (Printf.sprintf "%s: frame latches still held on pages [%s]" where
                     (String.concat ", "
-                       (List.map (fun (id, h) -> Printf.sprintf "%d (%d)" id h) leaked)))))
+                       (List.map (fun (id, h) -> Printf.sprintf "%d (%d)" id h) leaked)))));
+  (* Outside [locked]: the table mutex itself is lockdep-tracked, so
+     checking inside the bracket would report our own bracket as held. *)
+  if t.sanitize then Lock_order.assert_none_held ~where
 
 type pin_baseline = {
   base_domain : int;  (* the domain that captured the baseline *)
@@ -465,14 +493,27 @@ let use t page_id ~mut f =
      domains' table traffic.  The pin already protects the frame from
      eviction, so the frame (and its latch) stay alive while we wait. *)
   if acquire then begin
-    if mut then Latch.acquire_exclusive frame.latch else Latch.acquire_shared frame.latch;
-    p.pin_latched <- true
+    (match
+       if t.sanitize then Lock_order.before_acquire ~cls:t.lockdep_page ~inst:page_id
+     with
+     | () ->
+       if mut then Latch.acquire_exclusive frame.latch
+       else Latch.acquire_shared frame.latch;
+       p.pin_latched <- true
+     | exception e ->
+       (* The latch was never taken: roll back the hold registration and
+          the pin so the violation propagates from a consistent pool. *)
+       locked t (fun () ->
+           frame.latch_holds <- List.filter (fun (d', _) -> d' <> d) frame.latch_holds;
+           unpin_locked t p);
+       raise e)
   end;
   let result =
     Fun.protect
       ~finally:(fun () ->
         if p.pin_latched then begin
           p.pin_latched <- false;
+          if t.sanitize then Lock_order.after_release ~cls:t.lockdep_page ~inst:page_id;
           Latch.release frame.latch
         end;
         locked t (fun () ->

@@ -2,6 +2,7 @@ type reader = {
   data : bytes;
   mutable pos : int;
 }
+[@@domain_local]
 
 let reader data = { data; pos = 0 }
 

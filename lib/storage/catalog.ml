@@ -6,6 +6,9 @@ type t = {
      plans (and the statistics they were costed against) are stale. *)
   mutable epoch : int;
 }
+(* Catalog writers hold page 0's frame latch exclusively for the whole
+   mutation, so [table] and [epoch] have a single writer at a time. *)
+[@@guarded_by catalog_page_latch]
 
 let catalog_page = 0
 

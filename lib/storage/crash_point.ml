@@ -24,6 +24,8 @@ type t = {
   mutable events : int;
   mutable crashed : bool;
 }
+(* Crash sweeps are single-domain by design. *)
+[@@domain_local]
 
 let events t = t.events
 let crashed t = t.crashed

@@ -39,6 +39,9 @@ type t = {
   mutable allocs : int;
   mutable injector : (op -> int -> fault) option;
 }
+(* Every disk call in a multi-domain run goes through the owning buffer
+   pool, which holds its table mutex across the call. *)
+[@@guarded_by pool_table_lock]
 
 let set_injector t injector = t.injector <- injector
 

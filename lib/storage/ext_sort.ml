@@ -17,6 +17,8 @@ type t = {
   mutable fed : int;
   mutable initial_runs : int;
 }
+(* A sort belongs to the single operator (and domain) draining it. *)
+[@@domain_local]
 
 let create ?(run_bytes = 256 * 1024) ?(fan_in = 16) pool ~compare =
   if fan_in < 2 then invalid_arg "Ext_sort.create: fan_in must be >= 2";

@@ -36,6 +36,8 @@ type t = {
   mutable hard_n : int;
   mutable torn_n : int;
 }
+(* Runs as a [Disk] injector, i.e. under the pool's table mutex. *)
+[@@guarded_by pool_table_lock]
 
 let op_name = function
   | Disk.Read -> "read"

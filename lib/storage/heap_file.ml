@@ -5,6 +5,8 @@ type t = {
   mutable pages : int;
   mutable records : int;
 }
+(* Mutated only by the loading/spilling domain that owns the file. *)
+[@@domain_local]
 
 type rid = {
   page : int;

@@ -18,6 +18,7 @@ type t = {
   mutable holders : int;
   mutable writers_waiting : int;
 }
+[@@guarded_by mutex]
 
 exception Latch_error of string
 

@@ -10,6 +10,8 @@ type counter = {
    updates.  Readers work on snapshots, so per-query attribution is done
    by delta, never by resetting behind a running engine's back. *)
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 64
+[@@guarded_by registry_mutex]
+
 let registry_mutex = Mutex.create ()
 
 let counter name =

@@ -42,6 +42,9 @@ type t = {
   mutable injector : (op -> fault) option;
   mutable no_sync : bool;
 }
+(* Append/sync run under the owning pool's table mutex (mutation-time
+   logging and write-back both happen inside the pool's bracket). *)
+[@@guarded_by pool_table_lock]
 
 type replay_stats = {
   applied : int;

@@ -16,6 +16,7 @@ type state = {
   mutable used : string list;
   mutable fresh_count : int;
 }
+[@@domain_local]
 
 let base_of_var x =
   let cleaned =

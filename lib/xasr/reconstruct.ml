@@ -8,6 +8,7 @@ type frame = {
   tuple : Xasr.tuple;
   mutable children_rev : Tree.node list;
 }
+[@@domain_local]
 
 let to_node frame =
   match frame.tuple.Xasr.ntype with

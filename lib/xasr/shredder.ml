@@ -16,6 +16,8 @@ type t = {
   mutable counter : int;  (* last assigned in/out value *)
   mutable stack : open_tag list;  (* open elements, innermost first *)
 }
+(* One shred = one loading domain. *)
+[@@domain_local]
 
 let root_in = 1
 

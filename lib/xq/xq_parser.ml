@@ -7,6 +7,7 @@ type cursor = {
   mutable pos : int;
   mutable gensym : int;
 }
+[@@domain_local]
 
 let fail cur fmt =
   Format.kasprintf

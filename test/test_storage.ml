@@ -636,6 +636,8 @@ let test_latch_nested_same_page () =
    writes must all land, readers must see consistent snapshots of the
    shared page, and the pool must end quiescent. *)
 let test_pool_concurrent_domains () =
+  let order_violations = S.Metrics.counter "latch.order_violations" in
+  let violations_before = S.Metrics.value order_violations in
   let disk = S.Disk.in_memory ~page_size:128 () in
   let pool = S.Buffer_pool.create ~capacity:16 ~sanitize:true disk in
   let shared = S.Buffer_pool.alloc_page pool in
@@ -666,7 +668,98 @@ let test_pool_concurrent_domains () =
     (S.Buffer_pool.pinned_pages pool);
   Alcotest.(check (list (pair int int))) "no latches survive" []
     (S.Buffer_pool.latched_pages pool);
-  S.Buffer_pool.drop_all pool
+  S.Buffer_pool.drop_all pool;
+  (* Lockdep watched every acquisition above; single-page holds plus the
+     table-mutex edges are acyclic, so this run must be violation-free. *)
+  Alcotest.(check int) "no lock-order violations" 0
+    (S.Metrics.value order_violations - violations_before)
+
+(* --- latch-order checker (lockdep) ---------------------------------------------- *)
+
+(* Two domains that nest two page latches in opposite orders are a
+   deadlock waiting for the right interleaving.  Lockdep must report it
+   on every run: edges survive release, so whichever domain records its
+   nesting second closes the cycle and raises — deterministically,
+   whether or not the domains ever overlap.  Exactly one raises (edge
+   insertion is serialized), and the raise happens before blocking, so
+   the other domain completes and the pool stays consistent. *)
+let test_lockdep_opposite_order () =
+  S.Lock_order.reset ();
+  let order_violations = S.Metrics.counter "latch.order_violations" in
+  let violations_before = S.Metrics.value order_violations in
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:8 ~sanitize:true disk in
+  let a = S.Buffer_pool.alloc_page pool in
+  let b = S.Buffer_pool.alloc_page pool in
+  let nest first second () =
+    S.Buffer_pool.with_page_mut pool first (fun _ ->
+        S.Buffer_pool.with_page_mut pool second (fun _ -> ()))
+  in
+  let outcome order =
+    match order () with
+    | () -> None
+    | exception S.Lock_order.Lock_order_violation msg -> Some msg
+  in
+  let d1 = Domain.spawn (fun () -> outcome (nest a b)) in
+  let d2 = Domain.spawn (fun () -> outcome (nest b a)) in
+  let reports = List.filter_map Fun.id [ Domain.join d1; Domain.join d2 ] in
+  (match reports with
+  | [ msg ] ->
+    let contains needle =
+      let n = String.length needle and h = String.length msg in
+      let rec go i = i + n <= h && (String.sub msg i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "names the new dependency" true (contains "new dependency:");
+    Alcotest.(check bool) "names the recorded reverse path" true
+      (contains "recorded reverse path:");
+    (* Both directions of the cycle carry their acquisition backtraces. *)
+    let rec occurrences i acc =
+      if i + String.length "acquired at:" > String.length msg then acc
+      else if String.sub msg i (String.length "acquired at:") = "acquired at:" then
+        occurrences (i + 1) (acc + 1)
+      else occurrences (i + 1) acc
+    in
+    Alcotest.(check bool) "both acquisition backtraces present" true
+      (occurrences 0 0 >= 2)
+  | [] -> Alcotest.fail "opposite-order nesting never reported a violation"
+  | _ -> Alcotest.fail "both domains reported — exactly one should close the cycle");
+  Alcotest.(check int) "violation counted once" 1
+    (S.Metrics.value order_violations - violations_before);
+  (* The raising domain's rollback left no pins or latches behind. *)
+  Alcotest.(check (list (pair int int))) "no pins survive" []
+    (S.Buffer_pool.pinned_pages pool);
+  Alcotest.(check (list (pair int int))) "no latches survive" []
+    (S.Buffer_pool.latched_pages pool);
+  S.Buffer_pool.assert_unpinned ~where:"lockdep opposite order" pool;
+  S.Lock_order.reset ()
+
+(* Consistent nesting across domains records edges but never raises:
+   the order graph grows, the violation counter does not. *)
+let test_lockdep_consistent_order () =
+  S.Lock_order.reset ();
+  let order_edges = S.Metrics.counter "latch.order_edges" in
+  let order_violations = S.Metrics.counter "latch.order_violations" in
+  let edges_before = S.Metrics.value order_edges in
+  let violations_before = S.Metrics.value order_violations in
+  let disk = S.Disk.in_memory ~page_size:128 () in
+  let pool = S.Buffer_pool.create ~capacity:8 ~sanitize:true disk in
+  let a = S.Buffer_pool.alloc_page pool in
+  let b = S.Buffer_pool.alloc_page pool in
+  let nest () =
+    S.Buffer_pool.with_page_mut pool a (fun _ ->
+        S.Buffer_pool.with_page pool b (fun _ -> ()))
+  in
+  let domains = List.init 2 (fun _ -> Domain.spawn nest) in
+  List.iter Domain.join domains;
+  nest ();
+  Alcotest.(check bool) "order edges recorded" true
+    (S.Metrics.value order_edges - edges_before > 0);
+  Alcotest.(check bool) "held stacks drained" true (S.Lock_order.held_by_self () = []);
+  Alcotest.(check int) "same order is violation-free" 0
+    (S.Metrics.value order_violations - violations_before);
+  S.Buffer_pool.drop_all pool;
+  S.Lock_order.reset ()
 
 (* --- fault injection ------------------------------------------------------------ *)
 
@@ -1310,4 +1403,9 @@ let () =
           Alcotest.test_case "writer preference" `Quick test_latch_writer_preference;
           Alcotest.test_case "release unheld raises" `Quick test_latch_release_unheld;
           Alcotest.test_case "nested same-page use" `Quick test_latch_nested_same_page;
-          Alcotest.test_case "concurrent domains" `Quick test_pool_concurrent_domains ] ) ]
+          Alcotest.test_case "concurrent domains" `Quick test_pool_concurrent_domains ] );
+      ( "lockdep",
+        [ Alcotest.test_case "opposite-order nesting raises" `Quick
+            test_lockdep_opposite_order;
+          Alcotest.test_case "consistent nesting is clean" `Quick
+            test_lockdep_consistent_order ] ) ]

@@ -322,7 +322,14 @@ let test_report_version_gating () =
    and a report with a faked mismatch or disordered percentiles must be
    rejected (the validator is the acceptance gate CI applies). *)
 let test_traffic_report () =
+  (* Lockdep no-false-positive gate: a full traffic run (sanitized in
+     CI's lockdep legs via XQDB_PIN_SANITIZE=1) must not record a single
+     latch-order violation. *)
+  let order_violations = Xqdb_storage.Metrics.counter "latch.order_violations" in
+  let violations_before = Xqdb_storage.Metrics.value order_violations in
   let report = T.Traffic.run ~sessions:2 ~requests:6 ~seed:7 ~scale:60 () in
+  Alcotest.(check int) "no lock-order violations under traffic" 0
+    (Xqdb_storage.Metrics.value order_violations - violations_before);
   Alcotest.(check int) "no oracle mismatches" 0 report.T.Traffic.total_mismatches;
   Alcotest.(check int) "all sessions reported" 2
     (List.length report.T.Traffic.per_session);
