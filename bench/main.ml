@@ -43,7 +43,7 @@ let row name (result : Engine.result) =
       result.Engine.elapsed
   | Engine.Budget_exceeded _ ->
     Printf.printf "  %-28s        censored (%.1fs)\n%!" name result.Engine.elapsed
-  | Engine.Error msg | Engine.Io_error msg -> failwith msg
+  | Engine.Error msg | Engine.Io_error msg | Engine.Timeout msg -> failwith msg
 
 (* --- Figure 7 ------------------------------------------------------------- *)
 

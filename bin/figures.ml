@@ -109,6 +109,7 @@ let milestones () =
         Printf.printf "%-4s %8d page I/Os  %8.3fs\n" config.Config.name result.Engine.page_ios
           result.Engine.elapsed
       | Engine.Budget_exceeded _ -> Printf.printf "%-4s censored (30s)\n" config.Config.name
+      | Engine.Timeout _ -> Printf.printf "%-4s timed out (30s)\n" config.Config.name
       | Engine.Error msg -> Printf.printf "%-4s error: %s\n" config.Config.name msg
       | Engine.Io_error msg -> Printf.printf "%-4s i/o error: %s\n" config.Config.name msg)
     [Config.m1; Config.m2; Config.m3; Config.m4];

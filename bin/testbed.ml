@@ -250,6 +250,73 @@ let traffic_cmd =
       $ traffic_scale $ traffic_mode $ traffic_rate $ traffic_max_page_ios
       $ traffic_max_seconds $ traffic_json_file)
 
+(* --- chaos: traffic under seeded fault injection --------------------------- *)
+
+let chaos_sessions =
+  Arg.(value & opt int 4 & info ["sessions"] ~docv:"N" ~doc:"Concurrent client sessions per leg.")
+
+let chaos_requests =
+  Arg.(value & opt int 50 & info ["requests"] ~docv:"N" ~doc:"Requests per session per leg.")
+
+let chaos_seed =
+  Arg.(value & opt int 42 & info ["seed"] ~docv:"N" ~doc:"Schedule and fault-injection seed.")
+
+let chaos_scale =
+  Arg.(value & opt int 250 & info ["scale"] ~docv:"N" ~doc:"DBLP scale of the shared document.")
+
+let chaos_profile =
+  Arg.(
+    value
+    & opt (enum [("transient", T.Chaos.Transient); ("hard", T.Chaos.Hard)])
+        T.Chaos.Transient
+    & info ["profile"] ~docv:"PROFILE"
+        ~doc:
+          "$(b,transient): every injected fault clears after one failure, so the \
+           retry must make the chaos leg's outcomes equal the baseline's. \
+           $(b,hard): half the faults persist per page and must surface as typed \
+           I/O errors.")
+
+let chaos_max_p99_ratio =
+  Arg.(
+    value
+    & opt float 200.
+    & info ["max-p99-ratio"] ~docv:"R"
+        ~doc:"Tolerated chaos-leg p99 latency degradation over the baseline.")
+
+let chaos_json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info ["json"] ~docv:"FILE"
+        ~doc:"Write the run as a machine-readable JSON report to $(docv).")
+
+let chaos_action sessions requests seed scale profile max_p99_ratio json_file =
+  let report = T.Chaos.run ~profile ~max_p99_ratio ~sessions ~requests ~seed ~scale () in
+  print_string (T.Chaos.render report);
+  (match json_file with
+   | Some file ->
+     T.Report.write_file file (T.Report.chaos_json report);
+     Printf.printf "wrote %s\n" file
+   | None -> ());
+  if report.T.Chaos.violations <> [] then exit 1
+
+let chaos_cmd =
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Chaos harness: replay the same seeded traffic schedules (well-formed \
+          v2 and v1 requests, already-expired deadlines, hostile frames) \
+          fault-free and again under seeded disk-fault injection, then hammer \
+          the WAL of a scratch file database with injected append/sync faults. \
+          Checks that no failure escapes untyped, no Ok payload diverges from \
+          the fault-free oracle, transient faults stay invisible to clients, \
+          hard faults surface as typed I/O errors, the storage retry actually \
+          runs, recovery reopens the scratch file, and p99 degradation stays \
+          bounded. Exits nonzero on any violation.")
+    Term.(
+      const chaos_action $ chaos_sessions $ chaos_requests $ chaos_seed $ chaos_scale
+      $ chaos_profile $ chaos_max_p99_ratio $ chaos_json_file)
+
 (* --- explain: golden EXPLAIN rendering ----------------------------------- *)
 
 let explain_config =
@@ -430,5 +497,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:run_term info
-          [ run_cmd; differential_cmd; crash_cmd; traffic_cmd; explain_cmd;
-            check_bench_cmd; lint_cmd; check_lint_cmd ]))
+          [ run_cmd; differential_cmd; crash_cmd; traffic_cmd; chaos_cmd;
+            explain_cmd; check_bench_cmd; lint_cmd; check_lint_cmd ]))

@@ -89,7 +89,8 @@ let run_cmd =
                 config.Config.name result.Engine.elapsed result.Engine.page_ios;
             Ok ()
           | Engine.Error msg -> Error (`Msg ("runtime type error: " ^ msg))
-          | Engine.Budget_exceeded msg | Engine.Io_error msg -> Error (`Msg msg)))
+          | Engine.Budget_exceeded msg | Engine.Io_error msg | Engine.Timeout msg ->
+            Error (`Msg msg)))
   in
   let term =
     Term.(term_result (const action $ doc_term $ engine_term $ query_term $ verbose_term))
@@ -200,7 +201,8 @@ let query_cmd =
             print_endline result.Engine.output;
             Ok ()
           | Engine.Error msg -> Error (`Msg ("runtime type error: " ^ msg))
-          | Engine.Budget_exceeded msg | Engine.Io_error msg -> Error (`Msg msg)))
+          | Engine.Budget_exceeded msg | Engine.Io_error msg | Engine.Timeout msg ->
+            Error (`Msg msg)))
   in
   let term =
     Term.(term_result (const action $ db_file_term $ name_term $ engine_term $ query_term))
@@ -271,27 +273,73 @@ let serve_cmd =
       & opt (some float) None
       & info ["max-seconds"] ~docv:"S" ~doc:"Server-wide per-request wall-clock cap.")
   in
-  let action path port max_sessions max_page_ios max_seconds =
+  let queue_term =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.queue_capacity
+      & info ["queue-capacity"] ~docv:"N"
+          ~doc:
+            "Admission queue bound: connections beyond it are shed immediately \
+             with $(i,Unavailable) and a retry-after hint instead of queueing \
+             without limit.")
+  in
+  let queue_timeout_term =
+    Arg.(
+      value
+      & opt float Server.default_config.Server.queue_timeout
+      & info ["queue-timeout"] ~docv:"S"
+          ~doc:
+            "Maximum seconds a connection may wait in the admission queue \
+             before it is shed as $(i,Unavailable).")
+  in
+  let action path port max_sessions max_page_ios max_seconds queue_capacity
+      queue_timeout =
     let db = DB.open_file path in
-    let config = { Server.port; max_sessions; max_page_ios; max_seconds } in
-    Server.serve
+    let config =
+      { Server.default_config with
+        Server.port; max_sessions; max_page_ios; max_seconds; queue_capacity;
+        queue_timeout }
+    in
+    Server.serve ~handle_sigterm:true
       ~on_ready:(fun port ->
         Printf.eprintf "xqdb: serving %s on 127.0.0.1:%d (%d sessions)\n%!" path port
           max_sessions)
       config db;
+    DB.close db;
+    Printf.eprintf "xqdb: drained %s cleanly\n%!" path;
     Ok ()
   in
   let term =
     Term.(
       term_result
-        (const action $ db_file_term $ port_term $ sessions_term $ ios_term $ secs_term))
+        (const action $ db_file_term $ port_term $ sessions_term $ ios_term $ secs_term
+         $ queue_term $ queue_timeout_term))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve a database file to concurrent clients over a length-prefixed \
           binary wire protocol (request = query text + budget options, response \
-          = serialized forest, typed error, or budget censoring + accounting).")
+          = serialized forest, typed error, or budget censoring + accounting). \
+          SIGTERM or a $(i,shutdown) frame drains gracefully: stop accepting, \
+          finish in-flight requests, checkpoint, close the WAL cleanly.")
+    term
+
+let open_cmd =
+  let action path =
+    let db = DB.open_file path in
+    let docs = DB.document_names db in
+    DB.close db;
+    Printf.printf "opened %s cleanly (%d document(s))\n" path (List.length docs);
+    Ok ()
+  in
+  let term = Term.(term_result (const action $ db_file_term)) in
+  Cmd.v
+    (Cmd.info "open"
+       ~doc:
+         "Open a database file, replay WAL recovery if needed, and exit. A \
+          post-drain health check: exits nonzero when the file cannot be \
+          recovered to a consistent state.")
     term
 
 let repl_cmd =
@@ -320,7 +368,8 @@ let repl_cmd =
                  Printf.printf "%s\n(%d page I/Os, %.4fs)\n%!" result.Engine.output
                    result.Engine.page_ios result.Engine.elapsed
                | Engine.Error msg -> Printf.printf "runtime type error: %s\n%!" msg
-               | Engine.Budget_exceeded msg | Engine.Io_error msg ->
+               | Engine.Budget_exceeded msg | Engine.Io_error msg
+               | Engine.Timeout msg ->
                  Printf.printf "%s\n%!" msg)));
         loop ()
     in
@@ -338,4 +387,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; explain_cmd; label_cmd; shred_cmd; stats_cmd; load_cmd; query_cmd;
-            ls_cmd; drop_cmd; serve_cmd; repl_cmd ]))
+            ls_cmd; drop_cmd; serve_cmd; open_cmd; repl_cmd ]))

@@ -24,7 +24,8 @@ let () =
   let result = Engine.run engine (Xqdb_xq.Xq_parser.parse query) in
   (match result.Engine.status with
    | Engine.Ok -> Printf.printf "result: %s\n\n" result.Engine.output
-   | Engine.Error msg | Engine.Budget_exceeded msg | Engine.Io_error msg -> failwith msg);
+   | Engine.Error msg | Engine.Budget_exceeded msg | Engine.Io_error msg
+   | Engine.Timeout msg -> failwith msg);
 
   (* The same query through all four milestones gives the same answer;
      only the evaluation machinery differs. *)

@@ -22,7 +22,8 @@ let wal_checkpoint_threshold = 1 lsl 20
 
 let make ~config ?wal disk =
   let pool =
-    Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity ?wal disk
+    Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity
+      ~retry_policy:config.Engine_config.retry_policy ?wal disk
   in
   let catalog = Storage.Catalog.attach pool in
   { config; disk; wal; pool; catalog; engines = Hashtbl.create 8 }

@@ -63,7 +63,8 @@ let fresh_cache config = Plan_cache.create config.Engine_config.prepared_cache_c
 let load_forest ?(config = Engine_config.m4) forest =
   let config = Engine_config.validate config in
   let disk = Storage.Disk.in_memory () in
-  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
+  let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity
+      ~retry_policy:config.Engine_config.retry_policy disk in
   let catalog = Storage.Catalog.attach pool in
   let store, doc_stats = Shredder.shred_forest pool ~name:"doc" forest in
   Store.register store catalog ~stats:doc_stats;
@@ -81,7 +82,8 @@ let load ?(config = Engine_config.m4) ?on_file xml =
   | None -> load_forest ~config forest
   | Some path ->
     let disk = Storage.Disk.on_file path in
-    let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity disk in
+    let pool = Storage.Buffer_pool.create ~capacity:config.Engine_config.pool_capacity
+      ~retry_policy:config.Engine_config.retry_policy disk in
     let catalog = Storage.Catalog.attach pool in
     let store, doc_stats = Shredder.shred_forest pool ~name:"doc" forest in
     Store.register store catalog ~stats:doc_stats;
@@ -316,6 +318,7 @@ let rec exec t budget (env : env) (phys : Plan_ir.phys) : Tree.forest =
 type status =
   | Ok
   | Budget_exceeded of string
+  | Timeout of string
   | Error of string
   | Io_error of string
 
@@ -394,6 +397,7 @@ let measured t ~operators thunk =
     match thunk () with
     | forest -> (Ok, Xml_print.forest_to_string forest)
     | exception Storage.Budget.Exhausted msg -> (Budget_exceeded msg, "")
+    | exception Storage.Budget.Deadline_exceeded msg -> (Timeout msg, "")
     | exception Xq_eval.Type_error msg -> (Error msg, "")
     | exception Storage.Disk.Disk_error msg -> (Io_error msg, "")
     (* Resource conditions surface as statuses too: a query against a
@@ -431,9 +435,9 @@ let measured t ~operators thunk =
   in
   { output; status; elapsed; page_ios = reads + writes; profile }
 
-let run ?max_page_ios ?max_seconds t query =
+let run ?max_page_ios ?max_seconds ?deadline t query =
   Xq_check.check_exn query;
-  let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
+  let budget = Storage.Budget.create ?max_page_ios ?max_seconds ?deadline t.disk in
   let operators = ref (fun () -> []) in
   (* Compiling inside the measured window keeps template-construction
      I/O (cursors opened while building plans) in the run's accounting;
@@ -441,19 +445,20 @@ let run ?max_page_ios ?max_seconds t query =
   measured t ~operators (fun () ->
     run_form t (Some budget) operators (compile_internal t query))
 
-let run_prepared ?max_page_ios ?max_seconds t prepared =
-  let budget = Storage.Budget.create ?max_page_ios ?max_seconds t.disk in
+let run_prepared ?max_page_ios ?max_seconds ?deadline t prepared =
+  let budget = Storage.Budget.create ?max_page_ios ?max_seconds ?deadline t.disk in
   let operators = ref (fun () -> []) in
   measured t ~operators (fun () -> run_form t (Some budget) operators prepared)
 
 let execute = run_prepared
 
-let run_string ?max_page_ios ?max_seconds t input =
-  run ?max_page_ios ?max_seconds t (Xq_parser.parse input)
+let run_string ?max_page_ios ?max_seconds ?deadline t input =
+  run ?max_page_ios ?max_seconds ?deadline t (Xq_parser.parse input)
 
 let status_label = function
   | Ok -> "ok"
   | Budget_exceeded msg -> "budget exceeded: " ^ msg
+  | Timeout msg -> "timeout: " ^ msg
   | Error msg -> "error: " ^ msg
   | Io_error msg -> "I/O error: " ^ msg
 

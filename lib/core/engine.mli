@@ -54,6 +54,11 @@ val pool : t -> Xqdb_storage.Buffer_pool.t
 type status =
   | Ok
   | Budget_exceeded of string
+  | Timeout of string
+      (** the request's absolute deadline passed mid-run
+          ({!Xqdb_storage.Budget.Deadline_exceeded}); censored exactly
+          like a budget overrun, but typed so clients can distinguish
+          "you asked for too much" from "you ran out of time" *)
   | Error of string
       (** runtime type error, as the paper allows — or malformed input
           surfacing as a typed {!Xqdb_xasr.Shredder.Shred_error} *)
@@ -113,11 +118,18 @@ type result = {
 }
 
 val run :
-  ?max_page_ios:int -> ?max_seconds:float -> t -> Xqdb_xq.Xq_ast.query -> result
+  ?max_page_ios:int ->
+  ?max_seconds:float ->
+  ?deadline:float ->
+  t ->
+  Xqdb_xq.Xq_ast.query ->
+  result
 (** Compile (through the prepared cache) and execute.  The compile
     happens inside the measured window, so first-run template
     construction I/O is accounted to the run — and a cache hit makes the
-    whole front end free. *)
+    whole front end free.  [deadline] is an absolute
+    {!Xqdb_storage.Monotonic} instant; past it the run censors with
+    [Timeout]. *)
 
 type prepared
 (** A compiled query bound to the engine it was prepared on: for
@@ -143,15 +155,17 @@ val compile : t -> Xqdb_xq.Xq_ast.query -> prepared
 val prepare : t -> Xqdb_xq.Xq_ast.query -> prepared
 (** Alias of {!compile}. *)
 
-val execute : ?max_page_ios:int -> ?max_seconds:float -> t -> prepared -> result
+val execute :
+  ?max_page_ios:int -> ?max_seconds:float -> ?deadline:float -> t -> prepared -> result
 (** Execute a prepared query: bind parameters, reset the cached operator
     trees and drain them — no rewriting, merging or planning. *)
 
-val run_prepared : ?max_page_ios:int -> ?max_seconds:float -> t -> prepared -> result
+val run_prepared :
+  ?max_page_ios:int -> ?max_seconds:float -> ?deadline:float -> t -> prepared -> result
 (** Alias of {!execute} (historical name). *)
 
 val run_string :
-  ?max_page_ios:int -> ?max_seconds:float -> t -> string -> result
+  ?max_page_ios:int -> ?max_seconds:float -> ?deadline:float -> t -> string -> result
 (** Parse and run.  @raise Xqdb_xq.Xq_parser.Parse_error,
     [Invalid_argument] on check failure. *)
 

@@ -19,6 +19,7 @@ type t = {
   prepared_cache_capacity : int;
   batch_size : int;
   scan_domains : int;
+  retry_policy : Xqdb_storage.Retry.policy;
 }
 
 let milestone_name = function
@@ -63,7 +64,8 @@ let m1 =
     pool_capacity = default_pool;
     prepared_cache_capacity = default_prepared_cache;
     batch_size = default_batch_size;
-    scan_domains = 1 }
+    scan_domains = 1;
+    retry_policy = Xqdb_storage.Retry.default }
 
 let m2 = { m1 with name = "m2"; milestone = M2 }
 

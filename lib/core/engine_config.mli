@@ -28,6 +28,9 @@ type t = {
   scan_domains : int;
       (** domains the planner may partition a full scan across (1 =
           sequential) *)
+  retry_policy : Xqdb_storage.Retry.policy;
+      (** the buffer pool's transient-disk-fault retry policy; the chaos
+          harness deepens it when it cranks fault rates up *)
 }
 
 val default_batch_size : int

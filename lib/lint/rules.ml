@@ -253,7 +253,7 @@ let valid_counter_name s =
    it (deliberately, in the same PR). *)
 let counter_subsystems =
   [ "btree"; "disk"; "engine"; "ext_sort"; "heap"; "latch"; "planner"; "pool";
-    "server"; "wal" ]
+    "retry"; "server"; "wal" ]
 
 (* Collect [<...>.Metrics.counter <arg>] call sites: [Some name] for a
    literal first argument, [None] otherwise. *)
@@ -469,7 +469,7 @@ let blocking_calls =
   [ ("Unix", "sleep"); ("Unix", "sleepf"); ("Unix", "select"); ("Unix", "read");
     ("Unix", "write"); ("Unix", "accept"); ("Unix", "connect");
     ("Disk", "read_page"); ("Disk", "write_page"); ("Disk", "alloc");
-    ("Wal", "sync") ]
+    ("Wal", "sync"); ("Retry", "run") ]
 
 type l9_event = Acquire | Release | Blocking of string
 

@@ -33,6 +33,7 @@ type t = {
 
 let m_requests = Metrics.counter "server.session_requests"
 let m_bad_requests = Metrics.counter "server.session_bad_requests"
+let m_timeouts = Metrics.counter "server.timeouts"
 
 let create ?max_page_ios ?max_seconds db =
   { db; limits = { max_page_ios; max_seconds }; views = [] }
@@ -64,38 +65,61 @@ let view t ~doc =
 let status_of_engine = function
   | Engine.Ok -> Wire.Ok
   | Engine.Budget_exceeded _ -> Wire.Budget_exceeded
+  | Engine.Timeout _ -> Wire.Timeout
   | Engine.Error _ -> Wire.Error
   | Engine.Io_error _ -> Wire.Io_error
 
 let message_of_status = function
   | Engine.Ok -> ""
-  | Engine.Budget_exceeded m | Engine.Error m | Engine.Io_error m -> m
+  | Engine.Budget_exceeded m | Engine.Timeout m | Engine.Error m | Engine.Io_error m -> m
 
-let handle t (req : Wire.request) : Wire.response =
+let handle ?received t (req : Wire.request) : Wire.response =
   Metrics.incr m_requests;
-  match Xq_parser.parse_result req.Wire.query_text with
-  | Result.Error msg ->
-    Metrics.incr m_bad_requests;
-    Wire.error_response Wire.Bad_request ("parse error: " ^ msg)
-  | Result.Ok query ->
-    match view t ~doc:req.Wire.doc with
-    | exception Not_found ->
+  (* The request's relative deadline becomes absolute at [received] —
+     the instant the server took the request in, which the caller may
+     backdate to admission time so queueing counts against it. *)
+  let received =
+    match received with Some at -> at | None -> Xqdb_storage.Monotonic.now ()
+  in
+  let deadline = Option.map (fun d -> received +. d) req.Wire.deadline in
+  let expired =
+    match deadline with
+    | Some d -> Xqdb_storage.Monotonic.now () > d
+    | None -> false
+  in
+  if expired then begin
+    (* Dead on arrival: censor without compiling or touching a page. *)
+    Metrics.incr m_timeouts;
+    Wire.error_response Wire.Timeout "deadline expired before execution"
+  end
+  else
+    match Xq_parser.parse_result req.Wire.query_text with
+    | Result.Error msg ->
       Metrics.incr m_bad_requests;
-      Wire.error_response Wire.Bad_request
-        (Printf.sprintf "unknown document %S" req.Wire.doc)
-    | engine ->
-      let max_page_ios = clamp t.limits.max_page_ios req.Wire.max_page_ios in
-      let max_seconds = clampf t.limits.max_seconds req.Wire.max_seconds in
-      match Engine.run ?max_page_ios ?max_seconds engine query with
-      | result ->
-        { Wire.status = status_of_engine result.Engine.status;
-          payload =
-            (match result.Engine.status with
-             | Engine.Ok -> result.Engine.output
-             | s -> message_of_status s);
-          elapsed = result.Engine.elapsed;
-          page_ios = result.Engine.page_ios }
-      | exception Invalid_argument msg ->
-        (* Scope-check failures ([Xq_check]) and unbound variables. *)
+      Wire.error_response Wire.Bad_request ("parse error: " ^ msg)
+    | Result.Ok query ->
+      match view t ~doc:req.Wire.doc with
+      | exception Not_found ->
         Metrics.incr m_bad_requests;
-        Wire.error_response Wire.Bad_request msg
+        Wire.error_response Wire.Bad_request
+          (Printf.sprintf "unknown document %S" req.Wire.doc)
+      | engine ->
+        let max_page_ios = clamp t.limits.max_page_ios req.Wire.max_page_ios in
+        let max_seconds = clampf t.limits.max_seconds req.Wire.max_seconds in
+        match Engine.run ?max_page_ios ?max_seconds ?deadline engine query with
+        | result ->
+          (match result.Engine.status with
+           | Engine.Timeout _ -> Metrics.incr m_timeouts
+           | _ -> ());
+          { Wire.status = status_of_engine result.Engine.status;
+            payload =
+              (match result.Engine.status with
+               | Engine.Ok -> result.Engine.output
+               | s -> message_of_status s);
+            elapsed = result.Engine.elapsed;
+            page_ios = result.Engine.page_ios;
+            retry_after = None }
+        | exception Invalid_argument msg ->
+          (* Scope-check failures ([Xq_check]) and unbound variables. *)
+          Metrics.incr m_bad_requests;
+          Wire.error_response Wire.Bad_request msg

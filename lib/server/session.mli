@@ -23,9 +23,14 @@ val create : ?max_page_ios:int -> ?max_seconds:float -> Xqdb_core.Database.t -> 
 
 val limits : t -> limits
 
-val handle : t -> Wire.request -> Wire.response
+val handle : ?received:float -> t -> Wire.request -> Wire.response
 (** Execute one request: parse, resolve the document view, run under the
     clamped budget.  Parse/check failures and unknown documents come
     back as [Bad_request]; engine statuses map one-to-one.  Never raises
     on malformed input — only genuine engine bugs
-    ({!Xqdb_storage.Xqdb_error.Internal}) escape. *)
+    ({!Xqdb_storage.Xqdb_error.Internal}) escape.
+
+    The request's relative [deadline] becomes absolute at [received]
+    (an {!Xqdb_storage.Monotonic} instant, default now); a request whose
+    deadline has already passed — or passes mid-run — answers [Timeout]
+    (counted in [server.timeouts]) without ever surfacing as a crash. *)

@@ -1,8 +1,17 @@
 (** The server's wire protocol: length-prefixed binary frames.
 
     A frame is a 10-byte header — magic ["XQDB"], version byte, kind
-    byte (request/response), u32 big-endian payload length — followed by
-    the payload.  Payloads are capped at {!max_payload} bytes.
+    byte (request/response/shutdown), u32 big-endian payload length —
+    followed by the payload.  Payloads are capped at {!max_payload}
+    bytes.
+
+    The current protocol {!version} is 2; every version down to
+    {!min_version} is still accepted.  Version 2 added the per-request
+    [deadline] field, the response [retry_after] hint, the [Timeout]
+    status and the shutdown frame kind.  Encoders take the version to
+    speak: a v1 response encodes [Timeout] as [Budget_exceeded] (the
+    closest status a v1 client knows) and drops [retry_after]; a v1
+    request simply has no deadline field.
 
     Decoding is {e total}: truncated frames, oversized lengths and
     garbage headers all decode to a typed {!error}, never an exception —
@@ -16,6 +25,10 @@ type request = {
   query_text : string;
   max_page_ios : int option;  (** client-requested budget cap *)
   max_seconds : float option;  (** clamped to the server's own cap *)
+  deadline : float option;
+      (** seconds from the server's {e receipt} of the request until
+          the client stops caring; time spent queued counts, and a run
+          past it censors with [Timeout].  [None] = wait forever. *)
 }
 
 type status_code =
@@ -24,14 +37,23 @@ type status_code =
   | Error
   | Io_error
   | Bad_request  (** malformed frame, parse/check failure, unknown doc *)
-  | Unavailable  (** admission control rejected the connection *)
+  | Unavailable  (** shed by admission control; see [retry_after] *)
+  | Timeout  (** the request's deadline passed (queued or mid-run) *)
 
 type response = {
   status : status_code;
   payload : string;  (** serialized forest for [Ok]; message otherwise *)
   elapsed : float;  (** wall-clock seconds executing; 0 if not run *)
   page_ios : int;  (** page I/Os charged to the request; 0 if not run *)
+  retry_after : float option;
+      (** [Unavailable] only: the server's hint for when to retry *)
 }
+
+type incoming =
+  | Incoming_request of int * request
+      (** a request plus the protocol version its frame spoke — respond
+          in the same version *)
+  | Incoming_shutdown  (** a drain order (frame kind 3, empty payload) *)
 
 type error =
   | Closed  (** clean EOF at a frame boundary *)
@@ -47,17 +69,36 @@ val error_to_string : error -> string
 val max_payload : int
 val header_size : int
 
-val error_response : status_code -> string -> response
+val version : int
+(** The newest protocol version this build speaks (2). *)
+
+val min_version : int
+(** The oldest version still accepted (1). *)
+
+val error_response : ?retry_after:float -> status_code -> string -> response
 (** A response with the given status and message, zero accounting. *)
 
-val encode_request : request -> bytes
-(** The full frame, header included. *)
+val encode_request : ?version:int -> request -> bytes
+(** The full frame, header included.  [version] defaults to the current
+    one; encoding for v1 drops the deadline field.
+    @raise Invalid_argument on an unsupported version. *)
 
-val encode_response : response -> bytes
+val encode_response : ?version:int -> response -> bytes
+(** Encoding for v1 maps [Timeout] to [Budget_exceeded] and drops
+    [retry_after]. *)
+
+val encode_shutdown : unit -> bytes
+(** The drain frame: kind 3, empty payload, current version. *)
+
+val read_incoming : read:(bytes -> int -> int -> int) -> (incoming, error) result
+(** Read one client-to-server frame — a request (of any accepted
+    version, tagged with it) or a shutdown order.  [read buf off len]
+    returns the number of bytes read, 0 for EOF (the [Unix.read]
+    shape). *)
 
 val read_request : read:(bytes -> int -> int -> int) -> (request, error) result
-(** Read one request frame.  [read buf off len] returns the number of
-    bytes read, 0 for EOF (the [Unix.read] shape). *)
+(** Read one request frame (any accepted version); a non-request kind
+    is [Bad_kind]. *)
 
 val read_response : read:(bytes -> int -> int -> int) -> (response, error) result
 

@@ -17,13 +17,24 @@ type t
 
 exception Exhausted of string
 
+exception Deadline_exceeded of string
+(** The request's absolute deadline has passed.  Distinct from
+    {!Exhausted} so the engine can censor it as a typed [Timeout]
+    rather than a generic over-budget status. *)
+
 val unlimited : Disk.t -> t
 
-val create : ?max_page_ios:int -> ?max_seconds:float -> Disk.t -> t
-(** Counts I/Os relative to the disk counters at creation time. *)
+val create : ?max_page_ios:int -> ?max_seconds:float -> ?deadline:float -> Disk.t -> t
+(** Counts I/Os relative to the disk counters at creation time.
+    [deadline] is an {e absolute} instant on the {!Monotonic.now}
+    scale — the wire layer converts a client's relative deadline to
+    absolute at admission, so time spent queued counts against it. *)
 
 val check : t -> unit
-(** @raise Exhausted when a cap is exceeded. *)
+(** @raise Deadline_exceeded when the deadline has passed (checked
+    first — a dead request reports [Timeout] even if a cap also
+    tripped).
+    @raise Exhausted when a page-I/O or time cap is exceeded. *)
 
 val page_ios : t -> int
 (** Page I/Os (reads + writes) consumed since creation. *)

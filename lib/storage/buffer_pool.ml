@@ -56,6 +56,10 @@ type t = {
   wal : Wal.t option;
   cap : int;
   sanitize : bool;
+  (* Backoff schedule for transient disk/WAL faults; Retry.run sleeps
+     under the table mutex, so the policy must keep the whole window in
+     the low milliseconds (the default does). *)
+  retry_policy : Retry.policy;
   (* The table mutex: frames, LRU links, pin counts, counters, the
      sanitizer's live list, and all disk/WAL traffic happen under it.
      Frame *contents* are guarded by the per-frame latches instead, so
@@ -103,13 +107,15 @@ let env_sanitize =
    created from any domain. *)
 let pool_seq = Atomic.make 0
 
-let create ?(capacity = 64) ?(sanitize = env_sanitize) ?wal disk =
+let create ?(capacity = 64) ?(sanitize = env_sanitize) ?(retry_policy = Retry.default)
+    ?wal disk =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
   let seq = Atomic.fetch_and_add pool_seq 1 in
   { disk;
     wal;
     cap = capacity;
     sanitize;
+    retry_policy;
     lock = Mutex.create ();
     frames = Hashtbl.create (2 * capacity);
     domain_pins = Hashtbl.create 8;
@@ -153,19 +159,17 @@ let bump_domain_pins t d delta =
   let n = domain_pin_count t d + delta in
   if n = 0 then Hashtbl.remove t.domain_pins d else Hashtbl.replace t.domain_pins d n
 
-let max_attempts = 3
-
-(* Transient disk faults (see Fault_disk) clear on retry; anything that
-   still fails after [max_attempts] propagates as Disk_error. *)
+(* Transient disk faults (see Fault_disk) clear on retry; a fault that
+   survives the whole backoff window propagates as Disk_error.  The
+   classification is Retry.transient_disk_fault: a checksum Corrupt is
+   a hard fault and is never retried — re-reading wrong bytes cannot
+   make them right, it can only hide real corruption. *)
 let with_retries t f =
-  let rec go attempt =
-    try f () with
-    | Disk.Disk_error _ when attempt < max_attempts ->
+  Retry.run ~policy:t.retry_policy
+    ~on_retry:(fun ~attempt:_ _ ->
       t.retries <- t.retries + 1;
-      Metrics.incr m_retries;
-      go (attempt + 1)
-  in
-  go 1
+      Metrics.incr m_retries)
+    ~retryable:Retry.transient_disk_fault f
 
 (* --- the LRU list ------------------------------------------------------ *)
 
@@ -209,9 +213,17 @@ let write_back t frame =
     (match t.wal with
      | None -> ()
      | Some wal ->
-       if frame.logged_lsn = 0 then
-         frame.logged_lsn <- Wal.append wal ~page_id:frame.page_id ~data:frame.buf;
-       Wal.sync wal;
+       (* The log-and-sync pair is retried as a unit.  A torn sync may
+          have dropped this frame's pending record and rolled the log's
+          [last_lsn] back past it; in that case [logged_lsn] points at a
+          record that no longer exists, and skipping the append would
+          write the page with no durable record — violating WAL before
+          data.  So re-append whenever the frame's record is unlogged
+          ([= 0]) or fell off the log ([> last_lsn]). *)
+       with_retries t (fun () ->
+           if frame.logged_lsn = 0 || frame.logged_lsn > Wal.last_lsn wal then
+             frame.logged_lsn <- Wal.append wal ~page_id:frame.page_id ~data:frame.buf;
+           Wal.sync wal);
        if t.sanitize && Wal.synced_lsn wal < frame.logged_lsn then
          raise
            (Sanitizer_violation
@@ -532,7 +544,9 @@ let use t page_id ~mut f =
    | None -> ()
    | Some wal ->
      if mut then
-       locked t (fun () -> frame.logged_lsn <- Wal.append wal ~page_id ~data:frame.buf));
+       locked t (fun () ->
+           frame.logged_lsn <-
+             with_retries t (fun () -> Wal.append wal ~page_id ~data:frame.buf)));
   result
 
 let with_page t page_id f = use t page_id ~mut:false f

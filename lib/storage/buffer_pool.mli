@@ -38,10 +38,12 @@
     in-flight ones.  {!drop_all} is the one global quiescent point — it
     requires zero pins from {e everyone}.
 
-    Disk faults ({!Disk.Disk_error}) are retried a bounded number of
-    times (transient faults injected by {!Fault_disk} clear on retry);
-    a fault that persists propagates to the caller with the pool left
-    consistent.  In particular a dirty frame whose write-back keeps
+    Disk faults ({!Disk.Disk_error}) are retried through {!Retry} — a
+    bounded exponential-backoff window with deterministic jitter
+    (transient faults injected by {!Fault_disk} clear on retry); a
+    checksum {!Xqdb_error.Corrupt} is a {e hard} fault and is never
+    retried.  A fault that persists propagates to the caller with the
+    pool left consistent.  In particular a dirty frame whose write-back keeps
     failing stays cached and dirty — it is never dropped silently — so
     once the disk recovers, the next eviction or [flush_all] persists
     it.
@@ -95,10 +97,14 @@ exception Pin_leak of string
     where the caller asserts none should be; under the sanitizer the
     message carries each leaked pin's acquisition backtrace. *)
 
-val create : ?capacity:int -> ?sanitize:bool -> ?wal:Wal.t -> Disk.t -> t
+val create :
+  ?capacity:int -> ?sanitize:bool -> ?retry_policy:Retry.policy -> ?wal:Wal.t -> Disk.t -> t
 (** Default capacity is 64 frames.  [sanitize] defaults to the
     [XQDB_PIN_SANITIZE] environment variable ([1]/[true]/[yes]).
-    [wal], when given, enables write-ahead logging of every mutation. *)
+    [retry_policy] governs the transient-fault backoff (see {!Retry});
+    it must keep the whole window short — retries sleep under the
+    table mutex.  [wal], when given, enables write-ahead logging of
+    every mutation. *)
 
 val disk : t -> Disk.t
 

@@ -1,0 +1,69 @@
+type policy = {
+  attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  { attempts = 3;
+    base_delay = 0.0005;
+    multiplier = 2.0;
+    max_delay = 0.002;
+    jitter = 0.25;
+    seed = 0 }
+
+let m_attempts = Metrics.counter "retry.attempts"
+let m_giveups = Metrics.counter "retry.giveups"
+
+(* The schedule is materialized up front from a private PRNG state, so
+   two runs of the same policy sleep identically no matter what else
+   drew random numbers in the process. *)
+let delays p =
+  if p.attempts < 1 then invalid_arg "Retry: policy.attempts must be >= 1";
+  (* Field-by-field jitter seeding (not a structural hash): every knob
+     of the policy perturbs the schedule, deterministically. *)
+  let float_bits f = Int64.to_int (Int64.bits_of_float f) in
+  let st =
+    Random.State.make
+      [| p.seed; p.attempts; float_bits p.base_delay; float_bits p.multiplier;
+         float_bits p.max_delay; float_bits p.jitter |]
+  in
+  Array.init (p.attempts - 1) (fun i ->
+      let raw = p.base_delay *. (p.multiplier ** float_of_int i) in
+      let capped = Float.min raw p.max_delay in
+      (* Jitter shifts the delay within [1-j, 1+j] of its nominal value
+         — enough to de-synchronize retry storms, deterministic per
+         seed. *)
+      let spread = p.jitter *. ((2.0 *. Random.State.float st 1.0) -. 1.0) in
+      Float.max 0.0 (capped *. (1.0 +. spread)))
+
+let transient_disk_fault = function
+  | Disk.Disk_error _ -> true
+  (* Corrupt is a checksum mismatch: the bytes on disk are wrong, and
+     re-reading them cannot make them right.  Listed explicitly (not
+     just "anything else") because this is the classification the
+     chaos harness leans on. *)
+  | Xqdb_error.Corrupt _ -> false
+  | _ -> false
+
+let run ?(policy = default) ?(on_retry = fun ~attempt:_ _ -> ()) ?(sleep = Unix.sleepf)
+    ~retryable f =
+  (* Lazy: the fault-free path — every buffered disk op — must not pay
+     for materializing a schedule it never sleeps on. *)
+  let schedule = lazy (delays policy) in
+  let rec go attempt =
+    try f () with
+    | e when retryable e && attempt < policy.attempts ->
+      Metrics.incr m_attempts;
+      on_retry ~attempt e;
+      let d = (Lazy.force schedule).(attempt - 1) in
+      if d > 0.0 then sleep d;
+      go (attempt + 1)
+    | e when retryable e ->
+      Metrics.incr m_giveups;
+      raise e
+  in
+  go 1

@@ -1,0 +1,67 @@
+(** Bounded retry with exponential backoff — the one retry policy the
+    storage layer uses.
+
+    Extracted from the buffer pool's ad-hoc loop so every retried
+    operation (disk reads, write-backs, WAL append/sync) shares one
+    notion of "how many attempts, how long between them, and what is
+    worth retrying at all".  The serving stack depends on the
+    classification being strict: a {e transient} fault (an injected
+    {!Fault_disk} blip, a busy device) clears on retry and must be
+    absorbed below the session layer, while a {e hard} fault — above
+    all a checksum {!Xqdb_error.Corrupt} — must propagate immediately,
+    because retrying it can only hide real corruption.
+
+    Backoff is exponential with {e deterministic seeded jitter}: the
+    delay schedule for a given policy is a pure function of its [seed],
+    so a chaos run replays byte-identically and a test can assert the
+    exact schedule.  Delays are kept small (sub-millisecond defaults) —
+    the pool retries while holding its table mutex, so a retry window
+    must stay bounded and short.
+
+    Never call {!run} while holding a frame latch: sleeping under a
+    latch stalls every domain queued on it (lint rule L9 flags
+    [Retry.run] as a blocking call). *)
+
+type policy = {
+  attempts : int;  (** total tries including the first; [>= 1] *)
+  base_delay : float;  (** seconds before the first retry *)
+  multiplier : float;  (** backoff factor between consecutive retries *)
+  max_delay : float;  (** per-retry cap, pre-jitter *)
+  jitter : float;  (** fraction of each delay randomized, [0..1] *)
+  seed : int;  (** jitter seed — same seed, same schedule *)
+}
+
+val default : policy
+(** 3 attempts, 0.5 ms base, doubling, 2 ms cap, 25% jitter, seed 0 —
+    tuned so a fully exhausted retry window costs single-digit
+    milliseconds. *)
+
+val delays : policy -> float array
+(** The exact sleep schedule [run] uses between attempts
+    ([attempts - 1] entries): deterministic in the policy, including
+    its jitter.  Exposed so tests can assert reproducibility. *)
+
+val transient_disk_fault : exn -> bool
+(** The storage layer's retryability classifier: [true] exactly for
+    {!Disk.Disk_error} (the transient shape {!Fault_disk} injects and
+    real devices exhibit).  {!Xqdb_error.Corrupt} — a checksum mismatch
+    — and every other exception are hard: never retried. *)
+
+val run :
+  ?policy:policy ->
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  ?sleep:(float -> unit) ->
+  retryable:(exn -> bool) ->
+  (unit -> 'a) ->
+  'a
+(** [run ~retryable f] calls [f]; on an exception [e] with
+    [retryable e], sleeps per the backoff schedule and tries again, up
+    to [policy.attempts] total tries.  [on_retry] fires before each
+    re-attempt (with the 1-based number of the attempt that just
+    failed) — the pool uses it to feed its per-pool retry counter.
+    [sleep] defaults to [Unix.sleepf]; tests inject a recorder.
+
+    Counters: [retry.attempts] counts every re-attempt,
+    [retry.giveups] every window that exhausted its attempts and
+    re-raised.  A non-retryable exception propagates immediately and
+    bumps neither. *)

@@ -48,6 +48,8 @@ let run ?(configs = Engine_config.all_presets) ?documents:(docs = documents ())
                 | Engine.Ok, Engine.Error m -> (false, "reference erred: " ^ truncate m)
                 | Engine.Budget_exceeded m, _ | _, Engine.Budget_exceeded m ->
                   (false, "budget exceeded without a budget: " ^ truncate m)
+                | Engine.Timeout m, _ | _, Engine.Timeout m ->
+                  (false, "timeout without a deadline: " ^ truncate m)
                 | Engine.Io_error m, _ | _, Engine.Io_error m ->
                   (false, "i/o error without fault injection: " ^ truncate m)
               in

@@ -58,6 +58,7 @@ let truncate s =
 let status_name = function
   | Engine.Ok -> "ok"
   | Engine.Budget_exceeded _ -> "budget_exceeded"
+  | Engine.Timeout _ -> "timeout"
   | Engine.Error _ -> "error"
   | Engine.Io_error _ -> "io_error"
 
@@ -227,7 +228,7 @@ let fault_trial ~fault_seed ~fault_rate ~trial_index engine oracle query =
       | result ->
         (match result.Engine.status with
         | Engine.Io_error _ -> incr io_errors
-        | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ -> ())
+        | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ | Engine.Timeout _ -> ())
       | exception exn ->
         crashes :=
           (config.Engine_config.name, Printexc.to_string exn) :: !crashes)

@@ -52,6 +52,8 @@ let run ?(configs = Engine_config.figure7_engines)
                 seconds = result.Engine.elapsed;
                 censored = true;
                 profile = result.Engine.profile }
+            | Engine.Timeout msg ->
+              Xqdb_storage.Xqdb_error.internal "efficiency test timed out: %s" msg
             | Engine.Error msg ->
               Xqdb_storage.Xqdb_error.internal "efficiency test errored: %s" msg
             | Engine.Io_error msg ->

@@ -317,12 +317,13 @@ let cell_json (c : Efficiency.cell) =
     @ durability_fields c.profile
     @ [("profile", profile_json c.profile)])
 
-let schema_version = 5
+let schema_version = 6
 
 (* v1 reports (no template counter fields), v2 reports (no durability
-   fields), v3 reports (no traffic kind) and v4 reports (no per-operator
-   batch counts) stay parseable/valid. *)
-let accepted_versions = [1; 2; 3; 4; schema_version]
+   fields), v3 reports (no traffic kind), v4 reports (no per-operator
+   batch counts) and v5 reports (no chaos kind, no per-session timeout
+   counts) stay parseable/valid. *)
+let accepted_versions = [1; 2; 3; 4; 5; schema_version]
 
 let bench_json ~kind extra ~results =
   Obj
@@ -393,6 +394,7 @@ let traffic_json (r : Traffic.report) =
         ("requests", Int s.Traffic.requests);
         ("ok", Int s.Traffic.ok);
         ("budget_exceeded", Int s.Traffic.budget_exceeded);
+        ("timeouts", Int s.Traffic.timeouts);
         ("errors", Int s.Traffic.errors);
         ("io_errors", Int s.Traffic.io_errors);
         ("bad_requests", Int s.Traffic.bad_requests);
@@ -415,6 +417,42 @@ let traffic_json (r : Traffic.report) =
       ("p95_ms", Float r.Traffic.p95_ms);
       ("p99_ms", Float r.Traffic.p99_ms) ]
     ~results:(List.map session_json r.Traffic.per_session)
+
+(* One result object per leg (fault-free baseline, then chaos); the
+   fault/retry accounting and the harness's own verdicts live in the
+   top-level extras so CI can gate on them directly. *)
+let chaos_json (r : Chaos.report) =
+  let leg_json (l : Chaos.leg) =
+    Obj
+      [ ("leg", Str l.Chaos.leg);
+        ("requests", Int l.Chaos.requests);
+        ("ok", Int l.Chaos.ok);
+        ("budget_exceeded", Int l.Chaos.budget_exceeded);
+        ("timeouts", Int l.Chaos.timeouts);
+        ("errors", Int l.Chaos.errors);
+        ("io_errors", Int l.Chaos.io_errors);
+        ("bad_requests", Int l.Chaos.bad_requests);
+        ("unavailable", Int l.Chaos.unavailable);
+        ("mismatches", Int l.Chaos.mismatches);
+        ("untyped", Int l.Chaos.untyped);
+        ("p50_ms", Float l.Chaos.p50_ms);
+        ("p95_ms", Float l.Chaos.p95_ms);
+        ("p99_ms", Float l.Chaos.p99_ms) ]
+  in
+  bench_json ~kind:"chaos"
+    [ ("seed", Int r.Chaos.chaos_seed);
+      ("sessions", Int r.Chaos.chaos_sessions);
+      ("requests_per_session", Int r.Chaos.chaos_requests);
+      ("scale", Int r.Chaos.chaos_scale);
+      ("profile", Str r.Chaos.profile_label);
+      ("faults_injected", Int r.Chaos.faults_injected);
+      ("retry_attempts", Int r.Chaos.retry_attempts);
+      ("retry_giveups", Int r.Chaos.retry_giveups);
+      ("wal_rounds", Int r.Chaos.wal_rounds);
+      ("wal_retry_attempts", Int r.Chaos.wal_retry_attempts);
+      ("p99_ratio", Float r.Chaos.p99_ratio);
+      ("violations", Arr (List.map (fun v -> Str v) r.Chaos.violations)) ]
+    ~results:(List.map leg_json [r.Chaos.baseline; r.Chaos.chaos])
 
 (* --- validation --------------------------------------------------------- *)
 
@@ -583,6 +621,13 @@ let validate_traffic_result r =
   let* requests = int_field r "requests" in
   let* ok = int_field r "ok" in
   let* budget = int_field r "budget_exceeded" in
+  (* v6 added the per-session timeout count; older reports carry none
+     (no deadlines on the v5 wire, so the count was identically 0). *)
+  let* timeouts =
+    match member "timeouts" r with
+    | None -> Ok 0
+    | Some v -> as_int "timeouts" v
+  in
   let* errors = int_field r "errors" in
   let* io = int_field r "io_errors" in
   let* bad = int_field r "bad_requests" in
@@ -595,10 +640,10 @@ let validate_traffic_result r =
   let* p99 = as_number "p99_ms" p99 in
   if session < 0 then Error "negative session"
   else if requests < 1 then Error "session with no requests"
-  else if ok + budget + errors + io + bad <> requests then
+  else if ok + budget + timeouts + errors + io + bad <> requests then
     Error
-      (Printf.sprintf "session %d outcomes do not partition: %d+%d+%d+%d+%d <> %d" session
-         ok budget errors io bad requests)
+      (Printf.sprintf "session %d outcomes do not partition: %d+%d+%d+%d+%d+%d <> %d"
+         session ok budget timeouts errors io bad requests)
   else if mismatches <> 0 then
     Error
       (Printf.sprintf "session %d diverged from the single-session oracle (%d mismatches)"
@@ -606,6 +651,46 @@ let validate_traffic_result r =
   else if p50 < 0. || p95 < 0. || p99 < 0. then Error "negative latency percentile"
   else if p50 > p95 || p95 > p99 then
     Error (Printf.sprintf "session %d latency percentiles not ordered" session)
+  else Ok ()
+
+(* A chaos leg entry: the outcome counts must partition the leg's
+   requests, every failure must be typed (zero untyped escapes), Ok
+   responses must match the fault-free oracle (zero mismatches), and
+   percentiles must be ordered. *)
+let validate_chaos_result r =
+  let* leg = need "leg" (member "leg" r) in
+  let* leg = as_str "leg" leg in
+  let* requests = int_field r "requests" in
+  let* ok = int_field r "ok" in
+  let* budget = int_field r "budget_exceeded" in
+  let* timeouts = int_field r "timeouts" in
+  let* errors = int_field r "errors" in
+  let* io = int_field r "io_errors" in
+  let* bad = int_field r "bad_requests" in
+  let* unavailable = int_field r "unavailable" in
+  let* mismatches = int_field r "mismatches" in
+  let* untyped = int_field r "untyped" in
+  let* p50 = need "p50_ms" (member "p50_ms" r) in
+  let* p50 = as_number "p50_ms" p50 in
+  let* p95 = need "p95_ms" (member "p95_ms" r) in
+  let* p95 = as_number "p95_ms" p95 in
+  let* p99 = need "p99_ms" (member "p99_ms" r) in
+  let* p99 = as_number "p99_ms" p99 in
+  if String.length leg = 0 then Error "empty leg label"
+  else if requests < 1 then Error (Printf.sprintf "%s leg with no requests" leg)
+  else if ok + budget + timeouts + errors + io + bad + unavailable <> requests then
+    Error
+      (Printf.sprintf "%s leg outcomes do not partition: %d+%d+%d+%d+%d+%d+%d <> %d" leg
+         ok budget timeouts errors io bad unavailable requests)
+  else if untyped <> 0 then
+    Error (Printf.sprintf "%s leg let %d failure(s) escape untyped" leg untyped)
+  else if mismatches <> 0 then
+    Error
+      (Printf.sprintf "%s leg diverged from the fault-free oracle (%d mismatches)" leg
+         mismatches)
+  else if p50 < 0. || p95 < 0. || p99 < 0. then Error "negative latency percentile"
+  else if p50 > p95 || p95 > p99 then
+    Error (Printf.sprintf "%s leg latency percentiles not ordered" leg)
   else Ok ()
 
 let validate_bench json =
@@ -621,10 +706,13 @@ let validate_bench json =
     if results = [] then Error "empty results"
     else if String.equal kind "traffic" && version < 4 then
       Error (Printf.sprintf "traffic reports need schema_version >= 4, got %d" version)
+    else if String.equal kind "chaos" && version < 6 then
+      Error (Printf.sprintf "chaos reports need schema_version >= 6, got %d" version)
     else
       let check =
         if String.equal kind "crash" then validate_crash_result
         else if String.equal kind "traffic" then validate_traffic_result
+        else if String.equal kind "chaos" then validate_chaos_result
         else validate_result ~version
       in
       List.fold_left

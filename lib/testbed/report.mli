@@ -110,6 +110,13 @@ val traffic_json : Traffic.report -> json
     counts that partition each session's requests, and ordered latency
     percentiles. *)
 
+val chaos_json : Chaos.report -> json
+(** A chaos run: [kind = "chaos"], one result per leg (fault-free
+    baseline, then chaos).  The validator requires outcome counts that
+    partition each leg's requests, zero untyped escapes, zero oracle
+    mismatches and ordered latency percentiles; chaos reports need
+    schema_version >= 6. *)
+
 val bench_json :
   kind:string ->
   (string * json) list ->

@@ -26,6 +26,7 @@ type session_report = {
   requests : int;
   ok : int;
   budget_exceeded : int;
+  timeouts : int;
   errors : int;
   io_errors : int;
   bad_requests : int;
@@ -72,7 +73,7 @@ let schedule ~seed ~requests ~mix_size k =
   Array.init requests (fun _ -> Random.State.int rng mix_size)
 
 let make_request ~caps:(max_page_ios, max_seconds) text =
-  { Wire.doc = doc_name; query_text = text; max_page_ios; max_seconds }
+  { Wire.doc = doc_name; query_text = text; max_page_ios; max_seconds; deadline = None }
 
 (* One request through the full wire path, returning the decoded
    response.  Any wire error here is a harness bug — the harness only
@@ -95,7 +96,8 @@ let roundtrip session req =
 
 type outcome = {
   latencies : float array;  (* seconds, one per request, schedule order *)
-  counts : int * int * int * int * int;  (* ok, budget, error, io, bad *)
+  counts : int * int * int * int * int * int;
+  (* ok, budget, timeout, error, io, bad *)
   mism : int;
 }
 
@@ -107,7 +109,8 @@ let run_session ~db ~caps ~sched ~mode ~oracle k =
   let mix = Array.of_list (mix ()) in
   let n = Array.length sched in
   let latencies = Array.make n 0. in
-  let ok = ref 0 and budget = ref 0 and error = ref 0 and io = ref 0 and bad = ref 0 in
+  let ok = ref 0 and budget = ref 0 and timeout = ref 0 in
+  let error = ref 0 and io = ref 0 and bad = ref 0 in
   let mism = ref 0 in
   let start = Storage.Monotonic.now () in
   for i = 0 to n - 1 do
@@ -126,6 +129,7 @@ let run_session ~db ~caps ~sched ~mode ~oracle k =
     (match resp.Wire.status with
      | Wire.Ok -> incr ok
      | Wire.Budget_exceeded -> incr budget
+     | Wire.Timeout -> incr timeout
      | Wire.Error -> incr error
      | Wire.Io_error -> incr io
      | Wire.Bad_request | Wire.Unavailable -> incr bad);
@@ -136,16 +140,17 @@ let run_session ~db ~caps ~sched ~mode ~oracle k =
     | Some _ | None -> incr mism
   done;
   ignore k;
-  { latencies; counts = (!ok, !budget, !error, !io, !bad); mism = !mism }
+  { latencies; counts = (!ok, !budget, !timeout, !error, !io, !bad); mism = !mism }
 
 let session_report ~k (o : outcome) =
   let sorted = Array.copy o.latencies in
   Array.sort Float.compare sorted;
-  let ok, budget, error, io, bad = o.counts in
+  let ok, budget, timeout, error, io, bad = o.counts in
   { session = k;
     requests = Array.length o.latencies;
     ok;
     budget_exceeded = budget;
+    timeouts = timeout;
     errors = error;
     io_errors = io;
     bad_requests = bad;
@@ -243,8 +248,8 @@ let render r =
     (fun s ->
       Buffer.add_string buf
         (Printf.sprintf
-           "  session %d: ok %d  budget %d  error %d  io %d  bad %d  mismatch %d  p95 %.2fms\n"
-           s.session s.ok s.budget_exceeded s.errors s.io_errors s.bad_requests
+           "  session %d: ok %d  budget %d  timeout %d  error %d  io %d  bad %d  mismatch %d  p95 %.2fms\n"
+           s.session s.ok s.budget_exceeded s.timeouts s.errors s.io_errors s.bad_requests
            s.mismatches s.p95_ms))
     r.per_session;
   Buffer.contents buf

@@ -26,6 +26,7 @@ type session_report = {
   requests : int;
   ok : int;
   budget_exceeded : int;
+  timeouts : int;  (** requests censored at their deadline *)
   errors : int;
   io_errors : int;
   bad_requests : int;

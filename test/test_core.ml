@@ -18,7 +18,8 @@ let run_at config src =
   let result = Engine.run engine (Xqdb_xq.Xq_parser.parse src) in
   match result.Engine.status with
   | Engine.Ok -> result.Engine.output
-  | Engine.Error msg | Engine.Budget_exceeded msg | Engine.Io_error msg -> Alcotest.fail msg
+  | Engine.Error msg | Engine.Budget_exceeded msg | Engine.Io_error msg
+  | Engine.Timeout msg -> Alcotest.fail msg
 
 (* --- example 2 at every milestone ---------------------------------------- *)
 
@@ -93,7 +94,7 @@ let engines_agree =
         match result.Engine.status with
         | Engine.Ok -> Ok result.Engine.output
         | Engine.Error _ -> Error `Type_error
-        | Engine.Budget_exceeded _ -> Error `Budget
+        | Engine.Budget_exceeded _ | Engine.Timeout _ -> Error `Budget
         | Engine.Io_error _ -> Error `Io
       in
       let reference = outcome Config.m1 in
@@ -118,7 +119,7 @@ let naive_rewrite_agrees =
         match result.Engine.status with
         | Engine.Ok -> Ok result.Engine.output
         | Engine.Error _ -> Error `Type_error
-        | Engine.Budget_exceeded _ -> Error `Budget
+        | Engine.Budget_exceeded _ | Engine.Timeout _ -> Error `Budget
         | Engine.Io_error _ -> Error `Io
       in
       outcome Config.m4 = outcome naive_config)
@@ -137,7 +138,7 @@ let merging_ablation_agrees =
         match result.Engine.status with
         | Engine.Ok -> Ok result.Engine.output
         | Engine.Error _ -> Error `Type_error
-        | Engine.Budget_exceeded _ -> Error `Budget
+        | Engine.Budget_exceeded _ | Engine.Timeout _ -> Error `Budget
         | Engine.Io_error _ -> Error `Io
       in
       outcome Config.m4 = outcome unmerged)
@@ -231,7 +232,7 @@ let test_budget_censoring () =
      (* The run was cut off only after the accounting observed the
         overrun, so the reported count must itself exceed the budget. *)
      Alcotest.(check bool) "i/o accounted" true (result.Engine.page_ios > 1)
-   | Engine.Ok | Engine.Error _ | Engine.Io_error _ ->
+   | Engine.Ok | Engine.Error _ | Engine.Io_error _ | Engine.Timeout _ ->
      Alcotest.fail "expected budget exhaustion");
   (* Unbudgeted, the same query completes. *)
   let result = Engine.run engine q in
@@ -247,7 +248,7 @@ let test_type_errors_reported () =
       let result = Engine.run (Engine.with_config config engine) q in
       match result.Engine.status with
       | Engine.Error _ -> ()
-      | Engine.Ok | Engine.Budget_exceeded _ | Engine.Io_error _ ->
+      | Engine.Ok | Engine.Budget_exceeded _ | Engine.Io_error _ | Engine.Timeout _ ->
         (* Milestones 3/4 evaluate comparisons algebraically and simply
            find no matching text node — the documented divergence. *)
         if config.Config.milestone = Config.M1 || config.Config.milestone = Config.M2 then
@@ -273,7 +274,7 @@ let test_pool_exhausted_censors () =
   let result = pinning [0; 1; 2; 3] (fun () -> Engine.run engine q) in
   (match result.Engine.status with
    | Engine.Io_error _ -> ()
-   | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ ->
+   | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ | Engine.Timeout _ ->
      Alcotest.fail "expected Io_error from a fully pinned pool");
   (* Pins released: the same engine works again. *)
   match (Engine.run engine q).Engine.status with
@@ -312,7 +313,7 @@ let test_sanitized_engine_under_faults () =
   let injector = St.Fault_disk.attach ~policy:hard_reads ~seed:3 disk in
   (match (Engine.run engine q).Engine.status with
   | Engine.Io_error _ -> ()
-  | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ ->
+  | Engine.Ok | Engine.Error _ | Engine.Budget_exceeded _ | Engine.Timeout _ ->
     Alcotest.fail "expected Io_error under hard read faults");
   St.Buffer_pool.assert_unpinned ~where:"after censored run" pool;
   St.Fault_disk.detach injector;
@@ -501,7 +502,7 @@ let test_prepared_cache_invalidation () =
     match (Engine.run engine q).Engine.status with
     | Engine.Io_error _ -> ()
     | Engine.Ok -> Alcotest.fail "query over a dropped document should be censored"
-    | Engine.Error m | Engine.Budget_exceeded m -> Alcotest.fail m
+    | Engine.Error m | Engine.Budget_exceeded m | Engine.Timeout m -> Alcotest.fail m
   in
   censored ();
   censored ()

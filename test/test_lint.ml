@@ -229,14 +229,20 @@ let seeded_l9 =
       "let bad2 l d = Latch.acquire_shared l; let x = Disk.read_page d 0 in \
        Latch.release l; x";
       "let ok2 d = Disk.read_page d 0";
-      "let bad3 l w = Latch.acquire_exclusive l; Wal.sync w; Latch.release l" ]
+      "let bad3 l w = Latch.acquire_exclusive l; Wal.sync w; Latch.release l";
+      "let bad4 l f = Latch.acquire_shared l; \
+       let r = Retry.run ~retryable:(fun _ -> true) f in Latch.release l; r";
+      "let ok3 f = Retry.run ~retryable:(fun _ -> true) f" ]
 
 let test_l9 () =
   let fs = L.Rules.check_file (src seeded_l9) in
   Alcotest.(check bool) "sleep under latch line 1" true (has ~rule:"L9" ~line:1 ~col:39 fs);
   Alcotest.(check bool) "page read under latch line 3" true (has ~rule:"L9" ~line:3 fs);
   Alcotest.(check bool) "wal sync under latch line 5" true (has ~rule:"L9" ~line:5 fs);
-  Alcotest.(check int) "I/O after release and without latch clean" 3 (count ~rule:"L9" fs)
+  (* Retry.run sleeps between attempts, so holding a latch across it
+     stalls every waiter for the whole backoff schedule. *)
+  Alcotest.(check bool) "retry under latch line 6" true (has ~rule:"L9" ~line:6 fs);
+  Alcotest.(check int) "I/O after release and without latch clean" 4 (count ~rule:"L9" fs)
 
 (* --- unparseable sources -------------------------------------------------- *)
 

@@ -31,10 +31,11 @@ let read_of_bytes b = Wire.string_reader (Bytes.to_string b)
 let test_request_roundtrip () =
   let checks =
     [ { Wire.doc = "dblp"; query_text = "for $x in //a return $x";
-        max_page_ios = Some 500; max_seconds = Some 1.5 };
-      { Wire.doc = ""; query_text = ""; max_page_ios = None; max_seconds = None };
+        max_page_ios = Some 500; max_seconds = Some 1.5; deadline = Some 0.75 };
+      { Wire.doc = ""; query_text = ""; max_page_ios = None; max_seconds = None;
+        deadline = None };
       { Wire.doc = "a"; query_text = String.make 10_000 'q';
-        max_page_ios = None; max_seconds = Some 0.25 } ]
+        max_page_ios = None; max_seconds = Some 0.25; deadline = None } ]
   in
   List.iter
     (fun req ->
@@ -45,14 +46,17 @@ let test_request_roundtrip () =
         Alcotest.(check string) "query" req.Wire.query_text got.Wire.query_text;
         Alcotest.(check (option int)) "ios cap" req.Wire.max_page_ios got.Wire.max_page_ios;
         Alcotest.(check (option (float 0.))) "seconds cap" req.Wire.max_seconds
-          got.Wire.max_seconds)
+          got.Wire.max_seconds;
+        Alcotest.(check (option (float 0.))) "deadline" req.Wire.deadline
+          got.Wire.deadline)
     checks
 
 let test_response_roundtrip () =
   List.iter
     (fun status ->
       let resp =
-        { Wire.status; payload = "<a>payload</a>"; elapsed = 0.125; page_ios = 42 }
+        { Wire.status; payload = "<a>payload</a>"; elapsed = 0.125; page_ios = 42;
+          retry_after = (if status = Wire.Unavailable then Some 0.1 else None) }
       in
       match Wire.read_response ~read:(read_of_bytes (Wire.encode_response resp)) with
       | Result.Error e -> Alcotest.fail (Wire.error_to_string e)
@@ -60,9 +64,11 @@ let test_response_roundtrip () =
         Alcotest.(check string) "payload" resp.Wire.payload got.Wire.payload;
         Alcotest.(check (float 0.)) "elapsed" resp.Wire.elapsed got.Wire.elapsed;
         Alcotest.(check int) "page_ios" resp.Wire.page_ios got.Wire.page_ios;
+        Alcotest.(check (option (float 0.))) "retry_after" resp.Wire.retry_after
+          got.Wire.retry_after;
         Alcotest.(check bool) "status" true (got.Wire.status = status))
     [ Wire.Ok; Wire.Budget_exceeded; Wire.Error; Wire.Io_error; Wire.Bad_request;
-      Wire.Unavailable ]
+      Wire.Unavailable; Wire.Timeout ]
 
 (* --- hostile bytes decode to typed errors --------------------------------- *)
 
@@ -98,18 +104,69 @@ let test_hostile_frames () =
     (header (String.length bad) ^ bad);
   (* a response frame where a request is expected *)
   let resp = Wire.encode_response (Wire.error_response Wire.Ok "x") in
-  expect_error "response in request position" (Wire.Bad_kind 2) (Bytes.to_string resp)
+  expect_error "response in request position" (Wire.Bad_kind 2) (Bytes.to_string resp);
+  (* a v2 frame whose payload is shorter than v2's (larger) fixed fields *)
+  expect_error "v2 payload shorter than fixed fields" (Wire.Malformed "")
+    (header ~version:2 17 ^ String.make 17 '\000')
 
-(* Decoding is total: no byte string makes the reader raise. *)
+(* --- version negotiation --------------------------------------------------- *)
+
+(* A v1 client's frames must keep decoding: the request has no deadline
+   field, and a v1-encoded response downgrades the statuses v1 never
+   knew. *)
+let test_v1_frames_still_speak () =
+  let req =
+    { Wire.doc = "journal"; query_text = "/journal"; max_page_ios = Some 9;
+      max_seconds = Some 2.0; deadline = Some 1.0 }
+  in
+  (match Wire.read_request ~read:(read_of_bytes (Wire.encode_request ~version:1 req)) with
+   | Result.Error e -> Alcotest.fail (Wire.error_to_string e)
+   | Result.Ok got ->
+     Alcotest.(check string) "doc survives v1" req.Wire.doc got.Wire.doc;
+     Alcotest.(check (option int)) "ios cap survives v1" req.Wire.max_page_ios
+       got.Wire.max_page_ios;
+     Alcotest.(check (option (float 0.))) "v1 has no deadline field" None
+       got.Wire.deadline);
+  (* read_incoming tags the frame with the version it spoke. *)
+  (match Wire.read_incoming ~read:(read_of_bytes (Wire.encode_request ~version:1 req)) with
+   | Result.Ok (Wire.Incoming_request (1, _)) -> ()
+   | Result.Ok _ -> Alcotest.fail "v1 frame tagged with the wrong version"
+   | Result.Error e -> Alcotest.fail (Wire.error_to_string e));
+  (* Timeout downgrades to Budget_exceeded on the v1 wire; retry_after
+     is dropped. *)
+  let resp = Wire.error_response ~retry_after:0.5 Wire.Timeout "too late" in
+  (match Wire.read_response ~read:(read_of_bytes (Wire.encode_response ~version:1 resp)) with
+   | Result.Error e -> Alcotest.fail (Wire.error_to_string e)
+   | Result.Ok got ->
+     Alcotest.(check bool) "Timeout downgrades for v1" true
+       (got.Wire.status = Wire.Budget_exceeded);
+     Alcotest.(check (option (float 0.))) "retry_after dropped for v1" None
+       got.Wire.retry_after);
+  (* Unsupported versions are rejected at the encoder... *)
+  (match Wire.encode_request ~version:99 req with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "encoding an unsupported version should raise");
+  (* ...and at the decoder, as a typed error. *)
+  match Wire.read_request ~read:(Wire.string_reader (header ~version:0 0)) with
+  | Result.Error (Wire.Bad_version 0) -> ()
+  | _ -> Alcotest.fail "version 0 should be Bad_version"
+
+(* Decoding is total: no byte string makes the reader raise — under
+   either accepted header version. *)
 let decode_never_raises =
   QCheck2.Test.make ~name:"wire decoding is total" ~count:500
-    G.(string_size ~gen:(char_range '\000' '\255') (int_bound 64))
-    (fun s ->
+    G.(pair (int_range 0 3) (string_size ~gen:(char_range '\000' '\255') (int_bound 64)))
+    (fun (v, s) ->
       (match read_req_of s with Result.Ok _ | Result.Error _ -> ());
       (match Wire.read_response ~read:(Wire.string_reader s) with
       | Result.Ok _ | Result.Error _ -> ());
-      (* And with a valid header stapled on, the payload decoders too. *)
-      (match read_req_of (header (String.length s) ^ s) with
+      (* And with a valid header stapled on — any version byte 0-3,
+         spanning both accepted versions and both rejected sides — the
+         payload decoders too. *)
+      (match read_req_of (header ~version:v (String.length s) ^ s) with
+      | Result.Ok _ | Result.Error _ -> ());
+      (match Wire.read_incoming
+               ~read:(Wire.string_reader (header ~version:v (String.length s) ^ s)) with
       | Result.Ok _ | Result.Error _ -> ());
       true)
 
@@ -120,8 +177,8 @@ let mkdb () =
   ignore (DB.load_document db ~name:"journal" W.Docs.figure2_string);
   db
 
-let plain_req ?ios ?secs doc query =
-  { Wire.doc; query_text = query; max_page_ios = ios; max_seconds = secs }
+let plain_req ?ios ?secs ?deadline doc query =
+  { Wire.doc; query_text = query; max_page_ios = ios; max_seconds = secs; deadline }
 
 let test_session_ok () =
   let db = mkdb () in
@@ -181,14 +238,46 @@ let test_session_view_survives_reload () =
   Alcotest.(check bool) "reloaded -> ok" true (r.Wire.status = Wire.Ok);
   Alcotest.(check string) "fresh document's answer" "<name>Zoe</name>" r.Wire.payload
 
+(* --- deadlines ------------------------------------------------------------- *)
+
+let test_session_deadline_timeout () =
+  let db = mkdb () in
+  let session = Session.create db in
+  (* A deadline in the past: the request is censored before execution,
+     with the typed Timeout status — never a silent drop or a crash. *)
+  let r = Session.handle session (plain_req ~deadline:0.5 "journal" "/journal") in
+  Alcotest.(check bool) "already-expired deadline times out" true
+    (let received = Xqdb_storage.Monotonic.now () -. 1.0 in
+     (Session.handle ~received session (plain_req ~deadline:0.5 "journal" "/journal"))
+       .Wire.status = Wire.Timeout);
+  (* A generous deadline changes nothing. *)
+  Alcotest.(check bool) "generous deadline is ok" true (r.Wire.status = Wire.Ok);
+  (* Mid-run expiry: a tiny deadline against a heavy query censors with
+     Timeout once the budget polls notice. *)
+  let config = { Config.m4 with Config.pool_capacity = 4 } in
+  let db = DB.create ~config () in
+  ignore (DB.load_forest db ~name:"dblp" [W.Dblp_gen.generate (W.Dblp_gen.scaled 200)]);
+  Xqdb_storage.Buffer_pool.drop_all (Engine.pool (DB.engine db ~name:"dblp"));
+  let session = Session.create db in
+  let heavy = "for $x in //article return for $y in //author return <p/>" in
+  let received = Xqdb_storage.Monotonic.now () -. 1.0 in
+  let r = Session.handle ~received session (plain_req ~deadline:1.000001 "dblp" heavy) in
+  Alcotest.(check bool) "mid-run deadline censors with Timeout" true
+    (r.Wire.status = Wire.Timeout);
+  (* The session keeps serving afterwards. *)
+  let ok = Session.handle session (plain_req "journal" "/journal") in
+  ignore ok;
+  let ok = Session.handle session (plain_req "dblp" "for $x in /dblp return <d/>") in
+  Alcotest.(check bool) "session survives a timeout" true (ok.Wire.status = Wire.Ok)
+
 (* --- the connection loop over in-memory feeds ------------------------------ *)
 
 (* Feed a byte stream in, collect the written responses out. *)
-let drive_connection db stream =
+let drive_connection ?on_shutdown ?draining db stream =
   let out = Buffer.create 256 in
   let session = Session.create db in
-  Server.handle_connection ~session ~read:(Wire.string_reader stream)
-    ~write:(Buffer.add_bytes out);
+  Server.handle_connection ?on_shutdown ?draining ~session
+    ~read:(Wire.string_reader stream) ~write:(Buffer.add_bytes out) ();
   let read = Wire.string_reader (Buffer.contents out) in
   let rec drain acc =
     match Wire.read_response ~read with
@@ -221,6 +310,77 @@ let test_connection_loop () =
   | [ only ] ->
     Alcotest.(check bool) "bad magic answered" true (only.Wire.status = Wire.Bad_request)
   | rs -> Alcotest.fail (Printf.sprintf "expected 1 response, got %d" (List.length rs)))
+
+(* A shutdown frame fires the drain hook; a draining server finishes the
+   in-flight request and then stops reading. *)
+let test_shutdown_frame_and_drain () =
+  let db = mkdb () in
+  let req q = Bytes.to_string (Wire.encode_request (plain_req "journal" q)) in
+  let shut = Bytes.to_string (Wire.encode_shutdown ()) in
+  let hits = ref 0 in
+  let responses =
+    drive_connection ~on_shutdown:(fun () -> incr hits) db
+      (req "/journal" ^ shut ^ req "/journal")
+  in
+  Alcotest.(check int) "shutdown hook fired once" 1 !hits;
+  (* The request before the shutdown frame is answered; the shutdown
+     frame itself gets no response and ends the connection, so the
+     trailing request is never read. *)
+  Alcotest.(check int) "request before shutdown answered" 1 (List.length responses);
+  (* Once draining, the loop answers the current request and exits. *)
+  let responses =
+    drive_connection ~draining:(fun () -> true) db (req "/journal" ^ req "/journal")
+  in
+  Alcotest.(check int) "draining connection stops after one" 1 (List.length responses)
+
+(* --- admission control ----------------------------------------------------- *)
+
+let test_admission_queue () =
+  let q = Server.Admission.create ~capacity:2 in
+  Alcotest.(check bool) "push 1" true (Server.Admission.push q (1, 0.));
+  Alcotest.(check bool) "push 2" true (Server.Admission.push q (2, 0.));
+  Alcotest.(check bool) "push over capacity is shed" false (Server.Admission.push q (3, 0.));
+  Alcotest.(check int) "depth" 2 (Server.Admission.depth q);
+  Alcotest.(check int) "high water" 2 (Server.Admission.high_water q);
+  (match Server.Admission.pop q with
+   | Some (1, _) -> ()
+   | _ -> Alcotest.fail "FIFO order violated");
+  (* After drain: pending items still pop, new pushes are refused, and
+     an empty queue pops None instead of blocking forever. *)
+  Server.Admission.drain q;
+  Alcotest.(check bool) "push after drain refused" false (Server.Admission.push q (4, 0.));
+  (match Server.Admission.pop q with
+   | Some (2, _) -> ()
+   | _ -> Alcotest.fail "drain must let queued work finish");
+  (match Server.Admission.pop q with
+   | None -> ()
+   | Some _ -> Alcotest.fail "drained empty queue must pop None");
+  Alcotest.(check int) "high water survives" 2 (Server.Admission.high_water q)
+
+(* Producer/consumer across domains: every pushed item pops exactly
+   once, drain wakes blocked consumers. *)
+let test_admission_concurrent () =
+  let q = Server.Admission.create ~capacity:64 in
+  let popped = Atomic.make 0 in
+  let consumers =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Server.Admission.pop q with
+              | Some _ -> Atomic.incr popped; loop ()
+              | None -> ()
+            in
+            loop ()))
+  in
+  let pushed = ref 0 in
+  for i = 1 to 200 do
+    if Server.Admission.push q (i, 0.) then incr pushed
+  done;
+  (* Let the consumers catch up, then drain: they must all exit. *)
+  while Atomic.get popped < !pushed do Domain.cpu_relax () done;
+  Server.Admission.drain q;
+  List.iter Domain.join consumers;
+  Alcotest.(check int) "every accepted item popped once" !pushed (Atomic.get popped)
 
 (* --- concurrency: K sessions behave like one ------------------------------- *)
 
@@ -280,14 +440,21 @@ let () =
         [ Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
           Alcotest.test_case "response round trip" `Quick test_response_roundtrip;
           Alcotest.test_case "hostile frames" `Quick test_hostile_frames;
+          Alcotest.test_case "v1 frames still speak" `Quick test_v1_frames_still_speak;
           prop decode_never_raises ] );
       ( "sessions",
         [ Alcotest.test_case "ok path" `Quick test_session_ok;
           Alcotest.test_case "bad requests" `Quick test_session_bad_requests;
           Alcotest.test_case "budget censoring" `Quick test_session_budget_censoring;
+          Alcotest.test_case "deadline timeout" `Quick test_session_deadline_timeout;
           Alcotest.test_case "drop and reload" `Quick test_session_view_survives_reload ] );
       ( "connections",
-        [ Alcotest.test_case "protocol loop" `Quick test_connection_loop ] );
+        [ Alcotest.test_case "protocol loop" `Quick test_connection_loop;
+          Alcotest.test_case "shutdown and drain" `Quick test_shutdown_frame_and_drain ] );
+      ( "admission",
+        [ Alcotest.test_case "bounded FIFO" `Quick test_admission_queue;
+          Alcotest.test_case "concurrent producers/consumers" `Quick
+            test_admission_concurrent ] );
       ( "concurrency",
         [ Alcotest.test_case "K sessions match one" `Quick
             test_concurrent_sessions_match_oracle ] ) ]

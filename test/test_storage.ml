@@ -878,6 +878,89 @@ let test_pool_hard_write_fault () =
   Alcotest.(check char) "persisted after recovery" 'q'
     (Bytes.get (S.Disk.read_page disk p1) 0)
 
+(* --- the retry policy ------------------------------------------------------ *)
+
+let test_retry_delays_deterministic () =
+  let p = { S.Retry.default with S.Retry.attempts = 5; seed = 7 } in
+  let a = S.Retry.delays p in
+  let b = S.Retry.delays p in
+  Alcotest.(check int) "attempts - 1 sleeps" 4 (Array.length a);
+  Alcotest.(check (array (float 0.))) "same policy, same schedule" a b;
+  Alcotest.(check bool) "a different seed perturbs the jitter" true
+    (S.Retry.delays { p with S.Retry.seed = 8 } <> a);
+  (* With jitter off the schedule is the exact capped exponential. *)
+  let exact =
+    S.Retry.delays
+      { S.Retry.attempts = 5; base_delay = 1.0; multiplier = 2.0; max_delay = 5.0;
+        jitter = 0.0; seed = 0 }
+  in
+  Alcotest.(check (array (float 1e-9))) "capped exponential"
+    [| 1.0; 2.0; 4.0; 5.0 |] exact
+
+let test_retry_absorbs_transient () =
+  let p = { S.Retry.default with S.Retry.attempts = 3 } in
+  let slept = ref [] in
+  let calls = ref 0 in
+  let result =
+    S.Retry.run ~policy:p
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~retryable:S.Retry.transient_disk_fault
+      (fun () ->
+        incr calls;
+        if !calls < 3 then raise (S.Disk.Disk_error "blip");
+        "ok")
+  in
+  Alcotest.(check string) "succeeds within the window" "ok" result;
+  Alcotest.(check int) "one call per attempt" 3 !calls;
+  let sched = S.Retry.delays p in
+  Alcotest.(check (list (float 0.))) "slept exactly the schedule prefix"
+    [sched.(0); sched.(1)] (List.rev !slept)
+
+let test_retry_gives_up () =
+  let before = S.Metrics.snapshot () in
+  let calls = ref 0 in
+  (match
+     S.Retry.run
+       ~policy:{ S.Retry.default with S.Retry.attempts = 4 }
+       ~sleep:ignore ~retryable:S.Retry.transient_disk_fault
+       (fun () ->
+         incr calls;
+         raise (S.Disk.Disk_error "still down"))
+   with
+   | () -> Alcotest.fail "an exhausted retry must re-raise"
+   | exception S.Disk.Disk_error _ -> ());
+  Alcotest.(check int) "every attempt used" 4 !calls;
+  let d = S.Metrics.diff (S.Metrics.snapshot ()) before in
+  Alcotest.(check int) "retries counted" 3 (S.Metrics.get d "retry.attempts");
+  Alcotest.(check int) "giveup counted" 1 (S.Metrics.get d "retry.giveups")
+
+(* The hard/transient classification regression: [Corrupt] is a checksum
+   mismatch — re-reading wrong bytes cannot make them right, so it must
+   propagate on the first attempt, never retried. *)
+let test_retry_never_retries_corrupt () =
+  let calls = ref 0 in
+  (match
+     S.Retry.run
+       ~sleep:(fun _ -> Alcotest.fail "slept on a hard fault")
+       ~retryable:S.Retry.transient_disk_fault
+       (fun () ->
+         incr calls;
+         S.Xqdb_error.corrupt "checksum mismatch on page 3")
+   with
+   | () -> Alcotest.fail "Corrupt must propagate"
+   | exception S.Xqdb_error.Corrupt _ -> ());
+  Alcotest.(check int) "exactly one attempt" 1 !calls;
+  (* Same for any exception outside the transient class. *)
+  let calls' = ref 0 in
+  (match
+     S.Retry.run ~sleep:ignore ~retryable:S.Retry.transient_disk_fault (fun () ->
+         incr calls';
+         invalid_arg "caller bug")
+   with
+   | () -> Alcotest.fail "non-retryable must propagate"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check int) "caller bugs are not retried" 1 !calls'
+
 (* An oversized record is rejected up front by the size pre-check, as a
    caller error — it must never surface as a Page_full from deep inside a
    node operation. *)
@@ -1372,6 +1455,12 @@ let () =
           Alcotest.test_case "pool retries transient faults" `Quick test_pool_retry_transient;
           Alcotest.test_case "pool keeps dirty page on hard fault" `Quick
             test_pool_hard_write_fault ] );
+      ( "retry",
+        [ Alcotest.test_case "delays deterministic" `Quick test_retry_delays_deterministic;
+          Alcotest.test_case "absorbs transient faults" `Quick test_retry_absorbs_transient;
+          Alcotest.test_case "gives up after the window" `Quick test_retry_gives_up;
+          Alcotest.test_case "never retries corrupt data" `Quick
+            test_retry_never_retries_corrupt ] );
       ( "btree",
         [ prop btree_matches_model;
           prop btree_range_scan_model;

@@ -371,6 +371,49 @@ let test_traffic_report () =
    | Ok () -> Alcotest.fail "v3 traffic report accepted"
    | Error _ -> ())
 
+(* A small chaos run end to end: both profiles must come back with no
+   violations, and the report must serialize, re-parse and validate —
+   with the validator rejecting faked untyped escapes and pre-v6
+   envelopes claiming the chaos kind. *)
+let test_chaos_report () =
+  let report = T.Chaos.run ~sessions:1 ~requests:12 ~seed:11 ~scale:60 () in
+  (match report.T.Chaos.violations with
+   | [] -> ()
+   | vs -> Alcotest.failf "transient chaos run violated: %s" (String.concat "; " vs));
+  Alcotest.(check bool) "transient faults fired" true (report.T.Chaos.faults_injected > 0);
+  Alcotest.(check bool) "retries ran" true (report.T.Chaos.retry_attempts > 0);
+  Alcotest.(check bool) "wal retries ran" true (report.T.Chaos.wal_retry_attempts > 0);
+  let j = R.chaos_json report in
+  (match R.parse (R.to_string j) with
+   | Ok reparsed -> Alcotest.check json "survives the wire" j reparsed
+   | Error msg -> Alcotest.failf "chaos report does not re-parse: %s" msg);
+  (match R.validate_bench j with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "chaos report invalid: %s" msg);
+  let rec rewrite f = function
+    | R.Obj fields -> R.Obj (List.map (fun (k, v) -> (k, f k (rewrite f v))) fields)
+    | R.Arr xs -> R.Arr (List.map (rewrite f) xs)
+    | v -> v
+  in
+  let escaped =
+    rewrite (fun k v -> if String.equal k "untyped" then R.Int 1 else v) j
+  in
+  (match R.validate_bench escaped with
+   | Ok () -> Alcotest.fail "untyped escapes accepted"
+   | Error _ -> ());
+  (* The chaos kind needs schema v6: an older version must not claim it. *)
+  let downgraded =
+    rewrite (fun k v -> if String.equal k "schema_version" then R.Int 5 else v) j
+  in
+  (match R.validate_bench downgraded with
+   | Ok () -> Alcotest.fail "v5 chaos report accepted"
+   | Error _ -> ());
+  let hard = T.Chaos.run ~profile:T.Chaos.Hard ~sessions:1 ~requests:12 ~seed:11 ~scale:60 () in
+  (match hard.T.Chaos.violations with
+   | [] -> ()
+   | vs -> Alcotest.failf "hard chaos run violated: %s" (String.concat "; " vs));
+  Alcotest.(check bool) "hard faults surfaced typed" true (hard.T.Chaos.chaos.T.Chaos.io_errors > 0)
+
 (* --- grading system (Section 3) ------------------------------------------------ *)
 
 let test_grading () =
@@ -449,6 +492,8 @@ let () =
           Alcotest.test_case "version gating" `Slow test_report_version_gating ] );
       ( "traffic",
         [ Alcotest.test_case "report round trip and gates" `Slow test_traffic_report ] );
+      ( "chaos",
+        [ Alcotest.test_case "both profiles pass and gate" `Slow test_chaos_report ] );
       ( "crash sweep",
         [ Alcotest.test_case "first, middle and last event recover" `Quick
             test_crash_sweep;
